@@ -1,0 +1,46 @@
+// Command mocbench regenerates the experiments of the reproduction
+// (DESIGN.md, E1–E12 plus ablations A1–A2): the figures of Mittal &
+// Garg (1998) as traces, the complexity separations as tables, and the
+// protocol cost model as measurements.
+//
+// Usage:
+//
+//	mocbench [-quick] [-run E3]        # one experiment
+//	mocbench [-quick]                  # all experiments
+//	mocbench -list                     # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moc/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mocbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id    = flag.String("run", "", "experiment ID to run (empty = all)")
+		quick = flag.Bool("quick", false, "reduced sizes for a fast pass")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *id != "" {
+		return bench.Run(*id, os.Stdout, *quick)
+	}
+	return bench.RunAll(os.Stdout, *quick)
+}

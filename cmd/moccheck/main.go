@@ -1,0 +1,99 @@
+// Command moccheck reads an execution history (JSON, the format emitted
+// by mocsim -json or history.MarshalJSON) and decides the consistency
+// conditions of Mittal & Garg (1998) for it with the exact (NP-hard)
+// decider.
+//
+// Usage:
+//
+//	moccheck [-condition mlin|msc|mnormal] [-budget N] history.json
+//	mocsim -json ... | moccheck -condition mlin -
+//
+// Exit status: 0 if the history satisfies the condition, 1 if not,
+// 2 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"moc/internal/checker"
+	"moc/internal/history"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moccheck:", err)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	var (
+		condition = flag.String("condition", "mlin", `condition: "msc", "mlin", "mnormal" or "mcausal"`)
+		budget    = flag.Int("budget", 0, "search node budget (0 = unlimited)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return 2, fmt.Errorf("usage: moccheck [-condition mlin|msc|mnormal] <history.json | ->")
+	}
+
+	var data []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		return 2, err
+	}
+
+	h, err := history.DecodeJSON(data)
+	if err != nil {
+		return 2, err
+	}
+
+	if *condition == "mcausal" {
+		res, err := checker.MCausallyConsistent(h)
+		if err != nil {
+			return 2, err
+		}
+		fmt.Printf("m-operations: %d (plus the initial one)\n", h.Len()-1)
+		fmt.Println("condition: mcausal")
+		if res.Consistent {
+			fmt.Println("RESULT: satisfied (every process view has a legal serialization)")
+			return 0, nil
+		}
+		fmt.Printf("RESULT: violated (process P%d's view has no legal serialization)\n", res.BadProc)
+		return 1, nil
+	}
+
+	var base history.BaseRelation
+	switch *condition {
+	case "msc":
+		base = history.MSequentialBase
+	case "mlin":
+		base = history.MLinearizableBase
+	case "mnormal":
+		base = history.MNormalBase
+	default:
+		return 2, fmt.Errorf("unknown condition %q", *condition)
+	}
+
+	res, err := checker.Decide(h, base, &checker.Options{MaxNodes: *budget})
+	if err != nil {
+		return 2, err
+	}
+	fmt.Printf("m-operations: %d (plus the initial one)\n", h.Len()-1)
+	fmt.Printf("condition: %s\n", *condition)
+	fmt.Printf("search nodes: %d (memo hits %d)\n", res.Stats.Nodes, res.Stats.MemoHits)
+	if res.Admissible {
+		fmt.Printf("RESULT: satisfied\nwitness: %s\n", res.Witness)
+		return 0, nil
+	}
+	fmt.Println("RESULT: violated (no legal sequential extension exists)")
+	return 1, nil
+}

@@ -1,0 +1,160 @@
+// Banking example: the database-flavoured motivation of Section 1 ("if a
+// transaction in a database is viewed as an atomic operation then it
+// operates, in general, on multiple data items").
+//
+// Tellers transfer money between accounts with atomic two-object
+// m-operations while an auditor repeatedly sums all balances with an
+// atomic multi-object read. Under m-linearizability the audit total is
+// invariant; the same workload on an m-sequentially-consistent store is
+// run for contrast (its audits are local and may lag, but each audit is
+// still a consistent snapshot, so the total is invariant there too —
+// the difference shows up in recency, which the example reports).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"moc"
+)
+
+const (
+	accounts    = 6
+	tellers     = 3
+	transfers   = 12
+	initialEach = 100
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, cons := range []moc.Consistency{moc.MLinearizable, moc.MSequential} {
+		if err := runBank(cons); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runBank(cons moc.Consistency) error {
+	names := make([]string, accounts)
+	for i := range names {
+		names[i] = fmt.Sprintf("acct%d", i)
+	}
+	s, err := moc.New(moc.Config{
+		Procs:       tellers + 1,
+		Objects:     names,
+		Consistency: cons,
+		MaxDelay:    time.Millisecond,
+		Seed:        11,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	fmt.Printf("=== %v store ===\n", cons)
+
+	ids := make([]moc.ObjectID, accounts)
+	writes := make(map[moc.ObjectID]moc.Value, accounts)
+	for i, n := range names {
+		id, err := s.Object(n)
+		if err != nil {
+			return err
+		}
+		ids[i] = id
+		writes[id] = initialEach
+	}
+
+	// Seed all balances atomically.
+	p0, _ := s.Process(0)
+	if err := p0.MAssign(writes); err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, tellers+1)
+	for tl := 0; tl < tellers; tl++ {
+		p, err := s.Process(tl)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(tl int, p *moc.Process) {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				from := ids[(tl+i)%accounts]
+				to := ids[(tl+i+1)%accounts]
+				amount := moc.Value(1 + (tl+i)%20)
+				if _, err := p.Transfer(from, to, amount); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(tl, p)
+	}
+
+	auditor, err := s.Process(tellers)
+	if err != nil {
+		return err
+	}
+	audits := 0
+	badAudits := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < transfers*2; i++ {
+			total, err := auditor.Sum(ids...)
+			if err != nil {
+				errs <- err
+				return
+			}
+			audits++
+			// Before the seeding MAssign is visible a local audit may
+			// legitimately see 0; anything else indicates a torn read.
+			if total != accounts*initialEach && total != 0 {
+				badAudits++
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+
+	fmt.Printf("audits: %d, torn audits: %d (want 0)\n", audits, badAudits)
+	if badAudits != 0 {
+		return fmt.Errorf("audit observed a torn state — atomicity violated")
+	}
+
+	res, err := s.Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("history of %d m-operations verified %v: %v\n",
+		res.History.Len()-1, cons, res.OK)
+
+	total, err := auditor.Sum(ids...)
+	if err != nil {
+		return err
+	}
+	switch total {
+	case accounts * initialEach:
+		fmt.Printf("final audited total: %d (conserved)\n", total)
+	case 0:
+		// m-SC audits are local; the auditor's replica may not have seen
+		// the seeding assignment yet — a consistent but stale snapshot.
+		fmt.Println("final audit observed the (consistent) pre-seed state")
+	default:
+		return fmt.Errorf("final audit total %d — conservation violated", total)
+	}
+	return nil
+}

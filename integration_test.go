@@ -1,0 +1,89 @@
+package moc_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end (each one
+// asserts its own invariants and exits non-zero on violation), locking
+// the examples against API or protocol regressions.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short")
+	}
+	examples := []string{"quickstart", "dcas", "banking", "registers", "queue"}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+ex).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", ex, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", ex)
+			}
+		})
+	}
+}
+
+// TestCLIPipelines exercises the command-line tools end to end:
+// mocsim runs and verifies; its JSON output feeds moccheck; mocbench
+// lists and runs an experiment.
+func TestCLIPipelines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipelines skipped in -short")
+	}
+	t.Run("mocsim+moccheck", func(t *testing.T) {
+		t.Parallel()
+		sim := exec.Command("go", "run", "./cmd/mocsim",
+			"-json", "-consistency", "mlin", "-procs", "2", "-objects", "2", "-ops", "2", "-seed", "3")
+		simOut, err := sim.Output() // stderr (summary) discarded
+		if err != nil {
+			t.Fatalf("mocsim: %v", err)
+		}
+		check := exec.Command("go", "run", "./cmd/moccheck", "-condition", "mlin", "-")
+		check.Stdin = strings.NewReader(string(simOut))
+		out, err := check.CombinedOutput()
+		if err != nil {
+			t.Fatalf("moccheck: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "RESULT: satisfied") {
+			t.Fatalf("moccheck output: %s", out)
+		}
+	})
+	t.Run("mocbench list+run", func(t *testing.T) {
+		t.Parallel()
+		out, err := exec.Command("go", "run", "./cmd/mocbench", "-list").CombinedOutput()
+		if err != nil {
+			t.Fatalf("mocbench -list: %v\n%s", err, out)
+		}
+		for _, want := range []string{"E1", "E12", "A2"} {
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("mocbench -list missing %s:\n%s", want, out)
+			}
+		}
+		out, err = exec.Command("go", "run", "./cmd/mocbench", "-quick", "-run", "E2").CombinedOutput()
+		if err != nil {
+			t.Fatalf("mocbench -run E2: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "admissible=true") {
+			t.Fatalf("E2 output:\n%s", out)
+		}
+	})
+	t.Run("mocsim all protocols", func(t *testing.T) {
+		t.Parallel()
+		for _, cons := range []string{"msc", "mlin", "oolock", "causal"} {
+			out, err := exec.Command("go", "run", "./cmd/mocsim",
+				"-consistency", cons, "-procs", "2", "-objects", "2", "-ops", "2", "-seed", "5").CombinedOutput()
+			if err != nil {
+				t.Fatalf("mocsim %s: %v\n%s", cons, err, out)
+			}
+			if !strings.Contains(string(out), "verified: true") {
+				t.Fatalf("mocsim %s did not verify:\n%s", cons, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,249 @@
+package abcast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runConformance drives any Broadcaster through the atomic-broadcast
+// contract: with `procs` processes each broadcasting `perProc` payloads
+// concurrently, every process must deliver all procs*perProc payloads,
+// exactly once, gap-free, and in the same total order.
+func runConformance(t *testing.T, b Broadcaster, procs, perProc int) {
+	t.Helper()
+	total := procs * perProc
+
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				payload := fmt.Sprintf("p%d-m%d", p, i)
+				if err := b.Broadcast(p, payload, len(payload)); err != nil {
+					t.Errorf("Broadcast(%d): %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	orders := make([][]Delivery, procs)
+	var collect sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		collect.Add(1)
+		go func(p int) {
+			defer collect.Done()
+			deadline := time.After(30 * time.Second)
+			for len(orders[p]) < total {
+				select {
+				case d := <-b.Deliveries(p):
+					orders[p] = append(orders[p], d)
+				case <-deadline:
+					t.Errorf("proc %d: timed out after %d/%d deliveries", p, len(orders[p]), total)
+					return
+				}
+			}
+		}(p)
+	}
+	collect.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for p := 0; p < procs; p++ {
+		seen := make(map[any]bool, total)
+		for i, d := range orders[p] {
+			if d.Seq != int64(i) {
+				t.Fatalf("proc %d delivery %d: seq %d (gap or reorder)", p, i, d.Seq)
+			}
+			if seen[d.Payload] {
+				t.Fatalf("proc %d: duplicate delivery %v", p, d.Payload)
+			}
+			seen[d.Payload] = true
+		}
+	}
+	for p := 1; p < procs; p++ {
+		for i := range orders[0] {
+			if orders[0][i].Payload != orders[p][i].Payload || orders[0][i].From != orders[p][i].From {
+				t.Fatalf("total order violated at position %d: proc0=%v proc%d=%v",
+					i, orders[0][i].Payload, p, orders[p][i].Payload)
+			}
+		}
+	}
+}
+
+func TestSequencerConformance(t *testing.T) {
+	b, err := NewSequencer(SequencerConfig{Procs: 4, Seed: 1, MaxDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewSequencer: %v", err)
+	}
+	defer b.Close()
+	runConformance(t, b, 4, 20)
+}
+
+func TestSequencerConformanceNoDelay(t *testing.T) {
+	b, err := NewSequencer(SequencerConfig{Procs: 3, Seed: 2})
+	if err != nil {
+		t.Fatalf("NewSequencer: %v", err)
+	}
+	defer b.Close()
+	runConformance(t, b, 3, 50)
+}
+
+func TestLamportConformance(t *testing.T) {
+	b, err := NewLamport(LamportConfig{Procs: 4, Seed: 3, MaxDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewLamport: %v", err)
+	}
+	defer b.Close()
+	runConformance(t, b, 4, 20)
+}
+
+func TestLamportConformanceNoDelay(t *testing.T) {
+	b, err := NewLamport(LamportConfig{Procs: 3, Seed: 4})
+	if err != nil {
+		t.Fatalf("NewLamport: %v", err)
+	}
+	defer b.Close()
+	runConformance(t, b, 3, 50)
+}
+
+func TestLamportSingleProcess(t *testing.T) {
+	b, err := NewLamport(LamportConfig{Procs: 1, Seed: 5})
+	if err != nil {
+		t.Fatalf("NewLamport: %v", err)
+	}
+	defer b.Close()
+	runConformance(t, b, 1, 10)
+}
+
+func TestSequencerSingleProcess(t *testing.T) {
+	b, err := NewSequencer(SequencerConfig{Procs: 1, Seed: 6})
+	if err != nil {
+		t.Fatalf("NewSequencer: %v", err)
+	}
+	defer b.Close()
+	runConformance(t, b, 1, 10)
+}
+
+func TestBroadcastValidation(t *testing.T) {
+	for _, mk := range []func() (Broadcaster, error){
+		func() (Broadcaster, error) { return NewSequencer(SequencerConfig{Procs: 2, Seed: 7}) },
+		func() (Broadcaster, error) { return NewLamport(LamportConfig{Procs: 2, Seed: 7}) },
+	} {
+		b, err := mk()
+		if err != nil {
+			t.Fatalf("constructor: %v", err)
+		}
+		if err := b.Broadcast(5, "x", 1); err == nil {
+			t.Error("out-of-range sender accepted")
+		}
+		b.Close()
+		if err := b.Broadcast(0, "x", 1); err != ErrClosed {
+			t.Errorf("after close: err = %v, want ErrClosed", err)
+		}
+		b.Close() // idempotent
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewSequencer(SequencerConfig{Procs: 0}); err == nil {
+		t.Fatal("zero-proc sequencer accepted")
+	}
+	if _, err := NewLamport(LamportConfig{Procs: 0}); err == nil {
+		t.Fatal("zero-proc lamport accepted")
+	}
+}
+
+func TestMessageCostSequencerVsLamport(t *testing.T) {
+	seq, err := NewSequencer(SequencerConfig{Procs: 4, Seed: 8})
+	if err != nil {
+		t.Fatalf("NewSequencer: %v", err)
+	}
+	defer seq.Close()
+	lam, err := NewLamport(LamportConfig{Procs: 4, Seed: 8})
+	if err != nil {
+		t.Fatalf("NewLamport: %v", err)
+	}
+	defer lam.Close()
+
+	runConformance(t, seq, 4, 10)
+	runConformance(t, lam, 4, 10)
+
+	seqMsgs, _ := seq.MessageCost()
+	lamMsgs, _ := lam.MessageCost()
+	if seqMsgs == 0 || lamMsgs == 0 {
+		t.Fatal("message costs not recorded")
+	}
+	// Lamport's all-ack pattern costs strictly more messages than the
+	// sequencer's request + n pattern for n=4.
+	if lamMsgs <= seqMsgs {
+		t.Fatalf("expected Lamport (%d msgs) to cost more than sequencer (%d msgs)", lamMsgs, seqMsgs)
+	}
+}
+
+func TestDeliveryBuffer(t *testing.T) {
+	b := newDeliveryBuffer()
+	if got := b.add(Delivery{Seq: 2}); got != nil {
+		t.Fatalf("out-of-order add returned %v", got)
+	}
+	if got := b.add(Delivery{Seq: 1}); got != nil {
+		t.Fatalf("still-gapped add returned %v", got)
+	}
+	got := b.add(Delivery{Seq: 0})
+	if len(got) != 3 || got[0].Seq != 0 || got[1].Seq != 1 || got[2].Seq != 2 {
+		t.Fatalf("flush = %v", got)
+	}
+	if next := b.add(Delivery{Seq: 3}); len(next) != 1 || next[0].Seq != 3 {
+		t.Fatalf("subsequent add = %v", next)
+	}
+}
+
+func TestTokenConformance(t *testing.T) {
+	b, err := NewToken(TokenConfig{Procs: 4, Seed: 9, MaxDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewToken: %v", err)
+	}
+	defer b.Close()
+	runConformance(t, b, 4, 20)
+}
+
+func TestTokenConformanceNoDelay(t *testing.T) {
+	b, err := NewToken(TokenConfig{Procs: 3, Seed: 10})
+	if err != nil {
+		t.Fatalf("NewToken: %v", err)
+	}
+	defer b.Close()
+	runConformance(t, b, 3, 50)
+}
+
+func TestTokenSingleProcess(t *testing.T) {
+	b, err := NewToken(TokenConfig{Procs: 1, Seed: 11})
+	if err != nil {
+		t.Fatalf("NewToken: %v", err)
+	}
+	defer b.Close()
+	runConformance(t, b, 1, 10)
+}
+
+func TestTokenValidation(t *testing.T) {
+	if _, err := NewToken(TokenConfig{Procs: 0}); err == nil {
+		t.Fatal("zero-proc token ring accepted")
+	}
+	b, err := NewToken(TokenConfig{Procs: 2, Seed: 12})
+	if err != nil {
+		t.Fatalf("NewToken: %v", err)
+	}
+	if err := b.Broadcast(5, "x", 1); err == nil {
+		t.Error("out-of-range sender accepted")
+	}
+	b.Close()
+	if err := b.Broadcast(0, "x", 1); err != ErrClosed {
+		t.Errorf("after close: err = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}

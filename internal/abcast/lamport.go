@@ -1,0 +1,259 @@
+package abcast
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moc/internal/network"
+)
+
+// Lamport is the classical Lamport-clock total-order broadcast: every
+// data message carries a logical timestamp, every process acknowledges
+// every data message to every process, and a message is delivered once
+// it heads the (timestamp, sender)-ordered queue and every process has
+// been heard from with a larger timestamp. No process plays a special
+// role, at the cost of n× more messages than the sequencer — the
+// trade-off the broadcast ablation benchmark measures.
+//
+// Correctness requires FIFO links (a process must not be heard "out of
+// order"), so Lamport runs its private network in FIFO mode.
+type Lamport struct {
+	n       int
+	net     *network.Network
+	outs    []chan Delivery
+	stop    chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	headerB int
+}
+
+var _ Broadcaster = (*Lamport)(nil)
+
+type lamportSubmit struct {
+	payload any
+	bytes   int
+}
+
+type lamportData struct {
+	ts      int64
+	from    int
+	payload any
+	bytes   int
+}
+
+type lamportAck struct {
+	ts   int64
+	from int
+}
+
+// LamportConfig parameterizes NewLamport.
+type LamportConfig struct {
+	Procs              int
+	Seed               int64
+	MinDelay, MaxDelay time.Duration
+}
+
+// NewLamport starts a Lamport-clock atomic broadcast group.
+func NewLamport(cfg LamportConfig) (*Lamport, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("abcast: invalid proc count %d", cfg.Procs)
+	}
+	net, err := network.New(network.Config{
+		Procs:    cfg.Procs,
+		Seed:     cfg.Seed,
+		MinDelay: cfg.MinDelay,
+		MaxDelay: cfg.MaxDelay,
+		FIFO:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l := &Lamport{
+		n:       cfg.Procs,
+		net:     net,
+		outs:    make([]chan Delivery, cfg.Procs),
+		stop:    make(chan struct{}),
+		headerB: 16,
+	}
+	for i := range l.outs {
+		l.outs[i] = make(chan Delivery, 1024)
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		l.wg.Add(1)
+		go l.runMember(p)
+	}
+	return l, nil
+}
+
+// Broadcast implements Broadcaster. The payload is routed through the
+// sender's own member loop (as a self-message) so that the Lamport clock
+// is only ever touched by that loop.
+func (l *Lamport) Broadcast(from int, payload any, bytes int) error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	if from < 0 || from >= l.n {
+		return fmt.Errorf("abcast: broadcast from invalid process %d", from)
+	}
+	return l.net.Send(from, from, "abcast.submit", lamportSubmit{payload: payload, bytes: bytes}, 0)
+}
+
+// Deliveries implements Broadcaster.
+func (l *Lamport) Deliveries(p int) <-chan Delivery { return l.outs[p] }
+
+// MessageCost implements Broadcaster. Submit self-messages are metered at
+// zero bytes, so the cost reflects data and ack traffic.
+func (l *Lamport) MessageCost() (int64, int64) {
+	st := l.net.Stats()
+	msgs := st.Messages
+	if sub, ok := st.ByKind["abcast.submit"]; ok {
+		msgs -= sub.Messages
+	}
+	return msgs, st.Bytes
+}
+
+// Close implements Broadcaster.
+func (l *Lamport) Close() {
+	if l.closed.Swap(true) {
+		return
+	}
+	close(l.stop)
+	l.net.Close()
+	l.wg.Wait()
+}
+
+// lamportItem orders queue entries by (timestamp, sender).
+type lamportItem struct {
+	ts      int64
+	from    int
+	payload any
+}
+
+type lamportQueue []lamportItem
+
+func (q lamportQueue) Len() int { return len(q) }
+func (q lamportQueue) Less(i, j int) bool {
+	if q[i].ts != q[j].ts {
+		return q[i].ts < q[j].ts
+	}
+	return q[i].from < q[j].from
+}
+func (q lamportQueue) Swap(i, j int)     { q[i], q[j] = q[j], q[i] }
+func (q *lamportQueue) Push(x any)       { *q = append(*q, x.(lamportItem)) }
+func (q *lamportQueue) Pop() any         { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+func (q lamportQueue) head() lamportItem { return q[0] }
+
+func (l *Lamport) runMember(p int) {
+	defer l.wg.Done()
+	var clock int64
+	var queue lamportQueue
+	heap.Init(&queue)
+	// lastHeard[q] is the highest Lamport timestamp received from q. With
+	// FIFO links q will never be heard below it again.
+	lastHeard := make([]int64, l.n)
+	for i := range lastHeard {
+		lastHeard[i] = -1
+	}
+	var delivered int64
+
+	flush := func() bool {
+		for queue.Len() > 0 {
+			head := queue.head()
+			stable := true
+			for q := 0; q < l.n; q++ {
+				if q == head.from {
+					continue // the sender's own data message is in hand
+				}
+				// (lastHeard[q], q) must exceed (head.ts, head.from)
+				// lexicographically: with FIFO links q can then never be
+				// heard with a smaller timestamp again.
+				if lastHeard[q] < head.ts || (lastHeard[q] == head.ts && q < head.from) {
+					stable = false
+					break
+				}
+			}
+			if !stable {
+				return true
+			}
+			it := heap.Pop(&queue).(lamportItem)
+			d := Delivery{Seq: delivered, From: it.from, Payload: it.payload}
+			delivered++
+			select {
+			case l.outs[p] <- d:
+			case <-l.stop:
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		select {
+		case <-l.stop:
+			return
+		case msg := <-l.net.Recv(p):
+			switch m := msg.Payload.(type) {
+			case lamportSubmit:
+				clock++
+				data := lamportData{ts: clock, from: p, payload: m.payload, bytes: m.bytes}
+				// The sender's own copy enters the queue synchronously:
+				// routing it through the network would let lastHeard[p]
+				// (advanced by later acks) overtake an in-flight own data
+				// message and deliver a competing message first.
+				heap.Push(&queue, lamportItem{ts: data.ts, from: p, payload: data.payload})
+				if lastHeard[p] < clock {
+					lastHeard[p] = clock
+				}
+				for q := 0; q < l.n; q++ {
+					if q == p {
+						continue
+					}
+					if err := l.net.Send(p, q, "abcast.data", data, m.bytes+l.headerB); err != nil {
+						return
+					}
+				}
+				if !flush() {
+					return
+				}
+			case lamportData:
+				if m.ts > clock {
+					clock = m.ts
+				}
+				clock++
+				heap.Push(&queue, lamportItem{ts: m.ts, from: m.from, payload: m.payload})
+				if lastHeard[m.from] < m.ts {
+					lastHeard[m.from] = m.ts
+				}
+				if lastHeard[p] < clock {
+					lastHeard[p] = clock
+				}
+				ack := lamportAck{ts: clock, from: p}
+				for q := 0; q < l.n; q++ {
+					if q == p {
+						continue
+					}
+					if err := l.net.Send(p, q, "abcast.ack", ack, l.headerB); err != nil {
+						return
+					}
+				}
+				if !flush() {
+					return
+				}
+			case lamportAck:
+				if m.ts > clock {
+					clock = m.ts
+				}
+				clock++
+				if lastHeard[m.from] < m.ts {
+					lastHeard[m.from] = m.ts
+				}
+				if !flush() {
+					return
+				}
+			}
+		}
+	}
+}

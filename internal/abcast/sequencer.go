@@ -1,0 +1,159 @@
+package abcast
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moc/internal/network"
+)
+
+// Sequencer is a fixed-sequencer atomic broadcast: every broadcast is
+// first sent to a dedicated sequencer endpoint, which stamps it with the
+// next global sequence number and re-broadcasts it to all member
+// processes. Members reorder arrivals by sequence number, so the
+// underlying network may delay and reorder freely.
+type Sequencer struct {
+	n       int
+	net     *network.Network
+	outs    []chan Delivery
+	stop    chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	headerB int
+}
+
+var _ Broadcaster = (*Sequencer)(nil)
+
+type seqRequest struct {
+	from    int
+	payload any
+	bytes   int
+}
+
+type seqOrder struct {
+	seq     int64
+	from    int
+	payload any
+	bytes   int
+}
+
+// SequencerConfig parameterizes NewSequencer.
+type SequencerConfig struct {
+	// Procs is the number of member processes.
+	Procs int
+	// Seed, MinDelay, MaxDelay parameterize the private network.
+	Seed               int64
+	MinDelay, MaxDelay time.Duration
+}
+
+// NewSequencer starts a sequencer-based atomic broadcast group.
+func NewSequencer(cfg SequencerConfig) (*Sequencer, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("abcast: invalid proc count %d", cfg.Procs)
+	}
+	// Endpoint cfg.Procs is the sequencer itself.
+	net, err := network.New(network.Config{
+		Procs:    cfg.Procs + 1,
+		Seed:     cfg.Seed,
+		MinDelay: cfg.MinDelay,
+		MaxDelay: cfg.MaxDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Sequencer{
+		n:       cfg.Procs,
+		net:     net,
+		outs:    make([]chan Delivery, cfg.Procs),
+		stop:    make(chan struct{}),
+		headerB: 16, // sequence number + sender, nominal wire overhead
+	}
+	for i := range s.outs {
+		s.outs[i] = make(chan Delivery, 1024)
+	}
+	s.wg.Add(1)
+	go s.runSequencer()
+	for p := 0; p < cfg.Procs; p++ {
+		s.wg.Add(1)
+		go s.runMember(p)
+	}
+	return s, nil
+}
+
+// Broadcast implements Broadcaster.
+func (s *Sequencer) Broadcast(from int, payload any, bytes int) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if from < 0 || from >= s.n {
+		return fmt.Errorf("abcast: broadcast from invalid process %d", from)
+	}
+	return s.net.Send(from, s.n, "abcast.req", seqRequest{from: from, payload: payload, bytes: bytes}, bytes+s.headerB)
+}
+
+// Deliveries implements Broadcaster.
+func (s *Sequencer) Deliveries(p int) <-chan Delivery { return s.outs[p] }
+
+// MessageCost implements Broadcaster.
+func (s *Sequencer) MessageCost() (int64, int64) {
+	st := s.net.Stats()
+	return st.Messages, st.Bytes
+}
+
+// Close implements Broadcaster.
+func (s *Sequencer) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.stop)
+	s.net.Close()
+	s.wg.Wait()
+}
+
+func (s *Sequencer) runSequencer() {
+	defer s.wg.Done()
+	var next int64
+	for {
+		select {
+		case <-s.stop:
+			return
+		case msg := <-s.net.Recv(s.n):
+			req, ok := msg.Payload.(seqRequest)
+			if !ok {
+				continue // foreign payloads are ignored, not fatal
+			}
+			ord := seqOrder{seq: next, from: req.from, payload: req.payload, bytes: req.bytes}
+			next++
+			for p := 0; p < s.n; p++ {
+				if err := s.net.Send(s.n, p, "abcast.ord", ord, req.bytes+s.headerB); err != nil {
+					return // network closed
+				}
+			}
+		}
+	}
+}
+
+func (s *Sequencer) runMember(p int) {
+	defer s.wg.Done()
+	buf := newDeliveryBuffer()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case msg := <-s.net.Recv(p):
+			ord, ok := msg.Payload.(seqOrder)
+			if !ok {
+				continue
+			}
+			for _, d := range buf.add(Delivery{Seq: ord.seq, From: ord.from, Payload: ord.payload}) {
+				select {
+				case s.outs[p] <- d:
+				case <-s.stop:
+					return
+				}
+			}
+		}
+	}
+}

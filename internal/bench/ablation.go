@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"moc/internal/checker"
+	"moc/internal/core"
+	"moc/internal/history"
+	"moc/internal/workload"
+)
+
+// runAblationBroadcast compares the two atomic-broadcast substrates
+// (DESIGN.md ablation 1): the fixed sequencer pays 1 + n messages per
+// broadcast and two network hops of latency; the Lamport all-ack
+// protocol pays n-1 data messages plus (n-1)^2 acks but has no special
+// process.
+func runAblationBroadcast(w io.Writer, quick bool) error {
+	procsList := []int{2, 4, 8}
+	ops := 20
+	if quick {
+		procsList = []int{2, 4}
+		ops = 8
+	}
+	t := newTable(w)
+	t.row("procs", "broadcast", "msgs/update", "update mean", "ops/s")
+	for _, procs := range procsList {
+		for _, kind := range []core.BroadcastKind{core.SequencerBroadcast, core.LamportBroadcast, core.TokenBroadcast} {
+			res, msgsPerUpdate, err := runBroadcastWorkload(procs, ops, kind)
+			if err != nil {
+				return err
+			}
+			name := "sequencer"
+			switch kind {
+			case core.LamportBroadcast:
+				name = "lamport"
+			case core.TokenBroadcast:
+				name = "token"
+			}
+			t.row(procs, name, msgsPerUpdate, res.UpdateMean.Round(time.Microsecond),
+				fmt.Sprintf("%.0f", res.Throughput))
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "expected shape: lamport message count grows quadratically with procs; sequencer")
+	fmt.Fprintln(w, "linearly; token pays rotation latency but few messages per update under load")
+	return nil
+}
+
+func runBroadcastWorkload(procs, ops int, kind core.BroadcastKind) (MixResult, int64, error) {
+	names := []string{"x0", "x1", "x2", "x3"}
+	s, err := core.New(core.Config{
+		Procs: procs, Objects: names, Consistency: core.MSequential,
+		Broadcast: kind, Seed: 21, MinDelay: 200 * time.Microsecond,
+		MaxDelay: 200 * time.Microsecond, DisableRecording: true,
+	})
+	if err != nil {
+		return MixResult{}, 0, err
+	}
+	defer s.Close()
+
+	start := time.Now()
+	var updNs []int64
+	for i := 0; i < ops; i++ {
+		for pi := 0; pi < procs; pi++ {
+			p, err := s.Process(pi)
+			if err != nil {
+				return MixResult{}, 0, err
+			}
+			t0 := time.Now()
+			if err := p.Write(0, int64(i)); err != nil {
+				return MixResult{}, 0, err
+			}
+			updNs = append(updNs, time.Since(t0).Nanoseconds())
+		}
+	}
+	elapsed := time.Since(start)
+	msgs, _ := s.BroadcastCost()
+	total := int64(ops * procs)
+	return MixResult{
+		UpdateMean: mean(updNs),
+		Throughput: float64(total) / elapsed.Seconds(),
+	}, msgs / total, nil
+}
+
+// runAblationChecker compares the exact decider's search heuristics and
+// memoization (DESIGN.md ablation 3) on the adversarial torn-reader
+// family.
+func runAblationChecker(w io.Writer, quick bool) error {
+	sizes := []int{5, 7, 9}
+	if quick {
+		sizes = []int{4, 6}
+	}
+	t := newTable(w)
+	t.row("writers", "variant", "nodes", "memo hits", "time")
+	for _, n := range sizes {
+		h, err := workload.TornReaderFamily(n)
+		if err != nil {
+			return err
+		}
+		variants := []struct {
+			name string
+			opts checker.Options
+		}{
+			{"time-order + memo", checker.Options{Heuristic: checker.TimeOrder}},
+			{"id-order + memo", checker.Options{Heuristic: checker.IDOrder}},
+			{"time-order, no memo", checker.Options{Heuristic: checker.TimeOrder, DisableMemo: true, MaxNodes: 3_000_000}},
+		}
+		for _, v := range variants {
+			start := time.Now()
+			res, err := checker.Decide(h, history.MSequentialBase, &v.opts)
+			elapsed := time.Since(start)
+			cell := fmt.Sprintf("%d", res.Stats.Nodes)
+			if err != nil {
+				cell = fmt.Sprintf("%d (budget hit)", res.Stats.Nodes)
+			}
+			t.row(n, v.name, cell, res.Stats.MemoHits, elapsed)
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "expected shape: memoization collapses the factorial search to ~2^n states;")
+	fmt.Fprintln(w, "without it the node count explodes (budget-capped)")
+	return nil
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"moc/internal/core"
+	"moc/internal/mop"
+	"moc/internal/object"
+	"moc/internal/workload"
+)
+
+// latencies aggregates per-operation latencies.
+type latencies struct {
+	mu      sync.Mutex
+	queryNs []int64
+	updNs   []int64
+}
+
+func (l *latencies) add(query bool, ns int64) {
+	l.mu.Lock()
+	if query {
+		l.queryNs = append(l.queryNs, ns)
+	} else {
+		l.updNs = append(l.updNs, ns)
+	}
+	l.mu.Unlock()
+}
+
+func mean(ns []int64) time.Duration {
+	if len(ns) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range ns {
+		sum += v
+	}
+	return time.Duration(sum / int64(len(ns)))
+}
+
+// MixResult is one row of the E7 table.
+type MixResult struct {
+	Consistency core.Consistency
+	Procs       int
+	ReadFrac    float64
+	QueryMean   time.Duration
+	UpdateMean  time.Duration
+	Throughput  float64 // m-operations per second
+	QueryMsgs   int64
+}
+
+// RunMix drives one protocol configuration through a workload mix and
+// measures latency and throughput. Exported for bench_test.go.
+func RunMix(cons core.Consistency, procs, objects int, mix workload.Mix, delay time.Duration, seed int64) (MixResult, error) {
+	names := make([]string, objects)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	s, err := core.New(core.Config{
+		Procs: procs, Objects: names, Consistency: cons,
+		Seed: seed, MinDelay: delay, MaxDelay: delay,
+		DisableRecording: true,
+	})
+	if err != nil {
+		return MixResult{}, err
+	}
+	defer s.Close()
+
+	plans := mix.Plan(procs, objects, rand.New(rand.NewSource(seed)))
+	var lat latencies
+	var wg sync.WaitGroup
+	errs := make(chan error, procs)
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		proc, err := s.Process(p)
+		if err != nil {
+			return MixResult{}, err
+		}
+		wg.Add(1)
+		go func(plan []workload.Op, proc *core.Process) {
+			defer wg.Done()
+			for _, op := range plan {
+				var pr mop.Procedure
+				if op.Query {
+					pr = mop.MultiRead{Xs: op.Objs}
+				} else {
+					pr = planUpdate(op)
+				}
+				t0 := time.Now()
+				if _, err := proc.Execute(pr); err != nil {
+					errs <- err
+					return
+				}
+				lat.add(op.Query, time.Since(t0).Nanoseconds())
+			}
+		}(plans[p], proc)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return MixResult{}, err
+	default:
+	}
+
+	total := procs * mix.OpsPerProc
+	return MixResult{
+		Consistency: cons,
+		Procs:       procs,
+		ReadFrac:    mix.ReadFrac,
+		QueryMean:   mean(lat.queryNs),
+		UpdateMean:  mean(lat.updNs),
+		Throughput:  float64(total) / elapsed.Seconds(),
+		QueryMsgs:   s.QueryTraffic().Messages,
+	}, nil
+}
+
+func planUpdate(op workload.Op) mop.Procedure {
+	writes := make(map[object.ID]object.Value, len(op.Objs))
+	for i, x := range op.Objs {
+		writes[x] = op.Vals[i]
+	}
+	return mop.MAssign{Writes: writes}
+}
+
+// runE7 prints the protocol cost table: for each (consistency, procs,
+// read fraction), mean query latency, mean update latency and
+// throughput, under a fixed per-message delay so round trips are visible.
+//
+// Expected shape: m-SC query latency ~ 0 (local) regardless of n; m-lin
+// query latency ~ 2x the one-way delay (a round trip) and grows slightly
+// with n (stragglers); update latency comparable for both.
+func runE7(w io.Writer, quick bool) error {
+	delay := 2 * time.Millisecond
+	procsList := []int{2, 4, 8}
+	fracs := []float64{0.5, 0.9}
+	ops := 30
+	if quick {
+		procsList = []int{2, 4}
+		fracs = []float64{0.5}
+		ops = 10
+		delay = time.Millisecond
+	}
+
+	t := newTable(w)
+	t.row("consistency", "procs", "read%", "query mean", "update mean", "ops/s", "query msgs")
+	for _, cons := range []core.Consistency{core.MSequential, core.MLinearizable} {
+		for _, procs := range procsList {
+			for _, frac := range fracs {
+				res, err := RunMix(cons, procs, 8,
+					workload.Mix{ReadFrac: frac, Span: 2, OpsPerProc: ops}, delay, 42)
+				if err != nil {
+					return err
+				}
+				t.row(res.Consistency, res.Procs, int(frac*100),
+					res.QueryMean.Round(time.Microsecond),
+					res.UpdateMean.Round(time.Microsecond),
+					fmt.Sprintf("%.0f", res.Throughput),
+					res.QueryMsgs)
+			}
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "expected shape: m-sequential query latency ~0 and 0 query msgs;")
+	fmt.Fprintln(w, "m-linearizable query latency ~1 RTT with 2n msgs per query; update latency similar for both")
+	return nil
+}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"moc/internal/core"
+	"moc/internal/object"
+)
+
+// runE9 measures the Section 5.2 closing optimization: query responses
+// carrying only the relevant objects instead of whole copies. The
+// per-query byte cost of the whole-copy protocol grows linearly with the
+// total number of objects; the relevant-only cost depends only on the
+// query footprint.
+func runE9(w io.Writer, quick bool) error {
+	objectCounts := []int{8, 32, 128}
+	if quick {
+		objectCounts = []int{8, 32}
+	}
+	const procs = 4
+	const queries = 20
+	const span = 2
+
+	t := newTable(w)
+	t.row("objects", "mode", "bytes/query", "msgs/query")
+	for _, objs := range objectCounts {
+		for _, relevant := range []bool{false, true} {
+			bytesPerQ, msgsPerQ, err := measureQueryCost(objs, procs, queries, span, relevant)
+			if err != nil {
+				return err
+			}
+			mode := "whole-copy (Fig. 6)"
+			if relevant {
+				mode = "relevant-only"
+			}
+			t.row(objs, mode, bytesPerQ, msgsPerQ)
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "expected shape: whole-copy bytes grow linearly with object count;")
+	fmt.Fprintln(w, "relevant-only bytes stay flat (footprint-sized); message counts identical")
+	return nil
+}
+
+func measureQueryCost(objs, procs, queries, span int, relevant bool) (int64, int64, error) {
+	names := make([]string, objs)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	s, err := core.New(core.Config{
+		Procs: procs, Objects: names, Consistency: core.MLinearizable,
+		Seed: 3, RelevantOnly: relevant, DisableRecording: true,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer s.Close()
+	p, err := s.Process(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Touch some state first so responses carry real versions.
+	if err := p.Write(0, 1); err != nil {
+		return 0, 0, err
+	}
+	before := s.QueryTraffic()
+	for i := 0; i < queries; i++ {
+		xs := make([]object.ID, span)
+		for j := range xs {
+			xs[j] = object.ID((i + j) % objs)
+		}
+		if _, err := p.MultiRead(xs...); err != nil {
+			return 0, 0, err
+		}
+	}
+	after := s.QueryTraffic()
+	return (after.Bytes - before.Bytes) / int64(queries),
+		(after.Messages - before.Messages) / int64(queries), nil
+}
+
+// runE10 quantifies the Section 1 argument against modelling
+// multi-methods with one aggregate object ("this results in loss of
+// locality and concurrency"): the same DCAS workload is run natively
+// (two-object m-operations) and in aggregate emulation (every operation
+// spans all objects). The aggregate loses on every axis the paper
+// names: broadcast payloads, query payloads, and the ability of the
+// relevant-only optimization to help at all.
+func runE10(w io.Writer, quick bool) error {
+	objectCounts := []int{8, 32}
+	if quick {
+		objectCounts = []int{8}
+	}
+	const procs = 4
+	const opsPerProc = 10
+
+	t := newTable(w)
+	t.row("objects", "model", "bcast bytes/op", "query bytes/op", "wall time")
+	for _, objs := range objectCounts {
+		for _, aggregate := range []bool{false, true} {
+			res, err := runDCASWorkload(objs, procs, opsPerProc, aggregate)
+			if err != nil {
+				return err
+			}
+			model := "native multi-object"
+			if aggregate {
+				model = "aggregate object"
+			}
+			t.row(objs, model, res.bcastBytesPerOp, res.queryBytesPerOp, res.elapsed.Round(time.Millisecond))
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "expected shape: aggregate-object costs grow with total object count;")
+	fmt.Fprintln(w, "native multi-object costs depend only on the operations' footprints")
+	return nil
+}
+
+type dcasResult struct {
+	bcastBytesPerOp int64
+	queryBytesPerOp int64
+	elapsed         time.Duration
+}
+
+// runDCASWorkload performs pairwise DCAS increments plus pair audits.
+// In aggregate mode every operation is widened to span all objects —
+// the "aggregate object that represents the state of all objects" the
+// paper warns against.
+func runDCASWorkload(objs, procs, opsPerProc int, aggregate bool) (dcasResult, error) {
+	names := make([]string, objs)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	s, err := core.New(core.Config{
+		Procs: procs, Objects: names, Consistency: core.MLinearizable,
+		Seed: 5, RelevantOnly: true, DisableRecording: true,
+	})
+	if err != nil {
+		return dcasResult{}, err
+	}
+	defer s.Close()
+
+	allObjs := make([]object.ID, objs)
+	for i := range allObjs {
+		allObjs[i] = object.ID(i)
+	}
+
+	start := time.Now()
+	var updates, queriesDone int64
+	for i := 0; i < opsPerProc; i++ {
+		for pi := 0; pi < procs; pi++ {
+			p, err := s.Process(pi)
+			if err != nil {
+				return dcasResult{}, err
+			}
+			x1 := object.ID((pi * 2) % objs)
+			x2 := object.ID((pi*2 + 1) % objs)
+			if aggregate {
+				// The aggregate model forces every operation to span the
+				// whole state.
+				vals, err := p.MultiRead(allObjs...)
+				if err != nil {
+					return dcasResult{}, err
+				}
+				queriesDone++
+				writes := make(map[object.ID]object.Value, objs)
+				for j, x := range allObjs {
+					v := vals[j]
+					if x == x1 || x == x2 {
+						v++
+					}
+					writes[x] = v
+				}
+				if err := p.MAssign(writes); err != nil {
+					return dcasResult{}, err
+				}
+				updates++
+			} else {
+				vals, err := p.MultiRead(x1, x2)
+				if err != nil {
+					return dcasResult{}, err
+				}
+				queriesDone++
+				if _, err := p.DCAS(x1, x2, vals[0], vals[1], vals[0]+1, vals[1]+1); err != nil {
+					return dcasResult{}, err
+				}
+				updates++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	qt := s.QueryTraffic()
+	var res dcasResult
+	res.elapsed = elapsed
+	if queriesDone > 0 {
+		res.queryBytesPerOp = qt.Bytes / queriesDone
+	}
+	if _, bcastBytes := s.BroadcastCost(); updates > 0 {
+		res.bcastBytesPerOp = bcastBytes / updates
+	}
+	return res, nil
+}

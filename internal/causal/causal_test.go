@@ -1,0 +1,249 @@
+package causal
+
+import (
+	"testing"
+	"time"
+
+	"moc/internal/mop"
+	"moc/internal/object"
+)
+
+func newProtocol(t *testing.T, procs int, maxDelay time.Duration) *Protocol {
+	t.Helper()
+	p, err := New(Config{Procs: procs, Reg: object.Sequential(3), Seed: 7, MaxDelay: maxDelay})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Procs: 0, Reg: object.Sequential(1)}); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+	if _, err := New(Config{Procs: 1}); err == nil {
+		t.Fatal("missing registry accepted")
+	}
+}
+
+func TestLocalUpdateIsImmediate(t *testing.T) {
+	// Causal updates respond without any round trip, even with huge
+	// network delays.
+	p, err := New(Config{
+		Procs: 3, Reg: object.Sequential(1),
+		Seed: 1, MinDelay: time.Hour, MaxDelay: 2 * time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	start := time.Now()
+	rec, err := p.Execute(0, mop.WriteOp{X: 0, V: 5})
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("local update took %v", elapsed)
+	}
+	if rec.WriteTags[0] != (mop.WriteTag{Proc: 0, Seq: 1}) {
+		t.Fatalf("write tag = %+v", rec.WriteTags[0])
+	}
+	// Own read sees it immediately.
+	q, err := p.Execute(0, mop.ReadOp{X: 0})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if q.Result.(object.Value) != 5 {
+		t.Fatalf("read = %v", q.Result)
+	}
+	if q.SourceTags[0] != (mop.WriteTag{Proc: 0, Seq: 1}) {
+		t.Fatalf("source tag = %+v", q.SourceTags[0])
+	}
+}
+
+func TestEventualDelivery(t *testing.T) {
+	p := newProtocol(t, 3, time.Millisecond)
+	if _, err := p.Execute(0, mop.WriteOp{X: 1, V: 9}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		rec, err := p.Execute(2, mop.ReadOp{X: 1})
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if rec.Result.(object.Value) == 9 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("update never delivered")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestCausalDeliveryOrder(t *testing.T) {
+	// P0 writes x then y (causally ordered). No process may ever observe
+	// the y-write without the x-write.
+	for trial := int64(0); trial < 25; trial++ {
+		p, err := New(Config{
+			Procs: 3, Reg: object.Sequential(3),
+			Seed: trial, MaxDelay: 3 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: 1}); err != nil {
+			t.Fatalf("w1: %v", err)
+		}
+		if _, err := p.Execute(0, mop.WriteOp{X: 1, V: 2}); err != nil {
+			t.Fatalf("w2: %v", err)
+		}
+		for i := 0; i < 30; i++ {
+			rec, err := p.Execute(1, mop.MultiRead{Xs: []object.ID{0, 1}})
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			vals := rec.Result.([]object.Value)
+			if vals[1] == 2 && vals[0] != 1 {
+				t.Fatalf("trial %d: causal violation: saw y=2 without x=1 (%v)", trial, vals)
+			}
+			if vals[1] == 2 {
+				break
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestTransitiveCausality(t *testing.T) {
+	// P0 writes x; P1 reads it and then writes y: the y-write causally
+	// depends on the x-write THROUGH P1's read. P2 must never see y
+	// without x.
+	for trial := int64(0); trial < 20; trial++ {
+		p, err := New(Config{
+			Procs: 3, Reg: object.Sequential(2),
+			Seed: trial + 100, MaxDelay: 3 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: 1}); err != nil {
+			t.Fatalf("w(x): %v", err)
+		}
+		// P1 waits until it sees x=1, then writes y.
+		deadline := time.After(5 * time.Second)
+		for {
+			rec, err := p.Execute(1, mop.ReadOp{X: 0})
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if rec.Result.(object.Value) == 1 {
+				break
+			}
+			select {
+			case <-deadline:
+				t.Fatal("x never reached P1")
+			case <-time.After(100 * time.Microsecond):
+			}
+		}
+		if _, err := p.Execute(1, mop.WriteOp{X: 1, V: 2}); err != nil {
+			t.Fatalf("w(y): %v", err)
+		}
+		for i := 0; i < 50; i++ {
+			rec, err := p.Execute(2, mop.MultiRead{Xs: []object.ID{0, 1}})
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			vals := rec.Result.([]object.Value)
+			if vals[1] == 2 && vals[0] != 1 {
+				t.Fatalf("trial %d: transitive causality violated: %v", trial, vals)
+			}
+			if vals[1] == 2 {
+				break
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestVectorClockProgress(t *testing.T) {
+	p := newProtocol(t, 2, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: object.Value(i + 1)}); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		vc := p.LocalVC(1)
+		if vc[0] == 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("P1 vc = %v, want [3 0]", vc)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if vc := p.LocalVC(0); vc[0] != 3 || vc[1] != 0 {
+		t.Fatalf("P0 vc = %v", vc)
+	}
+}
+
+func TestAbortRollsBackLocally(t *testing.T) {
+	p := newProtocol(t, 2, 0)
+	bad := mop.Func{
+		Objects: object.NewSet(0),
+		Writes:  true,
+		Body: func(txn mop.Txn) any {
+			txn.Write(0, 99)
+			txn.Write(2, 1) // footprint escape after a write
+			return nil
+		},
+	}
+	if _, err := p.Execute(0, bad); err == nil {
+		t.Fatal("violation not reported")
+	}
+	rec, err := p.Execute(0, mop.ReadOp{X: 0})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if rec.Result.(object.Value) != 0 {
+		t.Fatalf("aborted write leaked: %v", rec.Result)
+	}
+}
+
+func TestExecuteValidationAndClose(t *testing.T) {
+	p, err := New(Config{Procs: 1, Reg: object.Sequential(1), Seed: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := p.Execute(7, mop.ReadOp{X: 0}); err == nil {
+		t.Fatal("invalid process accepted")
+	}
+	p.Close()
+	if _, err := p.Execute(0, mop.ReadOp{X: 0}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestTrafficAccounted(t *testing.T) {
+	p := newProtocol(t, 3, 0)
+	if _, err := p.Execute(0, mop.WriteOp{X: 0, V: 1}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if st := p.Traffic(); st.Messages != 2 { // n-1 dissemination messages
+		t.Fatalf("messages = %d, want 2", st.Messages)
+	}
+	// Queries are free.
+	if _, err := p.Execute(1, mop.ReadOp{X: 0}); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if st := p.Traffic(); st.Messages != 2 {
+		t.Fatalf("query generated traffic: %d", st.Messages)
+	}
+}

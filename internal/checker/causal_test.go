@@ -1,0 +1,154 @@
+package checker
+
+import (
+	"testing"
+
+	"moc/internal/history"
+	"moc/internal/object"
+)
+
+func TestMCausalAcceptsSequential(t *testing.T) {
+	reg := object.MustRegistry("x")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 10, []history.Op{history.W(0, 1)}},
+		{2, 20, 30, []history.Op{history.R(0, 1)}},
+	})
+	res, err := MCausallyConsistent(h)
+	if err != nil {
+		t.Fatalf("MCausallyConsistent: %v", err)
+	}
+	if !res.Consistent {
+		t.Fatal("sequential history rejected")
+	}
+	if len(res.Witnesses) != 2 {
+		t.Fatalf("witnesses = %v", res.Witnesses)
+	}
+}
+
+func TestMCausalAcceptsDivergentObservationOrders(t *testing.T) {
+	// The defining causal-but-not-sequentially-consistent history:
+	// concurrent writes w(x)1 and w(x)2; one reader sees 1 then 2, the
+	// other 2 then 1. No single serialization exists, but each process's
+	// view has one.
+	reg := object.MustRegistry("x")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 100, []history.Op{history.W(0, 1)}},
+		{2, 0, 100, []history.Op{history.W(0, 2)}},
+		{3, 10, 20, []history.Op{history.R(0, 1)}},
+		{3, 30, 40, []history.Op{history.R(0, 2)}},
+		{4, 10, 20, []history.Op{history.R(0, 2)}},
+		{4, 30, 40, []history.Op{history.R(0, 1)}},
+	})
+	sc, err := MSequentiallyConsistent(h)
+	if err != nil {
+		t.Fatalf("MSC: %v", err)
+	}
+	if sc.Admissible {
+		t.Fatal("divergent observation orders cannot be m-sequentially consistent")
+	}
+	causal, err := MCausallyConsistent(h)
+	if err != nil {
+		t.Fatalf("MCausal: %v", err)
+	}
+	if !causal.Consistent {
+		t.Fatal("divergent observation of concurrent writes must be m-causal")
+	}
+}
+
+func TestMCausalRejectsCausalViolation(t *testing.T) {
+	// w(x)1 at P1, then P1 writes y=2 (causally after). P2 reads y=2 but
+	// then reads x=0: it observed the effect without its cause.
+	reg := object.MustRegistry("x", "y")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 10, []history.Op{history.W(0, 1)}},
+		{1, 20, 30, []history.Op{history.W(1, 2)}},
+		{2, 40, 50, []history.Op{history.R(1, 2)}},
+		{2, 60, 70, []history.Op{history.R(0, 0)}},
+	})
+	res, err := MCausallyConsistent(h)
+	if err != nil {
+		t.Fatalf("MCausal: %v", err)
+	}
+	if res.Consistent {
+		t.Fatal("effect-without-cause accepted as m-causal")
+	}
+	if res.BadProc != 2 {
+		t.Fatalf("BadProc = %d, want 2", res.BadProc)
+	}
+}
+
+func TestMCausalRejectsTransitiveViolation(t *testing.T) {
+	// Causality through a third process's read: P1 writes x; P2 reads x
+	// and writes y; P3 sees y but then reads x stale.
+	reg := object.MustRegistry("x", "y")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 10, []history.Op{history.W(0, 1)}},
+		{2, 20, 30, []history.Op{history.R(0, 1)}},
+		{2, 40, 50, []history.Op{history.W(1, 2)}},
+		{3, 60, 70, []history.Op{history.R(1, 2)}},
+		{3, 80, 90, []history.Op{history.R(0, 0)}},
+	})
+	res, err := MCausallyConsistent(h)
+	if err != nil {
+		t.Fatalf("MCausal: %v", err)
+	}
+	if res.Consistent {
+		t.Fatal("transitive causal violation accepted")
+	}
+}
+
+func TestMCausalWeakerThanMSC(t *testing.T) {
+	// Every m-sequentially consistent history must be m-causal.
+	fig, err := history.Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	causal, err := MCausallyConsistent(fig.H)
+	if err != nil {
+		t.Fatalf("MCausal: %v", err)
+	}
+	if !causal.Consistent {
+		t.Fatal("an m-linearizable history must be m-causal")
+	}
+}
+
+func TestMCausalMultiObjectAtomicity(t *testing.T) {
+	// m-causal consistency still requires m-operations to be atomic: a
+	// torn observation of a two-object update is rejected even per view.
+	reg := object.MustRegistry("x", "y")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 10, []history.Op{history.W(0, 1), history.W(1, 10)}},
+		{1, 20, 30, []history.Op{history.W(0, 2), history.W(1, 20)}},
+		{2, 40, 50, []history.Op{history.R(0, 1), history.R(1, 20)}}, // torn
+	})
+	res, err := MCausallyConsistent(h)
+	if err != nil {
+		t.Fatalf("MCausal: %v", err)
+	}
+	if res.Consistent {
+		t.Fatal("torn multi-object read accepted as m-causal")
+	}
+}
+
+func TestRestrictClosureViolation(t *testing.T) {
+	reg := object.MustRegistry("x")
+	h, ids := buildH(t, reg, []opSpec{
+		{1, 0, 10, []history.Op{history.W(0, 1)}},
+		{2, 20, 30, []history.Op{history.R(0, 1)}},
+	})
+	// Excluding the writer while keeping its reader must fail.
+	if _, _, err := h.Restrict([]history.ID{ids[1]}); err == nil {
+		t.Fatal("non-closed restriction accepted")
+	}
+	// Including both succeeds and preserves the reads-from edge.
+	sub, mapping, err := h.Restrict([]history.ID{ids[0], ids[1]})
+	if err != nil {
+		t.Fatalf("Restrict: %v", err)
+	}
+	if !sub.ReadsFromRel(mapping[ids[0]], mapping[ids[1]]) {
+		t.Fatal("restriction lost reads-from")
+	}
+	if _, _, err := h.Restrict([]history.ID{99}); err == nil {
+		t.Fatal("invalid id accepted")
+	}
+}

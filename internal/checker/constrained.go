@@ -1,0 +1,177 @@
+package checker
+
+import (
+	"errors"
+	"fmt"
+
+	"moc/internal/history"
+	"moc/internal/object"
+)
+
+// Constraint names the execution constraints of Section 4.
+type Constraint int
+
+// Constraints (D4.8–D4.10).
+const (
+	OO Constraint = iota + 1 // conflicting m-operations ordered
+	WW                       // update m-operations ordered
+	WO                       // updates writing a common object ordered
+)
+
+// String names the constraint.
+func (c Constraint) String() string {
+	switch c {
+	case OO:
+		return "OO"
+	case WW:
+		return "WW"
+	case WO:
+		return "WO"
+	default:
+		return fmt.Sprintf("Constraint(%d)", int(c))
+	}
+}
+
+// ErrConstraintViolated is returned when the supplied relation does not
+// put the history under the requested constraint, so Theorem 7 does not
+// apply.
+var ErrConstraintViolated = errors.New("checker: history is not under the requested constraint")
+
+// RWClosure computes the logical read-write precedence ~rw of D4.11 with
+// respect to the (transitively closed) relation rel:
+//
+//	α ~rw~> γ  iff  ∃β: interfere(H, α, β, γ) ∧ β ~>H γ
+//
+// i.e. whenever γ overwrites an object α read from β and γ follows β, any
+// legal sequentialization must place γ after α.
+func RWClosure(h *history.History, rel *history.Relation) *history.Relation {
+	rw := history.NewRelation(h.Len())
+	h.InterferingTriples(func(alpha, beta history.ID, _ object.ID, gamma history.ID) bool {
+		if rel.Has(beta, gamma) {
+			rw.Add(alpha, gamma)
+		}
+		return true
+	})
+	return rw
+}
+
+// ExtendedRelation computes ~H+ of D4.12: the transitive closure of
+// rel ∪ ~rw. rel must already be transitively closed.
+func ExtendedRelation(h *history.History, rel *history.Relation) *history.Relation {
+	ext := rel.Clone()
+	ext.Union(RWClosure(h, rel))
+	return ext.TransitiveClosure()
+}
+
+// ConstraintResult is the outcome of the polynomial Theorem 7 check.
+type ConstraintResult struct {
+	Admissible bool
+	// Ordered reports whether ~>H (base ∪ sync, closed) is acyclic, i.e.
+	// an irreflexive partial order as the model requires. A cyclic ~>H
+	// (e.g. a read claiming a source that follows it in the ww order)
+	// is inadmissible outright.
+	Ordered bool
+	// Legal reports D4.6 legality of the history w.r.t. the closed
+	// relation; by Theorem 7 it coincides with Admissible when the
+	// history is under the OO- or WW-constraint and ~>H is a partial
+	// order.
+	Legal bool
+	// Witness is a legal sequential extension (Lemma 5), present iff
+	// Admissible.
+	Witness history.Sequence
+	// Violation names one interfering triple (α, β, γ) proving
+	// non-legality when Legal is false.
+	Violation [3]history.ID
+}
+
+// AdmissibleUnderConstraint is AdmissibleUnderConstraintBase with the
+// m-sequential-consistency base relation (process order ∪ reads-from),
+// matching the protocols' D5.3.
+func AdmissibleUnderConstraint(h *history.History, sync *history.Relation, c Constraint) (ConstraintResult, error) {
+	return AdmissibleUnderConstraintBase(h, history.MSequentialBase, sync, c)
+}
+
+// AdmissibleUnderConstraintBase implements the Section 4 pipeline for an
+// arbitrary base relation (use history.MLinearizableBase to verify
+// m-linearizability per D5.8's ~>H = rf ∪ real-time ∪ ww). sync is the
+// synchronization order the underlying system enforced (for the
+// Section 5 protocols, the atomic-broadcast order of the update
+// m-operations); ~>H is taken as base ∪ sync. The function:
+//
+//  1. closes ~>H and verifies the history is under the given constraint
+//     (returning ErrConstraintViolated otherwise);
+//  2. checks legality (D4.6) — by Lemma 6 necessary, by Lemmas 3–5
+//     sufficient for admissibility;
+//  3. when legal, builds ~H+ (D4.12) and extracts a witness by
+//     topological sort, independently re-validated by replay.
+//
+// Everything here is polynomial in the size of the history, in contrast
+// with Decide.
+func AdmissibleUnderConstraintBase(h *history.History, base history.BaseRelation, sync *history.Relation, c Constraint) (ConstraintResult, error) {
+	rel := base.Build(h)
+	if sync != nil {
+		rel.Union(sync)
+	}
+	closed := rel.TransitiveClosure()
+
+	under := false
+	switch c {
+	case OO:
+		under = h.SatisfiesOO(closed)
+	case WW:
+		under = h.SatisfiesWW(closed)
+	case WO:
+		under = h.SatisfiesWO(closed)
+	default:
+		return ConstraintResult{}, fmt.Errorf("checker: unknown constraint %d", int(c))
+	}
+	if !under {
+		return ConstraintResult{}, fmt.Errorf("%w: %s", ErrConstraintViolated, c)
+	}
+
+	// ~>H must be an irreflexive partial order; a cycle (a read sourced
+	// from an m-operation that follows it) is inadmissible outright.
+	for a := 0; a < closed.Len(); a++ {
+		if closed.Has(history.ID(a), history.ID(a)) {
+			return ConstraintResult{}, nil
+		}
+	}
+
+	res := ConstraintResult{Ordered: true, Legal: h.LegalWRT(closed)}
+	if !res.Legal {
+		a, b, g, _ := h.IllegalTriple(closed)
+		res.Violation = [3]history.ID{a, b, g}
+		return res, nil
+	}
+
+	ext := ExtendedRelation(h, closed)
+	order, ok := ext.TopoOrder()
+	if !ok {
+		// Lemmas 3 and 4 prove ~H+ is acyclic for legal histories under
+		// OO or WW; a cycle here indicates either the weaker WO input or
+		// an internal inconsistency.
+		cycle := ext.FindCycle()
+		return res, fmt.Errorf("checker: extended relation ~H+ cyclic (cycle %v) despite legality under %s", cycle, c)
+	}
+	witness := history.Sequence(order)
+	if legal, bad := witness.ReplayLegal(h); !legal {
+		return res, fmt.Errorf("checker: internal: Theorem 7 witness fails replay at %d", int(bad))
+	}
+	res.Admissible = true
+	res.Witness = witness
+	return res, nil
+}
+
+// SyncFromUpdates builds a synchronization relation that totally orders
+// the given update m-operations in slice order (the initial m-operation
+// is implicitly first). This is how protocol recordings communicate their
+// atomic-broadcast delivery order to the checker.
+func SyncFromUpdates(h *history.History, updates []history.ID) *history.Relation {
+	sync := history.NewRelation(h.Len())
+	prev := history.InitID
+	for _, u := range updates {
+		sync.Add(prev, u)
+		prev = u
+	}
+	return sync
+}

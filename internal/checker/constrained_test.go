@@ -1,0 +1,183 @@
+package checker
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"moc/internal/history"
+	"moc/internal/object"
+)
+
+func TestConstraintString(t *testing.T) {
+	if OO.String() != "OO" || WW.String() != "WW" || WO.String() != "WO" {
+		t.Fatal("constraint names wrong")
+	}
+	if !strings.Contains(Constraint(9).String(), "9") {
+		t.Fatal("unknown constraint should render its number")
+	}
+}
+
+func TestRWClosureFigure2(t *testing.T) {
+	fig, err := history.Figure2()
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	h := fig.H
+	rel := history.MSequentialBase.Build(h).Union(fig.WW).TransitiveClosure()
+	rw := RWClosure(h, rel)
+	// interfere(H1, β, α, δ) with α ~>H δ forces β ~rw~> δ (D4.11).
+	if !rw.Has(fig.Beta, fig.Delta) {
+		t.Fatal("missing β ~rw~> δ")
+	}
+	// interfere(H1, α, init, γ): α reads x from init, γ writes x,
+	// init ~>H γ, forcing α ~rw~> γ.
+	if !rw.Has(fig.Alpha, fig.Gamma) {
+		t.Fatal("missing α ~rw~> γ")
+	}
+}
+
+func TestExtendedRelationAcyclicForLegalWW(t *testing.T) {
+	fig, err := history.Figure2()
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	rel := history.MSequentialBase.Build(fig.H).Union(fig.WW).TransitiveClosure()
+	ext := ExtendedRelation(fig.H, rel)
+	if _, ok := ext.TopoOrder(); !ok {
+		t.Fatal("Lemma 4 violated: ~H+ cyclic for a legal WW history")
+	}
+}
+
+func TestAdmissibleUnderConstraintWW(t *testing.T) {
+	fig, err := history.Figure2()
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	res, err := AdmissibleUnderConstraint(fig.H, fig.WW, WW)
+	if err != nil {
+		t.Fatalf("AdmissibleUnderConstraint: %v", err)
+	}
+	if !res.Legal || !res.Admissible {
+		t.Fatalf("H1 under WW should be legal and admissible: %+v", res)
+	}
+	if ok, bad := res.Witness.ReplayLegal(fig.H); !ok {
+		t.Fatalf("witness fails replay at %d", int(bad))
+	}
+	// Cross-check against the exact decider (Theorem 7 agreement).
+	exact, err := Decide(fig.H, history.MSequentialBase, &Options{ExtraOrder: fig.WW})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if exact.Admissible != res.Admissible {
+		t.Fatal("Theorem 7 result disagrees with exact decider")
+	}
+}
+
+func TestAdmissibleUnderConstraintDetectsIllegal(t *testing.T) {
+	// β reads y from α, δ writes y, and the sync order interleaves δ
+	// between them AND orders β w.r.t. δ so legality fails: make δ
+	// precede β by process order. P1: α w(y)2; P1: δ w(y)3; P1: β r(y)2.
+	reg := object.MustRegistry("y")
+	b := history.NewBuilder(reg)
+	alpha := b.Add(1, 0, 10, history.W(0, 2))
+	delta := b.Add(1, 20, 30, history.W(0, 3))
+	beta := b.Add(1, 40, 50, history.R(0, 2))
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sync := SyncFromUpdates(h, []history.ID{alpha, delta})
+	res, err := AdmissibleUnderConstraint(h, sync, WW)
+	if err != nil {
+		t.Fatalf("AdmissibleUnderConstraint: %v", err)
+	}
+	if res.Legal || res.Admissible {
+		t.Fatalf("stale read past an interposed write must be illegal: %+v", res)
+	}
+	if res.Violation[0] != beta || res.Violation[1] != alpha || res.Violation[2] != delta {
+		t.Fatalf("Violation = %v, want (β, α, δ)", res.Violation)
+	}
+	// Agreement with the exact decider.
+	exact, err := Decide(h, history.MSequentialBase, nil)
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if exact.Admissible {
+		t.Fatal("exact decider disagrees: history cannot be admissible")
+	}
+}
+
+func TestAdmissibleUnderConstraintRejectsUnconstrained(t *testing.T) {
+	// Two unordered updates: not under WW; the function must refuse.
+	reg := object.MustRegistry("x", "y")
+	b := history.NewBuilder(reg)
+	b.Add(1, 0, 100, history.W(0, 1))
+	b.Add(2, 0, 100, history.W(1, 2))
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := AdmissibleUnderConstraint(h, nil, WW); !errors.Is(err, ErrConstraintViolated) {
+		t.Fatalf("err = %v, want ErrConstraintViolated", err)
+	}
+}
+
+func TestAdmissibleUnderConstraintOO(t *testing.T) {
+	// Under OO every conflicting pair must be ordered; supply a sync that
+	// orders queries against updates too.
+	reg := object.MustRegistry("x")
+	b := history.NewBuilder(reg)
+	w1 := b.Add(1, 0, 10, history.W(0, 1))
+	q := b.Add(2, 20, 30, history.R(0, 1))
+	w2 := b.Add(1, 40, 50, history.W(0, 2))
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sync := history.NewRelation(h.Len())
+	sync.Add(w1, q)
+	sync.Add(q, w2)
+	sync.Add(w1, w2)
+	res, err := AdmissibleUnderConstraint(h, sync, OO)
+	if err != nil {
+		t.Fatalf("OO: %v", err)
+	}
+	if !res.Admissible {
+		t.Fatal("OO-constrained legal history should be admissible")
+	}
+	// Without the query edges the history is not under OO.
+	if _, err := AdmissibleUnderConstraint(h, SyncFromUpdates(h, []history.ID{w1, w2}), OO); !errors.Is(err, ErrConstraintViolated) {
+		t.Fatalf("err = %v, want ErrConstraintViolated", err)
+	}
+}
+
+func TestAdmissibleUnderConstraintUnknownConstraint(t *testing.T) {
+	reg := object.MustRegistry("x")
+	b := history.NewBuilder(reg)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := AdmissibleUnderConstraint(h, nil, Constraint(42)); err == nil {
+		t.Fatal("unknown constraint accepted")
+	}
+}
+
+func TestSyncFromUpdatesChainsFromInit(t *testing.T) {
+	reg := object.MustRegistry("x")
+	b := history.NewBuilder(reg)
+	u1 := b.Add(1, 0, 10, history.W(0, 1))
+	u2 := b.Add(2, 20, 30, history.W(0, 2))
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sync := SyncFromUpdates(h, []history.ID{u2, u1})
+	if !sync.Has(history.InitID, u2) || !sync.Has(u2, u1) {
+		t.Fatal("sync chain wrong")
+	}
+	if sync.Has(u1, u2) {
+		t.Fatal("sync contains reverse edge")
+	}
+}

@@ -1,0 +1,283 @@
+// Package checker decides the consistency conditions of Mittal & Garg
+// (1998) for recorded histories.
+//
+// It contains three deciders:
+//
+//   - Decide: the exact decision procedure for m-sequential consistency,
+//     m-linearizability and m-normality. The problems are NP-complete
+//     (Theorems 1 and 2), so Decide performs a memoized backtracking
+//     search over the linear extensions of ~>H with legality pruning; it
+//     is exponential in the worst case (experiment E3 measures this) but
+//     returns a verifiable certificate — a legal sequential witness —
+//     whenever the history is admissible.
+//
+//   - AdmissibleUnderConstraint: the polynomial-time path of Section 4.
+//     For histories under the OO- or WW-constraint, Theorem 7 reduces
+//     admissibility to legality; the witness is produced by closing ~>H
+//     with the logical read-write precedence ~rw (D4.11–D4.12) and
+//     topologically sorting (Lemma 5).
+//
+//   - SingleObjectLinearizable: the polynomial special case the paper
+//     contrasts against (Misra [19]): when every m-operation touches a
+//     single object and the reads-from relation is known, linearizability
+//     is decidable in polynomial time. Theorem 2 shows this tractability
+//     is destroyed by multi-object operations.
+package checker
+
+import (
+	"errors"
+	"fmt"
+
+	"moc/internal/history"
+	"moc/internal/object"
+)
+
+// ErrBudget is returned by Decide when the node budget is exhausted
+// before the search concludes.
+var ErrBudget = errors.New("checker: search node budget exhausted")
+
+// Heuristic selects the order in which Decide tries ready candidates.
+type Heuristic int
+
+// Heuristics. TimeOrder explores candidates by ascending invocation time,
+// which tends to follow the real execution and terminates quickly on
+// histories produced by the Section 5 protocols; IDOrder is the naive
+// baseline used by the ablation benchmark.
+const (
+	TimeOrder Heuristic = iota + 1
+	IDOrder
+)
+
+// Options tune the exact decision procedure.
+type Options struct {
+	// Heuristic defaults to TimeOrder.
+	Heuristic Heuristic
+	// MaxNodes bounds the number of search nodes (0 = unlimited).
+	MaxNodes int
+	// ExtraOrder, when non-nil, is an additional synchronization order
+	// the witness must respect (e.g. a protocol's atomic-broadcast
+	// order). It is unioned into ~>H before the search.
+	ExtraOrder *history.Relation
+	// Memoize enables the visited-state cache (default on via Decide's
+	// wrappers; the ablation benchmark turns it off).
+	DisableMemo bool
+}
+
+// Stats reports the work the search performed.
+type Stats struct {
+	Nodes    int // search tree nodes expanded
+	MemoHits int // states skipped because an equivalent state failed before
+}
+
+// Result is the outcome of a decision.
+type Result struct {
+	Admissible bool
+	// Witness is a legal sequential history equivalent to the input that
+	// respects ~>H; valid only when Admissible.
+	Witness history.Sequence
+	Stats   Stats
+}
+
+// MSequentiallyConsistent reports whether h is m-sequentially consistent
+// (admissible w.r.t. process order ∪ reads-from; Section 2.3).
+func MSequentiallyConsistent(h *history.History) (Result, error) {
+	return Decide(h, history.MSequentialBase, nil)
+}
+
+// MLinearizable reports whether h is m-linearizable (admissible w.r.t.
+// process order ∪ reads-from ∪ real-time order; Section 2.3).
+func MLinearizable(h *history.History) (Result, error) {
+	return Decide(h, history.MLinearizableBase, nil)
+}
+
+// MNormal reports whether h is m-normal (admissible w.r.t. process order
+// ∪ reads-from ∪ object order; Section 2.3).
+func MNormal(h *history.History) (Result, error) {
+	return Decide(h, history.MNormalBase, nil)
+}
+
+// Decide searches for a legal sequential history equivalent to h that
+// respects the base relation (plus opts.ExtraOrder). It implements the
+// generic admissibility test of D4.7.
+func Decide(h *history.History, base history.BaseRelation, opts *Options) (Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Heuristic == 0 {
+		o.Heuristic = TimeOrder
+	}
+
+	rel := base.Build(h)
+	if o.ExtraOrder != nil {
+		rel.Union(o.ExtraOrder)
+	}
+
+	n := h.Len()
+	s := &search{
+		h:         h,
+		rel:       rel,
+		opts:      o,
+		indeg:     make([]int, n),
+		placed:    make([]bool, n),
+		lastW:     make([]history.ID, h.Registry().Len()),
+		order:     make([]history.ID, 0, n),
+		memo:      make(map[string]struct{}),
+		maskWords: (n + 63) / 64,
+	}
+	for i := range s.lastW {
+		s.lastW[i] = -1
+	}
+	for from := 0; from < n; from++ {
+		rel.Successors(history.ID(from), func(to history.ID) {
+			s.indeg[to]++
+		})
+	}
+	// A cycle in ~>H means no linear extension exists at all.
+	if !rel.Acyclic() {
+		return Result{Stats: s.stats}, nil
+	}
+
+	found, err := s.run()
+	if err != nil {
+		return Result{Stats: s.stats}, err
+	}
+	if !found {
+		return Result{Stats: s.stats}, nil
+	}
+	witness := make(history.Sequence, len(s.order))
+	copy(witness, s.order)
+	if ok, bad := witness.ReplayLegal(h); !ok {
+		// The search invariant guarantees legality; failing here means a
+		// checker bug, which must never be reported as "admissible".
+		return Result{Stats: s.stats}, fmt.Errorf("checker: internal: witness fails replay at %d", int(bad))
+	}
+	return Result{Admissible: true, Witness: witness, Stats: s.stats}, nil
+}
+
+type search struct {
+	h         *history.History
+	rel       *history.Relation
+	opts      Options
+	indeg     []int
+	placed    []bool
+	lastW     []history.ID
+	order     []history.ID
+	memo      map[string]struct{}
+	stats     Stats
+	maskWords int
+}
+
+// run performs the DFS. It returns whether a complete legal extension was
+// found; s.order holds it on success.
+func (s *search) run() (bool, error) {
+	if len(s.order) == s.h.Len() {
+		return true, nil
+	}
+	if s.opts.MaxNodes > 0 && s.stats.Nodes >= s.opts.MaxNodes {
+		return false, ErrBudget
+	}
+	s.stats.Nodes++
+
+	if !s.opts.DisableMemo {
+		key := s.stateKey()
+		if _, failed := s.memo[key]; failed {
+			s.stats.MemoHits++
+			return false, nil
+		}
+		defer func() {
+			// Only failure states are recorded; success unwinds
+			// immediately without further lookups.
+			if len(s.order) != s.h.Len() {
+				s.memo[key] = struct{}{}
+			}
+		}()
+	}
+
+	for _, cand := range s.candidates() {
+		m := s.h.MOp(cand)
+		// Place cand.
+		s.placed[cand] = true
+		s.order = append(s.order, cand)
+		var savedWriters []history.ID
+		var savedObjs []object.ID
+		for _, x := range m.WObjects().IDs() {
+			savedObjs = append(savedObjs, x)
+			savedWriters = append(savedWriters, s.lastW[x])
+			s.lastW[x] = cand
+		}
+		s.rel.Successors(cand, func(to history.ID) { s.indeg[to]-- })
+
+		found, err := s.run()
+		if err != nil || found {
+			return found, err
+		}
+
+		// Undo.
+		s.rel.Successors(cand, func(to history.ID) { s.indeg[to]++ })
+		for i := len(savedObjs) - 1; i >= 0; i-- {
+			s.lastW[savedObjs[i]] = savedWriters[i]
+		}
+		s.order = s.order[:len(s.order)-1]
+		s.placed[cand] = false
+	}
+	return false, nil
+}
+
+// candidates returns the IDs that are ready (all predecessors placed) and
+// legally placeable (every external read's source is the current last
+// writer of that object), in heuristic order.
+func (s *search) candidates() []history.ID {
+	var out []history.ID
+	for id := 0; id < s.h.Len(); id++ {
+		if s.placed[id] || s.indeg[id] != 0 {
+			continue
+		}
+		if !s.placeable(history.ID(id)) {
+			continue
+		}
+		out = append(out, history.ID(id))
+	}
+	if s.opts.Heuristic == TimeOrder {
+		// Insertion sort by invocation time (candidate lists are short).
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && s.h.MOp(out[j]).Inv < s.h.MOp(out[j-1]).Inv; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+	}
+	return out
+}
+
+func (s *search) placeable(id history.ID) bool {
+	m := s.h.MOp(id)
+	for _, x := range m.RObjects().IDs() {
+		src, ok := s.h.ReadsFromSource(id, x)
+		if !ok || s.lastW[x] != src {
+			return false
+		}
+	}
+	return true
+}
+
+// stateKey encodes (placed set, last-writer vector): future feasibility
+// depends only on these, so failed states can be memoized.
+func (s *search) stateKey() string {
+	buf := make([]byte, 0, s.maskWords*8+len(s.lastW)*4)
+	var word uint64
+	for i, p := range s.placed {
+		if p {
+			word |= 1 << (uint(i) % 64)
+		}
+		if i%64 == 63 || i == len(s.placed)-1 {
+			for b := 0; b < 8; b++ {
+				buf = append(buf, byte(word>>(8*b)))
+			}
+			word = 0
+		}
+	}
+	for _, w := range s.lastW {
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return string(buf)
+}

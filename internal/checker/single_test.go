@@ -1,0 +1,244 @@
+package checker
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"moc/internal/history"
+	"moc/internal/object"
+)
+
+func TestSingleObjectLinearizableBasic(t *testing.T) {
+	reg := object.MustRegistry("x")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 10, []history.Op{history.W(0, 1)}},
+		{2, 20, 30, []history.Op{history.R(0, 1)}},
+	})
+	res, err := SingleObjectLinearizable(h)
+	if err != nil {
+		t.Fatalf("SingleObjectLinearizable: %v", err)
+	}
+	if !res.Admissible {
+		t.Fatal("trivially linearizable history rejected")
+	}
+}
+
+func TestSingleObjectLinearizableStaleRead(t *testing.T) {
+	reg := object.MustRegistry("x")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 10, []history.Op{history.W(0, 1)}},
+		{2, 20, 30, []history.Op{history.R(0, 0)}}, // stale after response
+	})
+	res, err := SingleObjectLinearizable(h)
+	if err != nil {
+		t.Fatalf("SingleObjectLinearizable: %v", err)
+	}
+	if res.Admissible {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestSingleObjectNewOldInversion(t *testing.T) {
+	// Two sequential reads observing new then old value: not linearizable.
+	reg := object.MustRegistry("x")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 100, []history.Op{history.W(0, 1)}},
+		{2, 10, 20, []history.Op{history.R(0, 1)}},
+		{2, 30, 40, []history.Op{history.R(0, 0)}},
+	})
+	res, err := SingleObjectLinearizable(h)
+	if err != nil {
+		t.Fatalf("SingleObjectLinearizable: %v", err)
+	}
+	if res.Admissible {
+		t.Fatal("new-old inversion accepted")
+	}
+}
+
+func TestSingleObjectRejectsMultiObject(t *testing.T) {
+	reg := object.MustRegistry("x", "y")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 10, []history.Op{history.W(0, 1), history.W(1, 2)}},
+	})
+	if _, err := SingleObjectLinearizable(h); !errors.Is(err, ErrNotSingleObject) {
+		t.Fatalf("err = %v, want ErrNotSingleObject", err)
+	}
+}
+
+func TestForcedClosureCatchesTornPairObservation(t *testing.T) {
+	// Two writers of {x, y} observed in opposite orders by two readers:
+	// the forcing rules derive both w1 ~> w2 and w2 ~> w1, so the forced
+	// closure is cyclic, and the exact decider agrees the history is
+	// inadmissible.
+	reg := object.MustRegistry("x", "y")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 100, []history.Op{history.W(0, 1), history.W(1, 1)}},
+		{2, 0, 100, []history.Op{history.W(0, 2), history.W(1, 2)}},
+		{3, 0, 100, []history.Op{history.R(0, 1), history.R(1, 2)}},
+		{4, 0, 100, []history.Op{history.R(0, 2), history.R(1, 1)}},
+	})
+	base := history.MLinearizableBase.Build(h)
+	if _, acyclic := ForcedClosure(h, base); acyclic {
+		t.Fatal("forcing rules should derive the w1/w2 ordering conflict")
+	}
+	res, err := MLinearizable(h)
+	if err != nil {
+		t.Fatalf("MLinearizable: %v", err)
+	}
+	if res.Admissible {
+		t.Fatal("history must not be m-linearizable")
+	}
+}
+
+// TestForcedClosureSoundnessDifferential: whenever the forced closure of
+// a random multi-object history is cyclic, the exact decider must reject
+// too (the derived edges are consequences of legality, so a cycle proves
+// inadmissibility — but NOT vice versa; by Theorem 2 no polynomial rule
+// set can be complete for multi-object histories).
+func TestForcedClosureSoundnessDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cyclicSeen := 0
+	for trial := 0; trial < 300; trial++ {
+		h := randomMultiObjectHistory(t, rng)
+		base := history.MSequentialBase.Build(h)
+		_, acyclic := ForcedClosure(h, base)
+		if acyclic {
+			continue
+		}
+		cyclicSeen++
+		res, err := MSequentiallyConsistent(h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Admissible {
+			t.Fatalf("trial %d: forced closure cyclic but history admissible — forcing rule unsound", trial)
+		}
+	}
+	if cyclicSeen == 0 {
+		t.Fatal("degenerate: no cyclic forced closures sampled")
+	}
+}
+
+func randomMultiObjectHistory(t *testing.T, rng *rand.Rand) *history.History {
+	t.Helper()
+	reg := object.Sequential(2 + rng.Intn(2))
+	b := history.NewBuilder(reg)
+	n := 4 + rng.Intn(5)
+	nextVal := object.Value(1)
+	written := make(map[object.ID][]object.Value)
+	for x := 0; x < reg.Len(); x++ {
+		written[object.ID(x)] = []object.Value{object.Initial}
+	}
+	for i := 0; i < n; i++ {
+		var ops []history.Op
+		touched := map[object.ID]bool{}
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			x := object.ID(rng.Intn(reg.Len()))
+			if touched[x] {
+				continue
+			}
+			touched[x] = true
+			if rng.Intn(2) == 0 {
+				ops = append(ops, history.W(x, nextVal))
+				written[x] = append(written[x], nextVal)
+				nextVal++
+			} else {
+				ops = append(ops, history.R(x, written[x][rng.Intn(len(written[x]))]))
+			}
+		}
+		b.Add(i+1, 0, 1000, ops...)
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("random multi-object history: %v", err)
+	}
+	return h
+}
+
+func TestForcedClosureSoundRejection(t *testing.T) {
+	// When the forced closure IS cyclic, the exact decider must agree
+	// (soundness of the forcing rules).
+	reg := object.MustRegistry("x")
+	h, _ := buildH(t, reg, []opSpec{
+		{1, 0, 10, []history.Op{history.W(0, 1)}},
+		{2, 20, 30, []history.Op{history.R(0, 0)}},
+	})
+	base := history.MLinearizableBase.Build(h)
+	if _, acyclic := ForcedClosure(h, base); acyclic {
+		t.Fatal("expected cyclic forced closure for stale read")
+	}
+	res, err := MLinearizable(h)
+	if err != nil {
+		t.Fatalf("MLinearizable: %v", err)
+	}
+	if res.Admissible {
+		t.Fatal("exact decider disagrees with sound rejection")
+	}
+}
+
+// TestSingleObjectDifferential cross-validates the polynomial checker
+// against the exact decider on random single-object register histories.
+func TestSingleObjectDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	agree, admissibleCount := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		h := randomSingleObjectHistory(t, rng)
+		fast, err := SingleObjectLinearizable(h)
+		if err != nil {
+			t.Fatalf("trial %d: fast: %v", trial, err)
+		}
+		exact, err := MLinearizable(h)
+		if err != nil {
+			t.Fatalf("trial %d: exact: %v", trial, err)
+		}
+		if fast.Admissible != exact.Admissible {
+			t.Fatalf("trial %d: fast=%v exact=%v for history %v",
+				trial, fast.Admissible, exact.Admissible, h.MOps()[1:])
+		}
+		agree++
+		if exact.Admissible {
+			admissibleCount++
+		}
+	}
+	if admissibleCount == 0 || admissibleCount == agree {
+		t.Fatalf("degenerate differential test: %d/%d admissible", admissibleCount, agree)
+	}
+}
+
+// randomSingleObjectHistory builds a history of single-object reads and
+// writes with randomized concurrency; reads observe the value of a random
+// previously issued write (or the initial value), which yields a healthy
+// mix of admissible and inadmissible histories.
+func randomSingleObjectHistory(t *testing.T, rng *rand.Rand) *history.History {
+	t.Helper()
+	reg := object.MustRegistry("x")
+	b := history.NewBuilder(reg)
+	procs := 2 + rng.Intn(3)
+	perProc := 1 + rng.Intn(3)
+	writeVals := []object.Value{object.Initial}
+	nextVal := object.Value(1)
+	clock := make([]int64, procs)
+	for p := 0; p < procs; p++ {
+		clock[p] = int64(rng.Intn(5))
+	}
+	for i := 0; i < procs*perProc; i++ {
+		p := rng.Intn(procs)
+		inv := clock[p] + int64(rng.Intn(10))
+		resp := inv + 1 + int64(rng.Intn(15))
+		clock[p] = resp + 1
+		if rng.Intn(2) == 0 {
+			b.Add(p, inv, resp, history.W(0, nextVal))
+			writeVals = append(writeVals, nextVal)
+			nextVal++
+		} else {
+			v := writeVals[rng.Intn(len(writeVals))]
+			b.Add(p, inv, resp, history.R(0, v))
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("random history: %v", err)
+	}
+	return h
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"moc/internal/checker"
+	"moc/internal/object"
+)
+
+func TestCausalStoreBasics(t *testing.T) {
+	s := newStore(t, Config{Procs: 2, Consistency: MCausal, Seed: 1})
+	p0, _ := s.Process(0)
+	x, _ := s.Object("x")
+	if err := p0.Write(x, 7); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	v, err := p0.Read(x)
+	if err != nil || v != 7 {
+		t.Fatalf("Read = %d, %v", v, err)
+	}
+	if msgs, _ := s.BroadcastCost(); msgs != 0 {
+		t.Fatal("causal store should have no broadcaster")
+	}
+}
+
+func TestCausalStoreVerifies(t *testing.T) {
+	s := newStore(t, Config{
+		Procs: 3, Consistency: MCausal, Seed: 2, MaxDelay: 2 * time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		p, _ := s.Process(i)
+		wg.Add(1)
+		go func(i int, p *Process) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if j%2 == 0 {
+					if err := p.Write(object.ID(j%3), object.Value(i*100+j+1)); err != nil {
+						t.Errorf("write: %v", err)
+					}
+				} else if _, err := p.MultiRead(0, 1, 2); err != nil {
+					t.Errorf("read: %v", err)
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+
+	res, err := s.Verify()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !res.OK {
+		t.Fatal("causal protocol produced a non-m-causal history")
+	}
+}
+
+// TestCausalHierarchySeparation hunts for a run of the causal protocol
+// that is m-causal but NOT m-sequentially consistent — two processes
+// observing concurrent writes in opposite orders. This is the E12
+// hierarchy separation.
+func TestCausalHierarchySeparation(t *testing.T) {
+	foundSplit := false
+	for seed := int64(0); seed < 120 && !foundSplit; seed++ {
+		s, err := New(Config{
+			Procs: 4, Objects: []string{"x"}, Consistency: MCausal,
+			Seed: seed, MinDelay: 0, MaxDelay: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+
+		// P0 and P1 write x concurrently; P2 and P3 poll and may observe
+		// the two writes in opposite orders.
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			p, _ := s.Process(w)
+			wg.Add(1)
+			go func(w int, p *Process) {
+				defer wg.Done()
+				if err := p.Write(0, object.Value(w+1)); err != nil {
+					t.Errorf("write: %v", err)
+				}
+			}(w, p)
+		}
+		for r := 2; r < 4; r++ {
+			p, _ := s.Process(r)
+			wg.Add(1)
+			go func(p *Process) {
+				defer wg.Done()
+				for i := 0; i < 12; i++ {
+					if _, err := p.Read(0); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}(p)
+		}
+		wg.Wait()
+
+		res, err := s.Verify()
+		if err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		if !res.OK {
+			t.Fatal("causal protocol violated m-causal consistency")
+		}
+		sc, err := checker.MSequentiallyConsistent(res.History)
+		if err != nil {
+			t.Fatalf("MSC: %v", err)
+		}
+		if !sc.Admissible {
+			foundSplit = true
+		}
+		s.Close()
+	}
+	if !foundSplit {
+		t.Fatal("no causal-but-not-sequentially-consistent run found in 120 seeds")
+	}
+}
+
+func TestCausalStoreMultiObjectAtomicity(t *testing.T) {
+	// Even the weakest protocol keeps m-operations atomic: pairs written
+	// together are always observed together.
+	s := newStore(t, Config{
+		Procs: 3, Objects: []string{"x", "y"}, Consistency: MCausal,
+		Seed: 9, MaxDelay: 2 * time.Millisecond,
+	})
+	x, _ := s.Object("x")
+	y, _ := s.Object("y")
+	var wg sync.WaitGroup
+	p0, _ := s.Process(0)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 10; i++ {
+			if err := p0.MAssign(map[object.ID]object.Value{x: object.Value(i), y: object.Value(i)}); err != nil {
+				t.Errorf("assign: %v", err)
+			}
+		}
+	}()
+	for r := 1; r < 3; r++ {
+		p, _ := s.Process(r)
+		wg.Add(1)
+		go func(p *Process) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				vals, err := p.MultiRead(x, y)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if vals[0] != vals[1] {
+					t.Errorf("torn read under causal: %v", vals)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	res, err := s.Verify()
+	if err != nil || !res.OK {
+		t.Fatalf("Verify = %+v, %v", res, err)
+	}
+}

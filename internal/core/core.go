@@ -1,0 +1,542 @@
+// Package core is the paper's primary contribution as a usable library:
+// a replicated multi-object shared memory whose operations are
+// m-operations — atomic procedures spanning several objects — with a
+// pluggable consistency condition (m-sequential consistency or
+// m-linearizability, Section 2.3 of Mittal & Garg 1998), implemented by
+// the Section 5 protocols over a simulated asynchronous network.
+//
+// A Store runs n processes, each holding a full replica. Every executed
+// m-operation is recorded; History() reconstructs the formal execution
+// history (with the exact reads-from relation, derived from the
+// protocols' version-vector timestamps per D5.1/D5.6), and Verify()
+// re-checks the appropriate consistency condition with the polynomial
+// Theorem 7 procedure.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moc/internal/abcast"
+	"moc/internal/causal"
+	"moc/internal/checker"
+	"moc/internal/history"
+	"moc/internal/mlin"
+	"moc/internal/mop"
+	"moc/internal/msc"
+	"moc/internal/network"
+	"moc/internal/object"
+	"moc/internal/oolock"
+)
+
+// Consistency selects the condition the store implements.
+type Consistency int
+
+// Consistency conditions (Section 2.3).
+const (
+	// MSequential: queries are local, updates atomically broadcast
+	// (Figure 4).
+	MSequential Consistency = iota + 1
+	// MLinearizable: queries additionally collect the freshest versions
+	// from all processes (Figure 6).
+	MLinearizable
+	// MLinearizableLocking: m-linearizability under the OO-constraint —
+	// per-object homes with ordered exclusive locking instead of atomic
+	// broadcast (internal/oolock). No replication, no broadcaster.
+	MLinearizableLocking
+	// MCausal: m-causal consistency (extension beyond the paper's own
+	// protocols; see internal/causal) — updates apply locally and
+	// disseminate with causal ordering; no synchronization at all.
+	MCausal
+)
+
+// String names the consistency condition.
+func (c Consistency) String() string {
+	switch c {
+	case MSequential:
+		return "m-sequential"
+	case MLinearizable:
+		return "m-linearizable"
+	case MLinearizableLocking:
+		return "m-linearizable-locking"
+	case MCausal:
+		return "m-causal"
+	default:
+		return fmt.Sprintf("Consistency(%d)", int(c))
+	}
+}
+
+// BroadcastKind selects the atomic broadcast implementation.
+type BroadcastKind int
+
+// Broadcast implementations.
+const (
+	// SequencerBroadcast uses a fixed sequencer (default).
+	SequencerBroadcast BroadcastKind = iota + 1
+	// LamportBroadcast uses Lamport-clock all-ack total ordering.
+	LamportBroadcast
+	// TokenBroadcast uses a circulating token to assign sequence numbers.
+	TokenBroadcast
+)
+
+// Config parameterizes New.
+type Config struct {
+	// Procs is the number of processes (replicas). Required.
+	Procs int
+	// Objects names the shared objects. Required.
+	Objects []string
+	// Consistency defaults to MLinearizable.
+	Consistency Consistency
+	// Broadcast defaults to SequencerBroadcast.
+	Broadcast BroadcastKind
+	// Seed drives all network randomness.
+	Seed int64
+	// MinDelay and MaxDelay bound per-message network delays.
+	MinDelay, MaxDelay time.Duration
+	// RelevantOnly enables the Section 5.2 query-payload optimization
+	// (m-linearizable stores only).
+	RelevantOnly bool
+	// DisableRecording turns off history capture (benchmarks that only
+	// measure protocol cost).
+	DisableRecording bool
+}
+
+// executor abstracts the two protocol implementations.
+type executor interface {
+	Execute(proc int, pr mop.Procedure) (mop.Record, error)
+	Close()
+}
+
+// Store is a replicated multi-object shared memory.
+type Store struct {
+	cfg      Config
+	reg      *object.Registry
+	exec     executor
+	bcast    abcast.Broadcaster // nil for the locking protocol
+	mlinImpl *mlin.Protocol     // non-nil iff Consistency == MLinearizable
+	lockImpl *oolock.Protocol   // non-nil iff Consistency == MLinearizableLocking
+	procs    []*Process
+
+	lastNano atomic.Int64
+	origin   time.Time
+
+	mu        sync.Mutex
+	records   []mop.Record
+	inFlight  int
+	lastBuild *buildResult // most recent reconstruction (quiescent state)
+
+	closed atomic.Bool
+}
+
+// Process is a handle to one sequential process of the store. Each
+// process executes one m-operation at a time (Section 2.1); concurrent
+// Execute calls on the same Process are serialized.
+type Process struct {
+	store *Store
+	id    int
+	mu    sync.Mutex
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("core: store closed")
+
+// New builds and starts a store.
+func New(cfg Config) (*Store, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("core: invalid proc count %d", cfg.Procs)
+	}
+	reg, err := object.NewRegistry(cfg.Objects)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Consistency == 0 {
+		cfg.Consistency = MLinearizable
+	}
+	if cfg.Broadcast == 0 {
+		cfg.Broadcast = SequencerBroadcast
+	}
+
+	s := &Store{cfg: cfg, reg: reg, origin: time.Now()}
+
+	if cfg.Consistency == MCausal {
+		p, err := causal.New(causal.Config{
+			Procs: cfg.Procs, Reg: reg,
+			Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+			Clock: s.now,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.exec = p
+		s.procs = make([]*Process, cfg.Procs)
+		for i := range s.procs {
+			s.procs[i] = &Process{store: s, id: i}
+		}
+		return s, nil
+	}
+
+	if cfg.Consistency == MLinearizableLocking {
+		p, err := oolock.New(oolock.Config{
+			Procs: cfg.Procs, Reg: reg,
+			Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+			Clock: s.now,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.exec, s.lockImpl = p, p
+		s.procs = make([]*Process, cfg.Procs)
+		for i := range s.procs {
+			s.procs[i] = &Process{store: s, id: i}
+		}
+		return s, nil
+	}
+
+	var bcast abcast.Broadcaster
+	switch cfg.Broadcast {
+	case SequencerBroadcast:
+		bcast, err = abcast.NewSequencer(abcast.SequencerConfig{
+			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+		})
+	case LamportBroadcast:
+		bcast, err = abcast.NewLamport(abcast.LamportConfig{
+			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+		})
+	case TokenBroadcast:
+		bcast, err = abcast.NewToken(abcast.TokenConfig{
+			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+		})
+	default:
+		return nil, fmt.Errorf("core: unknown broadcast kind %d", int(cfg.Broadcast))
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	switch cfg.Consistency {
+	case MSequential:
+		s.exec, err = msc.New(msc.Config{
+			Procs: cfg.Procs, Reg: reg, Broadcast: bcast, Clock: s.now,
+		})
+	case MLinearizable:
+		var p *mlin.Protocol
+		p, err = mlin.New(mlin.Config{
+			Procs: cfg.Procs, Reg: reg, Broadcast: bcast,
+			Seed: cfg.Seed + 1, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+			RelevantOnly: cfg.RelevantOnly, Clock: s.now,
+		})
+		s.exec, s.mlinImpl = p, p
+	default:
+		bcast.Close()
+		return nil, fmt.Errorf("core: unknown consistency %d", int(cfg.Consistency))
+	}
+	if err != nil {
+		bcast.Close()
+		return nil, err
+	}
+
+	s.bcast = bcast
+	s.procs = make([]*Process, cfg.Procs)
+	for i := range s.procs {
+		s.procs[i] = &Process{store: s, id: i}
+	}
+	return s, nil
+}
+
+// now is a strictly increasing clock: real monotonic time, nudged forward
+// by at least 1ns per reading so that event times are unique and
+// well-formedness (resp < inv of the next m-operation) always holds.
+func (s *Store) now() int64 {
+	real := time.Since(s.origin).Nanoseconds()
+	for {
+		last := s.lastNano.Load()
+		if real <= last {
+			real = last + 1
+		}
+		if s.lastNano.CompareAndSwap(last, real) {
+			return real
+		}
+	}
+}
+
+// Registry returns the store's object registry.
+func (s *Store) Registry() *object.Registry { return s.reg }
+
+// Consistency returns the configured consistency condition.
+func (s *Store) Consistency() Consistency { return s.cfg.Consistency }
+
+// Object resolves an object name to its ID.
+func (s *Store) Object(name string) (object.ID, error) {
+	id, ok := s.reg.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown object %q", name)
+	}
+	return id, nil
+}
+
+// Process returns the handle for process i.
+func (s *Store) Process(i int) (*Process, error) {
+	if i < 0 || i >= len(s.procs) {
+		return nil, fmt.Errorf("core: invalid process %d", i)
+	}
+	return s.procs[i], nil
+}
+
+// Procs returns the number of processes.
+func (s *Store) Procs() int { return s.cfg.Procs }
+
+// Close shuts down the protocol and all its goroutines.
+func (s *Store) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.exec.Close()
+}
+
+// BroadcastCost returns the atomic-broadcast network traffic incurred so
+// far as (messages, bytes); zero for the locking protocol, which has no
+// broadcaster.
+func (s *Store) BroadcastCost() (int64, int64) {
+	if s.bcast == nil {
+		return 0, 0
+	}
+	return s.bcast.MessageCost()
+}
+
+// LockTraffic returns the locking protocol's network counters (zero for
+// the broadcast protocols).
+func (s *Store) LockTraffic() network.Stats {
+	if s.lockImpl == nil {
+		return network.Stats{ByKind: map[string]network.KindStats{}}
+	}
+	return s.lockImpl.Traffic()
+}
+
+// QueryTraffic returns the m-linearizable query network's counters
+// (zero-valued for m-sequential stores, whose queries are local).
+func (s *Store) QueryTraffic() network.Stats {
+	if s.mlinImpl == nil {
+		return network.Stats{ByKind: map[string]network.KindStats{}}
+	}
+	return s.mlinImpl.QueryTraffic()
+}
+
+// Execute runs pr as an m-operation of this process and returns its
+// result.
+func (p *Process) Execute(pr mop.Procedure) (any, error) {
+	if p.store.closed.Load() {
+		return nil, ErrClosed
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	p.store.noteStart()
+	rec, err := p.store.exec.Execute(p.id, pr)
+	if err != nil {
+		p.store.noteEnd(nil)
+		return nil, err
+	}
+	p.store.noteEnd(&rec)
+	return rec.Result, nil
+}
+
+func (s *Store) noteStart() {
+	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+}
+
+func (s *Store) noteEnd(rec *mop.Record) {
+	s.mu.Lock()
+	s.inFlight--
+	if rec != nil && !s.cfg.DisableRecording {
+		s.records = append(s.records, *rec)
+	}
+	s.mu.Unlock()
+}
+
+// Convenience operations built on Execute.
+
+// Read atomically reads one object.
+func (p *Process) Read(x object.ID) (object.Value, error) {
+	res, err := p.Execute(mop.ReadOp{X: x})
+	if err != nil {
+		return 0, err
+	}
+	return res.(object.Value), nil
+}
+
+// Write atomically writes one object.
+func (p *Process) Write(x object.ID, v object.Value) error {
+	_, err := p.Execute(mop.WriteOp{X: x, V: v})
+	return err
+}
+
+// MultiRead atomically reads several objects.
+func (p *Process) MultiRead(xs ...object.ID) ([]object.Value, error) {
+	res, err := p.Execute(mop.MultiRead{Xs: xs})
+	if err != nil {
+		return nil, err
+	}
+	return res.([]object.Value), nil
+}
+
+// Sum atomically sums several objects.
+func (p *Process) Sum(xs ...object.ID) (object.Value, error) {
+	res, err := p.Execute(mop.Sum{Xs: xs})
+	if err != nil {
+		return 0, err
+	}
+	return res.(object.Value), nil
+}
+
+// MAssign atomically writes several objects.
+func (p *Process) MAssign(writes map[object.ID]object.Value) error {
+	_, err := p.Execute(mop.MAssign{Writes: writes})
+	return err
+}
+
+// CAS atomically compare-and-swaps one object.
+func (p *Process) CAS(x object.ID, old, new object.Value) (bool, error) {
+	res, err := p.Execute(mop.CAS{X: x, Old: old, New: new})
+	if err != nil {
+		return false, err
+	}
+	return res.(bool), nil
+}
+
+// DCAS atomically double-compare-and-swaps two objects (Section 1).
+func (p *Process) DCAS(x1, x2 object.ID, old1, old2, new1, new2 object.Value) (bool, error) {
+	res, err := p.Execute(mop.DCAS{X1: x1, X2: x2, Old1: old1, Old2: old2, New1: new1, New2: new2})
+	if err != nil {
+		return false, err
+	}
+	return res.(bool), nil
+}
+
+// Transfer atomically moves amount between two objects if funds suffice.
+func (p *Process) Transfer(from, to object.ID, amount object.Value) (bool, error) {
+	res, err := p.Execute(mop.Transfer{From: from, To: to, Amount: amount})
+	if err != nil {
+		return false, err
+	}
+	return res.(bool), nil
+}
+
+// VerifyResult reports the outcome of Verify.
+type VerifyResult struct {
+	// OK is true when the recorded history satisfies the store's
+	// configured consistency condition.
+	OK bool
+	// Witness is the legal sequential history found.
+	Witness history.Sequence
+	// History is the reconstructed execution history.
+	History *history.History
+}
+
+// Verify reconstructs the recorded history and checks it against the
+// store's consistency condition using the polynomial Theorem 7 procedure
+// (the protocol's atomic-broadcast order puts every history under the
+// WW-constraint). An error indicates the verification could not run;
+// OK=false with nil error indicates a genuine consistency violation —
+// which, per Theorems 15 and 20, would be a protocol bug.
+func (s *Store) Verify() (VerifyResult, error) {
+	h, updates, err := s.buildHistory()
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	if s.cfg.Consistency == MCausal {
+		// m-causal consistency has no Theorem 7 shortcut; the exact
+		// per-view decider is used (runs are kept small in tests).
+		res, err := checker.MCausallyConsistent(h)
+		if err != nil {
+			return VerifyResult{History: h}, err
+		}
+		return VerifyResult{OK: res.Consistent, History: h}, nil
+	}
+
+	if s.cfg.Consistency == MLinearizableLocking {
+		// The locking protocol synchronizes per object: the history is
+		// under the OO-constraint, with the sync order derived from the
+		// per-object version chains (Theorem 7, OO branch).
+		s.mu.Lock()
+		br := s.lastBuild
+		s.mu.Unlock()
+		sync := ooSync(br, s.reg.Len())
+		res, err := checker.AdmissibleUnderConstraintBase(h, history.MLinearizableBase, sync, checker.OO)
+		if err != nil {
+			return VerifyResult{History: h}, err
+		}
+		return VerifyResult{OK: res.Admissible, Witness: res.Witness, History: h}, nil
+	}
+
+	base := history.MSequentialBase
+	if s.cfg.Consistency == MLinearizable {
+		base = history.MLinearizableBase
+	}
+	sync := checker.SyncFromUpdates(h, updates)
+	res, err := checker.AdmissibleUnderConstraintBase(h, base, sync, checker.WW)
+	if err != nil {
+		return VerifyResult{History: h}, err
+	}
+	return VerifyResult{OK: res.Admissible, Witness: res.Witness, History: h}, nil
+}
+
+// History reconstructs the formal execution history from the records.
+// All Execute calls must have returned (the store must be quiescent).
+func (s *Store) History() (*history.History, error) {
+	h, _, err := s.buildHistory()
+	return h, err
+}
+
+// VerifyExact re-checks the store's consistency condition with the
+// exact (NP-hard) decider instead of the polynomial Theorem 7 procedure.
+// Intended for small runs and test harnesses; Verify is the production
+// path.
+func (s *Store) VerifyExact() (VerifyResult, error) {
+	h, _, err := s.buildHistory()
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	switch s.cfg.Consistency {
+	case MCausal:
+		res, err := checker.MCausallyConsistent(h)
+		if err != nil {
+			return VerifyResult{History: h}, err
+		}
+		return VerifyResult{OK: res.Consistent, History: h}, nil
+	case MSequential:
+		res, err := checker.MSequentiallyConsistent(h)
+		if err != nil {
+			return VerifyResult{History: h}, err
+		}
+		return VerifyResult{OK: res.Admissible, Witness: res.Witness, History: h}, nil
+	default: // MLinearizable, MLinearizableLocking
+		res, err := checker.MLinearizable(h)
+		if err != nil {
+			return VerifyResult{History: h}, err
+		}
+		return VerifyResult{OK: res.Admissible, Witness: res.Witness, History: h}, nil
+	}
+}
+
+// UpdateOrder returns the atomic-broadcast delivery order of the update
+// m-operations of the recorded history, as history IDs (the ~ww order).
+func (s *Store) UpdateOrder() ([]history.ID, error) {
+	_, updates, err := s.buildHistory()
+	return updates, err
+}
+
+// Records returns a copy of the raw protocol records captured so far, in
+// capture order. The axiom validator and the streaming monitor consume
+// these directly.
+func (s *Store) Records() []mop.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]mop.Record, len(s.records))
+	copy(out, s.records)
+	return out
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"moc/internal/checker"
+	"moc/internal/monitor"
+	"moc/internal/object"
+)
+
+func TestLockingStoreBasics(t *testing.T) {
+	s := newStore(t, Config{Procs: 2, Consistency: MLinearizableLocking, Seed: 1})
+	p0, _ := s.Process(0)
+	p1, _ := s.Process(1)
+	x, _ := s.Object("x")
+	y, _ := s.Object("y")
+
+	if err := p0.MAssign(map[object.ID]object.Value{x: 1, y: 2}); err != nil {
+		t.Fatalf("MAssign: %v", err)
+	}
+	ok, err := p1.DCAS(x, y, 1, 2, 10, 20)
+	if err != nil || !ok {
+		t.Fatalf("DCAS = %v, %v", ok, err)
+	}
+	vals, err := p0.MultiRead(x, y)
+	if err != nil || vals[0] != 10 || vals[1] != 20 {
+		t.Fatalf("MultiRead = %v, %v", vals, err)
+	}
+	if msgs, _ := s.BroadcastCost(); msgs != 0 {
+		t.Fatal("locking store should have no broadcast traffic")
+	}
+	if s.LockTraffic().Messages == 0 {
+		t.Fatal("locking store traffic unaccounted")
+	}
+}
+
+func TestLockingStoreVerifiesOOTheorem7(t *testing.T) {
+	s := newStore(t, Config{
+		Procs: 4, Consistency: MLinearizableLocking,
+		Seed: 2, MaxDelay: time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		p, _ := s.Process(i)
+		wg.Add(1)
+		go func(i int, p *Process) {
+			defer wg.Done()
+			for j := 0; j < 6; j++ {
+				if j%2 == 0 {
+					if err := p.Write(object.ID(j%3), object.Value(i*100+j+1)); err != nil {
+						t.Errorf("write: %v", err)
+					}
+				} else if _, err := p.MultiRead(0, 1, 2); err != nil {
+					t.Errorf("read: %v", err)
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+
+	res, err := s.Verify()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !res.OK {
+		t.Fatal("locking protocol produced a non-m-linearizable history")
+	}
+	// Agreement with the exact decider.
+	exact, err := checker.MLinearizable(res.History)
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	if !exact.Admissible {
+		t.Fatal("exact decider disagrees with OO Theorem 7 verification")
+	}
+}
+
+func TestLockingStoreAxiomsAndMonitor(t *testing.T) {
+	s := newStore(t, Config{
+		Procs: 3, Consistency: MLinearizableLocking,
+		Seed: 3, MaxDelay: time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		p, _ := s.Process(i)
+		wg.Add(1)
+		go func(i int, p *Process) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if err := p.Write(object.ID((i+j)%3), object.Value(i*10+j+1)); err != nil {
+					t.Errorf("write: %v", err)
+				}
+				if _, err := p.Sum(0, 1); err != nil {
+					t.Errorf("sum: %v", err)
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+
+	recs := s.Records()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Resp < recs[j].Resp })
+	if v := monitor.ValidateAxioms(recs, s.Registry().Len(), monitor.MLinLevel); len(v) != 0 {
+		t.Fatalf("axiom violations on a locking run: %v", v)
+	}
+	m := monitor.NewMonitor(s.Registry().Len(), monitor.MLinLevel)
+	for _, rec := range recs {
+		m.Observe(rec)
+	}
+	if v := m.Finish(); len(v) != 0 {
+		t.Fatalf("monitor violations: %v", v)
+	}
+}
+
+func TestLockingStoreDisjointConcurrency(t *testing.T) {
+	// The OO-constraint's selling point: updates on disjoint objects are
+	// not globally synchronized. Exercise heavy disjoint traffic and
+	// verify the history is still m-linearizable.
+	s := newStore(t, Config{
+		Procs: 2, Objects: []string{"a", "b"},
+		Consistency: MLinearizableLocking, Seed: 4,
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		p, _ := s.Process(w)
+		wg.Add(1)
+		go func(w int, p *Process) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if err := p.Write(object.ID(w), object.Value(i+1)); err != nil {
+					t.Errorf("write: %v", err)
+				}
+			}
+		}(w, p)
+	}
+	wg.Wait()
+	res, err := s.Verify()
+	if err != nil || !res.OK {
+		t.Fatalf("Verify = %+v, %v", res, err)
+	}
+}
+
+func TestLockingStoreTransferConservation(t *testing.T) {
+	s := newStore(t, Config{
+		Procs: 3, Objects: []string{"a", "b", "c"},
+		Consistency: MLinearizableLocking, Seed: 5, MaxDelay: time.Millisecond,
+	})
+	p0, _ := s.Process(0)
+	if err := p0.MAssign(map[object.ID]object.Value{0: 100, 1: 100, 2: 100}); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		p, _ := s.Process(i)
+		wg.Add(1)
+		go func(i int, p *Process) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				from := object.ID((i + j) % 3)
+				to := object.ID((i + j + 1) % 3)
+				if _, err := p.Transfer(from, to, object.Value(1+j%5)); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+				total, err := p.Sum(0, 1, 2)
+				if err != nil {
+					t.Errorf("sum: %v", err)
+					return
+				}
+				if total != 300 {
+					t.Errorf("conservation violated: %d", total)
+					return
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	res, err := s.Verify()
+	if err != nil || !res.OK {
+		t.Fatalf("Verify = %+v, %v", res, err)
+	}
+}

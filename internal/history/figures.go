@@ -1,0 +1,89 @@
+package history
+
+import "moc/internal/object"
+
+// This file reconstructs the example histories of the paper's figures as
+// executable data. They are used by the test suite and by the experiment
+// harness (experiments E1 and E2) to regenerate the figures.
+
+// Fig1 bundles the history of Figure 1 with the labels used in the text.
+type Fig1 struct {
+	H                  *History
+	Alpha, Beta, Delta ID
+	Eta, Mu            ID
+	X, Y, Z            object.ID
+}
+
+// Figure1 builds a history realizing every relation the paper reads off
+// its Figure 1:
+//
+//   - α ~P~> β            (both at P1, α first)
+//   - α ~rf~> δ, η ~rf~> δ (δ reads y from α and x from η)
+//   - α ~t~> μ             (resp(α) < inv(μ))
+//   - η ~t~> β, η ~X~> β   (η before β in real time, sharing object x)
+//   - proc(α) = P1, objects(α) = {x, y, z}
+func Figure1() (Fig1, error) {
+	reg := object.MustRegistry("x", "y", "z")
+	x, _ := reg.Lookup("x")
+	y, _ := reg.Lookup("y")
+	z, _ := reg.Lookup("z")
+
+	b := NewBuilder(reg)
+	// α also writes x so that δ, η, α interfere (D4.2), as the paper
+	// reads off the figure: δ reads x from η and α overwrites x.
+	alpha := b.AddLabeled("alpha", 1, 0, 10, R(x, 0), W(x, 5), W(y, 1), W(z, 2))
+	eta := b.AddLabeled("eta", 3, 2, 12, W(x, 3))
+	mu := b.AddLabeled("mu", 2, 14, 18, R(z, 2))
+	delta := b.AddLabeled("delta", 2, 19, 23, R(y, 1), R(x, 3))
+	beta := b.AddLabeled("beta", 1, 20, 25, R(x, 3))
+	h, err := b.Build()
+	if err != nil {
+		return Fig1{}, err
+	}
+	return Fig1{H: h, Alpha: alpha, Beta: beta, Delta: delta, Eta: eta, Mu: mu, X: x, Y: y, Z: z}, nil
+}
+
+// Fig2 bundles the history H1 of Figure 2 with its WW-constraint edges
+// and the nonlegal naive extension S1 of Figure 3.
+type Fig2 struct {
+	H                         *History
+	Alpha, Beta, Gamma, Delta ID
+	WW                        *Relation // the figure's ww synchronization order: α -> γ -> δ
+	S1                        Sequence  // Figure 3's nonlegal extension: α γ δ β
+	X, Y                      object.ID
+}
+
+// Figure2 builds the execution history H1 of Figure 2:
+//
+//	P1:  α = r(x)0 w(y)2    β = r(y)2
+//	P2:  γ = w(x)1          δ = w(y)3
+//
+// with reads-from init ~rf~> α and α ~rf~> β, and the WW-constraint
+// ordering the update m-operations α -> γ -> δ. Extending ~>H1 naively by
+// placing β after δ yields the nonlegal sequential history S1 of
+// Figure 3 (β would read an overwritten y).
+func Figure2() (Fig2, error) {
+	reg := object.MustRegistry("x", "y")
+	x, _ := reg.Lookup("x")
+	y, _ := reg.Lookup("y")
+
+	b := NewBuilder(reg)
+	// Times chosen so no real-time ordering is forced between the two
+	// processes' m-operations beyond process order (they all overlap).
+	alpha := b.AddLabeled("alpha", 1, 0, 100, R(x, 0), W(y, 2))
+	beta := b.AddLabeled("beta", 1, 110, 200, R(y, 2))
+	gamma := b.AddLabeled("gamma", 2, 5, 120, W(x, 1))
+	delta := b.AddLabeled("delta", 2, 130, 210, W(y, 3))
+	h, err := b.Build()
+	if err != nil {
+		return Fig2{}, err
+	}
+
+	ww := NewRelation(h.Len())
+	ww.Add(alpha, gamma)
+	ww.Add(gamma, delta)
+	ww.Add(alpha, delta)
+
+	s1 := Sequence{InitID, alpha, gamma, delta, beta}
+	return Fig2{H: h, Alpha: alpha, Beta: beta, Gamma: gamma, Delta: delta, WW: ww, S1: s1, X: x, Y: y}, nil
+}

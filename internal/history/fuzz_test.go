@@ -1,0 +1,70 @@
+package history
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeJSON hardens the history decoder against malformed input:
+// it must never panic, and everything it accepts must re-encode and
+// re-decode to an equivalent history (round-trip stability).
+func FuzzDecodeJSON(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"objects": ["x"], "mops": []}`,
+		`{"objects": ["x"], "mops": [
+			{"id": 1, "proc": 1, "inv": 0, "resp": 10, "ops": [{"kind": "w", "obj": "x", "value": 1}]}
+		]}`,
+		`{"objects": ["x", "y"], "mops": [
+			{"id": 1, "proc": 1, "inv": 0, "resp": 10, "ops": [{"kind": "w", "obj": "x", "value": 1}]},
+			{"id": 2, "proc": 2, "inv": 20, "resp": 30, "ops": [{"kind": "r", "obj": "x", "value": 1}]}
+		], "readsFrom": [{"reader": 2, "obj": "x", "writer": 1}]}`,
+		`{"objects": ["x"], "mops": [{"id": 1, "proc": -5, "inv": 5, "resp": 3, "ops": []}]}`,
+		`{"objects": [""], "mops": null}`,
+		`not json at all`,
+	}
+	if fig, err := Figure1(); err == nil {
+		if data, err := json.Marshal(fig.H); err == nil {
+			seeds = append(seeds, string(data))
+		}
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeJSON(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted histories must round-trip to an equivalent history.
+		out, err := json.Marshal(h)
+		if err != nil {
+			t.Fatalf("re-encode failed for accepted history: %v", err)
+		}
+		back, err := DecodeJSON(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\nencoded: %s", err, out)
+		}
+		if !h.EquivalentTo(back) {
+			t.Fatalf("round trip not equivalent\nfirst: %s\nsecond: %s", out, mustJSON(t, back))
+		}
+		// And their derived structures must be internally consistent.
+		for _, m := range h.MOps() {
+			for _, x := range m.RObjects().IDs() {
+				if _, ok := h.ReadsFromSource(m.ID, x); !ok {
+					t.Fatalf("accepted history has dangling read: mop %d obj %d", int(m.ID), int(x))
+				}
+			}
+		}
+	})
+}
+
+func mustJSON(t *testing.T, h *History) []byte {
+	t.Helper()
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return data
+}

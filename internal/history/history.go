@@ -1,0 +1,424 @@
+package history
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"moc/internal/object"
+)
+
+// History is an execution history H = (op(H), ~>H): a finite set of
+// m-operations together with the relations the execution induces. The
+// reads-from relation is stored explicitly per (reader, object) pair; the
+// other relations (process order, real-time order, object order) are
+// derived from the m-operations' process identities and event times.
+//
+// Every History contains the imaginary initial m-operation (ID 0) that
+// writes the initial value to all objects before any process runs.
+type History struct {
+	reg  *object.Registry
+	mops []*MOp
+
+	// readsFrom[α][x] = β iff x ∈ rfobjects(H, α, β): m-operation α reads
+	// the value of object x from m-operation β.
+	readsFrom []map[object.ID]ID
+
+	// byProc[p] lists the IDs of p's m-operations in process order.
+	byProc map[int][]ID
+}
+
+// Registry returns the object registry the history is defined over.
+func (h *History) Registry() *object.Registry { return h.reg }
+
+// Len returns the number of m-operations including the initial one.
+func (h *History) Len() int { return len(h.mops) }
+
+// MOp returns the m-operation with the given ID, or nil if out of range.
+func (h *History) MOp(id ID) *MOp {
+	if id < 0 || int(id) >= len(h.mops) {
+		return nil
+	}
+	return h.mops[id]
+}
+
+// MOps returns all m-operations in ID order, including the initial one at
+// index 0. The returned slice is shared; callers must not mutate it.
+func (h *History) MOps() []*MOp { return h.mops }
+
+// Procs returns the identities of the real processes that issued
+// m-operations, in ascending order.
+func (h *History) Procs() []int {
+	procs := make([]int, 0, len(h.byProc))
+	for p := range h.byProc {
+		if p != InitProc {
+			procs = append(procs, p)
+		}
+	}
+	sort.Ints(procs)
+	return procs
+}
+
+// ProcOps returns process P's m-operation IDs in process order.
+func (h *History) ProcOps(p int) []ID {
+	ids := h.byProc[p]
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// ReadsFromSource returns, for m-operation α and object x, the
+// m-operation β such that x ∈ rfobjects(H, α, β), and whether α reads x
+// externally at all.
+func (h *History) ReadsFromSource(alpha ID, x object.ID) (ID, bool) {
+	if alpha < 0 || int(alpha) >= len(h.readsFrom) {
+		return 0, false
+	}
+	beta, ok := h.readsFrom[alpha][x]
+	return beta, ok
+}
+
+// RFObjects implements rfobjects(H, α, β): the set of objects that α
+// reads from β.
+func (h *History) RFObjects(alpha, beta ID) object.Set {
+	var ids []object.ID
+	for x, src := range h.readsFrom[alpha] {
+		if src == beta {
+			ids = append(ids, x)
+		}
+	}
+	return object.NewSet(ids...)
+}
+
+// ReadsFromRel reports β ~rf~> α: α reads the value of at least one
+// object from β (D4.3).
+func (h *History) ReadsFromRel(beta, alpha ID) bool {
+	if beta == alpha {
+		return false
+	}
+	for _, src := range h.readsFrom[alpha] {
+		if src == beta {
+			return true
+		}
+	}
+	return false
+}
+
+// ProcessOrderRel reports β ~P~> α: both issued by the same process with
+// β issued first.
+func (h *History) ProcessOrderRel(beta, alpha ID) bool {
+	b, a := h.mops[beta], h.mops[alpha]
+	if b.Proc != a.Proc || beta == alpha {
+		return false
+	}
+	seq := h.byProc[b.Proc]
+	bi, ai := -1, -1
+	for i, id := range seq {
+		if id == beta {
+			bi = i
+		}
+		if id == alpha {
+			ai = i
+		}
+	}
+	return bi >= 0 && ai >= 0 && bi < ai
+}
+
+// RealTimeRel reports β ~t~> α: resp(β) < inv(α).
+func (h *History) RealTimeRel(beta, alpha ID) bool {
+	if beta == alpha {
+		return false
+	}
+	return h.mops[beta].Resp < h.mops[alpha].Inv
+}
+
+// ObjectOrderRel reports β ~X~> α: the m-operations share an object and
+// resp(β) < inv(α).
+func (h *History) ObjectOrderRel(beta, alpha ID) bool {
+	return h.RealTimeRel(beta, alpha) &&
+		h.mops[beta].Objects().Intersects(h.mops[alpha].Objects())
+}
+
+// Interfere implements D4.2: α, β, γ interfere iff they are distinct and
+// γ writes some object that α reads from β.
+func (h *History) Interfere(alpha, beta, gamma ID) bool {
+	if alpha == beta || beta == gamma || alpha == gamma {
+		return false
+	}
+	g := h.mops[gamma]
+	for x, src := range h.readsFrom[alpha] {
+		if src == beta && g.WObjects().Contains(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// InterferingTriples enumerates every interfering triple (α, β, γ) of the
+// history, invoking fn for each; enumeration stops early if fn returns
+// false. Triples are generated from the reads-from edges, so the cost is
+// O(#rf-edges × #updates).
+func (h *History) InterferingTriples(fn func(alpha, beta ID, x object.ID, gamma ID) bool) {
+	for a := range h.readsFrom {
+		alpha := ID(a)
+		for x, beta := range h.readsFrom[a] {
+			for g, gm := range h.mops {
+				gamma := ID(g)
+				if gamma == alpha || gamma == beta {
+					continue
+				}
+				if !gm.WObjects().Contains(x) {
+					continue
+				}
+				if !fn(alpha, beta, x, gamma) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Updates returns the IDs of all update m-operations, excluding the
+// initial m-operation.
+func (h *History) Updates() []ID {
+	var out []ID
+	for _, m := range h.mops[1:] {
+		if m.IsUpdate() {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// Queries returns the IDs of all query m-operations.
+func (h *History) Queries() []ID {
+	var out []ID
+	for _, m := range h.mops[1:] {
+		if m.IsQuery() {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// EventKind distinguishes invocation and response events.
+type EventKind int
+
+// Event kinds.
+const (
+	Invocation EventKind = iota + 1
+	Response
+)
+
+// Event is an invocation or response event of the history, used when
+// rendering executions in the style of the paper's figures.
+type Event struct {
+	Kind EventKind
+	MOp  ID
+	Time int64
+}
+
+// Events returns all events of the real m-operations sorted by time,
+// with invocations before responses at equal instants.
+func (h *History) Events() []Event {
+	events := make([]Event, 0, 2*(len(h.mops)-1))
+	for _, m := range h.mops[1:] {
+		events = append(events,
+			Event{Kind: Invocation, MOp: m.ID, Time: m.Inv},
+			Event{Kind: Response, MOp: m.ID, Time: m.Resp},
+		)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Kind < events[j].Kind
+	})
+	return events
+}
+
+// Errors reported by the Builder.
+var (
+	// ErrAmbiguousRead is returned when reads-from inference cannot
+	// uniquely attribute a read to a write.
+	ErrAmbiguousRead = errors.New("history: ambiguous reads-from (no unique matching write)")
+	// ErrDanglingRead is returned when a read observes a value no write
+	// produced.
+	ErrDanglingRead = errors.New("history: read observes a value never written")
+	// ErrNotWellFormed is returned when some process subhistory is not
+	// sequential (overlapping m-operations on one process).
+	ErrNotWellFormed = errors.New("history: process subhistory not sequential")
+)
+
+// Builder assembles a History. Append m-operations with Add (times are
+// explicit) or with the process-order helpers; then either let Build infer
+// the reads-from relation from values (requiring writes to each object to
+// carry distinct values) or record it explicitly with SetReadsFrom.
+type Builder struct {
+	reg        *object.Registry
+	mops       []*MOp
+	explicitRF []map[object.ID]ID
+	err        error
+}
+
+// NewBuilder returns a builder over the given registry. The initial
+// m-operation (ID 0) writing the initial value to every object is created
+// automatically.
+func NewBuilder(reg *object.Registry) *Builder {
+	init := &MOp{
+		ID:    InitID,
+		Proc:  InitProc,
+		Label: "init",
+		Inv:   math.MinInt64,
+		Resp:  math.MinInt64,
+	}
+	for x := 0; x < reg.Len(); x++ {
+		init.Ops = append(init.Ops, W(object.ID(x), object.Initial))
+	}
+	if err := init.finalize(); err != nil {
+		// Unreachable: the initial m-operation contains only writes.
+		panic(err)
+	}
+	return &Builder{
+		reg:        reg,
+		mops:       []*MOp{init},
+		explicitRF: []map[object.ID]ID{nil},
+	}
+}
+
+// Add appends an m-operation for process proc spanning real-time
+// [inv, resp] with the given operation sequence, returning its ID.
+// Validation errors are deferred to Build.
+func (b *Builder) Add(proc int, inv, resp int64, ops ...Op) ID {
+	return b.AddLabeled("", proc, inv, resp, ops...)
+}
+
+// AddLabeled is Add with a display label (e.g. "α") for figure output.
+func (b *Builder) AddLabeled(label string, proc int, inv, resp int64, ops ...Op) ID {
+	id := ID(len(b.mops))
+	m := &MOp{ID: id, Proc: proc, Label: label, Inv: inv, Resp: resp, Ops: ops}
+	if err := m.finalize(); err != nil && b.err == nil {
+		b.err = err
+	}
+	if inv > resp && b.err == nil {
+		b.err = fmt.Errorf("m-operation %d: inv %d after resp %d", int(id), inv, resp)
+	}
+	b.mops = append(b.mops, m)
+	b.explicitRF = append(b.explicitRF, nil)
+	return id
+}
+
+// SetReadsFrom records that reader reads object x from writer, overriding
+// inference for that pair.
+func (b *Builder) SetReadsFrom(reader ID, x object.ID, writer ID) {
+	if int(reader) >= len(b.explicitRF) || reader <= 0 {
+		if b.err == nil {
+			b.err = fmt.Errorf("history: SetReadsFrom: invalid reader %d", int(reader))
+		}
+		return
+	}
+	if b.explicitRF[reader] == nil {
+		b.explicitRF[reader] = make(map[object.ID]ID)
+	}
+	b.explicitRF[reader][x] = writer
+}
+
+// Build validates the history and resolves the reads-from relation.
+// For every external read without an explicit source, Build searches for
+// the unique write (across all m-operations, including the initial one)
+// of the observed value to that object; zero candidates yield
+// ErrDanglingRead, more than one ErrAmbiguousRead.
+func (b *Builder) Build() (*History, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	h := &History{
+		reg:       b.reg,
+		mops:      b.mops,
+		readsFrom: make([]map[object.ID]ID, len(b.mops)),
+		byProc:    make(map[int][]ID),
+	}
+
+	// Process subhistories, in issue (invocation) order.
+	for _, m := range h.mops {
+		h.byProc[m.Proc] = append(h.byProc[m.Proc], m.ID)
+	}
+	for p, ids := range h.byProc {
+		if p == InitProc {
+			continue
+		}
+		sort.Slice(ids, func(i, j int) bool { return h.mops[ids[i]].Inv < h.mops[ids[j]].Inv })
+		for i := 1; i < len(ids); i++ {
+			prev, cur := h.mops[ids[i-1]], h.mops[ids[i]]
+			if prev.Resp >= cur.Inv {
+				return nil, fmt.Errorf("%w: process %d m-operations %d and %d overlap",
+					ErrNotWellFormed, p, int(prev.ID), int(cur.ID))
+			}
+		}
+	}
+
+	// Index of writers per (object, value) for inference.
+	type objVal struct {
+		x object.ID
+		v object.Value
+	}
+	writers := make(map[objVal][]ID)
+	for _, m := range h.mops {
+		for _, x := range m.WObjects().IDs() {
+			v, _ := m.FinalWrite(x)
+			writers[objVal{x, v}] = append(writers[objVal{x, v}], m.ID)
+		}
+	}
+
+	for _, m := range h.mops {
+		rf := make(map[object.ID]ID)
+		for _, x := range m.RObjects().IDs() {
+			if src, ok := b.explicitRF[m.ID][x]; ok {
+				rf[x] = src
+				continue
+			}
+			v, _ := m.ExternalRead(x)
+			cands := candidatesExcluding(writers[objVal{x, v}], m.ID)
+			switch len(cands) {
+			case 0:
+				return nil, fmt.Errorf("%w: m-operation %d reads %d from object %d",
+					ErrDanglingRead, int(m.ID), v, int(x))
+			case 1:
+				rf[x] = cands[0]
+			default:
+				return nil, fmt.Errorf("%w: m-operation %d, object %d, value %d (writers %v)",
+					ErrAmbiguousRead, int(m.ID), int(x), v, cands)
+			}
+		}
+		h.readsFrom[m.ID] = rf
+	}
+
+	// The reads-from sources must actually write the observed values.
+	for _, m := range h.mops {
+		for x, src := range h.readsFrom[m.ID] {
+			srcOp := h.MOp(src)
+			if srcOp == nil {
+				return nil, fmt.Errorf("history: m-operation %d reads object %d from unknown m-operation %d",
+					int(m.ID), int(x), int(src))
+			}
+			want, writes := srcOp.FinalWrite(x)
+			got, _ := m.ExternalRead(x)
+			if !writes || want != got {
+				return nil, fmt.Errorf("history: m-operation %d reads %d of object %d from %d, which writes (%d,%v)",
+					int(m.ID), got, int(x), int(src), want, writes)
+			}
+		}
+	}
+	return h, nil
+}
+
+func candidatesExcluding(ids []ID, self ID) []ID {
+	var out []ID
+	for _, id := range ids {
+		if id != self {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package history
+
+import (
+	"errors"
+	"testing"
+
+	"moc/internal/object"
+)
+
+// twoProcHistory builds the running example used across these tests:
+//
+//	P1: a = w(x)1          b = r(y)2
+//	P2: c = w(y)2          d = r(x)1
+//
+// with a before b on P1 and c before d on P2; all four overlap in real
+// time except where stated.
+func twoProcHistory(t *testing.T) (*History, [4]ID) {
+	t.Helper()
+	reg := object.MustRegistry("x", "y")
+	b := NewBuilder(reg)
+	a := b.Add(1, 0, 10, W(0, 1))
+	bb := b.Add(1, 20, 30, R(1, 2))
+	c := b.Add(2, 5, 15, W(1, 2))
+	d := b.Add(2, 21, 29, R(0, 1))
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return h, [4]ID{a, bb, c, d}
+}
+
+func TestBuilderCreatesInitialMOp(t *testing.T) {
+	h, _ := twoProcHistory(t)
+	init := h.MOp(InitID)
+	if init == nil || init.Proc != InitProc {
+		t.Fatal("missing initial m-operation")
+	}
+	if !init.WObjects().Equal(object.NewSet(0, 1)) {
+		t.Fatalf("initial writes %v, want all objects", init.WObjects())
+	}
+	if v, ok := init.FinalWrite(0); !ok || v != object.Initial {
+		t.Fatalf("initial value = %d, %v", v, ok)
+	}
+}
+
+func TestReadsFromInference(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	if src, ok := h.ReadsFromSource(ids[1], 1); !ok || src != ids[2] {
+		t.Fatalf("b reads y from %d, %v; want %d", int(src), ok, int(ids[2]))
+	}
+	if src, ok := h.ReadsFromSource(ids[3], 0); !ok || src != ids[0] {
+		t.Fatalf("d reads x from %d, %v; want %d", int(src), ok, int(ids[0]))
+	}
+	if _, ok := h.ReadsFromSource(ids[0], 0); ok {
+		t.Fatal("a performs no reads")
+	}
+}
+
+func TestReadsFromInitial(t *testing.T) {
+	reg := object.MustRegistry("x")
+	b := NewBuilder(reg)
+	q := b.Add(1, 0, 1, R(0, 0))
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if src, ok := h.ReadsFromSource(q, 0); !ok || src != InitID {
+		t.Fatalf("read of initial value attributed to %d, %v", int(src), ok)
+	}
+}
+
+func TestDanglingReadRejected(t *testing.T) {
+	reg := object.MustRegistry("x")
+	b := NewBuilder(reg)
+	b.Add(1, 0, 1, R(0, 42))
+	if _, err := b.Build(); !errors.Is(err, ErrDanglingRead) {
+		t.Fatalf("err = %v, want ErrDanglingRead", err)
+	}
+}
+
+func TestAmbiguousReadRejected(t *testing.T) {
+	reg := object.MustRegistry("x")
+	b := NewBuilder(reg)
+	b.Add(1, 0, 1, W(0, 7))
+	b.Add(2, 0, 1, W(0, 7))
+	b.Add(3, 2, 3, R(0, 7))
+	if _, err := b.Build(); !errors.Is(err, ErrAmbiguousRead) {
+		t.Fatalf("err = %v, want ErrAmbiguousRead", err)
+	}
+}
+
+func TestExplicitReadsFromResolvesAmbiguity(t *testing.T) {
+	reg := object.MustRegistry("x")
+	b := NewBuilder(reg)
+	w1 := b.Add(1, 0, 1, W(0, 7))
+	b.Add(2, 0, 1, W(0, 7))
+	r := b.Add(3, 2, 3, R(0, 7))
+	b.SetReadsFrom(r, 0, w1)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if src, _ := h.ReadsFromSource(r, 0); src != w1 {
+		t.Fatalf("explicit source ignored: got %d", int(src))
+	}
+}
+
+func TestExplicitReadsFromValueMismatchRejected(t *testing.T) {
+	reg := object.MustRegistry("x")
+	b := NewBuilder(reg)
+	w1 := b.Add(1, 0, 1, W(0, 7))
+	r := b.Add(2, 2, 3, R(0, 8))
+	b.SetReadsFrom(r, 0, w1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected value-mismatch error")
+	}
+}
+
+func TestSetReadsFromInvalidReader(t *testing.T) {
+	reg := object.MustRegistry("x")
+	b := NewBuilder(reg)
+	b.SetReadsFrom(99, 0, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for invalid reader")
+	}
+}
+
+func TestWellFormednessRejectsOverlapOnOneProcess(t *testing.T) {
+	reg := object.MustRegistry("x")
+	b := NewBuilder(reg)
+	b.Add(1, 0, 10, W(0, 1))
+	b.Add(1, 5, 15, W(0, 2)) // overlaps the previous m-operation of P1
+	if _, err := b.Build(); !errors.Is(err, ErrNotWellFormed) {
+		t.Fatalf("err = %v, want ErrNotWellFormed", err)
+	}
+}
+
+func TestInvAfterRespRejected(t *testing.T) {
+	reg := object.MustRegistry("x")
+	b := NewBuilder(reg)
+	b.Add(1, 10, 5, W(0, 1))
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for inv > resp")
+	}
+}
+
+func TestProcessOrderRel(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	if !h.ProcessOrderRel(ids[0], ids[1]) {
+		t.Error("a ~P~> b expected")
+	}
+	if h.ProcessOrderRel(ids[1], ids[0]) {
+		t.Error("b ~P~> a unexpected")
+	}
+	if h.ProcessOrderRel(ids[0], ids[2]) {
+		t.Error("cross-process order unexpected")
+	}
+	if h.ProcessOrderRel(ids[0], ids[0]) {
+		t.Error("process order must be irreflexive")
+	}
+}
+
+func TestRealTimeAndObjectOrderRel(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	a, b, c, d := ids[0], ids[1], ids[2], ids[3]
+	// a [0,10], b [20,30], c [5,15], d [21,29].
+	if !h.RealTimeRel(a, b) || !h.RealTimeRel(a, d) || !h.RealTimeRel(c, b) {
+		t.Error("expected real-time orderings missing")
+	}
+	if h.RealTimeRel(a, c) || h.RealTimeRel(b, d) || h.RealTimeRel(d, b) {
+		t.Error("unexpected real-time orderings")
+	}
+	// Object order additionally needs a shared object: a writes x, d reads x.
+	if !h.ObjectOrderRel(a, d) {
+		t.Error("a ~X~> d expected (share x)")
+	}
+	// a and b share no object (a: x, b: y).
+	if h.ObjectOrderRel(a, b) {
+		t.Error("a ~X~> b unexpected (no shared object)")
+	}
+}
+
+func TestReadsFromRelAndRFObjects(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	if !h.ReadsFromRel(ids[2], ids[1]) {
+		t.Error("c ~rf~> b expected")
+	}
+	if h.ReadsFromRel(ids[1], ids[2]) {
+		t.Error("reads-from direction reversed")
+	}
+	rf := h.RFObjects(ids[1], ids[2])
+	if !rf.Equal(object.NewSet(1)) {
+		t.Errorf("RFObjects = %v, want {y}", rf)
+	}
+	if !h.RFObjects(ids[0], ids[2]).Empty() {
+		t.Error("RFObjects for non-reader should be empty")
+	}
+}
+
+func TestInterfere(t *testing.T) {
+	// e writes y after c; b reads y from c => (b, c, e) interfere.
+	reg := object.MustRegistry("x", "y")
+	bld := NewBuilder(reg)
+	c := bld.Add(2, 0, 5, W(1, 2))
+	b := bld.Add(1, 10, 20, R(1, 2))
+	e := bld.Add(3, 0, 8, W(1, 9))
+	h, err := bld.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !h.Interfere(b, c, e) {
+		t.Error("interfere(b, c, e) expected")
+	}
+	if h.Interfere(b, c, c) || h.Interfere(b, b, e) {
+		t.Error("interfere must require distinct m-operations")
+	}
+	if h.Interfere(c, b, e) {
+		t.Error("interfere(c, b, e) unexpected: c reads nothing from b")
+	}
+	// The paper's P4.1: interfering m-operations pairwise conflict.
+	if !h.MOp(b).Conflicts(h.MOp(c)) || !h.MOp(c).Conflicts(h.MOp(e)) || !h.MOp(e).Conflicts(h.MOp(b)) {
+		t.Error("interfering triple must pairwise conflict")
+	}
+}
+
+func TestInterferingTriplesEnumeration(t *testing.T) {
+	h, _ := twoProcHistory(t)
+	count := 0
+	h.InterferingTriples(func(_, _ ID, _ object.ID, _ ID) bool {
+		count++
+		return true
+	})
+	// b reads y from c; writers of y: init. init != c, so (b, c, init)
+	// interferes. d reads x from a; writers of x: init => (d, a, init).
+	if count != 2 {
+		t.Fatalf("triple count = %d, want 2", count)
+	}
+	// Early termination.
+	count = 0
+	h.InterferingTriples(func(_, _ ID, _ object.ID, _ ID) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early-stop count = %d, want 1", count)
+	}
+}
+
+func TestUpdatesQueriesAndProcs(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	updates := h.Updates()
+	if len(updates) != 2 || updates[0] != ids[0] || updates[1] != ids[2] {
+		t.Fatalf("Updates = %v", updates)
+	}
+	queries := h.Queries()
+	if len(queries) != 2 || queries[0] != ids[1] || queries[1] != ids[3] {
+		t.Fatalf("Queries = %v", queries)
+	}
+	procs := h.Procs()
+	if len(procs) != 2 || procs[0] != 1 || procs[1] != 2 {
+		t.Fatalf("Procs = %v", procs)
+	}
+	p1 := h.ProcOps(1)
+	if len(p1) != 2 || p1[0] != ids[0] || p1[1] != ids[1] {
+		t.Fatalf("ProcOps(1) = %v", p1)
+	}
+}
+
+func TestEventsSortedByTime(t *testing.T) {
+	h, _ := twoProcHistory(t)
+	evs := h.Events()
+	if len(evs) != 8 {
+		t.Fatalf("event count = %d, want 8", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].Time > evs[i].Time {
+			t.Fatalf("events not sorted: %v", evs)
+		}
+	}
+	if evs[0].Kind != Invocation || evs[0].Time != 0 {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+}
+
+func TestMOpAccessorBounds(t *testing.T) {
+	h, _ := twoProcHistory(t)
+	if h.MOp(-1) != nil || h.MOp(ID(h.Len())) != nil {
+		t.Fatal("out-of-range MOp should be nil")
+	}
+	if _, ok := h.ReadsFromSource(-1, 0); ok {
+		t.Fatal("out-of-range reader should report no source")
+	}
+}

@@ -1,0 +1,109 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"moc/internal/object"
+)
+
+// The JSON encoding of a history is the interchange format used by
+// cmd/moccheck and by tests that round-trip recorded executions. The
+// reads-from relation is always encoded explicitly so that decoding never
+// depends on value-based inference.
+
+type jsonOp struct {
+	Kind  string       `json:"kind"` // "r" or "w"
+	Obj   string       `json:"obj"`
+	Value object.Value `json:"value"`
+}
+
+type jsonMOp struct {
+	ID    int      `json:"id"`
+	Proc  int      `json:"proc"`
+	Label string   `json:"label,omitempty"`
+	Inv   int64    `json:"inv"`
+	Resp  int64    `json:"resp"`
+	Ops   []jsonOp `json:"ops"`
+}
+
+type jsonRF struct {
+	Reader int    `json:"reader"`
+	Obj    string `json:"obj"`
+	Writer int    `json:"writer"`
+}
+
+type jsonHistory struct {
+	Objects   []string  `json:"objects"`
+	MOps      []jsonMOp `json:"mops"`
+	ReadsFrom []jsonRF  `json:"readsFrom"`
+}
+
+// MarshalJSON encodes the history (excluding the implicit initial
+// m-operation, which decoding recreates).
+func (h *History) MarshalJSON() ([]byte, error) {
+	out := jsonHistory{Objects: h.reg.Names()}
+	for _, m := range h.mops[1:] {
+		jm := jsonMOp{ID: int(m.ID), Proc: m.Proc, Label: m.Label, Inv: m.Inv, Resp: m.Resp}
+		for _, op := range m.Ops {
+			jm.Ops = append(jm.Ops, jsonOp{Kind: op.Kind.String(), Obj: h.reg.Name(op.Obj), Value: op.Val})
+		}
+		out.MOps = append(out.MOps, jm)
+	}
+	for a := range h.readsFrom {
+		for x, src := range h.readsFrom[a] {
+			out.ReadsFrom = append(out.ReadsFrom, jsonRF{Reader: a, Obj: h.reg.Name(x), Writer: int(src)})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// DecodeJSON parses a history previously produced by MarshalJSON (or
+// hand-written in the same format). The initial m-operation is recreated;
+// m-operation IDs in the input must be 1..len(mops) in order.
+func DecodeJSON(data []byte) (*History, error) {
+	var in jsonHistory
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("history: decode: %w", err)
+	}
+	reg, err := object.NewRegistry(in.Objects)
+	if err != nil {
+		return nil, fmt.Errorf("history: decode: %w", err)
+	}
+	b := NewBuilder(reg)
+	for i, jm := range in.MOps {
+		ops := make([]Op, 0, len(jm.Ops))
+		for _, jop := range jm.Ops {
+			x, ok := reg.Lookup(jop.Obj)
+			if !ok {
+				return nil, fmt.Errorf("history: decode: m-operation %d references unknown object %q", jm.ID, jop.Obj)
+			}
+			switch jop.Kind {
+			case "r":
+				ops = append(ops, R(x, jop.Value))
+			case "w":
+				ops = append(ops, W(x, jop.Value))
+			default:
+				return nil, fmt.Errorf("history: decode: m-operation %d has invalid op kind %q", jm.ID, jop.Kind)
+			}
+		}
+		id := b.AddLabeled(jm.Label, jm.Proc, jm.Inv, jm.Resp, ops...)
+		if int(id) != i+1 {
+			return nil, fmt.Errorf("history: decode: unexpected id assignment %d for input %d", int(id), jm.ID)
+		}
+		if jm.ID != i+1 {
+			return nil, fmt.Errorf("history: decode: m-operation IDs must be 1..n in order, got %d at position %d", jm.ID, i)
+		}
+	}
+	for _, rf := range in.ReadsFrom {
+		if rf.Reader == 0 {
+			continue // the initial m-operation performs no reads
+		}
+		x, ok := reg.Lookup(rf.Obj)
+		if !ok {
+			return nil, fmt.Errorf("history: decode: reads-from references unknown object %q", rf.Obj)
+		}
+		b.SetReadsFrom(ID(rf.Reader), x, ID(rf.Writer))
+	}
+	return b.Build()
+}

@@ -1,0 +1,116 @@
+package history
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDecodeJSONHandWritten(t *testing.T) {
+	src := `{
+		"objects": ["x", "y"],
+		"mops": [
+			{"id": 1, "proc": 1, "inv": 0, "resp": 10, "ops": [{"kind": "w", "obj": "x", "value": 1}]},
+			{"id": 2, "proc": 2, "inv": 20, "resp": 30, "ops": [{"kind": "r", "obj": "x", "value": 1}]}
+		],
+		"readsFrom": [{"reader": 2, "obj": "x", "writer": 1}]
+	}`
+	h, err := DecodeJSON([]byte(src))
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v", err)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (init + 2)", h.Len())
+	}
+	if src, ok := h.ReadsFromSource(2, 0); !ok || src != 1 {
+		t.Fatalf("reads-from = %d, %v", int(src), ok)
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"malformed", `{"objects": [`},
+		{"dup objects", `{"objects": ["x", "x"], "mops": []}`},
+		{"unknown object in op", `{
+			"objects": ["x"],
+			"mops": [{"id": 1, "proc": 1, "inv": 0, "resp": 1, "ops": [{"kind": "w", "obj": "z", "value": 1}]}]
+		}`},
+		{"bad kind", `{
+			"objects": ["x"],
+			"mops": [{"id": 1, "proc": 1, "inv": 0, "resp": 1, "ops": [{"kind": "q", "obj": "x", "value": 1}]}]
+		}`},
+		{"bad id numbering", `{
+			"objects": ["x"],
+			"mops": [{"id": 7, "proc": 1, "inv": 0, "resp": 1, "ops": [{"kind": "w", "obj": "x", "value": 1}]}]
+		}`},
+		{"unknown object in rf", `{
+			"objects": ["x"],
+			"mops": [{"id": 1, "proc": 1, "inv": 0, "resp": 1, "ops": [{"kind": "w", "obj": "x", "value": 1}]}],
+			"readsFrom": [{"reader": 1, "obj": "zz", "writer": 0}]
+		}`}}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeJSON([]byte(c.src)); err == nil {
+				t.Fatalf("DecodeJSON accepted %s", c.name)
+			}
+		})
+	}
+}
+
+func TestMarshalIsValidJSON(t *testing.T) {
+	h, _ := twoProcHistory(t)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(data, &generic); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{`"objects"`, `"mops"`, `"readsFrom"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("marshalled JSON missing %s", want)
+		}
+	}
+	// The implicit initial m-operation must not be encoded.
+	if strings.Contains(s, `"id":0`) {
+		t.Error("initial m-operation leaked into JSON")
+	}
+}
+
+func TestRoundTripPreservesRelations(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v", err)
+	}
+	if !h.EquivalentTo(back) {
+		t.Fatal("round trip broke equivalence")
+	}
+	if !back.ProcessOrderRel(ids[0], ids[1]) || !back.RealTimeRel(ids[0], ids[3]) {
+		t.Fatal("round trip broke derived relations")
+	}
+}
+
+func TestDecodeIgnoresInitReadsFromEntries(t *testing.T) {
+	src := `{
+		"objects": ["x"],
+		"mops": [{"id": 1, "proc": 1, "inv": 0, "resp": 1, "ops": [{"kind": "r", "obj": "x", "value": 0}]}],
+		"readsFrom": [{"reader": 0, "obj": "x", "writer": 0}, {"reader": 1, "obj": "x", "writer": 0}]
+	}`
+	h, err := DecodeJSON([]byte(src))
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v", err)
+	}
+	if src, ok := h.ReadsFromSource(1, 0); !ok || src != InitID {
+		t.Fatalf("reads-from = %d, %v", int(src), ok)
+	}
+}

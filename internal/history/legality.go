@@ -1,0 +1,242 @@
+package history
+
+import (
+	"fmt"
+
+	"moc/internal/object"
+)
+
+// Sequence is a candidate legal sequential history: a permutation of all
+// m-operation IDs of a history (including the initial m-operation, which
+// must come first for the sequence to be legal).
+type Sequence []ID
+
+// ReplayLegal reports whether executing the m-operations of h atomically
+// in the order of s yields exactly the reads recorded in h, i.e. whether
+// s is a *legal* sequential history equivalent to h (Section 2.2: every
+// read operation reads from the most recent write, and the reads-from
+// relation is preserved).
+//
+// The second return value, when legality fails, names the first offending
+// m-operation.
+func (s Sequence) ReplayLegal(h *History) (bool, ID) {
+	if len(s) != h.Len() {
+		return false, -1
+	}
+	seen := make([]bool, h.Len())
+	lastWriter := make([]ID, h.reg.Len())
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	for _, id := range s {
+		if id < 0 || int(id) >= h.Len() || seen[id] {
+			return false, id
+		}
+		seen[id] = true
+		m := h.MOp(id)
+		for _, x := range m.RObjects().IDs() {
+			src, ok := h.ReadsFromSource(id, x)
+			if !ok || lastWriter[x] != src {
+				return false, id
+			}
+		}
+		for _, x := range m.WObjects().IDs() {
+			lastWriter[x] = id
+		}
+	}
+	return true, -1
+}
+
+// RespectsRelation reports whether the order of s is consistent with the
+// (not necessarily closed) relation rel: for every pair (a, b) in rel, a
+// occurs before b in s.
+func (s Sequence) RespectsRelation(rel *Relation) bool {
+	pos := make([]int, rel.Len())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, id := range s {
+		if int(id) < len(pos) {
+			pos[id] = i
+		}
+	}
+	ok := true
+	for from := 0; from < rel.Len(); from++ {
+		rel.Successors(ID(from), func(to ID) {
+			if pos[from] < 0 || pos[to] < 0 || pos[from] >= pos[to] {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Replay executes the m-operations of h in the order of s against a fresh
+// store, ignoring the recorded read values, and returns the final value of
+// every object. It is the semantic ground truth used by tests to validate
+// certificates independently of the legality bookkeeping.
+func (s Sequence) Replay(h *History) []object.Value {
+	vals := make([]object.Value, h.reg.Len())
+	for _, id := range s {
+		m := h.MOp(id)
+		for _, x := range m.WObjects().IDs() {
+			v, _ := m.FinalWrite(x)
+			vals[x] = v
+		}
+	}
+	return vals
+}
+
+// String renders the sequence as "0 -> 3 -> 1 ...".
+func (s Sequence) String() string {
+	out := ""
+	for i, id := range s {
+		if i > 0 {
+			out += " -> "
+		}
+		out += fmt.Sprintf("%d", int(id))
+	}
+	return out
+}
+
+// LegalWRT implements D4.6, legality of the history with respect to an
+// arbitrary irreflexive transitive relation rel (which must already be
+// transitively closed by the caller for the definition to match the
+// paper): for every interfering triple (α, β, γ),
+// ¬(β ~> γ) ∨ ¬(γ ~> α).
+func (h *History) LegalWRT(rel *Relation) bool {
+	legal := true
+	h.InterferingTriples(func(alpha, beta ID, _ object.ID, gamma ID) bool {
+		if rel.Has(beta, gamma) && rel.Has(gamma, alpha) {
+			legal = false
+			return false
+		}
+		return true
+	})
+	return legal
+}
+
+// IllegalTriple returns one interfering triple (α, β, γ) violating D4.6
+// under rel, if any, for diagnostics. ok is false when the history is
+// legal w.r.t. rel.
+func (h *History) IllegalTriple(rel *Relation) (alpha, beta, gamma ID, ok bool) {
+	h.InterferingTriples(func(a, b ID, _ object.ID, g ID) bool {
+		if rel.Has(b, g) && rel.Has(g, a) {
+			alpha, beta, gamma, ok = a, b, g, true
+			return false
+		}
+		return true
+	})
+	return alpha, beta, gamma, ok
+}
+
+// EquivalentTo reports whether h and g are equivalent per Section 2.2:
+// identical process subhistories (same m-operations, same per-process
+// order, same operation sequences) and the same reads-from relation.
+func (h *History) EquivalentTo(g *History) bool {
+	if h.Len() != g.Len() {
+		return false
+	}
+	hp, gp := h.Procs(), g.Procs()
+	if len(hp) != len(gp) {
+		return false
+	}
+	for i := range hp {
+		if hp[i] != gp[i] {
+			return false
+		}
+	}
+	for _, p := range hp {
+		hi, gi := h.ProcOps(p), g.ProcOps(p)
+		if len(hi) != len(gi) {
+			return false
+		}
+		for i := range hi {
+			if !sameOps(h.MOp(hi[i]), g.MOp(gi[i])) {
+				return false
+			}
+		}
+	}
+	for a := range h.readsFrom {
+		if len(h.readsFrom[a]) != len(g.readsFrom[a]) {
+			return false
+		}
+		for x, src := range h.readsFrom[a] {
+			if g.readsFrom[a][x] != src {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameOps(a, b *MOp) bool {
+	if a == nil || b == nil || len(a.Ops) != len(b.Ops) || a.Proc != b.Proc {
+		return false
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Constraint predicates of Section 4 (D4.8–D4.10). Each takes the
+// transitively-closed relation rel representing ~>H and checks that the
+// required pairs of m-operations are ordered.
+
+// SatisfiesOO implements D4.8: every pair of conflicting m-operations is
+// ordered under rel.
+func (h *History) SatisfiesOO(rel *Relation) bool {
+	for i, a := range h.mops {
+		for _, b := range h.mops[i+1:] {
+			if a.Conflicts(b) && !rel.Has(a.ID, b.ID) && !rel.Has(b.ID, a.ID) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SatisfiesWW implements D4.9: every pair of update m-operations is
+// ordered under rel.
+func (h *History) SatisfiesWW(rel *Relation) bool {
+	for i, a := range h.mops {
+		if !a.IsUpdate() {
+			continue
+		}
+		for _, b := range h.mops[i+1:] {
+			if !b.IsUpdate() {
+				continue
+			}
+			if !rel.Has(a.ID, b.ID) && !rel.Has(b.ID, a.ID) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SatisfiesWO implements D4.10 (the intersection of OO- and WW-
+// constraints): every pair of update m-operations writing a common object
+// is ordered under rel.
+func (h *History) SatisfiesWO(rel *Relation) bool {
+	for i, a := range h.mops {
+		if !a.IsUpdate() {
+			continue
+		}
+		for _, b := range h.mops[i+1:] {
+			if !b.IsUpdate() || !a.WObjects().Intersects(b.WObjects()) {
+				continue
+			}
+			if !rel.Has(a.ID, b.ID) && !rel.Has(b.ID, a.ID) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,221 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"moc/internal/object"
+)
+
+func TestReplayLegalAcceptsGoodOrder(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	a, b, c, d := ids[0], ids[1], ids[2], ids[3]
+	s := Sequence{InitID, a, c, b, d}
+	if ok, bad := s.ReplayLegal(h); !ok {
+		t.Fatalf("legal order rejected at %d", int(bad))
+	}
+}
+
+func TestReplayLegalRejectsStaleRead(t *testing.T) {
+	// d reads x=1 from a; placing another write of x between would be
+	// illegal. Build such a history explicitly.
+	reg := object.MustRegistry("x")
+	bld := NewBuilder(reg)
+	a := bld.Add(1, 0, 1, W(0, 1))
+	e := bld.Add(2, 2, 3, W(0, 5))
+	d := bld.Add(3, 4, 5, R(0, 1))
+	h, err := bld.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if ok, bad := (Sequence{InitID, a, e, d}).ReplayLegal(h); ok || bad != d {
+		t.Fatalf("illegal order accepted (ok=%v bad=%d)", ok, int(bad))
+	}
+	if ok, _ := (Sequence{InitID, e, a, d}).ReplayLegal(h); !ok {
+		t.Fatal("legal order rejected")
+	}
+}
+
+func TestReplayLegalRejectsMalformedSequences(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	if ok, _ := (Sequence{InitID, ids[0]}).ReplayLegal(h); ok {
+		t.Fatal("short sequence accepted")
+	}
+	if ok, _ := (Sequence{InitID, ids[0], ids[0], ids[1], ids[2]}).ReplayLegal(h); ok {
+		t.Fatal("duplicate ID accepted")
+	}
+	if ok, _ := (Sequence{InitID, 99, ids[0], ids[1], ids[2]}).ReplayLegal(h); ok {
+		t.Fatal("out-of-range ID accepted")
+	}
+	// Initial m-operation not first: every read of an initial value fails.
+	if ok, _ := (Sequence{ids[0], ids[1], ids[2], ids[3], InitID}).ReplayLegal(h); ok {
+		t.Fatal("sequence with trailing init accepted despite reads of initial values")
+	}
+}
+
+func TestRespectsRelation(t *testing.T) {
+	r := NewRelation(3)
+	r.Add(0, 2)
+	if !(Sequence{0, 1, 2}).RespectsRelation(r) {
+		t.Fatal("respecting order rejected")
+	}
+	if (Sequence{2, 1, 0}).RespectsRelation(r) {
+		t.Fatal("violating order accepted")
+	}
+	if (Sequence{0, 1}).RespectsRelation(r) {
+		t.Fatal("partial sequence accepted")
+	}
+}
+
+func TestReplayFinalValues(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	vals := Sequence{InitID, ids[0], ids[2], ids[1], ids[3]}.Replay(h)
+	if vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("final values = %v", vals)
+	}
+}
+
+func TestSequenceString(t *testing.T) {
+	s := Sequence{0, 2, 1}
+	if got := s.String(); got != "0 -> 2 -> 1" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestLegalWRTD46(t *testing.T) {
+	// Triple: b reads y from c; e writes y. Legal iff e is not ordered
+	// between c and b.
+	reg := object.MustRegistry("y")
+	bld := NewBuilder(reg)
+	c := bld.Add(2, 0, 5, W(0, 2))
+	b := bld.Add(1, 10, 20, R(0, 2))
+	e := bld.Add(3, 30, 40, W(0, 9))
+	h, err := bld.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	good := NewRelation(h.Len())
+	good.Add(InitID, c)
+	good.Add(c, b)
+	good.Add(b, e)
+	good.TransitiveClosure()
+	if !h.LegalWRT(good) {
+		t.Fatal("legal relation rejected")
+	}
+	if _, _, _, found := h.IllegalTriple(good); found {
+		t.Fatal("IllegalTriple found one in a legal relation")
+	}
+
+	bad := NewRelation(h.Len())
+	bad.Add(InitID, c)
+	bad.Add(c, e)
+	bad.Add(e, b)
+	bad.TransitiveClosure()
+	if h.LegalWRT(bad) {
+		t.Fatal("illegal relation accepted")
+	}
+	alpha, beta, gamma, found := h.IllegalTriple(bad)
+	if !found || alpha != b || beta != c || gamma != e {
+		t.Fatalf("IllegalTriple = (%d,%d,%d,%v)", int(alpha), int(beta), int(gamma), found)
+	}
+}
+
+func TestEquivalence(t *testing.T) {
+	h1, _ := twoProcHistory(t)
+	h2, _ := twoProcHistory(t)
+	if !h1.EquivalentTo(h2) {
+		t.Fatal("identical histories not equivalent")
+	}
+
+	// Different read value => different ops => not equivalent.
+	reg := object.MustRegistry("x", "y")
+	bld := NewBuilder(reg)
+	bld.Add(1, 0, 10, W(0, 1))
+	bld.Add(1, 20, 30, R(1, 0)) // reads initial y instead of 2
+	bld.Add(2, 5, 15, W(1, 2))
+	bld.Add(2, 21, 29, R(0, 1))
+	h3, err := bld.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if h1.EquivalentTo(h3) {
+		t.Fatal("histories with different reads-from reported equivalent")
+	}
+}
+
+func TestEquivalenceDifferentShapes(t *testing.T) {
+	h1, _ := twoProcHistory(t)
+	reg := object.MustRegistry("x", "y")
+	bld := NewBuilder(reg)
+	bld.Add(1, 0, 10, W(0, 1))
+	h2, err := bld.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if h1.EquivalentTo(h2) || h2.EquivalentTo(h1) {
+		t.Fatal("histories of different sizes reported equivalent")
+	}
+}
+
+func TestConstraintPredicates(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	a, b, c, d := ids[0], ids[1], ids[2], ids[3]
+
+	// Updates: init, a (writes x), c (writes y). Under WW all three pairs
+	// must be ordered.
+	ww := NewRelation(h.Len())
+	ww.Add(InitID, a)
+	ww.Add(InitID, c)
+	ww.Add(a, c)
+	if !h.SatisfiesWW(ww) {
+		t.Fatal("WW-satisfying relation rejected")
+	}
+	partial := NewRelation(h.Len())
+	partial.Add(InitID, a)
+	if h.SatisfiesWW(partial) {
+		t.Fatal("WW violation not detected")
+	}
+
+	// OO additionally orders conflicting query/update pairs:
+	// d reads x which a and init write; b reads y which c and init write.
+	oo := ww.Clone()
+	oo.Add(a, d)
+	oo.Add(c, b)
+	oo.Add(InitID, d)
+	oo.Add(InitID, b)
+	if !h.SatisfiesOO(oo) {
+		t.Fatal("OO-satisfying relation rejected")
+	}
+	if h.SatisfiesOO(ww) {
+		t.Fatal("OO must require ordering conflicting query/update pairs")
+	}
+
+	// WO only orders update pairs writing a common object: a and c write
+	// disjoint objects, so only pairs with init matter.
+	wo := NewRelation(h.Len())
+	wo.Add(InitID, a)
+	wo.Add(InitID, c)
+	if !h.SatisfiesWO(wo) {
+		t.Fatal("WO-satisfying relation rejected")
+	}
+	empty := NewRelation(h.Len())
+	if h.SatisfiesWO(empty) {
+		t.Fatal("WO violation not detected (init vs writers)")
+	}
+
+	// WW implies WO on the same history (intersection property).
+	if !h.SatisfiesWO(oo) || !h.SatisfiesWO(ww) {
+		t.Fatal("relations satisfying WW/OO must satisfy WO")
+	}
+	_ = b
+	_ = d
+}
+
+func TestHistoryStringRendering(t *testing.T) {
+	h, _ := twoProcHistory(t)
+	s := h.MOp(1).String()
+	if !strings.Contains(s, "w(#0)1") {
+		t.Fatalf("MOp rendering = %q", s)
+	}
+}

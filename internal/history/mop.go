@@ -1,0 +1,224 @@
+// Package history implements the execution model of Section 2 of
+// Mittal & Garg (1998): operations, m-operations, histories and the
+// relations defined on them (process order, reads-from, real-time order,
+// object order), together with legality, sequentiality, equivalence and
+// well-formedness.
+//
+// Terminology maps one-to-one onto the paper:
+//
+//   - an Op is a read or write operation r(x)v / w(x)v on a single object;
+//   - an MOp is an m-operation: a sequence of Ops spanning several
+//     objects, executed by one process, modelled by an invocation and a
+//     response event;
+//   - a History is the tuple (op(H), ~>H) — a set of m-operations plus
+//     the relations induced by the execution.
+package history
+
+import (
+	"fmt"
+	"strings"
+
+	"moc/internal/object"
+)
+
+// OpKind distinguishes read and write operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	Read OpKind = iota + 1
+	Write
+)
+
+// String renders the kind as the paper's r/w notation.
+func (k OpKind) String() string {
+	switch k {
+	case Read:
+		return "r"
+	case Write:
+		return "w"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is a single read or write operation on one object: the paper's
+// r(x)v (read x, observing value v) or w(x)v (write v into x).
+type Op struct {
+	Kind OpKind
+	Obj  object.ID
+	Val  object.Value
+}
+
+// R constructs a read operation r(x)v.
+func R(x object.ID, v object.Value) Op { return Op{Kind: Read, Obj: x, Val: v} }
+
+// W constructs a write operation w(x)v.
+func W(x object.ID, v object.Value) Op { return Op{Kind: Write, Obj: x, Val: v} }
+
+// String renders the op as "r(x)v" / "w(x)v" with the numeric object ID.
+func (op Op) String() string {
+	return fmt.Sprintf("%s(#%d)%d", op.Kind, int(op.Obj), op.Val)
+}
+
+// ExternalReads extracts, from an operation sequence, the first read of
+// every object that is not preceded by an own write to that object — the
+// reads whose values must come from other m-operations. Results are in
+// first-occurrence order.
+func ExternalReads(ops []Op) []Op {
+	written := make(map[object.ID]bool)
+	seen := make(map[object.ID]bool)
+	var out []Op
+	for _, op := range ops {
+		switch op.Kind {
+		case Read:
+			if !written[op.Obj] && !seen[op.Obj] {
+				seen[op.Obj] = true
+				out = append(out, op)
+			}
+		case Write:
+			written[op.Obj] = true
+		}
+	}
+	return out
+}
+
+// ID identifies an m-operation within a History. ID 0 is always the
+// imaginary initial m-operation of Section 2.1 that writes the initial
+// value to every object before any process executes.
+type ID int
+
+// InitID is the ID of the imaginary initial m-operation.
+const InitID ID = 0
+
+// InitProc is the pseudo-process that issues the initial m-operation.
+const InitProc = -1
+
+// MOp is an m-operation α: a deterministic sequence of read and write
+// operations, possibly spanning several objects, issued by one process.
+// Its execution is modelled by an invocation event at time Inv and a
+// response event at time Resp (the paper's inv(α) and resp(α)); times are
+// instants on a single global real-time axis.
+type MOp struct {
+	ID    ID
+	Proc  int
+	Label string // optional display name such as "α"
+	Ops   []Op
+	Inv   int64
+	Resp  int64
+
+	// Derived sets, computed once by finalize: the paper's objects(α),
+	// wobjects(α) and the set of objects read externally (reads not
+	// preceded by the m-operation's own write to the same object —
+	// Section 2.2 instructs to ignore such internal reads).
+	objects  object.Set
+	wobjects object.Set
+	robjects object.Set
+}
+
+// finalize computes the derived object sets and validates internal
+// consistency: a read that follows the m-operation's own write to the
+// same object must observe the most recent such write (Section 2.2:
+// "u must be equal to v"; such reads are then ignored).
+func (m *MOp) finalize() error {
+	var objs, wobjs, robjs []object.ID
+	local := make(map[object.ID]object.Value)
+	for i, op := range m.Ops {
+		objs = append(objs, op.Obj)
+		switch op.Kind {
+		case Read:
+			if v, written := local[op.Obj]; written {
+				if v != op.Val {
+					return fmt.Errorf(
+						"m-operation %d op %d: internal read of object %d observes %d, but own last write was %d",
+						int(m.ID), i, int(op.Obj), op.Val, v)
+				}
+				continue // internal read: ignored per Section 2.2
+			}
+			robjs = append(robjs, op.Obj)
+		case Write:
+			local[op.Obj] = op.Val
+			wobjs = append(wobjs, op.Obj)
+		default:
+			return fmt.Errorf("m-operation %d op %d: invalid kind %d", int(m.ID), i, int(op.Kind))
+		}
+	}
+	m.objects = object.NewSet(objs...)
+	m.wobjects = object.NewSet(wobjs...)
+	m.robjects = object.NewSet(robjs...)
+	return nil
+}
+
+// Objects returns objects(α): every object the m-operation accesses.
+func (m *MOp) Objects() object.Set { return m.objects }
+
+// WObjects returns wobjects(α): the objects the m-operation writes.
+func (m *MOp) WObjects() object.Set { return m.wobjects }
+
+// RObjects returns the objects the m-operation reads externally, i.e.
+// reads whose value must come from another m-operation.
+func (m *MOp) RObjects() object.Set { return m.robjects }
+
+// IsUpdate reports whether the m-operation writes to some object
+// (Section 4: "An m-operation is said to be an update m-operation if it
+// writes to some object").
+func (m *MOp) IsUpdate() bool { return !m.wobjects.Empty() }
+
+// IsQuery reports whether the m-operation is a query m-operation, i.e.
+// not an update.
+func (m *MOp) IsQuery() bool { return m.wobjects.Empty() }
+
+// FinalWrite returns the externally visible (last) value the m-operation
+// writes to x and whether it writes x at all.
+func (m *MOp) FinalWrite(x object.ID) (object.Value, bool) {
+	for i := len(m.Ops) - 1; i >= 0; i-- {
+		op := m.Ops[i]
+		if op.Kind == Write && op.Obj == x {
+			return op.Val, true
+		}
+	}
+	return 0, false
+}
+
+// ExternalRead returns the value the m-operation observes for its first
+// (external) read of x and whether it performs one.
+func (m *MOp) ExternalRead(x object.ID) (object.Value, bool) {
+	if !m.robjects.Contains(x) {
+		return 0, false
+	}
+	for _, op := range m.Ops {
+		if op.Kind == Read && op.Obj == x {
+			return op.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Conflicts implements D4.1: two distinct m-operations conflict iff one
+// of them writes an object the other accesses.
+func (m *MOp) Conflicts(other *MOp) bool {
+	if m.ID == other.ID {
+		return false
+	}
+	return m.wobjects.Intersects(other.objects) || other.wobjects.Intersects(m.objects)
+}
+
+// String renders the m-operation in the paper's style, e.g.
+// "α=r(#0)0 w(#1)2 [P1 12..30]".
+func (m *MOp) String() string {
+	var b strings.Builder
+	if m.Label != "" {
+		b.WriteString(m.Label)
+		b.WriteByte('=')
+	} else {
+		fmt.Fprintf(&b, "m%d=", int(m.ID))
+	}
+	for i, op := range m.Ops {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(op.String())
+	}
+	fmt.Fprintf(&b, " [P%d %d..%d]", m.Proc, m.Inv, m.Resp)
+	return b.String()
+}

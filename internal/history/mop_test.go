@@ -1,0 +1,151 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"moc/internal/object"
+)
+
+func mustMOp(t *testing.T, ops ...Op) *MOp {
+	t.Helper()
+	m := &MOp{ID: 1, Proc: 1, Inv: 0, Resp: 1, Ops: ops}
+	if err := m.finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return m
+}
+
+func TestMOpDerivedSets(t *testing.T) {
+	m := mustMOp(t, R(0, 5), W(1, 7), W(2, 9), R(1, 7))
+	if !m.Objects().Equal(object.NewSet(0, 1, 2)) {
+		t.Errorf("Objects = %v", m.Objects())
+	}
+	if !m.WObjects().Equal(object.NewSet(1, 2)) {
+		t.Errorf("WObjects = %v", m.WObjects())
+	}
+	// The read of object 1 follows the m-operation's own write, so it is
+	// internal and excluded from the external read set.
+	if !m.RObjects().Equal(object.NewSet(0)) {
+		t.Errorf("RObjects = %v", m.RObjects())
+	}
+}
+
+func TestMOpInternalReadMustMatchOwnWrite(t *testing.T) {
+	m := &MOp{ID: 1, Proc: 1, Ops: []Op{W(0, 3), R(0, 4)}}
+	if err := m.finalize(); err == nil {
+		t.Fatal("expected internal-consistency error")
+	}
+}
+
+func TestMOpInternalReadSeesLatestOwnWrite(t *testing.T) {
+	m := &MOp{ID: 1, Proc: 1, Ops: []Op{W(0, 3), W(0, 5), R(0, 5)}}
+	if err := m.finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	// A read matching the first (overwritten) own write is inconsistent.
+	m2 := &MOp{ID: 1, Proc: 1, Ops: []Op{W(0, 3), W(0, 5), R(0, 3)}}
+	if err := m2.finalize(); err == nil {
+		t.Fatal("expected error: read of overwritten own write")
+	}
+}
+
+func TestMOpReadBeforeOwnWriteIsExternal(t *testing.T) {
+	m := mustMOp(t, R(0, 9), W(0, 1))
+	if !m.RObjects().Contains(0) {
+		t.Fatal("read before own write should be external")
+	}
+	if v, ok := m.ExternalRead(0); !ok || v != 9 {
+		t.Fatalf("ExternalRead = %d, %v", v, ok)
+	}
+}
+
+func TestUpdateQueryClassification(t *testing.T) {
+	update := mustMOp(t, R(0, 0), W(1, 2))
+	query := mustMOp(t, R(0, 0), R(1, 2))
+	if !update.IsUpdate() || update.IsQuery() {
+		t.Error("update misclassified")
+	}
+	if !query.IsQuery() || query.IsUpdate() {
+		t.Error("query misclassified")
+	}
+}
+
+func TestFinalWriteReturnsLastValue(t *testing.T) {
+	m := mustMOp(t, W(0, 1), W(1, 2), W(0, 3))
+	if v, ok := m.FinalWrite(0); !ok || v != 3 {
+		t.Fatalf("FinalWrite(0) = %d, %v; want 3, true", v, ok)
+	}
+	if v, ok := m.FinalWrite(1); !ok || v != 2 {
+		t.Fatalf("FinalWrite(1) = %d, %v", v, ok)
+	}
+	if _, ok := m.FinalWrite(2); ok {
+		t.Fatal("FinalWrite(2) should report no write")
+	}
+}
+
+func TestConflictsD41(t *testing.T) {
+	// conflict iff one writes an object the other accesses.
+	writerX := mustMOp(t, W(0, 1))
+	readerX := mustMOp(t, R(0, 1))
+	readerX.ID = 2
+	writerY := mustMOp(t, W(1, 1))
+	writerY.ID = 3
+	readerXY := mustMOp(t, R(0, 1), R(1, 1))
+	readerXY.ID = 4
+
+	if !writerX.Conflicts(readerX) || !readerX.Conflicts(writerX) {
+		t.Error("write/read on same object must conflict (symmetric)")
+	}
+	if writerX.Conflicts(writerY) {
+		t.Error("writes to different objects must not conflict")
+	}
+	if readerX.Conflicts(readerXY) {
+		t.Error("two readers must not conflict")
+	}
+	if !writerY.Conflicts(readerXY) {
+		t.Error("writer of y conflicts with reader of y")
+	}
+	if writerX.Conflicts(writerX) {
+		t.Error("an m-operation does not conflict with itself")
+	}
+}
+
+func TestOpConstructorsAndString(t *testing.T) {
+	r := R(3, 7)
+	if r.Kind != Read || r.Obj != 3 || r.Val != 7 {
+		t.Fatalf("R = %+v", r)
+	}
+	w := W(2, -1)
+	if w.Kind != Write || w.Obj != 2 || w.Val != -1 {
+		t.Fatalf("W = %+v", w)
+	}
+	if got := r.String(); got != "r(#3)7" {
+		t.Fatalf("String = %q", got)
+	}
+	if !strings.Contains(OpKind(99).String(), "99") {
+		t.Fatal("unknown kind should render its number")
+	}
+}
+
+func TestMOpString(t *testing.T) {
+	m := mustMOp(t, R(0, 0), W(1, 2))
+	m.Label = "alpha"
+	s := m.String()
+	for _, want := range []string{"alpha=", "r(#0)0", "w(#1)2", "[P1 0..1]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	m.Label = ""
+	if !strings.Contains(m.String(), "m1=") {
+		t.Errorf("unlabeled String() = %q", m.String())
+	}
+}
+
+func TestMOpInvalidKindRejected(t *testing.T) {
+	m := &MOp{ID: 1, Proc: 1, Ops: []Op{{Kind: OpKind(0), Obj: 0, Val: 1}}}
+	if err := m.finalize(); err == nil {
+		t.Fatal("expected error for invalid op kind")
+	}
+}

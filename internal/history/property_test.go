@@ -1,0 +1,177 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"moc/internal/object"
+)
+
+// TestExternalReadsDifferential cross-checks ExternalReads against a
+// straightforward reference implementation on random op sequences.
+func TestExternalReadsDifferential(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ops := opsFromBytes(raw)
+		got := ExternalReads(ops)
+
+		// Reference: simulate sequentially.
+		written := map[object.ID]bool{}
+		reported := map[object.ID]bool{}
+		var want []Op
+		for _, op := range ops {
+			switch op.Kind {
+			case Read:
+				if !written[op.Obj] && !reported[op.Obj] {
+					reported[op.Obj] = true
+					want = append(want, op)
+				}
+			case Write:
+				written[op.Obj] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func opsFromBytes(raw []uint8) []Op {
+	ops := make([]Op, 0, len(raw))
+	for i, b := range raw {
+		obj := object.ID(b % 4)
+		if b%2 == 0 {
+			ops = append(ops, R(obj, object.Value(i)))
+		} else {
+			ops = append(ops, W(obj, object.Value(i)))
+		}
+	}
+	return ops
+}
+
+// TestRestrictPreservesSubhistories: restricting to a process's view
+// keeps that process's subhistory intact (same ops, same order).
+func TestRestrictPreservesSubhistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		h := randomClosedHistory(t, rng)
+		procs := h.Procs()
+		if len(procs) == 0 {
+			continue
+		}
+		p := procs[rng.Intn(len(procs))]
+
+		view := make([]ID, 0, h.Len())
+		view = append(view, h.Updates()...)
+		seen := map[ID]bool{}
+		for _, id := range view {
+			seen[id] = true
+		}
+		for _, id := range h.ProcOps(p) {
+			if !seen[id] {
+				view = append(view, id)
+			}
+		}
+		sub, mapping, err := h.Restrict(view)
+		if err != nil {
+			t.Fatalf("trial %d: Restrict: %v", trial, err)
+		}
+		orig := h.ProcOps(p)
+		got := sub.ProcOps(p)
+		if len(orig) != len(got) {
+			t.Fatalf("trial %d: subhistory length changed: %d vs %d", trial, len(orig), len(got))
+		}
+		for i := range orig {
+			if mapping[orig[i]] != got[i] {
+				t.Fatalf("trial %d: subhistory order changed", trial)
+			}
+			om, gm := h.MOp(orig[i]), sub.MOp(got[i])
+			if len(om.Ops) != len(gm.Ops) {
+				t.Fatalf("trial %d: ops changed", trial)
+			}
+		}
+		// Reads-from preserved under the mapping.
+		for _, id := range view {
+			for _, x := range h.MOp(id).RObjects().IDs() {
+				src, _ := h.ReadsFromSource(id, x)
+				newSrc, ok := sub.ReadsFromSource(mapping[id], x)
+				if !ok || newSrc != mapping[src] {
+					t.Fatalf("trial %d: reads-from not preserved", trial)
+				}
+			}
+		}
+	}
+}
+
+// TestRemapRelationDropsExcluded: remapped relations only relate included
+// m-operations, preserving every included pair.
+func TestRemapRelationDropsExcluded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		h := randomClosedHistory(t, rng)
+		rel := MSequentialBase.Build(h).TransitiveClosure()
+
+		view := h.Updates()
+		sub, mapping, err := h.Restrict(view)
+		if err != nil {
+			t.Fatalf("trial %d: Restrict: %v", trial, err)
+		}
+		remapped := RemapRelation(rel, mapping, sub.Len())
+		for _, a := range view {
+			for _, b := range view {
+				if rel.Has(a, b) != remapped.Has(mapping[a], mapping[b]) {
+					t.Fatalf("trial %d: pair (%d,%d) not preserved", trial, int(a), int(b))
+				}
+			}
+		}
+		if remapped.Edges() > rel.Edges() {
+			t.Fatalf("trial %d: remap added edges", trial)
+		}
+	}
+}
+
+// randomClosedHistory generates a history whose reads always come from
+// updates (reads-from closed for any view containing all updates).
+func randomClosedHistory(t *testing.T, rng *rand.Rand) *History {
+	t.Helper()
+	reg := object.Sequential(3)
+	b := NewBuilder(reg)
+	type w struct {
+		x object.ID
+		v object.Value
+	}
+	writes := []w{{0, 0}, {1, 0}, {2, 0}}
+	next := object.Value(1)
+	clock := int64(0)
+	n := 4 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(3)
+		inv := clock
+		clock++
+		resp := clock
+		clock++
+		if rng.Intn(2) == 0 {
+			x := object.ID(rng.Intn(3))
+			b.Add(p, inv, resp, W(x, next))
+			writes = append(writes, w{x, next})
+			next++
+		} else {
+			pick := writes[rng.Intn(len(writes))]
+			b.Add(p, inv, resp, R(pick.x, pick.v))
+		}
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("randomClosedHistory: %v", err)
+	}
+	return h
+}

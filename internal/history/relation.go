@@ -1,0 +1,276 @@
+package history
+
+import (
+	"math/bits"
+)
+
+// Relation is an irreflexive binary relation over the m-operations of a
+// history, represented as a bitset adjacency matrix. It is the concrete
+// form of the paper's ~>H, and supports the operations Section 4 needs:
+// union, transitive closure, acyclicity, and extension to a total order.
+type Relation struct {
+	n     int
+	words int
+	adj   []uint64 // row-major: n rows of `words` uint64s
+}
+
+// NewRelation returns the empty relation over n m-operations.
+func NewRelation(n int) *Relation {
+	words := (n + 63) / 64
+	return &Relation{n: n, words: words, adj: make([]uint64, n*words)}
+}
+
+// Len returns the number of m-operations the relation ranges over.
+func (r *Relation) Len() int { return r.n }
+
+// Add inserts the pair (from, to); self-pairs are ignored to preserve
+// irreflexivity.
+func (r *Relation) Add(from, to ID) {
+	if from == to || from < 0 || to < 0 || int(from) >= r.n || int(to) >= r.n {
+		return
+	}
+	r.adj[int(from)*r.words+int(to)/64] |= 1 << (uint(to) % 64)
+}
+
+// Has reports whether (from, to) is in the relation.
+func (r *Relation) Has(from, to ID) bool {
+	if from < 0 || to < 0 || int(from) >= r.n || int(to) >= r.n {
+		return false
+	}
+	return r.adj[int(from)*r.words+int(to)/64]&(1<<(uint(to)%64)) != 0
+}
+
+// Clone returns an independent copy.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{n: r.n, words: r.words, adj: make([]uint64, len(r.adj))}
+	copy(out.adj, r.adj)
+	return out
+}
+
+// Union adds every pair of other into r (in place) and returns r.
+func (r *Relation) Union(other *Relation) *Relation {
+	if other.n != r.n {
+		return r
+	}
+	for i := range r.adj {
+		r.adj[i] |= other.adj[i]
+	}
+	return r
+}
+
+// Successors calls fn for every to such that (from, to) is present.
+func (r *Relation) Successors(from ID, fn func(to ID)) {
+	row := r.adj[int(from)*r.words : int(from)*r.words+r.words]
+	for w, word := range row {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(ID(w*64 + b))
+			word &= word - 1
+		}
+	}
+}
+
+// Edges returns the number of pairs in the relation.
+func (r *Relation) Edges() int {
+	total := 0
+	for _, w := range r.adj {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// TransitiveClosure computes the irreflexive transitive closure in place
+// (Floyd–Warshall over bitset rows) and returns r. Diagonal bits produced
+// by cycles are retained, so Acyclic can be checked afterwards.
+func (r *Relation) TransitiveClosure() *Relation {
+	for k := 0; k < r.n; k++ {
+		krow := r.adj[k*r.words : k*r.words+r.words]
+		kw, kb := k/64, uint(k)%64
+		for i := 0; i < r.n; i++ {
+			if r.adj[i*r.words+kw]&(1<<kb) == 0 {
+				continue
+			}
+			irow := r.adj[i*r.words : i*r.words+r.words]
+			for w := range irow {
+				irow[w] |= krow[w]
+			}
+		}
+	}
+	return r
+}
+
+// Acyclic reports whether the relation (not necessarily closed) contains
+// no directed cycle.
+func (r *Relation) Acyclic() bool {
+	_, ok := r.TopoOrder()
+	return ok
+}
+
+// TopoOrder returns a topological order of the m-operations consistent
+// with the relation, and whether one exists (false iff cyclic). Ties are
+// broken by ascending ID, making the result deterministic.
+func (r *Relation) TopoOrder() ([]ID, bool) {
+	indeg := make([]int, r.n)
+	for from := 0; from < r.n; from++ {
+		r.Successors(ID(from), func(to ID) {
+			if ID(from) != to {
+				indeg[to]++
+			}
+		})
+	}
+	// Deterministic Kahn's algorithm: always pick the smallest ready ID.
+	order := make([]ID, 0, r.n)
+	ready := make([]bool, r.n)
+	for i, d := range indeg {
+		if d == 0 {
+			ready[i] = true
+		}
+	}
+	for len(order) < r.n {
+		next := -1
+		for i := 0; i < r.n; i++ {
+			if ready[i] {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			return nil, false
+		}
+		ready[next] = false
+		indeg[next] = -1
+		order = append(order, ID(next))
+		r.Successors(ID(next), func(to ID) {
+			if indeg[to] > 0 {
+				indeg[to]--
+				if indeg[to] == 0 {
+					ready[to] = true
+				}
+			} else if indeg[to] == 0 && int(to) != next {
+				ready[to] = true
+			}
+		})
+	}
+	return order, true
+}
+
+// FindCycle returns one directed cycle as a sequence of IDs (first ==
+// last) if the relation is cyclic, or nil otherwise. Used for diagnostics
+// in the checker.
+func (r *Relation) FindCycle() []ID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, r.n)
+	parent := make([]int, r.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []ID
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		found := false
+		r.Successors(ID(u), func(v ID) {
+			if found {
+				return
+			}
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(int(v)) {
+					found = true
+				}
+			case gray:
+				// Reconstruct u -> ... -> v -> u.
+				cycle = []ID{v}
+				for w := u; w != int(v) && w >= 0; w = parent[w] {
+					cycle = append(cycle, ID(w))
+				}
+				cycle = append(cycle, v)
+				// Reverse into forward direction.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				found = true
+			}
+		})
+		color[u] = black
+		return found
+	}
+	for u := 0; u < r.n; u++ {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// BaseRelation assembles the history's ~>H from the requested component
+// relations. The paper defines:
+//
+//   - m-sequential consistency: process order ∪ reads-from (Section 2.3);
+//   - m-linearizability: process order ∪ reads-from ∪ real-time order;
+//   - m-normality: process order ∪ reads-from ∪ object order.
+//
+// The initial m-operation is ordered before every other m-operation.
+type BaseRelation struct {
+	ProcessOrder bool
+	ReadsFrom    bool
+	RealTime     bool
+	ObjectOrder  bool
+}
+
+// Relations for the three consistency conditions of Section 2.3.
+var (
+	// MSequentialBase is ~>H for m-sequential consistency.
+	MSequentialBase = BaseRelation{ProcessOrder: true, ReadsFrom: true}
+	// MLinearizableBase is ~>H for m-linearizability.
+	MLinearizableBase = BaseRelation{ProcessOrder: true, ReadsFrom: true, RealTime: true}
+	// MNormalBase is ~>H for m-normality.
+	MNormalBase = BaseRelation{ProcessOrder: true, ReadsFrom: true, ObjectOrder: true}
+)
+
+// Build materializes the base relation over history h (without taking the
+// transitive closure; the checker closes it when needed).
+func (b BaseRelation) Build(h *History) *Relation {
+	n := h.Len()
+	r := NewRelation(n)
+	for i := 1; i < n; i++ {
+		r.Add(InitID, ID(i)) // the initial m-operation precedes everything
+	}
+	if b.ProcessOrder {
+		for p, ids := range h.byProc {
+			if p == InitProc {
+				continue
+			}
+			for i := 1; i < len(ids); i++ {
+				r.Add(ids[i-1], ids[i])
+			}
+		}
+	}
+	if b.ReadsFrom {
+		for a := range h.readsFrom {
+			for _, src := range h.readsFrom[a] {
+				r.Add(src, ID(a))
+			}
+		}
+	}
+	if b.RealTime || b.ObjectOrder {
+		for _, mb := range h.mops[1:] {
+			for _, ma := range h.mops[1:] {
+				if mb.ID == ma.ID || mb.Resp >= ma.Inv {
+					continue
+				}
+				if b.RealTime {
+					r.Add(mb.ID, ma.ID)
+				} else if mb.Objects().Intersects(ma.Objects()) {
+					r.Add(mb.ID, ma.ID)
+				}
+			}
+		}
+	}
+	return r
+}

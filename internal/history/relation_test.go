@@ -1,0 +1,281 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"moc/internal/object"
+)
+
+func TestRelationAddHas(t *testing.T) {
+	r := NewRelation(70) // spans more than one word
+	r.Add(0, 69)
+	r.Add(69, 1)
+	if !r.Has(0, 69) || !r.Has(69, 1) {
+		t.Fatal("added edges missing")
+	}
+	if r.Has(1, 69) || r.Has(0, 1) {
+		t.Fatal("phantom edges")
+	}
+	r.Add(5, 5) // self-edge must be ignored
+	if r.Has(5, 5) {
+		t.Fatal("self-edge retained")
+	}
+	r.Add(-1, 3)
+	r.Add(3, 1000)
+	if r.Edges() != 2 {
+		t.Fatalf("Edges = %d, want 2", r.Edges())
+	}
+}
+
+func TestRelationCloneIndependent(t *testing.T) {
+	r := NewRelation(4)
+	r.Add(0, 1)
+	c := r.Clone()
+	c.Add(1, 2)
+	if r.Has(1, 2) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Has(0, 1) {
+		t.Fatal("Clone lost edges")
+	}
+}
+
+func TestRelationUnion(t *testing.T) {
+	a := NewRelation(4)
+	a.Add(0, 1)
+	b := NewRelation(4)
+	b.Add(2, 3)
+	a.Union(b)
+	if !a.Has(0, 1) || !a.Has(2, 3) {
+		t.Fatal("Union lost edges")
+	}
+	mismatched := NewRelation(5)
+	a.Union(mismatched) // no-op, must not panic
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := NewRelation(5)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 3)
+	r.TransitiveClosure()
+	for _, pair := range [][2]ID{{0, 2}, {0, 3}, {1, 3}} {
+		if !r.Has(pair[0], pair[1]) {
+			t.Errorf("closure missing (%d,%d)", pair[0], pair[1])
+		}
+	}
+	if r.Has(3, 0) || r.Has(0, 4) {
+		t.Error("closure added wrong edges")
+	}
+}
+
+func TestClosureDetectsCycleViaDiagonal(t *testing.T) {
+	r := NewRelation(3)
+	r.Add(0, 1)
+	r.Add(1, 0)
+	r.TransitiveClosure()
+	if !r.Has(0, 0) && !r.Has(1, 1) {
+		// Self-loop via Add is filtered, but closure writes raw bits;
+		// check cycle via Acyclic instead.
+		t.Log("diagonal not set; relying on Acyclic")
+	}
+	if r.Acyclic() {
+		t.Fatal("cyclic relation reported acyclic")
+	}
+}
+
+func TestTopoOrderDeterministicAndValid(t *testing.T) {
+	r := NewRelation(5)
+	r.Add(3, 1)
+	r.Add(1, 4)
+	r.Add(0, 2)
+	order, ok := r.TopoOrder()
+	if !ok {
+		t.Fatal("acyclic relation reported cyclic")
+	}
+	if !Sequence(order).RespectsRelation(r) {
+		t.Fatalf("topo order %v violates relation", order)
+	}
+	order2, _ := r.TopoOrder()
+	for i := range order {
+		if order[i] != order2[i] {
+			t.Fatal("TopoOrder not deterministic")
+		}
+	}
+	// Smallest-ID tiebreak: 0 must come first (no predecessors, smallest).
+	if order[0] != 0 {
+		t.Fatalf("order[0] = %d, want 0", order[0])
+	}
+}
+
+func TestTopoOrderCyclic(t *testing.T) {
+	r := NewRelation(3)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 0)
+	if _, ok := r.TopoOrder(); ok {
+		t.Fatal("cycle not detected")
+	}
+	if r.Acyclic() {
+		t.Fatal("Acyclic = true for a cycle")
+	}
+}
+
+func TestFindCycle(t *testing.T) {
+	r := NewRelation(6)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 3)
+	r.Add(3, 1)
+	cycle := r.FindCycle()
+	if cycle == nil {
+		t.Fatal("cycle not found")
+	}
+	if cycle[0] != cycle[len(cycle)-1] {
+		t.Fatalf("cycle endpoints differ: %v", cycle)
+	}
+	for i := 1; i < len(cycle); i++ {
+		if !r.Has(cycle[i-1], cycle[i]) {
+			t.Fatalf("cycle %v uses missing edge (%d,%d)", cycle, cycle[i-1], cycle[i])
+		}
+	}
+	acyclic := NewRelation(3)
+	acyclic.Add(0, 1)
+	if acyclic.FindCycle() != nil {
+		t.Fatal("found cycle in acyclic relation")
+	}
+}
+
+func TestSuccessorsEnumeration(t *testing.T) {
+	r := NewRelation(130)
+	targets := []ID{1, 63, 64, 65, 129}
+	for _, to := range targets {
+		r.Add(0, to)
+	}
+	var got []ID
+	r.Successors(0, func(to ID) { got = append(got, to) })
+	if len(got) != len(targets) {
+		t.Fatalf("Successors = %v", got)
+	}
+	for i := range targets {
+		if got[i] != targets[i] {
+			t.Fatalf("Successors = %v, want %v", got, targets)
+		}
+	}
+}
+
+func TestBaseRelationComponents(t *testing.T) {
+	h, ids := twoProcHistory(t)
+	a, b, c, d := ids[0], ids[1], ids[2], ids[3]
+
+	seq := MSequentialBase.Build(h)
+	if !seq.Has(a, b) || !seq.Has(c, d) {
+		t.Error("process order missing in m-SC base")
+	}
+	if !seq.Has(c, b) || !seq.Has(a, d) {
+		t.Error("reads-from missing in m-SC base")
+	}
+	if seq.Has(a, c) {
+		t.Error("real-time order leaked into m-SC base")
+	}
+	if !seq.Has(InitID, a) || !seq.Has(InitID, d) {
+		t.Error("initial m-operation must precede everything")
+	}
+
+	lin := MLinearizableBase.Build(h)
+	// a [0,10] < d [21,29] in real time.
+	if !lin.Has(a, d) || !lin.Has(c, b) || !lin.Has(a, b) {
+		t.Error("real-time order missing in m-lin base")
+	}
+	// c [5,15] and d [21,29]: ordered in real time even without shared object.
+	if !lin.Has(c, d) {
+		t.Error("c ~t~> d missing")
+	}
+
+	norm := MNormalBase.Build(h)
+	// a writes x, b reads y: no shared object => no object-order edge,
+	// but process order still orders them.
+	if !norm.Has(a, b) {
+		t.Error("process order missing in m-normal base")
+	}
+	// c [5,15] before d [21,29] but disjoint objects (y vs x): no edge
+	// from object order; process order supplies it anyway. Distinguish via
+	// a fresh pair: a ~X~> d (share x).
+	if !norm.Has(a, d) {
+		t.Error("object order missing in m-normal base")
+	}
+}
+
+// Property: TopoOrder of a random DAG always respects the relation.
+func TestTopoOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		r := NewRelation(n)
+		// Random DAG: only forward edges i < j.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					r.Add(ID(i), ID(j))
+				}
+			}
+		}
+		order, ok := r.TopoOrder()
+		return ok && Sequence(order).RespectsRelation(r)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transitive closure is idempotent and monotone.
+func TestClosureProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		r := NewRelation(n)
+		for e := 0; e < n; e++ {
+			r.Add(ID(rng.Intn(n)), ID(rng.Intn(n)))
+		}
+		orig := r.Clone()
+		r.TransitiveClosure()
+		// Monotone: original edges preserved.
+		for i := 0; i < n; i++ {
+			ok := true
+			orig.Successors(ID(i), func(to ID) {
+				if !r.Has(ID(i), to) {
+					ok = false
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		// Idempotent.
+		again := r.Clone()
+		again.TransitiveClosure()
+		for i := range r.adj {
+			if r.adj[i] != again.adj[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 60}
+}
+
+// Compile-time guard that object.ID and history.ID remain distinct types
+// (the relation is over m-operations, not objects).
+var _ = func() bool {
+	var _ object.ID
+	var _ ID
+	return true
+}()

@@ -1,0 +1,201 @@
+package history
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Timeline renders the history as per-process lanes in the style of the
+// paper's figures: one row per process, one box per m-operation spanning
+// its invocation..response interval, labelled with its operations.
+//
+//	P1 |--[alpha= r(x)0 w(y)2]--|        |--[beta= r(y)2]--|
+//	P2      |--[gamma= w(x)1]-------|         |--[delta= w(y)3]--|
+//
+// Time is compressed to event order (not to scale), which keeps the
+// rendering readable for real executions whose intervals differ by
+// orders of magnitude.
+func (h *History) Timeline(w io.Writer) error {
+	mops := h.MOps()[1:]
+	if len(mops) == 0 {
+		_, err := fmt.Fprintln(w, "(empty history)")
+		return err
+	}
+
+	// Compress time: sort all event instants, assign each a column.
+	instants := make([]int64, 0, 2*len(mops))
+	for _, m := range mops {
+		instants = append(instants, m.Inv, m.Resp)
+	}
+	sort.Slice(instants, func(i, j int) bool { return instants[i] < instants[j] })
+	col := make(map[int64]int, len(instants))
+	for _, t := range instants {
+		if _, ok := col[t]; !ok {
+			col[t] = len(col)
+		}
+	}
+
+	// Build each m-operation's label.
+	label := func(m *MOp) string {
+		var b strings.Builder
+		if m.Label != "" {
+			b.WriteString(m.Label)
+		} else {
+			fmt.Fprintf(&b, "m%d", int(m.ID))
+		}
+		b.WriteString("=")
+		for i, op := range m.Ops {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s(%s)%d", op.Kind, h.reg.Name(op.Obj), op.Val)
+		}
+		return b.String()
+	}
+
+	// Column widths: every logical column must be wide enough for the
+	// widest box that STARTS there (boxes may span several columns; give
+	// the full width to the starting column for simplicity).
+	numCols := len(col)
+	width := make([]int, numCols)
+	for i := range width {
+		width[i] = 2
+	}
+	for _, m := range mops {
+		c := col[m.Inv]
+		need := len(label(m)) + 6 // "|-[" + "]-|"
+		if width[c] < need {
+			width[c] = need
+		}
+	}
+	start := make([]int, numCols) // absolute start offset of each column
+	off := 0
+	for i := 0; i < numCols; i++ {
+		start[i] = off
+		off += width[i]
+	}
+
+	procs := h.Procs()
+	for _, p := range procs {
+		var line strings.Builder
+		fmt.Fprintf(&line, "P%-3d ", p)
+		base := line.Len()
+		row := make([]byte, off+4)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, id := range h.ProcOps(p) {
+			m := h.MOp(id)
+			s := start[col[m.Inv]]
+			e := start[col[m.Resp]] + 1
+			box := "|-[" + label(m) + "]-|"
+			if e-s < len(box) {
+				e = s + len(box)
+			}
+			if e > len(row) {
+				grown := make([]byte, e+4)
+				for i := range grown {
+					grown[i] = ' '
+				}
+				copy(grown, row)
+				row = grown
+			}
+			copy(row[s:], "|-[")
+			copy(row[s+3:], label(m))
+			for i := s + 3 + len(label(m)); i < e-2; i++ {
+				row[i] = '-'
+			}
+			copy(row[e-2:], "]-|")
+		}
+		line.Write(row)
+		_ = base
+		if _, err := fmt.Fprintln(w, strings.TrimRight(line.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DOT renders the history's base relation for the given consistency
+// condition as a Graphviz digraph: nodes are m-operations, solid edges
+// are process order, dashed edges reads-from, dotted edges real-time
+// (only edges not implied by the others are drawn for readability —
+// specifically, the transitive reduction is NOT computed; instead
+// real-time edges are included only when requested by the base).
+func (h *History) DOT(w io.Writer, base BaseRelation) error {
+	name := func(id ID) string {
+		m := h.MOp(id)
+		if m == nil {
+			return fmt.Sprintf("m%d", int(id))
+		}
+		if m.Label != "" {
+			return m.Label
+		}
+		if id == InitID {
+			return "init"
+		}
+		return fmt.Sprintf("m%d", int(id))
+	}
+	if _, err := fmt.Fprintln(w, "digraph history {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	for _, m := range h.MOps() {
+		shape := "box"
+		if m.ID == InitID {
+			shape = "ellipse"
+		}
+		lbl := name(m.ID)
+		if m.ID != InitID {
+			lbl = fmt.Sprintf("%s\\nP%d", lbl, m.Proc)
+		}
+		fmt.Fprintf(w, "  %s [shape=%s, label=\"%s\"];\n", name(m.ID), shape, lbl)
+	}
+	// Process order (solid).
+	if base.ProcessOrder {
+		for _, p := range h.Procs() {
+			ids := h.ProcOps(p)
+			for i := 1; i < len(ids); i++ {
+				fmt.Fprintf(w, "  %s -> %s [label=\"P\"];\n", name(ids[i-1]), name(ids[i]))
+			}
+		}
+	}
+	// Reads-from (dashed).
+	if base.ReadsFrom {
+		for _, m := range h.MOps()[1:] {
+			for _, x := range m.RObjects().IDs() {
+				src, ok := h.ReadsFromSource(m.ID, x)
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(w, "  %s -> %s [style=dashed, label=\"rf(%s)\"];\n",
+					name(src), name(m.ID), h.reg.Name(x))
+			}
+		}
+	}
+	// Real-time / object order (dotted), reduced to immediate successors
+	// so the graph stays readable.
+	if base.RealTime || base.ObjectOrder {
+		rel := BaseRelation{RealTime: base.RealTime, ObjectOrder: base.ObjectOrder}.Build(h)
+		drawn := 0
+		for from := 1; from < h.Len(); from++ {
+			rel.Successors(ID(from), func(to ID) {
+				// Skip edges implied transitively through another node.
+				implied := false
+				rel.Successors(ID(from), func(mid ID) {
+					if mid != to && rel.Has(mid, to) {
+						implied = true
+					}
+				})
+				if !implied {
+					fmt.Fprintf(w, "  %s -> %s [style=dotted];\n", name(ID(from)), name(to))
+					drawn++
+				}
+			})
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,102 @@
+package history
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"moc/internal/object"
+)
+
+func TestTimelineRendersFigure1(t *testing.T) {
+	fig, err := Figure1()
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := fig.H.Timeline(&buf); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"P1", "P2", "P3", "alpha=", "beta=", "delta=", "eta=", "mu=", "r(x)0", "w(y)1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// One lane per process.
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 3 {
+		t.Errorf("timeline has %d lanes, want 3:\n%s", lines, out)
+	}
+}
+
+func TestTimelineOrdersEventsWithinLane(t *testing.T) {
+	h, _ := twoProcHistory(t)
+	var buf bytes.Buffer
+	if err := h.Timeline(&buf); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	out := buf.String()
+	// P1's first m-operation (w(x)1) must appear before its second (r(y)2).
+	lane := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "P1") {
+			lane = l
+		}
+	}
+	if lane == "" {
+		t.Fatalf("no P1 lane:\n%s", out)
+	}
+	if strings.Index(lane, "w(x)1") > strings.Index(lane, "r(y)2") {
+		t.Fatalf("P1 lane out of order: %s", lane)
+	}
+}
+
+func TestTimelineEmptyHistory(t *testing.T) {
+	b := NewBuilder(object.MustRegistry("x", "y"))
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := h.Timeline(&buf); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("empty rendering = %q", buf.String())
+	}
+}
+
+func TestDOTContainsNodesAndEdges(t *testing.T) {
+	fig, err := Figure2()
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := fig.H.DOT(&buf, MLinearizableBase); err != nil {
+		t.Fatalf("DOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph history", "alpha", "gamma", "init",
+		`label="P"`, "style=dashed", "style=dotted", "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// rf edge init -> alpha on x.
+	if !strings.Contains(out, "init -> alpha") {
+		t.Errorf("DOT missing init -> alpha rf edge:\n%s", out)
+	}
+}
+
+func TestDOTMSequentialOmitsRealTime(t *testing.T) {
+	h, _ := twoProcHistory(t)
+	var buf bytes.Buffer
+	if err := h.DOT(&buf, MSequentialBase); err != nil {
+		t.Fatalf("DOT: %v", err)
+	}
+	if strings.Contains(buf.String(), "dotted") {
+		t.Fatal("m-SC DOT should not draw real-time edges")
+	}
+}

@@ -1,0 +1,83 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Restrict builds the sub-history containing exactly the given
+// m-operations (the initial m-operation is always included), remapping
+// IDs densely. It returns the sub-history and the old→new ID mapping.
+//
+// The selection must be reads-from closed: every reads-from source of an
+// included m-operation must itself be included (otherwise a read would
+// dangle). Restriction is what the m-causal-consistency checker uses to
+// form each process's view: all update m-operations plus that process's
+// own m-operations — a set that is always reads-from closed, because
+// only updates write.
+func (h *History) Restrict(ids []ID) (*History, map[ID]ID, error) {
+	include := make(map[ID]bool, len(ids)+1)
+	include[InitID] = true
+	for _, id := range ids {
+		if id < 0 || int(id) >= h.Len() {
+			return nil, nil, fmt.Errorf("history: restrict: invalid id %d", int(id))
+		}
+		include[id] = true
+	}
+
+	ordered := make([]ID, 0, len(include)-1)
+	for id := range include {
+		if id != InitID {
+			ordered = append(ordered, id)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+	// Closure check.
+	for _, id := range ordered {
+		for x, src := range h.readsFrom[id] {
+			if !include[src] {
+				return nil, nil, fmt.Errorf(
+					"history: restrict: m-operation %d reads object %d from excluded m-operation %d",
+					int(id), int(x), int(src))
+			}
+		}
+	}
+
+	b := NewBuilder(h.reg)
+	mapping := make(map[ID]ID, len(include))
+	mapping[InitID] = InitID
+	for _, id := range ordered {
+		m := h.mops[id]
+		mapping[id] = b.AddLabeled(m.Label, m.Proc, m.Inv, m.Resp, m.Ops...)
+	}
+	for _, id := range ordered {
+		for x, src := range h.readsFrom[id] {
+			b.SetReadsFrom(mapping[id], x, mapping[src])
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("history: restrict: %w", err)
+	}
+	return sub, mapping, nil
+}
+
+// RemapRelation translates a relation over h's IDs onto a restricted
+// history's IDs: pairs whose endpoints are both included survive; all
+// others are dropped.
+func RemapRelation(rel *Relation, mapping map[ID]ID, newLen int) *Relation {
+	out := NewRelation(newLen)
+	for from := 0; from < rel.Len(); from++ {
+		newFrom, ok := mapping[ID(from)]
+		if !ok {
+			continue
+		}
+		rel.Successors(ID(from), func(to ID) {
+			if newTo, ok := mapping[to]; ok {
+				out.Add(newFrom, newTo)
+			}
+		})
+	}
+	return out
+}

@@ -1,0 +1,416 @@
+// Package mlin implements the m-linearizability protocol of Figure 6 of
+// Mittal & Garg (1998) for fully asynchronous systems — no clock
+// synchronization or message-delay bound is assumed:
+//
+//	(A1) an update m-operation is atomically broadcast to all processes;
+//	(A2) on delivery, each process applies it to its local copy (myX,
+//	     myts), bumping written objects' versions; the issuer responds;
+//	(A3) a query m-operation sends a "query" message to all processes;
+//	(A4) on receiving a "query", a process replies with its local copy
+//	     and timestamps;
+//	(A5) the issuer merges responses, keeping the most recent version of
+//	     every object (othX, othts);
+//	(A6) once all processes have responded, the query reads the merged
+//	     copy and responds.
+//
+// The query round-trip is what upgrades m-sequential consistency to
+// m-linearizability (Theorem 20): a query can no longer miss an update
+// whose response preceded the query's invocation in real time, because
+// at least the updating process itself answers with the new version.
+//
+// The closing remark of Section 5.2 — "the protocol is still correct if
+// only the relevant copies of the shared objects and their timestamp is
+// sent" — is implemented as the RelevantOnly option and measured by
+// experiment E9.
+package mlin
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moc/internal/abcast"
+	"moc/internal/mop"
+	"moc/internal/network"
+	"moc/internal/object"
+	"moc/internal/timestamp"
+)
+
+// Config parameterizes the protocol.
+type Config struct {
+	// Procs is the number of processes.
+	Procs int
+	// Reg is the shared-object registry.
+	Reg *object.Registry
+	// Broadcast is the atomic broadcast service for updates; the
+	// protocol takes ownership and closes it.
+	Broadcast abcast.Broadcaster
+	// Seed, MinDelay and MaxDelay parameterize the query network.
+	Seed               int64
+	MinDelay, MaxDelay time.Duration
+	// RelevantOnly, when true, restricts query responses to the query's
+	// footprint (Section 5.2's final optimization); otherwise whole
+	// copies are shipped, exactly as in Figure 6.
+	RelevantOnly bool
+	// Clock returns nanoseconds since the run origin; must be monotonic.
+	Clock func() int64
+}
+
+// Protocol is a running instance of the Figure 6 protocol.
+type Protocol struct {
+	cfg    Config
+	qnet   *network.Network
+	states []*procState
+	stop   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	nextID atomic.Int64
+}
+
+type procState struct {
+	mu      sync.Mutex
+	values  []object.Value // myX
+	ts      timestamp.TS   // myts
+	pendUpd map[int64]chan updateOutcome
+	pendQry map[int64]*queryState
+}
+
+type queryState struct {
+	othX    []object.Value
+	othts   timestamp.TS
+	waiting int
+	done    chan struct{}
+}
+
+type updatePayload struct {
+	reqID int64
+	from  int
+	proc  mop.Procedure
+}
+
+type updateOutcome struct {
+	rec mop.Record
+	err error
+}
+
+type queryMsg struct {
+	reqID int64
+	objs  []object.ID // nil means "send everything" (Figure 6 verbatim)
+}
+
+type queryResp struct {
+	reqID  int64
+	objs   []object.ID // objects covered (all, in whole-copy mode)
+	values []object.Value
+	ts     []int64
+}
+
+// ErrClosed is returned by Execute after Close.
+var ErrClosed = errors.New("mlin: protocol closed")
+
+// New starts the protocol: a delivery loop (A2) and a message loop
+// (A4/A5/A6 plumbing) per process.
+func New(cfg Config) (*Protocol, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("mlin: invalid proc count %d", cfg.Procs)
+	}
+	if cfg.Reg == nil || cfg.Broadcast == nil {
+		return nil, errors.New("mlin: registry and broadcaster are required")
+	}
+	if cfg.Clock == nil {
+		origin := time.Now()
+		cfg.Clock = func() int64 { return time.Since(origin).Nanoseconds() }
+	}
+	qnet, err := network.New(network.Config{
+		Procs:    cfg.Procs,
+		Seed:     cfg.Seed,
+		MinDelay: cfg.MinDelay,
+		MaxDelay: cfg.MaxDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &Protocol{
+		cfg:    cfg,
+		qnet:   qnet,
+		states: make([]*procState, cfg.Procs),
+		stop:   make(chan struct{}),
+	}
+	for i := range p.states {
+		p.states[i] = &procState{
+			values:  make([]object.Value, cfg.Reg.Len()),
+			ts:      timestamp.New(cfg.Reg.Len()),
+			pendUpd: make(map[int64]chan updateOutcome),
+			pendQry: make(map[int64]*queryState),
+		}
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		p.wg.Add(1)
+		go p.deliveryLoop(i)
+		p.wg.Add(1)
+		go p.messageLoop(i)
+	}
+	return p, nil
+}
+
+// Execute runs procedure pr as an m-operation of process proc and blocks
+// until the response event. Callers must not invoke Execute concurrently
+// for the same process (processes are sequential threads of control).
+func (p *Protocol) Execute(proc int, pr mop.Procedure) (mop.Record, error) {
+	if p.closed.Load() {
+		return mop.Record{}, ErrClosed
+	}
+	if proc < 0 || proc >= p.cfg.Procs {
+		return mop.Record{}, fmt.Errorf("mlin: invalid process %d", proc)
+	}
+	if pr.MayWrite() {
+		return p.executeUpdate(proc, pr)
+	}
+	return p.executeQuery(proc, pr)
+}
+
+// executeUpdate implements A1 (identical to the m-SC protocol).
+func (p *Protocol) executeUpdate(proc int, pr mop.Procedure) (mop.Record, error) {
+	st := p.states[proc]
+	reqID := p.nextID.Add(1)
+	done := make(chan updateOutcome, 1)
+	st.mu.Lock()
+	st.pendUpd[reqID] = done
+	st.mu.Unlock()
+
+	inv := p.cfg.Clock()
+	if err := p.cfg.Broadcast.Broadcast(proc, updatePayload{reqID: reqID, from: proc, proc: pr}, mop.PayloadBytes(pr)); err != nil {
+		st.mu.Lock()
+		delete(st.pendUpd, reqID)
+		st.mu.Unlock()
+		return mop.Record{}, fmt.Errorf("mlin: broadcast: %w", err)
+	}
+	select {
+	case out := <-done:
+		if out.err != nil {
+			return mop.Record{}, out.err
+		}
+		out.rec.Inv = inv
+		out.rec.Resp = p.cfg.Clock()
+		return out.rec, nil
+	case <-p.stop:
+		return mop.Record{}, ErrClosed
+	}
+}
+
+// executeQuery implements A3 + A6: broadcast a "query", wait until every
+// process has answered, then read the merged freshest copy.
+func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) {
+	st := p.states[proc]
+	reqID := p.nextID.Add(1)
+	qs := &queryState{
+		othX:    make([]object.Value, p.cfg.Reg.Len()),
+		othts:   timestamp.New(p.cfg.Reg.Len()),
+		waiting: p.cfg.Procs,
+		done:    make(chan struct{}),
+	}
+	st.mu.Lock()
+	st.pendQry[reqID] = qs
+	st.mu.Unlock()
+
+	inv := p.cfg.Clock()
+	msg := queryMsg{reqID: reqID}
+	bytes := 16
+	if p.cfg.RelevantOnly {
+		msg.objs = pr.Footprint().IDs()
+		bytes += 8 * len(msg.objs)
+	}
+	for q := 0; q < p.cfg.Procs; q++ {
+		if err := p.qnet.Send(proc, q, "mlin.query", msg, bytes); err != nil {
+			st.mu.Lock()
+			delete(st.pendQry, reqID)
+			st.mu.Unlock()
+			return mop.Record{}, fmt.Errorf("mlin: query: %w", err)
+		}
+	}
+
+	select {
+	case <-qs.done:
+	case <-p.stop:
+		st.mu.Lock()
+		delete(st.pendQry, reqID)
+		st.mu.Unlock()
+		return mop.Record{}, ErrClosed
+	}
+	st.mu.Lock()
+	delete(st.pendQry, reqID)
+	st.mu.Unlock()
+
+	// A6: apply the query to the merged copy. No lock is needed: all
+	// responses have been merged and the query state is no longer
+	// reachable from the message loop.
+	tsStart := qs.othts.Clone()
+	rec := mop.NewRecorder(qs.othX, pr)
+	result := pr.Run(rec)
+	if err := rec.Err(); err != nil {
+		return mop.Record{}, err
+	}
+	// The merged copy is a consistent full snapshot in whole-copy mode;
+	// in relevant-only mode only the footprint's entries are meaningful.
+	fp := object.FullSet(p.cfg.Reg.Len())
+	if p.cfg.RelevantOnly {
+		fp = pr.Footprint()
+	}
+	return mop.Record{
+		Proc:      proc,
+		Update:    false,
+		Seq:       -1,
+		Ops:       rec.Ops(),
+		TSStart:   tsStart,
+		TSEnd:     qs.othts.Clone(),
+		Footprint: fp,
+		Inv:       inv,
+		Resp:      p.cfg.Clock(),
+		Result:    result,
+	}, nil
+}
+
+// deliveryLoop implements A2 for one process.
+func (p *Protocol) deliveryLoop(proc int) {
+	defer p.wg.Done()
+	st := p.states[proc]
+	for {
+		select {
+		case <-p.stop:
+			return
+		case d := <-p.cfg.Broadcast.Deliveries(proc):
+			payload, ok := d.Payload.(updatePayload)
+			if !ok {
+				continue
+			}
+			st.mu.Lock()
+			rec, err := applyLocked(st, payload.proc, payload.from, d.Seq)
+			var done chan updateOutcome
+			if payload.from == proc {
+				done = st.pendUpd[payload.reqID]
+				delete(st.pendUpd, payload.reqID)
+			}
+			st.mu.Unlock()
+			if done != nil {
+				done <- updateOutcome{rec: rec, err: err}
+			}
+		}
+	}
+}
+
+// messageLoop implements A4 (answer queries) and A5 (merge responses).
+func (p *Protocol) messageLoop(proc int) {
+	defer p.wg.Done()
+	st := p.states[proc]
+	for {
+		select {
+		case <-p.stop:
+			return
+		case msg := <-p.qnet.Recv(proc):
+			switch m := msg.Payload.(type) {
+			case queryMsg:
+				p.answerQuery(proc, msg.From, m)
+			case queryResp:
+				st.mu.Lock()
+				qs, ok := st.pendQry[m.reqID]
+				if ok && qs.waiting > 0 {
+					for i, x := range m.objs {
+						if m.ts[i] > qs.othts.Get(x) {
+							qs.othts.Set(x, m.ts[i])
+							qs.othX[x] = m.values[i]
+						}
+					}
+					qs.waiting--
+					if qs.waiting == 0 {
+						close(qs.done)
+					}
+				}
+				st.mu.Unlock()
+			}
+		}
+	}
+}
+
+// answerQuery implements A4: snapshot the local copy (whole or relevant
+// objects only) and reply.
+func (p *Protocol) answerQuery(proc, from int, m queryMsg) {
+	st := p.states[proc]
+	st.mu.Lock()
+	var objs []object.ID
+	if m.objs == nil {
+		objs = make([]object.ID, p.cfg.Reg.Len())
+		for i := range objs {
+			objs[i] = object.ID(i)
+		}
+	} else {
+		objs = m.objs
+	}
+	resp := queryResp{
+		reqID:  m.reqID,
+		objs:   objs,
+		values: make([]object.Value, len(objs)),
+		ts:     make([]int64, len(objs)),
+	}
+	for i, x := range objs {
+		resp.values[i] = st.values[x]
+		resp.ts[i] = st.ts.Get(x)
+	}
+	st.mu.Unlock()
+	bytes := 16 + 24*len(objs) // id + per-object (id, value, version)
+	// Send failures only occur at shutdown; the query will be released
+	// by p.stop.
+	_ = p.qnet.Send(proc, from, "mlin.qresp", resp, bytes)
+}
+
+// applyLocked is action A2's body (identical to the m-SC protocol's).
+func applyLocked(st *procState, pr mop.Procedure, proc int, seq int64) (mop.Record, error) {
+	tsStart := st.ts.Clone()
+	rec := mop.NewRecorder(st.values, pr)
+	result := pr.Run(rec)
+	for _, x := range rec.Written().IDs() {
+		st.ts.Bump(x)
+	}
+	if err := rec.Err(); err != nil {
+		return mop.Record{}, err
+	}
+	return mop.Record{
+		Proc:      proc,
+		Update:    seq >= 0,
+		Seq:       seq,
+		Ops:       rec.Ops(),
+		TSStart:   tsStart,
+		TSEnd:     st.ts.Clone(),
+		Footprint: object.FullSet(len(st.values)),
+		Result:    result,
+	}, nil
+}
+
+// QueryTraffic returns the query network's traffic counters (experiment
+// E9 reads these).
+func (p *Protocol) QueryTraffic() network.Stats { return p.qnet.Stats() }
+
+// BroadcastTraffic returns the broadcaster's (messages, bytes).
+func (p *Protocol) BroadcastTraffic() (int64, int64) { return p.cfg.Broadcast.MessageCost() }
+
+// LocalTS returns a copy of process proc's current myts (test
+// instrumentation).
+func (p *Protocol) LocalTS(proc int) timestamp.TS {
+	st := p.states[proc]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ts.Clone()
+}
+
+// Close shuts the protocol down, including the broadcaster it owns and
+// its query network.
+func (p *Protocol) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.stop)
+	p.cfg.Broadcast.Close()
+	p.qnet.Close()
+	p.wg.Wait()
+}

@@ -1,0 +1,229 @@
+package mlin
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"moc/internal/abcast"
+	"moc/internal/mop"
+	"moc/internal/object"
+)
+
+func newProtocol(t *testing.T, procs int, maxDelay time.Duration, relevantOnly bool) *Protocol {
+	t.Helper()
+	reg := object.Sequential(4)
+	b, err := abcast.NewSequencer(abcast.SequencerConfig{Procs: procs, Seed: 42, MaxDelay: maxDelay})
+	if err != nil {
+		t.Fatalf("NewSequencer: %v", err)
+	}
+	p, err := New(Config{
+		Procs: procs, Reg: reg, Broadcast: b,
+		Seed: 7, MaxDelay: maxDelay, RelevantOnly: relevantOnly,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	reg := object.Sequential(1)
+	if _, err := New(Config{Procs: 0, Reg: reg}); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+	if _, err := New(Config{Procs: 1}); err == nil {
+		t.Fatal("missing registry/broadcaster accepted")
+	}
+}
+
+func TestFreshReadAfterRemoteUpdate(t *testing.T) {
+	// THE m-linearizability guarantee, and the difference from the m-SC
+	// protocol: once an update has responded, every later query — at any
+	// process — observes it, regardless of delivery lag. Run many trials
+	// with large random delays; a stale read is a protocol bug.
+	reg := object.Sequential(1)
+	for trial := 0; trial < 25; trial++ {
+		b, err := abcast.NewSequencer(abcast.SequencerConfig{
+			Procs: 3, Seed: int64(trial), MaxDelay: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("NewSequencer: %v", err)
+		}
+		p, err := New(Config{
+			Procs: 3, Reg: reg, Broadcast: b,
+			Seed: int64(trial) + 100, MaxDelay: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: object.Value(trial + 1)}); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		rec, err := p.Execute(1, mop.ReadOp{X: 0})
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		if got := rec.Result.(object.Value); got != object.Value(trial+1) {
+			t.Fatalf("trial %d: stale read %d after responded update %d", trial, got, trial+1)
+		}
+		p.Close()
+	}
+}
+
+func TestQueryMergesFreshestVersions(t *testing.T) {
+	p := newProtocol(t, 3, time.Millisecond, false)
+	if _, err := p.Execute(0, mop.WriteOp{X: 0, V: 5}); err != nil {
+		t.Fatalf("w0: %v", err)
+	}
+	if _, err := p.Execute(1, mop.WriteOp{X: 1, V: 6}); err != nil {
+		t.Fatalf("w1: %v", err)
+	}
+	rec, err := p.Execute(2, mop.MultiRead{Xs: []object.ID{0, 1}})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	got := rec.Result.([]object.Value)
+	if got[0] != 5 || got[1] != 6 {
+		t.Fatalf("merged read = %v", got)
+	}
+	if rec.TSStart.Get(0) != 1 || rec.TSStart.Get(1) != 1 {
+		t.Fatalf("query versions = %v", rec.TSStart)
+	}
+}
+
+func TestRelevantOnlyModeCorrectAndCheaper(t *testing.T) {
+	run := func(relevant bool) (int64, *Protocol) {
+		reg := object.Sequential(64)
+		b, err := abcast.NewSequencer(abcast.SequencerConfig{Procs: 3, Seed: 5})
+		if err != nil {
+			t.Fatalf("NewSequencer: %v", err)
+		}
+		p, err := New(Config{Procs: 3, Reg: reg, Broadcast: b, Seed: 6, RelevantOnly: relevant})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		t.Cleanup(p.Close)
+		if _, err := p.Execute(0, mop.WriteOp{X: 7, V: 1}); err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		for i := 0; i < 10; i++ {
+			rec, err := p.Execute(1, mop.ReadOp{X: 7})
+			if err != nil {
+				t.Fatalf("query: %v", err)
+			}
+			if rec.Result.(object.Value) != 1 {
+				t.Fatalf("wrong value in relevant=%v mode", relevant)
+			}
+		}
+		return p.QueryTraffic().Bytes, p
+	}
+	fullBytes, _ := run(false)
+	relBytes, _ := run(true)
+	if relBytes >= fullBytes {
+		t.Fatalf("relevant-only (%d B) should be cheaper than full copies (%d B)", relBytes, fullBytes)
+	}
+}
+
+func TestQueryTrafficAccounted(t *testing.T) {
+	p := newProtocol(t, 3, 0, false)
+	if _, err := p.Execute(0, mop.ReadOp{X: 0}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	st := p.QueryTraffic()
+	// 3 query messages + 3 responses.
+	if st.Messages != 6 {
+		t.Fatalf("messages = %d, want 6", st.Messages)
+	}
+	if st.ByKind["mlin.query"].Messages != 3 || st.ByKind["mlin.qresp"].Messages != 3 {
+		t.Fatalf("per-kind = %+v", st.ByKind)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	p := newProtocol(t, 4, time.Millisecond, false)
+	var wg sync.WaitGroup
+	for proc := 0; proc < 4; proc++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				var err error
+				if i%2 == 0 {
+					_, err = p.Execute(proc, mop.WriteOp{X: object.ID(i % 4), V: object.Value(proc*1000 + i)})
+				} else {
+					_, err = p.Execute(proc, mop.MultiRead{Xs: []object.ID{0, 1, 2, 3}})
+				}
+				if err != nil {
+					t.Errorf("P%d op %d: %v", proc, i, err)
+					return
+				}
+			}
+		}(proc)
+	}
+	wg.Wait()
+}
+
+func TestUpdatePathMatchesMSC(t *testing.T) {
+	p := newProtocol(t, 2, 0, false)
+	rec, err := p.Execute(0, mop.WriteOp{X: 2, V: 9})
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if !rec.Update || rec.Seq < 0 || rec.TSEnd.Get(2) != 1 {
+		t.Fatalf("update record = %+v", rec)
+	}
+	cost, _ := p.BroadcastTraffic()
+	if cost == 0 {
+		t.Fatal("broadcast traffic unaccounted")
+	}
+}
+
+func TestContractViolationInQuery(t *testing.T) {
+	p := newProtocol(t, 2, 0, false)
+	bad := mop.Func{
+		Objects: object.NewSet(0),
+		Writes:  false,
+		Body:    func(txn mop.Txn) any { return txn.Read(3) },
+	}
+	if _, err := p.Execute(0, bad); err == nil {
+		t.Fatal("footprint escape in query not reported")
+	}
+	// Protocol must stay usable; the pending query state must have been
+	// cleaned up.
+	if _, err := p.Execute(0, mop.ReadOp{X: 0}); err != nil {
+		t.Fatalf("protocol wedged: %v", err)
+	}
+}
+
+func TestExecuteValidationAndClose(t *testing.T) {
+	reg := object.Sequential(1)
+	b, err := abcast.NewSequencer(abcast.SequencerConfig{Procs: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewSequencer: %v", err)
+	}
+	p, err := New(Config{Procs: 1, Reg: reg, Broadcast: b, Seed: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := p.Execute(9, mop.ReadOp{X: 0}); err == nil {
+		t.Fatal("invalid process accepted")
+	}
+	p.Close()
+	if _, err := p.Execute(0, mop.ReadOp{X: 0}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestLocalTSInstrumentation(t *testing.T) {
+	p := newProtocol(t, 2, 0, false)
+	if _, err := p.Execute(0, mop.WriteOp{X: 1, V: 3}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	ts := p.LocalTS(0)
+	if ts.Get(1) != 1 {
+		t.Fatalf("LocalTS = %v", ts)
+	}
+}

@@ -1,0 +1,213 @@
+// Package monitor provides runtime verification for protocol executions,
+// complementing the offline checkers:
+//
+//   - ValidateAxioms re-checks the Section 5 proof obligations
+//     (P5.2–P5.4, P5.16/P5.17/P5.27/P5.28, and Lemma 16's real-time
+//     property for m-linearizability) directly against the raw records a
+//     run produced. Where the paper *proves* these properties hold for
+//     its protocols, the validator *measures* that they hold for this
+//     implementation — and pinpoints the first violated property if a
+//     protocol change breaks one.
+//
+//   - Monitor (monitor.go) is a streaming checker that consumes records
+//     as operations complete and flags consistency violations online,
+//     without ever building the full history or running the NP-hard
+//     decider.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"moc/internal/mop"
+	"moc/internal/object"
+)
+
+// Violation describes one failed proof obligation.
+type Violation struct {
+	// Property names the paper's property, e.g. "P5.4".
+	Property string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Property + ": " + v.Detail }
+
+// Level selects which obligations apply.
+type Level int
+
+// Levels.
+const (
+	// MSCLevel checks the obligations common to both protocols.
+	MSCLevel Level = iota + 1
+	// MLinLevel additionally checks Lemma 16's real-time property
+	// (resp(β) < inv(α) ⟹ ts(finish(β)) ≤ ts(start(α))), which only the
+	// Figure 6 protocol guarantees.
+	MLinLevel
+)
+
+// ValidateAxioms checks the Section 5 properties against a quiesced
+// run's records (any order; they are sorted internally). numObjects is
+// the registry size. The returned slice is empty iff every obligation
+// holds.
+func ValidateAxioms(recs []mop.Record, numObjects int, level Level) []Violation {
+	var out []Violation
+	report := func(prop, format string, args ...any) {
+		out = append(out, Violation{Property: prop, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	sorted := make([]mop.Record, 0, len(recs))
+	for _, r := range recs {
+		// Tag-based records (the causal protocol) carry no version
+		// vectors; the P5.x obligations are defined over the
+		// version-vector protocols only.
+		if r.TSStart != nil && r.TSEnd != nil {
+			sorted = append(sorted, r)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Inv < sorted[j].Inv })
+
+	// P5.16/P5.17 (and their Figure 6 counterparts P5.27/P5.28): within
+	// one m-operation, written objects advance by exactly one version,
+	// unwritten footprint objects not at all.
+	for i, r := range sorted {
+		written := writeSet(r)
+		for _, x := range r.Footprint.IDs() {
+			start, end := r.TSStart.Get(x), r.TSEnd.Get(x)
+			if written[x] {
+				if end != start+1 {
+					report("P5.17", "record %d (P%d): wrote %d but version moved %d -> %d", i, r.Proc, int(x), start, end)
+				}
+			} else if start != end {
+				report("P5.16", "record %d (P%d): did not write %d but version moved %d -> %d", i, r.Proc, int(x), start, end)
+			}
+		}
+	}
+
+	// P5.2/P5.13: update m-operations are totally ordered — broadcast
+	// protocols stamp distinct sequence numbers; per-object protocols
+	// (Seq == -1) are instead checked per object below.
+	seqs := make(map[int64]int)
+	for i, r := range sorted {
+		if !r.Update || r.Seq < 0 {
+			continue
+		}
+		if j, dup := seqs[r.Seq]; dup {
+			report("P5.2", "records %d and %d share delivery sequence %d", j, i, r.Seq)
+		}
+		seqs[r.Seq] = i
+	}
+
+	// Version uniqueness: every (object, version>0) has exactly one
+	// writer. This is the foundation of D5.1's reads-from derivation.
+	type ov struct {
+		x object.ID
+		v int64
+	}
+	writers := make(map[ov]int)
+	for i, r := range sorted {
+		for x, v := range r.VersionedWrites() {
+			key := ov{x, v}
+			if j, dup := writers[key]; dup {
+				report("D5.1", "version %d of object %d written by records %d and %d", v, int(x), j, i)
+			}
+			writers[key] = i
+		}
+	}
+
+	// P5.3/P5.4 along process order: for consecutive m-operations β, α of
+	// one process, ts(β) ≤ ts(α) on the common footprint, strictly on
+	// objects α writes.
+	byProc := make(map[int][]mop.Record)
+	for _, r := range sorted {
+		byProc[r.Proc] = append(byProc[r.Proc], r)
+	}
+	for p, rs := range byProc {
+		for i := 1; i < len(rs); i++ {
+			prev, cur := rs[i-1], rs[i]
+			common := prev.Footprint.Intersect(cur.Footprint)
+			curWrites := writeSet(cur)
+			for _, x := range common.IDs() {
+				if prev.TSEnd.Get(x) > cur.TSEnd.Get(x) {
+					report("P5.3", "P%d: ts regressed on object %d: %d then %d",
+						p, int(x), prev.TSEnd.Get(x), cur.TSEnd.Get(x))
+				}
+				if curWrites[x] && prev.TSEnd.Get(x) >= cur.TSEnd.Get(x) {
+					report("P5.4", "P%d: write to %d did not advance version past predecessor (%d vs %d)",
+						p, int(x), prev.TSEnd.Get(x), cur.TSEnd.Get(x))
+				}
+			}
+		}
+	}
+
+	// P5.3/P5.4 along the ww order (broadcast-synchronized updates).
+	var updates []mop.Record
+	for _, r := range sorted {
+		if r.Update && r.Seq >= 0 {
+			updates = append(updates, r)
+		}
+	}
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Seq < updates[j].Seq })
+	for i := 1; i < len(updates); i++ {
+		prev, cur := updates[i-1], updates[i]
+		common := prev.Footprint.Intersect(cur.Footprint)
+		for _, x := range common.IDs() {
+			if prev.TSEnd.Get(x) > cur.TSEnd.Get(x) {
+				report("P5.3", "ww order: ts regressed on object %d between seq %d and %d",
+					int(x), prev.Seq, cur.Seq)
+			}
+		}
+		for x := range cur.VersionedWrites() {
+			if common.Contains(x) && prev.TSEnd.Get(x) >= cur.TSEnd.Get(x) {
+				report("P5.4", "ww order: seq %d write to %d not past seq %d", cur.Seq, int(x), prev.Seq)
+			}
+		}
+	}
+
+	// Lemma 16 (m-linearizability only): β responded before α was
+	// invoked ⟹ ts(finish(β)) ≤ ts(start(α)) on the common footprint.
+	if level == MLinLevel {
+		for i, a := range sorted {
+			for j, b := range sorted {
+				if i == j || b.Resp >= a.Inv {
+					continue
+				}
+				common := b.Footprint.Intersect(a.Footprint)
+				for _, x := range common.IDs() {
+					if b.TSEnd.Get(x) > a.TSStart.Get(x) {
+						report("Lemma16",
+							"record %d (P%d) invoked after record %d (P%d) responded but starts at version %d < %d of object %d",
+							i, a.Proc, j, b.Proc, a.TSStart.Get(x), b.TSEnd.Get(x), int(x))
+					}
+				}
+			}
+		}
+	}
+
+	// Versions never exceed the number of writes observed (sanity bound).
+	maxVersion := make([]int64, numObjects)
+	for _, r := range sorted {
+		for x, v := range r.VersionedWrites() {
+			if int(x) < numObjects && v > maxVersion[x] {
+				maxVersion[x] = v
+			}
+		}
+	}
+	for _, r := range sorted {
+		for _, x := range r.Footprint.IDs() {
+			if int(x) < numObjects && r.TSStart.Get(x) > maxVersion[x] {
+				report("D5.1", "P%d read version %d of object %d but only %d versions were ever written",
+					r.Proc, r.TSStart.Get(x), int(x), maxVersion[x])
+			}
+		}
+	}
+	return out
+}
+
+func writeSet(r mop.Record) map[object.ID]bool {
+	out := make(map[object.ID]bool)
+	for x := range r.VersionedWrites() {
+		out[x] = true
+	}
+	return out
+}

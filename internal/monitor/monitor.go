@@ -1,0 +1,259 @@
+package monitor
+
+import (
+	"fmt"
+
+	"moc/internal/mop"
+	"moc/internal/object"
+	"moc/internal/timestamp"
+)
+
+// Monitor is a streaming consistency checker: records are fed in
+// response order (the order operations complete), and violations are
+// detected online with O(footprint) work per record — no history
+// reconstruction, no NP-hard search. It decides a *sufficient* set of
+// conditions: a flagged run is certainly inconsistent; an unflagged run
+// has passed every obligation the Section 5 proofs rest on.
+//
+// What it checks per record:
+//
+//   - version accounting (P5.16/P5.17): writes advance versions by one;
+//   - version availability: a record never starts from a version that
+//     was not yet established by some completed or concurrent update
+//     (versions are registered as update records arrive);
+//   - per-process monotonicity (process order ⊆ ~>H with P5.3): a
+//     process's observed versions never regress;
+//   - real-time freshness (m-lin level, Lemma 16): a record invoked
+//     after another record's response must start at versions ≥ the
+//     earlier record's finish, on their common footprint.
+//
+// The zero Monitor is not usable; create instances with NewMonitor.
+type Monitor struct {
+	numObjects int
+	level      Level
+
+	// maxSeen[x] is the highest version of x any observed record has
+	// established.
+	maxSeen timestamp.TS
+	// writers[x][v] marks that version v of x has a known writer.
+	writers []map[int64]bool
+	// lastEndByProc[p] is the footprint-restricted high-water mark of
+	// process p's observations.
+	lastEndByProc map[int]timestamp.TS
+	// completedMax is the pointwise maximum of TSEnd over all records
+	// observed so far (fed in response order, this is the Lemma 16
+	// baseline for later invocations).
+	completedMax timestamp.TS
+	// lastResp guards the feed-order contract.
+	lastResp int64
+	// pending holds completed records whose TSEnd has not yet been
+	// folded into completedMax (folding happens once a later invocation
+	// proves real-time precedence).
+	pending []pendingEnd
+	// starts remembers every (proc, object, version) a record started
+	// from, for the end-of-run availability check.
+	starts []startObs
+
+	observed   int
+	violations []Violation
+}
+
+type startObs struct {
+	proc int
+	x    object.ID
+	v    int64
+}
+
+// NewMonitor creates a streaming monitor for a system with numObjects
+// objects at the given level.
+func NewMonitor(numObjects int, level Level) *Monitor {
+	m := &Monitor{
+		numObjects:    numObjects,
+		level:         level,
+		maxSeen:       timestamp.New(numObjects),
+		writers:       make([]map[int64]bool, numObjects),
+		lastEndByProc: make(map[int]timestamp.TS),
+		completedMax:  timestamp.New(numObjects),
+		lastResp:      -1,
+	}
+	for x := range m.writers {
+		m.writers[x] = map[int64]bool{0: true} // the initial m-operation
+	}
+	return m
+}
+
+// Observe feeds the next completed record. Records must arrive in
+// non-decreasing response order; Observe reports (via the violation
+// list) any obligation the record breaks. It returns the number of new
+// violations this record introduced.
+func (m *Monitor) Observe(rec mop.Record) int {
+	before := len(m.violations)
+	if rec.TSStart == nil || rec.TSEnd == nil {
+		// Tag-based records (the causal protocol) carry no version
+		// vectors; the monitor's obligations are defined over the
+		// version-vector protocols only. Count, but don't check.
+		m.observed++
+		return 0
+	}
+	if rec.Resp < m.lastResp {
+		m.report("feed", "record at P%d fed out of response order (%d after %d)", rec.Proc, rec.Resp, m.lastResp)
+	}
+	m.lastResp = rec.Resp
+	m.observed++
+
+	writes := rec.VersionedWrites()
+
+	// Version accounting within the record.
+	for _, x := range rec.Footprint.IDs() {
+		if int(x) >= m.numObjects {
+			m.report("bounds", "P%d touched unknown object %d", rec.Proc, int(x))
+			continue
+		}
+		start, end := rec.TSStart.Get(x), rec.TSEnd.Get(x)
+		if v, ok := writes[x]; ok {
+			if end != start+1 || v != end {
+				m.report("P5.17", "P%d wrote %d: versions %d -> %d (declared %d)", rec.Proc, int(x), start, end, v)
+			}
+		} else if start != end {
+			m.report("P5.16", "P%d did not write %d but versions moved %d -> %d", rec.Proc, int(x), start, end)
+		}
+	}
+
+	// Register established versions; duplicates indicate divergence.
+	for x, v := range writes {
+		if int(x) >= m.numObjects {
+			continue
+		}
+		if m.writers[x][v] {
+			m.report("D5.1", "version %d of object %d established twice", v, int(x))
+		}
+		m.writers[x][v] = true
+		if v > m.maxSeen.Get(x) {
+			m.maxSeen.Set(x, v)
+		}
+	}
+
+	// Version availability: the starting versions must exist. A record
+	// may legitimately start from a version whose writer's record has
+	// not completed yet (the writer's own Execute may still be waiting),
+	// but never from a version beyond any that will ever exist — we
+	// approximate with "at most one ahead of the established maximum per
+	// writer in flight" being unverifiable online, so we check the
+	// weaker, always-sound bound: reads of versions that were
+	// established are fine; reads of versions more than the total
+	// observed writes ahead are flagged at Finish.
+	for _, x := range rec.Footprint.IDs() {
+		if int(x) >= m.numObjects {
+			continue
+		}
+		v := rec.TSStart.Get(x)
+		if v < 0 {
+			m.report("D5.1", "P%d starts at negative version %d of object %d", rec.Proc, v, int(x))
+			continue
+		}
+		m.starts = append(m.starts, startObs{proc: rec.Proc, x: x, v: v})
+	}
+
+	// Per-process monotonicity.
+	if prev, ok := m.lastEndByProc[rec.Proc]; ok {
+		for _, x := range rec.Footprint.IDs() {
+			if int(x) >= m.numObjects {
+				continue
+			}
+			if rec.TSEnd.Get(x) < prev.Get(x) {
+				m.report("P5.3", "P%d regressed on object %d: %d after %d",
+					rec.Proc, int(x), rec.TSEnd.Get(x), prev.Get(x))
+			}
+		}
+	} else {
+		m.lastEndByProc[rec.Proc] = timestamp.New(m.numObjects)
+	}
+	procTS := m.lastEndByProc[rec.Proc]
+	for _, x := range rec.Footprint.IDs() {
+		if int(x) < m.numObjects && rec.TSEnd.Get(x) > procTS.Get(x) {
+			procTS.Set(x, rec.TSEnd.Get(x))
+		}
+	}
+
+	// Real-time freshness (Lemma 16): fed in response order, every
+	// previously observed record responded before this one did; those
+	// that responded before this one's *invocation* bound its start.
+	// completedMax tracks the pointwise max TSEnd of records whose
+	// response precedes the current invocation — maintained lazily via
+	// the pending list below.
+	if m.level == MLinLevel {
+		m.flushPending(rec.Inv)
+		for _, x := range rec.Footprint.IDs() {
+			if int(x) >= m.numObjects {
+				continue
+			}
+			if rec.TSStart.Get(x) < m.completedEnd(x, rec) {
+				m.report("Lemma16", "P%d invoked at %d starts at version %d of object %d; an earlier response established %d",
+					rec.Proc, rec.Inv, rec.TSStart.Get(x), int(x), m.completedEnd(x, rec))
+			}
+		}
+	}
+	m.pending = append(m.pending, pendingEnd{resp: rec.Resp, ts: rec.TSEnd.Clone(), fp: rec.Footprint})
+
+	return len(m.violations) - before
+}
+
+type pendingEnd struct {
+	resp int64
+	ts   timestamp.TS
+	fp   object.Set
+}
+
+// flushPending folds every pending record that responded strictly before
+// inv into completedMax.
+func (m *Monitor) flushPending(inv int64) {
+	keep := m.pending[:0]
+	for _, p := range m.pending {
+		if p.resp < inv {
+			for _, x := range p.fp.IDs() {
+				if int(x) < m.numObjects && p.ts.Get(x) > m.completedMax.Get(x) {
+					m.completedMax.Set(x, p.ts.Get(x))
+				}
+			}
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	m.pending = keep
+}
+
+func (m *Monitor) completedEnd(x object.ID, rec mop.Record) int64 {
+	return m.completedMax.Get(x)
+}
+
+// Finish completes the stream and runs the deferred end-of-run check:
+// every version any record started from must have been established by
+// some writer (a record may observe a version before its writer's own
+// Execute completes, so this check cannot run online).
+func (m *Monitor) Finish() []Violation {
+	for _, s := range m.starts {
+		if !m.writers[s.x][s.v] {
+			m.report("D5.1", "P%d started from version %d of object %d, which no writer established",
+				s.proc, s.v, int(s.x))
+		}
+	}
+	m.starts = nil
+	return m.Violations()
+}
+
+// Observed returns the number of records fed so far.
+func (m *Monitor) Observed() int { return m.observed }
+
+// Violations returns the violations detected so far.
+func (m *Monitor) Violations() []Violation {
+	out := make([]Violation, len(m.violations))
+	copy(out, m.violations)
+	return out
+}
+
+func (m *Monitor) report(prop, format string, args ...any) {
+	m.violations = append(m.violations, Violation{
+		Property: prop,
+		Detail:   fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,314 @@
+package monitor
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"moc/internal/core"
+	"moc/internal/history"
+	"moc/internal/mop"
+	"moc/internal/object"
+	"moc/internal/timestamp"
+)
+
+// runStore drives a mixed workload and returns its records sorted by
+// response time (the monitor's feed order).
+func runStore(t *testing.T, cons core.Consistency, seed int64, maxDelay time.Duration) ([]mop.Record, int) {
+	t.Helper()
+	s, err := core.New(core.Config{
+		Procs: 3, Objects: []string{"x", "y", "z"},
+		Consistency: cons, Seed: seed, MaxDelay: maxDelay,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		p, _ := s.Process(i)
+		wg.Add(1)
+		go func(i int, p *core.Process) {
+			defer wg.Done()
+			for j := 0; j < 6; j++ {
+				if j%2 == 0 {
+					if err := p.Write(object.ID(j%3), object.Value(i*100+j+1)); err != nil {
+						t.Errorf("write: %v", err)
+					}
+				} else if _, err := p.MultiRead(0, 1, 2); err != nil {
+					t.Errorf("read: %v", err)
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	recs := s.Records()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Resp < recs[j].Resp })
+	return recs, s.Registry().Len()
+}
+
+func TestAxiomsHoldForMLinProtocol(t *testing.T) {
+	recs, n := runStore(t, core.MLinearizable, 1, 2*time.Millisecond)
+	if v := ValidateAxioms(recs, n, MLinLevel); len(v) != 0 {
+		t.Fatalf("violations on a correct m-lin run: %v", v)
+	}
+}
+
+func TestAxiomsHoldForMSCProtocolAtMSCLevel(t *testing.T) {
+	recs, n := runStore(t, core.MSequential, 2, 2*time.Millisecond)
+	if v := ValidateAxioms(recs, n, MSCLevel); len(v) != 0 {
+		t.Fatalf("violations on a correct m-SC run: %v", v)
+	}
+}
+
+// TestAxiomsCatchStaleMSCAtMLinLevel: the m-SC protocol does NOT satisfy
+// Lemma 16; a stale local read must be flagged when validated at the
+// m-lin level. (This is the separation of E5, detected by the validator
+// instead of the NP-hard checker.)
+func TestAxiomsCatchStaleMSCAtMLinLevel(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 40 && !found; seed++ {
+		s, err := core.New(core.Config{
+			Procs: 2, Objects: []string{"x"}, Consistency: core.MSequential,
+			Seed: seed, MaxDelay: 30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		p0, _ := s.Process(0)
+		p1, _ := s.Process(1)
+		if err := p0.Write(0, 1); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		v, err := p1.Read(0)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		recs := s.Records()
+		s.Close()
+		if v != 0 {
+			continue
+		}
+		found = true
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Resp < recs[j].Resp })
+		violations := ValidateAxioms(recs, 1, MLinLevel)
+		if len(violations) == 0 {
+			t.Fatal("stale m-SC read not flagged at m-lin level")
+		}
+		if violations[0].Property != "Lemma16" {
+			t.Fatalf("expected Lemma16 violation, got %v", violations)
+		}
+		// At the m-SC level the same records are clean.
+		if v := ValidateAxioms(recs, 1, MSCLevel); len(v) != 0 {
+			t.Fatalf("m-SC level flagged a legitimate m-SC run: %v", v)
+		}
+	}
+	if !found {
+		t.Fatal("no stale read produced in 40 trials")
+	}
+}
+
+func mkRecord(proc int, update bool, seq int64, inv, resp int64, fp object.Set, start, end timestamp.TS, ops ...history.Op) mop.Record {
+	return mop.Record{
+		Proc: proc, Update: update, Seq: seq, Ops: ops,
+		TSStart: start, TSEnd: end, Footprint: fp, Inv: inv, Resp: resp,
+	}
+}
+
+func ts(vals ...int64) timestamp.TS {
+	out := timestamp.New(len(vals))
+	copy(out, vals)
+	return out
+}
+
+func TestAxiomsDetectVersionSkip(t *testing.T) {
+	// A write advancing the version by 2 violates P5.17.
+	recs := []mop.Record{
+		mkRecord(0, true, 0, 1, 2, object.FullSet(1), ts(0), ts(2), history.W(0, 5)),
+	}
+	v := ValidateAxioms(recs, 1, MSCLevel)
+	if len(v) == 0 || v[0].Property != "P5.17" {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestAxiomsDetectPhantomAdvance(t *testing.T) {
+	// A query whose versions move violates P5.16.
+	recs := []mop.Record{
+		mkRecord(0, false, -1, 1, 2, object.FullSet(1), ts(0), ts(1), history.R(0, 0)),
+	}
+	v := ValidateAxioms(recs, 1, MSCLevel)
+	if len(v) == 0 || v[0].Property != "P5.16" {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestAxiomsDetectDuplicateSeq(t *testing.T) {
+	recs := []mop.Record{
+		mkRecord(0, true, 7, 1, 2, object.FullSet(1), ts(0), ts(1), history.W(0, 1)),
+		mkRecord(1, true, 7, 3, 4, object.FullSet(1), ts(1), ts(2), history.W(0, 2)),
+	}
+	v := ValidateAxioms(recs, 1, MSCLevel)
+	if !hasProperty(v, "P5.2") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestAxiomsDetectDuplicateVersionWriter(t *testing.T) {
+	recs := []mop.Record{
+		mkRecord(0, true, 0, 1, 2, object.FullSet(1), ts(0), ts(1), history.W(0, 1)),
+		mkRecord(1, true, 1, 3, 4, object.FullSet(1), ts(0), ts(1), history.W(0, 2)),
+	}
+	v := ValidateAxioms(recs, 1, MSCLevel)
+	if !hasProperty(v, "D5.1") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestAxiomsDetectProcessRegression(t *testing.T) {
+	recs := []mop.Record{
+		mkRecord(0, false, -1, 1, 2, object.FullSet(1), ts(5), ts(5), history.R(0, 0)),
+		mkRecord(0, false, -1, 3, 4, object.FullSet(1), ts(3), ts(3), history.R(0, 0)),
+	}
+	v := ValidateAxioms(recs, 1, MSCLevel)
+	if !hasProperty(v, "P5.3") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestAxiomsDetectReadOfNonexistentVersion(t *testing.T) {
+	recs := []mop.Record{
+		mkRecord(0, false, -1, 1, 2, object.FullSet(1), ts(9), ts(9), history.R(0, 0)),
+	}
+	v := ValidateAxioms(recs, 1, MSCLevel)
+	if !hasProperty(v, "D5.1") {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func hasProperty(vs []Violation, prop string) bool {
+	for _, v := range vs {
+		if v.Property == prop {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMonitorCleanRun(t *testing.T) {
+	recs, n := runStore(t, core.MLinearizable, 3, time.Millisecond)
+	m := NewMonitor(n, MLinLevel)
+	for _, rec := range recs {
+		if bad := m.Observe(rec); bad != 0 {
+			t.Fatalf("violation on clean record: %v", m.Violations())
+		}
+	}
+	if v := m.Finish(); len(v) != 0 {
+		t.Fatalf("Finish violations: %v", v)
+	}
+	if m.Observed() != len(recs) {
+		t.Fatalf("Observed = %d, want %d", m.Observed(), len(recs))
+	}
+}
+
+func TestMonitorMSCRunAtMSCLevel(t *testing.T) {
+	recs, n := runStore(t, core.MSequential, 4, time.Millisecond)
+	m := NewMonitor(n, MSCLevel)
+	for _, rec := range recs {
+		m.Observe(rec)
+	}
+	if v := m.Finish(); len(v) != 0 {
+		t.Fatalf("violations on clean m-SC run: %v", v)
+	}
+}
+
+func TestMonitorDetectsStaleReadOnline(t *testing.T) {
+	// Hand-built stream: an update completes, then a later-invoked query
+	// starts from the old version — Lemma 16 violation, caught online.
+	m := NewMonitor(1, MLinLevel)
+	m.Observe(mkRecord(0, true, 0, 1, 2, object.FullSet(1), ts(0), ts(1), history.W(0, 5)))
+	bad := m.Observe(mkRecord(1, false, -1, 10, 11, object.FullSet(1), ts(0), ts(0), history.R(0, 0)))
+	if bad == 0 || !hasProperty(m.Violations(), "Lemma16") {
+		t.Fatalf("stale read not caught online: %v", m.Violations())
+	}
+}
+
+func TestMonitorAllowsConcurrentStaleness(t *testing.T) {
+	// A query that OVERLAPS the update (inv before the update's resp) may
+	// legitimately miss it.
+	m := NewMonitor(1, MLinLevel)
+	m.Observe(mkRecord(0, true, 0, 1, 10, object.FullSet(1), ts(0), ts(1), history.W(0, 5)))
+	bad := m.Observe(mkRecord(1, false, -1, 5, 11, object.FullSet(1), ts(0), ts(0), history.R(0, 0)))
+	if bad != 0 {
+		t.Fatalf("concurrent miss flagged: %v", m.Violations())
+	}
+}
+
+func TestMonitorDetectsFeedOrderViolation(t *testing.T) {
+	m := NewMonitor(1, MSCLevel)
+	m.Observe(mkRecord(0, false, -1, 5, 9, object.FullSet(1), ts(0), ts(0), history.R(0, 0)))
+	m.Observe(mkRecord(0, false, -1, 1, 2, object.FullSet(1), ts(0), ts(0), history.R(0, 0)))
+	if !hasProperty(m.Violations(), "feed") {
+		t.Fatalf("out-of-order feed not flagged: %v", m.Violations())
+	}
+}
+
+func TestMonitorDetectsPhantomVersionAtFinish(t *testing.T) {
+	m := NewMonitor(1, MSCLevel)
+	m.Observe(mkRecord(0, false, -1, 1, 2, object.FullSet(1), ts(4), ts(4), history.R(0, 0)))
+	v := m.Finish()
+	if !hasProperty(v, "D5.1") {
+		t.Fatalf("phantom version not flagged at Finish: %v", v)
+	}
+}
+
+func TestMonitorDetectsDoubleEstablish(t *testing.T) {
+	m := NewMonitor(1, MSCLevel)
+	m.Observe(mkRecord(0, true, 0, 1, 2, object.FullSet(1), ts(0), ts(1), history.W(0, 1)))
+	bad := m.Observe(mkRecord(1, true, 1, 3, 4, object.FullSet(1), ts(0), ts(1), history.W(0, 2)))
+	if bad == 0 || !hasProperty(m.Violations(), "D5.1") {
+		t.Fatalf("double establish not flagged: %v", m.Violations())
+	}
+}
+
+func TestMonitorBoundsCheck(t *testing.T) {
+	m := NewMonitor(1, MSCLevel)
+	m.Observe(mkRecord(0, false, -1, 1, 2, object.NewSet(5), ts(0), ts(0)))
+	if !hasProperty(m.Violations(), "bounds") {
+		t.Fatalf("out-of-range object not flagged: %v", m.Violations())
+	}
+}
+
+func TestMonitorSkipsTagBasedRecords(t *testing.T) {
+	m := NewMonitor(1, MLinLevel)
+	rec := mop.Record{
+		Proc: 0, Update: true, Seq: -1,
+		Ops:        []history.Op{history.W(0, 1)},
+		Footprint:  object.FullSet(1),
+		WriteTags:  map[object.ID]mop.WriteTag{0: {Proc: 0, Seq: 1}},
+		SourceTags: map[object.ID]mop.WriteTag{},
+	}
+	if bad := m.Observe(rec); bad != 0 {
+		t.Fatalf("tag-based record flagged: %v", m.Violations())
+	}
+	if m.Observed() != 1 {
+		t.Fatal("tag-based record not counted")
+	}
+	if v := m.Finish(); len(v) != 0 {
+		t.Fatalf("Finish violations: %v", v)
+	}
+}
+
+func TestAxiomsSkipTagBasedRecords(t *testing.T) {
+	recs := []mop.Record{{
+		Proc: 0, Update: true, Seq: -1,
+		Ops:       []history.Op{history.W(0, 1)},
+		Footprint: object.FullSet(1),
+		WriteTags: map[object.ID]mop.WriteTag{0: {Proc: 0, Seq: 1}},
+	}}
+	if v := ValidateAxioms(recs, 1, MLinLevel); len(v) != 0 {
+		t.Fatalf("tag-based records flagged: %v", v)
+	}
+}

@@ -1,0 +1,141 @@
+// Package mop defines the executable form of m-operations: deterministic
+// procedures of reads and writes over shared objects (Section 2.1:
+// "Intuitively, an m-operation is a 'deterministic procedure' of read and
+// write operations on shared objects").
+//
+// A Procedure declares, ahead of execution, a conservative footprint (the
+// objects it may touch) and whether it may write. The Section 5 protocols
+// use MayWrite for the conservative update classification ("We take a
+// conservative approach and treat an m-operation as an update m-operation
+// if it can potentially write to some object") and the footprint for the
+// relevant-objects-only query optimization noted at the end of
+// Section 5.2.
+//
+// The package also provides the declarative multi-object operations the
+// paper motivates: double compare-and-swap (DCAS), atomic m-register
+// assignment, multi-object reads, and read-modify-write transfers.
+package mop
+
+import (
+	"errors"
+	"fmt"
+
+	"moc/internal/history"
+	"moc/internal/object"
+)
+
+// Txn is the interface a Procedure runs against: atomic access to the
+// executing process's copy of the shared objects.
+type Txn interface {
+	// Read returns the current value of x.
+	Read(x object.ID) object.Value
+	// Write sets x to v.
+	Write(x object.ID, v object.Value)
+}
+
+// Procedure is a deterministic m-operation. Run must be a pure function
+// of the values it reads: every process applies update procedures to its
+// own replica and all replicas must transition identically.
+type Procedure interface {
+	// Run executes the m-operation and returns its result (the res
+	// output parameter of the paper's α(arg, res)).
+	Run(txn Txn) any
+	// MayWrite reports whether the procedure can potentially write to
+	// some object. Procedures returning false must never call Write.
+	MayWrite() bool
+	// Footprint is a superset of the objects Run may access.
+	Footprint() object.Set
+}
+
+// Recorder executes procedures against a value slice while capturing the
+// operation sequence in the paper's r(x)v / w(x)v form. It enforces the
+// Procedure contract: accesses outside the footprint and writes by
+// non-updates are recorded as violations.
+type Recorder struct {
+	values    []object.Value
+	footprint object.Set
+	mayWrite  bool
+	ops       []history.Op
+	err       error
+}
+
+var _ Txn = (*Recorder)(nil)
+
+// Contract violations detected by the Recorder.
+var (
+	ErrOutsideFootprint = errors.New("mop: access outside declared footprint")
+	ErrQueryWrote       = errors.New("mop: procedure with MayWrite()==false performed a write")
+)
+
+// NewRecorder wraps values (mutated in place) for executing p.
+func NewRecorder(values []object.Value, p Procedure) *Recorder {
+	return &Recorder{values: values, footprint: p.Footprint(), mayWrite: p.MayWrite()}
+}
+
+// Read implements Txn.
+func (r *Recorder) Read(x object.ID) object.Value {
+	if !r.check(x) {
+		return 0
+	}
+	v := r.values[x]
+	r.ops = append(r.ops, history.R(x, v))
+	return v
+}
+
+// Write implements Txn.
+func (r *Recorder) Write(x object.ID, v object.Value) {
+	if !r.check(x) {
+		return
+	}
+	if !r.mayWrite {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: object %d", ErrQueryWrote, int(x))
+		}
+		return
+	}
+	r.values[x] = v
+	r.ops = append(r.ops, history.W(x, v))
+}
+
+func (r *Recorder) check(x object.ID) bool {
+	if x < 0 || int(x) >= len(r.values) {
+		if r.err == nil {
+			r.err = fmt.Errorf("mop: object %d out of range", int(x))
+		}
+		return false
+	}
+	if !r.footprint.Contains(x) {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: object %d", ErrOutsideFootprint, int(x))
+		}
+		return false
+	}
+	return r.err == nil
+}
+
+// Ops returns the captured operation sequence.
+func (r *Recorder) Ops() []history.Op { return r.ops }
+
+// WroteAny reports whether any write was recorded.
+func (r *Recorder) WroteAny() bool {
+	for _, op := range r.ops {
+		if op.Kind == history.Write {
+			return true
+		}
+	}
+	return false
+}
+
+// Written returns the set of objects written.
+func (r *Recorder) Written() object.Set {
+	var ids []object.ID
+	for _, op := range r.ops {
+		if op.Kind == history.Write {
+			ids = append(ids, op.Obj)
+		}
+	}
+	return object.NewSet(ids...)
+}
+
+// Err reports the first contract violation, if any.
+func (r *Recorder) Err() error { return r.err }

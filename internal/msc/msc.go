@@ -1,0 +1,242 @@
+// Package msc implements the m-sequential-consistency protocol of
+// Figure 4 of Mittal & Garg (1998), an extension of the Attiya–Welch
+// construction to multi-object operations:
+//
+//	(A1) an update m-operation is atomically broadcast to all processes;
+//	(A2) on delivery, each process applies it to its local copy of the
+//	     shared objects, bumping the version timestamp of every object
+//	     written; the issuing process generates the response;
+//	(A3) a query m-operation reads the issuing process's local copy
+//	     directly — no communication at all.
+//
+// Queries are therefore local and fast but may observe stale state;
+// Theorem 15 proves every execution is m-sequentially consistent, and
+// the recorded histories are re-verified by the checker in tests.
+package msc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moc/internal/abcast"
+	"moc/internal/mop"
+	"moc/internal/object"
+	"moc/internal/timestamp"
+)
+
+// Config parameterizes the protocol.
+type Config struct {
+	// Procs is the number of processes.
+	Procs int
+	// Reg is the shared-object registry.
+	Reg *object.Registry
+	// Broadcast is the atomic broadcast service; the protocol takes
+	// ownership and closes it.
+	Broadcast abcast.Broadcaster
+	// Clock returns nanoseconds since the run origin; it must be
+	// monotonic. Defaults to a time.Since-based clock.
+	Clock func() int64
+}
+
+// Protocol is a running instance of the Figure 4 protocol.
+type Protocol struct {
+	cfg    Config
+	states []*procState
+	stop   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	nextID atomic.Int64
+}
+
+type procState struct {
+	mu      sync.Mutex
+	values  []object.Value
+	ts      timestamp.TS
+	pending map[int64]chan updateOutcome
+}
+
+type updatePayload struct {
+	reqID int64
+	from  int
+	proc  mop.Procedure
+}
+
+type updateOutcome struct {
+	rec mop.Record
+	err error
+}
+
+// ErrClosed is returned by Execute after Close.
+var ErrClosed = errors.New("msc: protocol closed")
+
+// New starts the protocol: one delivery loop (action A2) per process.
+func New(cfg Config) (*Protocol, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("msc: invalid proc count %d", cfg.Procs)
+	}
+	if cfg.Reg == nil || cfg.Broadcast == nil {
+		return nil, errors.New("msc: registry and broadcaster are required")
+	}
+	if cfg.Clock == nil {
+		origin := time.Now()
+		cfg.Clock = func() int64 { return time.Since(origin).Nanoseconds() }
+	}
+	p := &Protocol{
+		cfg:    cfg,
+		states: make([]*procState, cfg.Procs),
+		stop:   make(chan struct{}),
+	}
+	for i := range p.states {
+		p.states[i] = &procState{
+			values:  make([]object.Value, cfg.Reg.Len()),
+			ts:      timestamp.New(cfg.Reg.Len()),
+			pending: make(map[int64]chan updateOutcome),
+		}
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		p.wg.Add(1)
+		go p.deliveryLoop(i)
+	}
+	return p, nil
+}
+
+// Execute runs procedure pr as an m-operation of process proc and blocks
+// until the response event. Each process is a sequential thread of
+// control (Section 2.1): callers must not invoke Execute concurrently
+// for the same process.
+func (p *Protocol) Execute(proc int, pr mop.Procedure) (mop.Record, error) {
+	if p.closed.Load() {
+		return mop.Record{}, ErrClosed
+	}
+	if proc < 0 || proc >= p.cfg.Procs {
+		return mop.Record{}, fmt.Errorf("msc: invalid process %d", proc)
+	}
+	if pr.MayWrite() {
+		return p.executeUpdate(proc, pr)
+	}
+	return p.executeQuery(proc, pr)
+}
+
+// executeUpdate implements A1 (+ waiting for the issuer's A2).
+func (p *Protocol) executeUpdate(proc int, pr mop.Procedure) (mop.Record, error) {
+	st := p.states[proc]
+	reqID := p.nextID.Add(1)
+	done := make(chan updateOutcome, 1)
+	st.mu.Lock()
+	st.pending[reqID] = done
+	st.mu.Unlock()
+
+	inv := p.cfg.Clock()
+	payload := updatePayload{reqID: reqID, from: proc, proc: pr}
+	if err := p.cfg.Broadcast.Broadcast(proc, payload, mop.PayloadBytes(pr)); err != nil {
+		st.mu.Lock()
+		delete(st.pending, reqID)
+		st.mu.Unlock()
+		return mop.Record{}, fmt.Errorf("msc: broadcast: %w", err)
+	}
+	select {
+	case out := <-done:
+		if out.err != nil {
+			return mop.Record{}, out.err
+		}
+		out.rec.Inv = inv
+		out.rec.Resp = p.cfg.Clock()
+		return out.rec, nil
+	case <-p.stop:
+		return mop.Record{}, ErrClosed
+	}
+}
+
+// executeQuery implements A3: apply to the local copy, atomically.
+func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) {
+	st := p.states[proc]
+	inv := p.cfg.Clock()
+	st.mu.Lock()
+	rec, err := applyLocked(st, pr, proc, -1)
+	st.mu.Unlock()
+	if err != nil {
+		return mop.Record{}, err
+	}
+	rec.Inv = inv
+	rec.Resp = p.cfg.Clock()
+	return rec, nil
+}
+
+// deliveryLoop implements A2 for one process.
+func (p *Protocol) deliveryLoop(proc int) {
+	defer p.wg.Done()
+	st := p.states[proc]
+	for {
+		select {
+		case <-p.stop:
+			return
+		case d := <-p.cfg.Broadcast.Deliveries(proc):
+			payload, ok := d.Payload.(updatePayload)
+			if !ok {
+				continue
+			}
+			st.mu.Lock()
+			rec, err := applyLocked(st, payload.proc, payload.from, d.Seq)
+			var done chan updateOutcome
+			if payload.from == proc {
+				done = st.pending[payload.reqID]
+				delete(st.pending, payload.reqID)
+			}
+			st.mu.Unlock()
+			if done != nil {
+				done <- updateOutcome{rec: rec, err: err}
+			}
+		}
+	}
+}
+
+// applyLocked runs pr against st (which must be locked), bumping version
+// timestamps for written objects, and captures the Record.
+//
+// A contract violation (write by a query, footprint escape) aborts the
+// remaining accesses deterministically — every replica observes the same
+// prefix of effects — so replicas stay identical; the error is reported
+// to the issuer.
+func applyLocked(st *procState, pr mop.Procedure, proc int, seq int64) (mop.Record, error) {
+	tsStart := st.ts.Clone()
+	rec := mop.NewRecorder(st.values, pr)
+	result := pr.Run(rec)
+	for _, x := range rec.Written().IDs() {
+		st.ts.Bump(x)
+	}
+	if err := rec.Err(); err != nil {
+		return mop.Record{}, err
+	}
+	return mop.Record{
+		Proc:      proc,
+		Update:    seq >= 0,
+		Seq:       seq,
+		Ops:       rec.Ops(),
+		TSStart:   tsStart,
+		TSEnd:     st.ts.Clone(),
+		Footprint: object.FullSet(len(st.values)),
+		Result:    result,
+	}, nil
+}
+
+// LocalTS returns a copy of process proc's current version vector
+// (test instrumentation).
+func (p *Protocol) LocalTS(proc int) timestamp.TS {
+	st := p.states[proc]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ts.Clone()
+}
+
+// Close shuts the protocol down, including the broadcaster it owns.
+func (p *Protocol) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.stop)
+	p.cfg.Broadcast.Close()
+	p.wg.Wait()
+}

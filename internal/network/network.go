@@ -1,0 +1,246 @@
+// Package network simulates the asynchronous message-passing system the
+// Section 5 protocols of Mittal & Garg (1998) assume: processes and
+// channels are reliable and every message sent is eventually received,
+// but messages may be arbitrarily delayed and reordered.
+//
+// Delivery runs on real goroutines with seeded random per-message delays,
+// so protocol runs exercise genuine concurrency and reordering while
+// remaining reproducible in distribution. An optional FIFO mode restores
+// per-link ordering (as TCP would) for algorithms that require it, such
+// as the Lamport-clock atomic broadcast.
+//
+// The network also meters traffic (message and byte counters, total and
+// per payload kind), which experiments E7 and E9 read.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Message is a delivered network message.
+type Message struct {
+	From    int
+	To      int
+	Kind    string // payload kind label, used for metering
+	Payload any
+	Bytes   int // accounted wire size
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Procs is the number of endpoints, addressed 0..Procs-1.
+	Procs int
+	// Seed drives the per-message delay randomness.
+	Seed int64
+	// MinDelay and MaxDelay bound the random delivery delay. Equal values
+	// give a fixed delay; both zero deliver "immediately" (still
+	// asynchronously, so interleavings remain nondeterministic).
+	MinDelay, MaxDelay time.Duration
+	// FIFO, when true, preserves per-(sender, receiver) order. When
+	// false, messages on one link may be reordered — the paper's default
+	// assumption.
+	FIFO bool
+	// InboxSize bounds buffered undelivered messages per endpoint.
+	// Delivery goroutines block (without loss) when an inbox is full.
+	// Defaults to 1024.
+	InboxSize int
+}
+
+// Stats is a snapshot of traffic counters.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+	ByKind   map[string]KindStats
+}
+
+// KindStats counts traffic for one payload kind.
+type KindStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("network: closed")
+
+// Network is a simulated asynchronous network. Create with New; always
+// Close to stop delivery goroutines.
+type Network struct {
+	cfg     Config
+	inboxes []chan Message
+
+	mu  sync.Mutex // guards rng and kind counters and fifo chains
+	rng *rand.Rand
+
+	// fifoTail chains deliveries per link when FIFO is enabled: each
+	// message waits for its predecessor's delivery before entering the
+	// inbox.
+	fifoTail map[[2]int]chan struct{}
+
+	kinds map[string]*kindCounter
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+
+	stop   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+type kindCounter struct {
+	messages atomic.Int64
+	bytes    atomic.Int64
+}
+
+// New creates a network with cfg.Procs endpoints.
+func New(cfg Config) (*Network, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("network: invalid proc count %d", cfg.Procs)
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		return nil, fmt.Errorf("network: MaxDelay %v < MinDelay %v", cfg.MaxDelay, cfg.MinDelay)
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 1024
+	}
+	n := &Network{
+		cfg:      cfg,
+		inboxes:  make([]chan Message, cfg.Procs),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		fifoTail: make(map[[2]int]chan struct{}),
+		kinds:    make(map[string]*kindCounter),
+		stop:     make(chan struct{}),
+	}
+	for i := range n.inboxes {
+		n.inboxes[i] = make(chan Message, cfg.InboxSize)
+	}
+	return n, nil
+}
+
+// Procs returns the number of endpoints.
+func (n *Network) Procs() int { return n.cfg.Procs }
+
+// Send asynchronously delivers payload from endpoint from to endpoint to
+// after a random delay. bytes is the accounted wire size; kind labels the
+// payload for metering.
+func (n *Network) Send(from, to int, kind string, payload any, bytes int) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	if from < 0 || from >= n.cfg.Procs || to < 0 || to >= n.cfg.Procs {
+		return fmt.Errorf("network: send %d -> %d out of range", from, to)
+	}
+
+	n.messages.Add(1)
+	n.bytes.Add(int64(bytes))
+	n.kindCounter(kind).add(bytes)
+
+	n.mu.Lock()
+	delay := n.cfg.MinDelay
+	if span := n.cfg.MaxDelay - n.cfg.MinDelay; span > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(span)))
+	}
+	var prev, done chan struct{}
+	if n.cfg.FIFO {
+		link := [2]int{from, to}
+		prev = n.fifoTail[link]
+		done = make(chan struct{})
+		n.fifoTail[link] = done
+	}
+	n.mu.Unlock()
+
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload, Bytes: bytes}
+	n.wg.Add(1)
+	go n.deliver(msg, delay, prev, done)
+	return nil
+}
+
+// Broadcast sends payload from one endpoint to every endpoint, including
+// the sender itself (the protocols deliver their own broadcasts too).
+func (n *Network) Broadcast(from int, kind string, payload any, bytes int) error {
+	for to := 0; to < n.cfg.Procs; to++ {
+		if err := n.Send(from, to, kind, payload, bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Network) deliver(msg Message, delay time.Duration, prev, done chan struct{}) {
+	defer n.wg.Done()
+	if done != nil {
+		defer close(done)
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-n.stop:
+			return
+		}
+	}
+	if prev != nil {
+		select {
+		case <-prev:
+		case <-n.stop:
+			return
+		}
+	}
+	select {
+	case n.inboxes[msg.To] <- msg:
+	case <-n.stop:
+	}
+}
+
+// Recv returns endpoint p's delivery channel. Receivers should select on
+// this channel together with their own shutdown signal.
+func (n *Network) Recv(p int) <-chan Message { return n.inboxes[p] }
+
+// Stats snapshots the traffic counters.
+func (n *Network) Stats() Stats {
+	s := Stats{
+		Messages: n.messages.Load(),
+		Bytes:    n.bytes.Load(),
+		ByKind:   make(map[string]KindStats),
+	}
+	n.mu.Lock()
+	for k, c := range n.kinds {
+		s.ByKind[k] = KindStats{Messages: c.messages.Load(), Bytes: c.bytes.Load()}
+	}
+	n.mu.Unlock()
+	return s
+}
+
+// Close stops delivery. In-flight messages may be dropped; Close is only
+// called after the protocols have quiesced, so reliability during a run
+// is unaffected. Close waits for all delivery goroutines to exit and is
+// idempotent.
+func (n *Network) Close() {
+	if n.closed.Swap(true) {
+		n.wg.Wait()
+		return
+	}
+	close(n.stop)
+	n.wg.Wait()
+}
+
+func (n *Network) kindCounter(kind string) *kindCounter {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.kinds[kind]
+	if !ok {
+		c = &kindCounter{}
+		n.kinds[kind] = c
+	}
+	return c
+}
+
+func (c *kindCounter) add(bytes int) {
+	c.messages.Add(1)
+	c.bytes.Add(int64(bytes))
+}

@@ -1,0 +1,222 @@
+package network
+
+import (
+	"testing"
+	"time"
+)
+
+func newNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Procs: 0}); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+	if _, err := New(Config{Procs: 2, MinDelay: time.Second, MaxDelay: time.Millisecond}); err == nil {
+		t.Fatal("inverted delay bounds accepted")
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	n := newNet(t, Config{Procs: 2, Seed: 1})
+	if err := n.Send(0, 1, "test", "hello", 5); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case msg := <-n.Recv(1):
+		if msg.From != 0 || msg.To != 1 || msg.Payload != "hello" || msg.Bytes != 5 {
+			t.Fatalf("msg = %+v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestSendValidatesEndpoints(t *testing.T) {
+	n := newNet(t, Config{Procs: 2, Seed: 1})
+	if err := n.Send(-1, 0, "k", nil, 0); err == nil {
+		t.Fatal("negative sender accepted")
+	}
+	if err := n.Send(0, 2, "k", nil, 0); err == nil {
+		t.Fatal("out-of-range receiver accepted")
+	}
+}
+
+func TestBroadcastReachesAllIncludingSelf(t *testing.T) {
+	n := newNet(t, Config{Procs: 3, Seed: 2})
+	if err := n.Broadcast(1, "b", 42, 8); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	for p := 0; p < 3; p++ {
+		select {
+		case msg := <-n.Recv(p):
+			if msg.Payload != 42 || msg.From != 1 {
+				t.Fatalf("proc %d got %+v", p, msg)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("proc %d missed broadcast", p)
+		}
+	}
+}
+
+func TestFIFOPreservesLinkOrder(t *testing.T) {
+	n := newNet(t, Config{
+		Procs:    2,
+		Seed:     3,
+		MinDelay: 0,
+		MaxDelay: 2 * time.Millisecond,
+		FIFO:     true,
+	})
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := n.Send(0, 1, "seq", i, 4); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		select {
+		case msg := <-n.Recv(1):
+			got, ok := msg.Payload.(int)
+			if !ok || got != i {
+				t.Fatalf("delivery %d: got %v", i, msg.Payload)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivery %d timed out", i)
+		}
+	}
+}
+
+func TestNonFIFOReordersEventually(t *testing.T) {
+	// With random delays and no FIFO, 200 messages on one link are
+	// overwhelmingly unlikely to arrive in exact order.
+	n := newNet(t, Config{
+		Procs:    2,
+		Seed:     4,
+		MinDelay: 0,
+		MaxDelay: 3 * time.Millisecond,
+	})
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := n.Send(0, 1, "seq", i, 4); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	inOrder := true
+	prev := -1
+	for i := 0; i < count; i++ {
+		select {
+		case msg := <-n.Recv(1):
+			v := msg.Payload.(int)
+			if v < prev {
+				inOrder = false
+			}
+			prev = v
+		case <-time.After(5 * time.Second):
+			t.Fatal("delivery timed out")
+		}
+	}
+	if inOrder {
+		t.Fatal("200 randomly delayed messages arrived in perfect order — reordering broken?")
+	}
+}
+
+func TestReliabilityAllMessagesArrive(t *testing.T) {
+	n := newNet(t, Config{Procs: 4, Seed: 5, MaxDelay: time.Millisecond})
+	const perPair = 25
+	want := 0
+	for from := 0; from < 4; from++ {
+		for to := 0; to < 4; to++ {
+			for i := 0; i < perPair; i++ {
+				if err := n.Send(from, to, "x", i, 1); err != nil {
+					t.Fatalf("Send: %v", err)
+				}
+				want++
+			}
+		}
+	}
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 4*perPair; i++ {
+			select {
+			case <-n.Recv(p):
+				got++
+			case <-deadline:
+				t.Fatalf("timed out after %d/%d deliveries", got, want)
+			}
+		}
+	}
+	if got != want {
+		t.Fatalf("delivered %d, want %d", got, want)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := newNet(t, Config{Procs: 2, Seed: 6})
+	_ = n.Send(0, 1, "a", nil, 10)
+	_ = n.Send(0, 1, "a", nil, 20)
+	_ = n.Send(1, 0, "b", nil, 5)
+	st := n.Stats()
+	if st.Messages != 3 || st.Bytes != 35 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if a := st.ByKind["a"]; a.Messages != 2 || a.Bytes != 30 {
+		t.Fatalf("kind a = %+v", a)
+	}
+	if b := st.ByKind["b"]; b.Messages != 1 || b.Bytes != 5 {
+		t.Fatalf("kind b = %+v", b)
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	n, err := New(Config{Procs: 2, Seed: 7})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	n.Close()
+	if err := n.Send(0, 1, "k", nil, 0); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	n.Close() // idempotent
+}
+
+func TestCloseUnblocksInFlight(t *testing.T) {
+	n, err := New(Config{Procs: 2, Seed: 8, MinDelay: time.Hour, MaxDelay: 2 * time.Hour})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := n.Send(0, 1, "slow", nil, 1); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		n.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on in-flight delayed message")
+	}
+}
+
+func TestFixedDelay(t *testing.T) {
+	n := newNet(t, Config{Procs: 2, Seed: 9, MinDelay: 5 * time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	start := time.Now()
+	_ = n.Send(0, 1, "d", nil, 1)
+	select {
+	case <-n.Recv(1):
+		if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+			t.Fatalf("delivered after %v, want ≥ ~5ms", elapsed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("not delivered")
+	}
+}

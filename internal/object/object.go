@@ -1,0 +1,227 @@
+// Package object defines shared-object identities and values for the
+// multi-object distributed-operation model of Mittal & Garg (1998).
+//
+// Objects are referred to by name (a human-readable string) and, within a
+// fixed Registry, by a dense integer index. The dense index is what the
+// timestamp vectors of the paper's Section 5 protocols are indexed by, so
+// all components that exchange version vectors must share one Registry.
+package object
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID is the dense index of a shared object within a Registry. The paper
+// writes objects as x, y, z, ...; here each such object is an ID.
+type ID int
+
+// Value is the value stored in a shared object. The paper's examples use
+// small integers; int64 is general enough for every workload in this
+// repository (register contents, account balances, stack node links, ...).
+type Value = int64
+
+// Initial is the value every object holds after the imaginary initial
+// m-operation of Section 2.1 ("initial value of all objects is 0").
+const Initial Value = 0
+
+// Registry maps object names to dense IDs. A Registry is immutable after
+// construction (build it with NewRegistry), which makes it safe for
+// concurrent use by every process of a simulated system without locking.
+type Registry struct {
+	names   []string
+	indexOf map[string]ID
+}
+
+// NewRegistry builds a registry for the given object names. Duplicate
+// names are rejected so that IDs are unambiguous.
+func NewRegistry(names []string) (*Registry, error) {
+	r := &Registry{
+		names:   make([]string, len(names)),
+		indexOf: make(map[string]ID, len(names)),
+	}
+	copy(r.names, names)
+	for i, n := range r.names {
+		if n == "" {
+			return nil, fmt.Errorf("object %d: empty name", i)
+		}
+		if prev, dup := r.indexOf[n]; dup {
+			return nil, fmt.Errorf("object %q: duplicate of object %d", n, prev)
+		}
+		r.indexOf[n] = ID(i)
+	}
+	return r, nil
+}
+
+// MustRegistry is NewRegistry for static, programmer-controlled name lists
+// (examples, tests). It panics on the errors NewRegistry would report,
+// which can only arise from a malformed literal.
+func MustRegistry(names ...string) *Registry {
+	r, err := NewRegistry(names)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Sequential builds a registry of n objects named "x0".."x<n-1>". It is
+// the convenient form for generated workloads.
+func Sequential(n int) *Registry {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	r, err := NewRegistry(names)
+	if err != nil {
+		// Unreachable: generated names are non-empty and unique.
+		panic(err)
+	}
+	return r
+}
+
+// Len reports the number of registered objects.
+func (r *Registry) Len() int { return len(r.names) }
+
+// Name returns the name of object id, or a diagnostic placeholder if id is
+// out of range (so that formatting corrupt data never panics).
+func (r *Registry) Name(id ID) string {
+	if id < 0 || int(id) >= len(r.names) {
+		return fmt.Sprintf("obj#%d", int(id))
+	}
+	return r.names[id]
+}
+
+// Lookup returns the ID for name and whether it is registered.
+func (r *Registry) Lookup(name string) (ID, bool) {
+	id, ok := r.indexOf[name]
+	return id, ok
+}
+
+// Names returns a copy of all registered names in ID order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// Set is an immutable set of object IDs, the representation used for the
+// paper's objects(α), wobjects(α) and robjects(α). The zero value is the
+// empty set.
+type Set struct {
+	sorted []ID
+}
+
+// NewSet builds a set from ids, deduplicating and sorting.
+func NewSet(ids ...ID) Set {
+	if len(ids) == 0 {
+		return Set{}
+	}
+	sorted := make([]ID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:1]
+	for _, id := range sorted[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return Set{sorted: out}
+}
+
+// FullSet returns the set {0, ..., n-1} of every object of an n-object
+// registry.
+func FullSet(n int) Set {
+	ids := make([]ID, n)
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	return Set{sorted: ids}
+}
+
+// Len reports the number of elements.
+func (s Set) Len() int { return len(s.sorted) }
+
+// Empty reports whether the set has no elements (the paper's "= φ").
+func (s Set) Empty() bool { return len(s.sorted) == 0 }
+
+// Contains reports membership of id.
+func (s Set) Contains(id ID) bool {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= id })
+	return i < len(s.sorted) && s.sorted[i] == id
+}
+
+// IDs returns the elements in ascending order. The returned slice is a
+// copy; mutating it does not affect the set.
+func (s Set) IDs() []ID {
+	out := make([]ID, len(s.sorted))
+	copy(out, s.sorted)
+	return out
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	merged := make([]ID, 0, len(s.sorted)+len(t.sorted))
+	merged = append(merged, s.sorted...)
+	merged = append(merged, t.sorted...)
+	return NewSet(merged...)
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	var out []ID
+	i, j := 0, 0
+	for i < len(s.sorted) && j < len(t.sorted) {
+		switch {
+		case s.sorted[i] < t.sorted[j]:
+			i++
+		case s.sorted[i] > t.sorted[j]:
+			j++
+		default:
+			out = append(out, s.sorted[i])
+			i++
+			j++
+		}
+	}
+	return Set{sorted: out}
+}
+
+// Intersects reports whether s ∩ t ≠ φ without allocating.
+func (s Set) Intersects(t Set) bool {
+	i, j := 0, 0
+	for i < len(s.sorted) && j < len(t.sorted) {
+		switch {
+		case s.sorted[i] < t.sorted[j]:
+			i++
+		case s.sorted[i] > t.sorted[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s Set) Equal(t Set) bool {
+	if len(s.sorted) != len(t.sorted) {
+		return false
+	}
+	for i := range s.sorted {
+		if s.sorted[i] != t.sorted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set using registry-free numeric names, e.g. "{1, 4}".
+func (s Set) String() string {
+	out := "{"
+	for i, id := range s.sorted {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%d", int(id))
+	}
+	return out + "}"
+}

@@ -1,0 +1,196 @@
+package object
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRegistryRejectsDuplicates(t *testing.T) {
+	if _, err := NewRegistry([]string{"x", "y", "x"}); err == nil {
+		t.Fatal("expected error for duplicate name")
+	}
+}
+
+func TestNewRegistryRejectsEmptyName(t *testing.T) {
+	if _, err := NewRegistry([]string{"x", ""}); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+}
+
+func TestRegistryLookupAndName(t *testing.T) {
+	r := MustRegistry("x", "y", "z")
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", r.Len())
+	}
+	id, ok := r.Lookup("y")
+	if !ok || id != 1 {
+		t.Fatalf("Lookup(y) = %d, %v; want 1, true", id, ok)
+	}
+	if _, ok := r.Lookup("w"); ok {
+		t.Fatal("Lookup(w) succeeded for unregistered name")
+	}
+	if got := r.Name(2); got != "z" {
+		t.Fatalf("Name(2) = %q, want z", got)
+	}
+	if got := r.Name(99); got != "obj#99" {
+		t.Fatalf("Name(99) = %q, want placeholder", got)
+	}
+	if got := r.Name(-1); got != "obj#-1" {
+		t.Fatalf("Name(-1) = %q, want placeholder", got)
+	}
+}
+
+func TestRegistryNamesIsACopy(t *testing.T) {
+	r := MustRegistry("x", "y")
+	names := r.Names()
+	names[0] = "mutated"
+	if r.Name(0) != "x" {
+		t.Fatal("mutating Names() result leaked into registry")
+	}
+}
+
+func TestSequentialRegistry(t *testing.T) {
+	r := Sequential(4)
+	if r.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", r.Len())
+	}
+	id, ok := r.Lookup("x3")
+	if !ok || id != 3 {
+		t.Fatalf("Lookup(x3) = %d, %v", id, ok)
+	}
+}
+
+func TestSetDeduplicatesAndSorts(t *testing.T) {
+	s := NewSet(3, 1, 3, 2, 1)
+	want := []ID{1, 2, 3}
+	got := s.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetMembership(t *testing.T) {
+	s := NewSet(1, 4, 9)
+	for _, id := range []ID{1, 4, 9} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false, want true", id)
+		}
+	}
+	for _, id := range []ID{0, 2, 5, 10} {
+		if s.Contains(id) {
+			t.Errorf("Contains(%d) = true, want false", id)
+		}
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("zero Set is not empty")
+	}
+	if s.Contains(0) {
+		t.Fatal("empty set claims membership")
+	}
+	if s.Intersects(NewSet(1, 2)) {
+		t.Fatal("empty set intersects")
+	}
+	if !s.Equal(NewSet()) {
+		t.Fatal("empty sets not equal")
+	}
+}
+
+func TestSetUnionIntersect(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(3, 4)
+	u := a.Union(b)
+	if !u.Equal(NewSet(1, 2, 3, 4)) {
+		t.Fatalf("Union = %v", u)
+	}
+	i := a.Intersect(b)
+	if !i.Equal(NewSet(3)) {
+		t.Fatalf("Intersect = %v", i)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false, want true")
+	}
+	if a.Intersects(NewSet(7, 8)) {
+		t.Fatal("Intersects = true for disjoint sets")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := NewSet(2, 1).String(); got != "{1, 2}" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := NewSet().String(); got != "{}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// Property: Intersects agrees with Intersect().Empty() for arbitrary sets.
+func TestSetIntersectsMatchesIntersect(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := setFromBytes(xs)
+		b := setFromBytes(ys)
+		return a.Intersects(b) == !a.Intersect(b).Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Union is commutative and contains both operands.
+func TestSetUnionProperties(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := setFromBytes(xs)
+		b := setFromBytes(ys)
+		u := a.Union(b)
+		if !u.Equal(b.Union(a)) {
+			return false
+		}
+		for _, id := range a.IDs() {
+			if !u.Contains(id) {
+				return false
+			}
+		}
+		for _, id := range b.IDs() {
+			if !u.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intersect elements belong to both operands.
+func TestSetIntersectProperties(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := setFromBytes(xs)
+		b := setFromBytes(ys)
+		for _, id := range a.Intersect(b).IDs() {
+			if !a.Contains(id) || !b.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func setFromBytes(xs []uint8) Set {
+	ids := make([]ID, len(xs))
+	for i, x := range xs {
+		ids[i] = ID(x % 16)
+	}
+	return NewSet(ids...)
+}

@@ -1,0 +1,76 @@
+package serial
+
+import (
+	"testing"
+
+	"moc/internal/object"
+)
+
+// FuzzScheduleDecisions hardens the serializability deciders: arbitrary
+// byte strings are interpreted as schedules, and on every schedule the
+// deciders must not panic, must satisfy the containments
+// strict-VSR ⊆ VSR and CSR ⊆ VSR, and every returned witness must
+// actually be a view-equivalent serialization.
+func FuzzScheduleDecisions(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{7, 7, 7})
+	f.Add([]byte{0x10, 0x21, 0x32, 0x43, 0x54})
+	f.Add([]byte{255, 0, 255, 0, 13, 13})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := scheduleFromBytes(data)
+		if s == nil {
+			return
+		}
+		okVSR, orderVSR, err := s.ViewSerializable()
+		if err != nil {
+			t.Fatalf("ViewSerializable: %v", err)
+		}
+		okStrict, orderStrict, err := s.StrictViewSerializable()
+		if err != nil {
+			t.Fatalf("StrictViewSerializable: %v", err)
+		}
+		okCSR, _ := s.ConflictSerializable()
+
+		if okStrict && !okVSR {
+			t.Fatalf("schedule %s: strict-VSR without VSR", s)
+		}
+		if okCSR && !okVSR {
+			t.Fatalf("schedule %s: CSR without VSR", s)
+		}
+		if okVSR && !isViewEquivalentSerial(s, orderVSR, false) {
+			t.Fatalf("schedule %s: invalid VSR witness %v", s, orderVSR)
+		}
+		if okStrict && !isViewEquivalentSerial(s, orderStrict, true) {
+			t.Fatalf("schedule %s: invalid strict witness %v", s, orderStrict)
+		}
+	})
+}
+
+// scheduleFromBytes decodes bytes into a small schedule: each byte is
+// one action (2 bits entity, 1 bit kind, 2 bits txn). Returns nil when
+// the bytes do not form a valid schedule (e.g. some txn absent).
+func scheduleFromBytes(data []byte) *Schedule {
+	if len(data) == 0 || len(data) > 12 {
+		return nil
+	}
+	reg := object.Sequential(3)
+	const numTxns = 3
+	actions := make([]Action, 0, len(data))
+	for _, b := range data {
+		kind := ReadAct
+		if b&0x4 != 0 {
+			kind = WriteAct
+		}
+		actions = append(actions, Action{
+			Txn:  int(b>>3)%numTxns + 1,
+			Kind: kind,
+			Obj:  object.ID(b % 3),
+		})
+	}
+	s, err := New(reg, numTxns, actions)
+	if err != nil {
+		return nil
+	}
+	return s
+}

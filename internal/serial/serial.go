@@ -1,0 +1,426 @@
+// Package serial implements the database-transaction substrate that
+// Section 3 of Mittal & Garg (1998) reduces from: schedules of read/write
+// actions, view equivalence, (strict) view serializability and conflict
+// serializability, plus the schedule→history reduction of Theorem 2.
+//
+// The paper's observation is that, restricted to one m-operation per
+// process, the consistency conditions collapse onto database correctness
+// notions: view equivalence ↔ m-sequential consistency, strict view
+// equivalence ↔ m-linearizability, conflict equivalence ↔ m-normality
+// under the OO-constraint. The reduction here is the constructive half:
+// strict view serializability of a schedule is decided by checking
+// m-linearizability of the constructed history, which proves the latter
+// NP-complete.
+package serial
+
+import (
+	"errors"
+	"fmt"
+
+	"moc/internal/checker"
+	"moc/internal/history"
+	"moc/internal/object"
+)
+
+// ActionKind distinguishes read and write actions.
+type ActionKind int
+
+// Action kinds.
+const (
+	ReadAct ActionKind = iota + 1
+	WriteAct
+)
+
+// Action is one step of a schedule: transaction Txn reads or writes
+// entity Obj.
+type Action struct {
+	Txn  int // 1-based transaction index
+	Kind ActionKind
+	Obj  object.ID
+}
+
+// Rd constructs a read action.
+func Rd(txn int, x object.ID) Action { return Action{Txn: txn, Kind: ReadAct, Obj: x} }
+
+// Wr constructs a write action.
+func Wr(txn int, x object.ID) Action { return Action{Txn: txn, Kind: WriteAct, Obj: x} }
+
+// Schedule is an interleaved execution of transactions over a set of
+// entities. Actions appear in schedule order; the subsequence of each
+// transaction's actions is its program order. Transaction indices are
+// 1..NumTxns; index 0 denotes the imaginary initial transaction writing
+// every entity (the paper's T0 of the augmented schedule).
+type Schedule struct {
+	Reg     *object.Registry
+	Actions []Action
+	NumTxns int
+}
+
+// Errors returned by New and ToHistory.
+var (
+	ErrBadTxnIndex = errors.New("serial: action references invalid transaction")
+	ErrBadEntity   = errors.New("serial: action references invalid entity")
+	ErrEmptyTxn    = errors.New("serial: transaction has no actions")
+	// ErrIncoherentReads marks a schedule in which one transaction reads
+	// the same entity from two different writers (with no own write in
+	// between) — impossible in any serial execution, hence trivially not
+	// view serializable.
+	ErrIncoherentReads = errors.New("serial: transaction reads one entity from two writers")
+)
+
+// New validates and constructs a schedule over numTxns transactions.
+func New(reg *object.Registry, numTxns int, actions []Action) (*Schedule, error) {
+	seen := make([]bool, numTxns+1)
+	for i, a := range actions {
+		if a.Txn < 1 || a.Txn > numTxns {
+			return nil, fmt.Errorf("%w: action %d txn %d", ErrBadTxnIndex, i, a.Txn)
+		}
+		if a.Obj < 0 || int(a.Obj) >= reg.Len() {
+			return nil, fmt.Errorf("%w: action %d entity %d", ErrBadEntity, i, int(a.Obj))
+		}
+		seen[a.Txn] = true
+	}
+	for t := 1; t <= numTxns; t++ {
+		if !seen[t] {
+			return nil, fmt.Errorf("%w: T%d", ErrEmptyTxn, t)
+		}
+	}
+	s := &Schedule{Reg: reg, NumTxns: numTxns}
+	s.Actions = make([]Action, len(actions))
+	copy(s.Actions, actions)
+	return s, nil
+}
+
+// readsFrom computes, for every read action (by position), the
+// transaction it reads from: the writer of the most recent preceding
+// write to the same entity, or 0 (the initial transaction).
+//
+// A read that follows its own transaction's write to the same entity
+// reads from its own transaction; such internal reads are recorded as
+// (txn, txn) pairs and ignored by equivalence.
+func (s *Schedule) readsFrom() []int {
+	last := make([]int, s.Reg.Len())
+	rf := make([]int, len(s.Actions))
+	for i, a := range s.Actions {
+		switch a.Kind {
+		case ReadAct:
+			rf[i] = last[a.Obj]
+		case WriteAct:
+			last[a.Obj] = a.Txn
+			rf[i] = -1
+		}
+	}
+	return rf
+}
+
+// finalWriters returns, per entity, the transaction whose write is last
+// in the schedule (0 if only the initial transaction wrote it).
+func (s *Schedule) finalWriters() []int {
+	last := make([]int, s.Reg.Len())
+	for _, a := range s.Actions {
+		if a.Kind == WriteAct {
+			last[a.Obj] = a.Txn
+		}
+	}
+	return last
+}
+
+// span returns the schedule positions of each transaction's first and
+// last action (indexed 1..NumTxns).
+func (s *Schedule) span() (first, last []int) {
+	first = make([]int, s.NumTxns+1)
+	last = make([]int, s.NumTxns+1)
+	for t := range first {
+		first[t] = -1
+	}
+	for i, a := range s.Actions {
+		if first[a.Txn] < 0 {
+			first[a.Txn] = i
+		}
+		last[a.Txn] = i
+	}
+	return first, last
+}
+
+// NonOverlapping reports whether Ti finishes before Tj starts in the
+// schedule (the paper's non-overlap condition for strictness).
+func (s *Schedule) NonOverlapping(ti, tj int) bool {
+	first, last := s.span()
+	return last[ti] < first[tj]
+}
+
+// TxnActions returns transaction t's actions in program order.
+func (s *Schedule) TxnActions(t int) []Action {
+	var out []Action
+	for _, a := range s.Actions {
+		if a.Txn == t {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// String renders the schedule as "r1(x) w2(y) ...".
+func (s *Schedule) String() string {
+	out := ""
+	for i, a := range s.Actions {
+		if i > 0 {
+			out += " "
+		}
+		k := "r"
+		if a.Kind == WriteAct {
+			k = "w"
+		}
+		out += fmt.Sprintf("%s%d(%s)", k, a.Txn, s.Reg.Name(a.Obj))
+	}
+	return out
+}
+
+// ToHistory performs the Theorem 2 construction: a distributed system
+// with one process per transaction, each executing a single m-operation
+// whose operations mirror the transaction's actions in order. The first
+// and last actions of a transaction define the invocation and response
+// events, so two transactions are non-overlapping in the schedule iff
+// the corresponding m-operations are non-overlapping in the history.
+//
+// The history is implicitly augmented: history.InitID plays T0 (writing
+// every entity), and a final all-reading m-operation plays T∞, pinning
+// the final writes so that view equivalence coincides with legality. The
+// returned map sends transaction indices (0 and 1..NumTxns) to
+// m-operation IDs; the T∞ m-operation is the last ID.
+//
+// Write values are synthesized as unique integers per (txn, entity) so
+// that the reads-from relation of the history is exactly the schedule's.
+func (s *Schedule) ToHistory() (*history.History, map[int]history.ID, error) {
+	b := history.NewBuilder(s.Reg)
+	first, last := s.span()
+	rf := s.readsFrom()
+
+	// Value synthesized for transaction t's write to entity x.
+	val := func(t int, x object.ID) object.Value {
+		if t == 0 {
+			return object.Initial
+		}
+		return object.Value(t)*object.Value(s.Reg.Len()) + object.Value(x) + 1
+	}
+
+	ids := make(map[int]history.ID, s.NumTxns+2)
+	ids[0] = history.InitID
+	type rfEdge struct {
+		x   object.ID
+		src int
+	}
+	rfEdges := make(map[int][]rfEdge)
+
+	for t := 1; t <= s.NumTxns; t++ {
+		var ops []history.Op
+		ownWrites := make(map[object.ID]bool)
+		extSrc := make(map[object.ID]int)
+		for i, a := range s.Actions {
+			if a.Txn != t {
+				continue
+			}
+			switch a.Kind {
+			case ReadAct:
+				src := rf[i]
+				if ownWrites[a.Obj] && src != t {
+					// The transaction wrote the entity, yet the schedule
+					// interleaved another writer before this read. A
+					// serial execution would return the own write, so no
+					// serialization can reproduce this read.
+					return nil, nil, fmt.Errorf("%w: T%d entity %s reads T%d after own write",
+						ErrIncoherentReads, t, s.Reg.Name(a.Obj), src)
+				}
+				if src == t {
+					// Internal read: reads own write; mirror the value.
+					ops = append(ops, history.R(a.Obj, val(t, a.Obj)))
+				} else {
+					if prev, seen := extSrc[a.Obj]; seen && prev != src {
+						return nil, nil, fmt.Errorf("%w: T%d entity %s reads T%d then T%d",
+							ErrIncoherentReads, t, s.Reg.Name(a.Obj), prev, src)
+					}
+					extSrc[a.Obj] = src
+					ops = append(ops, history.R(a.Obj, val(src, a.Obj)))
+					rfEdges[t] = append(rfEdges[t], rfEdge{a.Obj, src})
+				}
+			case WriteAct:
+				ownWrites[a.Obj] = true
+				ops = append(ops, history.W(a.Obj, val(t, a.Obj)))
+			}
+		}
+		id := b.Add(t, int64(first[t]), int64(last[t]), ops...)
+		ids[t] = id
+	}
+
+	// T∞: reads the final write of every entity, after everything.
+	finals := s.finalWriters()
+	var finalOps []history.Op
+	for x := 0; x < s.Reg.Len(); x++ {
+		finalOps = append(finalOps, history.R(object.ID(x), val(finals[x], object.ID(x))))
+	}
+	tInfTime := int64(len(s.Actions)) + 1
+	tInf := b.Add(s.NumTxns+1, tInfTime, tInfTime+1, finalOps...)
+	ids[s.NumTxns+1] = tInf
+
+	for t, edges := range rfEdges {
+		for _, e := range edges {
+			b.SetReadsFrom(ids[t], e.x, ids[e.src])
+		}
+	}
+	for x := 0; x < s.Reg.Len(); x++ {
+		b.SetReadsFrom(tInf, object.ID(x), ids[finals[x]])
+	}
+
+	h, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("serial: reduction: %w", err)
+	}
+	return h, ids, nil
+}
+
+// ViewSerializable reports whether the schedule is view equivalent to
+// some serial schedule, by deciding m-sequential consistency of the
+// reduction (each process holds one m-operation, so process order is
+// empty and admissibility w.r.t. reads-from alone is exactly view
+// serializability of the augmented schedule). NP-complete.
+func (s *Schedule) ViewSerializable() (bool, []int, error) {
+	h, ids, err := s.ToHistory()
+	if errors.Is(err, ErrIncoherentReads) {
+		return false, nil, nil
+	}
+	if err != nil {
+		return false, nil, err
+	}
+	res, err := checker.Decide(h, history.MSequentialBase, &checker.Options{
+		ExtraOrder: s.finalLastOrder(h, ids),
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	if !res.Admissible {
+		return false, nil, nil
+	}
+	return true, witnessToTxnOrder(res.Witness, ids, s.NumTxns), nil
+}
+
+// StrictViewSerializable reports whether the schedule is view equivalent
+// to a serial schedule preserving the order of non-overlapping
+// transactions, by deciding m-linearizability of the reduction
+// (Theorem 2). NP-complete.
+func (s *Schedule) StrictViewSerializable() (bool, []int, error) {
+	h, ids, err := s.ToHistory()
+	if errors.Is(err, ErrIncoherentReads) {
+		return false, nil, nil
+	}
+	if err != nil {
+		return false, nil, err
+	}
+	// Real time already places T∞ after everything; the explicit order is
+	// still supplied for uniformity with the m-SC case.
+	res, err := checker.Decide(h, history.MLinearizableBase, &checker.Options{
+		ExtraOrder: s.finalLastOrder(h, ids),
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	if !res.Admissible {
+		return false, nil, nil
+	}
+	return true, witnessToTxnOrder(res.Witness, ids, s.NumTxns), nil
+}
+
+// finalLastOrder builds the ordering that pins the augmentation: T∞
+// after every transaction. Without it, an unread blind write could be
+// sequenced after T∞, defeating the final-write comparison of view
+// equivalence.
+func (s *Schedule) finalLastOrder(h *history.History, ids map[int]history.ID) *history.Relation {
+	extra := history.NewRelation(h.Len())
+	tInf := ids[s.NumTxns+1]
+	for t := 1; t <= s.NumTxns; t++ {
+		extra.Add(ids[t], tInf)
+	}
+	return extra
+}
+
+func witnessToTxnOrder(w history.Sequence, ids map[int]history.ID, numTxns int) []int {
+	back := make(map[history.ID]int, len(ids))
+	for t, id := range ids {
+		back[id] = t
+	}
+	var order []int
+	for _, id := range w {
+		if t, ok := back[id]; ok && t >= 1 && t <= numTxns {
+			order = append(order, t)
+		}
+	}
+	return order
+}
+
+// ConflictSerializable reports whether the schedule's conflict graph
+// (Ti → Tj iff some action of Ti conflicts with and precedes some action
+// of Tj) is acyclic — the polynomial sufficient condition classical
+// concurrency control enforces. Conflict serializability implies view
+// serializability, not conversely (blind writes).
+func (s *Schedule) ConflictSerializable() (bool, []int) {
+	g := history.NewRelation(s.NumTxns + 1)
+	for i, a := range s.Actions {
+		for _, b := range s.Actions[i+1:] {
+			if a.Txn == b.Txn || a.Obj != b.Obj {
+				continue
+			}
+			if a.Kind == WriteAct || b.Kind == WriteAct {
+				g.Add(history.ID(a.Txn), history.ID(b.Txn))
+			}
+		}
+	}
+	order, ok := g.TopoOrder()
+	if !ok {
+		return false, nil
+	}
+	var txns []int
+	for _, id := range order {
+		if id >= 1 {
+			txns = append(txns, int(id))
+		}
+	}
+	return true, txns
+}
+
+// Serialize materializes the serial schedule executing the transactions
+// in the given order (each transaction's actions contiguous, in program
+// order). Combined with the order returned by ViewSerializable /
+// StrictViewSerializable this produces an equivalent serial execution.
+func (s *Schedule) Serialize(order []int) (*Schedule, error) {
+	if len(order) != s.NumTxns {
+		return nil, fmt.Errorf("serial: order has %d transactions, schedule has %d", len(order), s.NumTxns)
+	}
+	seen := make(map[int]bool, len(order))
+	var actions []Action
+	for _, t := range order {
+		if t < 1 || t > s.NumTxns || seen[t] {
+			return nil, fmt.Errorf("serial: order is not a permutation (transaction %d)", t)
+		}
+		seen[t] = true
+		actions = append(actions, s.TxnActions(t)...)
+	}
+	return New(s.Reg, s.NumTxns, actions)
+}
+
+// IsSerial reports whether the schedule is serial: every transaction's
+// actions are contiguous.
+func (s *Schedule) IsSerial() bool {
+	last := -1
+	done := make(map[int]bool, s.NumTxns)
+	for _, a := range s.Actions {
+		if a.Txn != last {
+			if done[a.Txn] {
+				return false
+			}
+			if last > 0 {
+				done[last] = true
+			}
+			last = a.Txn
+		}
+	}
+	return true
+}

@@ -1,0 +1,448 @@
+package serial
+
+import (
+	"math/rand"
+	"testing"
+
+	"moc/internal/object"
+)
+
+func mustSchedule(t *testing.T, reg *object.Registry, numTxns int, actions []Action) *Schedule {
+	t.Helper()
+	s, err := New(reg, numTxns, actions)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	reg := object.MustRegistry("x")
+	if _, err := New(reg, 1, []Action{Rd(2, 0)}); err == nil {
+		t.Fatal("invalid txn index accepted")
+	}
+	if _, err := New(reg, 1, []Action{Rd(1, 5)}); err == nil {
+		t.Fatal("invalid entity accepted")
+	}
+	if _, err := New(reg, 2, []Action{Rd(1, 0)}); err == nil {
+		t.Fatal("empty transaction accepted")
+	}
+	if _, err := New(reg, 1, []Action{Rd(1, 0)}); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestReadsFromAndFinalWriters(t *testing.T) {
+	reg := object.MustRegistry("x", "y")
+	// w1(x) r2(x) w2(y) r1(y) w1(y)
+	s := mustSchedule(t, reg, 2, []Action{
+		Wr(1, 0), Rd(2, 0), Wr(2, 1), Rd(1, 1), Wr(1, 1),
+	})
+	rf := s.readsFrom()
+	if rf[1] != 1 {
+		t.Errorf("r2(x) reads from T%d, want T1", rf[1])
+	}
+	if rf[3] != 2 {
+		t.Errorf("r1(y) reads from T%d, want T2", rf[3])
+	}
+	finals := s.finalWriters()
+	if finals[0] != 1 || finals[1] != 1 {
+		t.Errorf("final writers = %v, want [1 1]", finals)
+	}
+}
+
+func TestNonOverlapping(t *testing.T) {
+	reg := object.MustRegistry("x")
+	// T1 entirely before T2; T3 overlaps both? w1(x) w1(x) w2(x) w3(x) w2(x)
+	s := mustSchedule(t, reg, 3, []Action{
+		Wr(1, 0), Wr(1, 0), Wr(2, 0), Wr(3, 0), Wr(2, 0),
+	})
+	if !s.NonOverlapping(1, 2) {
+		t.Error("T1 should finish before T2 starts")
+	}
+	if s.NonOverlapping(2, 3) || s.NonOverlapping(3, 2) {
+		t.Error("T2 and T3 overlap")
+	}
+	if s.NonOverlapping(2, 1) {
+		t.Error("T2 does not precede T1")
+	}
+}
+
+func TestConflictSerializableSimple(t *testing.T) {
+	reg := object.MustRegistry("x", "y")
+	// Serializable: r1(x) w1(x) r2(x) w2(x)
+	ok, order := mustSchedule(t, reg, 2, []Action{
+		Rd(1, 0), Wr(1, 0), Rd(2, 0), Wr(2, 0),
+	}).ConflictSerializable()
+	if !ok || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("ConflictSerializable = %v, %v", ok, order)
+	}
+	// Classic non-serializable interleaving: r1(x) r2(x) w1(x) w2(x).
+	ok, _ = mustSchedule(t, reg, 2, []Action{
+		Rd(1, 0), Rd(2, 0), Wr(1, 0), Wr(2, 0),
+	}).ConflictSerializable()
+	if ok {
+		t.Fatal("lost-update anomaly reported conflict serializable")
+	}
+}
+
+func TestViewButNotConflictSerializable(t *testing.T) {
+	// The classical blind-write example (Papadimitriou):
+	//   r1(x) w2(x) w1(x) w3(x)
+	// Conflict graph is cyclic (T1→T2 via r1-w2, T2→T1 via w2-w1), but the
+	// schedule is view equivalent to the serial T1 T2 T3 (T3's final blind
+	// write hides the intermediates).
+	reg := object.MustRegistry("x")
+	s := mustSchedule(t, reg, 3, []Action{
+		Rd(1, 0), Wr(2, 0), Wr(1, 0), Wr(3, 0),
+	})
+	if ok, _ := s.ConflictSerializable(); ok {
+		t.Fatal("blind-write schedule must not be conflict serializable")
+	}
+	ok, order, err := s.ViewSerializable()
+	if err != nil {
+		t.Fatalf("ViewSerializable: %v", err)
+	}
+	if !ok {
+		t.Fatal("blind-write schedule must be view serializable")
+	}
+	if !isViewEquivalentSerial(s, order, false) {
+		t.Fatalf("returned order %v is not a view-equivalent serialization", order)
+	}
+}
+
+func TestNotViewSerializable(t *testing.T) {
+	// r1(x) r2(x) w1(x) w2(x) r3(x): T3 reads T2's x, T1 and T2 both read
+	// initial x. Any serial order putting T1 or T2 second makes its read
+	// non-initial. Not view serializable.
+	reg := object.MustRegistry("x")
+	s := mustSchedule(t, reg, 3, []Action{
+		Rd(1, 0), Rd(2, 0), Wr(1, 0), Wr(2, 0), Rd(3, 0),
+	})
+	ok, _, err := s.ViewSerializable()
+	if err != nil {
+		t.Fatalf("ViewSerializable: %v", err)
+	}
+	if ok {
+		t.Fatal("non-view-serializable schedule accepted")
+	}
+}
+
+func TestStrictnessSeparation(t *testing.T) {
+	// A schedule that is view serializable but not strict view
+	// serializable. Entities y, z; transactions T1..T4:
+	//
+	//	w3(y) w2(z) r2(y) w3(z) r1(z) w4(z)
+	//
+	// rf: r2(y)←T3, r1(z)←T3; final writers: y=T3, z=T4. The constraints
+	// force the unique serialization T3 T1 T2 T4: T3 < T2 (reads-from y);
+	// T2's blind z-write must then follow T1 (it cannot sit between T3
+	// and r1(z)); T4 is last. But T2 finishes (position 2) before T1
+	// starts (position 4) in the schedule, so the required serialization
+	// inverts a non-overlapping pair — strictness fails.
+	reg := object.MustRegistry("y", "z")
+	s := mustSchedule(t, reg, 4, []Action{
+		Wr(3, 0), Wr(2, 1), Rd(2, 0), Wr(3, 1), Rd(1, 1), Wr(4, 1),
+	})
+	ok, order, err := s.ViewSerializable()
+	if err != nil {
+		t.Fatalf("ViewSerializable: %v", err)
+	}
+	if !ok {
+		t.Fatal("schedule should be view serializable")
+	}
+	if !isViewEquivalentSerial(s, order, false) {
+		t.Fatalf("order %v not view equivalent", order)
+	}
+	strict, _, err := s.StrictViewSerializable()
+	if err != nil {
+		t.Fatalf("StrictViewSerializable: %v", err)
+	}
+	if strict {
+		t.Fatal("schedule must not be strict view serializable (T2 < T1 in real time)")
+	}
+	// Sanity: the brute-force baseline agrees on both decisions.
+	if !bruteForceVSR(s, false) || bruteForceVSR(s, true) {
+		t.Fatal("brute-force baseline disagrees with the example's construction")
+	}
+}
+
+func TestStrictViewSerializableWitnessRespectsOrder(t *testing.T) {
+	reg := object.MustRegistry("x", "y")
+	// Fully sequential schedule: trivially strict view serializable.
+	s := mustSchedule(t, reg, 3, []Action{
+		Wr(1, 0), Rd(1, 1), Wr(2, 1), Rd(2, 0), Wr(3, 0), Rd(3, 1),
+	})
+	ok, order, err := s.StrictViewSerializable()
+	if err != nil {
+		t.Fatalf("StrictViewSerializable: %v", err)
+	}
+	if !ok {
+		t.Fatal("sequential schedule rejected")
+	}
+	if !isViewEquivalentSerial(s, order, true) {
+		t.Fatalf("order %v not a strict view-equivalent serialization", order)
+	}
+}
+
+func TestToHistoryShape(t *testing.T) {
+	reg := object.MustRegistry("x", "y")
+	s := mustSchedule(t, reg, 2, []Action{
+		Wr(1, 0), Rd(2, 0), Wr(2, 1),
+	})
+	h, ids, err := s.ToHistory()
+	if err != nil {
+		t.Fatalf("ToHistory: %v", err)
+	}
+	// init + T1 + T2 + T∞.
+	if h.Len() != 4 {
+		t.Fatalf("history len = %d, want 4", h.Len())
+	}
+	// Non-overlap must carry over: T1's actions are positions 0..0, T2's
+	// 1..2, so T1 < T2 in real time.
+	if !h.RealTimeRel(ids[1], ids[2]) {
+		t.Fatal("schedule non-overlap lost in reduction")
+	}
+	// T2 reads x from T1.
+	if !h.ReadsFromRel(ids[1], ids[2]) {
+		t.Fatal("reads-from lost in reduction")
+	}
+	// T∞ reads final writes: x from T1, y from T2.
+	tInf := ids[s.NumTxns+1]
+	if src, _ := h.ReadsFromSource(tInf, 0); src != ids[1] {
+		t.Fatal("T∞ must read x from T1")
+	}
+	if src, _ := h.ReadsFromSource(tInf, 1); src != ids[2] {
+		t.Fatal("T∞ must read y from T2")
+	}
+}
+
+func TestToHistoryInternalReads(t *testing.T) {
+	reg := object.MustRegistry("x")
+	// w1(x) r1(x): the read is internal to T1.
+	s := mustSchedule(t, reg, 1, []Action{Wr(1, 0), Rd(1, 0)})
+	h, ids, err := s.ToHistory()
+	if err != nil {
+		t.Fatalf("ToHistory: %v", err)
+	}
+	if h.MOp(ids[1]).RObjects().Len() != 0 {
+		t.Fatal("internal read surfaced as external in reduction")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	reg := object.MustRegistry("x", "y")
+	s := mustSchedule(t, reg, 2, []Action{Rd(1, 0), Wr(2, 1)})
+	if got := s.String(); got != "r1(x) w2(y)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestReductionDifferential validates Theorem 2's equivalence on random
+// schedules: the reduction-based decision matches a brute-force search
+// over all serial orders, for both plain and strict view serializability.
+func TestReductionDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	yesPlain, yesStrict, total := 0, 0, 0
+	for trial := 0; trial < 250; trial++ {
+		s := randomSchedule(rng)
+		gotPlain, orderPlain, err := s.ViewSerializable()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wantPlain := bruteForceVSR(s, false)
+		if gotPlain != wantPlain {
+			t.Fatalf("trial %d (%s): view serializable: reduction=%v brute=%v",
+				trial, s, gotPlain, wantPlain)
+		}
+		if gotPlain && !isViewEquivalentSerial(s, orderPlain, false) {
+			t.Fatalf("trial %d (%s): witness %v invalid", trial, s, orderPlain)
+		}
+
+		gotStrict, orderStrict, err := s.StrictViewSerializable()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wantStrict := bruteForceVSR(s, true)
+		if gotStrict != wantStrict {
+			t.Fatalf("trial %d (%s): strict view serializable: reduction=%v brute=%v",
+				trial, s, gotStrict, wantStrict)
+		}
+		if gotStrict && !isViewEquivalentSerial(s, orderStrict, true) {
+			t.Fatalf("trial %d (%s): strict witness %v invalid", trial, s, orderStrict)
+		}
+		if gotStrict && !gotPlain {
+			t.Fatalf("trial %d: strict without plain is impossible", trial)
+		}
+		total++
+		if gotPlain {
+			yesPlain++
+		}
+		if gotStrict {
+			yesStrict++
+		}
+	}
+	if yesPlain == 0 || yesPlain == total || yesStrict == 0 {
+		t.Fatalf("degenerate sampling: plain %d/%d, strict %d/%d", yesPlain, total, yesStrict, total)
+	}
+}
+
+func randomSchedule(rng *rand.Rand) *Schedule {
+	reg := object.Sequential(1 + rng.Intn(2))
+	numTxns := 2 + rng.Intn(3)
+	var actions []Action
+	for t := 1; t <= numTxns; t++ {
+		actions = append(actions, Action{Txn: t, Kind: ActionKind(1 + rng.Intn(2)), Obj: object.ID(rng.Intn(reg.Len()))})
+	}
+	for extra := rng.Intn(4); extra > 0; extra-- {
+		actions = append(actions, Action{
+			Txn:  1 + rng.Intn(numTxns),
+			Kind: ActionKind(1 + rng.Intn(2)),
+			Obj:  object.ID(rng.Intn(reg.Len())),
+		})
+	}
+	rng.Shuffle(len(actions), func(i, j int) {
+		actions[i], actions[j] = actions[j], actions[i]
+	})
+	s, err := New(reg, numTxns, actions)
+	if err != nil {
+		panic(err) // unreachable: construction is valid by design
+	}
+	return s
+}
+
+// bruteForceVSR enumerates all permutations of the transactions.
+func bruteForceVSR(s *Schedule, strict bool) bool {
+	perm := make([]int, s.NumTxns)
+	for i := range perm {
+		perm[i] = i + 1
+	}
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == len(perm) {
+			return isViewEquivalentSerial(s, perm, strict)
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if try(k + 1) {
+				perm[k], perm[i] = perm[i], perm[k]
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return try(0)
+}
+
+// isViewEquivalentSerial checks view equivalence of s against the serial
+// execution of its transactions in the given order, optionally requiring
+// non-overlapping transactions to keep their schedule order (strictness).
+func isViewEquivalentSerial(s *Schedule, order []int, strict bool) bool {
+	if len(order) != s.NumTxns {
+		return false
+	}
+	if strict {
+		pos := make(map[int]int, len(order))
+		for i, t := range order {
+			pos[t] = i
+		}
+		for a := 1; a <= s.NumTxns; a++ {
+			for b := 1; b <= s.NumTxns; b++ {
+				if a != b && s.NonOverlapping(a, b) && pos[a] > pos[b] {
+					return false
+				}
+			}
+		}
+	}
+	// Build the serial schedule and compare reads-from per read
+	// occurrence and final writers.
+	var serialActs []Action
+	for _, t := range order {
+		serialActs = append(serialActs, s.TxnActions(t)...)
+	}
+	serialSched := &Schedule{Reg: s.Reg, Actions: serialActs, NumTxns: s.NumTxns}
+
+	type readKey struct{ txn, idx int }
+	collect := func(sch *Schedule) (map[readKey]int, []int) {
+		rf := sch.readsFrom()
+		perTxnReadIdx := make(map[int]int)
+		out := make(map[readKey]int)
+		for i, a := range sch.Actions {
+			if a.Kind != ReadAct {
+				continue
+			}
+			k := readKey{a.Txn, perTxnReadIdx[a.Txn]}
+			perTxnReadIdx[a.Txn]++
+			out[k] = rf[i]
+		}
+		return out, sch.finalWriters()
+	}
+	rfA, finA := collect(s)
+	rfB, finB := collect(serialSched)
+	if len(rfA) != len(rfB) {
+		return false
+	}
+	for k, v := range rfA {
+		if rfB[k] != v {
+			return false
+		}
+	}
+	for x := range finA {
+		if finA[x] != finB[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSerializeProducesEquivalentSerial(t *testing.T) {
+	reg := object.MustRegistry("x")
+	s := mustSchedule(t, reg, 3, []Action{
+		Rd(1, 0), Wr(2, 0), Wr(1, 0), Wr(3, 0),
+	})
+	ok, order, err := s.ViewSerializable()
+	if err != nil || !ok {
+		t.Fatalf("ViewSerializable = %v, %v", ok, err)
+	}
+	serial, err := s.Serialize(order)
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	if !serial.IsSerial() {
+		t.Fatalf("Serialize produced non-serial schedule %s", serial)
+	}
+	if !isViewEquivalentSerial(s, order, false) {
+		t.Fatal("serialization not view equivalent")
+	}
+	// A serial schedule is trivially conflict serializable in its order.
+	if ok, _ := serial.ConflictSerializable(); !ok {
+		t.Fatal("serial schedule not conflict serializable")
+	}
+}
+
+func TestSerializeValidation(t *testing.T) {
+	reg := object.MustRegistry("x")
+	s := mustSchedule(t, reg, 2, []Action{Rd(1, 0), Wr(2, 0)})
+	if _, err := s.Serialize([]int{1}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := s.Serialize([]int{1, 1}); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	if _, err := s.Serialize([]int{1, 5}); err == nil {
+		t.Fatal("out-of-range order accepted")
+	}
+}
+
+func TestIsSerial(t *testing.T) {
+	reg := object.MustRegistry("x")
+	serial := mustSchedule(t, reg, 2, []Action{Rd(1, 0), Wr(1, 0), Rd(2, 0)})
+	if !serial.IsSerial() {
+		t.Fatal("serial schedule misclassified")
+	}
+	interleaved := mustSchedule(t, reg, 2, []Action{Rd(1, 0), Rd(2, 0), Wr(1, 0)})
+	if interleaved.IsSerial() {
+		t.Fatal("interleaved schedule misclassified")
+	}
+}

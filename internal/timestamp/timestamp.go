@@ -1,0 +1,140 @@
+// Package timestamp implements the per-object version vectors that the
+// Section 5 protocols of Mittal & Garg (1998) associate with every
+// m-operation: "The timestamp is a vector of integers with one entry for
+// every object. Intuitively, it represents the version of an object."
+//
+// The package provides the exact order relations the paper's proofs use:
+//
+//   - pointwise ≤ and < (P5.3–P5.8, D5.1–D5.7): ts ≤ ts' iff every entry
+//     of ts is ≤ the corresponding entry of ts'; ts < ts' iff ts ≤ ts' and
+//     they differ;
+//   - lexicographic comparison, which the paper mentions for ordering;
+//   - componentwise merge (action A5 of Figure 6 keeps the freshest
+//     version of every object when combining query responses).
+package timestamp
+
+import (
+	"fmt"
+	"strings"
+
+	"moc/internal/object"
+)
+
+// TS is a version vector with one version counter per registered object.
+// The zero-length TS is only valid for a system with zero objects; create
+// instances with New.
+type TS []int64
+
+// New returns the all-zero timestamp for n objects, the version vector of
+// the imaginary initial m-operation.
+func New(n int) TS { return make(TS, n) }
+
+// Clone returns an independent copy of ts.
+func (ts TS) Clone() TS {
+	out := make(TS, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// Bump increments the version of object x (the "ts[x]++" of action A2).
+func (ts TS) Bump(x object.ID) { ts[x]++ }
+
+// Get returns the version of object x.
+func (ts TS) Get(x object.ID) int64 { return ts[x] }
+
+// Set assigns version v to object x.
+func (ts TS) Set(x object.ID, v int64) { ts[x] = v }
+
+// Equal reports whether ts and other agree on every entry. Timestamps of
+// different lengths are never equal.
+func (ts TS) Equal(other TS) bool {
+	if len(ts) != len(other) {
+		return false
+	}
+	for i := range ts {
+		if ts[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LessEq reports the paper's pointwise order: ts ≤ other iff every entry
+// of ts is less than or equal to the corresponding entry of other.
+// Vectors of different lengths are incomparable.
+func (ts TS) LessEq(other TS) bool {
+	if len(ts) != len(other) {
+		return false
+	}
+	for i := range ts {
+		if ts[i] > other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports the paper's pointwise strict order: ts ≤ other and
+// ts ≠ other.
+func (ts TS) Less(other TS) bool {
+	return ts.LessEq(other) && !ts.Equal(other)
+}
+
+// Comparable reports whether ts and other are ordered by the pointwise
+// order in either direction. Snapshots taken along a single total order of
+// updates are always comparable; divergent replicas are not.
+func (ts TS) Comparable(other TS) bool {
+	return ts.LessEq(other) || other.LessEq(ts)
+}
+
+// LexLess reports lexicographic order, the total order the paper mentions
+// as an alternative ("We order timestamps lexicographically"). It is used
+// when a deterministic tiebreak over incomparable vectors is required.
+func (ts TS) LexLess(other TS) bool {
+	n := len(ts)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if ts[i] != other[i] {
+			return ts[i] < other[i]
+		}
+	}
+	return len(ts) < len(other)
+}
+
+// MergeMax sets every entry of ts to the maximum of ts and other: the
+// componentwise "select the most recent version for all objects" of action
+// A5 in Figure 6. The receiver is modified in place.
+func (ts TS) MergeMax(other TS) {
+	for i := range ts {
+		if i < len(other) && other[i] > ts[i] {
+			ts[i] = other[i]
+		}
+	}
+}
+
+// Sum returns the total number of versions across all objects, i.e. the
+// number of write operations applied so far. Useful as a cheap progress
+// metric in tests.
+func (ts TS) Sum() int64 {
+	var total int64
+	for _, v := range ts {
+		total += v
+	}
+	return total
+}
+
+// String renders the vector as "[v0 v1 ...]".
+func (ts TS) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range ts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

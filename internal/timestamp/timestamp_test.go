@@ -1,0 +1,195 @@
+package timestamp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"moc/internal/object"
+)
+
+func TestNewIsAllZero(t *testing.T) {
+	ts := New(4)
+	if len(ts) != 4 {
+		t.Fatalf("len = %d, want 4", len(ts))
+	}
+	for i, v := range ts {
+		if v != 0 {
+			t.Fatalf("entry %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	ts := New(2)
+	c := ts.Clone()
+	c.Bump(0)
+	if ts.Get(0) != 0 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestBumpAndGetSet(t *testing.T) {
+	ts := New(3)
+	ts.Bump(1)
+	ts.Bump(1)
+	ts.Set(2, 7)
+	if ts.Get(0) != 0 || ts.Get(1) != 2 || ts.Get(2) != 7 {
+		t.Fatalf("ts = %v", ts)
+	}
+}
+
+func TestPointwiseOrder(t *testing.T) {
+	a := TS{1, 2, 3}
+	b := TS{1, 3, 3}
+	if !a.LessEq(b) || a.Equal(b) {
+		t.Fatal("expected a ≤ b and a ≠ b")
+	}
+	if !a.Less(b) {
+		t.Fatal("expected a < b")
+	}
+	if b.Less(a) || b.LessEq(a) {
+		t.Fatal("b should not be ≤ a")
+	}
+	if !a.LessEq(a) || a.Less(a) {
+		t.Fatal("reflexivity of ≤ / irreflexivity of < violated")
+	}
+}
+
+func TestIncomparableVectors(t *testing.T) {
+	a := TS{1, 0}
+	b := TS{0, 1}
+	if a.LessEq(b) || b.LessEq(a) {
+		t.Fatal("incomparable vectors reported as ordered")
+	}
+	if a.Comparable(b) {
+		t.Fatal("Comparable = true for incomparable vectors")
+	}
+	if !a.Comparable(a) {
+		t.Fatal("Comparable = false for equal vectors")
+	}
+}
+
+func TestDifferentLengthsIncomparable(t *testing.T) {
+	a := TS{1, 2}
+	b := TS{1, 2, 3}
+	if a.Equal(b) || a.LessEq(b) || b.LessEq(a) {
+		t.Fatal("vectors of different lengths must be incomparable")
+	}
+}
+
+func TestLexLess(t *testing.T) {
+	cases := []struct {
+		a, b TS
+		want bool
+	}{
+		{TS{1, 0}, TS{0, 9}, false},
+		{TS{0, 9}, TS{1, 0}, true},
+		{TS{1, 2}, TS{1, 2}, false},
+		{TS{1, 2}, TS{1, 3}, true},
+		{TS{1}, TS{1, 0}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.LexLess(c.b); got != c.want {
+			t.Errorf("LexLess(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMergeMax(t *testing.T) {
+	a := TS{1, 5, 0}
+	b := TS{3, 2, 0}
+	a.MergeMax(b)
+	want := TS{3, 5, 0}
+	if !a.Equal(want) {
+		t.Fatalf("MergeMax = %v, want %v", a, want)
+	}
+}
+
+func TestMergeMaxShorterOther(t *testing.T) {
+	a := TS{1, 1, 1}
+	a.MergeMax(TS{5})
+	if !a.Equal(TS{5, 1, 1}) {
+		t.Fatalf("MergeMax with shorter vector = %v", a)
+	}
+}
+
+func TestSumAndString(t *testing.T) {
+	ts := TS{1, 2, 3}
+	if ts.Sum() != 6 {
+		t.Fatalf("Sum = %d, want 6", ts.Sum())
+	}
+	if got := ts.String(); got != "[1 2 3]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestBumpMakesStrictlyGreater(t *testing.T) {
+	ts := New(3)
+	before := ts.Clone()
+	ts.Bump(object.ID(2))
+	if !before.Less(ts) {
+		t.Fatal("Bump did not produce a strictly greater vector")
+	}
+}
+
+// Property: MergeMax is an upper bound of both operands and idempotent.
+func TestMergeMaxProperties(t *testing.T) {
+	f := func(xs, ys [4]uint8) bool {
+		a, b := fromArray(xs), fromArray(ys)
+		m := a.Clone()
+		m.MergeMax(b)
+		if !a.LessEq(m) || !b.LessEq(m) {
+			return false
+		}
+		again := m.Clone()
+		again.MergeMax(b)
+		return again.Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pointwise ≤ is antisymmetric and transitive on random vectors.
+func TestPointwisePartialOrderProperties(t *testing.T) {
+	f := func(xs, ys, zs [4]uint8) bool {
+		a, b, c := fromArray(xs), fromArray(ys), fromArray(zs)
+		if a.LessEq(b) && b.LessEq(a) && !a.Equal(b) {
+			return false // antisymmetry
+		}
+		if a.LessEq(b) && b.LessEq(c) && !a.LessEq(c) {
+			return false // transitivity
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LexLess is a strict total order (trichotomy) on equal-length
+// vectors.
+func TestLexTotalOrderProperty(t *testing.T) {
+	f := func(xs, ys [4]uint8) bool {
+		a, b := fromArray(xs), fromArray(ys)
+		lt, gt, eq := a.LexLess(b), b.LexLess(a), a.Equal(b)
+		count := 0
+		for _, v := range []bool{lt, gt, eq} {
+			if v {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fromArray(xs [4]uint8) TS {
+	ts := New(4)
+	for i, x := range xs {
+		ts[i] = int64(x)
+	}
+	return ts
+}

@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"moc/internal/checker"
+	"moc/internal/history"
+)
+
+func TestTornReaderFamilyIsHardNoInstance(t *testing.T) {
+	if _, err := TornReaderFamily(1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	h, err := TornReaderFamily(4)
+	if err != nil {
+		t.Fatalf("TornReaderFamily: %v", err)
+	}
+	res, err := checker.MSequentiallyConsistent(h)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if res.Admissible {
+		t.Fatal("torn-reader family must be inadmissible")
+	}
+	if res.Stats.Nodes < 8 {
+		t.Fatalf("expected substantial search, got %d nodes", res.Stats.Nodes)
+	}
+}
+
+func TestTornReaderFamilyGrowth(t *testing.T) {
+	nodes := make([]int, 0, 3)
+	for _, n := range []int{3, 5, 7} {
+		h, err := TornReaderFamily(n)
+		if err != nil {
+			t.Fatalf("family(%d): %v", n, err)
+		}
+		res, err := checker.MSequentiallyConsistent(h)
+		if err != nil {
+			t.Fatalf("check(%d): %v", n, err)
+		}
+		if res.Admissible {
+			t.Fatalf("family(%d) admissible", n)
+		}
+		nodes = append(nodes, res.Stats.Nodes)
+	}
+	if !(nodes[0] < nodes[1] && nodes[1] < nodes[2]) {
+		t.Fatalf("search nodes not growing: %v", nodes)
+	}
+	if nodes[2] < 4*nodes[0] {
+		t.Fatalf("growth too slow to exhibit hardness: %v", nodes)
+	}
+}
+
+func TestChainedReaderFamilyIsYesInstance(t *testing.T) {
+	if _, err := ChainedReaderFamily(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	h, err := ChainedReaderFamily(5)
+	if err != nil {
+		t.Fatalf("ChainedReaderFamily: %v", err)
+	}
+	res, err := checker.MSequentiallyConsistent(h)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !res.Admissible {
+		t.Fatal("chained-reader family must be admissible")
+	}
+}
+
+func TestGenerateConstrainedRunValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateConstrainedRun(ConstrainedRunConfig{}, rng); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestGenerateConstrainedRunIsAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		run, err := GenerateConstrainedRun(ConstrainedRunConfig{
+			Procs: 3, Objects: 3, OpsPerProc: 4, ReadFrac: 0.5, MaxSpan: 2,
+		}, rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sync := checker.SyncFromUpdates(run.H, run.UpdateOrder)
+		res, err := checker.AdmissibleUnderConstraint(run.H, sync, checker.WW)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Admissible {
+			t.Fatalf("trial %d: generated constrained run not admissible", trial)
+		}
+	}
+}
+
+// TestTheorem7AgreementOnRandomRuns is the E4 property: on WW-constrained
+// histories (intact or corrupted), the polynomial legality check agrees
+// with the exact exponential decider.
+func TestTheorem7AgreementOnRandomRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	corruptedBad := 0
+	for trial := 0; trial < 60; trial++ {
+		run, err := GenerateConstrainedRun(ConstrainedRunConfig{
+			Procs: 3, Objects: 2, OpsPerProc: 3, ReadFrac: 0.5, MaxSpan: 2,
+		}, rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		hs := []*history.History{run.H}
+		if c, ok := CorruptRead(run, rng); ok {
+			hs = append(hs, c)
+		}
+		for i, h := range hs {
+			sync := checker.SyncFromUpdates(h, run.UpdateOrder)
+			poly, err := checker.AdmissibleUnderConstraint(h, sync, checker.WW)
+			if err != nil {
+				t.Fatalf("trial %d history %d: poly: %v", trial, i, err)
+			}
+			exact, err := checker.Decide(h, history.MSequentialBase, &checker.Options{ExtraOrder: sync})
+			if err != nil {
+				t.Fatalf("trial %d history %d: exact: %v", trial, i, err)
+			}
+			if poly.Admissible != exact.Admissible {
+				t.Fatalf("trial %d history %d: Theorem 7 (%v) disagrees with exact (%v)",
+					trial, i, poly.Admissible, exact.Admissible)
+			}
+			if poly.Admissible != poly.Legal {
+				t.Fatalf("trial %d history %d: admissible (%v) != legal (%v) under WW",
+					trial, i, poly.Admissible, poly.Legal)
+			}
+			if i == 1 && !poly.Admissible {
+				corruptedBad++
+			}
+		}
+	}
+	if corruptedBad == 0 {
+		t.Fatal("no corrupted history was inadmissible — corruption too weak to test the negative direction")
+	}
+}
+
+func TestCorruptReadProducesDifferentHistory(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	run, err := GenerateConstrainedRun(ConstrainedRunConfig{
+		Procs: 2, Objects: 2, OpsPerProc: 4, ReadFrac: 0.5, MaxSpan: 2,
+	}, rng)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	c, ok := CorruptRead(run, rng)
+	if !ok {
+		t.Skip("no corruptible read in this run")
+	}
+	if run.H.EquivalentTo(c) {
+		t.Fatal("corruption produced an equivalent history")
+	}
+	if c.Len() != run.H.Len() {
+		t.Fatal("corruption changed the history size")
+	}
+}
+
+func TestRandomSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		s := RandomSchedule(rng, 4, 3, 4)
+		if s.NumTxns < 2 {
+			t.Fatalf("schedule with %d txns", s.NumTxns)
+		}
+		if len(s.Actions) < s.NumTxns {
+			t.Fatalf("schedule too short: %v", s)
+		}
+	}
+}
+
+func TestMixPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := Mix{ReadFrac: 0.5, Span: 2, OpsPerProc: 10}
+	plans := m.Plan(3, 4, rng)
+	if len(plans) != 3 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	queries, updates := 0, 0
+	for _, plan := range plans {
+		if len(plan) != 10 {
+			t.Fatalf("plan length = %d", len(plan))
+		}
+		for _, op := range plan {
+			if len(op.Objs) != 2 {
+				t.Fatalf("span = %d", len(op.Objs))
+			}
+			if op.Query {
+				queries++
+				if op.Vals != nil {
+					t.Fatal("query with values")
+				}
+			} else {
+				updates++
+				if len(op.Vals) != len(op.Objs) {
+					t.Fatal("update without values")
+				}
+			}
+		}
+	}
+	if queries == 0 || updates == 0 {
+		t.Fatalf("degenerate mix: %d queries, %d updates", queries, updates)
+	}
+}
+
+func TestMixPlanSpanClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := Mix{ReadFrac: 0, Span: 10, OpsPerProc: 2}
+	plans := m.Plan(1, 3, rng)
+	for _, op := range plans[0] {
+		if len(op.Objs) != 3 {
+			t.Fatalf("span not clamped: %d", len(op.Objs))
+		}
+	}
+}
+
+func TestMixPlanUniqueWriteValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := Mix{ReadFrac: 0, Span: 1, OpsPerProc: 20}
+	plans := m.Plan(4, 2, rng)
+	seen := map[int64]bool{}
+	for _, plan := range plans {
+		for _, op := range plan {
+			for _, v := range op.Vals {
+				if seen[v] {
+					t.Fatalf("duplicate write value %d", v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestMixPlanHotSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := Mix{ReadFrac: 0, Span: 2, OpsPerProc: 200, HotFrac: 1.0, HotObjects: 2}
+	plans := m.Plan(1, 16, rng)
+	for _, op := range plans[0] {
+		for _, x := range op.Objs {
+			if int(x) >= 2 {
+				t.Fatalf("HotFrac=1 op escaped the hot set: %v", op.Objs)
+			}
+		}
+	}
+	// With HotFrac 0.5 both kinds appear.
+	m2 := Mix{ReadFrac: 0, Span: 1, OpsPerProc: 300, HotFrac: 0.5, HotObjects: 1}
+	plans2 := m2.Plan(1, 16, rng)
+	hot, cold := 0, 0
+	for _, op := range plans2[0] {
+		if op.Objs[0] == 0 {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	if hot == 0 || cold == 0 {
+		t.Fatalf("degenerate hot/cold split: %d/%d", hot, cold)
+	}
+}
+
+func TestMixPlanHotDefaultsAndClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// HotObjects > objects clamps; HotObjects unset defaults to span.
+	m := Mix{ReadFrac: 0, Span: 3, OpsPerProc: 10, HotFrac: 1.0, HotObjects: 100}
+	plans := m.Plan(1, 2, rng)
+	for _, op := range plans[0] {
+		if len(op.Objs) > 2 {
+			t.Fatalf("span not clamped to objects: %v", op.Objs)
+		}
+	}
+}
