@@ -1,0 +1,30 @@
+# Tier-1 verification entry points. `make verify` is what CI and the
+# pre-merge check run: vet plus the full suite under the race detector,
+# so the network/protocol shutdown paths and the chaos tests are always
+# exercised with -race. Chaos tests honor -short (see `make quick`).
+
+GO ?= go
+
+.PHONY: build test race vet verify quick bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify = the tier-1 gate: vet + race-enabled tests.
+verify: vet race
+
+# quick = the fast loop: -short trims the chaos/stress iteration counts.
+quick:
+	$(GO) test -short -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x .

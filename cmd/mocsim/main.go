@@ -6,7 +6,16 @@
 // Usage:
 //
 //	mocsim -consistency mlin -procs 4 -objects 6 -ops 8 -readfrac 0.5 \
-//	       -maxdelay 2ms -seed 7 [-broadcast lamport] [-relevant] [-json]
+//	       -maxdelay 2ms -seed 7 [-broadcast lamport] [-relevant] [-json] \
+//	       [-drop 0.2] [-dup 0.05] [-partition 50ms]
+//
+// The -drop, -dup and -partition flags enable fault injection: messages
+// are dropped/duplicated with the given probabilities, and -partition
+// isolates the first half of the processes from the second half from
+// startup until the given duration elapses. The reliable delivery layer
+// (sequence numbers, acks, retransmission) restores exactly-once
+// delivery underneath the protocols, and the run reports the fault and
+// retransmission counters.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"moc/internal/core"
 	"moc/internal/history"
 	"moc/internal/mop"
+	"moc/internal/network"
 	"moc/internal/object"
 	"moc/internal/workload"
 )
@@ -44,6 +54,9 @@ func run() error {
 		maxDelay    = flag.Duration("maxdelay", 2*time.Millisecond, "maximum network delay")
 		seed        = flag.Int64("seed", 1, "randomness seed")
 		relevant    = flag.Bool("relevant", false, "mlin: send only relevant objects in query responses")
+		drop        = flag.Float64("drop", 0, "fault injection: per-message drop probability in [0,1)")
+		dup         = flag.Float64("dup", 0, "fault injection: per-message duplication probability in [0,1)")
+		partition   = flag.Duration("partition", 0, "fault injection: partition the first half of the processes from the rest until this duration elapses")
 		emitJSON    = flag.Bool("json", false, "print the recorded history as JSON")
 		timeline    = flag.Bool("timeline", false, "render the history as per-process lanes (paper-figure style)")
 		dot         = flag.Bool("dot", false, "emit the history's relations as Graphviz DOT on stdout")
@@ -81,6 +94,19 @@ func run() error {
 	cfg.Objects = make([]string, *objects)
 	for i := range cfg.Objects {
 		cfg.Objects[i] = fmt.Sprintf("x%d", i)
+	}
+
+	faulty := *drop > 0 || *dup > 0 || *partition > 0
+	if faulty {
+		faults := &network.Faults{DropProb: *drop, DupProb: *dup}
+		if *partition > 0 {
+			side := make([]int, 0, *procs/2)
+			for p := 0; p < *procs/2; p++ {
+				side = append(side, p)
+			}
+			faults.Partitions = []network.Partition{{Side: side, Start: 0, Heal: *partition}}
+		}
+		cfg.Faults = faults
 	}
 
 	s, err := core.New(cfg)
@@ -172,5 +198,10 @@ func run() error {
 	msgs, bytes := s.BroadcastCost()
 	fmt.Fprintf(summary, "broadcast traffic: %d msgs, %d bytes; query traffic: %d msgs, %d bytes\n",
 		msgs, bytes, s.QueryTraffic().Messages, s.QueryTraffic().Bytes)
+	if faulty {
+		ns := s.NetStats()
+		fmt.Fprintf(summary, "fault injection: %d dropped, %d duplicated, %d retransmitted\n",
+			ns.Dropped, ns.Duplicated, ns.Retransmitted)
+	}
 	return nil
 }

@@ -22,7 +22,11 @@
 // total order, gap-free.
 package abcast
 
-import "errors"
+import (
+	"errors"
+
+	"moc/internal/network"
+)
 
 // Delivery is one totally-ordered delivery.
 type Delivery struct {
@@ -48,6 +52,9 @@ type Broadcaster interface {
 	// MessageCost returns (messages, bytes) of network traffic incurred
 	// so far, for the experiment harness.
 	MessageCost() (int64, int64)
+	// NetStats returns the underlying transport's full counters,
+	// including fault-injection drop/duplicate/retransmit counts.
+	NetStats() network.Stats
 	// Close shuts the service down and waits for its goroutines.
 	Close()
 }

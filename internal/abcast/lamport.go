@@ -22,7 +22,7 @@ import (
 // order"), so Lamport runs its private network in FIFO mode.
 type Lamport struct {
 	n       int
-	net     *network.Network
+	net     network.Link
 	outs    []chan Delivery
 	stop    chan struct{}
 	closed  atomic.Bool
@@ -54,6 +54,9 @@ type LamportConfig struct {
 	Procs              int
 	Seed               int64
 	MinDelay, MaxDelay time.Duration
+	// Faults optionally injects delivery faults. The reliable layer then
+	// provides the FIFO, exactly-once links the algorithm requires.
+	Faults *network.Faults
 }
 
 // NewLamport starts a Lamport-clock atomic broadcast group.
@@ -61,12 +64,13 @@ func NewLamport(cfg LamportConfig) (*Lamport, error) {
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("abcast: invalid proc count %d", cfg.Procs)
 	}
-	net, err := network.New(network.Config{
+	net, err := network.NewLink(network.Config{
 		Procs:    cfg.Procs,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
 		MaxDelay: cfg.MaxDelay,
 		FIFO:     true,
+		Faults:   cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -114,6 +118,9 @@ func (l *Lamport) MessageCost() (int64, int64) {
 	}
 	return msgs, st.Bytes
 }
+
+// NetStats implements Broadcaster.
+func (l *Lamport) NetStats() network.Stats { return l.net.Stats() }
 
 // Close implements Broadcaster.
 func (l *Lamport) Close() {

@@ -16,7 +16,7 @@ import (
 // underlying network may delay and reorder freely.
 type Sequencer struct {
 	n       int
-	net     *network.Network
+	net     network.Link
 	outs    []chan Delivery
 	stop    chan struct{}
 	closed  atomic.Bool
@@ -46,6 +46,10 @@ type SequencerConfig struct {
 	// Seed, MinDelay, MaxDelay parameterize the private network.
 	Seed               int64
 	MinDelay, MaxDelay time.Duration
+	// Faults optionally injects delivery faults into the private network;
+	// the reliable layer (network.NewLink) then restores exactly-once
+	// delivery underneath the protocol.
+	Faults *network.Faults
 }
 
 // NewSequencer starts a sequencer-based atomic broadcast group.
@@ -54,11 +58,12 @@ func NewSequencer(cfg SequencerConfig) (*Sequencer, error) {
 		return nil, fmt.Errorf("abcast: invalid proc count %d", cfg.Procs)
 	}
 	// Endpoint cfg.Procs is the sequencer itself.
-	net, err := network.New(network.Config{
+	net, err := network.NewLink(network.Config{
 		Procs:    cfg.Procs + 1,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
 		MaxDelay: cfg.MaxDelay,
+		Faults:   cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -101,6 +106,9 @@ func (s *Sequencer) MessageCost() (int64, int64) {
 	st := s.net.Stats()
 	return st.Messages, st.Bytes
 }
+
+// NetStats implements Broadcaster.
+func (s *Sequencer) NetStats() network.Stats { return s.net.Stats() }
 
 // Close implements Broadcaster.
 func (s *Sequencer) Close() {

@@ -22,7 +22,7 @@ import (
 // waits on average half a ring rotation before it is ordered.
 type Token struct {
 	n       int
-	net     *network.Network
+	net     network.Link
 	outs    []chan Delivery
 	pending []*tokenQueue
 	stop    chan struct{}
@@ -59,6 +59,9 @@ type TokenConfig struct {
 	Procs              int
 	Seed               int64
 	MinDelay, MaxDelay time.Duration
+	// Faults optionally injects delivery faults; the reliable layer keeps
+	// the circulating token from being lost.
+	Faults *network.Faults
 }
 
 // NewToken starts a token-ring atomic broadcast group. Process 0 holds
@@ -70,11 +73,12 @@ func NewToken(cfg TokenConfig) (*Token, error) {
 	// FIFO links keep token passes and order messages from one holder in
 	// emission order, which simplifies nothing for ordering (the
 	// hold-back buffer reorders anyway) but bounds buffering.
-	net, err := network.New(network.Config{
+	net, err := network.NewLink(network.Config{
 		Procs:    cfg.Procs,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
 		MaxDelay: cfg.MaxDelay,
+		Faults:   cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -127,6 +131,9 @@ func (t *Token) MessageCost() (int64, int64) {
 	st := t.net.Stats()
 	return st.Messages, st.Bytes
 }
+
+// NetStats implements Broadcaster.
+func (t *Token) NetStats() network.Stats { return t.net.Stats() }
 
 // Close implements Broadcaster.
 func (t *Token) Close() {

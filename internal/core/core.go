@@ -96,6 +96,12 @@ type Config struct {
 	Seed int64
 	// MinDelay and MaxDelay bound per-message network delays.
 	MinDelay, MaxDelay time.Duration
+	// Faults optionally injects delivery faults (drops, duplicates, delay
+	// spikes, partitions) into every network the store runs on; the
+	// reliable transport layer then restores exactly-once delivery, so
+	// the consistency guarantees hold over lossy links too. NetStats
+	// reports the fault and retransmission counters.
+	Faults *network.Faults
 	// RelevantOnly enables the Section 5.2 query-payload optimization
 	// (m-linearizable stores only).
 	RelevantOnly bool
@@ -112,13 +118,14 @@ type executor interface {
 
 // Store is a replicated multi-object shared memory.
 type Store struct {
-	cfg      Config
-	reg      *object.Registry
-	exec     executor
-	bcast    abcast.Broadcaster // nil for the locking protocol
-	mlinImpl *mlin.Protocol     // non-nil iff Consistency == MLinearizable
-	lockImpl *oolock.Protocol   // non-nil iff Consistency == MLinearizableLocking
-	procs    []*Process
+	cfg        Config
+	reg        *object.Registry
+	exec       executor
+	bcast      abcast.Broadcaster // nil for the locking protocol
+	mlinImpl   *mlin.Protocol     // non-nil iff Consistency == MLinearizable
+	lockImpl   *oolock.Protocol   // non-nil iff Consistency == MLinearizableLocking
+	causalImpl *causal.Protocol   // non-nil iff Consistency == MCausal
+	procs      []*Process
 
 	lastNano atomic.Int64
 	origin   time.Time
@@ -165,12 +172,13 @@ func New(cfg Config) (*Store, error) {
 		p, err := causal.New(causal.Config{
 			Procs: cfg.Procs, Reg: reg,
 			Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Clock: s.now,
+			Faults: cfg.Faults,
+			Clock:  s.now,
 		})
 		if err != nil {
 			return nil, err
 		}
-		s.exec = p
+		s.exec, s.causalImpl = p, p
 		s.procs = make([]*Process, cfg.Procs)
 		for i := range s.procs {
 			s.procs[i] = &Process{store: s, id: i}
@@ -182,7 +190,8 @@ func New(cfg Config) (*Store, error) {
 		p, err := oolock.New(oolock.Config{
 			Procs: cfg.Procs, Reg: reg,
 			Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Clock: s.now,
+			Faults: cfg.Faults,
+			Clock:  s.now,
 		})
 		if err != nil {
 			return nil, err
@@ -200,14 +209,17 @@ func New(cfg Config) (*Store, error) {
 	case SequencerBroadcast:
 		bcast, err = abcast.NewSequencer(abcast.SequencerConfig{
 			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+			Faults: cfg.Faults,
 		})
 	case LamportBroadcast:
 		bcast, err = abcast.NewLamport(abcast.LamportConfig{
 			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+			Faults: cfg.Faults,
 		})
 	case TokenBroadcast:
 		bcast, err = abcast.NewToken(abcast.TokenConfig{
 			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+			Faults: cfg.Faults,
 		})
 	default:
 		return nil, fmt.Errorf("core: unknown broadcast kind %d", int(cfg.Broadcast))
@@ -226,6 +238,7 @@ func New(cfg Config) (*Store, error) {
 		p, err = mlin.New(mlin.Config{
 			Procs: cfg.Procs, Reg: reg, Broadcast: bcast,
 			Seed: cfg.Seed + 1, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+			Faults:       cfg.Faults,
 			RelevantOnly: cfg.RelevantOnly, Clock: s.now,
 		})
 		s.exec, s.mlinImpl = p, p
@@ -322,6 +335,28 @@ func (s *Store) QueryTraffic() network.Stats {
 		return network.Stats{ByKind: map[string]network.KindStats{}}
 	}
 	return s.mlinImpl.QueryTraffic()
+}
+
+// NetStats aggregates transport counters — including fault-injection
+// drops/duplicates and reliable-layer retransmissions — across every
+// network the store runs on (broadcast, query, locking, dissemination).
+// In a fault-free run the Dropped/Duplicated/Retransmitted counters are
+// all zero.
+func (s *Store) NetStats() network.Stats {
+	var st network.Stats
+	if s.bcast != nil {
+		st.Merge(s.bcast.NetStats())
+	}
+	if s.mlinImpl != nil {
+		st.Merge(s.mlinImpl.QueryTraffic())
+	}
+	if s.lockImpl != nil {
+		st.Merge(s.lockImpl.Traffic())
+	}
+	if s.causalImpl != nil {
+		st.Merge(s.causalImpl.Traffic())
+	}
+	return st
 }
 
 // Execute runs pr as an m-operation of this process and returns its

@@ -50,6 +50,9 @@ type Config struct {
 	// Seed, MinDelay and MaxDelay parameterize the query network.
 	Seed               int64
 	MinDelay, MaxDelay time.Duration
+	// Faults optionally injects delivery faults into the query network
+	// (the broadcaster's faults are configured on the broadcaster).
+	Faults *network.Faults
 	// RelevantOnly, when true, restricts query responses to the query's
 	// footprint (Section 5.2's final optimization); otherwise whole
 	// copies are shipped, exactly as in Figure 6.
@@ -61,7 +64,7 @@ type Config struct {
 // Protocol is a running instance of the Figure 6 protocol.
 type Protocol struct {
 	cfg    Config
-	qnet   *network.Network
+	qnet   network.Link
 	states []*procState
 	stop   chan struct{}
 	closed atomic.Bool
@@ -123,11 +126,12 @@ func New(cfg Config) (*Protocol, error) {
 		origin := time.Now()
 		cfg.Clock = func() int64 { return time.Since(origin).Nanoseconds() }
 	}
-	qnet, err := network.New(network.Config{
+	qnet, err := network.NewLink(network.Config{
 		Procs:    cfg.Procs,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
 		MaxDelay: cfg.MaxDelay,
+		Faults:   cfg.Faults,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,112 @@
+// Fault injection for the simulated network: deterministic, seed-driven
+// message drops, duplication, delay spikes, and temporary partitions.
+//
+// The paper's system model assumes reliable channels; the Section 5
+// protocols inherit that assumption. Fault injection deliberately breaks
+// it so chaos tests can show the consistency claims still hold once the
+// Reliable layer (reliable.go) restores exactly-once delivery — the same
+// stance fault-tolerant DSM work such as SC-ABD takes: message loss is
+// tolerated via retransmission, not assumed away.
+package network
+
+import (
+	"fmt"
+	"time"
+)
+
+// Faults configures fault injection for a Network. All draws come from
+// the network's seeded rng, so runs are reproducible in distribution.
+// Self-sends (from == to) model process-local loopback and are never
+// faulted. The zero value (or a nil pointer) injects nothing.
+type Faults struct {
+	// DropProb is the per-message probability in [0, 1) that a message is
+	// silently discarded.
+	DropProb float64
+	// DupProb is the per-message probability in [0, 1) that an extra copy
+	// of a message is delivered (with its own independent delay).
+	DupProb float64
+	// DelaySpikeProb is the per-message probability in [0, 1) that
+	// DelaySpike is added on top of the regular random delay.
+	DelaySpikeProb float64
+	// DelaySpike is the extra latency added when a spike fires.
+	DelaySpike time.Duration
+	// Partitions are temporary partitions; messages crossing an active
+	// partition are dropped until it heals.
+	Partitions []Partition
+	// RTO is the initial retransmission timeout the Reliable layer uses
+	// when NewLink builds a lossy stack. Zero picks a default derived
+	// from the configured delay bounds.
+	RTO time.Duration
+}
+
+// Partition temporarily cuts a set of endpoints off from the rest:
+// between Start and Heal (measured from network creation), every message
+// with exactly one endpoint in Side is dropped. Healing is a scheduled
+// tick — after Heal the links carry traffic again and retransmission can
+// recover anything lost meanwhile.
+type Partition struct {
+	// Side is the set of endpoints isolated from everyone else.
+	Side []int
+	// Start and Heal delimit the partition window, measured from network
+	// creation. Heal must not precede Start.
+	Start, Heal time.Duration
+}
+
+// enabled reports whether f injects any fault at all.
+func (f *Faults) enabled() bool {
+	if f == nil {
+		return false
+	}
+	return f.DropProb > 0 || f.DupProb > 0 ||
+		(f.DelaySpikeProb > 0 && f.DelaySpike > 0) || len(f.Partitions) > 0
+}
+
+// validate checks probabilities and partition windows. A nil receiver is
+// valid (no faults).
+func (f *Faults) validate() error {
+	if f == nil {
+		return nil
+	}
+	for _, pr := range []struct {
+		name string
+		p    float64
+	}{
+		{"DropProb", f.DropProb},
+		{"DupProb", f.DupProb},
+		{"DelaySpikeProb", f.DelaySpikeProb},
+	} {
+		if pr.p < 0 || pr.p >= 1 {
+			return fmt.Errorf("network: %s %v outside [0, 1)", pr.name, pr.p)
+		}
+	}
+	for i, p := range f.Partitions {
+		if p.Heal < p.Start {
+			return fmt.Errorf("network: partition %d heals at %v before it starts at %v", i, p.Heal, p.Start)
+		}
+	}
+	return nil
+}
+
+// partitioned reports whether a from→to message sent at elapsed time
+// since network creation crosses an active partition.
+func (f *Faults) partitioned(from, to int, elapsed time.Duration) bool {
+	for i := range f.Partitions {
+		p := &f.Partitions[i]
+		if elapsed < p.Start || elapsed >= p.Heal {
+			continue
+		}
+		if p.contains(from) != p.contains(to) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Partition) contains(e int) bool {
+	for _, s := range p.Side {
+		if s == e {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package network
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultsValidation(t *testing.T) {
+	for _, f := range []*Faults{
+		{DropProb: -0.1},
+		{DropProb: 1},
+		{DupProb: 1.5},
+		{DelaySpikeProb: 2},
+		{Partitions: []Partition{{Side: []int{0}, Start: 10 * time.Millisecond, Heal: time.Millisecond}}},
+	} {
+		if _, err := New(Config{Procs: 2, Faults: f}); err == nil {
+			t.Errorf("faults %+v accepted", f)
+		}
+	}
+	if _, err := New(Config{Procs: 2, Faults: &Faults{DropProb: 0.5}}); err != nil {
+		t.Fatalf("valid faults rejected: %v", err)
+	}
+}
+
+func TestDropAllCountsAndDelivers_Nothing(t *testing.T) {
+	n := newNet(t, Config{Procs: 2, Seed: 1, Faults: &Faults{DropProb: 0.999999}})
+	const count = 50
+	for i := 0; i < count; i++ {
+		if err := n.Send(0, 1, "d", i, 1); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	st := n.Stats()
+	if st.Messages != count {
+		t.Fatalf("Messages = %d, want %d (drops still count as sends)", st.Messages, count)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("Dropped = 0 with DropProb ~1")
+	}
+	// Any survivor must still arrive; drain what little there is.
+	time.Sleep(20 * time.Millisecond)
+	got := 0
+	for {
+		select {
+		case <-n.Recv(1):
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if int64(got)+st.Dropped != count {
+		t.Fatalf("delivered %d + dropped %d != sent %d", got, st.Dropped, count)
+	}
+}
+
+func TestDuplicationDeliversTwice(t *testing.T) {
+	n := newNet(t, Config{Procs: 2, Seed: 2, Faults: &Faults{DupProb: 0.999999}})
+	if err := n.Send(0, 1, "d", "msg", 1); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case m := <-n.Recv(1):
+			if m.Payload != "msg" {
+				t.Fatalf("copy %d payload = %v", i, m.Payload)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("copy %d not delivered", i)
+		}
+	}
+	if st := n.Stats(); st.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", st.Duplicated)
+	}
+}
+
+func TestDelaySpikeDelaysDelivery(t *testing.T) {
+	n := newNet(t, Config{Procs: 2, Seed: 3, Faults: &Faults{
+		DelaySpikeProb: 0.999999, DelaySpike: 30 * time.Millisecond,
+	}})
+	start := time.Now()
+	if err := n.Send(0, 1, "d", nil, 1); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case <-n.Recv(1):
+		if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+			t.Fatalf("delivered after %v, want ≥ ~30ms spike", elapsed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("not delivered")
+	}
+}
+
+func TestPartitionBlocksThenHeals(t *testing.T) {
+	n := newNet(t, Config{Procs: 3, Seed: 4, Faults: &Faults{
+		Partitions: []Partition{{Side: []int{0}, Start: 0, Heal: 40 * time.Millisecond}},
+	}})
+	// Crossing the partition: dropped.
+	if err := n.Send(0, 1, "d", "early", 1); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// Within one side: unaffected.
+	if err := n.Send(1, 2, "d", "side", 1); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case m := <-n.Recv(2):
+		if m.Payload != "side" {
+			t.Fatalf("same-side payload = %v", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("same-side message not delivered")
+	}
+	if st := n.Stats(); st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1 (partition-crossing message)", st.Dropped)
+	}
+	select {
+	case m := <-n.Recv(1):
+		t.Fatalf("partitioned message delivered: %+v", m)
+	case <-time.After(10 * time.Millisecond):
+	}
+	// After the heal the link carries traffic again.
+	time.Sleep(40 * time.Millisecond)
+	if err := n.Send(0, 1, "d", "late", 1); err != nil {
+		t.Fatalf("Send after heal: %v", err)
+	}
+	select {
+	case m := <-n.Recv(1):
+		if m.Payload != "late" {
+			t.Fatalf("post-heal payload = %v", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-heal message not delivered")
+	}
+}
+
+func TestSelfSendsExemptFromFaults(t *testing.T) {
+	n := newNet(t, Config{Procs: 2, Seed: 5, Faults: &Faults{
+		DropProb:   0.999999,
+		Partitions: []Partition{{Side: []int{0}, Start: 0, Heal: time.Hour}},
+	}})
+	if err := n.Send(0, 0, "loop", "self", 1); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case m := <-n.Recv(0):
+		if m.Payload != "self" {
+			t.Fatalf("payload = %v", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("self-send faulted away")
+	}
+}
+
+func TestFaultFreeRunHasZeroFaultCounters(t *testing.T) {
+	n := newNet(t, Config{Procs: 2, Seed: 6})
+	for i := 0; i < 20; i++ {
+		if err := n.Send(0, 1, "d", i, 1); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		select {
+		case <-n.Recv(1):
+		case <-time.After(2 * time.Second):
+			t.Fatal("delivery timed out")
+		}
+	}
+	st := n.Stats()
+	if st.Dropped != 0 || st.Duplicated != 0 || st.Retransmitted != 0 {
+		t.Fatalf("fault counters nonzero on fault-free run: %+v", st)
+	}
+}

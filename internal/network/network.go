@@ -9,8 +9,16 @@
 // per-link ordering (as TCP would) for algorithms that require it, such
 // as the Lamport-clock atomic broadcast.
 //
+// Beyond the paper's reliable model, a Network can be configured with a
+// Faults policy (message drops, duplication, delay spikes, temporary
+// partitions; see faults.go) to exercise the protocols under adversarial
+// delivery. The Reliable wrapper (reliable.go) restores exactly-once
+// per-link FIFO delivery on top of a faulty Network; NewLink picks the
+// right stack for a Config.
+//
 // The network also meters traffic (message and byte counters, total and
-// per payload kind), which experiments E7 and E9 read.
+// per payload kind, plus fault drop/duplicate/retransmit counts), which
+// experiments E7 and E9 read.
 package network
 
 import (
@@ -35,27 +43,60 @@ type Message struct {
 type Config struct {
 	// Procs is the number of endpoints, addressed 0..Procs-1.
 	Procs int
-	// Seed drives the per-message delay randomness.
+	// Seed drives the per-message delay randomness (and, with Faults set,
+	// the drop/duplicate/spike draws).
 	Seed int64
 	// MinDelay and MaxDelay bound the random delivery delay. Equal values
 	// give a fixed delay; both zero deliver "immediately" (still
 	// asynchronously, so interleavings remain nondeterministic).
 	MinDelay, MaxDelay time.Duration
-	// FIFO, when true, preserves per-(sender, receiver) order. When
-	// false, messages on one link may be reordered — the paper's default
-	// assumption.
+	// FIFO, when true, preserves per-(sender, receiver) order among
+	// delivered messages. When false, messages on one link may be
+	// reordered — the paper's default assumption.
 	FIFO bool
 	// InboxSize bounds buffered undelivered messages per endpoint.
 	// Delivery goroutines block (without loss) when an inbox is full.
 	// Defaults to 1024.
 	InboxSize int
+	// Faults, when non-nil, injects delivery faults (drops, duplicates,
+	// delay spikes, partitions). A Network with faults is lossy; wrap it
+	// in Reliable — or build the stack with NewLink — to restore the
+	// exactly-once delivery the protocols assume.
+	Faults *Faults
 }
 
 // Stats is a snapshot of traffic counters.
 type Stats struct {
+	// Messages and Bytes count every Send accepted, including messages
+	// later dropped by fault injection.
 	Messages int64
 	Bytes    int64
-	ByKind   map[string]KindStats
+	// Dropped counts messages discarded by fault injection (drop
+	// probability or an active partition). Zero on a fault-free network.
+	Dropped int64
+	// Duplicated counts extra copies injected by fault injection.
+	Duplicated int64
+	// Retransmitted counts frames resent by the Reliable layer.
+	Retransmitted int64
+	ByKind        map[string]KindStats
+}
+
+// Merge adds other's counters into s.
+func (s *Stats) Merge(other Stats) {
+	s.Messages += other.Messages
+	s.Bytes += other.Bytes
+	s.Dropped += other.Dropped
+	s.Duplicated += other.Duplicated
+	s.Retransmitted += other.Retransmitted
+	if len(other.ByKind) > 0 && s.ByKind == nil {
+		s.ByKind = make(map[string]KindStats)
+	}
+	for k, ks := range other.ByKind {
+		agg := s.ByKind[k]
+		agg.Messages += ks.Messages
+		agg.Bytes += ks.Bytes
+		s.ByKind[k] = agg
+	}
 }
 
 // KindStats counts traffic for one payload kind.
@@ -72,23 +113,35 @@ var ErrClosed = errors.New("network: closed")
 type Network struct {
 	cfg     Config
 	inboxes []chan Message
+	start   time.Time
 
 	mu  sync.Mutex // guards rng and kind counters and fifo chains
 	rng *rand.Rand
 
 	// fifoTail chains deliveries per link when FIFO is enabled: each
-	// message waits for its predecessor's delivery before entering the
-	// inbox.
-	fifoTail map[[2]int]chan struct{}
+	// message waits for its predecessor's outcome before entering the
+	// inbox. The outcome is true iff the predecessor was delivered, so a
+	// shutdown drop propagates down the chain — per-link losses at Close
+	// are always a suffix, never a gap.
+	fifoTail map[[2]int]chan bool
 
 	kinds map[string]*kindCounter
 
-	messages atomic.Int64
-	bytes    atomic.Int64
+	messages      atomic.Int64
+	bytes         atomic.Int64
+	dropped       atomic.Int64
+	duplicated    atomic.Int64
+	retransmitted atomic.Int64
 
 	stop   chan struct{}
 	closed atomic.Bool
-	wg     sync.WaitGroup
+	// closeMu serializes Send's shutdown check + wg.Add against Close's
+	// closed.Swap + wg.Wait: senders hold it shared while registering a
+	// delivery, Close holds it exclusively while flipping closed. Without
+	// it, Send could observe closed=false, lose the CPU, and call wg.Add
+	// concurrently with wg.Wait — a WaitGroup-misuse panic under -race.
+	closeMu sync.RWMutex
+	wg      sync.WaitGroup
 }
 
 type kindCounter struct {
@@ -104,14 +157,18 @@ func New(cfg Config) (*Network, error) {
 	if cfg.MaxDelay < cfg.MinDelay {
 		return nil, fmt.Errorf("network: MaxDelay %v < MinDelay %v", cfg.MaxDelay, cfg.MinDelay)
 	}
+	if err := cfg.Faults.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = 1024
 	}
 	n := &Network{
 		cfg:      cfg,
 		inboxes:  make([]chan Message, cfg.Procs),
+		start:    time.Now(),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		fifoTail: make(map[[2]int]chan struct{}),
+		fifoTail: make(map[[2]int]chan bool),
 		kinds:    make(map[string]*kindCounter),
 		stop:     make(chan struct{}),
 	}
@@ -126,54 +183,121 @@ func (n *Network) Procs() int { return n.cfg.Procs }
 
 // Send asynchronously delivers payload from endpoint from to endpoint to
 // after a random delay. bytes is the accounted wire size; kind labels the
-// payload for metering.
+// payload for metering. After Close, Send deterministically returns
+// ErrClosed.
 func (n *Network) Send(from, to int, kind string, payload any, bytes int) error {
-	if n.closed.Load() {
-		return ErrClosed
-	}
 	if from < 0 || from >= n.cfg.Procs || to < 0 || to >= n.cfg.Procs {
 		return fmt.Errorf("network: send %d -> %d out of range", from, to)
 	}
-
-	n.messages.Add(1)
-	n.bytes.Add(int64(bytes))
-	n.kindCounter(kind).add(bytes)
-
-	n.mu.Lock()
-	delay := n.cfg.MinDelay
-	if span := n.cfg.MaxDelay - n.cfg.MinDelay; span > 0 {
-		delay += time.Duration(n.rng.Int63n(int64(span)))
+	n.closeMu.RLock()
+	defer n.closeMu.RUnlock()
+	if n.closed.Load() {
+		return ErrClosed
 	}
-	var prev, done chan struct{}
-	if n.cfg.FIFO {
-		link := [2]int{from, to}
-		prev = n.fifoTail[link]
-		done = make(chan struct{})
-		n.fifoTail[link] = done
-	}
-	n.mu.Unlock()
-
-	msg := Message{From: from, To: to, Kind: kind, Payload: payload, Bytes: bytes}
-	n.wg.Add(1)
-	go n.deliver(msg, delay, prev, done)
+	n.send(from, to, kind, payload, bytes)
 	return nil
 }
 
 // Broadcast sends payload from one endpoint to every endpoint, including
 // the sender itself (the protocols deliver their own broadcasts too).
+//
+// Broadcast is all-or-nothing: arguments are validated and the shutdown
+// check is taken once, up front, before any message is enqueued, and the
+// whole fan-out happens atomically with respect to Close. Either every
+// recipient's delivery is scheduled (nil error) or none is (non-nil
+// error) — an error never leaves a subset of the group reached.
 func (n *Network) Broadcast(from int, kind string, payload any, bytes int) error {
+	if from < 0 || from >= n.cfg.Procs {
+		return fmt.Errorf("network: broadcast from %d out of range", from)
+	}
+	n.closeMu.RLock()
+	defer n.closeMu.RUnlock()
+	if n.closed.Load() {
+		return ErrClosed
+	}
 	for to := 0; to < n.cfg.Procs; to++ {
-		if err := n.Send(from, to, kind, payload, bytes); err != nil {
-			return err
-		}
+		n.send(from, to, kind, payload, bytes)
 	}
 	return nil
 }
 
-func (n *Network) deliver(msg Message, delay time.Duration, prev, done chan struct{}) {
+// send meters, draws the message's fate (delay, faults, FIFO slot) and
+// spawns its delivery. Callers must hold closeMu shared with closed
+// false, which makes the wg.Add safe against Close's wg.Wait.
+func (n *Network) send(from, to int, kind string, payload any, bytes int) {
+	n.messages.Add(1)
+	n.bytes.Add(int64(bytes))
+	n.kindCounter(kind).add(bytes)
+
+	n.mu.Lock()
+	drop, dup, delay, dupDelay := n.faultPlanLocked(from, to)
+	var prev, done chan bool
+	if !drop && n.cfg.FIFO {
+		// Fault-dropped messages never enter the chain: FIFO guarantees
+		// ordering among delivered messages, losses are individual.
+		link := [2]int{from, to}
+		prev = n.fifoTail[link]
+		done = make(chan bool, 1)
+		n.fifoTail[link] = done
+	}
+	n.mu.Unlock()
+
+	if drop {
+		n.dropped.Add(1)
+		return
+	}
+
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload, Bytes: bytes}
+	n.wg.Add(1)
+	go n.deliver(msg, delay, prev, done)
+	if dup {
+		n.duplicated.Add(1)
+		// The duplicate rides outside any FIFO chain, like a stray
+		// retransmission on the wire; the Reliable layer dedups it.
+		n.wg.Add(1)
+		go n.deliver(msg, dupDelay, nil, nil)
+	}
+}
+
+// faultPlanLocked draws the delay and fault fate of one message. The
+// caller holds n.mu (the rng is not concurrency-safe). Self-sends
+// (from == to) model process-local loopback and are exempt from faults.
+func (n *Network) faultPlanLocked(from, to int) (drop, dup bool, delay, dupDelay time.Duration) {
+	delay = n.cfg.MinDelay
+	if span := n.cfg.MaxDelay - n.cfg.MinDelay; span > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(span)))
+	}
+	f := n.cfg.Faults
+	if f == nil || from == to {
+		return false, false, delay, 0
+	}
+	if f.partitioned(from, to, time.Since(n.start)) {
+		return true, false, 0, 0
+	}
+	if f.DropProb > 0 && n.rng.Float64() < f.DropProb {
+		return true, false, 0, 0
+	}
+	if f.DupProb > 0 && n.rng.Float64() < f.DupProb {
+		dup = true
+		dupDelay = n.cfg.MinDelay
+		if span := n.cfg.MaxDelay - n.cfg.MinDelay; span > 0 {
+			dupDelay += time.Duration(n.rng.Int63n(int64(span)))
+		}
+	}
+	if f.DelaySpikeProb > 0 && f.DelaySpike > 0 && n.rng.Float64() < f.DelaySpikeProb {
+		delay += f.DelaySpike
+	}
+	return drop, dup, delay, dupDelay
+}
+
+func (n *Network) deliver(msg Message, delay time.Duration, prev, done chan bool) {
 	defer n.wg.Done()
+	delivered := false
 	if done != nil {
-		defer close(done)
+		// The outcome is buffered so the (single) successor need not be
+		// listening; false tells it to drop too, keeping per-link losses
+		// at shutdown a contiguous suffix.
+		defer func() { done <- delivered }()
 	}
 	if delay > 0 {
 		timer := time.NewTimer(delay)
@@ -186,13 +310,17 @@ func (n *Network) deliver(msg Message, delay time.Duration, prev, done chan stru
 	}
 	if prev != nil {
 		select {
-		case <-prev:
+		case ok := <-prev:
+			if !ok {
+				return // predecessor dropped at shutdown: never deliver past a gap
+			}
 		case <-n.stop:
 			return
 		}
 	}
 	select {
 	case n.inboxes[msg.To] <- msg:
+		delivered = true
 	case <-n.stop:
 	}
 }
@@ -204,9 +332,12 @@ func (n *Network) Recv(p int) <-chan Message { return n.inboxes[p] }
 // Stats snapshots the traffic counters.
 func (n *Network) Stats() Stats {
 	s := Stats{
-		Messages: n.messages.Load(),
-		Bytes:    n.bytes.Load(),
-		ByKind:   make(map[string]KindStats),
+		Messages:      n.messages.Load(),
+		Bytes:         n.bytes.Load(),
+		Dropped:       n.dropped.Load(),
+		Duplicated:    n.duplicated.Load(),
+		Retransmitted: n.retransmitted.Load(),
+		ByKind:        make(map[string]KindStats),
 	}
 	n.mu.Lock()
 	for k, c := range n.kinds {
@@ -216,16 +347,19 @@ func (n *Network) Stats() Stats {
 	return s
 }
 
-// Close stops delivery. In-flight messages may be dropped; Close is only
+// Close stops delivery. In-flight messages may be dropped (in FIFO mode
+// only whole per-link suffixes are dropped, never gaps); Close is only
 // called after the protocols have quiesced, so reliability during a run
 // is unaffected. Close waits for all delivery goroutines to exit and is
-// idempotent.
+// idempotent. Sends that begin after Close has flipped the shutdown flag
+// return ErrClosed and schedule nothing.
 func (n *Network) Close() {
-	if n.closed.Swap(true) {
-		n.wg.Wait()
-		return
+	n.closeMu.Lock()
+	first := !n.closed.Swap(true)
+	n.closeMu.Unlock()
+	if first {
+		close(n.stop)
 	}
-	close(n.stop)
 	n.wg.Wait()
 }
 

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -218,5 +219,249 @@ func TestFixedDelay(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("not delivered")
+	}
+}
+
+// TestSendCloseStatsRace is the regression test for the Send/Close
+// shutdown race: closed.Load() followed by wg.Add(1) used to interleave
+// with Close's closed.Swap + wg.Wait, panicking with "WaitGroup misuse"
+// (and reported as a data race under -race). The fix takes wg.Add under
+// a shared lock that Close acquires exclusively, so this hammer must run
+// clean under -race.
+func TestSendCloseStatsRace(t *testing.T) {
+	iters := 50
+	if testing.Short() {
+		iters = 10
+	}
+	for it := 0; it < iters; it++ {
+		n, err := New(Config{Procs: 4, Seed: int64(it), MaxDelay: 100 * time.Microsecond})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					if err := n.Send(g%4, (g+i)%4, "h", i, 1); err != nil {
+						if err != ErrClosed {
+							t.Errorf("Send: %v", err)
+						}
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				_ = n.Stats()
+			}
+		}()
+		// Drain inboxes so delivery goroutines never wedge on full buffers.
+		stopDrain := make(chan struct{})
+		var drainWG sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			drainWG.Add(1)
+			go func(p int) {
+				defer drainWG.Done()
+				for {
+					select {
+					case <-n.Recv(p):
+					case <-stopDrain:
+						return
+					}
+				}
+			}(p)
+		}
+		close(start)
+		time.Sleep(200 * time.Microsecond)
+		n.Close()
+		wg.Wait()
+		close(stopDrain)
+		drainWG.Wait()
+		if err := n.Send(0, 1, "h", nil, 1); err != ErrClosed {
+			t.Fatalf("Send after Close = %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestFIFOCloseDropsSuffixesOnly is the regression test for the FIFO
+// shutdown ordering bug: a successor that won the stop race while its
+// predecessor was still pending could be dropped while the predecessor
+// was delivered, leaving a gap in the per-link order. The delivered
+// messages on each link must always form a gap-free in-order prefix of
+// the sent sequence.
+func TestFIFOCloseDropsSuffixesOnly(t *testing.T) {
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	for it := 0; it < iters; it++ {
+		n, err := New(Config{
+			Procs:    2,
+			Seed:     int64(it),
+			MaxDelay: 2 * time.Millisecond,
+			FIFO:     true,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		const count = 100
+		for i := 0; i < count; i++ {
+			if err := n.Send(0, 1, "seq", i, 1); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+		}
+		time.Sleep(time.Duration(it%5) * 300 * time.Microsecond)
+		n.Close() // all delivery goroutines have exited; the inbox is static
+		want := 0
+		for {
+			var msg Message
+			select {
+			case msg = <-n.Recv(1):
+			default:
+				msg = Message{Payload: -1}
+			}
+			if msg.Payload == -1 {
+				break
+			}
+			if got := msg.Payload.(int); got != want {
+				t.Fatalf("iter %d: delivery %d is message %d — per-link gap at shutdown", it, want, got)
+			}
+			want++
+		}
+	}
+}
+
+// TestInboxBackpressure checks that a full inbox blocks delivery without
+// loss, and that Close unblocks delivery goroutines wedged on it.
+func TestInboxBackpressure(t *testing.T) {
+	n := newNet(t, Config{Procs: 2, Seed: 99, InboxSize: 1})
+	const count = 10
+	for i := 0; i < count; i++ {
+		if err := n.Send(0, 1, "bp", i, 1); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	got := make(map[int]bool)
+	for i := 0; i < count; i++ {
+		select {
+		case m := <-n.Recv(1):
+			got[m.Payload.(int)] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivery %d timed out — backpressure lost a message", i)
+		}
+	}
+	if len(got) != count {
+		t.Fatalf("received %d distinct messages, want %d", len(got), count)
+	}
+
+	// Close with goroutines blocked on the full inbox must not hang.
+	n2, err := New(Config{Procs: 2, Seed: 100, InboxSize: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		_ = n2.Send(0, 1, "bp", i, 1)
+	}
+	time.Sleep(2 * time.Millisecond) // let deliveries wedge on the inbox
+	done := make(chan struct{})
+	go func() {
+		n2.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on blocked deliveries")
+	}
+}
+
+// TestBroadcastAllOrNothing checks Broadcast's guarantee: validation and
+// the shutdown check happen before any enqueue, so a failed Broadcast
+// schedules nothing.
+func TestBroadcastAllOrNothing(t *testing.T) {
+	n := newNet(t, Config{Procs: 3, Seed: 101})
+	if err := n.Broadcast(-1, "b", nil, 1); err == nil {
+		t.Fatal("invalid sender accepted")
+	}
+	if err := n.Broadcast(3, "b", nil, 1); err == nil {
+		t.Fatal("out-of-range sender accepted")
+	}
+	if st := n.Stats(); st.Messages != 0 {
+		t.Fatalf("failed Broadcast enqueued %d messages, want 0", st.Messages)
+	}
+
+	n2, err := New(Config{Procs: 3, Seed: 102})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	n2.Close()
+	if err := n2.Broadcast(0, "b", nil, 1); err != ErrClosed {
+		t.Fatalf("Broadcast after Close = %v, want ErrClosed", err)
+	}
+	if st := n2.Stats(); st.Messages != 0 {
+		t.Fatalf("post-Close Broadcast enqueued %d messages, want 0", st.Messages)
+	}
+}
+
+// TestConcurrentBroadcastClose hammers Broadcast against Close: every
+// call must return either nil (whole group scheduled) or ErrClosed
+// (nothing scheduled) — and the message counter must be a multiple of
+// the group size.
+func TestConcurrentBroadcastClose(t *testing.T) {
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	for it := 0; it < iters; it++ {
+		n, err := New(Config{Procs: 3, Seed: int64(200 + it), InboxSize: 4096})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					if err := n.Broadcast(g%3, "b", i, 1); err != nil {
+						if err != ErrClosed {
+							t.Errorf("Broadcast: %v", err)
+						}
+						return
+					}
+				}
+			}(g)
+		}
+		stopDrain := make(chan struct{})
+		var drainWG sync.WaitGroup
+		for p := 0; p < 3; p++ {
+			drainWG.Add(1)
+			go func(p int) {
+				defer drainWG.Done()
+				for {
+					select {
+					case <-n.Recv(p):
+					case <-stopDrain:
+						return
+					}
+				}
+			}(p)
+		}
+		time.Sleep(300 * time.Microsecond)
+		n.Close()
+		wg.Wait()
+		close(stopDrain)
+		drainWG.Wait()
+		if st := n.Stats(); st.Messages%3 != 0 {
+			t.Fatalf("iter %d: %d messages scheduled — a Broadcast was torn by Close", it, st.Messages)
+		}
 	}
 }

@@ -1,0 +1,300 @@
+// Reliable delivery over a lossy Network: sequence numbers, acks,
+// receiver-side deduplication, and timeout-based retransmission with
+// exponential backoff restore the exactly-once, per-link-FIFO channel
+// abstraction the Section 5 protocols assume, even when the underlying
+// substrate drops, duplicates, or partitions traffic.
+package network
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Link is the message-transport surface the protocol layers program
+// against: an exactly-once view of the network, provided either by a raw
+// Network (whose channels are reliable when no faults are configured) or
+// by a Reliable wrapper over a faulty Network. NewLink builds the right
+// stack for a Config.
+type Link interface {
+	Send(from, to int, kind string, payload any, bytes int) error
+	Broadcast(from int, kind string, payload any, bytes int) error
+	Recv(p int) <-chan Message
+	Stats() Stats
+	Procs() int
+	Close()
+}
+
+var (
+	_ Link = (*Network)(nil)
+	_ Link = (*Reliable)(nil)
+)
+
+// NewLink builds the transport for cfg: a plain Network when no faults
+// are configured, or a Reliable wrapper over a lossy Network otherwise.
+// With faults, per-link FIFO ordering comes from the wrapper's sequence
+// numbers, so the underlying network runs in non-FIFO mode regardless of
+// cfg.FIFO.
+func NewLink(cfg Config) (Link, error) {
+	if !cfg.Faults.enabled() {
+		return New(cfg)
+	}
+	rto := cfg.Faults.RTO
+	if rto <= 0 {
+		// Default: comfortably past the worst regular delivery delay plus
+		// a spike, so fault-free frames rarely retransmit spuriously.
+		rto = 4*(cfg.MaxDelay+cfg.Faults.DelaySpike) + time.Millisecond
+	}
+	raw := cfg
+	raw.FIFO = false
+	n, err := New(raw)
+	if err != nil {
+		return nil, err
+	}
+	return NewReliable(n, rto), nil
+}
+
+// relHeaderB and relAckB are the nominal wire overheads of the reliable
+// layer's framing (sequence number) and acks.
+const (
+	relHeaderB = 8
+	relAckB    = 16
+)
+
+// relFrame wraps an application payload with a per-link sequence number.
+type relFrame struct {
+	Seq     int64
+	Kind    string
+	Payload any
+	Bytes   int
+}
+
+// relAck acknowledges receipt of the frame with sequence Seq on the link
+// from the ack's receiver to its sender.
+type relAck struct {
+	Seq int64
+}
+
+type linkSeq struct {
+	from, to int
+	seq      int64
+}
+
+// Reliable restores exactly-once, per-link FIFO delivery over a lossy
+// Network. Every Send is framed with a per-link sequence number; the
+// receiver acknowledges each frame, deduplicates, and releases frames in
+// sequence order; the sender retransmits unacknowledged frames with
+// exponential backoff until the ack arrives. Create with NewReliable (or
+// NewLink); always Close.
+type Reliable struct {
+	net *Network
+	rto time.Duration
+
+	inboxes []chan Message
+
+	mu       sync.Mutex
+	sendSeq  map[[2]int]int64             // next sequence number per link
+	pending  map[linkSeq]chan struct{}    // closed when the frame is acked
+	recvNext map[[2]int]int64             // next in-order sequence per link
+	recvBuf  map[[2]int]map[int64]Message // held-back out-of-order frames
+
+	stop    chan struct{}
+	closed  atomic.Bool
+	closeMu sync.RWMutex // same Send/Close discipline as Network
+	wg      sync.WaitGroup
+}
+
+// NewReliable wraps net with the reliable-delivery layer. rto is the
+// initial retransmission timeout (it backs off exponentially, capped at
+// 64×). The wrapper takes ownership of net and closes it on Close.
+func NewReliable(net *Network, rto time.Duration) *Reliable {
+	if rto <= 0 {
+		rto = time.Millisecond
+	}
+	r := &Reliable{
+		net:      net,
+		rto:      rto,
+		inboxes:  make([]chan Message, net.cfg.Procs),
+		sendSeq:  make(map[[2]int]int64),
+		pending:  make(map[linkSeq]chan struct{}),
+		recvNext: make(map[[2]int]int64),
+		recvBuf:  make(map[[2]int]map[int64]Message),
+		stop:     make(chan struct{}),
+	}
+	for i := range r.inboxes {
+		r.inboxes[i] = make(chan Message, net.cfg.InboxSize)
+	}
+	for p := 0; p < net.cfg.Procs; p++ {
+		r.wg.Add(1)
+		go r.dispatch(p)
+	}
+	return r
+}
+
+// Procs returns the number of endpoints.
+func (r *Reliable) Procs() int { return r.net.Procs() }
+
+// Send transmits payload with at-least-once retransmission underneath
+// and exactly-once, in-order delivery at the receiver. It returns once
+// the frame is scheduled (not once it is acknowledged); ErrClosed after
+// Close.
+func (r *Reliable) Send(from, to int, kind string, payload any, bytes int) error {
+	if from < 0 || from >= r.net.cfg.Procs || to < 0 || to >= r.net.cfg.Procs {
+		return fmt.Errorf("network: send %d -> %d out of range", from, to)
+	}
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	r.send(from, to, kind, payload, bytes)
+	return nil
+}
+
+// Broadcast sends payload to every endpoint including the sender. Like
+// Network.Broadcast it is all-or-nothing: the shutdown check is taken
+// once before any frame is assigned a sequence number.
+func (r *Reliable) Broadcast(from int, kind string, payload any, bytes int) error {
+	if from < 0 || from >= r.net.cfg.Procs {
+		return fmt.Errorf("network: broadcast from %d out of range", from)
+	}
+	r.closeMu.RLock()
+	defer r.closeMu.RUnlock()
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	for to := 0; to < r.net.cfg.Procs; to++ {
+		r.send(from, to, kind, payload, bytes)
+	}
+	return nil
+}
+
+// send assigns the next sequence number on the link, transmits the frame
+// and spawns its retransmission loop. Callers hold closeMu shared with
+// closed false.
+func (r *Reliable) send(from, to int, kind string, payload any, bytes int) {
+	link := [2]int{from, to}
+	r.mu.Lock()
+	seq := r.sendSeq[link]
+	r.sendSeq[link] = seq + 1
+	acked := make(chan struct{})
+	r.pending[linkSeq{from, to, seq}] = acked
+	r.mu.Unlock()
+
+	frame := relFrame{Seq: seq, Kind: kind, Payload: payload, Bytes: bytes}
+	// Frames keep the application's kind label so per-kind metering still
+	// attributes data traffic; only acks appear under "rel.ack".
+	_ = r.net.Send(from, to, kind, frame, bytes+relHeaderB)
+	r.wg.Add(1)
+	go r.retransmitLoop(from, to, frame, acked)
+}
+
+// retransmitLoop resends the frame until it is acknowledged or the layer
+// shuts down, doubling the timeout after every attempt (capped at 64×
+// the initial RTO).
+func (r *Reliable) retransmitLoop(from, to int, frame relFrame, acked chan struct{}) {
+	defer r.wg.Done()
+	rto := r.rto
+	maxRTO := 64 * r.rto
+	timer := time.NewTimer(rto)
+	defer timer.Stop()
+	for {
+		select {
+		case <-acked:
+			return
+		case <-r.stop:
+			return
+		case <-timer.C:
+			if r.net.Send(from, to, frame.Kind, frame, frame.Bytes+relHeaderB) != nil {
+				return
+			}
+			r.net.retransmitted.Add(1)
+			if rto < maxRTO {
+				rto *= 2
+			}
+			timer.Reset(rto)
+		}
+	}
+}
+
+// dispatch is endpoint p's receive loop: it acknowledges and deduplicates
+// incoming frames, releases them to p's inbox in per-link sequence order,
+// and routes acks back to waiting retransmission loops.
+func (r *Reliable) dispatch(p int) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case m := <-r.net.Recv(p):
+			switch f := m.Payload.(type) {
+			case relAck:
+				r.mu.Lock()
+				key := linkSeq{p, m.From, f.Seq}
+				if ch, ok := r.pending[key]; ok {
+					close(ch)
+					delete(r.pending, key)
+				}
+				r.mu.Unlock()
+			case relFrame:
+				// Always ack, even for duplicates — the previous ack may
+				// itself have been lost.
+				_ = r.net.Send(p, m.From, "rel.ack", relAck{Seq: f.Seq}, relAckB)
+				link := [2]int{m.From, p}
+				var ready []Message
+				r.mu.Lock()
+				if f.Seq >= r.recvNext[link] {
+					buf := r.recvBuf[link]
+					if buf == nil {
+						buf = make(map[int64]Message)
+						r.recvBuf[link] = buf
+					}
+					if _, dup := buf[f.Seq]; !dup {
+						buf[f.Seq] = Message{From: m.From, To: p, Kind: f.Kind, Payload: f.Payload, Bytes: f.Bytes}
+						next := r.recvNext[link]
+						for {
+							msg, ok := buf[next]
+							if !ok {
+								break
+							}
+							delete(buf, next)
+							ready = append(ready, msg)
+							next++
+						}
+						r.recvNext[link] = next
+					}
+				}
+				r.mu.Unlock()
+				for _, msg := range ready {
+					select {
+					case r.inboxes[p] <- msg:
+					case <-r.stop:
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Recv returns endpoint p's exactly-once, per-link-FIFO delivery channel.
+func (r *Reliable) Recv(p int) <-chan Message { return r.inboxes[p] }
+
+// Stats snapshots the underlying network's counters; Retransmitted
+// counts this layer's resends, and the per-kind data counters include
+// retransmitted copies (they did cross the wire).
+func (r *Reliable) Stats() Stats { return r.net.Stats() }
+
+// Close shuts the layer and its underlying network down, waiting for all
+// goroutines. Idempotent; Send after Close returns ErrClosed.
+func (r *Reliable) Close() {
+	r.closeMu.Lock()
+	first := !r.closed.Swap(true)
+	r.closeMu.Unlock()
+	if first {
+		close(r.stop)
+	}
+	r.net.Close()
+	r.wg.Wait()
+}

@@ -1,0 +1,213 @@
+package network
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func newReliableLink(t *testing.T, cfg Config) Link {
+	t.Helper()
+	l, err := NewLink(cfg)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	t.Cleanup(l.Close)
+	return l
+}
+
+func TestNewLinkPicksStack(t *testing.T) {
+	plain, err := NewLink(Config{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	defer plain.Close()
+	if _, ok := plain.(*Network); !ok {
+		t.Fatalf("fault-free link is %T, want *Network", plain)
+	}
+	lossy, err := NewLink(Config{Procs: 2, Seed: 1, Faults: &Faults{DropProb: 0.1}})
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	defer lossy.Close()
+	if _, ok := lossy.(*Reliable); !ok {
+		t.Fatalf("faulty link is %T, want *Reliable", lossy)
+	}
+}
+
+func TestReliableExactlyOnceInOrderUnderDropsAndDups(t *testing.T) {
+	l := newReliableLink(t, Config{
+		Procs:    2,
+		Seed:     42,
+		MaxDelay: 500 * time.Microsecond,
+		Faults:   &Faults{DropProb: 0.3, DupProb: 0.2, RTO: 2 * time.Millisecond},
+	})
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := l.Send(0, 1, "seq", i, 4); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		select {
+		case m := <-l.Recv(1):
+			if got := m.Payload.(int); got != i {
+				t.Fatalf("delivery %d: got %d — dedup or ordering broken", i, got)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("delivery %d timed out (retransmission stuck?)", i)
+		}
+	}
+	// Nothing extra shows up after the last expected delivery.
+	select {
+	case m := <-l.Recv(1):
+		t.Fatalf("extra delivery %+v after %d sends", m, count)
+	case <-time.After(20 * time.Millisecond):
+	}
+	st := l.Stats()
+	if st.Dropped == 0 || st.Retransmitted == 0 {
+		t.Fatalf("expected nonzero Dropped and Retransmitted, got %+v", st)
+	}
+}
+
+func TestReliableDeliversAcrossPartition(t *testing.T) {
+	l := newReliableLink(t, Config{
+		Procs: 2,
+		Seed:  7,
+		Faults: &Faults{
+			Partitions: []Partition{{Side: []int{0}, Start: 0, Heal: 30 * time.Millisecond}},
+			RTO:        5 * time.Millisecond,
+		},
+	})
+	start := time.Now()
+	if err := l.Send(0, 1, "d", "through", 1); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case m := <-l.Recv(1):
+		if m.Payload != "through" {
+			t.Fatalf("payload = %v", m.Payload)
+		}
+		if time.Since(start) < 25*time.Millisecond {
+			t.Fatalf("delivered after %v — partition not enforced", time.Since(start))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("message never crossed the healed partition")
+	}
+	if st := l.Stats(); st.Retransmitted == 0 {
+		t.Fatalf("expected retransmissions across the partition, got %+v", st)
+	}
+}
+
+func TestReliableBidirectionalConcurrent(t *testing.T) {
+	l := newReliableLink(t, Config{
+		Procs:    3,
+		Seed:     11,
+		MaxDelay: 300 * time.Microsecond,
+		Faults:   &Faults{DropProb: 0.25, DupProb: 0.1, RTO: 2 * time.Millisecond},
+	})
+	const perLink = 60
+	var wg sync.WaitGroup
+	for from := 0; from < 3; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < perLink; i++ {
+				for to := 0; to < 3; to++ {
+					if to == from {
+						continue
+					}
+					if err := l.Send(from, to, "x", i, 1); err != nil {
+						t.Errorf("Send: %v", err)
+						return
+					}
+				}
+			}
+		}(from)
+	}
+	wg.Wait()
+	// Each proc receives perLink messages from each of the 2 peers, in
+	// per-link order.
+	for p := 0; p < 3; p++ {
+		next := map[int]int{}
+		for i := 0; i < 2*perLink; i++ {
+			select {
+			case m := <-l.Recv(p):
+				want := next[m.From]
+				if got := m.Payload.(int); got != want {
+					t.Fatalf("proc %d link %d→%d: got %d, want %d", p, m.From, p, got, want)
+				}
+				next[m.From]++
+			case <-time.After(15 * time.Second):
+				t.Fatalf("proc %d delivery %d timed out", p, i)
+			}
+		}
+	}
+}
+
+func TestReliableBroadcastReachesAll(t *testing.T) {
+	l := newReliableLink(t, Config{
+		Procs:  3,
+		Seed:   13,
+		Faults: &Faults{DropProb: 0.3, RTO: 2 * time.Millisecond},
+	})
+	if err := l.Broadcast(1, "b", 42, 8); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	for p := 0; p < 3; p++ {
+		select {
+		case m := <-l.Recv(p):
+			if m.Payload != 42 || m.From != 1 {
+				t.Fatalf("proc %d got %+v", p, m)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("proc %d missed broadcast", p)
+		}
+	}
+}
+
+func TestReliableCloseIsCleanAndDeterministic(t *testing.T) {
+	l, err := NewLink(Config{
+		Procs:  2,
+		Seed:   17,
+		Faults: &Faults{DropProb: 0.5, RTO: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := l.Send(0, 1, "d", i, 1); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		l.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung with retransmission loops in flight")
+	}
+	if err := l.Send(0, 1, "d", 99, 1); err != ErrClosed {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Broadcast(0, "d", 99, 1); err != ErrClosed {
+		t.Fatalf("Broadcast after Close = %v, want ErrClosed", err)
+	}
+	l.Close() // idempotent
+}
+
+func TestReliableValidatesEndpoints(t *testing.T) {
+	l := newReliableLink(t, Config{Procs: 2, Seed: 19, Faults: &Faults{DropProb: 0.1}})
+	if err := l.Send(-1, 0, "k", nil, 0); err == nil {
+		t.Fatal("negative sender accepted")
+	}
+	if err := l.Send(0, 2, "k", nil, 0); err == nil {
+		t.Fatal("out-of-range receiver accepted")
+	}
+	if err := l.Broadcast(5, "k", nil, 0); err == nil {
+		t.Fatal("out-of-range broadcaster accepted")
+	}
+}

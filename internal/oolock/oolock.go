@@ -48,6 +48,9 @@ type Config struct {
 	// Seed, MinDelay and MaxDelay parameterize the network.
 	Seed               int64
 	MinDelay, MaxDelay time.Duration
+	// Faults optionally injects delivery faults; the reliable layer then
+	// keeps lock grants and releases exactly-once.
+	Faults *network.Faults
 	// Clock returns nanoseconds since the run origin; must be monotonic.
 	Clock func() int64
 }
@@ -55,7 +58,7 @@ type Config struct {
 // Protocol is a running instance.
 type Protocol struct {
 	cfg    Config
-	net    *network.Network
+	net    network.Link
 	homes  []*homeState // indexed by process
 	client []*clientState
 	stop   chan struct{}
@@ -123,11 +126,12 @@ func New(cfg Config) (*Protocol, error) {
 		origin := time.Now()
 		cfg.Clock = func() int64 { return time.Since(origin).Nanoseconds() }
 	}
-	net, err := network.New(network.Config{
+	net, err := network.NewLink(network.Config{
 		Procs:    cfg.Procs,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
 		MaxDelay: cfg.MaxDelay,
+		Faults:   cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
