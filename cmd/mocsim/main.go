@@ -7,7 +7,8 @@
 //
 //	mocsim -consistency mlin -procs 4 -objects 6 -ops 8 -readfrac 0.5 \
 //	       -maxdelay 2ms -seed 7 [-broadcast lamport] [-relevant] [-json] \
-//	       [-drop 0.2] [-dup 0.05] [-partition 50ms]
+//	       [-drop 0.2] [-dup 0.05] [-partition 50ms] \
+//	       [-crash 1@40ms,2@80ms] [-restart 1@160ms]
 //
 // The -drop, -dup and -partition flags enable fault injection: messages
 // are dropped/duplicated with the given probabilities, and -partition
@@ -16,14 +17,32 @@
 // (sequence numbers, acks, retransmission) restores exactly-once
 // delivery underneath the protocols, and the run reports the fault and
 // retransmission counters.
+//
+// The -crash and -restart flags schedule crash-stop process failures:
+// each comma-separated proc@time entry takes the process down (or brings
+// it back up) at the given instant after startup. A crashed endpoint
+// sends and receives nothing; heartbeat failure detection, coordinator
+// failover, and checkpointed recovery are enabled automatically so the
+// survivors keep making progress and a restarted process rejoins via
+// state transfer. A process crashed without a matching -restart entry
+// never comes back, so operations issued at it after the crash instant
+// stall — schedule restarts (or keep crashed processes idle) when the
+// workload must complete.
+//
+// Invalid flag values (probabilities outside [0,1), non-positive counts,
+// malformed or inconsistent crash schedules) are rejected with a message
+// and exit code 2 before the run starts.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,11 +54,49 @@ import (
 	"moc/internal/workload"
 )
 
+// usageError marks a flag-validation failure, reported with exit code 2
+// (the conventional usage-error code) before any store is built.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "mocsim:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// parseSchedule parses a comma-separated list of proc@time entries
+// (e.g. "1@40ms,2@80ms") into per-process instants.
+func parseSchedule(flagName, spec string, procs int) (map[int]time.Duration, error) {
+	out := make(map[int]time.Duration)
+	if spec == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		at := strings.Split(entry, "@")
+		if len(at) != 2 {
+			return nil, usageError{fmt.Sprintf("-%s entry %q is not proc@time (e.g. 1@40ms)", flagName, entry)}
+		}
+		proc, err := strconv.Atoi(at[0])
+		if err != nil || proc < 0 || proc >= procs {
+			return nil, usageError{fmt.Sprintf("-%s entry %q: process must be an integer in [0, %d)", flagName, entry, procs)}
+		}
+		if _, dup := out[proc]; dup {
+			return nil, usageError{fmt.Sprintf("-%s lists process %d twice", flagName, proc)}
+		}
+		d, err := time.ParseDuration(at[1])
+		if err != nil || d < 0 {
+			return nil, usageError{fmt.Sprintf("-%s entry %q: bad duration", flagName, entry)}
+		}
+		out[proc] = d
+	}
+	return out, nil
 }
 
 func run() error {
@@ -57,11 +114,55 @@ func run() error {
 		drop        = flag.Float64("drop", 0, "fault injection: per-message drop probability in [0,1)")
 		dup         = flag.Float64("dup", 0, "fault injection: per-message duplication probability in [0,1)")
 		partition   = flag.Duration("partition", 0, "fault injection: partition the first half of the processes from the rest until this duration elapses")
+		crash       = flag.String("crash", "", `crash-stop schedule: comma-separated proc@time entries (e.g. "1@40ms,2@80ms")`)
+		restart     = flag.String("restart", "", `restart schedule matching -crash: comma-separated proc@time entries (e.g. "1@160ms")`)
 		emitJSON    = flag.Bool("json", false, "print the recorded history as JSON")
 		timeline    = flag.Bool("timeline", false, "render the history as per-process lanes (paper-figure style)")
 		dot         = flag.Bool("dot", false, "emit the history's relations as Graphviz DOT on stdout")
 	)
 	flag.Parse()
+
+	// Validate everything before building the store: a bad value should
+	// produce a usage message and exit code 2, not a late panic deep in
+	// the protocol stack or a silently meaningless run.
+	if *procs <= 0 {
+		return usageError{fmt.Sprintf("-procs must be positive, got %d", *procs)}
+	}
+	if *objects <= 0 {
+		return usageError{fmt.Sprintf("-objects must be positive, got %d", *objects)}
+	}
+	if *ops <= 0 {
+		return usageError{fmt.Sprintf("-ops must be positive, got %d", *ops)}
+	}
+	if *readFrac < 0 || *readFrac > 1 {
+		return usageError{fmt.Sprintf("-readfrac %v outside [0, 1]", *readFrac)}
+	}
+	if *drop < 0 || *drop >= 1 {
+		return usageError{fmt.Sprintf("-drop %v outside [0, 1)", *drop)}
+	}
+	if *dup < 0 || *dup >= 1 {
+		return usageError{fmt.Sprintf("-dup %v outside [0, 1)", *dup)}
+	}
+	if *partition < 0 {
+		return usageError{fmt.Sprintf("-partition must not be negative, got %v", *partition)}
+	}
+	crashes, err := parseSchedule("crash", *crash, *procs)
+	if err != nil {
+		return err
+	}
+	restarts, err := parseSchedule("restart", *restart, *procs)
+	if err != nil {
+		return err
+	}
+	for proc, at := range restarts {
+		crashAt, ok := crashes[proc]
+		if !ok {
+			return usageError{fmt.Sprintf("-restart lists process %d, which -crash never crashes", proc)}
+		}
+		if at <= crashAt {
+			return usageError{fmt.Sprintf("-restart brings process %d back at %v, not after its crash at %v", proc, at, crashAt)}
+		}
+	}
 
 	cfg := core.Config{
 		Procs:        *procs,
@@ -96,7 +197,7 @@ func run() error {
 		cfg.Objects[i] = fmt.Sprintf("x%d", i)
 	}
 
-	faulty := *drop > 0 || *dup > 0 || *partition > 0
+	faulty := *drop > 0 || *dup > 0 || *partition > 0 || len(crashes) > 0
 	if faulty {
 		faults := &network.Faults{DropProb: *drop, DupProb: *dup}
 		if *partition > 0 {
@@ -105,6 +206,9 @@ func run() error {
 				side = append(side, p)
 			}
 			faults.Partitions = []network.Partition{{Side: side, Start: 0, Heal: *partition}}
+		}
+		for proc, at := range crashes {
+			faults.Crashes = append(faults.Crashes, network.Crash{Proc: proc, At: at, Restart: restarts[proc]})
 		}
 		cfg.Faults = faults
 	}
@@ -202,6 +306,13 @@ func run() error {
 		ns := s.NetStats()
 		fmt.Fprintf(summary, "fault injection: %d dropped, %d duplicated, %d retransmitted\n",
 			ns.Dropped, ns.Duplicated, ns.Retransmitted)
+		if len(crashes) > 0 {
+			// Crash/restart counters are per-transport (a store runs several
+			// networks under one schedule), so report the schedule itself
+			// plus the recoveries actually performed.
+			fmt.Fprintf(summary, "crash schedule: %d crashes, %d restarts, %d checkpoint recoveries\n",
+				len(crashes), len(restarts), s.Recoveries())
+		}
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"moc/internal/network/testutil"
 )
 
 // runConformance drives any Broadcaster through the atomic-broadcast
@@ -37,16 +39,8 @@ func runConformance(t *testing.T, b Broadcaster, procs, perProc int) {
 		collect.Add(1)
 		go func(p int) {
 			defer collect.Done()
-			deadline := time.After(30 * time.Second)
-			for len(orders[p]) < total {
-				select {
-				case d := <-b.Deliveries(p):
-					orders[p] = append(orders[p], d)
-				case <-deadline:
-					t.Errorf("proc %d: timed out after %d/%d deliveries", p, len(orders[p]), total)
-					return
-				}
-			}
+			orders[p] = testutil.Drain(t, 30*time.Second, b.Deliveries(p), total,
+				testutil.Source(fmt.Sprintf("proc %d transport", p), b.NetStats))
 		}(p)
 	}
 	collect.Wait()

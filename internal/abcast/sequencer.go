@@ -10,33 +10,81 @@ import (
 )
 
 // Sequencer is a fixed-sequencer atomic broadcast: every broadcast is
-// first sent to a dedicated sequencer endpoint, which stamps it with the
-// next global sequence number and re-broadcasts it to all member
-// processes. Members reorder arrivals by sequence number, so the
-// underlying network may delay and reorder freely.
+// first sent to a sequencer, which stamps it with the next global
+// sequence number and re-broadcasts it to all member processes. Members
+// reorder arrivals by sequence number, so the underlying network may
+// delay and reorder freely.
+//
+// Without failure detection (FD nil) the sequencer is a dedicated
+// endpoint and a single point of failure, exactly as in the crash-free
+// build. With FD configured, the sequencer role instead lives on the
+// lowest-numbered live member and fails over deterministically: when the
+// leader of view v (process v mod n) is suspected, the next unsuspected
+// process in view order takes over, collects every live member's
+// received order log, adopts the longest prefix, re-announces it, and
+// resumes assigning from its end — so no delivered order is lost and no
+// sequence number is assigned twice, under the timing assumption
+// documented in failover.go. Origins re-send still-unordered requests to
+// the new leader; duplicate assignment is prevented by per-request
+// (origin, reqID) keys.
 type Sequencer struct {
-	n       int
-	net     network.Link
-	outs    []chan Delivery
-	stop    chan struct{}
-	closed  atomic.Bool
-	wg      sync.WaitGroup
-	headerB int
+	n         int
+	net       network.Link
+	outs      []chan Delivery
+	stop      chan struct{}
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+	headerB   int
+	fd        *FDConfig
+	failovers atomic.Int64
 }
 
 var _ Broadcaster = (*Sequencer)(nil)
 
 type seqRequest struct {
-	from    int
+	origin  int
+	reqID   int64
 	payload any
 	bytes   int
 }
 
 type seqOrder struct {
+	view    int
 	seq     int64
-	from    int
+	origin  int
+	reqID   int64
 	payload any
 	bytes   int
+}
+
+// seqSubmit routes a Broadcast into the submitter's own member loop so
+// request numbering and pending-request state have a single owner.
+type seqSubmit struct {
+	payload any
+	bytes   int
+}
+
+// seqHB is a liveness heartbeat (failover mode only).
+type seqHB struct{}
+
+// seqSyncReq opens view v: the taking-over leader asks each member for
+// its received order log. Receiving it fences the member — orders from
+// views below v are discarded from then on.
+type seqSyncReq struct {
+	view int
+}
+
+// seqSyncResp is a member's fenced order-log prefix.
+type seqSyncResp struct {
+	view   int
+	orders []seqOrder
+}
+
+// seqNewView announces the adopted log of view v; members append any
+// extension and re-send still-unordered requests to the new leader.
+type seqNewView struct {
+	view   int
+	orders []seqOrder
 }
 
 // SequencerConfig parameterizes NewSequencer.
@@ -50,6 +98,9 @@ type SequencerConfig struct {
 	// the reliable layer (network.NewLink) then restores exactly-once
 	// delivery underneath the protocol.
 	Faults *network.Faults
+	// FD enables heartbeat failure detection and sequencer failover. Nil
+	// keeps the crash-free fixed-sequencer behavior.
+	FD *FDConfig
 }
 
 // NewSequencer starts a sequencer-based atomic broadcast group.
@@ -57,13 +108,21 @@ func NewSequencer(cfg SequencerConfig) (*Sequencer, error) {
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("abcast: invalid proc count %d", cfg.Procs)
 	}
-	// Endpoint cfg.Procs is the sequencer itself.
+	endpoints := cfg.Procs
+	if cfg.FD == nil {
+		// Endpoint cfg.Procs is the dedicated sequencer.
+		endpoints = cfg.Procs + 1
+	}
 	net, err := network.NewLink(network.Config{
-		Procs:    cfg.Procs + 1,
+		Procs:    endpoints,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
 		MaxDelay: cfg.MaxDelay,
-		Faults:   cfg.Faults,
+		// Failover mode relies on per-link FIFO: a member accepts orders
+		// only in assignment sequence, with no hold-back buffer. (With
+		// faults configured the reliable layer provides FIFO regardless.)
+		FIFO:   cfg.FD != nil,
+		Faults: cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -75,14 +134,25 @@ func NewSequencer(cfg SequencerConfig) (*Sequencer, error) {
 		stop:    make(chan struct{}),
 		headerB: 16, // sequence number + sender, nominal wire overhead
 	}
+	if cfg.FD != nil {
+		fd := cfg.FD.withDefaults()
+		s.fd = &fd
+	}
 	for i := range s.outs {
 		s.outs[i] = make(chan Delivery, 1024)
 	}
-	s.wg.Add(1)
-	go s.runSequencer()
-	for p := 0; p < cfg.Procs; p++ {
+	if s.fd == nil {
 		s.wg.Add(1)
-		go s.runMember(p)
+		go s.runSequencer()
+		for p := 0; p < cfg.Procs; p++ {
+			s.wg.Add(1)
+			go s.runMember(p)
+		}
+	} else {
+		for p := 0; p < cfg.Procs; p++ {
+			s.wg.Add(1)
+			go s.runFailoverMember(p)
+		}
 	}
 	return s, nil
 }
@@ -95,20 +165,35 @@ func (s *Sequencer) Broadcast(from int, payload any, bytes int) error {
 	if from < 0 || from >= s.n {
 		return fmt.Errorf("abcast: broadcast from invalid process %d", from)
 	}
-	return s.net.Send(from, s.n, "abcast.req", seqRequest{from: from, payload: payload, bytes: bytes}, bytes+s.headerB)
+	if s.fd != nil {
+		// Route through the submitter's own loop, which owns request
+		// numbering and re-sends across failovers.
+		return s.net.Send(from, from, "abcast.submit", seqSubmit{payload: payload, bytes: bytes}, 0)
+	}
+	req := seqRequest{origin: from, payload: payload, bytes: bytes}
+	return s.net.Send(from, s.n, "abcast.req", req, bytes+s.headerB)
 }
 
 // Deliveries implements Broadcaster.
 func (s *Sequencer) Deliveries(p int) <-chan Delivery { return s.outs[p] }
 
-// MessageCost implements Broadcaster.
+// MessageCost implements Broadcaster. In failover mode, submit
+// self-messages are metered at zero bytes and excluded from the count so
+// the cost reflects actual protocol traffic.
 func (s *Sequencer) MessageCost() (int64, int64) {
 	st := s.net.Stats()
-	return st.Messages, st.Bytes
+	msgs := st.Messages
+	if sub, ok := st.ByKind["abcast.submit"]; ok {
+		msgs -= sub.Messages
+	}
+	return msgs, st.Bytes
 }
 
 // NetStats implements Broadcaster.
 func (s *Sequencer) NetStats() network.Stats { return s.net.Stats() }
+
+// Failovers reports how many sequencer takeovers have completed.
+func (s *Sequencer) Failovers() int64 { return s.failovers.Load() }
 
 // Close implements Broadcaster.
 func (s *Sequencer) Close() {
@@ -120,6 +205,7 @@ func (s *Sequencer) Close() {
 	s.wg.Wait()
 }
 
+// runSequencer is the dedicated-endpoint sequencer loop (FD nil).
 func (s *Sequencer) runSequencer() {
 	defer s.wg.Done()
 	var next int64
@@ -132,7 +218,7 @@ func (s *Sequencer) runSequencer() {
 			if !ok {
 				continue // foreign payloads are ignored, not fatal
 			}
-			ord := seqOrder{seq: next, from: req.from, payload: req.payload, bytes: req.bytes}
+			ord := seqOrder{seq: next, origin: req.origin, payload: req.payload, bytes: req.bytes}
 			next++
 			for p := 0; p < s.n; p++ {
 				if err := s.net.Send(s.n, p, "abcast.ord", ord, req.bytes+s.headerB); err != nil {
@@ -143,6 +229,8 @@ func (s *Sequencer) runSequencer() {
 	}
 }
 
+// runMember is the crash-free member loop (FD nil): reorder by sequence
+// number, deliver gap-free.
 func (s *Sequencer) runMember(p int) {
 	defer s.wg.Done()
 	buf := newDeliveryBuffer()
@@ -155,7 +243,7 @@ func (s *Sequencer) runMember(p int) {
 			if !ok {
 				continue
 			}
-			for _, d := range buf.add(Delivery{Seq: ord.seq, From: ord.from, Payload: ord.payload}) {
+			for _, d := range buf.add(Delivery{Seq: ord.seq, From: ord.origin, Payload: ord.payload}) {
 				select {
 				case s.outs[p] <- d:
 				case <-s.stop:
@@ -164,4 +252,401 @@ func (s *Sequencer) runMember(p int) {
 			}
 		}
 	}
+}
+
+// seqReqKey identifies a request across re-sends and failovers.
+type seqReqKey struct {
+	origin int
+	reqID  int64
+}
+
+// seqPending is a still-unordered local request awaiting assignment.
+type seqPending struct {
+	req  seqRequest
+	sent time.Time
+}
+
+// seqMemberState is the per-process state of the failover-mode loop. One
+// goroutine owns it; nothing here is shared.
+type seqMemberState struct {
+	view      int
+	log       []seqOrder // contiguous received assignment prefix
+	delivered int64      // local renumbered delivery counter
+	dedup     map[seqReqKey]bool
+	pending   []seqPending
+	nextReqID int64
+
+	// Leader-only state, valid when leading() and not syncing.
+	nextSeq  int64
+	assigned map[seqReqKey]bool
+	queued   []seqRequest // requests received mid-sync
+
+	syncing   bool
+	syncView  int
+	syncResps map[int][]seqOrder
+
+	// rejoining is set while this process is crashed and cleared once it
+	// learns the current view after restarting (or after a grace period
+	// proves no takeover happened). While set, the process refuses the
+	// leader role: right after a restart its view number is stale, and
+	// requests held by the reliable layer across the down window would
+	// otherwise be assigned — and self-delivered — under a superseded
+	// view that every other member fences. Dropped requests are not
+	// lost: origins re-send still-unordered requests every detection
+	// timeout.
+	rejoining      bool
+	rejoinDeadline time.Time
+}
+
+// runFailoverMember is the leader-among-members loop (FD configured).
+// The leader of view v is process v mod n; view changes are driven by
+// each member's local failure detector and fenced by view numbers.
+func (s *Sequencer) runFailoverMember(p int) {
+	defer s.wg.Done()
+	st := &seqMemberState{
+		dedup:     make(map[seqReqKey]bool),
+		assigned:  make(map[seqReqKey]bool),
+		syncResps: make(map[int][]seqOrder),
+	}
+	det := newDetector(s.n, p, s.fd.Timeout)
+	tick := time.NewTicker(s.fd.Interval)
+	defer tick.Stop()
+
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			if s.net.Down(p) {
+				// A crashed process takes no actions and suspects no one;
+				// resetting here also prevents a storm of suspicion at
+				// restart.
+				det.reset()
+				st.rejoining = true
+				st.rejoinDeadline = time.Time{}
+				continue
+			}
+			if st.rejoining {
+				if st.rejoinDeadline.IsZero() {
+					// Just restarted: give the group two detection timeouts
+					// to show a newer view before concluding that no
+					// takeover happened while this process was down.
+					st.rejoinDeadline = time.Now().Add(2 * s.fd.Timeout)
+				} else if time.Now().After(st.rejoinDeadline) {
+					st.rejoining = false
+				}
+			}
+			for q := 0; q < s.n; q++ {
+				if q == p {
+					continue
+				}
+				if s.net.Send(p, q, "abcast.hb", seqHB{}, s.headerB) != nil {
+					return
+				}
+			}
+			if !s.tickFailover(p, st, det) {
+				return
+			}
+		case msg := <-s.net.Recv(p):
+			// No down-window gate here: the reliable layer already drops
+			// (unacknowledged) everything that lands while the endpoint is
+			// down, so whatever reaches this loop must be processed — a
+			// frame read marginally after the crash instant is equivalent
+			// to the crash striking marginally later, and discarding it
+			// would lose a delivery this process can never recover.
+			det.hear(msg.From)
+			if !s.handleFailoverMsg(p, st, det, msg) {
+				return
+			}
+		}
+	}
+}
+
+// tickFailover runs the periodic failover checks: re-send stale pending
+// requests, initiate a takeover if this process is next in line behind a
+// suspected leader, and re-check sync completion as suspicions evolve.
+func (s *Sequencer) tickFailover(p int, st *seqMemberState, det *detector) bool {
+	leader := st.view % s.n
+	// A process that suspects a majority is more likely isolated or
+	// freshly restarted than surrounded by crashes; it must not fence the
+	// live group with a takeover of its own.
+	if det.suspected(leader) && !st.syncing && !st.rejoining && det.suspectedCount() <= (s.n-1)/2 {
+		v := st.view + 1
+		for det.suspected(v % s.n) {
+			v++
+		}
+		if v%s.n == p {
+			if !s.startSync(p, st, v) {
+				return false
+			}
+		}
+	}
+	if st.syncing && !s.finishSyncIfReady(p, st, det) {
+		return false
+	}
+	var stale []seqRequest
+	for i := range st.pending {
+		if time.Since(st.pending[i].sent) > s.fd.Timeout {
+			st.pending[i].sent = time.Now()
+			stale = append(stale, st.pending[i].req)
+		}
+	}
+	// Snapshot before sending: assignment on the leader path removes
+	// entries from st.pending as they are ordered.
+	for _, req := range stale {
+		if !s.sendRequest(p, st, req) {
+			return false
+		}
+	}
+	return true
+}
+
+// sendRequest routes req to the current leader (directly into leader
+// handling when this process leads).
+func (s *Sequencer) sendRequest(p int, st *seqMemberState, req seqRequest) bool {
+	leader := st.view % s.n
+	if leader == p {
+		return s.leaderAssign(p, st, req)
+	}
+	return s.net.Send(p, leader, "abcast.req", req, req.bytes+s.headerB) == nil
+}
+
+// leaderAssign stamps one request with the next sequence number (leader
+// role only). Mid-sync requests are queued until the view is installed.
+func (s *Sequencer) leaderAssign(p int, st *seqMemberState, req seqRequest) bool {
+	if st.rejoining {
+		// Stale leadership: this process crashed while leading and has not
+		// yet learned whether a takeover superseded its view. Assigning now
+		// could append orders every fenced member discards. Drop the
+		// request; the origin's periodic re-send retries it once the view
+		// question settles.
+		return true
+	}
+	if st.syncing {
+		st.queued = append(st.queued, req)
+		return true
+	}
+	key := seqReqKey{req.origin, req.reqID}
+	if st.assigned[key] {
+		return true
+	}
+	st.assigned[key] = true
+	ord := seqOrder{view: st.view, seq: st.nextSeq, origin: req.origin, reqID: req.reqID, payload: req.payload, bytes: req.bytes}
+	st.nextSeq++
+	if !s.appendOrder(p, st, ord) {
+		return false
+	}
+	for q := 0; q < s.n; q++ {
+		if q == p {
+			continue
+		}
+		if s.net.Send(p, q, "abcast.ord", ord, req.bytes+s.headerB) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// appendOrder appends ord at the end of the local log and delivers it,
+// deduplicating re-assigned requests. Every member appends the same log,
+// so the renumbered delivery streams are identical.
+func (s *Sequencer) appendOrder(p int, st *seqMemberState, ord seqOrder) bool {
+	st.log = append(st.log, ord)
+	key := seqReqKey{ord.origin, ord.reqID}
+	// Drop the request from the pending list once it is ordered.
+	if ord.origin == p {
+		for i := range st.pending {
+			if st.pending[i].req.reqID == ord.reqID {
+				st.pending = append(st.pending[:i], st.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	if st.dedup[key] {
+		return true
+	}
+	st.dedup[key] = true
+	d := Delivery{Seq: st.delivered, From: ord.origin, Payload: ord.payload}
+	st.delivered++
+	select {
+	case s.outs[p] <- d:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// startSync begins a takeover of view v: fence and solicit every other
+// member's log. This process's own log seeds the response set.
+func (s *Sequencer) startSync(p int, st *seqMemberState, v int) bool {
+	st.syncing = true
+	st.syncView = v
+	st.view = v
+	st.syncResps = map[int][]seqOrder{p: st.log}
+	for q := 0; q < s.n; q++ {
+		if q == p {
+			continue
+		}
+		if s.net.Send(p, q, "abcast.sync", seqSyncReq{view: v}, s.headerB) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// finishSyncIfReady completes the takeover once every currently-live
+// member has reported: adopt the longest log (a superset of everything
+// any live member delivered, per the timing assumption), announce it,
+// and resume assigning from its end.
+func (s *Sequencer) finishSyncIfReady(p int, st *seqMemberState, det *detector) bool {
+	for q := 0; q < s.n; q++ {
+		if q == p || det.suspected(q) {
+			continue
+		}
+		if _, ok := st.syncResps[q]; !ok {
+			return true // keep waiting
+		}
+	}
+	adopted := st.log
+	for _, log := range st.syncResps {
+		if len(log) > len(adopted) {
+			adopted = log
+		}
+	}
+	// Install the extension beyond what this process already has.
+	for _, ord := range adopted[len(st.log):] {
+		if !s.appendOrder(p, st, ord) {
+			return false
+		}
+	}
+	st.assigned = make(map[seqReqKey]bool, len(st.log))
+	for _, ord := range st.log {
+		st.assigned[seqReqKey{ord.origin, ord.reqID}] = true
+	}
+	st.nextSeq = int64(len(st.log))
+	st.syncing = false
+	st.syncResps = make(map[int][]seqOrder)
+	s.failovers.Add(1)
+
+	logCopy := append([]seqOrder(nil), st.log...)
+	bytes := s.syncBytes(logCopy)
+	for q := 0; q < s.n; q++ {
+		if q == p {
+			continue
+		}
+		if s.net.Send(p, q, "abcast.view", seqNewView{view: st.view, orders: logCopy}, bytes) != nil {
+			return false
+		}
+	}
+	// Serve requests that arrived mid-sync, then re-submit our own
+	// still-unordered requests.
+	queued := st.queued
+	st.queued = nil
+	for _, req := range queued {
+		if !s.leaderAssign(p, st, req) {
+			return false
+		}
+	}
+	own := make([]seqRequest, len(st.pending))
+	for i := range st.pending {
+		st.pending[i].sent = time.Now()
+		own[i] = st.pending[i].req
+	}
+	// Snapshot before assigning: each assignment removes its entry from
+	// st.pending.
+	for _, req := range own {
+		if !s.leaderAssign(p, st, req) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sequencer) syncBytes(orders []seqOrder) int {
+	b := s.headerB
+	for i := range orders {
+		b += orders[i].bytes + s.headerB
+	}
+	return b
+}
+
+// handleFailoverMsg dispatches one inbox message in failover mode.
+func (s *Sequencer) handleFailoverMsg(p int, st *seqMemberState, det *detector, msg network.Message) bool {
+	switch m := msg.Payload.(type) {
+	case seqHB:
+		// Liveness only; det.hear already ran.
+	case seqSubmit:
+		req := seqRequest{origin: p, reqID: st.nextReqID, payload: m.payload, bytes: m.bytes}
+		st.nextReqID++
+		st.pending = append(st.pending, seqPending{req: req, sent: time.Now()})
+		return s.sendRequest(p, st, req)
+	case seqRequest:
+		if st.view%s.n == p {
+			return s.leaderAssign(p, st, m)
+		}
+		// Stale leader address: the origin will re-send after it learns
+		// the new view; nothing to do.
+	case seqOrder:
+		if m.view < st.view {
+			return true // fenced: assigned under a superseded view
+		}
+		if m.view > st.view {
+			st.view = m.view
+			st.rejoining = false // current view learned
+		}
+		// Per-link FIFO from a single leader makes orders arrive in
+		// assignment sequence; anything else is a superseded duplicate.
+		if m.seq == int64(len(st.log)) {
+			return s.appendOrder(p, st, m)
+		}
+	case seqSyncReq:
+		if m.view < st.view {
+			return true // stale takeover attempt
+		}
+		if m.view > st.view {
+			st.view = m.view // fence: superseded-view orders now discarded
+			st.syncing = false
+			st.queued = nil
+			st.rejoining = false // current view learned
+		}
+		logCopy := append([]seqOrder(nil), st.log...)
+		return s.net.Send(p, msg.From, "abcast.syncr",
+			seqSyncResp{view: m.view, orders: logCopy}, s.syncBytes(logCopy)) == nil
+	case seqSyncResp:
+		if st.syncing && m.view == st.syncView {
+			st.syncResps[msg.From] = m.orders
+			return s.finishSyncIfReady(p, st, det)
+		}
+	case seqNewView:
+		if m.view < st.view {
+			return true
+		}
+		if m.view > st.view {
+			st.rejoining = false // current view learned
+			// A sync of a now-superseded view would wait forever for
+			// responses nobody will send. Queued requests are dropped,
+			// not lost: their origins re-send every detection timeout.
+			st.syncing = false
+			st.queued = nil
+		}
+		st.view = m.view
+		for _, ord := range m.orders[min(len(st.log), len(m.orders)):] {
+			if !s.appendOrder(p, st, ord) {
+				return false
+			}
+		}
+		// Re-send anything of ours the adopted log does not contain
+		// (snapshot first: sendRequest can shrink st.pending).
+		own := make([]seqRequest, len(st.pending))
+		for i := range st.pending {
+			st.pending[i].sent = time.Now()
+			own[i] = st.pending[i].req
+		}
+		for _, req := range own {
+			if !s.sendRequest(p, st, req) {
+				return false
+			}
+		}
+	}
+	return true
 }

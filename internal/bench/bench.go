@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{ID: "E10", Title: "Section 1: multi-object operations vs an aggregate object", Run: runE10},
 		{ID: "E11", Title: "Section 4: OO-constraint locking protocol vs the broadcast protocols", Run: runE11},
 		{ID: "E12", Title: "Consistency hierarchy: m-lin => m-SC => m-causal, protocol by protocol", Run: runE12},
+		{ID: "E13", Title: "Availability under crash-stop failures: bounded queries with 0, 1, f crashed", Run: runE13},
 		{ID: "A1", Title: "Ablation: sequencer vs Lamport atomic broadcast", Run: runAblationBroadcast},
 		{ID: "A2", Title: "Ablation: checker heuristics and memoization", Run: runAblationChecker},
 	}

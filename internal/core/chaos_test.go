@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"moc/internal/network"
+	"moc/internal/network/testutil"
 	"moc/internal/object"
 )
 
@@ -76,17 +77,13 @@ func runChaosWorkload(t *testing.T, s *Store) {
 // waitForRetransmissions polls until the reliable layer has resent at
 // least one dropped frame. Protocols that respond locally (m-causal)
 // can finish the workload before the first retransmission timer fires,
-// so the counters need a moment to become visible.
+// so the counters need a moment to become visible. On timeout the
+// helper dumps the store's merged transport counters.
 func waitForRetransmissions(t *testing.T, s *Store) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if s.NetStats().Retransmitted > 0 {
-			return
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	t.Fatalf("no retransmissions despite %d drops", s.NetStats().Dropped)
+	testutil.Eventually(t, 10*time.Second, func() bool {
+		return s.NetStats().Retransmitted > 0
+	}, testutil.Source("store transports", s.NetStats))
 }
 
 // TestChaosAllConsistencyModes runs every consistency mode over the

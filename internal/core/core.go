@@ -30,6 +30,7 @@ import (
 	"moc/internal/network"
 	"moc/internal/object"
 	"moc/internal/oolock"
+	"moc/internal/recovery"
 )
 
 // Consistency selects the condition the store implements.
@@ -105,6 +106,22 @@ type Config struct {
 	// RelevantOnly enables the Section 5.2 query-payload optimization
 	// (m-linearizable stores only).
 	RelevantOnly bool
+	// FD configures heartbeat failure detection and coordinator failover
+	// in the atomic-broadcast layer (sequencer failover, token
+	// regeneration, Lamport ack-quorum exclusion). When nil and the fault
+	// schedule includes process crashes, a default detector is enabled
+	// automatically so a crashed coordinator cannot stall the store.
+	FD *abcast.FDConfig
+	// QueryTimeout bounds m-linearizable query round-trips: after it
+	// expires the query re-solicits missing responders up to QueryRetries
+	// times, then completes with the responses of the live processes.
+	// Defaults (crash schedules only) to a bound comfortably above the
+	// worst-case delivery delay; zero without crashes keeps the unbounded
+	// Figure 6 wait.
+	QueryTimeout time.Duration
+	// QueryRetries is the number of re-solicitations for a bounded query
+	// (default 3 when QueryTimeout is defaulted).
+	QueryRetries int
 	// DisableRecording turns off history capture (benchmarks that only
 	// measure protocol cost).
 	DisableRecording bool
@@ -126,6 +143,12 @@ type Store struct {
 	lockImpl   *oolock.Protocol   // non-nil iff Consistency == MLinearizableLocking
 	causalImpl *causal.Protocol   // non-nil iff Consistency == MCausal
 	procs      []*Process
+
+	// recov serves checkpointed state transfer for crash recovery; the
+	// watcher goroutines trigger a Recover for every scheduled restart.
+	recov     *recovery.Service
+	watchStop chan struct{}
+	watchWg   sync.WaitGroup
 
 	lastNano atomic.Int64
 	origin   time.Time
@@ -164,6 +187,29 @@ func New(cfg Config) (*Store, error) {
 	}
 	if cfg.Broadcast == 0 {
 		cfg.Broadcast = SequencerBroadcast
+	}
+
+	// With scheduled crashes, default the failure detector (so a crashed
+	// coordinator cannot stall the broadcast layer) and bound query
+	// round-trips (so a crashed responder cannot stall a query). The
+	// timing constants follow failover.go's assumption: detection timeout
+	// well above the worst-case delivery delay plus retransmission.
+	hasCrashes := cfg.Faults != nil && len(cfg.Faults.Crashes) > 0
+	if hasCrashes {
+		spike := cfg.Faults.DelaySpike
+		if cfg.FD == nil {
+			interval := 2 * time.Millisecond
+			if d := 2 * cfg.MaxDelay; d > interval {
+				interval = d
+			}
+			cfg.FD = &abcast.FDConfig{Interval: interval, Timeout: 10*interval + 8*(cfg.MaxDelay+spike)}
+		}
+		if cfg.QueryTimeout <= 0 {
+			cfg.QueryTimeout = 10*time.Millisecond + 8*(cfg.MaxDelay+spike)
+			if cfg.QueryRetries == 0 {
+				cfg.QueryRetries = 3
+			}
+		}
 	}
 
 	s := &Store{cfg: cfg, reg: reg, origin: time.Now()}
@@ -209,17 +255,17 @@ func New(cfg Config) (*Store, error) {
 	case SequencerBroadcast:
 		bcast, err = abcast.NewSequencer(abcast.SequencerConfig{
 			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Faults: cfg.Faults,
+			Faults: cfg.Faults, FD: cfg.FD,
 		})
 	case LamportBroadcast:
 		bcast, err = abcast.NewLamport(abcast.LamportConfig{
 			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Faults: cfg.Faults,
+			Faults: cfg.Faults, FD: cfg.FD,
 		})
 	case TokenBroadcast:
 		bcast, err = abcast.NewToken(abcast.TokenConfig{
 			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Faults: cfg.Faults,
+			Faults: cfg.Faults, FD: cfg.FD,
 		})
 	default:
 		return nil, fmt.Errorf("core: unknown broadcast kind %d", int(cfg.Broadcast))
@@ -240,6 +286,7 @@ func New(cfg Config) (*Store, error) {
 			Seed: cfg.Seed + 1, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
 			Faults:       cfg.Faults,
 			RelevantOnly: cfg.RelevantOnly, Clock: s.now,
+			QueryTimeout: cfg.QueryTimeout, QueryRetries: cfg.QueryRetries,
 		})
 		s.exec, s.mlinImpl = p, p
 	default:
@@ -256,7 +303,67 @@ func New(cfg Config) (*Store, error) {
 	for i := range s.procs {
 		s.procs[i] = &Process{store: s, id: i}
 	}
+
+	// Checkpointed recovery: when crashes with restarts are scheduled, run
+	// a state-transfer service over the same fault schedule (a crashed
+	// peer cannot serve checkpoints) and trigger a Recover for every
+	// restart, under the process mutex so no operation runs at the
+	// rejoining process until its state is fresh.
+	if hasCrashes {
+		state, ok := s.exec.(recovery.State)
+		if ok {
+			s.recov, err = recovery.New(recovery.Config{
+				Procs: cfg.Procs, State: state,
+				Seed: cfg.Seed + 2, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+				Faults: cfg.Faults,
+			})
+			if err != nil {
+				s.exec.Close()
+				return nil, err
+			}
+			s.watchStop = make(chan struct{})
+			for _, cr := range cfg.Faults.Crashes {
+				if cr.Restart <= 0 {
+					continue
+				}
+				s.watchWg.Add(1)
+				go s.watchRestart(cr.Proc, cr.Restart)
+			}
+		}
+	}
 	return s, nil
+}
+
+// watchRestart sleeps until just after the scheduled restart instant and
+// runs one checkpointed recovery for the rejoining process. The process
+// mutex is held across the transfer, so the first post-restart operation
+// observes the recovered state.
+func (s *Store) watchRestart(proc int, at time.Duration) {
+	defer s.watchWg.Done()
+	timer := time.NewTimer(at - time.Since(s.origin))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-s.watchStop:
+		return
+	}
+	// The transfer network's fault clock starts at its creation, which
+	// trails s.origin by the store's construction time, so the nominal
+	// restart instant can land marginally inside the network's crash
+	// window — where every transfer request is silently dropped. Poll
+	// until the network itself reports the process up.
+	for !s.recov.Up(proc) {
+		select {
+		case <-time.After(500 * time.Microsecond):
+		case <-s.watchStop:
+			return
+		}
+	}
+	p := s.procs[proc]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Generous bound: Recover returns as soon as all live peers answer.
+	_, _ = s.recov.Recover(proc, 2*time.Second)
 }
 
 // now is a strictly increasing clock: real monotonic time, nudged forward
@@ -306,7 +413,36 @@ func (s *Store) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
+	if s.watchStop != nil {
+		close(s.watchStop)
+	}
+	if s.recov != nil {
+		s.recov.Close() // unblocks any in-flight Recover
+	}
+	// Close the executor before waiting for the restart watchers: a
+	// watcher blocks on the process mutex, which an in-flight Execute
+	// holds until the executor's shutdown errors it out — waiting first
+	// would deadlock a Close issued while operations are still running.
 	s.exec.Close()
+	s.watchWg.Wait()
+}
+
+// Recoveries reports how many checkpoints restarted processes have
+// adopted (zero without crash injection).
+func (s *Store) Recoveries() int64 {
+	if s.recov == nil {
+		return 0
+	}
+	return s.recov.Adopted()
+}
+
+// RecoveryTraffic returns the state-transfer network's counters
+// (zero-valued without crash injection).
+func (s *Store) RecoveryTraffic() network.Stats {
+	if s.recov == nil {
+		return network.Stats{ByKind: map[string]network.KindStats{}}
+	}
+	return s.recov.Traffic()
 }
 
 // BroadcastCost returns the atomic-broadcast network traffic incurred so
@@ -355,6 +491,9 @@ func (s *Store) NetStats() network.Stats {
 	}
 	if s.causalImpl != nil {
 		st.Merge(s.causalImpl.Traffic())
+	}
+	if s.recov != nil {
+		st.Merge(s.recov.Traffic())
 	}
 	return st
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// crashTimeScale is 1 in normal builds; see timescale_race_test.go.
+const crashTimeScale = 1

@@ -1,0 +1,19 @@
+//go:build race
+
+package core
+
+// crashTimeScale stretches every timing constant of the crash-test
+// schedules under the race detector. The failover and bounded-query
+// correctness arguments are explicitly conditional on timing (see
+// failover.go): the detection timeout and the query deadline must
+// dominate the worst-case delivery-plus-processing delay, or a live
+// process can be falsely suspected (and excluded from ack quorums) and
+// a query can time out before slow-but-live responders answer. -race
+// dilates message processing roughly an order of magnitude, which
+// breaks that dominance at the wall-clock constants used in normal
+// builds. Scaling the whole schedule — crash instants, detection
+// timeout, query deadline, and workload phase boundaries together —
+// keeps the same relative structure (suspicion still matures inside
+// each crash window, failover is still exercised) while restoring the
+// headroom the timing assumption requires.
+const crashTimeScale = 4

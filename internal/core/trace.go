@@ -63,7 +63,8 @@ func (s *Store) buildHistory() (*history.History, []history.ID, error) {
 	sort.Slice(updates, func(i, j int) bool { return updates[i].seq < updates[j].seq })
 	for i := 1; i < len(updates); i++ {
 		if updates[i].seq == updates[i-1].seq {
-			return nil, nil, fmt.Errorf("core: duplicate delivery sequence %d", updates[i].seq)
+			a, b := recs[updates[i-1].idx], recs[updates[i].idx]
+			return nil, nil, fmt.Errorf("core: duplicate delivery sequence %d (issuers %d and %d)", updates[i].seq, a.Proc, b.Proc)
 		}
 	}
 

@@ -35,6 +35,7 @@ import (
 	"moc/internal/mop"
 	"moc/internal/network"
 	"moc/internal/object"
+	"moc/internal/recovery"
 	"moc/internal/timestamp"
 )
 
@@ -57,6 +58,18 @@ type Config struct {
 	// footprint (Section 5.2's final optimization); otherwise whole
 	// copies are shipped, exactly as in Figure 6.
 	RelevantOnly bool
+	// QueryTimeout bounds how long a query waits for the full response
+	// set. Zero keeps Figure 6's unbounded wait-for-all. With a bound,
+	// the query re-solicits the missing processes up to QueryRetries
+	// times and then completes with the responses gathered — safe under
+	// crash-stop because every update is applied at all live processes,
+	// so any response set that includes one live process per relevant
+	// update (the issuer always responds to itself) carries the freshest
+	// versions; see DESIGN.md.
+	QueryTimeout time.Duration
+	// QueryRetries is the number of re-solicitations before a bounded
+	// query completes partially. Ignored when QueryTimeout is zero.
+	QueryRetries int
 	// Clock returns nanoseconds since the run origin; must be monotonic.
 	Clock func() int64
 }
@@ -78,13 +91,21 @@ type procState struct {
 	ts      timestamp.TS   // myts
 	pendUpd map[int64]chan updateOutcome
 	pendQry map[int64]*queryState
+	// applied counts the total-order updates reflected in values/ts; a
+	// recovery checkpoint advances it past a crash outage and the
+	// delivery loop skips redelivered updates below it.
+	applied int64
 }
 
 type queryState struct {
 	othX    []object.Value
 	othts   timestamp.TS
 	waiting int
-	done    chan struct{}
+	// responded marks which processes have already answered, so the
+	// duplicate responses that re-solicitation provokes are merged (and
+	// counted) at most once per process.
+	responded []bool
+	done      chan struct{}
 }
 
 type updatePayload struct {
@@ -210,10 +231,11 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) 
 	st := p.states[proc]
 	reqID := p.nextID.Add(1)
 	qs := &queryState{
-		othX:    make([]object.Value, p.cfg.Reg.Len()),
-		othts:   timestamp.New(p.cfg.Reg.Len()),
-		waiting: p.cfg.Procs,
-		done:    make(chan struct{}),
+		othX:      make([]object.Value, p.cfg.Reg.Len()),
+		othts:     timestamp.New(p.cfg.Reg.Len()),
+		waiting:   p.cfg.Procs,
+		responded: make([]bool, p.cfg.Procs),
+		done:      make(chan struct{}),
 	}
 	st.mu.Lock()
 	st.pendQry[reqID] = qs
@@ -235,13 +257,8 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) 
 		}
 	}
 
-	select {
-	case <-qs.done:
-	case <-p.stop:
-		st.mu.Lock()
-		delete(st.pendQry, reqID)
-		st.mu.Unlock()
-		return mop.Record{}, ErrClosed
+	if err := p.awaitQuery(st, qs, proc, reqID, msg, bytes); err != nil {
+		return mop.Record{}, err
 	}
 	st.mu.Lock()
 	delete(st.pendQry, reqID)
@@ -276,6 +293,67 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) 
 	}, nil
 }
 
+// awaitQuery waits for the query's response set. With no QueryTimeout
+// it is Figure 6's unbounded wait-for-all. With one, each deadline
+// re-solicits the processes that have not answered, and after
+// QueryRetries re-solicitations the query completes with the responses
+// gathered so far — the issuer's own response always arrives (self
+// delivery is immune to crash windows), so the merged copy is never
+// empty and never older than the issuer's local copy.
+func (p *Protocol) awaitQuery(st *procState, qs *queryState, proc int, reqID int64, msg queryMsg, bytes int) error {
+	if p.cfg.QueryTimeout <= 0 {
+		select {
+		case <-qs.done:
+			return nil
+		case <-p.stop:
+			st.mu.Lock()
+			delete(st.pendQry, reqID)
+			st.mu.Unlock()
+			return ErrClosed
+		}
+	}
+	retries := p.cfg.QueryRetries
+	timer := time.NewTimer(p.cfg.QueryTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case <-qs.done:
+			return nil
+		case <-p.stop:
+			st.mu.Lock()
+			delete(st.pendQry, reqID)
+			st.mu.Unlock()
+			return ErrClosed
+		case <-timer.C:
+			var missing []int
+			st.mu.Lock()
+			for q := 0; q < p.cfg.Procs; q++ {
+				if !qs.responded[q] {
+					missing = append(missing, q)
+				}
+			}
+			if retries <= 0 || len(missing) == 0 {
+				// Complete with what arrived (the message loop may have
+				// closed done in the meantime; the waiting guard keeps the
+				// close exactly-once).
+				if qs.waiting > 0 {
+					qs.waiting = 0
+					close(qs.done)
+				}
+				st.mu.Unlock()
+				return nil
+			}
+			st.mu.Unlock()
+			retries--
+			for _, q := range missing {
+				// Shutdown is the only send failure; the stop case exits.
+				_ = p.qnet.Send(proc, q, "mlin.query", msg, bytes)
+			}
+			timer.Reset(p.cfg.QueryTimeout)
+		}
+	}
+}
+
 // deliveryLoop implements A2 for one process.
 func (p *Protocol) deliveryLoop(proc int) {
 	defer p.wg.Done()
@@ -290,7 +368,23 @@ func (p *Protocol) deliveryLoop(proc int) {
 				continue
 			}
 			st.mu.Lock()
+			if d.Seq < st.applied {
+				// Subsumed by an adopted recovery checkpoint; applying
+				// again would double-count. An issuer still waiting
+				// locally gets an error outcome.
+				var done chan updateOutcome
+				if payload.from == proc {
+					done = st.pendUpd[payload.reqID]
+					delete(st.pendUpd, payload.reqID)
+				}
+				st.mu.Unlock()
+				if done != nil {
+					done <- updateOutcome{err: errors.New("mlin: update subsumed by recovery checkpoint")}
+				}
+				continue
+			}
 			rec, err := applyLocked(st, payload.proc, payload.from, d.Seq)
+			st.applied = d.Seq + 1
 			var done chan updateOutcome
 			if payload.from == proc {
 				done = st.pendUpd[payload.reqID]
@@ -319,7 +413,8 @@ func (p *Protocol) messageLoop(proc int) {
 			case queryResp:
 				st.mu.Lock()
 				qs, ok := st.pendQry[m.reqID]
-				if ok && qs.waiting > 0 {
+				if ok && qs.waiting > 0 && !qs.responded[msg.From] {
+					qs.responded[msg.From] = true
 					for i, x := range m.objs {
 						if m.ts[i] > qs.othts.Get(x) {
 							qs.othts.Set(x, m.ts[i])
@@ -397,6 +492,34 @@ func (p *Protocol) QueryTraffic() network.Stats { return p.qnet.Stats() }
 
 // BroadcastTraffic returns the broadcaster's (messages, bytes).
 func (p *Protocol) BroadcastTraffic() (int64, int64) { return p.cfg.Broadcast.MessageCost() }
+
+// Snapshot captures process proc's current checkpoint for state
+// transfer (recovery.State).
+func (p *Protocol) Snapshot(proc int) recovery.Checkpoint {
+	st := p.states[proc]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return recovery.Checkpoint{
+		Values:  append([]object.Value(nil), st.values...),
+		TS:      append([]int64(nil), st.ts...),
+		Applied: st.applied,
+	}
+}
+
+// Adopt installs ck into process proc if it is strictly fresher than the
+// local replica state (recovery.State).
+func (p *Protocol) Adopt(proc int, ck recovery.Checkpoint) bool {
+	st := p.states[proc]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ck.Applied <= st.applied || len(ck.Values) != len(st.values) || len(ck.TS) != len(st.ts) {
+		return false
+	}
+	copy(st.values, ck.Values)
+	copy(st.ts, ck.TS)
+	st.applied = ck.Applied
+	return true
+}
 
 // LocalTS returns a copy of process proc's current myts (test
 // instrumentation).

@@ -24,6 +24,7 @@ import (
 	"moc/internal/abcast"
 	"moc/internal/mop"
 	"moc/internal/object"
+	"moc/internal/recovery"
 	"moc/internal/timestamp"
 )
 
@@ -56,6 +57,11 @@ type procState struct {
 	values  []object.Value
 	ts      timestamp.TS
 	pending map[int64]chan updateOutcome
+	// applied counts the total-order updates reflected in values/ts: the
+	// replica state equals the first applied deliveries of the broadcast
+	// order. A recovery checkpoint advances it past the crash outage; the
+	// delivery loop then skips redelivered updates below it.
+	applied int64
 }
 
 type updatePayload struct {
@@ -179,7 +185,24 @@ func (p *Protocol) deliveryLoop(proc int) {
 				continue
 			}
 			st.mu.Lock()
+			if d.Seq < st.applied {
+				// Already covered by an adopted recovery checkpoint: the
+				// effects are in the replica state, so applying again would
+				// double-count. An issuer still waiting locally (it crashed
+				// between broadcast and delivery) gets an error outcome.
+				var done chan updateOutcome
+				if payload.from == proc {
+					done = st.pending[payload.reqID]
+					delete(st.pending, payload.reqID)
+				}
+				st.mu.Unlock()
+				if done != nil {
+					done <- updateOutcome{err: errors.New("msc: update subsumed by recovery checkpoint")}
+				}
+				continue
+			}
 			rec, err := applyLocked(st, payload.proc, payload.from, d.Seq)
+			st.applied = d.Seq + 1
 			var done chan updateOutcome
 			if payload.from == proc {
 				done = st.pending[payload.reqID]
@@ -220,6 +243,35 @@ func applyLocked(st *procState, pr mop.Procedure, proc int, seq int64) (mop.Reco
 		Footprint: object.FullSet(len(st.values)),
 		Result:    result,
 	}, nil
+}
+
+// Snapshot captures process proc's current checkpoint for state
+// transfer (recovery.State).
+func (p *Protocol) Snapshot(proc int) recovery.Checkpoint {
+	st := p.states[proc]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return recovery.Checkpoint{
+		Values:  append([]object.Value(nil), st.values...),
+		TS:      append([]int64(nil), st.ts...),
+		Applied: st.applied,
+	}
+}
+
+// Adopt installs ck into process proc if it is strictly fresher than the
+// local replica state (recovery.State). The delivery loop skips the
+// redelivered updates the checkpoint subsumes.
+func (p *Protocol) Adopt(proc int, ck recovery.Checkpoint) bool {
+	st := p.states[proc]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ck.Applied <= st.applied || len(ck.Values) != len(st.values) || len(ck.TS) != len(st.ts) {
+		return false
+	}
+	copy(st.values, ck.Values)
+	copy(st.ts, ck.TS)
+	st.applied = ck.Applied
+	return true
 }
 
 // LocalTS returns a copy of process proc's current version vector

@@ -7,6 +7,7 @@ import (
 
 	"moc/internal/abcast"
 	"moc/internal/mop"
+	"moc/internal/network/testutil"
 	"moc/internal/object"
 )
 
@@ -92,25 +93,18 @@ func TestAllReplicasConverge(t *testing.T) {
 	}
 	wg.Wait()
 	// After quiescing (all updates were delivered at their issuers; other
-	// replicas may lag briefly), poll until all timestamps agree.
-	deadline := time.After(10 * time.Second)
-	for {
+	// replicas may lag briefly), poll until all timestamps agree. On
+	// timeout the helper dumps the broadcast transport counters, so a
+	// hung delivery is diagnosable.
+	testutil.Eventually(t, 10*time.Second, func() bool {
 		ts0 := p.LocalTS(0)
-		agree := true
 		for proc := 1; proc < 4; proc++ {
 			if !p.LocalTS(proc).Equal(ts0) {
-				agree = false
+				return false
 			}
 		}
-		if agree && ts0.Sum() == 40 {
-			return
-		}
-		select {
-		case <-deadline:
-			t.Fatalf("replicas did not converge: %v vs %v", ts0, p.LocalTS(1))
-		case <-time.After(time.Millisecond):
-		}
-	}
+		return ts0.Sum() == 40
+	}, testutil.Source("broadcast", p.cfg.Broadcast.NetStats))
 }
 
 func TestDCASThroughProtocol(t *testing.T) {

@@ -33,10 +33,30 @@ type Faults struct {
 	// Partitions are temporary partitions; messages crossing an active
 	// partition are dropped until it heals.
 	Partitions []Partition
+	// Crashes are scheduled crash-stop process failures: while an
+	// endpoint is down, every message it sends or is sent (self-sends
+	// excepted) is dropped, exactly as if the process had halted.
+	Crashes []Crash
 	// RTO is the initial retransmission timeout the Reliable layer uses
 	// when NewLink builds a lossy stack. Zero picks a default derived
 	// from the configured delay bounds.
 	RTO time.Duration
+}
+
+// Crash schedules one crash-stop failure (and optional restart) of one
+// endpoint: from At until Restart (both measured from network creation),
+// endpoint Proc is cut off from every other endpoint — its sends and its
+// incoming deliveries are dropped, which from the rest of the system is
+// indistinguishable from the process halting. Restart zero means the
+// process never comes back. Like partitions, the down decision is taken
+// at send time, so runs stay reproducible in distribution.
+type Crash struct {
+	// Proc is the crashed endpoint.
+	Proc int
+	// At is when the endpoint goes down, measured from network creation.
+	At time.Duration
+	// Restart is when the endpoint comes back up; zero means never.
+	Restart time.Duration
 }
 
 // Partition temporarily cuts a set of endpoints off from the rest:
@@ -58,7 +78,8 @@ func (f *Faults) enabled() bool {
 		return false
 	}
 	return f.DropProb > 0 || f.DupProb > 0 ||
-		(f.DelaySpikeProb > 0 && f.DelaySpike > 0) || len(f.Partitions) > 0
+		(f.DelaySpikeProb > 0 && f.DelaySpike > 0) ||
+		len(f.Partitions) > 0 || len(f.Crashes) > 0
 }
 
 // validate checks probabilities and partition windows. A nil receiver is
@@ -84,7 +105,51 @@ func (f *Faults) validate() error {
 			return fmt.Errorf("network: partition %d heals at %v before it starts at %v", i, p.Heal, p.Start)
 		}
 	}
+	for i, c := range f.Crashes {
+		if c.Proc < 0 {
+			return fmt.Errorf("network: crash %d targets negative endpoint %d", i, c.Proc)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("network: crash %d at negative time %v", i, c.At)
+		}
+		if c.Restart != 0 && c.Restart <= c.At {
+			return fmt.Errorf("network: crash %d restarts at %v, not after the crash at %v", i, c.Restart, c.At)
+		}
+	}
 	return nil
+}
+
+// crashed reports whether endpoint p is down at elapsed time since
+// network creation.
+func (f *Faults) crashed(p int, elapsed time.Duration) bool {
+	if f == nil {
+		return false
+	}
+	for i := range f.Crashes {
+		c := &f.Crashes[i]
+		if c.Proc == p && elapsed >= c.At && (c.Restart == 0 || elapsed < c.Restart) {
+			return true
+		}
+	}
+	return false
+}
+
+// crashEvents counts the crash and restart events that have fired by
+// elapsed time since network creation.
+func (f *Faults) crashEvents(elapsed time.Duration) (crashes, restarts int64) {
+	if f == nil {
+		return 0, 0
+	}
+	for i := range f.Crashes {
+		c := &f.Crashes[i]
+		if elapsed >= c.At {
+			crashes++
+		}
+		if c.Restart != 0 && elapsed >= c.Restart {
+			restarts++
+		}
+	}
+	return crashes, restarts
 }
 
 // partitioned reports whether a from→to message sent at elapsed time

@@ -72,13 +72,20 @@ type Stats struct {
 	Messages int64
 	Bytes    int64
 	// Dropped counts messages discarded by fault injection (drop
-	// probability or an active partition). Zero on a fault-free network.
+	// probability, an active partition, or a crashed endpoint). Zero on
+	// a fault-free network.
 	Dropped int64
 	// Duplicated counts extra copies injected by fault injection.
 	Duplicated int64
 	// Retransmitted counts frames resent by the Reliable layer.
 	Retransmitted int64
-	ByKind        map[string]KindStats
+	// Crashes and Restarts count scheduled crash/restart events that have
+	// fired on this transport. They are per-transport: a store that runs
+	// several networks under one crash schedule reports the same event
+	// once per transport when the stats are merged.
+	Crashes  int64
+	Restarts int64
+	ByKind   map[string]KindStats
 }
 
 // Merge adds other's counters into s.
@@ -88,6 +95,8 @@ func (s *Stats) Merge(other Stats) {
 	s.Dropped += other.Dropped
 	s.Duplicated += other.Duplicated
 	s.Retransmitted += other.Retransmitted
+	s.Crashes += other.Crashes
+	s.Restarts += other.Restarts
 	if len(other.ByKind) > 0 && s.ByKind == nil {
 		s.ByKind = make(map[string]KindStats)
 	}
@@ -160,6 +169,13 @@ func New(cfg Config) (*Network, error) {
 	if err := cfg.Faults.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		for i, c := range cfg.Faults.Crashes {
+			if c.Proc >= cfg.Procs {
+				return nil, fmt.Errorf("network: crash %d targets endpoint %d of %d", i, c.Proc, cfg.Procs)
+			}
+		}
+	}
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = 1024
 	}
@@ -198,6 +214,29 @@ func (n *Network) Send(from, to int, kind string, payload any, bytes int) error 
 	return nil
 }
 
+// resend retransmits a frame that the network already accepted from a
+// then-live sender. It differs from Send in one way: the sender's own
+// crash no longer drops the message. A frame handed to the network
+// before the crash is in the channel, and the reliable-channel model the
+// Section 5 protocols assume does not lose in-transit messages when
+// their sender later halts — making redelivery wait for the sender's
+// restart would let a pre-crash message resurface long after the
+// survivors excluded the sender, violating the failover timing
+// assumption. A crashed *receiver* still drops the frame (retried by the
+// reliable layer), as do partitions and random losses.
+func (n *Network) resend(from, to int, kind string, payload any, bytes int) error {
+	if from < 0 || from >= n.cfg.Procs || to < 0 || to >= n.cfg.Procs {
+		return fmt.Errorf("network: resend %d -> %d out of range", from, to)
+	}
+	n.closeMu.RLock()
+	defer n.closeMu.RUnlock()
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	n.sendFrom(from, to, kind, payload, bytes, true)
+	return nil
+}
+
 // Broadcast sends payload from one endpoint to every endpoint, including
 // the sender itself (the protocols deliver their own broadcasts too).
 //
@@ -225,12 +264,16 @@ func (n *Network) Broadcast(from int, kind string, payload any, bytes int) error
 // spawns its delivery. Callers must hold closeMu shared with closed
 // false, which makes the wg.Add safe against Close's wg.Wait.
 func (n *Network) send(from, to int, kind string, payload any, bytes int) {
+	n.sendFrom(from, to, kind, payload, bytes, false)
+}
+
+func (n *Network) sendFrom(from, to int, kind string, payload any, bytes int, inFlight bool) {
 	n.messages.Add(1)
 	n.bytes.Add(int64(bytes))
 	n.kindCounter(kind).add(bytes)
 
 	n.mu.Lock()
-	drop, dup, delay, dupDelay := n.faultPlanLocked(from, to)
+	drop, dup, delay, dupDelay := n.faultPlanLocked(from, to, inFlight)
 	var prev, done chan bool
 	if !drop && n.cfg.FIFO {
 		// Fault-dropped messages never enter the chain: FIFO guarantees
@@ -262,7 +305,10 @@ func (n *Network) send(from, to int, kind string, payload any, bytes int) {
 // faultPlanLocked draws the delay and fault fate of one message. The
 // caller holds n.mu (the rng is not concurrency-safe). Self-sends
 // (from == to) model process-local loopback and are exempt from faults.
-func (n *Network) faultPlanLocked(from, to int) (drop, dup bool, delay, dupDelay time.Duration) {
+// inFlight marks a retransmission of a frame the network accepted while
+// the sender was still up: the sender's current crash state no longer
+// applies to it (see resend).
+func (n *Network) faultPlanLocked(from, to int, inFlight bool) (drop, dup bool, delay, dupDelay time.Duration) {
 	delay = n.cfg.MinDelay
 	if span := n.cfg.MaxDelay - n.cfg.MinDelay; span > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(span)))
@@ -271,7 +317,11 @@ func (n *Network) faultPlanLocked(from, to int) (drop, dup bool, delay, dupDelay
 	if f == nil || from == to {
 		return false, false, delay, 0
 	}
-	if f.partitioned(from, to, time.Since(n.start)) {
+	elapsed := time.Since(n.start)
+	if (!inFlight && f.crashed(from, elapsed)) || f.crashed(to, elapsed) {
+		return true, false, 0, 0
+	}
+	if f.partitioned(from, to, elapsed) {
 		return true, false, 0, 0
 	}
 	if f.DropProb > 0 && n.rng.Float64() < f.DropProb {
@@ -329,6 +379,35 @@ func (n *Network) deliver(msg Message, delay time.Duration, prev, done chan bool
 // this channel together with their own shutdown signal.
 func (n *Network) Recv(p int) <-chan Message { return n.inboxes[p] }
 
+// Down reports whether endpoint p is currently crashed per the fault
+// schedule. Protocol layers use heartbeats, not this accessor, for
+// failure detection; it exists for recovery orchestration and tests.
+func (n *Network) Down(p int) bool {
+	if n.cfg.Faults == nil {
+		return false
+	}
+	return n.cfg.Faults.crashed(p, time.Since(n.start))
+}
+
+// unreachable reports whether the fault schedule deterministically drops
+// a from→to frame right now: the receiver is crashed, or the link
+// crosses an active partition. The reliable layer polls this instead of
+// sending (and instead of backing off) while it holds — a transport
+// facing a dead or severed peer gets fast-fail feedback, not congestion,
+// so deep backoff is wrong there. Keeping the backoff clock out of
+// outage windows bounds post-heal redelivery to about one RTO, which is
+// what keeps the failure detector's timing assumption (all of a crashed
+// process's pre-crash frames arrive well before suspicion matures)
+// valid even when an outage would otherwise burn the early attempts.
+func (n *Network) unreachable(from, to int) bool {
+	f := n.cfg.Faults
+	if f == nil || from == to {
+		return false
+	}
+	elapsed := time.Since(n.start)
+	return f.crashed(to, elapsed) || f.partitioned(from, to, elapsed)
+}
+
 // Stats snapshots the traffic counters.
 func (n *Network) Stats() Stats {
 	s := Stats{
@@ -338,6 +417,9 @@ func (n *Network) Stats() Stats {
 		Duplicated:    n.duplicated.Load(),
 		Retransmitted: n.retransmitted.Load(),
 		ByKind:        make(map[string]KindStats),
+	}
+	if n.cfg.Faults != nil {
+		s.Crashes, s.Restarts = n.cfg.Faults.crashEvents(time.Since(n.start))
 	}
 	n.mu.Lock()
 	for k, c := range n.kinds {

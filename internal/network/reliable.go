@@ -23,6 +23,9 @@ type Link interface {
 	Recv(p int) <-chan Message
 	Stats() Stats
 	Procs() int
+	// Down reports whether endpoint p is currently crashed per the fault
+	// schedule (always false without crash injection).
+	Down(p int) bool
 	Close()
 }
 
@@ -135,6 +138,10 @@ func NewReliable(net *Network, rto time.Duration) *Reliable {
 // Procs returns the number of endpoints.
 func (r *Reliable) Procs() int { return r.net.Procs() }
 
+// Down reports whether endpoint p is currently crashed per the fault
+// schedule of the underlying network.
+func (r *Reliable) Down(p int) bool { return r.net.Down(p) }
+
 // Send transmits payload with at-least-once retransmission underneath
 // and exactly-once, in-order delivery at the receiver. It returns once
 // the frame is scheduled (not once it is acknowledged); ErrClosed after
@@ -206,7 +213,36 @@ func (r *Reliable) retransmitLoop(from, to int, frame relFrame, acked chan struc
 		case <-r.stop:
 			return
 		case <-timer.C:
-			if r.net.Send(from, to, frame.Kind, frame, frame.Bytes+relHeaderB) != nil {
+			// Outage-aware retransmission: while the fault schedule makes
+			// the link deterministically dead — receiver down, or an
+			// active partition across it — the frame would be dropped
+			// anyway, so poll at the base RTO without sending or backing
+			// off. The peer then catches up within about one RTO of the
+			// outage ending instead of one backoff cap — modeling the
+			// fast-fail (connection refused / host unreachable) feedback a
+			// real transport gives. This is load-bearing for failure
+			// detection: if an outage burned the early attempts, the
+			// post-heal redelivery of the oldest frame — which gates every
+			// later frame on the link, heartbeats included — could land
+			// after a detection timeout and make live processes falsely
+			// suspect each other (or deliver past a crashed sender's
+			// pre-crash frames before they arrive, diverging the total
+			// order).
+			//
+			// A crashed *sender* does not pause retransmission: the frame
+			// was accepted by the network before the crash, and reliable
+			// channels do not lose in-transit messages when their sender
+			// halts. Holding such frames until the restart would deliver
+			// them long after the survivors suspected the sender and
+			// delivered past them — exactly the reordering the failover
+			// timing assumption rules out. Network.resend therefore skips
+			// the sender-side crash drop.
+			if r.net.unreachable(from, to) {
+				rto = r.rto
+				timer.Reset(rto)
+				continue
+			}
+			if r.net.resend(from, to, frame.Kind, frame, frame.Bytes+relHeaderB) != nil {
 				return
 			}
 			r.net.retransmitted.Add(1)
@@ -228,6 +264,16 @@ func (r *Reliable) dispatch(p int) {
 		case <-r.stop:
 			return
 		case m := <-r.net.Recv(p):
+			// A crashed endpoint neither acks nor processes traffic. The
+			// few in-flight frames that were sent just before the crash
+			// instant and land inside the down window are dropped here
+			// unacknowledged, so their retransmission loops redeliver them
+			// after restart — nothing is ever lost permanently to one
+			// endpoint, which is what keeps per-process delivery numbering
+			// aligned across a crash.
+			if r.net.Down(p) {
+				continue
+			}
 			switch f := m.Payload.(type) {
 			case relAck:
 				r.mu.Lock()

@@ -1,0 +1,266 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randStats generates an arbitrary Stats value for property testing.
+func randStats(r *rand.Rand) Stats {
+	s := Stats{
+		Messages:      r.Int63n(1 << 20),
+		Bytes:         r.Int63n(1 << 30),
+		Dropped:       r.Int63n(1 << 16),
+		Duplicated:    r.Int63n(1 << 16),
+		Retransmitted: r.Int63n(1 << 16),
+		Crashes:       r.Int63n(8),
+		Restarts:      r.Int63n(8),
+	}
+	if n := r.Intn(4); n > 0 {
+		s.ByKind = make(map[string]KindStats, n)
+		for i := 0; i < n; i++ {
+			kind := fmt.Sprintf("k%d", r.Intn(5))
+			s.ByKind[kind] = KindStats{Messages: r.Int63n(1 << 10), Bytes: r.Int63n(1 << 20)}
+		}
+	}
+	return s
+}
+
+// statsEqual compares all counters, treating nil and empty ByKind maps as
+// equal.
+func statsEqual(a, b Stats) bool {
+	if a.Messages != b.Messages || a.Bytes != b.Bytes ||
+		a.Dropped != b.Dropped || a.Duplicated != b.Duplicated ||
+		a.Retransmitted != b.Retransmitted ||
+		a.Crashes != b.Crashes || a.Restarts != b.Restarts {
+		return false
+	}
+	if len(a.ByKind) != len(b.ByKind) {
+		return false
+	}
+	for k, v := range a.ByKind {
+		if b.ByKind[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneStats(s Stats) Stats {
+	out := s
+	if s.ByKind != nil {
+		out.ByKind = make(map[string]KindStats, len(s.ByKind))
+		for k, v := range s.ByKind {
+			out.ByKind[k] = v
+		}
+	}
+	return out
+}
+
+// TestStatsMergeZeroIdentity: merging the zero Stats changes nothing, and
+// merging into the zero Stats reproduces the operand.
+func TestStatsMergeZeroIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		s := randStats(r)
+		left := cloneStats(s)
+		left.Merge(Stats{})
+		if !statsEqual(left, s) {
+			t.Fatalf("s.Merge(zero) changed s: %+v -> %+v", s, left)
+		}
+		var right Stats
+		right.Merge(s)
+		if !statsEqual(right, s) {
+			t.Fatalf("zero.Merge(s) = %+v, want %+v", right, s)
+		}
+	}
+}
+
+// TestStatsMergeCommutative: a.Merge(b) and b.Merge(a) agree on every
+// counter.
+func TestStatsMergeCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a, b := randStats(r), randStats(r)
+		ab := cloneStats(a)
+		ab.Merge(b)
+		ba := cloneStats(b)
+		ba.Merge(a)
+		if !statsEqual(ab, ba) {
+			t.Fatalf("merge not commutative:\n a=%+v\n b=%+v\nab=%+v\nba=%+v", a, b, ab, ba)
+		}
+	}
+}
+
+// TestStatsMergeSumsCounters: merging k snapshots sums every fault and
+// traffic counter, including the per-kind breakdown.
+func TestStatsMergeSumsCounters(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	check := func(n uint8) bool {
+		k := int(n%5) + 1
+		parts := make([]Stats, k)
+		var want Stats
+		for i := range parts {
+			parts[i] = randStats(r)
+			want.Messages += parts[i].Messages
+			want.Bytes += parts[i].Bytes
+			want.Dropped += parts[i].Dropped
+			want.Duplicated += parts[i].Duplicated
+			want.Retransmitted += parts[i].Retransmitted
+			want.Crashes += parts[i].Crashes
+			want.Restarts += parts[i].Restarts
+			for kind, ks := range parts[i].ByKind {
+				if want.ByKind == nil {
+					want.ByKind = make(map[string]KindStats)
+				}
+				agg := want.ByKind[kind]
+				agg.Messages += ks.Messages
+				agg.Bytes += ks.Bytes
+				want.ByKind[kind] = agg
+			}
+		}
+		var got Stats
+		for i := range parts {
+			got.Merge(parts[i])
+		}
+		return statsEqual(got, want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReliableRetransmitAccounting pins the counter algebra of the
+// reliable layer under injected drops: every application message is
+// delivered exactly once and in order, at least one drop forced a
+// retransmission, every send is attributed to exactly one kind, and the
+// total message count covers originals plus retransmissions.
+func TestReliableRetransmitAccounting(t *testing.T) {
+	link, err := NewLink(Config{
+		Procs:    2,
+		Seed:     11,
+		MaxDelay: 500 * time.Microsecond,
+		Faults:   &Faults{DropProb: 0.3, RTO: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	defer link.Close()
+
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := link.Send(0, 1, "data", i, 8); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	deadline := time.After(30 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case m := <-link.Recv(1):
+			if m.Payload.(int) != i {
+				t.Fatalf("delivery %d: payload %v (reorder or duplicate)", i, m.Payload)
+			}
+		case <-deadline:
+			t.Fatalf("timed out at delivery %d/%d: %+v", i, n, link.Stats())
+		}
+	}
+
+	st := link.Stats()
+	if st.Dropped == 0 {
+		t.Fatalf("no drops at 30%% drop probability: %+v", st)
+	}
+	if st.Retransmitted == 0 {
+		t.Fatalf("drops occurred but nothing was retransmitted: %+v", st)
+	}
+	// Every send is metered under exactly one kind.
+	var byKind int64
+	for _, ks := range st.ByKind {
+		byKind += ks.Messages
+	}
+	if byKind != st.Messages {
+		t.Fatalf("per-kind messages %d != total %d", byKind, st.Messages)
+	}
+	// Total sends = n original frames + retransmitted frames + acks.
+	acks := st.ByKind["rel.ack"].Messages
+	if st.Messages != int64(n)+st.Retransmitted+acks {
+		t.Fatalf("messages %d != %d originals + %d retransmits + %d acks",
+			st.Messages, n, st.Retransmitted, acks)
+	}
+	if st.Crashes != 0 || st.Restarts != 0 {
+		t.Fatalf("crash counters nonzero without a crash schedule: %+v", st)
+	}
+}
+
+// TestCrashWindowCutsTraffic pins the crash fault model at the network
+// level: during the down window every cross-endpoint message is dropped,
+// after restart traffic flows again, and the event counters report the
+// schedule.
+func TestCrashWindowCutsTraffic(t *testing.T) {
+	n, err := New(Config{
+		Procs: 2,
+		Seed:  13,
+		Faults: &Faults{Crashes: []Crash{
+			{Proc: 1, At: 0, Restart: 40 * time.Millisecond},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer n.Close()
+
+	if !n.Down(1) {
+		t.Fatal("endpoint 1 should be down at t=0")
+	}
+	if err := n.Send(0, 1, "k", "lost", 4); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case m := <-n.Recv(1):
+		t.Fatalf("delivery to a crashed endpoint: %+v", m)
+	case <-time.After(10 * time.Millisecond):
+	}
+	// Self-sends are exempt, as for every other fault.
+	if err := n.Send(1, 1, "k", "self", 4); err != nil {
+		t.Fatalf("self Send: %v", err)
+	}
+	select {
+	case m := <-n.Recv(1):
+		if m.Payload != "self" {
+			t.Fatalf("unexpected delivery %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("self-send to a crashed endpoint was dropped")
+	}
+
+	// After restart, traffic flows and both events are counted.
+	for n.Down(1) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := n.Send(0, 1, "k", "alive", 4); err != nil {
+		t.Fatalf("Send after restart: %v", err)
+	}
+	select {
+	case m := <-n.Recv(1):
+		if m.Payload != "alive" {
+			t.Fatalf("unexpected delivery %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery after restart")
+	}
+	st := n.Stats()
+	if st.Crashes != 1 || st.Restarts != 1 {
+		t.Fatalf("crash events = %d/%d, want 1/1", st.Crashes, st.Restarts)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("down-window send not counted as dropped: %+v", st)
+	}
+
+	reflectCheck := reflect.DeepEqual(st.ByKind["k"], KindStats{Messages: 3, Bytes: 12})
+	if !reflectCheck {
+		t.Fatalf("kind accounting = %+v", st.ByKind["k"])
+	}
+}

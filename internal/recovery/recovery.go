@@ -1,0 +1,253 @@
+// Package recovery implements checkpointed state transfer for
+// crash-recovery: a restarting process rejoins by fetching a version-
+// vector checkpoint — replica values, per-object version vector, and the
+// count of total-order updates applied — from a live peer, adopting the
+// freshest one offered, and then replaying the missed total-order
+// updates its broadcast layer redelivers (the protocol's delivery loop
+// skips updates at or below the checkpoint's applied count, so nothing
+// is applied twice).
+//
+// Correctness leans on the version-vector machinery of Section 5 of
+// Mittal & Garg (1998): a checkpoint with applied count K reflects
+// exactly the first K updates of the atomic-broadcast total order, so
+// adopting it is indistinguishable from having applied those K updates
+// locally — the per-object versions (P5.3) and the reads-from mapping
+// derived from them (D5.1) are identical. Recovery therefore preserves
+// the proof obligations the monitor checks across the crash boundary.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moc/internal/network"
+	"moc/internal/object"
+)
+
+// Checkpoint is one replica snapshot offered for adoption.
+type Checkpoint struct {
+	// Values are the replica's object values, indexed by object ID.
+	Values []object.Value
+	// TS is the replica's per-object version vector.
+	TS []int64
+	// Applied is how many total-order updates the snapshot reflects:
+	// exactly the first Applied deliveries of the broadcast order.
+	Applied int64
+}
+
+// State is the replica store the service checkpoints — implemented by
+// the m-SC and m-linearizability protocols.
+type State interface {
+	// Snapshot captures process proc's current checkpoint.
+	Snapshot(proc int) Checkpoint
+	// Adopt installs ck into process proc if it is strictly fresher than
+	// the local state (ck.Applied greater than the local applied count),
+	// reporting whether it was installed.
+	Adopt(proc int, ck Checkpoint) bool
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Procs is the number of processes.
+	Procs int
+	// Seed, MinDelay, MaxDelay parameterize the transfer network.
+	Seed               int64
+	MinDelay, MaxDelay time.Duration
+	// Faults should carry the same crash schedule as the protocol
+	// networks so a crashed peer cannot serve checkpoints.
+	Faults *network.Faults
+	// State is the replica store to checkpoint. Required.
+	State State
+}
+
+// xferReq asks a peer for its current checkpoint.
+type xferReq struct {
+	reqID int64
+}
+
+// xferResp carries the peer's checkpoint back.
+type xferResp struct {
+	reqID int64
+	ck    Checkpoint
+}
+
+// ckArrival pairs a response with its sender for freshest-peer choice.
+type ckArrival struct {
+	reqID int64
+	from  int
+	ck    Checkpoint
+}
+
+// ErrClosed is returned by Recover after Close.
+var ErrClosed = errors.New("recovery: closed")
+
+// Service answers and issues checkpoint transfers over its own network.
+// Create with New; always Close.
+type Service struct {
+	cfg     Config
+	net     network.Link
+	waiters []chan ckArrival
+	nextID  atomic.Int64
+	adopted atomic.Int64
+	stop    chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	recovMu []sync.Mutex // one Recover at a time per process
+}
+
+// New starts the transfer service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("recovery: invalid proc count %d", cfg.Procs)
+	}
+	if cfg.State == nil {
+		return nil, errors.New("recovery: state is required")
+	}
+	link, err := network.NewLink(network.Config{
+		Procs:    cfg.Procs,
+		Seed:     cfg.Seed,
+		MinDelay: cfg.MinDelay,
+		MaxDelay: cfg.MaxDelay,
+		Faults:   cfg.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:     cfg,
+		net:     link,
+		waiters: make([]chan ckArrival, cfg.Procs),
+		stop:    make(chan struct{}),
+		recovMu: make([]sync.Mutex, cfg.Procs),
+	}
+	for i := range s.waiters {
+		s.waiters[i] = make(chan ckArrival, cfg.Procs)
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		s.wg.Add(1)
+		go s.serve(p)
+	}
+	return s, nil
+}
+
+// serve answers transfer requests at endpoint p and routes responses to
+// a waiting Recover call.
+func (s *Service) serve(p int) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case msg := <-s.net.Recv(p):
+			switch m := msg.Payload.(type) {
+			case xferReq:
+				ck := s.cfg.State.Snapshot(p)
+				bytes := 16 + 16*len(ck.Values)
+				_ = s.net.Send(p, msg.From, "recov.ck", xferResp{reqID: m.reqID, ck: ck}, bytes)
+			case xferResp:
+				select {
+				case s.waiters[p] <- ckArrival{reqID: m.reqID, from: msg.From, ck: m.ck}:
+				default: // stale response for a finished Recover
+				}
+			}
+		}
+	}
+}
+
+// Recover runs one state transfer for a restarted process: it asks every
+// live peer for a checkpoint, waits up to timeout for responses
+// (finishing early once all solicited peers answer), and adopts the
+// freshest checkpoint received if it is fresher than the local state.
+// It reports whether a checkpoint was adopted; reaching no peer within
+// the timeout is an error. The caller must ensure no operation is in
+// flight at proc (the store serializes this under the process mutex).
+func (s *Service) Recover(proc int, timeout time.Duration) (bool, error) {
+	if proc < 0 || proc >= s.cfg.Procs {
+		return false, fmt.Errorf("recovery: invalid process %d", proc)
+	}
+	if s.closed.Load() {
+		return false, ErrClosed
+	}
+	s.recovMu[proc].Lock()
+	defer s.recovMu[proc].Unlock()
+
+	reqID := s.nextID.Add(1)
+	// Drain stale arrivals from any previous recovery.
+	for {
+		select {
+		case <-s.waiters[proc]:
+			continue
+		default:
+		}
+		break
+	}
+	asked := 0
+	for q := 0; q < s.cfg.Procs; q++ {
+		if q == proc || s.net.Down(q) {
+			continue
+		}
+		if err := s.net.Send(proc, q, "recov.req", xferReq{reqID: reqID}, 16); err != nil {
+			return false, err
+		}
+		asked++
+	}
+	if asked == 0 {
+		return false, errors.New("recovery: no live peer to recover from")
+	}
+
+	var best *Checkpoint
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	got := 0
+collect:
+	for got < asked {
+		select {
+		case arr := <-s.waiters[proc]:
+			if arr.reqID != reqID {
+				continue
+			}
+			got++
+			if best == nil || arr.ck.Applied > best.Applied {
+				ck := arr.ck
+				best = &ck
+			}
+		case <-deadline.C:
+			break collect
+		case <-s.stop:
+			return false, ErrClosed
+		}
+	}
+	if best == nil {
+		return false, fmt.Errorf("recovery: no checkpoint received within %v", timeout)
+	}
+	if !s.cfg.State.Adopt(proc, *best) {
+		return false, nil // local state already as fresh (short outage)
+	}
+	s.adopted.Add(1)
+	return true, nil
+}
+
+// Up reports whether proc is currently up on the transfer network. A
+// Recover issued while the transfer network still counts proc as
+// crashed loses every request and response silently, so callers acting
+// on a restart schedule should wait for Up before recovering.
+func (s *Service) Up(proc int) bool { return !s.net.Down(proc) }
+
+// Adopted reports how many checkpoints have been installed.
+func (s *Service) Adopted() int64 { return s.adopted.Load() }
+
+// Traffic returns the transfer network's counters.
+func (s *Service) Traffic() network.Stats { return s.net.Stats() }
+
+// Close shuts the service down.
+func (s *Service) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.stop)
+	s.net.Close()
+	s.wg.Wait()
+}
