@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	moccheck [-condition mlin|msc|mnormal] [-budget N] history.json
+//	moccheck [-condition mlin|msc|mnormal|mcausal] [-budget N] history.json
 //	mocsim -json ... | moccheck -condition mlin -
 //
-// Exit status: 0 if the history satisfies the condition, 1 if not,
-// 2 on errors.
+// Exit status:
+//
+//	0  the history satisfies the condition
+//	1  the history violates the condition (a counterexample summary —
+//	   the per-process m-operations no interleaving of which is legal —
+//	   is printed to stdout)
+//	2  usage, flag, I/O or parse error (reported on stderr)
 package main
 
 import (
@@ -17,35 +22,46 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"moc/internal/checker"
 	"moc/internal/history"
 )
 
 func main() {
-	code, err := run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "moccheck:", err)
-	}
-	os.Exit(code)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run() (int, error) {
+// run is the whole program with its streams and exit code explicit, so
+// tests can drive every exit path in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("moccheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		condition = flag.String("condition", "mlin", `condition: "msc", "mlin", "mnormal" or "mcausal"`)
-		budget    = flag.Int("budget", 0, "search node budget (0 = unlimited)")
+		condition = fs.String("condition", "mlin", `condition: "msc", "mlin", "mnormal" or "mcausal"`)
+		budget    = fs.Int("budget", 0, "search node budget (0 = unlimited)")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		return 2, fmt.Errorf("usage: moccheck [-condition mlin|msc|mnormal] <history.json | ->")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	code, err := check(fs, *condition, *budget, stdin, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "moccheck:", err)
+	}
+	return code
+}
+
+func check(fs *flag.FlagSet, condition string, budget int, stdin io.Reader, stdout io.Writer) (int, error) {
+	if fs.NArg() != 1 {
+		return 2, fmt.Errorf("usage: moccheck [-condition mlin|msc|mnormal|mcausal] <history.json | ->")
 	}
 
 	var data []byte
 	var err error
-	if flag.Arg(0) == "-" {
-		data, err = io.ReadAll(os.Stdin)
+	if fs.Arg(0) == "-" {
+		data, err = io.ReadAll(stdin)
 	} else {
-		data, err = os.ReadFile(flag.Arg(0))
+		data, err = os.ReadFile(fs.Arg(0))
 	}
 	if err != nil {
 		return 2, err
@@ -56,23 +72,24 @@ func run() (int, error) {
 		return 2, err
 	}
 
-	if *condition == "mcausal" {
+	if condition == "mcausal" {
 		res, err := checker.MCausallyConsistent(h)
 		if err != nil {
 			return 2, err
 		}
-		fmt.Printf("m-operations: %d (plus the initial one)\n", h.Len()-1)
-		fmt.Println("condition: mcausal")
+		fmt.Fprintf(stdout, "m-operations: %d (plus the initial one)\n", h.Len()-1)
+		fmt.Fprintln(stdout, "condition: mcausal")
 		if res.Consistent {
-			fmt.Println("RESULT: satisfied (every process view has a legal serialization)")
+			fmt.Fprintln(stdout, "RESULT: satisfied (every process view has a legal serialization)")
 			return 0, nil
 		}
-		fmt.Printf("RESULT: violated (process P%d's view has no legal serialization)\n", res.BadProc)
+		fmt.Fprintf(stdout, "RESULT: violated (process P%d's view has no legal serialization)\n", res.BadProc)
+		counterexample(stdout, h)
 		return 1, nil
 	}
 
 	var base history.BaseRelation
-	switch *condition {
+	switch condition {
 	case "msc":
 		base = history.MSequentialBase
 	case "mlin":
@@ -80,20 +97,48 @@ func run() (int, error) {
 	case "mnormal":
 		base = history.MNormalBase
 	default:
-		return 2, fmt.Errorf("unknown condition %q", *condition)
+		return 2, fmt.Errorf("unknown condition %q", condition)
 	}
 
-	res, err := checker.Decide(h, base, &checker.Options{MaxNodes: *budget})
+	res, err := checker.Decide(h, base, &checker.Options{MaxNodes: budget})
 	if err != nil {
 		return 2, err
 	}
-	fmt.Printf("m-operations: %d (plus the initial one)\n", h.Len()-1)
-	fmt.Printf("condition: %s\n", *condition)
-	fmt.Printf("search nodes: %d (memo hits %d)\n", res.Stats.Nodes, res.Stats.MemoHits)
+	fmt.Fprintf(stdout, "m-operations: %d (plus the initial one)\n", h.Len()-1)
+	fmt.Fprintf(stdout, "condition: %s\n", condition)
+	fmt.Fprintf(stdout, "search nodes: %d (memo hits %d)\n", res.Stats.Nodes, res.Stats.MemoHits)
 	if res.Admissible {
-		fmt.Printf("RESULT: satisfied\nwitness: %s\n", res.Witness)
+		fmt.Fprintf(stdout, "RESULT: satisfied\nwitness: %s\n", res.Witness)
 		return 0, nil
 	}
-	fmt.Println("RESULT: violated (no legal sequential extension exists)")
+	fmt.Fprintln(stdout, "RESULT: violated (no legal sequential extension exists)")
+	counterexample(stdout, h)
 	return 1, nil
+}
+
+// counterexample prints the violating history itself, per process: the
+// exact decider exhausted every interleaving consistent with the base
+// relation, so the whole history is the counterexample. Capped per
+// process to stay readable on large inputs.
+func counterexample(w io.Writer, h *history.History) {
+	const perProc = 8
+	fmt.Fprintln(w, "counterexample (no interleaving of these per-process m-operations is legal):")
+	for _, p := range h.Procs() {
+		ids := h.ProcOps(p)
+		var parts []string
+		for _, id := range ids {
+			if id == history.InitID {
+				continue
+			}
+			parts = append(parts, h.MOp(id).String())
+			if len(parts) == perProc && len(ids) > perProc {
+				parts = append(parts, fmt.Sprintf("... (%d more)", len(ids)-perProc))
+				break
+			}
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  P%d: %s\n", p, strings.Join(parts, " ; "))
+	}
 }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"moc/internal/history"
+	"moc/internal/object"
+)
+
+// writeHistory marshals h to a temp file and returns its path.
+func writeHistory(t *testing.T, h *history.History) string {
+	t.Helper()
+	data, err := h.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "history.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// satisfiedHistory is m-linearizable: a write completes, then a read
+// observes it.
+func satisfiedHistory(t *testing.T) *history.History {
+	t.Helper()
+	reg, err := object.NewRegistry([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := history.NewBuilder(reg)
+	b.Add(0, 0, 10, history.W(0, 1))
+	b.Add(1, 20, 30, history.R(0, 1))
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// violatedHistory is not m-linearizable: after w(x)2 completes in real
+// time, a later read still observes the overwritten value 1.
+func violatedHistory(t *testing.T) *history.History {
+	t.Helper()
+	reg, err := object.NewRegistry([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := history.NewBuilder(reg)
+	b.Add(0, 0, 10, history.W(0, 1))
+	b.Add(0, 20, 30, history.W(0, 2))
+	b.Add(1, 40, 50, history.R(0, 1))
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func runCheck(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(""), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitSatisfied(t *testing.T) {
+	path := writeHistory(t, satisfiedHistory(t))
+	code, out, _ := runCheck(t, "-condition", "mlin", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "RESULT: satisfied") || !strings.Contains(out, "witness:") {
+		t.Errorf("missing satisfied verdict/witness:\n%s", out)
+	}
+}
+
+func TestExitViolated(t *testing.T) {
+	path := writeHistory(t, violatedHistory(t))
+	code, out, _ := runCheck(t, "-condition", "mlin", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "RESULT: violated") {
+		t.Errorf("missing violated verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "counterexample") || !strings.Contains(out, "P0:") || !strings.Contains(out, "P1:") {
+		t.Errorf("missing counterexample summary:\n%s", out)
+	}
+	// The same history is m-sequentially consistent (real time ignored).
+	code, out, _ = runCheck(t, "-condition", "msc", path)
+	if code != 0 {
+		t.Fatalf("msc exit = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestExitUsageAndParseErrors(t *testing.T) {
+	good := writeHistory(t, satisfiedHistory(t))
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"two files", []string{good, good}},
+		{"unknown flag", []string{"-nope", good}},
+		{"unknown condition", []string{"-condition", "bogus", good}},
+		{"missing file", []string{filepath.Join(t.TempDir(), "absent.json")}},
+		{"parse error", []string{bad}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := runCheck(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2; stdout:\n%s\nstderr:\n%s", code, out, errOut)
+			}
+			if errOut == "" {
+				t.Error("expected a diagnostic on stderr")
+			}
+		})
+	}
+}
+
+func TestStdinDash(t *testing.T) {
+	data, err := satisfiedHistory(t).MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-condition", "msc", "-"}, bytes.NewReader(data), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+}

@@ -1,0 +1,147 @@
+// Command mocd hosts one process of a multi-object store cluster: it
+// joins the peer transport mesh (internal/transport), runs a full
+// replica of the Section 5 protocol stack (core.Store over real TCP),
+// and serves the client RPC front-end (internal/mocrpc) through which
+// load generators issue m-operations at this process, dump the recorded
+// history, and shut the daemon down.
+//
+// A 3-node cluster on loopback:
+//
+//	mocd -id 0 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7200 &
+//	mocd -id 1 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7201 &
+//	mocd -id 2 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7202 &
+//
+// Every daemon must be started with the same -peers, -objects,
+// -consistency, -broadcast and -epoch values; -id selects which peer
+// slot (and which protocol process) this daemon is.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"moc/internal/core"
+	"moc/internal/mocrpc"
+	"moc/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mocd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id          = flag.Int("id", -1, "this daemon's index into -peers (required)")
+		peers       = flag.String("peers", "", "comma-separated peer transport addresses, one per daemon (required)")
+		client      = flag.String("client", "", "client RPC listen address (required)")
+		objects     = flag.String("objects", "x,y,z", "comma-separated shared object names")
+		consistency = flag.String("consistency", "mlin", `consistency condition: "msc" or "mlin"`)
+		broadcast   = flag.String("broadcast", "seq", `atomic broadcast: "seq", "lamport" or "token"`)
+		epoch       = flag.Int64("epoch", 0, "shared clock epoch, unix nanoseconds (0 = daemon start; share one value across the cluster so merged traces are real-time comparable)")
+	)
+	flag.Parse()
+
+	addrs := splitList(*peers)
+	if len(addrs) == 0 {
+		return fmt.Errorf("-peers is required")
+	}
+	if *id < 0 || *id >= len(addrs) {
+		return fmt.Errorf("-id %d out of range for %d peers", *id, len(addrs))
+	}
+	if *client == "" {
+		return fmt.Errorf("-client is required")
+	}
+	names := splitList(*objects)
+	if len(names) == 0 {
+		return fmt.Errorf("-objects is required")
+	}
+
+	var cons core.Consistency
+	switch *consistency {
+	case "msc":
+		cons = core.MSequential
+	case "mlin":
+		cons = core.MLinearizable
+	default:
+		return fmt.Errorf(`unknown -consistency %q (want "msc" or "mlin")`, *consistency)
+	}
+	var bcast core.BroadcastKind
+	switch *broadcast {
+	case "seq":
+		bcast = core.SequencerBroadcast
+	case "lamport":
+		bcast = core.LamportBroadcast
+	case "token":
+		bcast = core.TokenBroadcast
+	default:
+		return fmt.Errorf(`unknown -broadcast %q (want "seq", "lamport" or "token")`, *broadcast)
+	}
+	var epochTime time.Time
+	if *epoch != 0 {
+		epochTime = time.Unix(0, *epoch)
+	}
+
+	node, err := transport.Listen(transport.Config{Self: *id, Addrs: addrs})
+	if err != nil {
+		return err
+	}
+	store, err := core.New(core.Config{
+		Procs:       len(addrs),
+		Objects:     names,
+		Consistency: cons,
+		Broadcast:   bcast,
+		Links:       node.Factory(),
+		Epoch:       epochTime,
+	})
+	if err != nil {
+		node.Close()
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *client)
+	if err != nil {
+		store.Close()
+		node.Close()
+		return err
+	}
+
+	done := make(chan struct{})
+	rpc := mocrpc.Serve(ln, store, *id, func() { close(done) })
+	fmt.Printf("mocd: node %d of %d up; transport %s, rpc %s, %s over %s broadcast\n",
+		*id, len(addrs), node.Addr(), rpc.Addr(), cons, *broadcast)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-done:
+	case sig := <-sigs:
+		fmt.Printf("mocd: node %d: %v\n", *id, sig)
+	}
+
+	// Ordered teardown: stop taking client requests, then the protocol
+	// stack, then the transport mesh under it.
+	rpc.Close()
+	store.Close()
+	node.Close()
+	fmt.Printf("mocd: node %d down\n", *id)
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

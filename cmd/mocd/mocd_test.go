@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"moc/internal/checker"
+	"moc/internal/history"
+	"moc/internal/mocrpc"
+)
+
+// buildBinaries compiles mocd and mocload once per test run.
+var buildBinaries = sync.OnceValues(func() (map[string]string, error) {
+	dir, err := os.MkdirTemp("", "mocd-it")
+	if err != nil {
+		return nil, err
+	}
+	bins := make(map[string]string)
+	for _, name := range []string{"mocd", "mocload"} {
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "moc/cmd/"+name).CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+	return bins, nil
+})
+
+// freeAddrs reserves n loopback ports and returns their addresses. The
+// listeners are closed before the daemons start, so a parallel process
+// could in principle steal a port — acceptable for a loopback test.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestClusterLoopback is the end-to-end acceptance test: n mocd
+// daemons — separate OS processes — on loopback TCP, driven by the
+// mocload binary with a mixed workload; the merged history mocload
+// dumps must be accepted by the unchanged exact checkers. Runs under
+// -short (it is part of the quick suite): the op counts are kept small
+// so the NP-hard exact deciders stay fast.
+func TestClusterLoopback(t *testing.T) {
+	bins, err := buildBinaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name        string
+		consistency string
+		broadcast   string
+		check       func(*history.History) (bool, error)
+	}{
+		// The token broadcast exercises the transport's replicated-
+		// construction drop rule: only node 0's initial token injection
+		// may reach the wire.
+		{"msc-token", "msc", "token", func(h *history.History) (bool, error) {
+			res, err := checker.MSequentiallyConsistent(h)
+			if err != nil {
+				return false, err
+			}
+			return res.Admissible, nil
+		}},
+		{"mlin-seq", "mlin", "seq", func(h *history.History) (bool, error) {
+			res, err := checker.MLinearizable(h)
+			if err != nil {
+				return false, err
+			}
+			return res.Admissible, nil
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 3
+			peerAddrs := freeAddrs(t, n)
+			clientAddrs := freeAddrs(t, n)
+			peers := peerAddrs[0]
+			clients := clientAddrs[0]
+			for i := 1; i < n; i++ {
+				peers += "," + peerAddrs[i]
+				clients += "," + clientAddrs[i]
+			}
+			epoch := fmt.Sprint(time.Now().UnixNano())
+
+			daemons := make([]*exec.Cmd, n)
+			logs := make([]*bytes.Buffer, n)
+			for i := 0; i < n; i++ {
+				logs[i] = &bytes.Buffer{}
+				cmd := exec.Command(bins["mocd"],
+					"-id", fmt.Sprint(i), "-peers", peers, "-client", clientAddrs[i],
+					"-consistency", tc.consistency, "-broadcast", tc.broadcast,
+					"-objects", "a,b,c,d", "-epoch", epoch)
+				cmd.Stdout, cmd.Stderr = logs[i], logs[i]
+				if err := cmd.Start(); err != nil {
+					t.Fatal(err)
+				}
+				daemons[i] = cmd
+			}
+			dumpLogs := func() {
+				for i, buf := range logs {
+					t.Logf("daemon %d output:\n%s", i, buf.String())
+				}
+			}
+			defer func() {
+				// Belt and braces: make sure no daemon outlives the test.
+				for _, cmd := range daemons {
+					if cmd.ProcessState == nil {
+						cmd.Process.Kill()
+						cmd.Wait()
+					}
+				}
+			}()
+
+			histPath := filepath.Join(t.TempDir(), "history.json")
+			load := exec.Command(bins["mocload"],
+				"-nodes", clients, "-objects", "a,b,c,d",
+				"-ops", "6", "-readfrac", "0.5", "-span", "2", "-seed", "11",
+				"-out", histPath)
+			out, err := load.CombinedOutput()
+			t.Logf("mocload output:\n%s", out)
+			if err != nil {
+				dumpLogs()
+				t.Fatalf("mocload: %v", err)
+			}
+
+			// Orderly shutdown via RPC, then wait for clean exits.
+			for i := 0; i < n; i++ {
+				c, err := mocrpc.Dial(clientAddrs[i], 5*time.Second)
+				if err != nil {
+					dumpLogs()
+					t.Fatalf("dial daemon %d for shutdown: %v", i, err)
+				}
+				if err := c.Shutdown(); err != nil {
+					t.Errorf("shutdown daemon %d: %v", i, err)
+				}
+				c.Close()
+			}
+			for i, cmd := range daemons {
+				if err := cmd.Wait(); err != nil {
+					dumpLogs()
+					t.Fatalf("daemon %d exited uncleanly: %v", i, err)
+				}
+			}
+
+			blob, err := os.ReadFile(histPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := history.DecodeJSON(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := h.Len()-1, n*6; got != want {
+				t.Fatalf("merged history has %d m-operations, want %d", got, want)
+			}
+			ok, err := tc.check(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				dumpLogs()
+				t.Fatalf("merged %s history over real TCP rejected by the exact checker", tc.consistency)
+			}
+		})
+	}
+}

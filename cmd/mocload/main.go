@@ -1,0 +1,204 @@
+// Command mocload drives a mocd cluster with a seeded closed-loop
+// workload: one client per daemon issues that daemon's planned
+// m-operations back-to-back (queries as multireads, updates as
+// multi-assignments — the same mixes internal/workload plans for the
+// in-process benchmarks), then reports per-class latency percentiles
+// and overall throughput. With -out it additionally dumps every
+// daemon's recorded trace, merges them into one execution history, and
+// writes it as moccheck-compatible JSON — so a real multi-process run
+// can be verified by the exact checkers:
+//
+//	mocload -nodes 127.0.0.1:7200,127.0.0.1:7201,127.0.0.1:7202 \
+//	        -ops 20 -readfrac 0.5 -out history.json
+//	moccheck -condition mlin history.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"moc/internal/core"
+	"moc/internal/mocrpc"
+	"moc/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mocload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		nodes    = flag.String("nodes", "", "comma-separated daemon client RPC addresses (required)")
+		objects  = flag.String("objects", "x,y,z", "shared object names; must match the daemons' -objects")
+		ops      = flag.Int("ops", 20, "m-operations per daemon")
+		readFrac = flag.Float64("readfrac", 0.5, "fraction of queries in the mix")
+		span     = flag.Int("span", 2, "objects touched per m-operation")
+		seed     = flag.Int64("seed", 42, "workload plan seed")
+		out      = flag.String("out", "", "write the merged execution history (moccheck JSON) here")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-daemon dial timeout")
+	)
+	flag.Parse()
+
+	addrs := splitList(*nodes)
+	if len(addrs) == 0 {
+		return fmt.Errorf("-nodes is required")
+	}
+	names := splitList(*objects)
+	if len(names) == 0 {
+		return fmt.Errorf("-objects is required")
+	}
+
+	clients := make([]*mocrpc.Client, len(addrs))
+	for i, addr := range addrs {
+		c, err := mocrpc.Dial(addr, *timeout)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if err := c.Ping(); err != nil {
+			return fmt.Errorf("node %d (%s): %w", i, addr, err)
+		}
+		clients[i] = c
+	}
+
+	mix := workload.Mix{ReadFrac: *readFrac, Span: *span, OpsPerProc: *ops}
+	plans := mix.Plan(len(addrs), len(names), rand.New(rand.NewSource(*seed)))
+
+	var (
+		mu             sync.Mutex
+		queryNs, updNs []int64
+		wg             sync.WaitGroup
+		errs           = make(chan error, len(addrs))
+		start          = time.Now()
+	)
+	for i := range clients {
+		wg.Add(1)
+		go func(c *mocrpc.Client, plan []workload.Op) {
+			defer wg.Done()
+			for _, op := range plan {
+				objs := make([]string, len(op.Objs))
+				for j, x := range op.Objs {
+					objs[j] = names[x]
+				}
+				var vals []int64
+				kind := "multiread"
+				if !op.Query {
+					kind = "massign"
+					vals = make([]int64, len(op.Vals))
+					for j, v := range op.Vals {
+						vals[j] = int64(v)
+					}
+				}
+				t0 := time.Now()
+				if _, err := c.Exec(kind, objs, vals); err != nil {
+					errs <- err
+					return
+				}
+				ns := time.Since(t0).Nanoseconds()
+				mu.Lock()
+				if op.Query {
+					queryNs = append(queryNs, ns)
+				} else {
+					updNs = append(updNs, ns)
+				}
+				mu.Unlock()
+			}
+		}(clients[i], plans[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+
+	total := len(queryNs) + len(updNs)
+	fmt.Printf("%d m-operations across %d nodes in %v (%.0f ops/s)\n",
+		total, len(addrs), elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	report("query ", queryNs)
+	report("update", updNs)
+
+	if *out == "" {
+		return nil
+	}
+
+	// Merge every daemon's trace into one history and write it in the
+	// moccheck interchange format.
+	traces := make([]core.Trace, len(clients))
+	for i, c := range clients {
+		tr, err := c.Dump()
+		if err != nil {
+			return fmt.Errorf("node %d dump: %w", i, err)
+		}
+		traces[i] = tr
+	}
+	recs, reg, cons, err := core.MergeTraces(traces...)
+	if err != nil {
+		return err
+	}
+	h, _, err := core.BuildHistory(reg, recs)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("merged history: %d m-operations (%s) -> %s\n", total, cons, *out)
+	return nil
+}
+
+// report prints count, mean and latency percentiles for one op class.
+func report(label string, ns []int64) {
+	if len(ns) == 0 {
+		fmt.Printf("%s: none\n", label)
+		return
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(q float64) time.Duration {
+		idx := int(q*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return time.Duration(sorted[idx])
+	}
+	fmt.Printf("%s: n=%d mean=%v p50=%v p90=%v p99=%v\n",
+		label, len(sorted),
+		time.Duration(sum/int64(len(sorted))).Round(time.Microsecond),
+		pct(0.50).Round(time.Microsecond),
+		pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -33,24 +33,27 @@ type Lamport struct {
 
 var _ Broadcaster = (*Lamport)(nil)
 
+// Wire payloads carry exported fields so a serializing transport can
+// marshal them (see internal/transport's codec).
+
 type lamportSubmit struct {
-	payload any
-	bytes   int
+	Payload any
+	Bytes   int
 }
 
 type lamportData struct {
-	ts      int64
-	from    int
-	payload any
-	bytes   int
+	TS      int64
+	From    int
+	Payload any
+	Bytes   int
 }
 
 type lamportAck struct {
-	ts   int64
-	from int
-	// heard[q] is the sender's lastHeard[q] at send time — gossip that
+	TS   int64
+	From int
+	// Heard[q] is the sender's lastHeard[q] at send time — gossip that
 	// makes quorum exclusion of a suspect safe; see flush in runMember.
-	heard []int64
+	Heard []int64
 }
 
 // LamportConfig parameterizes NewLamport.
@@ -71,6 +74,10 @@ type LamportConfig struct {
 	// partitioned or freshly-restarted minority diverging on its own.
 	// Nil keeps the full-quorum crash-free behavior.
 	FD *FDConfig
+	// Links optionally supplies the transport (channel name "abcast");
+	// nil uses the simulated network stack. The transport must provide
+	// per-link FIFO ordering, as TCP connections do.
+	Links network.Factory
 }
 
 // NewLamport starts a Lamport-clock atomic broadcast group.
@@ -78,7 +85,7 @@ func NewLamport(cfg LamportConfig) (*Lamport, error) {
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("abcast: invalid proc count %d", cfg.Procs)
 	}
-	net, err := network.NewLink(network.Config{
+	net, err := cfg.Links.Build("abcast", network.Config{
 		Procs:    cfg.Procs,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
@@ -120,7 +127,7 @@ func (l *Lamport) Broadcast(from int, payload any, bytes int) error {
 	if from < 0 || from >= l.n {
 		return fmt.Errorf("abcast: broadcast from invalid process %d", from)
 	}
-	return l.net.Send(from, from, "abcast.submit", lamportSubmit{payload: payload, bytes: bytes}, 0)
+	return l.net.Send(from, from, "abcast.submit", lamportSubmit{Payload: payload, Bytes: bytes}, 0)
 }
 
 // Deliveries implements Broadcaster.
@@ -152,19 +159,19 @@ func (l *Lamport) Close() {
 
 // lamportItem orders queue entries by (timestamp, sender).
 type lamportItem struct {
-	ts      int64
-	from    int
-	payload any
+	TS      int64
+	From    int
+	Payload any
 }
 
 type lamportQueue []lamportItem
 
 func (q lamportQueue) Len() int { return len(q) }
 func (q lamportQueue) Less(i, j int) bool {
-	if q[i].ts != q[j].ts {
-		return q[i].ts < q[j].ts
+	if q[i].TS != q[j].TS {
+		return q[i].TS < q[j].TS
 	}
-	return q[i].from < q[j].from
+	return q[i].From < q[j].From
 }
 func (q lamportQueue) Swap(i, j int)     { q[i], q[j] = q[j], q[i] }
 func (q *lamportQueue) Push(x any)       { *q = append(*q, x.(lamportItem)) }
@@ -284,12 +291,12 @@ func (l *Lamport) runMember(p int) {
 	// sendHB broadcasts a heartbeat (a Lamport null message) at the
 	// current clock. False means the transport closed.
 	sendHB := func() bool {
-		hb := lamportAck{ts: clock, from: p, heard: gossip()}
+		hb := lamportAck{TS: clock, From: p, Heard: gossip()}
 		for q := 0; q < l.n; q++ {
 			if q == p {
 				continue
 			}
-			if l.net.Send(p, q, "abcast.hb", hb, l.headerB+8*len(hb.heard)) != nil {
+			if l.net.Send(p, q, "abcast.hb", hb, l.headerB+8*len(hb.Heard)) != nil {
 				return false
 			}
 		}
@@ -302,8 +309,8 @@ func (l *Lamport) runMember(p int) {
 	// data message and deliver a competing message first).
 	submit := func(m lamportSubmit) bool {
 		clock++
-		data := lamportData{ts: clock, from: p, payload: m.payload, bytes: m.bytes}
-		heap.Push(&queue, lamportItem{ts: data.ts, from: p, payload: data.payload})
+		data := lamportData{TS: clock, From: p, Payload: m.Payload, Bytes: m.Bytes}
+		heap.Push(&queue, lamportItem{TS: data.TS, From: p, Payload: data.Payload})
 		if lastHeard[p] < clock {
 			lastHeard[p] = clock
 		}
@@ -311,7 +318,7 @@ func (l *Lamport) runMember(p int) {
 			if q == p {
 				continue
 			}
-			if l.net.Send(p, q, "abcast.data", data, m.bytes+l.headerB) != nil {
+			if l.net.Send(p, q, "abcast.data", data, m.Bytes+l.headerB) != nil {
 				return false
 			}
 		}
@@ -354,16 +361,16 @@ func (l *Lamport) runMember(p int) {
 			head := queue.head()
 			stable := true
 			for q := 0; q < l.n; q++ {
-				if q == head.from {
+				if q == head.From {
 					continue // the sender's own data message is in hand
 				}
 				if excluded(q) && !heardBeyond(q) {
 					continue // suspected crashed: drop from the ack quorum
 				}
-				// (lastHeard[q], q) must exceed (head.ts, head.from)
+				// (lastHeard[q], q) must exceed (head.TS, head.From)
 				// lexicographically: with FIFO links q can then never be
 				// heard with a smaller timestamp again.
-				if lastHeard[q] < head.ts || (lastHeard[q] == head.ts && q < head.from) {
+				if lastHeard[q] < head.TS || (lastHeard[q] == head.TS && q < head.From) {
 					stable = false
 					break
 				}
@@ -372,7 +379,7 @@ func (l *Lamport) runMember(p int) {
 				return true
 			}
 			it := heap.Pop(&queue).(lamportItem)
-			d := Delivery{Seq: delivered, From: it.from, Payload: it.payload}
+			d := Delivery{Seq: delivered, From: it.From, Payload: it.Payload}
 			delivered++
 			select {
 			case l.outs[p] <- d:
@@ -452,23 +459,23 @@ func (l *Lamport) runMember(p int) {
 					return
 				}
 			case lamportData:
-				if m.ts > clock {
-					clock = m.ts
+				if m.TS > clock {
+					clock = m.TS
 				}
 				clock++
-				heap.Push(&queue, lamportItem{ts: m.ts, from: m.from, payload: m.payload})
-				if lastHeard[m.from] < m.ts {
-					lastHeard[m.from] = m.ts
+				heap.Push(&queue, lamportItem{TS: m.TS, From: m.From, Payload: m.Payload})
+				if lastHeard[m.From] < m.TS {
+					lastHeard[m.From] = m.TS
 				}
 				if lastHeard[p] < clock {
 					lastHeard[p] = clock
 				}
-				ack := lamportAck{ts: clock, from: p, heard: gossip()}
+				ack := lamportAck{TS: clock, From: p, Heard: gossip()}
 				for q := 0; q < l.n; q++ {
 					if q == p {
 						continue
 					}
-					if err := l.net.Send(p, q, "abcast.ack", ack, l.headerB+8*len(ack.heard)); err != nil {
+					if err := l.net.Send(p, q, "abcast.ack", ack, l.headerB+8*len(ack.Heard)); err != nil {
 						return
 					}
 				}
@@ -476,20 +483,20 @@ func (l *Lamport) runMember(p int) {
 					return
 				}
 			case lamportAck:
-				if m.ts > clock {
-					clock = m.ts
+				if m.TS > clock {
+					clock = m.TS
 				}
 				clock++
-				if lastHeard[m.from] < m.ts {
-					lastHeard[m.from] = m.ts
+				if lastHeard[m.From] < m.TS {
+					lastHeard[m.From] = m.TS
 				}
-				mergeGossip(m.from, m.heard)
+				mergeGossip(m.From, m.Heard)
 				if rejoining {
 					// heard[p] >= rejoinMark proves the peer received a
 					// post-restart message from this process (every
 					// pre-crash send carried a smaller timestamp).
-					if len(m.heard) == l.n && m.heard[p] >= rejoinMark {
-						rejoinOK[m.from] = true
+					if len(m.Heard) == l.n && m.Heard[p] >= rejoinMark {
+						rejoinOK[m.From] = true
 					}
 					if rejoinDone() {
 						if !finishRejoin() {

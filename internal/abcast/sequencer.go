@@ -41,27 +41,31 @@ type Sequencer struct {
 
 var _ Broadcaster = (*Sequencer)(nil)
 
+// The wire payload types below carry exported fields so a serializing
+// transport (internal/transport's gob codec) can marshal them; within
+// the simulated network they travel by reference unchanged.
+
 type seqRequest struct {
-	origin  int
-	reqID   int64
-	payload any
-	bytes   int
+	Origin  int
+	ReqID   int64
+	Payload any
+	Bytes   int
 }
 
 type seqOrder struct {
-	view    int
-	seq     int64
-	origin  int
-	reqID   int64
-	payload any
-	bytes   int
+	View    int
+	Seq     int64
+	Origin  int
+	ReqID   int64
+	Payload any
+	Bytes   int
 }
 
 // seqSubmit routes a Broadcast into the submitter's own member loop so
 // request numbering and pending-request state have a single owner.
 type seqSubmit struct {
-	payload any
-	bytes   int
+	Payload any
+	Bytes   int
 }
 
 // seqHB is a liveness heartbeat (failover mode only).
@@ -71,20 +75,20 @@ type seqHB struct{}
 // its received order log. Receiving it fences the member — orders from
 // views below v are discarded from then on.
 type seqSyncReq struct {
-	view int
+	View int
 }
 
 // seqSyncResp is a member's fenced order-log prefix.
 type seqSyncResp struct {
-	view   int
-	orders []seqOrder
+	View   int
+	Orders []seqOrder
 }
 
 // seqNewView announces the adopted log of view v; members append any
 // extension and re-send still-unordered requests to the new leader.
 type seqNewView struct {
-	view   int
-	orders []seqOrder
+	View   int
+	Orders []seqOrder
 }
 
 // SequencerConfig parameterizes NewSequencer.
@@ -101,6 +105,9 @@ type SequencerConfig struct {
 	// FD enables heartbeat failure detection and sequencer failover. Nil
 	// keeps the crash-free fixed-sequencer behavior.
 	FD *FDConfig
+	// Links optionally supplies the transport (channel name "abcast");
+	// nil uses the simulated network stack.
+	Links network.Factory
 }
 
 // NewSequencer starts a sequencer-based atomic broadcast group.
@@ -113,7 +120,7 @@ func NewSequencer(cfg SequencerConfig) (*Sequencer, error) {
 		// Endpoint cfg.Procs is the dedicated sequencer.
 		endpoints = cfg.Procs + 1
 	}
-	net, err := network.NewLink(network.Config{
+	net, err := cfg.Links.Build("abcast", network.Config{
 		Procs:    endpoints,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
@@ -168,9 +175,9 @@ func (s *Sequencer) Broadcast(from int, payload any, bytes int) error {
 	if s.fd != nil {
 		// Route through the submitter's own loop, which owns request
 		// numbering and re-sends across failovers.
-		return s.net.Send(from, from, "abcast.submit", seqSubmit{payload: payload, bytes: bytes}, 0)
+		return s.net.Send(from, from, "abcast.submit", seqSubmit{Payload: payload, Bytes: bytes}, 0)
 	}
-	req := seqRequest{origin: from, payload: payload, bytes: bytes}
+	req := seqRequest{Origin: from, Payload: payload, Bytes: bytes}
 	return s.net.Send(from, s.n, "abcast.req", req, bytes+s.headerB)
 }
 
@@ -218,10 +225,10 @@ func (s *Sequencer) runSequencer() {
 			if !ok {
 				continue // foreign payloads are ignored, not fatal
 			}
-			ord := seqOrder{seq: next, origin: req.origin, payload: req.payload, bytes: req.bytes}
+			ord := seqOrder{Seq: next, Origin: req.Origin, Payload: req.Payload, Bytes: req.Bytes}
 			next++
 			for p := 0; p < s.n; p++ {
-				if err := s.net.Send(s.n, p, "abcast.ord", ord, req.bytes+s.headerB); err != nil {
+				if err := s.net.Send(s.n, p, "abcast.ord", ord, req.Bytes+s.headerB); err != nil {
 					return // network closed
 				}
 			}
@@ -243,7 +250,7 @@ func (s *Sequencer) runMember(p int) {
 			if !ok {
 				continue
 			}
-			for _, d := range buf.add(Delivery{Seq: ord.seq, From: ord.origin, Payload: ord.payload}) {
+			for _, d := range buf.add(Delivery{Seq: ord.Seq, From: ord.Origin, Payload: ord.Payload}) {
 				select {
 				case s.outs[p] <- d:
 				case <-s.stop:
@@ -408,7 +415,7 @@ func (s *Sequencer) sendRequest(p int, st *seqMemberState, req seqRequest) bool 
 	if leader == p {
 		return s.leaderAssign(p, st, req)
 	}
-	return s.net.Send(p, leader, "abcast.req", req, req.bytes+s.headerB) == nil
+	return s.net.Send(p, leader, "abcast.req", req, req.Bytes+s.headerB) == nil
 }
 
 // leaderAssign stamps one request with the next sequence number (leader
@@ -426,12 +433,12 @@ func (s *Sequencer) leaderAssign(p int, st *seqMemberState, req seqRequest) bool
 		st.queued = append(st.queued, req)
 		return true
 	}
-	key := seqReqKey{req.origin, req.reqID}
+	key := seqReqKey{req.Origin, req.ReqID}
 	if st.assigned[key] {
 		return true
 	}
 	st.assigned[key] = true
-	ord := seqOrder{view: st.view, seq: st.nextSeq, origin: req.origin, reqID: req.reqID, payload: req.payload, bytes: req.bytes}
+	ord := seqOrder{View: st.view, Seq: st.nextSeq, Origin: req.Origin, ReqID: req.ReqID, Payload: req.Payload, Bytes: req.Bytes}
 	st.nextSeq++
 	if !s.appendOrder(p, st, ord) {
 		return false
@@ -440,7 +447,7 @@ func (s *Sequencer) leaderAssign(p int, st *seqMemberState, req seqRequest) bool
 		if q == p {
 			continue
 		}
-		if s.net.Send(p, q, "abcast.ord", ord, req.bytes+s.headerB) != nil {
+		if s.net.Send(p, q, "abcast.ord", ord, req.Bytes+s.headerB) != nil {
 			return false
 		}
 	}
@@ -452,11 +459,11 @@ func (s *Sequencer) leaderAssign(p int, st *seqMemberState, req seqRequest) bool
 // so the renumbered delivery streams are identical.
 func (s *Sequencer) appendOrder(p int, st *seqMemberState, ord seqOrder) bool {
 	st.log = append(st.log, ord)
-	key := seqReqKey{ord.origin, ord.reqID}
+	key := seqReqKey{ord.Origin, ord.ReqID}
 	// Drop the request from the pending list once it is ordered.
-	if ord.origin == p {
+	if ord.Origin == p {
 		for i := range st.pending {
-			if st.pending[i].req.reqID == ord.reqID {
+			if st.pending[i].req.ReqID == ord.ReqID {
 				st.pending = append(st.pending[:i], st.pending[i+1:]...)
 				break
 			}
@@ -466,7 +473,7 @@ func (s *Sequencer) appendOrder(p int, st *seqMemberState, ord seqOrder) bool {
 		return true
 	}
 	st.dedup[key] = true
-	d := Delivery{Seq: st.delivered, From: ord.origin, Payload: ord.payload}
+	d := Delivery{Seq: st.delivered, From: ord.Origin, Payload: ord.Payload}
 	st.delivered++
 	select {
 	case s.outs[p] <- d:
@@ -487,7 +494,7 @@ func (s *Sequencer) startSync(p int, st *seqMemberState, v int) bool {
 		if q == p {
 			continue
 		}
-		if s.net.Send(p, q, "abcast.sync", seqSyncReq{view: v}, s.headerB) != nil {
+		if s.net.Send(p, q, "abcast.sync", seqSyncReq{View: v}, s.headerB) != nil {
 			return false
 		}
 	}
@@ -521,7 +528,7 @@ func (s *Sequencer) finishSyncIfReady(p int, st *seqMemberState, det *detector) 
 	}
 	st.assigned = make(map[seqReqKey]bool, len(st.log))
 	for _, ord := range st.log {
-		st.assigned[seqReqKey{ord.origin, ord.reqID}] = true
+		st.assigned[seqReqKey{ord.Origin, ord.ReqID}] = true
 	}
 	st.nextSeq = int64(len(st.log))
 	st.syncing = false
@@ -534,7 +541,7 @@ func (s *Sequencer) finishSyncIfReady(p int, st *seqMemberState, det *detector) 
 		if q == p {
 			continue
 		}
-		if s.net.Send(p, q, "abcast.view", seqNewView{view: st.view, orders: logCopy}, bytes) != nil {
+		if s.net.Send(p, q, "abcast.View", seqNewView{View: st.view, Orders: logCopy}, bytes) != nil {
 			return false
 		}
 	}
@@ -565,7 +572,7 @@ func (s *Sequencer) finishSyncIfReady(p int, st *seqMemberState, det *detector) 
 func (s *Sequencer) syncBytes(orders []seqOrder) int {
 	b := s.headerB
 	for i := range orders {
-		b += orders[i].bytes + s.headerB
+		b += orders[i].Bytes + s.headerB
 	}
 	return b
 }
@@ -576,7 +583,7 @@ func (s *Sequencer) handleFailoverMsg(p int, st *seqMemberState, det *detector, 
 	case seqHB:
 		// Liveness only; det.hear already ran.
 	case seqSubmit:
-		req := seqRequest{origin: p, reqID: st.nextReqID, payload: m.payload, bytes: m.bytes}
+		req := seqRequest{Origin: p, ReqID: st.nextReqID, Payload: m.Payload, Bytes: m.Bytes}
 		st.nextReqID++
 		st.pending = append(st.pending, seqPending{req: req, sent: time.Now()})
 		return s.sendRequest(p, st, req)
@@ -587,41 +594,41 @@ func (s *Sequencer) handleFailoverMsg(p int, st *seqMemberState, det *detector, 
 		// Stale leader address: the origin will re-send after it learns
 		// the new view; nothing to do.
 	case seqOrder:
-		if m.view < st.view {
+		if m.View < st.view {
 			return true // fenced: assigned under a superseded view
 		}
-		if m.view > st.view {
-			st.view = m.view
+		if m.View > st.view {
+			st.view = m.View
 			st.rejoining = false // current view learned
 		}
 		// Per-link FIFO from a single leader makes orders arrive in
 		// assignment sequence; anything else is a superseded duplicate.
-		if m.seq == int64(len(st.log)) {
+		if m.Seq == int64(len(st.log)) {
 			return s.appendOrder(p, st, m)
 		}
 	case seqSyncReq:
-		if m.view < st.view {
+		if m.View < st.view {
 			return true // stale takeover attempt
 		}
-		if m.view > st.view {
-			st.view = m.view // fence: superseded-view orders now discarded
+		if m.View > st.view {
+			st.view = m.View // fence: superseded-view orders now discarded
 			st.syncing = false
 			st.queued = nil
 			st.rejoining = false // current view learned
 		}
 		logCopy := append([]seqOrder(nil), st.log...)
 		return s.net.Send(p, msg.From, "abcast.syncr",
-			seqSyncResp{view: m.view, orders: logCopy}, s.syncBytes(logCopy)) == nil
+			seqSyncResp{View: m.View, Orders: logCopy}, s.syncBytes(logCopy)) == nil
 	case seqSyncResp:
-		if st.syncing && m.view == st.syncView {
-			st.syncResps[msg.From] = m.orders
+		if st.syncing && m.View == st.syncView {
+			st.syncResps[msg.From] = m.Orders
 			return s.finishSyncIfReady(p, st, det)
 		}
 	case seqNewView:
-		if m.view < st.view {
+		if m.View < st.view {
 			return true
 		}
-		if m.view > st.view {
+		if m.View > st.view {
 			st.rejoining = false // current view learned
 			// A sync of a now-superseded view would wait forever for
 			// responses nobody will send. Queued requests are dropped,
@@ -629,8 +636,8 @@ func (s *Sequencer) handleFailoverMsg(p int, st *seqMemberState, det *detector, 
 			st.syncing = false
 			st.queued = nil
 		}
-		st.view = m.view
-		for _, ord := range m.orders[min(len(st.log), len(m.orders)):] {
+		st.view = m.View
+		for _, ord := range m.Orders[min(len(st.log), len(m.Orders)):] {
 			if !s.appendOrder(p, st, ord) {
 				return false
 			}

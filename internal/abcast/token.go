@@ -61,28 +61,29 @@ type tokenQueue struct {
 // handling), and delivery dedups on (origin, subID) in case both the
 // original and the re-assignment survive.
 type tokenSubmission struct {
-	subID   int64
-	payload any
-	bytes   int
+	SubID   int64
+	Payload any
+	Bytes   int
 }
 
 // tokenMsg is the circulating token, carrying the next sequence number.
-// gen is zero until a regeneration bumps it.
+// Gen is zero until a regeneration bumps it. (Wire payloads carry
+// exported fields so a serializing transport can marshal them.)
 type tokenMsg struct {
-	gen  int
-	next int64
+	Gen  int
+	Next int64
 }
 
-// tokenOrder is one assigned broadcast. from is -1 for a skip order: a
+// tokenOrder is one assigned broadcast. From is -1 for a skip order: a
 // sequence number lost with a crashed holder, consumed without
-// delivering anything. subID is the origin's submission serial, used for
+// delivering anything. SubID is the origin's submission serial, used for
 // delivery deduplication across re-assignments.
 type tokenOrder struct {
-	gen     int
-	seq     int64
-	from    int
-	subID   int64
-	payload any
+	Gen     int
+	Seq     int64
+	From    int
+	SubID   int64
+	Payload any
 }
 
 // tokHB is a liveness heartbeat (FD mode only).
@@ -91,18 +92,18 @@ type tokHB struct{}
 // tokSyncReq fences generation gen-1 and solicits the member's received
 // orders for the regeneration merge.
 type tokSyncReq struct {
-	gen int
+	Gen int
 }
 
 type tokSyncResp struct {
-	gen    int
-	orders []tokenOrder
+	Gen    int
+	Orders []tokenOrder
 }
 
 // tokCatchup announces the merged order history of a new generation.
 type tokCatchup struct {
-	gen    int
-	orders []tokenOrder
+	Gen    int
+	Orders []tokenOrder
 }
 
 // TokenConfig parameterizes NewToken.
@@ -117,6 +118,9 @@ type TokenConfig struct {
 	// FD enables heartbeat failure detection, ring routing around
 	// suspects, and token regeneration. Nil keeps the static ring.
 	FD *FDConfig
+	// Links optionally supplies the transport (channel name "abcast");
+	// nil uses the simulated network stack.
+	Links network.Factory
 }
 
 // NewToken starts a token-ring atomic broadcast group. Process 0 holds
@@ -125,7 +129,7 @@ func NewToken(cfg TokenConfig) (*Token, error) {
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("abcast: invalid proc count %d", cfg.Procs)
 	}
-	net, err := network.NewLink(network.Config{
+	net, err := cfg.Links.Build("abcast", network.Config{
 		Procs:    cfg.Procs,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
@@ -161,7 +165,7 @@ func NewToken(cfg TokenConfig) (*Token, error) {
 	}
 	// Inject the token at process 0 (self-send so the member loop owns
 	// all token handling).
-	if err := t.net.Send(0, 0, "abcast.token", tokenMsg{next: 0}, t.headerB); err != nil {
+	if err := t.net.Send(0, 0, "abcast.token", tokenMsg{Next: 0}, t.headerB); err != nil {
 		t.Close()
 		return nil, err
 	}
@@ -178,7 +182,7 @@ func (t *Token) Broadcast(from int, payload any, bytes int) error {
 	}
 	q := t.pending[from]
 	q.mu.Lock()
-	q.msgs = append(q.msgs, tokenSubmission{subID: q.nextID, payload: payload, bytes: bytes})
+	q.msgs = append(q.msgs, tokenSubmission{SubID: q.nextID, Payload: payload, Bytes: bytes})
 	q.nextID++
 	q.mu.Unlock()
 	return nil
@@ -220,17 +224,17 @@ func (t *Token) runMember(p int) {
 		case msg := <-t.net.Recv(p):
 			switch m := msg.Payload.(type) {
 			case tokenMsg:
-				next := m.next
+				next := m.Next
 				q := t.pending[p]
 				q.mu.Lock()
 				drained := q.msgs
 				q.msgs = nil
 				q.mu.Unlock()
 				for _, sub := range drained {
-					ord := tokenOrder{seq: next, from: p, subID: sub.subID, payload: sub.payload}
+					ord := tokenOrder{Seq: next, From: p, SubID: sub.SubID, Payload: sub.Payload}
 					next++
 					for dst := 0; dst < t.n; dst++ {
-						if err := t.net.Send(p, dst, "abcast.ord", ord, sub.bytes+t.headerB); err != nil {
+						if err := t.net.Send(p, dst, "abcast.ord", ord, sub.Bytes+t.headerB); err != nil {
 							return
 						}
 					}
@@ -248,11 +252,11 @@ func (t *Token) runMember(p int) {
 					}
 				}
 				successor := (p + 1) % t.n
-				if err := t.net.Send(p, successor, "abcast.token", tokenMsg{next: next}, t.headerB); err != nil {
+				if err := t.net.Send(p, successor, "abcast.token", tokenMsg{Next: next}, t.headerB); err != nil {
 					return
 				}
 			case tokenOrder:
-				for _, d := range buf.add(Delivery{Seq: m.seq, From: m.from, Payload: m.payload}) {
+				for _, d := range buf.add(Delivery{Seq: m.Seq, From: m.From, Payload: m.Payload}) {
 					select {
 					case t.outs[p] <- d:
 					case <-t.stop:
@@ -273,8 +277,8 @@ type tokSubKey struct {
 // tokInflight is an own submission with an outstanding assignment, tagged
 // with the generation the assignment was made under.
 type tokInflight struct {
-	sub tokenSubmission
-	gen int
+	Sub tokenSubmission
+	Gen int
 }
 
 // tokMemberState is the per-process state of the FD-mode loop.
@@ -399,15 +403,15 @@ func (t *Token) processReceived(p int, st *tokMemberState) bool {
 			return true
 		}
 		st.next++
-		if ord.from < 0 {
+		if ord.From < 0 {
 			continue // skip order: sequence number lost with a crashed holder
 		}
-		key := tokSubKey{ord.from, ord.subID}
+		key := tokSubKey{ord.From, ord.SubID}
 		if st.dedup[key] {
 			continue // re-assigned submission whose original also survived
 		}
 		st.dedup[key] = true
-		d := Delivery{Seq: st.delivered, From: ord.from, Payload: ord.payload}
+		d := Delivery{Seq: st.delivered, From: ord.From, Payload: ord.Payload}
 		st.delivered++
 		select {
 		case t.outs[p] <- d:
@@ -424,11 +428,11 @@ func (t *Token) processReceived(p int, st *tokMemberState) bool {
 // its received orders whenever it is live and unsuspected), so it no
 // longer needs re-queueing.
 func (t *Token) noteReceived(p int, st *tokMemberState, ord tokenOrder) {
-	if _, ok := st.received[ord.seq]; !ok {
-		st.received[ord.seq] = ord
+	if _, ok := st.received[ord.Seq]; !ok {
+		st.received[ord.Seq] = ord
 	}
-	if ord.from == p {
-		delete(st.inflight, ord.subID)
+	if ord.From == p {
+		delete(st.inflight, ord.SubID)
 	}
 }
 
@@ -440,8 +444,8 @@ func (t *Token) noteReceived(p int, st *tokMemberState, ord tokenOrder) {
 func (t *Token) requeueFenced(p int, st *tokMemberState, gen int) {
 	var lost []tokenSubmission
 	for subID, e := range st.inflight {
-		if e.gen < gen {
-			lost = append(lost, e.sub)
+		if e.Gen < gen {
+			lost = append(lost, e.Sub)
 			delete(st.inflight, subID)
 		}
 	}
@@ -463,14 +467,14 @@ func (t *Token) holdToken(p int, st *tokMemberState, det *detector, next int64) 
 	q.msgs = nil
 	q.mu.Unlock()
 	for _, sub := range drained {
-		ord := tokenOrder{gen: st.gen, seq: next, from: p, subID: sub.subID, payload: sub.payload}
+		ord := tokenOrder{Gen: st.gen, Seq: next, From: p, SubID: sub.SubID, Payload: sub.Payload}
 		next++
 		// Track the assignment until its order shows up in the received
 		// sequence: a regeneration racing this fan-out may fence every
 		// copy, and the catch-up handler then re-queues the submission.
-		st.inflight[sub.subID] = tokInflight{sub: sub, gen: st.gen}
+		st.inflight[sub.SubID] = tokInflight{Sub: sub, Gen: st.gen}
 		for dst := 0; dst < t.n; dst++ {
-			if err := t.net.Send(p, dst, "abcast.ord", ord, sub.bytes+t.headerB); err != nil {
+			if err := t.net.Send(p, dst, "abcast.ord", ord, sub.Bytes+t.headerB); err != nil {
 				return false
 			}
 		}
@@ -485,7 +489,7 @@ func (t *Token) holdToken(p int, st *tokMemberState, det *detector, next int64) 
 		}
 	}
 	successor := det.nextLive(p)
-	return t.net.Send(p, successor, "abcast.token", tokenMsg{gen: st.gen, next: next}, t.headerB) == nil
+	return t.net.Send(p, successor, "abcast.token", tokenMsg{Gen: st.gen, Next: next}, t.headerB) == nil
 }
 
 // startRegen fences a new generation and solicits every member's
@@ -515,7 +519,7 @@ func (t *Token) startRegen(p int, st *tokMemberState) bool {
 		if q == p {
 			continue
 		}
-		if t.net.Send(p, q, "abcast.toksync", tokSyncReq{gen: st.regenGen}, t.headerB) != nil {
+		if t.net.Send(p, q, "abcast.toksync", tokSyncReq{Gen: st.regenGen}, t.headerB) != nil {
 			return false
 		}
 	}
@@ -537,12 +541,12 @@ func (t *Token) finishRegenIfReady(p int, st *tokMemberState, det *detector) boo
 	merged := make(map[int64]tokenOrder, len(st.received))
 	maxSeq := int64(-1)
 	absorb := func(ord tokenOrder) {
-		ord.gen = st.regenGen
-		if _, ok := merged[ord.seq]; !ok {
-			merged[ord.seq] = ord
+		ord.Gen = st.regenGen
+		if _, ok := merged[ord.Seq]; !ok {
+			merged[ord.Seq] = ord
 		}
-		if ord.seq > maxSeq {
-			maxSeq = ord.seq
+		if ord.Seq > maxSeq {
+			maxSeq = ord.Seq
 		}
 	}
 	for _, ord := range st.received {
@@ -559,7 +563,7 @@ func (t *Token) finishRegenIfReady(p int, st *tokMemberState, det *detector) boo
 		if !ok {
 			// Lost with a crashed holder at every live member: consume the
 			// sequence number without delivering.
-			ord = tokenOrder{gen: st.regenGen, seq: s, from: -1}
+			ord = tokenOrder{Gen: st.regenGen, Seq: s, From: -1}
 		}
 		history = append(history, ord)
 		t.noteReceived(p, st, ord)
@@ -579,7 +583,7 @@ func (t *Token) finishRegenIfReady(p int, st *tokMemberState, det *detector) boo
 		if q == p {
 			continue
 		}
-		if t.net.Send(p, q, "abcast.tokcatch", tokCatchup{gen: st.regenGen, orders: history}, bytes) != nil {
+		if t.net.Send(p, q, "abcast.tokcatch", tokCatchup{Gen: st.regenGen, Orders: history}, bytes) != nil {
 			return false
 		}
 	}
@@ -601,29 +605,29 @@ func (t *Token) handleFDMsg(p int, st *tokMemberState, det *detector, msg networ
 			// timeout and the ordinary regeneration recovers it.
 			return true
 		}
-		if m.gen < st.gen {
+		if m.Gen < st.gen {
 			return true // stale token from a fenced generation
 		}
-		st.gen = m.gen
+		st.gen = m.Gen
 		st.lastProgress = time.Now()
 		st.regenerating = false
-		return t.holdToken(p, st, det, m.next)
+		return t.holdToken(p, st, det, m.Next)
 	case tokenOrder:
-		if m.gen < st.gen {
+		if m.Gen < st.gen {
 			return true
 		}
-		if m.gen > st.gen {
-			st.gen = m.gen
+		if m.Gen > st.gen {
+			st.gen = m.Gen
 			st.rejoining = false // current generation learned
 		}
 		st.lastProgress = time.Now()
 		t.noteReceived(p, st, m)
 		return t.processReceived(p, st)
 	case tokSyncReq:
-		if m.gen <= st.gen {
+		if m.Gen <= st.gen {
 			return true // stale regeneration attempt
 		}
-		st.gen = m.gen // fence: discard older-generation tokens and orders
+		st.gen = m.Gen // fence: discard older-generation tokens and orders
 		st.regenerating = false
 		st.rejoining = false // current generation learned
 		st.lastProgress = time.Now()
@@ -632,26 +636,26 @@ func (t *Token) handleFDMsg(p int, st *tokMemberState, det *detector, msg networ
 			orders = append(orders, ord)
 		}
 		return t.net.Send(p, msg.From, "abcast.toksyncr",
-			tokSyncResp{gen: m.gen, orders: orders}, t.headerB*(len(orders)+1)) == nil
+			tokSyncResp{Gen: m.Gen, Orders: orders}, t.headerB*(len(orders)+1)) == nil
 	case tokSyncResp:
-		if st.regenerating && m.gen == st.regenGen {
-			st.regenResps[msg.From] = m.orders
+		if st.regenerating && m.Gen == st.regenGen {
+			st.regenResps[msg.From] = m.Orders
 			return t.finishRegenIfReady(p, st, det)
 		}
 	case tokCatchup:
-		if m.gen < st.gen {
+		if m.Gen < st.gen {
 			return true
 		}
-		advanced := m.gen > st.gen
+		advanced := m.Gen > st.gen
 		if advanced {
-			st.gen = m.gen
+			st.gen = m.Gen
 			st.rejoining = false // current generation learned
 			// Abandon any regeneration of a now-superseded generation:
 			// its solicitations were ignored and would wait forever.
 			st.regenerating = false
 		}
 		st.lastProgress = time.Now()
-		for _, ord := range m.orders {
+		for _, ord := range m.Orders {
 			t.noteReceived(p, st, ord)
 		}
 		if !t.processReceived(p, st) {
@@ -666,10 +670,10 @@ func (t *Token) handleFDMsg(p int, st *tokMemberState, det *detector, msg networ
 		// at the next token hold. Entries are compared against the
 		// catch-up's generation, not st.gen — this process may have fenced
 		// via tokSyncReq between assigning and this catch-up, making
-		// m.gen == st.gen while the assignment is fenced all the same.
+		// m.Gen == st.gen while the assignment is fenced all the same.
 		// Delivery dedups on (origin, subID) should a lost-looking order
 		// resurface anyway.
-		t.requeueFenced(p, st, m.gen)
+		t.requeueFenced(p, st, m.Gen)
 		return true
 	}
 	return true

@@ -1,0 +1,30 @@
+package abcast
+
+import "encoding/gob"
+
+// Every broadcast-layer payload that can cross a process boundary is
+// registered with gob so a serializing transport (internal/transport)
+// can marshal the Link's `any` payloads. Registration is keyed by the
+// package-qualified type name, so the unexported types stay private to
+// this package while remaining wire-codable.
+func init() {
+	// Fixed sequencer.
+	gob.Register(seqRequest{})
+	gob.Register(seqOrder{})
+	gob.Register(seqSubmit{})
+	gob.Register(seqHB{})
+	gob.Register(seqSyncReq{})
+	gob.Register(seqSyncResp{})
+	gob.Register(seqNewView{})
+	// Lamport clocks.
+	gob.Register(lamportSubmit{})
+	gob.Register(lamportData{})
+	gob.Register(lamportAck{})
+	// Token ring.
+	gob.Register(tokenMsg{})
+	gob.Register(tokenOrder{})
+	gob.Register(tokHB{})
+	gob.Register(tokSyncReq{})
+	gob.Register(tokSyncResp{})
+	gob.Register(tokCatchup{})
+}

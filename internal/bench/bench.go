@@ -20,6 +20,10 @@ type Experiment struct {
 	// Run executes the experiment, writing its table/trace to w. When
 	// quick is true, sizes are reduced (used by unit tests and -short).
 	Run func(w io.Writer, quick bool) error
+	// JSON, when non-nil, runs the experiment's measurement and returns
+	// a machine-readable report (mocbench -json). Experiment/Title/Quick
+	// are filled in by RunJSON.
+	JSON func(quick bool) (Report, error)
 }
 
 // Experiments returns all experiments in ID order.
@@ -31,13 +35,14 @@ func Experiments() []Experiment {
 		{ID: "E4", Title: "Theorem 7: admissible iff legal under the WW-constraint (randomized)", Run: runE4},
 		{ID: "E5", Title: "Figures 4-5: m-sequential-consistency protocol executions", Run: runE5},
 		{ID: "E6", Title: "Figures 6-7: m-linearizability protocol executions", Run: runE6},
-		{ID: "E7", Title: "Protocol cost model: query/update latency and throughput", Run: runE7},
+		{ID: "E7", Title: "Protocol cost model: query/update latency and throughput", Run: runE7, JSON: e7JSON},
 		{ID: "E8", Title: "Theorem 2: schedule <-> history reduction (randomized)", Run: runE8},
 		{ID: "E9", Title: "Section 5.2: relevant-objects-only query payloads", Run: runE9},
 		{ID: "E10", Title: "Section 1: multi-object operations vs an aggregate object", Run: runE10},
 		{ID: "E11", Title: "Section 4: OO-constraint locking protocol vs the broadcast protocols", Run: runE11},
 		{ID: "E12", Title: "Consistency hierarchy: m-lin => m-SC => m-causal, protocol by protocol", Run: runE12},
-		{ID: "E13", Title: "Availability under crash-stop failures: bounded queries with 0, 1, f crashed", Run: runE13},
+		{ID: "E13", Title: "Availability under crash-stop failures: bounded queries with 0, 1, f crashed", Run: runE13, JSON: e13JSON},
+		{ID: "E14", Title: "Protocol cost model over real loopback TCP (internal/transport)", Run: runE14, JSON: e14JSON},
 		{ID: "A1", Title: "Ablation: sequencer vs Lamport atomic broadcast", Run: runAblationBroadcast},
 		{ID: "A2", Title: "Ablation: checker heuristics and memoization", Run: runAblationChecker},
 	}

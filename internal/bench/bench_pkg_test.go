@@ -12,8 +12,8 @@ import (
 
 func TestExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("experiment count = %d, want 15", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("experiment count = %d, want 16", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -25,10 +25,47 @@ func TestExperimentsRegistry(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1", "A2"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "A1", "A2"} {
 		if !seen[want] {
 			t.Fatalf("missing experiment %s", want)
 		}
+	}
+}
+
+func TestRunJSONReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs measurement experiments; skipped in -short")
+	}
+	if got := jsonIDs(); len(got) != 3 || got[0] != "E13" || got[1] != "E14" || got[2] != "E7" {
+		t.Fatalf("jsonIDs() = %v, want [E13 E14 E7]", got)
+	}
+	for _, id := range jsonIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunJSON(id, true)
+			if err != nil {
+				t.Fatalf("RunJSON(%s): %v", id, err)
+			}
+			if rep.Experiment != id || rep.Title == "" || !rep.Quick {
+				t.Fatalf("report header not filled: %+v", rep)
+			}
+			if len(rep.Series) == 0 || len(rep.Series[0].Points) == 0 {
+				t.Fatalf("report has no data: %+v", rep)
+			}
+			if len(rep.Parameters) == 0 {
+				t.Fatalf("report has no parameters: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestRunJSONUnsupported(t *testing.T) {
+	if _, err := RunJSON("E1", true); err == nil {
+		t.Fatal("E1 has no JSON report but RunJSON accepted it")
+	}
+	if _, err := RunJSON("E99", true); err == nil {
+		t.Fatal("unknown experiment accepted")
 	}
 }
 

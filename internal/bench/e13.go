@@ -27,6 +27,76 @@ import (
 // any process that delivered the latest relevant update merges to a
 // fresh-enough version vector (P5.6–P5.8).
 func runE13(w io.Writer, quick bool) error {
+	rows, procs, err := e13Results(quick)
+	if err != nil {
+		return err
+	}
+	t := newTable(w)
+	t.row("protocol", "crashed", "queries", "completed", "query mean", "query max")
+	for _, r := range rows {
+		t.row(r.cons, fmt.Sprintf("%d/%d", r.crashed, procs),
+			r.queries, r.completed,
+			r.queryMean.Round(10*time.Microsecond), r.queryMax.Round(10*time.Microsecond))
+		if r.completed != r.queries {
+			return fmt.Errorf("bench: E13 %s with %d crashed: only %d/%d queries completed",
+				r.cons, r.crashed, r.completed, r.queries)
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "expected shape: m-SC query latency is flat (local queries); m-lin queries")
+	fmt.Fprintln(w, "pay the (1+retries)x deadline budget once responders are dead, but complete")
+	fmt.Fprintln(w, "100% either way, and every history still verifies")
+	return nil
+}
+
+// e13JSON emits the availability measurement as a report, one series
+// per consistency.
+func e13JSON(quick bool) (Report, error) {
+	rows, procs, err := e13Results(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	byCons := map[string]*Series{}
+	var order []string
+	for _, r := range rows {
+		name := r.cons.String()
+		s, ok := byCons[name]
+		if !ok {
+			s = &Series{Name: name}
+			byCons[name] = s
+			order = append(order, name)
+		}
+		s.Points = append(s.Points, map[string]any{
+			"crashed":     r.crashed,
+			"queries":     r.queries,
+			"completed":   r.completed,
+			"queryMeanNs": durNs(r.queryMean),
+			"queryMaxNs":  durNs(r.queryMax),
+		})
+	}
+	rep := Report{
+		Parameters: map[string]any{
+			"procs": procs, "seed": 13,
+			"queryTimeoutNs": durNs(5 * time.Millisecond), "queryRetries": 1,
+		},
+	}
+	for _, name := range order {
+		rep.Series = append(rep.Series, *byCons[name])
+	}
+	return rep, nil
+}
+
+// e13Row is one availability-table row.
+type e13Row struct {
+	cons                core.Consistency
+	crashed             int
+	queries, completed  int
+	queryMean, queryMax time.Duration
+}
+
+// e13Results runs the availability measurement. Shared by the text and
+// JSON emitters.
+func e13Results(quick bool) ([]e13Row, int, error) {
 	const procs = 5
 	queriesPerProc := 4
 	if quick {
@@ -37,16 +107,10 @@ func runE13(w io.Writer, quick bool) error {
 		crashCounts = crashCounts[:2]
 	}
 
-	type row struct {
-		cons                core.Consistency
-		crashed             int
-		queries, completed  int
-		queryMean, queryMax time.Duration
-	}
-	var rows []row
+	var rows []e13Row
 	for _, cons := range []core.Consistency{core.MSequential, core.MLinearizable} {
 		for _, k := range crashCounts {
-			r := row{cons: cons, crashed: k}
+			r := e13Row{cons: cons, crashed: k}
 			var total time.Duration
 			cfg := core.Config{
 				Procs:       procs,
@@ -72,7 +136,7 @@ func runE13(w io.Writer, quick bool) error {
 			}
 			s, err := core.New(cfg)
 			if err != nil {
-				return err
+				return nil, 0, err
 			}
 			// Let the crash instants pass so every query below runs in the
 			// degraded configuration.
@@ -86,7 +150,7 @@ func runE13(w io.Writer, quick bool) error {
 				p, perr := s.Process(pi)
 				if perr != nil {
 					s.Close()
-					return perr
+					return nil, 0, perr
 				}
 				wg.Add(1)
 				go func(pi int, p *core.Process) {
@@ -120,16 +184,16 @@ func runE13(w io.Writer, quick bool) error {
 			select {
 			case err := <-errCh:
 				s.Close()
-				return err
+				return nil, 0, err
 			default:
 			}
 			res, err := s.Verify()
 			s.Close()
 			if err != nil {
-				return err
+				return nil, 0, err
 			}
 			if !res.OK {
-				return fmt.Errorf("bench: E13 %s run with %d crashed fails verification", cons, k)
+				return nil, 0, fmt.Errorf("bench: E13 %s run with %d crashed fails verification", cons, k)
 			}
 			if r.completed > 0 {
 				r.queryMean = total / time.Duration(r.completed)
@@ -138,20 +202,5 @@ func runE13(w io.Writer, quick bool) error {
 		}
 	}
 
-	t := newTable(w)
-	t.row("protocol", "crashed", "queries", "completed", "query mean", "query max")
-	for _, r := range rows {
-		t.row(r.cons, fmt.Sprintf("%d/%d", r.crashed, procs),
-			r.queries, r.completed,
-			r.queryMean.Round(10*time.Microsecond), r.queryMax.Round(10*time.Microsecond))
-		if r.completed != r.queries {
-			return fmt.Errorf("bench: E13 %s with %d crashed: only %d/%d queries completed",
-				r.cons, r.crashed, r.completed, r.queries)
-		}
-	}
-	t.flush()
-	fmt.Fprintln(w, "expected shape: m-SC query latency is flat (local queries); m-lin queries")
-	fmt.Fprintln(w, "pay the (1+retries)x deadline budget once responders are dead, but complete")
-	fmt.Fprintln(w, "100% either way, and every history still verifies")
-	return nil
+	return rows, procs, nil
 }

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"moc/internal/core"
+	"moc/internal/mop"
+	"moc/internal/transport"
+	"moc/internal/workload"
+)
+
+// RunMixTCP mirrors RunMix over real loopback TCP: an in-process
+// cluster of n transport nodes (one kernel socket mesh, one node per
+// protocol process) carries every protocol message through the full
+// serialize → TCP → deserialize path, and per-message latency is
+// whatever the kernel provides instead of a simulated delay. Process
+// p's operations are issued at store process p, whose endpoints live on
+// transport node p — the same placement cmd/mocd uses, minus the
+// process boundary.
+func RunMixTCP(cons core.Consistency, procs, objects int, mix workload.Mix, seed int64) (MixResult, error) {
+	names := make([]string, objects)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+	}
+	cluster, err := transport.NewCluster(procs)
+	if err != nil {
+		return MixResult{}, err
+	}
+	defer cluster.Close()
+	s, err := core.New(core.Config{
+		Procs: procs, Objects: names, Consistency: cons,
+		Seed: seed, Links: cluster.Factory(),
+		DisableRecording: true,
+	})
+	if err != nil {
+		return MixResult{}, err
+	}
+	defer s.Close()
+
+	plans := mix.Plan(procs, objects, rand.New(rand.NewSource(seed)))
+	var lat latencies
+	var wg sync.WaitGroup
+	errs := make(chan error, procs)
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		proc, err := s.Process(p)
+		if err != nil {
+			return MixResult{}, err
+		}
+		wg.Add(1)
+		go func(plan []workload.Op, proc *core.Process) {
+			defer wg.Done()
+			for _, op := range plan {
+				var pr mop.Procedure
+				if op.Query {
+					pr = mop.MultiRead{Xs: op.Objs}
+				} else {
+					pr = planUpdate(op)
+				}
+				t0 := time.Now()
+				if _, err := proc.Execute(pr); err != nil {
+					errs <- err
+					return
+				}
+				lat.add(op.Query, time.Since(t0).Nanoseconds())
+			}
+		}(plans[p], proc)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return MixResult{}, err
+	default:
+	}
+
+	total := procs * mix.OpsPerProc
+	return MixResult{
+		Consistency: cons,
+		Procs:       procs,
+		ReadFrac:    mix.ReadFrac,
+		QueryMean:   mean(lat.queryNs),
+		UpdateMean:  mean(lat.updNs),
+		Throughput:  float64(total) / elapsed.Seconds(),
+		QueryMsgs:   s.QueryTraffic().Messages,
+	}, nil
+}
+
+// e14Results runs every cell of the TCP cost table. The dimensions are
+// E7's; the simulated per-message delay does not apply (loopback TCP
+// sets the pace).
+func e14Results(quick bool) ([]MixResult, e7Params, error) {
+	p := e7Sizes(quick)
+	var results []MixResult
+	for _, cons := range []core.Consistency{core.MSequential, core.MLinearizable} {
+		for _, procs := range p.procsList {
+			for _, frac := range p.fracs {
+				res, err := RunMixTCP(cons, procs, 8,
+					workload.Mix{ReadFrac: frac, Span: 2, OpsPerProc: p.ops}, 42)
+				if err != nil {
+					return nil, p, err
+				}
+				results = append(results, res)
+			}
+		}
+	}
+	return results, p, nil
+}
+
+// runE14 reruns the E7 cost model over real loopback TCP instead of the
+// simulated network.
+//
+// Expected shape: the same latency gap as E7, set by real kernel
+// round-trips instead of a configured delay — m-SC queries stay local
+// (microseconds, 0 query messages); m-lin queries pay a genuine TCP
+// round-trip to every process (2n query messages) and sit well above
+// the m-SC query latency; update latency is comparable for both.
+func runE14(w io.Writer, quick bool) error {
+	results, _, err := e14Results(quick)
+	if err != nil {
+		return err
+	}
+	mixTable(w, results)
+	fmt.Fprintln(w, "expected shape: same gap as E7 over real TCP — m-sequential query latency is")
+	fmt.Fprintln(w, "local (~µs, 0 query msgs); m-linearizable queries pay a kernel round-trip to")
+	fmt.Fprintln(w, "all n processes (2n msgs); update latency similar for both")
+	return nil
+}
+
+// e14JSON emits the TCP cost table as a report, one series per
+// consistency.
+func e14JSON(quick bool) (Report, error) {
+	results, p, err := e14Results(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Parameters: map[string]any{
+			"transport": "tcp-loopback", "procs": p.procsList, "readFracs": p.fracs,
+			"opsPerProc": p.ops, "objects": 8, "span": 2, "seed": 42,
+		},
+		Series: mixSeries(results),
+	}, nil
+}

@@ -126,6 +126,56 @@ func planUpdate(op workload.Op) mop.Procedure {
 	return mop.MAssign{Writes: writes}
 }
 
+// e7Params are the cell dimensions of the E7 (and, minus the simulated
+// delay, E14) cost tables.
+type e7Params struct {
+	delay     time.Duration
+	procsList []int
+	fracs     []float64
+	ops       int
+}
+
+func e7Sizes(quick bool) e7Params {
+	if quick {
+		return e7Params{delay: time.Millisecond, procsList: []int{2, 4}, fracs: []float64{0.5}, ops: 10}
+	}
+	return e7Params{delay: 2 * time.Millisecond, procsList: []int{2, 4, 8}, fracs: []float64{0.5, 0.9}, ops: 30}
+}
+
+// e7Results runs every cell of the cost table. Shared by the text and
+// JSON emitters.
+func e7Results(quick bool) ([]MixResult, e7Params, error) {
+	p := e7Sizes(quick)
+	var results []MixResult
+	for _, cons := range []core.Consistency{core.MSequential, core.MLinearizable} {
+		for _, procs := range p.procsList {
+			for _, frac := range p.fracs {
+				res, err := RunMix(cons, procs, 8,
+					workload.Mix{ReadFrac: frac, Span: 2, OpsPerProc: p.ops}, p.delay, 42)
+				if err != nil {
+					return nil, p, err
+				}
+				results = append(results, res)
+			}
+		}
+	}
+	return results, p, nil
+}
+
+// mixTable prints cost-model rows in the shared E7/E14 format.
+func mixTable(w io.Writer, results []MixResult) {
+	t := newTable(w)
+	t.row("consistency", "procs", "read%", "query mean", "update mean", "ops/s", "query msgs")
+	for _, res := range results {
+		t.row(res.Consistency, res.Procs, int(res.ReadFrac*100),
+			res.QueryMean.Round(time.Microsecond),
+			res.UpdateMean.Round(time.Microsecond),
+			fmt.Sprintf("%.0f", res.Throughput),
+			res.QueryMsgs)
+	}
+	t.flush()
+}
+
 // runE7 prints the protocol cost table: for each (consistency, procs,
 // read fraction), mean query latency, mean update latency and
 // throughput, under a fixed per-message delay so round trips are visible.
@@ -134,37 +184,48 @@ func planUpdate(op workload.Op) mop.Procedure {
 // query latency ~ 2x the one-way delay (a round trip) and grows slightly
 // with n (stragglers); update latency comparable for both.
 func runE7(w io.Writer, quick bool) error {
-	delay := 2 * time.Millisecond
-	procsList := []int{2, 4, 8}
-	fracs := []float64{0.5, 0.9}
-	ops := 30
-	if quick {
-		procsList = []int{2, 4}
-		fracs = []float64{0.5}
-		ops = 10
-		delay = time.Millisecond
+	results, _, err := e7Results(quick)
+	if err != nil {
+		return err
 	}
-
-	t := newTable(w)
-	t.row("consistency", "procs", "read%", "query mean", "update mean", "ops/s", "query msgs")
-	for _, cons := range []core.Consistency{core.MSequential, core.MLinearizable} {
-		for _, procs := range procsList {
-			for _, frac := range fracs {
-				res, err := RunMix(cons, procs, 8,
-					workload.Mix{ReadFrac: frac, Span: 2, OpsPerProc: ops}, delay, 42)
-				if err != nil {
-					return err
-				}
-				t.row(res.Consistency, res.Procs, int(frac*100),
-					res.QueryMean.Round(time.Microsecond),
-					res.UpdateMean.Round(time.Microsecond),
-					fmt.Sprintf("%.0f", res.Throughput),
-					res.QueryMsgs)
-			}
-		}
-	}
-	t.flush()
+	mixTable(w, results)
 	fmt.Fprintln(w, "expected shape: m-sequential query latency ~0 and 0 query msgs;")
 	fmt.Fprintln(w, "m-linearizable query latency ~1 RTT with 2n msgs per query; update latency similar for both")
 	return nil
+}
+
+// e7JSON emits the cost table as a report, one series per consistency.
+func e7JSON(quick bool) (Report, error) {
+	results, p, err := e7Results(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Parameters: map[string]any{
+			"delayNs": durNs(p.delay), "procs": p.procsList, "readFracs": p.fracs,
+			"opsPerProc": p.ops, "objects": 8, "span": 2, "seed": 42,
+		},
+		Series: mixSeries(results),
+	}, nil
+}
+
+// mixSeries groups MixResults into one series per consistency.
+func mixSeries(results []MixResult) []Series {
+	byCons := map[string]*Series{}
+	var order []string
+	for _, r := range results {
+		name := r.Consistency.String()
+		s, ok := byCons[name]
+		if !ok {
+			s = &Series{Name: name}
+			byCons[name] = s
+			order = append(order, name)
+		}
+		s.Points = append(s.Points, mixPoint(r))
+	}
+	out := make([]Series, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byCons[name])
+	}
+	return out
 }

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// Report is the machine-readable result of one experiment run, written
+// by `mocbench -json` as BENCH_<id>.json. Experiments that measure
+// (rather than trace figures) attach a JSON builder; the text and JSON
+// paths share the same measurement code, so a report is the data behind
+// the printed table, not a re-run.
+type Report struct {
+	Experiment string         `json:"experiment"`
+	Title      string         `json:"title"`
+	Quick      bool           `json:"quick"`
+	Parameters map[string]any `json:"parameters"`
+	Series     []Series       `json:"series"`
+}
+
+// Series is one named sequence of measurement points.
+type Series struct {
+	Name   string           `json:"name"`
+	Points []map[string]any `json:"points"`
+}
+
+// RunJSON runs the measurement behind experiment id and returns its
+// report. Experiments without a JSON builder (the figure traces) return
+// an error naming the ones that have one.
+func RunJSON(id string, quick bool) (Report, error) {
+	for _, e := range Experiments() {
+		if e.ID != id {
+			continue
+		}
+		if e.JSON == nil {
+			return Report{}, fmt.Errorf("bench: experiment %s has no JSON report (supported: %v)", id, jsonIDs())
+		}
+		rep, err := e.JSON(quick)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Experiment, rep.Title, rep.Quick = e.ID, e.Title, quick
+		return rep, nil
+	}
+	return Report{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// jsonIDs lists the experiments that support JSON reports.
+func jsonIDs() []string {
+	var ids []string
+	for _, e := range Experiments() {
+		if e.JSON != nil {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
+// mixPoint renders one MixResult as a JSON measurement point.
+func mixPoint(r MixResult) map[string]any {
+	return map[string]any{
+		"consistency":  r.Consistency.String(),
+		"procs":        r.Procs,
+		"readFrac":     r.ReadFrac,
+		"queryMeanNs":  r.QueryMean.Nanoseconds(),
+		"updateMeanNs": r.UpdateMean.Nanoseconds(),
+		"opsPerSec":    r.Throughput,
+		"queryMsgs":    r.QueryMsgs,
+	}
+}
+
+// durNs converts for JSON points (0 stays 0).
+func durNs(d time.Duration) int64 { return d.Nanoseconds() }

@@ -103,6 +103,20 @@ type Config struct {
 	// the consistency guarantees hold over lossy links too. NetStats
 	// reports the fault and retransmission counters.
 	Faults *network.Faults
+	// Links optionally substitutes a real transport for the simulated
+	// network: every logical channel the protocols open ("abcast",
+	// "mlin.query", "recovery") is built through the factory instead of
+	// network.NewLink. This is how cmd/mocd runs the store over TCP
+	// (internal/transport). Nil keeps the simulated network. A factory
+	// cannot be combined with Faults (fault injection is a property of
+	// the simulated network) and is only supported for the broadcast
+	// protocols (MSequential, MLinearizable).
+	Links network.Factory
+	// Epoch, when non-zero, anchors the store's clock: Inv/Resp record
+	// timestamps are nanoseconds since Epoch instead of since store
+	// construction. Daemons of one cluster share an epoch so their
+	// records are real-time comparable when traces are merged.
+	Epoch time.Time
 	// RelevantOnly enables the Section 5.2 query-payload optimization
 	// (m-linearizable stores only).
 	RelevantOnly bool
@@ -188,6 +202,14 @@ func New(cfg Config) (*Store, error) {
 	if cfg.Broadcast == 0 {
 		cfg.Broadcast = SequencerBroadcast
 	}
+	if cfg.Links != nil {
+		if cfg.Faults != nil {
+			return nil, errors.New("core: Links cannot be combined with Faults (fault injection is simulated-network only)")
+		}
+		if cfg.Consistency != MSequential && cfg.Consistency != MLinearizable {
+			return nil, fmt.Errorf("core: Links is not supported for %v (broadcast protocols only)", cfg.Consistency)
+		}
+	}
 
 	// With scheduled crashes, default the failure detector (so a crashed
 	// coordinator cannot stall the broadcast layer) and bound query
@@ -212,7 +234,11 @@ func New(cfg Config) (*Store, error) {
 		}
 	}
 
-	s := &Store{cfg: cfg, reg: reg, origin: time.Now()}
+	origin := time.Now()
+	if !cfg.Epoch.IsZero() {
+		origin = cfg.Epoch
+	}
+	s := &Store{cfg: cfg, reg: reg, origin: origin}
 
 	if cfg.Consistency == MCausal {
 		p, err := causal.New(causal.Config{
@@ -255,17 +281,17 @@ func New(cfg Config) (*Store, error) {
 	case SequencerBroadcast:
 		bcast, err = abcast.NewSequencer(abcast.SequencerConfig{
 			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Faults: cfg.Faults, FD: cfg.FD,
+			Faults: cfg.Faults, FD: cfg.FD, Links: cfg.Links,
 		})
 	case LamportBroadcast:
 		bcast, err = abcast.NewLamport(abcast.LamportConfig{
 			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Faults: cfg.Faults, FD: cfg.FD,
+			Faults: cfg.Faults, FD: cfg.FD, Links: cfg.Links,
 		})
 	case TokenBroadcast:
 		bcast, err = abcast.NewToken(abcast.TokenConfig{
 			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Faults: cfg.Faults, FD: cfg.FD,
+			Faults: cfg.Faults, FD: cfg.FD, Links: cfg.Links,
 		})
 	default:
 		return nil, fmt.Errorf("core: unknown broadcast kind %d", int(cfg.Broadcast))
@@ -284,7 +310,7 @@ func New(cfg Config) (*Store, error) {
 		p, err = mlin.New(mlin.Config{
 			Procs: cfg.Procs, Reg: reg, Broadcast: bcast,
 			Seed: cfg.Seed + 1, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Faults:       cfg.Faults,
+			Faults: cfg.Faults, Links: cfg.Links,
 			RelevantOnly: cfg.RelevantOnly, Clock: s.now,
 			QueryTimeout: cfg.QueryTimeout, QueryRetries: cfg.QueryRetries,
 		})
@@ -315,7 +341,7 @@ func New(cfg Config) (*Store, error) {
 			s.recov, err = recovery.New(recovery.Config{
 				Procs: cfg.Procs, State: state,
 				Seed: cfg.Seed + 2, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-				Faults: cfg.Faults,
+				Faults: cfg.Faults, Links: cfg.Links,
 			})
 			if err != nil {
 				s.exec.Close()

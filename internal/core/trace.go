@@ -19,11 +19,7 @@ var ErrInFlight = errors.New("core: m-operations still in flight; quiesce before
 var ErrRecordingDisabled = errors.New("core: recording disabled")
 
 // buildHistory reconstructs the execution history from the captured
-// records. The reads-from relation is derived exactly as in D5.1/D5.6:
-// the version vector at an m-operation's start event names, per object,
-// the version it read; versions are mapped to writers by replaying the
-// update m-operations in atomic-broadcast delivery order (version 0 is
-// the imaginary initial m-operation).
+// records, caching the raw material for sync-relation derivation.
 func (s *Store) buildHistory() (*history.History, []history.ID, error) {
 	if s.cfg.DisableRecording {
 		return nil, nil, ErrRecordingDisabled
@@ -37,11 +33,40 @@ func (s *Store) buildHistory() (*history.History, []history.ID, error) {
 	copy(recs, s.records)
 	s.mu.Unlock()
 
-	// Deterministic builder order: by invocation time (unique by
-	// construction of s.now).
+	h, updateIDs, br, err := buildFromRecords(s.reg, recs)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	s.lastBuild = br
+	s.mu.Unlock()
+	return h, updateIDs, nil
+}
+
+// BuildHistory reconstructs an execution history from raw protocol
+// records — typically records merged from several processes' trace
+// dumps (MergeTraces). The records must cover a quiescent execution and
+// carry timestamps from a shared clock (Config.Epoch). The returned IDs
+// are the update m-operations in atomic-broadcast delivery order (the
+// ~ww order).
+func BuildHistory(reg *object.Registry, recs []mop.Record) (*history.History, []history.ID, error) {
+	h, updateIDs, _, err := buildFromRecords(reg, recs)
+	return h, updateIDs, err
+}
+
+// buildFromRecords is the shared reconstruction: the reads-from relation
+// is derived exactly as in D5.1/D5.6 — the version vector at an
+// m-operation's start event names, per object, the version it read;
+// versions are mapped to writers by replaying the update m-operations in
+// atomic-broadcast delivery order (version 0 is the imaginary initial
+// m-operation). It mutates recs (sorting by invocation time).
+func buildFromRecords(reg *object.Registry, recs []mop.Record) (*history.History, []history.ID, *buildResult, error) {
+	// Deterministic builder order: by invocation time (unique within one
+	// store by construction of s.now; merged multi-store records rely on
+	// the shared epoch).
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Inv < recs[j].Inv })
 
-	b := history.NewBuilder(s.reg)
+	b := history.NewBuilder(reg)
 	ids := make([]history.ID, len(recs))
 	for i, rec := range recs {
 		ids[i] = b.Add(rec.Proc, rec.Inv, rec.Resp, rec.Ops...)
@@ -64,7 +89,7 @@ func (s *Store) buildHistory() (*history.History, []history.ID, error) {
 	for i := 1; i < len(updates); i++ {
 		if updates[i].seq == updates[i-1].seq {
 			a, b := recs[updates[i-1].idx], recs[updates[i].idx]
-			return nil, nil, fmt.Errorf("core: duplicate delivery sequence %d (issuers %d and %d)", updates[i].seq, a.Proc, b.Proc)
+			return nil, nil, nil, fmt.Errorf("core: duplicate delivery sequence %d (issuers %d and %d)", updates[i].seq, a.Proc, b.Proc)
 		}
 	}
 
@@ -74,7 +99,7 @@ func (s *Store) buildHistory() (*history.History, []history.ID, error) {
 	// that synchronize per object. Protocols without a per-object total
 	// version order (causal) tag writes instead; tags map to writers
 	// directly.
-	writerOf := make([]map[int64]history.ID, s.reg.Len())
+	writerOf := make([]map[int64]history.ID, reg.Len())
 	for x := range writerOf {
 		writerOf[x] = map[int64]history.ID{0: history.InitID}
 	}
@@ -84,7 +109,7 @@ func (s *Store) buildHistory() (*history.History, []history.ID, error) {
 		if rec.WriteTags != nil {
 			for _, tag := range rec.WriteTags {
 				if prev, dup := writerByTag[tag]; dup && prev != ids[i] {
-					return nil, nil, fmt.Errorf("core: write tag %+v used by both %d and %d",
+					return nil, nil, nil, fmt.Errorf("core: write tag %+v used by both %d and %d",
 						tag, int(prev), int(ids[i]))
 				}
 				writerByTag[tag] = ids[i]
@@ -93,8 +118,8 @@ func (s *Store) buildHistory() (*history.History, []history.ID, error) {
 		}
 		for x, v := range rec.VersionedWrites() {
 			if prev, dup := writerOf[x][v]; dup {
-				return nil, nil, fmt.Errorf("core: version %d of %s written by both %d and %d",
-					v, s.reg.Name(x), int(prev), int(ids[i]))
+				return nil, nil, nil, fmt.Errorf("core: version %d of %s written by both %d and %d",
+					v, reg.Name(x), int(prev), int(ids[i]))
 			}
 			writerOf[x][v] = ids[i]
 		}
@@ -110,9 +135,9 @@ func (s *Store) buildHistory() (*history.History, []history.ID, error) {
 			for x, tag := range rec.SourceTags {
 				writer, ok := writerByTag[tag]
 				if !ok {
-					return nil, nil, fmt.Errorf(
+					return nil, nil, nil, fmt.Errorf(
 						"core: m-operation at P%d read %s from unknown write tag %+v",
-						rec.Proc, s.reg.Name(x), tag)
+						rec.Proc, reg.Name(x), tag)
 				}
 				b.SetReadsFrom(ids[i], x, writer)
 			}
@@ -122,9 +147,9 @@ func (s *Store) buildHistory() (*history.History, []history.ID, error) {
 			v := rec.TSStart.Get(op.Obj)
 			writer, ok := writerOf[op.Obj][v]
 			if !ok {
-				return nil, nil, fmt.Errorf(
+				return nil, nil, nil, fmt.Errorf(
 					"core: m-operation at P%d read version %d of %s, which no recorded update wrote",
-					rec.Proc, v, s.reg.Name(op.Obj))
+					rec.Proc, v, reg.Name(op.Obj))
 			}
 			b.SetReadsFrom(ids[i], op.Obj, writer)
 		}
@@ -132,10 +157,9 @@ func (s *Store) buildHistory() (*history.History, []history.ID, error) {
 
 	h, err := b.Build()
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: build history: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: build history: %w", err)
 	}
-	s.lastBuild = &buildResult{h: h, recs: recs, ids: ids}
-	return h, updateIDs, nil
+	return h, updateIDs, &buildResult{h: h, recs: recs, ids: ids}, nil
 }
 
 // buildResult caches the most recent reconstruction's raw material for

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"moc/internal/checker"
+	"moc/internal/object"
+)
+
+// TestTraceRoundTrip dumps a recorded execution as a Trace, round-trips
+// it through JSON (the daemon dump path), rebuilds the history with the
+// standalone BuildHistory, and checks the exact decider accepts it —
+// i.e. the wire format loses nothing the checkers need.
+func TestTraceRoundTrip(t *testing.T) {
+	s, err := New(Config{
+		Procs: 3, Objects: []string{"x", "y"},
+		Consistency: MSequential, Seed: 42, MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 3; i++ {
+		p, _ := s.Process(i)
+		if err := p.Write(object.ID(0), object.Value(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Sum(object.ID(0), object.ID(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.MAssign(map[object.ID]object.Value{0: object.Value(10 + i), 1: object.Value(20 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tr, err := s.Trace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, reg, cons, err := MergeTraces(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons != MSequential {
+		t.Fatalf("consistency = %v", cons)
+	}
+	if got := len(recs); got != 9 {
+		t.Fatalf("merged %d records, want 9", got)
+	}
+	h, updates, err := BuildHistory(reg, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 6 {
+		t.Fatalf("got %d ordered updates, want 6", len(updates))
+	}
+	res, err := checker.MSequentiallyConsistent(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Admissible {
+		t.Fatal("rebuilt history rejected by the exact m-SC checker")
+	}
+}

@@ -70,6 +70,9 @@ type Config struct {
 	// QueryRetries is the number of re-solicitations before a bounded
 	// query completes partially. Ignored when QueryTimeout is zero.
 	QueryRetries int
+	// Links optionally supplies the query-network transport (channel name
+	// "mlin.query"); nil uses the simulated network stack.
+	Links network.Factory
 	// Clock returns nanoseconds since the run origin; must be monotonic.
 	Clock func() int64
 }
@@ -108,10 +111,13 @@ type queryState struct {
 	done      chan struct{}
 }
 
+// The wire payload types below carry exported fields so a serializing
+// transport (internal/transport's gob codec) can marshal them.
+
 type updatePayload struct {
-	reqID int64
-	from  int
-	proc  mop.Procedure
+	ReqID int64
+	From  int
+	Proc  mop.Procedure
 }
 
 type updateOutcome struct {
@@ -120,15 +126,15 @@ type updateOutcome struct {
 }
 
 type queryMsg struct {
-	reqID int64
-	objs  []object.ID // nil means "send everything" (Figure 6 verbatim)
+	ReqID int64
+	Objs  []object.ID // nil means "send everything" (Figure 6 verbatim)
 }
 
 type queryResp struct {
-	reqID  int64
-	objs   []object.ID // objects covered (all, in whole-copy mode)
-	values []object.Value
-	ts     []int64
+	ReqID  int64
+	Objs   []object.ID // objects covered (all, in whole-copy mode)
+	Values []object.Value
+	TS     []int64
 }
 
 // ErrClosed is returned by Execute after Close.
@@ -147,7 +153,7 @@ func New(cfg Config) (*Protocol, error) {
 		origin := time.Now()
 		cfg.Clock = func() int64 { return time.Since(origin).Nanoseconds() }
 	}
-	qnet, err := network.NewLink(network.Config{
+	qnet, err := cfg.Links.Build("mlin.query", network.Config{
 		Procs:    cfg.Procs,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
@@ -206,7 +212,7 @@ func (p *Protocol) executeUpdate(proc int, pr mop.Procedure) (mop.Record, error)
 	st.mu.Unlock()
 
 	inv := p.cfg.Clock()
-	if err := p.cfg.Broadcast.Broadcast(proc, updatePayload{reqID: reqID, from: proc, proc: pr}, mop.PayloadBytes(pr)); err != nil {
+	if err := p.cfg.Broadcast.Broadcast(proc, updatePayload{ReqID: reqID, From: proc, Proc: pr}, mop.PayloadBytes(pr)); err != nil {
 		st.mu.Lock()
 		delete(st.pendUpd, reqID)
 		st.mu.Unlock()
@@ -242,11 +248,11 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) 
 	st.mu.Unlock()
 
 	inv := p.cfg.Clock()
-	msg := queryMsg{reqID: reqID}
+	msg := queryMsg{ReqID: reqID}
 	bytes := 16
 	if p.cfg.RelevantOnly {
-		msg.objs = pr.Footprint().IDs()
-		bytes += 8 * len(msg.objs)
+		msg.Objs = pr.Footprint().IDs()
+		bytes += 8 * len(msg.Objs)
 	}
 	for q := 0; q < p.cfg.Procs; q++ {
 		if err := p.qnet.Send(proc, q, "mlin.query", msg, bytes); err != nil {
@@ -373,9 +379,9 @@ func (p *Protocol) deliveryLoop(proc int) {
 				// again would double-count. An issuer still waiting
 				// locally gets an error outcome.
 				var done chan updateOutcome
-				if payload.from == proc {
-					done = st.pendUpd[payload.reqID]
-					delete(st.pendUpd, payload.reqID)
+				if payload.From == proc {
+					done = st.pendUpd[payload.ReqID]
+					delete(st.pendUpd, payload.ReqID)
 				}
 				st.mu.Unlock()
 				if done != nil {
@@ -383,12 +389,12 @@ func (p *Protocol) deliveryLoop(proc int) {
 				}
 				continue
 			}
-			rec, err := applyLocked(st, payload.proc, payload.from, d.Seq)
+			rec, err := applyLocked(st, payload.Proc, payload.From, d.Seq)
 			st.applied = d.Seq + 1
 			var done chan updateOutcome
-			if payload.from == proc {
-				done = st.pendUpd[payload.reqID]
-				delete(st.pendUpd, payload.reqID)
+			if payload.From == proc {
+				done = st.pendUpd[payload.ReqID]
+				delete(st.pendUpd, payload.ReqID)
 			}
 			st.mu.Unlock()
 			if done != nil {
@@ -412,13 +418,13 @@ func (p *Protocol) messageLoop(proc int) {
 				p.answerQuery(proc, msg.From, m)
 			case queryResp:
 				st.mu.Lock()
-				qs, ok := st.pendQry[m.reqID]
+				qs, ok := st.pendQry[m.ReqID]
 				if ok && qs.waiting > 0 && !qs.responded[msg.From] {
 					qs.responded[msg.From] = true
-					for i, x := range m.objs {
-						if m.ts[i] > qs.othts.Get(x) {
-							qs.othts.Set(x, m.ts[i])
-							qs.othX[x] = m.values[i]
+					for i, x := range m.Objs {
+						if m.TS[i] > qs.othts.Get(x) {
+							qs.othts.Set(x, m.TS[i])
+							qs.othX[x] = m.Values[i]
 						}
 					}
 					qs.waiting--
@@ -438,23 +444,23 @@ func (p *Protocol) answerQuery(proc, from int, m queryMsg) {
 	st := p.states[proc]
 	st.mu.Lock()
 	var objs []object.ID
-	if m.objs == nil {
+	if m.Objs == nil {
 		objs = make([]object.ID, p.cfg.Reg.Len())
 		for i := range objs {
 			objs[i] = object.ID(i)
 		}
 	} else {
-		objs = m.objs
+		objs = m.Objs
 	}
 	resp := queryResp{
-		reqID:  m.reqID,
-		objs:   objs,
-		values: make([]object.Value, len(objs)),
-		ts:     make([]int64, len(objs)),
+		ReqID:  m.ReqID,
+		Objs:   objs,
+		Values: make([]object.Value, len(objs)),
+		TS:     make([]int64, len(objs)),
 	}
 	for i, x := range objs {
-		resp.values[i] = st.values[x]
-		resp.ts[i] = st.ts.Get(x)
+		resp.Values[i] = st.values[x]
+		resp.TS[i] = st.ts.Get(x)
 	}
 	st.mu.Unlock()
 	bytes := 16 + 24*len(objs) // id + per-object (id, value, version)

@@ -1,0 +1,12 @@
+package mlin
+
+import "encoding/gob"
+
+// Update and query payloads cross the broadcast and query channels,
+// which may be real serializing transports (internal/transport);
+// register them with gob.
+func init() {
+	gob.Register(updatePayload{})
+	gob.Register(queryMsg{})
+	gob.Register(queryResp{})
+}

@@ -1,0 +1,112 @@
+package mocrpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"moc/internal/core"
+	"moc/internal/network"
+)
+
+// Client is a connection to one mocd daemon. Safe for concurrent use;
+// requests are serialized on the single connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *json.Encoder
+	dec    *json.Decoder
+	nextID int64
+}
+
+// Dial connects to a daemon's client address, retrying until the
+// deadline — daemons in a cluster come up at different times.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return &Client{
+				conn: conn,
+				enc:  json.NewEncoder(conn),
+				dec:  json.NewDecoder(bufio.NewReader(conn)),
+			}, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("mocrpc: dial %s: %w", addr, lastErr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) do(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.ID = c.nextID
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("mocrpc: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("mocrpc: recv: %w", err)
+	}
+	if resp.ID != req.ID {
+		return Response{}, fmt.Errorf("mocrpc: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("mocrpc: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Exec runs one m-operation at the daemon's process. Kind and the
+// Objs/Vals conventions are documented on Request.
+func (c *Client) Exec(kind string, objs []string, vals []int64) (Response, error) {
+	return c.do(Request{Op: "exec", Kind: kind, Objs: objs, Vals: vals})
+}
+
+// Ping probes daemon liveness.
+func (c *Client) Ping() error {
+	_, err := c.do(Request{Op: "ping"})
+	return err
+}
+
+// Dump fetches the daemon's recorded execution trace.
+func (c *Client) Dump() (core.Trace, error) {
+	resp, err := c.do(Request{Op: "dump"})
+	if err != nil {
+		return core.Trace{}, err
+	}
+	if resp.Trace == nil {
+		return core.Trace{}, fmt.Errorf("mocrpc: dump response carried no trace")
+	}
+	return *resp.Trace, nil
+}
+
+// Stats fetches the daemon's aggregated transport counters.
+func (c *Client) Stats() (network.Stats, error) {
+	resp, err := c.do(Request{Op: "stats"})
+	if err != nil {
+		return network.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return network.Stats{}, fmt.Errorf("mocrpc: stats response carried no stats")
+	}
+	return *resp.Stats, nil
+}
+
+// Shutdown asks the daemon to exit. The acknowledgment arrives before
+// the daemon starts tearing down.
+func (c *Client) Shutdown() error {
+	_, err := c.do(Request{Op: "shutdown"})
+	return err
+}

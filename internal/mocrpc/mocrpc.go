@@ -1,0 +1,270 @@
+// Package mocrpc is the client front-end of a mocd daemon: a minimal
+// JSON-lines protocol over TCP through which a client issues
+// m-operations at the daemon's own process, dumps the recorded
+// execution trace for cross-daemon merging, reads transport counters,
+// and requests shutdown. One request per line, one response per line,
+// matched by ID; requests on one connection are served in order.
+//
+// The protocol deliberately carries object names, not IDs, so a client
+// needs only the cluster's object list — the daemon resolves names
+// against its registry.
+package mocrpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"moc/internal/core"
+	"moc/internal/mop"
+	"moc/internal/network"
+	"moc/internal/object"
+)
+
+// Request is one client request. Op selects the action:
+//
+//	"exec"     — run an m-operation (Kind, Objs, Vals; see Exec)
+//	"dump"     — return the daemon's recorded trace
+//	"stats"    — return the daemon's aggregated transport counters
+//	"ping"     — liveness probe
+//	"shutdown" — acknowledge, then shut the daemon down
+type Request struct {
+	ID   int64    `json:"id"`
+	Op   string   `json:"op"`
+	Kind string   `json:"kind,omitempty"`
+	Objs []string `json:"objs,omitempty"`
+	Vals []int64  `json:"vals,omitempty"`
+}
+
+// Response answers one Request (matched by ID).
+type Response struct {
+	ID     int64          `json:"id"`
+	OK     bool           `json:"ok"`
+	Err    string         `json:"err,omitempty"`
+	Value  *int64         `json:"value,omitempty"`  // read, sum
+	Values []int64        `json:"values,omitempty"` // multiread
+	Bool   *bool          `json:"bool,omitempty"`   // cas, dcas, transfer
+	Trace  *core.Trace    `json:"trace,omitempty"`  // dump
+	Stats  *network.Stats `json:"stats,omitempty"`  // stats
+}
+
+// Server serves the daemon RPC protocol on one listener.
+type Server struct {
+	store      *core.Store
+	self       int
+	ln         net.Listener
+	onShutdown func()
+	once       sync.Once
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Serve starts serving requests against store's process self on ln.
+// onShutdown (may be nil) is invoked once, asynchronously, after a
+// shutdown request has been acknowledged.
+func Serve(ln net.Listener, store *core.Store, self int, onShutdown func()) *Server {
+	s := &Server{store: store, self: self, ln: ln, onShutdown: onShutdown, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes every client connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp, shutdown := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if shutdown {
+			if s.onShutdown != nil {
+				go s.onShutdown()
+			}
+			return
+		}
+	}
+}
+
+func fail(id int64, err error) Response {
+	return Response{ID: id, Err: err.Error()}
+}
+
+// handle executes one request; the second return value reports whether
+// the daemon should now shut down.
+func (s *Server) handle(req Request) (Response, bool) {
+	switch req.Op {
+	case "ping":
+		return Response{ID: req.ID, OK: true}, false
+	case "shutdown":
+		return Response{ID: req.ID, OK: true}, true
+	case "stats":
+		st := s.store.NetStats()
+		return Response{ID: req.ID, OK: true, Stats: &st}, false
+	case "dump":
+		tr, err := s.store.Trace(s.self)
+		if err != nil {
+			return fail(req.ID, err), false
+		}
+		return Response{ID: req.ID, OK: true, Trace: &tr}, false
+	case "exec":
+		return s.exec(req), false
+	default:
+		return fail(req.ID, fmt.Errorf("mocrpc: unknown op %q", req.Op)), false
+	}
+}
+
+// exec resolves the named procedure and runs it at the daemon's process.
+func (s *Server) exec(req Request) Response {
+	objs := make([]object.ID, len(req.Objs))
+	for i, name := range req.Objs {
+		id, err := s.store.Object(name)
+		if err != nil {
+			return fail(req.ID, err)
+		}
+		objs[i] = id
+	}
+	vals := make([]object.Value, len(req.Vals))
+	for i, v := range req.Vals {
+		vals[i] = object.Value(v)
+	}
+	need := func(nObjs, nVals int) error {
+		if len(objs) != nObjs || len(vals) != nVals {
+			return fmt.Errorf("mocrpc: %s wants %d objs and %d vals, got %d and %d",
+				req.Kind, nObjs, nVals, len(objs), len(vals))
+		}
+		return nil
+	}
+
+	var pr mop.Procedure
+	switch req.Kind {
+	case "read":
+		if err := need(1, 0); err != nil {
+			return fail(req.ID, err)
+		}
+		pr = mop.ReadOp{X: objs[0]}
+	case "write":
+		if err := need(1, 1); err != nil {
+			return fail(req.ID, err)
+		}
+		pr = mop.WriteOp{X: objs[0], V: vals[0]}
+	case "multiread":
+		if len(objs) == 0 {
+			return fail(req.ID, fmt.Errorf("mocrpc: multiread wants at least one obj"))
+		}
+		pr = mop.MultiRead{Xs: objs}
+	case "sum":
+		if len(objs) == 0 {
+			return fail(req.ID, fmt.Errorf("mocrpc: sum wants at least one obj"))
+		}
+		pr = mop.Sum{Xs: objs}
+	case "massign":
+		if len(objs) == 0 || len(objs) != len(vals) {
+			return fail(req.ID, fmt.Errorf("mocrpc: massign wants parallel objs and vals"))
+		}
+		writes := make(map[object.ID]object.Value, len(objs))
+		for i, x := range objs {
+			writes[x] = vals[i]
+		}
+		pr = mop.MAssign{Writes: writes}
+	case "cas":
+		if err := need(1, 2); err != nil {
+			return fail(req.ID, err)
+		}
+		pr = mop.CAS{X: objs[0], Old: vals[0], New: vals[1]}
+	case "dcas":
+		if err := need(2, 4); err != nil {
+			return fail(req.ID, err)
+		}
+		pr = mop.DCAS{X1: objs[0], X2: objs[1], Old1: vals[0], Old2: vals[1], New1: vals[2], New2: vals[3]}
+	case "transfer":
+		if err := need(2, 1); err != nil {
+			return fail(req.ID, err)
+		}
+		pr = mop.Transfer{From: objs[0], To: objs[1], Amount: vals[0]}
+	default:
+		return fail(req.ID, fmt.Errorf("mocrpc: unknown procedure kind %q", req.Kind))
+	}
+
+	proc, err := s.store.Process(s.self)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	res, err := proc.Execute(pr)
+	if err != nil {
+		return fail(req.ID, err)
+	}
+	resp := Response{ID: req.ID, OK: true}
+	switch v := res.(type) {
+	case object.Value:
+		n := int64(v)
+		resp.Value = &n
+	case []object.Value:
+		resp.Values = make([]int64, len(v))
+		for i, x := range v {
+			resp.Values[i] = int64(x)
+		}
+	case bool:
+		b := v
+		resp.Bool = &b
+	case nil:
+	default:
+		return fail(req.ID, fmt.Errorf("mocrpc: unencodable result %T", res))
+	}
+	return resp
+}

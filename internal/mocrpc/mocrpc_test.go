@@ -1,0 +1,126 @@
+package mocrpc
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"moc/internal/core"
+)
+
+// startServer backs the RPC server with an in-process simulated-network
+// store, so the protocol layer is tested without spawning daemons.
+func startServer(t *testing.T, onShutdown func()) (*core.Store, *Client) {
+	t.Helper()
+	store, err := core.New(core.Config{
+		Procs: 2, Objects: []string{"x", "y"},
+		Consistency: core.MSequential, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, store, 0, onShutdown)
+	t.Cleanup(srv.Close)
+	c, err := Dial(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return store, c
+}
+
+func TestExecAndDump(t *testing.T) {
+	t.Parallel()
+	_, c := startServer(t, nil)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("massign", []string{"x", "y"}, []int64{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Exec("sum", []string{"x", "y"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Value == nil || *resp.Value != 9 {
+		t.Fatalf("sum response %+v, want value 9", resp)
+	}
+	resp, err = c.Exec("multiread", []string{"x", "y"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Values) != 2 || resp.Values[0] != 4 || resp.Values[1] != 5 {
+		t.Fatalf("multiread response %+v, want [4 5]", resp)
+	}
+	resp, err = c.Exec("cas", []string{"x"}, []int64{4, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bool == nil || !*resp.Bool {
+		t.Fatalf("cas response %+v, want success", resp)
+	}
+	resp, err = c.Exec("transfer", []string{"x", "y"}, []int64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Bool == nil || *resp.Bool {
+		t.Fatalf("transfer response %+v, want insufficient-funds false", resp)
+	}
+
+	tr, err := c.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 5 {
+		t.Fatalf("trace has %d records, want 5", len(tr.Records))
+	}
+	if tr.Consistency != core.MSequential.String() {
+		t.Fatalf("trace consistency %q", tr.Consistency)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages == 0 {
+		t.Fatal("stats report zero broadcast messages after updates")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	t.Parallel()
+	_, c := startServer(t, nil)
+	if _, err := c.Exec("read", []string{"nope"}, nil); err == nil {
+		t.Fatal("unknown object accepted")
+	}
+	if _, err := c.Exec("frobnicate", []string{"x"}, nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := c.Exec("cas", []string{"x"}, []int64{1}); err == nil {
+		t.Fatal("bad cas arity accepted")
+	}
+	// The connection must survive application-level errors.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShutdown(t *testing.T) {
+	t.Parallel()
+	done := make(chan struct{})
+	_, c := startServer(t, func() { close(done) })
+	if err := c.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown callback never fired")
+	}
+}

@@ -1,0 +1,19 @@
+package mop
+
+import "encoding/gob"
+
+// The declarative procedures are serializable-by-value, so they can
+// cross a real wire inside protocol payloads (internal/transport's gob
+// codec). Func is deliberately absent: a closure cannot be marshalled,
+// so Func-based m-operations only run over the in-process simulated
+// network.
+func init() {
+	gob.Register(ReadOp{})
+	gob.Register(WriteOp{})
+	gob.Register(MultiRead{})
+	gob.Register(Sum{})
+	gob.Register(MAssign{})
+	gob.Register(CAS{})
+	gob.Register(DCAS{})
+	gob.Register(Transfer{})
+}

@@ -64,10 +64,12 @@ type procState struct {
 	applied int64
 }
 
+// updatePayload is the broadcast wire payload; exported fields let a
+// serializing transport (internal/transport) marshal it.
 type updatePayload struct {
-	reqID int64
-	from  int
-	proc  mop.Procedure
+	ReqID int64
+	From  int
+	Proc  mop.Procedure
 }
 
 type updateOutcome struct {
@@ -136,7 +138,7 @@ func (p *Protocol) executeUpdate(proc int, pr mop.Procedure) (mop.Record, error)
 	st.mu.Unlock()
 
 	inv := p.cfg.Clock()
-	payload := updatePayload{reqID: reqID, from: proc, proc: pr}
+	payload := updatePayload{ReqID: reqID, From: proc, Proc: pr}
 	if err := p.cfg.Broadcast.Broadcast(proc, payload, mop.PayloadBytes(pr)); err != nil {
 		st.mu.Lock()
 		delete(st.pending, reqID)
@@ -191,9 +193,9 @@ func (p *Protocol) deliveryLoop(proc int) {
 				// double-count. An issuer still waiting locally (it crashed
 				// between broadcast and delivery) gets an error outcome.
 				var done chan updateOutcome
-				if payload.from == proc {
-					done = st.pending[payload.reqID]
-					delete(st.pending, payload.reqID)
+				if payload.From == proc {
+					done = st.pending[payload.ReqID]
+					delete(st.pending, payload.ReqID)
 				}
 				st.mu.Unlock()
 				if done != nil {
@@ -201,12 +203,12 @@ func (p *Protocol) deliveryLoop(proc int) {
 				}
 				continue
 			}
-			rec, err := applyLocked(st, payload.proc, payload.from, d.Seq)
+			rec, err := applyLocked(st, payload.Proc, payload.From, d.Seq)
 			st.applied = d.Seq + 1
 			var done chan updateOutcome
-			if payload.from == proc {
-				done = st.pending[payload.reqID]
-				delete(st.pending, payload.reqID)
+			if payload.From == proc {
+				done = st.pending[payload.ReqID]
+				delete(st.pending, payload.ReqID)
 			}
 			st.mu.Unlock()
 			if done != nil {

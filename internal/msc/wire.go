@@ -1,0 +1,9 @@
+package msc
+
+import "encoding/gob"
+
+// The update payload crosses the broadcast channel, which may be a real
+// serializing transport (internal/transport); register it with gob.
+func init() {
+	gob.Register(updatePayload{})
+}

@@ -1,0 +1,44 @@
+package network_test
+
+import (
+	"testing"
+	"time"
+
+	"moc/internal/network"
+	"moc/internal/network/testutil"
+)
+
+// TestNetworkConformance runs the shared Link conformance suite against
+// the plain simulated network.
+func TestNetworkConformance(t *testing.T) {
+	t.Parallel()
+	testutil.RunLinkConformance(t, func(t testing.TB, cfg network.Config) network.Link {
+		cfg.Seed = 1
+		cfg.MaxDelay = time.Millisecond
+		link, err := network.NewLink(cfg)
+		if err != nil {
+			t.Fatalf("NewLink: %v", err)
+		}
+		t.Cleanup(link.Close)
+		return link
+	})
+}
+
+// TestReliableConformance runs the same suite against the Reliable
+// layer over a lossy, duplicating network — exactly-once per-link FIFO
+// must be restored, and the Stats lower bounds must absorb the
+// retransmission and framing overhead.
+func TestReliableConformance(t *testing.T) {
+	t.Parallel()
+	testutil.RunLinkConformance(t, func(t testing.TB, cfg network.Config) network.Link {
+		cfg.Seed = 2
+		cfg.MaxDelay = time.Millisecond
+		cfg.Faults = &network.Faults{DropProb: 0.2, DupProb: 0.1}
+		link, err := network.NewLink(cfg)
+		if err != nil {
+			t.Fatalf("NewLink: %v", err)
+		}
+		t.Cleanup(link.Close)
+		return link
+	})
+}

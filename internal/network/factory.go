@@ -1,0 +1,20 @@
+package network
+
+// Factory is the plug-in point that lets a protocol stack run over a
+// transport other than the simulated Network — most notably the real
+// TCP transport in internal/transport. It builds the transport for one
+// named logical channel: name identifies the channel ("abcast",
+// "mlin.query", "recovery"); cfg carries the endpoint count and the
+// simulation parameters, which a real transport is free to ignore
+// (delays come from the wire, FIFO ordering from the connection).
+type Factory func(name string, cfg Config) (Link, error)
+
+// Build constructs the channel through f, falling back to the simulated
+// stack (NewLink) when f is nil. Protocol layers call this so a nil
+// factory keeps today's behavior exactly.
+func (f Factory) Build(name string, cfg Config) (Link, error) {
+	if f == nil {
+		return NewLink(cfg)
+	}
+	return f(name, cfg)
+}

@@ -85,7 +85,11 @@ type Stats struct {
 	// once per transport when the stats are merged.
 	Crashes  int64
 	Restarts int64
-	ByKind   map[string]KindStats
+	// Reconnects counts connection re-establishments on transports with
+	// real connections (the TCP transport). Always zero on the simulated
+	// network, whose channels never disconnect.
+	Reconnects int64
+	ByKind     map[string]KindStats
 }
 
 // Merge adds other's counters into s.
@@ -97,6 +101,7 @@ func (s *Stats) Merge(other Stats) {
 	s.Retransmitted += other.Retransmitted
 	s.Crashes += other.Crashes
 	s.Restarts += other.Restarts
+	s.Reconnects += other.Reconnects
 	if len(other.ByKind) > 0 && s.ByKind == nil {
 		s.ByKind = make(map[string]KindStats)
 	}

@@ -61,17 +61,21 @@ type Config struct {
 	Faults *network.Faults
 	// State is the replica store to checkpoint. Required.
 	State State
+	// Links optionally supplies the transfer-network transport (channel
+	// name "recovery"); nil uses the simulated network stack.
+	Links network.Factory
 }
 
-// xferReq asks a peer for its current checkpoint.
+// xferReq asks a peer for its current checkpoint. (Wire payloads carry
+// exported fields so a serializing transport can marshal them.)
 type xferReq struct {
-	reqID int64
+	ReqID int64
 }
 
 // xferResp carries the peer's checkpoint back.
 type xferResp struct {
-	reqID int64
-	ck    Checkpoint
+	ReqID int64
+	CK    Checkpoint
 }
 
 // ckArrival pairs a response with its sender for freshest-peer choice.
@@ -106,7 +110,7 @@ func New(cfg Config) (*Service, error) {
 	if cfg.State == nil {
 		return nil, errors.New("recovery: state is required")
 	}
-	link, err := network.NewLink(network.Config{
+	link, err := cfg.Links.Build("recovery", network.Config{
 		Procs:    cfg.Procs,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
@@ -146,10 +150,10 @@ func (s *Service) serve(p int) {
 			case xferReq:
 				ck := s.cfg.State.Snapshot(p)
 				bytes := 16 + 16*len(ck.Values)
-				_ = s.net.Send(p, msg.From, "recov.ck", xferResp{reqID: m.reqID, ck: ck}, bytes)
+				_ = s.net.Send(p, msg.From, "recov.ck", xferResp{ReqID: m.ReqID, CK: ck}, bytes)
 			case xferResp:
 				select {
-				case s.waiters[p] <- ckArrival{reqID: m.reqID, from: msg.From, ck: m.ck}:
+				case s.waiters[p] <- ckArrival{reqID: m.ReqID, from: msg.From, ck: m.CK}:
 				default: // stale response for a finished Recover
 				}
 			}
@@ -189,7 +193,7 @@ func (s *Service) Recover(proc int, timeout time.Duration) (bool, error) {
 		if q == proc || s.net.Down(q) {
 			continue
 		}
-		if err := s.net.Send(proc, q, "recov.req", xferReq{reqID: reqID}, 16); err != nil {
+		if err := s.net.Send(proc, q, "recov.req", xferReq{ReqID: reqID}, 16); err != nil {
 			return false, err
 		}
 		asked++

@@ -1,0 +1,10 @@
+package recovery
+
+import "encoding/gob"
+
+// Transfer requests and responses may cross a real serializing
+// transport (internal/transport); register them with gob.
+func init() {
+	gob.Register(xferReq{})
+	gob.Register(xferResp{})
+}

@@ -1,0 +1,71 @@
+// Frame codec for the TCP transport: each network message crosses the
+// wire as a length-prefixed gob frame. Payloads travel inside the
+// frame's `any` slot, so every protocol payload type must be registered
+// with encoding/gob — each protocol package does so in its wire.go
+// (abcast, msc, mlin, recovery), and mop registers the declarative
+// procedure types that ride inside update payloads. The registry is
+// keyed by package-qualified type names, so protocol payload types stay
+// unexported.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// maxFrame bounds a single frame's encoded size; a larger length prefix
+// indicates a corrupt or hostile stream and kills the connection.
+const maxFrame = 32 << 20
+
+// wireFrame is the on-the-wire representation of one network.Message,
+// tagged with the logical channel that must receive it.
+type wireFrame struct {
+	Channel string
+	From    int
+	To      int
+	Kind    string
+	Payload any
+	Bytes   int
+}
+
+// encodeFrame serializes f as [4-byte big-endian length][gob bytes],
+// ready for a single conn.Write. Encoding happens at Send time so an
+// unregistered payload type surfaces as the Send error, not as a silent
+// drop in the writer goroutine.
+func encodeFrame(f wireFrame) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("transport: encode %q payload %T: %w", f.Kind, f.Payload, err)
+	}
+	b := buf.Bytes()
+	if len(b)-4 > maxFrame {
+		return nil, fmt.Errorf("transport: frame %q exceeds %d bytes", f.Kind, maxFrame)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	return b, nil
+}
+
+// readFrame reads one length-prefixed frame from r and decodes it.
+func readFrame(r io.Reader) (wireFrame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return wireFrame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return wireFrame{}, fmt.Errorf("transport: frame length %d exceeds %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return wireFrame{}, err
+	}
+	var f wireFrame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return wireFrame{}, fmt.Errorf("transport: decode frame: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,563 @@
+// Package transport implements network.Link over real TCP connections,
+// letting the §5 protocol stacks (m-SC and m-lin over atomic broadcast)
+// run across OS processes instead of the in-memory simulated network.
+//
+// One Node per process multiplexes every logical channel ("abcast",
+// "mlin.query", "recovery") over a single listener and one outbound
+// connection per peer. Endpoints are mapped to processes by
+// owner(e) = e mod len(addrs), which places protocol endpoint p on
+// daemon p and the fixed sequencer's dedicated endpoint n back on
+// daemon 0. Frames are length-prefixed gob (see codec.go), encoded at
+// Send time so callers observe codec errors. Outbound connections dial
+// lazily with exponential backoff and reconnect after failures,
+// counting re-establishments in Stats.Reconnects.
+//
+// Unlike the simulated network, every daemon constructs the full
+// protocol stack, so constructors replicate bootstrap sends on all
+// nodes (e.g. the token ring's initial token injection at endpoint 0).
+// Sends whose from-endpoint is not locally owned are therefore dropped
+// silently (counted in Stats.Dropped): the owning node performs the
+// authoritative send.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moc/internal/network"
+)
+
+// Config describes one node of a transport cluster.
+type Config struct {
+	// Self is this node's index into Addrs.
+	Self int
+	// Addrs lists every node's listen address, in node-index order.
+	// The same slice must be given to every node.
+	Addrs []string
+	// Listener optionally supplies a pre-bound listener (e.g. one
+	// opened on port 0 to learn its address before the cluster's
+	// address list is assembled). When nil, Listen binds Addrs[Self].
+	Listener net.Listener
+	// DialTimeout bounds a single outbound dial attempt. Default 2s.
+	DialTimeout time.Duration
+	// RetryBase and RetryMax bound the exponential dial backoff.
+	// Defaults 5ms and 1s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// InboxSize is the per-endpoint delivery buffer on each channel.
+	// Default 4096.
+	InboxSize int
+}
+
+const (
+	defaultDialTimeout = 2 * time.Second
+	defaultRetryBase   = 5 * time.Millisecond
+	defaultRetryMax    = time.Second
+	defaultInboxSize   = 4096
+	// maxPending bounds frames buffered per channel before the local
+	// protocol stack registers its link; overflow is dropped.
+	maxPending = 4096
+	// peerQueue is the depth of each outbound per-peer frame queue.
+	peerQueue = 4096
+)
+
+// Node is one process's TCP transport endpoint. It accepts inbound
+// connections from every peer, maintains one lazy outbound connection
+// per peer, and demultiplexes inbound frames to the registered logical
+// channels.
+type Node struct {
+	cfg    Config
+	ln     net.Listener
+	peers  []*peer // peers[Self] == nil
+	ctx    context.Context
+	cancel context.CancelFunc
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	links   map[string]*tcpLink
+	pending map[string][]network.Message
+	conns   map[net.Conn]struct{}
+	closed  bool
+
+	reconnects atomic.Int64
+}
+
+// Listen starts a transport node: it binds (or adopts) the listener for
+// cfg.Addrs[cfg.Self] and begins accepting peer connections. Outbound
+// connections are dialed lazily on first send to each peer.
+func Listen(cfg Config) (*Node, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("transport: no addresses")
+	}
+	if cfg.Self < 0 || cfg.Self >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("transport: self %d out of range [0,%d)", cfg.Self, len(cfg.Addrs))
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = defaultDialTimeout
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = defaultRetryBase
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = defaultRetryMax
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = defaultInboxSize
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Self])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.Self], err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
+		cfg:     cfg,
+		ln:      ln,
+		ctx:     ctx,
+		cancel:  cancel,
+		stop:    make(chan struct{}),
+		links:   make(map[string]*tcpLink),
+		pending: make(map[string][]network.Message),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	n.peers = make([]*peer, len(cfg.Addrs))
+	for i, addr := range cfg.Addrs {
+		if i == cfg.Self {
+			continue
+		}
+		p := &peer{node: n, id: i, addr: addr, out: make(chan []byte, peerQueue)}
+		n.peers[i] = p
+		n.wg.Add(1)
+		go p.writer()
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's actual listen address (useful with port 0).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Owner maps a protocol endpoint to the node index that hosts it.
+// Endpoints 0..len(addrs)-1 map to their own node; extra endpoints
+// (the fixed sequencer's dedicated endpoint n) wrap around to node 0.
+func (n *Node) Owner(endpoint int) int { return endpoint % len(n.cfg.Addrs) }
+
+// Factory returns a network.Factory that builds each named logical
+// channel on this node. The simulation parameters in the network.Config
+// (delays, seed, faults) are ignored; only Procs and InboxSize apply.
+func (n *Node) Factory() network.Factory {
+	return func(name string, cfg network.Config) (network.Link, error) {
+		inbox := cfg.InboxSize
+		if inbox <= 0 {
+			inbox = n.cfg.InboxSize
+		}
+		return n.register(name, cfg.Procs, inbox)
+	}
+}
+
+// Close shuts the node down: the listener stops accepting, every open
+// connection is closed, and all links tied to this node report
+// network.ErrClosed on further sends.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for c := range n.conns {
+		c.Close()
+	}
+	links := make([]*tcpLink, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+
+	close(n.stop)
+	n.cancel()
+	n.ln.Close()
+	for _, l := range links {
+		l.Close()
+	}
+	n.wg.Wait()
+}
+
+// register creates (and registers) the link for one logical channel,
+// first flushing any frames that arrived before the local protocol
+// stack was constructed. The flush loop preserves arrival order: it
+// repeatedly drains the pending slice outside the lock and only
+// registers the live link once no more buffered frames remain.
+func (n *Node) register(name string, endpoints, inboxSize int) (*tcpLink, error) {
+	if endpoints <= 0 {
+		return nil, fmt.Errorf("transport: channel %q needs at least one endpoint", name)
+	}
+	l := &tcpLink{
+		node:      n,
+		name:      name,
+		endpoints: endpoints,
+		inboxes:   make(map[int]chan network.Message),
+		never:     make(chan network.Message),
+		stop:      make(chan struct{}),
+		kinds:     make(map[string]*network.KindStats),
+	}
+	for e := 0; e < endpoints; e++ {
+		if n.Owner(e) == n.cfg.Self {
+			l.inboxes[e] = make(chan network.Message, inboxSize)
+		}
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, network.ErrClosed
+	}
+	if _, dup := n.links[name]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: channel %q already registered", name)
+	}
+	for {
+		pend := n.pending[name]
+		if len(pend) == 0 {
+			n.links[name] = l
+			delete(n.pending, name)
+			n.mu.Unlock()
+			return l, nil
+		}
+		n.pending[name] = nil
+		n.mu.Unlock()
+		for _, m := range pend {
+			l.deliver(m)
+		}
+		n.mu.Lock()
+	}
+}
+
+// route hands one inbound frame to its channel's link, or buffers it if
+// the channel is not registered yet (daemons start at different times,
+// so a fast peer's first frames can land before the local stack is up).
+func (n *Node) route(name string, m network.Message) {
+	n.mu.Lock()
+	l, ok := n.links[name]
+	if !ok {
+		if !n.closed && len(n.pending[name]) < maxPending {
+			n.pending[name] = append(n.pending[name], m)
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	l.deliver(m)
+}
+
+// enqueue queues one encoded frame for the writer goroutine of the peer
+// that owns the destination endpoint.
+func (n *Node) enqueue(peerID int, buf []byte, linkStop chan struct{}) error {
+	p := n.peers[peerID]
+	select {
+	case p.out <- buf:
+		return nil
+	case <-n.stop:
+		return network.ErrClosed
+	case <-linkStop:
+		return network.ErrClosed
+	}
+}
+
+func (n *Node) trackConn(c net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.conns[c] = struct{}{}
+	return true
+}
+
+func (n *Node) untrackConn(c net.Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !n.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection until it fails or
+// the node closes. Any peer connection may carry frames for any channel.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer n.untrackConn(conn)
+	defer conn.Close()
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		n.route(f.Channel, network.Message{
+			From: f.From, To: f.To, Kind: f.Kind, Payload: f.Payload, Bytes: f.Bytes,
+		})
+	}
+}
+
+// peer owns the single outbound connection to one remote node. Its
+// writer goroutine dials lazily with exponential backoff and re-dials
+// after write failures, resending the frame that hit the error. TCP
+// guarantees ordered reliable delivery within one connection; a frame
+// written just before a connection dies may be lost, matching the
+// paper's reliable-channel assumption only as well as real TCP does.
+type peer struct {
+	node *Node
+	id   int
+	addr string
+	out  chan []byte
+}
+
+func (p *peer) writer() {
+	defer p.node.wg.Done()
+	var conn net.Conn
+	connectedOnce := false
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		var buf []byte
+		select {
+		case buf = <-p.out:
+		case <-p.node.stop:
+			return
+		}
+		for {
+			if conn == nil {
+				conn = p.dial()
+				if conn == nil {
+					return // node closed while dialing
+				}
+				if connectedOnce {
+					p.node.reconnects.Add(1)
+				}
+				connectedOnce = true
+			}
+			if _, err := conn.Write(buf); err == nil {
+				break
+			}
+			p.node.untrackConn(conn)
+			conn.Close()
+			conn = nil
+			select {
+			case <-p.node.stop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// dial connects to the peer, retrying with exponential backoff until it
+// succeeds or the node closes (then it returns nil).
+func (p *peer) dial() net.Conn {
+	backoff := p.node.cfg.RetryBase
+	for {
+		d := net.Dialer{Timeout: p.node.cfg.DialTimeout}
+		conn, err := d.DialContext(p.node.ctx, "tcp", p.addr)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			if !p.node.trackConn(conn) {
+				conn.Close()
+				return nil
+			}
+			return conn
+		}
+		select {
+		case <-p.node.stop:
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > p.node.cfg.RetryMax {
+			backoff = p.node.cfg.RetryMax
+		}
+	}
+}
+
+// tcpLink is one logical channel's network.Link view on one node. It
+// meters sends exactly like the simulated network (messages, bytes,
+// per-kind counts) and adds the node-wide reconnect count to Stats.
+type tcpLink struct {
+	node      *Node
+	name      string
+	endpoints int
+	inboxes   map[int]chan network.Message // locally-owned endpoints only
+	never     chan network.Message         // returned for remote endpoints
+	stop      chan struct{}
+	closed    atomic.Bool
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+	dropped  atomic.Int64
+
+	mu    sync.Mutex
+	kinds map[string]*network.KindStats
+}
+
+var _ network.Link = (*tcpLink)(nil)
+
+// Send transmits one message. Messages between two locally-owned
+// endpoints bypass serialization and go straight to the inbox; remote
+// messages are gob-encoded here (so codec errors surface to the caller)
+// and queued on the destination node's peer connection. Sends from
+// endpoints this node does not own are artifacts of replicated protocol
+// construction and are dropped (counted in Stats.Dropped): the owning
+// node performs the authoritative send.
+func (l *tcpLink) Send(from, to int, kind string, payload any, bytes int) error {
+	if l.closed.Load() {
+		return network.ErrClosed
+	}
+	if from < 0 || from >= l.endpoints || to < 0 || to >= l.endpoints {
+		return fmt.Errorf("transport: endpoint out of range: %d -> %d (of %d)", from, to, l.endpoints)
+	}
+	if l.node.Owner(from) != l.node.cfg.Self {
+		l.dropped.Add(1)
+		return nil
+	}
+	owner := l.node.Owner(to)
+	if owner == l.node.cfg.Self {
+		l.meter(kind, bytes)
+		return l.deliverLocal(network.Message{From: from, To: to, Kind: kind, Payload: payload, Bytes: bytes})
+	}
+	buf, err := encodeFrame(wireFrame{Channel: l.name, From: from, To: to, Kind: kind, Payload: payload, Bytes: bytes})
+	if err != nil {
+		return err
+	}
+	l.meter(kind, bytes)
+	return l.node.enqueue(owner, buf, l.stop)
+}
+
+// Broadcast sends to every endpoint, including the sender. Unlike the
+// simulated network the fan-out is not atomic: each destination is an
+// independent Send, and the first error aborts the remainder.
+func (l *tcpLink) Broadcast(from int, kind string, payload any, bytes int) error {
+	for to := 0; to < l.endpoints; to++ {
+		if err := l.Send(from, to, kind, payload, bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv returns the delivery channel for endpoint p. For endpoints owned
+// by other nodes it returns a channel that never delivers, so replicated
+// constructors can wire up receive loops that simply stay idle.
+func (l *tcpLink) Recv(p int) <-chan network.Message {
+	if ch, ok := l.inboxes[p]; ok {
+		return ch
+	}
+	return l.never
+}
+
+// deliverLocal pushes a message into a locally-owned inbox, blocking
+// until there is room or the link/node closes.
+func (l *tcpLink) deliverLocal(m network.Message) error {
+	ch, ok := l.inboxes[m.To]
+	if !ok {
+		l.dropped.Add(1)
+		return nil
+	}
+	select {
+	case ch <- m:
+		return nil
+	case <-l.stop:
+		return network.ErrClosed
+	case <-l.node.stop:
+		return network.ErrClosed
+	}
+}
+
+// deliver handles an inbound (or flushed-pending) frame. After the link
+// closes, frames are silently discarded — the link stays registered as a
+// tombstone so late traffic does not re-buffer.
+func (l *tcpLink) deliver(m network.Message) {
+	if l.closed.Load() {
+		return
+	}
+	if m.To < 0 || m.To >= l.endpoints {
+		l.dropped.Add(1)
+		return
+	}
+	l.deliverLocal(m)
+}
+
+func (l *tcpLink) meter(kind string, bytes int) {
+	l.messages.Add(1)
+	l.bytes.Add(int64(bytes))
+	l.mu.Lock()
+	ks := l.kinds[kind]
+	if ks == nil {
+		ks = &network.KindStats{}
+		l.kinds[kind] = ks
+	}
+	ks.Messages++
+	ks.Bytes += int64(bytes)
+	l.mu.Unlock()
+}
+
+// Stats reports this channel's send-side metering. Reconnects is the
+// node-wide count of re-established peer connections (connections are
+// shared by every channel on the node, so the count cannot be split
+// per channel).
+func (l *tcpLink) Stats() network.Stats {
+	st := network.Stats{
+		Messages:   l.messages.Load(),
+		Bytes:      l.bytes.Load(),
+		Dropped:    l.dropped.Load(),
+		Reconnects: l.node.reconnects.Load(),
+		ByKind:     make(map[string]network.KindStats),
+	}
+	l.mu.Lock()
+	for k, v := range l.kinds {
+		st.ByKind[k] = *v
+	}
+	l.mu.Unlock()
+	return st
+}
+
+// Procs returns the channel's endpoint count (across all nodes).
+func (l *tcpLink) Procs() int { return l.endpoints }
+
+// Down always reports false: the TCP transport does not simulate
+// crash-stop faults; real process death is visible as disconnects.
+func (l *tcpLink) Down(p int) bool { return false }
+
+// Close shuts this channel down on this node. The link stays registered
+// as a tombstone so frames still in flight from peers are discarded
+// rather than buffered. The node and its other channels keep running.
+func (l *tcpLink) Close() {
+	if l.closed.CompareAndSwap(false, true) {
+		close(l.stop)
+	}
+}
