@@ -12,8 +12,12 @@
 //	mocd -id 2 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7202 &
 //
 // Every daemon must be started with the same -peers, -objects,
-// -consistency, -broadcast and -epoch values; -id selects which peer
-// slot (and which protocol process) this daemon is.
+// -consistency, -broadcast, -epoch, -batch, -batchwindow and -inflight
+// values; -id selects which peer slot (and which protocol process) this
+// daemon is. The batching knobs enable the coalesced, pipelined update
+// path — a daemon batching while its peers do not would still be
+// correct (batches expand locally on every node) but would skew any
+// cost comparison, so keep them uniform.
 package main
 
 import (
@@ -47,6 +51,9 @@ func run() error {
 		consistency = flag.String("consistency", "mlin", `consistency condition: "msc" or "mlin"`)
 		broadcast   = flag.String("broadcast", "seq", `atomic broadcast: "seq", "lamport" or "token"`)
 		epoch       = flag.Int64("epoch", 0, "shared clock epoch, unix nanoseconds (0 = daemon start; share one value across the cluster so merged traces are real-time comparable)")
+		batch       = flag.Int("batch", 1, "coalesce up to this many updates into one broadcast frame (1 = unbatched; same value on every daemon)")
+		batchWindow = flag.Duration("batchwindow", 0, "longest an update waits for its batch to fill (0 with -batch > 1 uses the built-in default)")
+		inflight    = flag.Int("inflight", 1, "updates outstanding per process (pipelined issuance; same value on every daemon)")
 	)
 	flag.Parse()
 
@@ -63,6 +70,15 @@ func run() error {
 	names := splitList(*objects)
 	if len(names) == 0 {
 		return fmt.Errorf("-objects is required")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be at least 1, got %d", *batch)
+	}
+	if *batchWindow < 0 {
+		return fmt.Errorf("-batchwindow must not be negative, got %v", *batchWindow)
+	}
+	if *inflight < 1 {
+		return fmt.Errorf("-inflight must be at least 1, got %d", *inflight)
 	}
 
 	var cons core.Consistency
@@ -94,14 +110,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	store, err := core.New(core.Config{
+	storeCfg := core.Config{
 		Procs:       len(addrs),
 		Objects:     names,
 		Consistency: cons,
 		Broadcast:   bcast,
 		Links:       node.Factory(),
 		Epoch:       epochTime,
-	})
+		BatchWindow: *batchWindow,
+		MaxInflight: *inflight,
+	}
+	if *batch > 1 {
+		storeCfg.BatchSize = *batch
+	}
+	store, err := core.New(storeCfg)
 	if err != nil {
 		node.Close()
 		return err

@@ -1,9 +1,12 @@
 // Command mocload drives a mocd cluster with a seeded closed-loop
-// workload: one client per daemon issues that daemon's planned
-// m-operations back-to-back (queries as multireads, updates as
+// workload: -inflight clients per daemon (each on its own connection,
+// since one RPC connection serializes its requests) issue that daemon's
+// planned m-operations back-to-back (queries as multireads, updates as
 // multi-assignments — the same mixes internal/workload plans for the
 // in-process benchmarks), then reports per-class latency percentiles
-// and overall throughput. With -out it additionally dumps every
+// and overall throughput. Pair -inflight with the daemons' -inflight
+// pipelining (and their -batch/-batchwindow coalescing) to saturate the
+// batched update path. With -out it additionally dumps every
 // daemon's recorded trace, merges them into one execution history, and
 // writes it as moccheck-compatible JSON — so a real multi-process run
 // can be verified by the exact checkers:
@@ -46,8 +49,12 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "workload plan seed")
 		out      = flag.String("out", "", "write the merged execution history (moccheck JSON) here")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-daemon dial timeout")
+		inflight = flag.Int("inflight", 1, "concurrent closed-loop clients per daemon, each on its own connection (pair with the daemons' -inflight so the pipelined lanes are actually fed)")
 	)
 	flag.Parse()
+	if *inflight < 1 {
+		return fmt.Errorf("-inflight must be at least 1, got %d", *inflight)
+	}
 
 	addrs := splitList(*nodes)
 	if len(addrs) == 0 {
@@ -58,17 +65,22 @@ func run() error {
 		return fmt.Errorf("-objects is required")
 	}
 
-	clients := make([]*mocrpc.Client, len(addrs))
+	// One RPC connection serializes its requests, so pipelined load needs
+	// -inflight connections per daemon: each carries one closed loop.
+	clients := make([][]*mocrpc.Client, len(addrs))
 	for i, addr := range addrs {
-		c, err := mocrpc.Dial(addr, *timeout)
-		if err != nil {
-			return err
+		clients[i] = make([]*mocrpc.Client, *inflight)
+		for k := range clients[i] {
+			c, err := mocrpc.Dial(addr, *timeout)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			clients[i][k] = c
 		}
-		defer c.Close()
-		if err := c.Ping(); err != nil {
+		if err := clients[i][0].Ping(); err != nil {
 			return fmt.Errorf("node %d (%s): %w", i, addr, err)
 		}
-		clients[i] = c
 	}
 
 	mix := workload.Mix{ReadFrac: *readFrac, Span: *span, OpsPerProc: *ops}
@@ -78,42 +90,50 @@ func run() error {
 		mu             sync.Mutex
 		queryNs, updNs []int64
 		wg             sync.WaitGroup
-		errs           = make(chan error, len(addrs))
+		errs           = make(chan error, len(addrs)*(*inflight))
 		start          = time.Now()
 	)
 	for i := range clients {
-		wg.Add(1)
-		go func(c *mocrpc.Client, plan []workload.Op) {
-			defer wg.Done()
-			for _, op := range plan {
-				objs := make([]string, len(op.Objs))
-				for j, x := range op.Objs {
-					objs[j] = names[x]
-				}
-				var vals []int64
-				kind := "multiread"
-				if !op.Query {
-					kind = "massign"
-					vals = make([]int64, len(op.Vals))
-					for j, v := range op.Vals {
-						vals[j] = int64(v)
-					}
-				}
-				t0 := time.Now()
-				if _, err := c.Exec(kind, objs, vals); err != nil {
-					errs <- err
-					return
-				}
-				ns := time.Since(t0).Nanoseconds()
-				mu.Lock()
-				if op.Query {
-					queryNs = append(queryNs, ns)
-				} else {
-					updNs = append(updNs, ns)
-				}
-				mu.Unlock()
+		// Slice node i's plan across its closed loops: worker k issues
+		// ops k, k+inflight, k+2*inflight, ...
+		for k, c := range clients[i] {
+			var share []workload.Op
+			for j := k; j < len(plans[i]); j += *inflight {
+				share = append(share, plans[i][j])
 			}
-		}(clients[i], plans[i])
+			wg.Add(1)
+			go func(c *mocrpc.Client, plan []workload.Op) {
+				defer wg.Done()
+				for _, op := range plan {
+					objs := make([]string, len(op.Objs))
+					for j, x := range op.Objs {
+						objs[j] = names[x]
+					}
+					var vals []int64
+					kind := "multiread"
+					if !op.Query {
+						kind = "massign"
+						vals = make([]int64, len(op.Vals))
+						for j, v := range op.Vals {
+							vals[j] = int64(v)
+						}
+					}
+					t0 := time.Now()
+					if _, err := c.Exec(kind, objs, vals); err != nil {
+						errs <- err
+						return
+					}
+					ns := time.Since(t0).Nanoseconds()
+					mu.Lock()
+					if op.Query {
+						queryNs = append(queryNs, ns)
+					} else {
+						updNs = append(updNs, ns)
+					}
+					mu.Unlock()
+				}
+			}(c, share)
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -136,8 +156,8 @@ func run() error {
 	// Merge every daemon's trace into one history and write it in the
 	// moccheck interchange format.
 	traces := make([]core.Trace, len(clients))
-	for i, c := range clients {
-		tr, err := c.Dump()
+	for i, node := range clients {
+		tr, err := node[0].Dump()
 		if err != nil {
 			return fmt.Errorf("node %d dump: %w", i, err)
 		}

@@ -7,8 +7,16 @@
 //
 //	mocsim -consistency mlin -procs 4 -objects 6 -ops 8 -readfrac 0.5 \
 //	       -maxdelay 2ms -seed 7 [-broadcast lamport] [-relevant] [-json] \
+//	       [-batch 8] [-batchwindow 200us] [-inflight 32] \
 //	       [-drop 0.2] [-dup 0.05] [-partition 50ms] \
 //	       [-crash 1@40ms,2@80ms] [-restart 1@160ms]
+//
+// The -batch, -batchwindow and -inflight flags enable the batched,
+// pipelined update path of the broadcast consistencies (msc, mlin):
+// updates queued within the window are coalesced into one broadcast
+// frame of up to -batch updates, and each process may keep up to
+// -inflight updates outstanding. The defaults (1, 0, 1) reproduce the
+// unbatched one-at-a-time behavior exactly.
 //
 // The -drop, -dup and -partition flags enable fault injection: messages
 // are dropped/duplicated with the given probabilities, and -partition
@@ -111,6 +119,9 @@ func run() error {
 		maxDelay    = flag.Duration("maxdelay", 2*time.Millisecond, "maximum network delay")
 		seed        = flag.Int64("seed", 1, "randomness seed")
 		relevant    = flag.Bool("relevant", false, "mlin: send only relevant objects in query responses")
+		batch       = flag.Int("batch", 1, "msc/mlin: coalesce up to this many updates into one broadcast frame (1 = unbatched)")
+		batchWindow = flag.Duration("batchwindow", 0, "msc/mlin: longest an update waits for its batch to fill (0 with -batch > 1 uses the built-in default)")
+		inflight    = flag.Int("inflight", 1, "msc/mlin: updates outstanding per process (pipelined issuance)")
 		drop        = flag.Float64("drop", 0, "fault injection: per-message drop probability in [0,1)")
 		dup         = flag.Float64("dup", 0, "fault injection: per-message duplication probability in [0,1)")
 		partition   = flag.Duration("partition", 0, "fault injection: partition the first half of the processes from the rest until this duration elapses")
@@ -146,6 +157,19 @@ func run() error {
 	if *partition < 0 {
 		return usageError{fmt.Sprintf("-partition must not be negative, got %v", *partition)}
 	}
+	if *batch < 1 {
+		return usageError{fmt.Sprintf("-batch must be at least 1, got %d", *batch)}
+	}
+	if *batchWindow < 0 {
+		return usageError{fmt.Sprintf("-batchwindow must not be negative, got %v", *batchWindow)}
+	}
+	if *inflight < 1 {
+		return usageError{fmt.Sprintf("-inflight must be at least 1, got %d", *inflight)}
+	}
+	if (*batch > 1 || *batchWindow > 0 || *inflight > 1) &&
+		*consistency != "msc" && *consistency != "mlin" {
+		return usageError{fmt.Sprintf("-batch/-batchwindow/-inflight apply to the broadcast consistencies (msc, mlin), not %q", *consistency)}
+	}
 	crashes, err := parseSchedule("crash", *crash, *procs)
 	if err != nil {
 		return err
@@ -170,6 +194,11 @@ func run() error {
 		Seed:         *seed,
 		MaxDelay:     *maxDelay,
 		RelevantOnly: *relevant,
+		BatchWindow:  *batchWindow,
+		MaxInflight:  *inflight,
+	}
+	if *batch > 1 {
+		cfg.BatchSize = *batch
 	}
 	switch *consistency {
 	case "msc":

@@ -1,0 +1,229 @@
+package abcast
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moc/internal/network"
+)
+
+// BatchItem is one update coalesced into a BatchMsg: the original
+// sender, its payload, and its accounted wire size.
+type BatchItem struct {
+	From    int
+	Payload any
+	Bytes   int
+}
+
+// BatchMsg carries N ordered updates in one broadcast frame. It is the
+// group-commit unit: submitters within a batching window share a single
+// pass through the total-order protocol, and every receiver expands the
+// batch back into N consecutive deliveries. Because the items occupy a
+// contiguous run of the (renumbered) delivery order at every process,
+// the protocols above see exactly the history an unbatched run could
+// have produced, and the exact checkers are untouched.
+type BatchMsg struct {
+	Items []BatchItem
+}
+
+// BatchConfig tunes the Batcher. Size is the maximum number of updates
+// per batch (a full batch flushes immediately); Window bounds how long
+// a queued update may wait for companions before a partial batch is
+// flushed. Size <= 1 with Window <= 0 means no batching — callers
+// should skip the Batcher entirely in that case (core does).
+type BatchConfig struct {
+	Window time.Duration
+	Size   int
+}
+
+// defaultBatchWindow bounds queueing latency when a caller enables
+// size-based batching without choosing a window.
+const defaultBatchWindow = 200 * time.Microsecond
+
+// Batcher wraps any Broadcaster with submit-side coalescing and
+// delivery-side expansion. Broadcasts queued within one window (or
+// until Size is reached) travel as a single BatchMsg through the inner
+// broadcaster; each process's delivery stream is renumbered so the
+// expanded items are contiguous and gap-free. The renumbering is a
+// deterministic function of the inner total order, so every process
+// derives the same expanded order — the Batcher is itself a conforming
+// Broadcaster.
+type Batcher struct {
+	inner Broadcaster
+	cfg   BatchConfig
+
+	mu     sync.Mutex
+	queue  []BatchItem
+	timer  *time.Timer
+	closed bool
+
+	outMu sync.Mutex
+	outs  map[int]chan Delivery
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	flushes      atomic.Int64
+	batches      atomic.Int64
+	batchedItems atomic.Int64
+}
+
+var _ Broadcaster = (*Batcher)(nil)
+
+// NewBatcher wraps inner. A Size below 1 is treated as 1; a
+// non-positive Window with Size > 1 gets a small default so queued
+// updates cannot wait unboundedly.
+func NewBatcher(inner Broadcaster, cfg BatchConfig) *Batcher {
+	if cfg.Size < 1 {
+		cfg.Size = 1
+	}
+	if cfg.Size > 1 && cfg.Window <= 0 {
+		cfg.Window = defaultBatchWindow
+	}
+	return &Batcher{
+		inner: inner,
+		cfg:   cfg,
+		outs:  make(map[int]chan Delivery),
+		stop:  make(chan struct{}),
+	}
+}
+
+// Broadcast queues the payload. A full batch is flushed synchronously
+// (errors propagate to this caller); a partial batch is flushed when
+// the window timer fires.
+func (b *Batcher) Broadcast(from int, payload any, bytes int) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.queue = append(b.queue, BatchItem{From: from, Payload: payload, Bytes: bytes})
+	if len(b.queue) >= b.cfg.Size {
+		err := b.flushLocked()
+		b.mu.Unlock()
+		return err
+	}
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.cfg.Window, b.windowFlush)
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// windowFlush is the timer path for partial batches. Its error has no
+// waiting caller; the inner broadcaster's own failure handling (or the
+// protocol layer's close path) surfaces the condition.
+func (b *Batcher) windowFlush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	_ = b.flushLocked()
+}
+
+// flushLocked broadcasts the queued items as one frame. A single-item
+// queue travels as the raw payload — byte-identical to an unbatched
+// broadcast. Caller holds b.mu, which serializes flushes and so
+// preserves submission FIFO through the inner broadcaster.
+func (b *Batcher) flushLocked() error {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(b.queue) == 0 {
+		return nil
+	}
+	items := b.queue
+	b.queue = nil
+	b.flushes.Add(1)
+	if len(items) == 1 {
+		it := items[0]
+		return b.inner.Broadcast(it.From, it.Payload, it.Bytes)
+	}
+	b.batches.Add(1)
+	b.batchedItems.Add(int64(len(items)))
+	total := 0
+	for _, it := range items {
+		total += it.Bytes
+	}
+	return b.inner.Broadcast(items[0].From, BatchMsg{Items: items}, total)
+}
+
+// Deliveries returns p's renumbered, expanded delivery stream. The
+// expander goroutine is created on first use per process.
+func (b *Batcher) Deliveries(p int) <-chan Delivery {
+	b.outMu.Lock()
+	defer b.outMu.Unlock()
+	if out, ok := b.outs[p]; ok {
+		return out
+	}
+	out := make(chan Delivery, 256)
+	b.outs[p] = out
+	b.wg.Add(1)
+	go b.expand(p, out)
+	return out
+}
+
+// expand renumbers p's inner delivery stream, turning each BatchMsg
+// into one Delivery per item. seq is a pure function of the shared
+// inner order, so every process assigns identical sequence numbers.
+func (b *Batcher) expand(p int, out chan<- Delivery) {
+	defer b.wg.Done()
+	in := b.inner.Deliveries(p)
+	var seq int64
+	emit := func(from int, payload any) bool {
+		select {
+		case out <- Delivery{Seq: seq, From: from, Payload: payload}:
+			seq++
+			return true
+		case <-b.stop:
+			return false
+		}
+	}
+	for {
+		select {
+		case <-b.stop:
+			return
+		case d := <-in:
+			if batch, ok := d.Payload.(BatchMsg); ok {
+				for _, it := range batch.Items {
+					if !emit(it.From, it.Payload) {
+						return
+					}
+				}
+			} else if !emit(d.From, d.Payload) {
+				return
+			}
+		}
+	}
+}
+
+// MessageCost reports the inner broadcaster's traffic.
+func (b *Batcher) MessageCost() (int64, int64) { return b.inner.MessageCost() }
+
+// NetStats reports the inner broadcaster's transport counters.
+func (b *Batcher) NetStats() network.Stats { return b.inner.NetStats() }
+
+// BatchStats returns (flushes, multi-item batches, items carried in
+// those batches) — the submit-side coalescing meters for experiments.
+func (b *Batcher) BatchStats() (flushes, batches, batched int64) {
+	return b.flushes.Load(), b.batches.Load(), b.batchedItems.Load()
+}
+
+// Close flushes any queued partial batch, stops the expanders, and
+// closes the inner broadcaster.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	_ = b.flushLocked()
+	b.mu.Unlock()
+	close(b.stop)
+	b.inner.Close()
+	b.wg.Wait()
+}

@@ -1,30 +1,34 @@
 package abcast
 
-import "encoding/gob"
+import "moc/internal/wire"
 
 // Every broadcast-layer payload that can cross a process boundary is
-// registered with gob so a serializing transport (internal/transport)
-// can marshal the Link's `any` payloads. Registration is keyed by the
+// registered with the wire registry (which performs the gob
+// registration) so a serializing transport (internal/transport) can
+// marshal the Link's `any` payloads. Registration is keyed by the
 // package-qualified type name, so the unexported types stay private to
-// this package while remaining wire-codable.
+// this package while remaining wire-codable, and the registry lets the
+// codec round-trip test enumerate every kind.
 func init() {
 	// Fixed sequencer.
-	gob.Register(seqRequest{})
-	gob.Register(seqOrder{})
-	gob.Register(seqSubmit{})
-	gob.Register(seqHB{})
-	gob.Register(seqSyncReq{})
-	gob.Register(seqSyncResp{})
-	gob.Register(seqNewView{})
+	wire.Register(seqRequest{})
+	wire.Register(seqOrder{})
+	wire.Register(seqSubmit{})
+	wire.Register(seqHB{})
+	wire.Register(seqSyncReq{})
+	wire.Register(seqSyncResp{})
+	wire.Register(seqNewView{})
 	// Lamport clocks.
-	gob.Register(lamportSubmit{})
-	gob.Register(lamportData{})
-	gob.Register(lamportAck{})
+	wire.Register(lamportSubmit{})
+	wire.Register(lamportData{})
+	wire.Register(lamportAck{})
 	// Token ring.
-	gob.Register(tokenMsg{})
-	gob.Register(tokenOrder{})
-	gob.Register(tokHB{})
-	gob.Register(tokSyncReq{})
-	gob.Register(tokSyncResp{})
-	gob.Register(tokCatchup{})
+	wire.Register(tokenMsg{})
+	wire.Register(tokenOrder{})
+	wire.Register(tokHB{})
+	wire.Register(tokSyncReq{})
+	wire.Register(tokSyncResp{})
+	wire.Register(tokCatchup{})
+	// Batching layer.
+	wire.Register(BatchMsg{})
 }

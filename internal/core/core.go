@@ -139,6 +139,21 @@ type Config struct {
 	// DisableRecording turns off history capture (benchmarks that only
 	// measure protocol cost).
 	DisableRecording bool
+	// BatchSize and BatchWindow enable group commit in the broadcast
+	// layer: updates queued within one window (or until BatchSize is
+	// reached) travel as a single BatchMsg frame through the atomic
+	// broadcaster and are applied as a contiguous run of the delivery
+	// order. Zero values keep today's one-frame-per-update behavior.
+	// Broadcast consistencies only (MSequential, MLinearizable). In a
+	// multi-daemon deployment every daemon must use the same values.
+	BatchSize   int
+	BatchWindow time.Duration
+	// MaxInflight is how many update m-operations one Process may have
+	// outstanding at once (pipelined issuance). Each concurrent slot is
+	// recorded as its own issuing lane — a virtual process id — so
+	// histories stay well-formed. Default 1 (today's one-at-a-time
+	// behavior). Broadcast consistencies only.
+	MaxInflight int
 }
 
 // executor abstracts the two protocol implementations.
@@ -147,16 +162,25 @@ type executor interface {
 	Close()
 }
 
+// awaitFunc blocks until an asynchronously issued update completes.
+type awaitFunc func() (mop.Record, error)
+
+// submitFunc issues one update m-operation without waiting (the msc and
+// mlin ExecuteAsync paths, adapted to a common shape).
+type submitFunc func(proc int, pr mop.Procedure) (awaitFunc, error)
+
 // Store is a replicated multi-object shared memory.
 type Store struct {
 	cfg        Config
 	reg        *object.Registry
 	exec       executor
+	submit     submitFunc         // non-nil iff the executor pipelines updates
 	bcast      abcast.Broadcaster // nil for the locking protocol
 	mlinImpl   *mlin.Protocol     // non-nil iff Consistency == MLinearizable
 	lockImpl   *oolock.Protocol   // non-nil iff Consistency == MLinearizableLocking
 	causalImpl *causal.Protocol   // non-nil iff Consistency == MCausal
 	procs      []*Process
+	stopCh     chan struct{} // closed by Close; releases lane waiters
 
 	// recov serves checkpointed state transfer for crash recovery; the
 	// watcher goroutines trigger a Recover for every scheduled restart.
@@ -175,13 +199,34 @@ type Store struct {
 	closed atomic.Bool
 }
 
-// Process is a handle to one sequential process of the store. Each
+// Process is a handle to one process of the store. By default each
 // process executes one m-operation at a time (Section 2.1); concurrent
-// Execute calls on the same Process are serialized.
+// Execute calls on the same Process are serialized. With
+// Config.MaxInflight > 1, up to that many update m-operations may be
+// outstanding concurrently via ExecuteAsync (or concurrent Execute
+// calls): each outstanding slot is an issuing lane, and an operation
+// completing on lane l > 0 is recorded under the virtual process id
+// id + l*Procs, so every lane remains a sequential thread of control
+// and recorded histories stay well-formed.
 type Process struct {
 	store *Store
 	id    int
-	mu    sync.Mutex
+	// lanes holds one token per issuing lane; acquiring a token admits
+	// one in-flight operation. Capacity is Config.MaxInflight (min 1).
+	lanes chan int
+}
+
+// Future is the pending completion of an ExecuteAsync call.
+type Future struct {
+	done   chan struct{}
+	result any
+	err    error
+}
+
+// Wait blocks until the operation completes and returns its result.
+func (f *Future) Wait() (any, error) {
+	<-f.done
+	return f.result, f.err
 }
 
 // ErrClosed is returned by operations on a closed store.
@@ -209,6 +254,14 @@ func New(cfg Config) (*Store, error) {
 		if cfg.Consistency != MSequential && cfg.Consistency != MLinearizable {
 			return nil, fmt.Errorf("core: Links is not supported for %v (broadcast protocols only)", cfg.Consistency)
 		}
+	}
+	if cfg.BatchSize < 0 || cfg.BatchWindow < 0 || cfg.MaxInflight < 0 {
+		return nil, errors.New("core: BatchSize, BatchWindow and MaxInflight must be non-negative")
+	}
+	batching := cfg.BatchSize > 1 || cfg.BatchWindow > 0
+	if (batching || cfg.MaxInflight > 1) &&
+		cfg.Consistency != MSequential && cfg.Consistency != MLinearizable {
+		return nil, fmt.Errorf("core: batching and pipelining are not supported for %v (broadcast protocols only)", cfg.Consistency)
 	}
 
 	// With scheduled crashes, default the failure detector (so a crashed
@@ -238,7 +291,7 @@ func New(cfg Config) (*Store, error) {
 	if !cfg.Epoch.IsZero() {
 		origin = cfg.Epoch
 	}
-	s := &Store{cfg: cfg, reg: reg, origin: origin}
+	s := &Store{cfg: cfg, reg: reg, origin: origin, stopCh: make(chan struct{})}
 
 	if cfg.Consistency == MCausal {
 		p, err := causal.New(causal.Config{
@@ -251,10 +304,7 @@ func New(cfg Config) (*Store, error) {
 			return nil, err
 		}
 		s.exec, s.causalImpl = p, p
-		s.procs = make([]*Process, cfg.Procs)
-		for i := range s.procs {
-			s.procs[i] = &Process{store: s, id: i}
-		}
+		s.makeProcs()
 		return s, nil
 	}
 
@@ -269,10 +319,7 @@ func New(cfg Config) (*Store, error) {
 			return nil, err
 		}
 		s.exec, s.lockImpl = p, p
-		s.procs = make([]*Process, cfg.Procs)
-		for i := range s.procs {
-			s.procs[i] = &Process{store: s, id: i}
-		}
+		s.makeProcs()
 		return s, nil
 	}
 
@@ -299,12 +346,32 @@ func New(cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	if batching {
+		// Group commit: coalesce updates submitted within one window (or
+		// until BatchSize) into a single BatchMsg broadcast frame. The
+		// Batcher is itself a conforming Broadcaster, so the protocols
+		// above are untouched.
+		bcast = abcast.NewBatcher(bcast, abcast.BatchConfig{
+			Window: cfg.BatchWindow, Size: cfg.BatchSize,
+		})
+	}
 
 	switch cfg.Consistency {
 	case MSequential:
-		s.exec, err = msc.New(msc.Config{
+		var p *msc.Protocol
+		p, err = msc.New(msc.Config{
 			Procs: cfg.Procs, Reg: reg, Broadcast: bcast, Clock: s.now,
 		})
+		if err == nil {
+			s.exec = p
+			s.submit = func(proc int, pr mop.Procedure) (awaitFunc, error) {
+				ch, err := p.ExecuteAsync(proc, pr)
+				if err != nil {
+					return nil, err
+				}
+				return func() (mop.Record, error) { out := <-ch; return out.Rec, out.Err }, nil
+			}
+		}
 	case MLinearizable:
 		var p *mlin.Protocol
 		p, err = mlin.New(mlin.Config{
@@ -314,7 +381,16 @@ func New(cfg Config) (*Store, error) {
 			RelevantOnly: cfg.RelevantOnly, Clock: s.now,
 			QueryTimeout: cfg.QueryTimeout, QueryRetries: cfg.QueryRetries,
 		})
-		s.exec, s.mlinImpl = p, p
+		if err == nil {
+			s.exec, s.mlinImpl = p, p
+			s.submit = func(proc int, pr mop.Procedure) (awaitFunc, error) {
+				ch, err := p.ExecuteAsync(proc, pr)
+				if err != nil {
+					return nil, err
+				}
+				return func() (mop.Record, error) { out := <-ch; return out.Rec, out.Err }, nil
+			}
+		}
 	default:
 		bcast.Close()
 		return nil, fmt.Errorf("core: unknown consistency %d", int(cfg.Consistency))
@@ -325,10 +401,7 @@ func New(cfg Config) (*Store, error) {
 	}
 
 	s.bcast = bcast
-	s.procs = make([]*Process, cfg.Procs)
-	for i := range s.procs {
-		s.procs[i] = &Process{store: s, id: i}
-	}
+	s.makeProcs()
 
 	// Checkpointed recovery: when crashes with restarts are scheduled, run
 	// a state-transfer service over the same fault schedule (a crashed
@@ -360,10 +433,27 @@ func New(cfg Config) (*Store, error) {
 	return s, nil
 }
 
+// makeProcs builds the process handles, seeding each with one lane
+// token per permitted in-flight operation.
+func (s *Store) makeProcs() {
+	inflight := s.cfg.MaxInflight
+	if inflight < 1 {
+		inflight = 1
+	}
+	s.procs = make([]*Process, s.cfg.Procs)
+	for i := range s.procs {
+		p := &Process{store: s, id: i, lanes: make(chan int, inflight)}
+		for l := 0; l < inflight; l++ {
+			p.lanes <- l
+		}
+		s.procs[i] = p
+	}
+}
+
 // watchRestart sleeps until just after the scheduled restart instant and
-// runs one checkpointed recovery for the rejoining process. The process
-// mutex is held across the transfer, so the first post-restart operation
-// observes the recovered state.
+// runs one checkpointed recovery for the rejoining process. Every
+// issuing lane is held across the transfer — the process is quiesced —
+// so the first post-restart operation observes the recovered state.
 func (s *Store) watchRestart(proc int, at time.Duration) {
 	defer s.watchWg.Done()
 	timer := time.NewTimer(at - time.Since(s.origin))
@@ -386,8 +476,20 @@ func (s *Store) watchRestart(proc int, at time.Duration) {
 		}
 	}
 	p := s.procs[proc]
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	held := make([]int, 0, cap(p.lanes))
+	defer func() {
+		for _, l := range held {
+			p.lanes <- l
+		}
+	}()
+	for len(held) < cap(p.lanes) {
+		select {
+		case l := <-p.lanes:
+			held = append(held, l)
+		case <-s.watchStop:
+			return
+		}
+	}
 	// Generous bound: Recover returns as soon as all live peers answer.
 	_, _ = s.recov.Recover(proc, 2*time.Second)
 }
@@ -439,6 +541,7 @@ func (s *Store) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
+	close(s.stopCh) // release lane waiters
 	if s.watchStop != nil {
 		close(s.watchStop)
 	}
@@ -479,6 +582,16 @@ func (s *Store) BroadcastCost() (int64, int64) {
 		return 0, 0
 	}
 	return s.bcast.MessageCost()
+}
+
+// BatchStats reports the broadcast-layer group-commit meters: total
+// flushes, flushes that coalesced two or more updates, and the updates
+// those multi-item batches carried. All zero when batching is off.
+func (s *Store) BatchStats() (flushes, batches, batched int64) {
+	if b, ok := s.bcast.(*abcast.Batcher); ok {
+		return b.BatchStats()
+	}
+	return 0, 0, 0
 }
 
 // LockTraffic returns the locking protocol's network counters (zero for
@@ -525,22 +638,77 @@ func (s *Store) NetStats() network.Stats {
 }
 
 // Execute runs pr as an m-operation of this process and returns its
-// result.
+// result. With the default MaxInflight of 1 concurrent calls serialize
+// on the single issuing lane, preserving the one-operation-at-a-time
+// contract; with more lanes they pipeline.
 func (p *Process) Execute(pr mop.Procedure) (any, error) {
-	if p.store.closed.Load() {
-		return nil, ErrClosed
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-
-	p.store.noteStart()
-	rec, err := p.store.exec.Execute(p.id, pr)
+	f, err := p.ExecuteAsync(pr)
 	if err != nil {
-		p.store.noteEnd(nil)
 		return nil, err
 	}
-	p.store.noteEnd(&rec)
-	return rec.Result, nil
+	return f.Wait()
+}
+
+// ExecuteAsync issues pr without waiting for its response. The call
+// blocks only while every issuing lane is occupied (MaxInflight
+// operations already outstanding); the returned Future resolves when
+// the operation's response event occurs. An operation in flight on
+// lane l > 0 is recorded under the virtual process id id + l*Procs —
+// each lane is a sequential thread of control, so histories with
+// pipelining remain well-formed and checkable.
+func (p *Process) ExecuteAsync(pr mop.Procedure) (*Future, error) {
+	s := p.store
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	var lane int
+	select {
+	case lane = <-p.lanes:
+	case <-s.stopCh:
+		return nil, ErrClosed
+	}
+
+	s.noteStart()
+	f := &Future{done: make(chan struct{})}
+	finish := func(rec *mop.Record, err error) {
+		if err != nil {
+			s.noteEnd(nil)
+			f.err = err
+		} else {
+			if lane > 0 {
+				rec.Proc = p.id + lane*s.cfg.Procs
+			}
+			s.noteEnd(rec)
+			f.result = rec.Result
+		}
+		p.lanes <- lane
+		close(f.done)
+	}
+
+	// Updates go through the protocol's pipelined submit path when the
+	// executor has one: issuance happens here (so broadcast order follows
+	// call order), only the wait is deferred.
+	if s.submit != nil && pr.MayWrite() {
+		wait, err := s.submit(p.id, pr)
+		if err != nil {
+			s.noteEnd(nil)
+			p.lanes <- lane
+			return nil, err
+		}
+		go func() {
+			rec, err := wait()
+			finish(&rec, err)
+		}()
+		return f, nil
+	}
+
+	// Queries (and executors without a submit path) run synchronously in
+	// the completion goroutine, still occupying the lane.
+	go func() {
+		rec, err := s.exec.Execute(p.id, pr)
+		finish(&rec, err)
+	}()
+	return f, nil
 }
 
 func (s *Store) noteStart() {

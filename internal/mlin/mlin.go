@@ -92,7 +92,7 @@ type procState struct {
 	mu      sync.Mutex
 	values  []object.Value // myX
 	ts      timestamp.TS   // myts
-	pendUpd map[int64]chan updateOutcome
+	pendUpd map[int64]*pendingUpdate
 	pendQry map[int64]*queryState
 	// applied counts the total-order updates reflected in values/ts; a
 	// recovery checkpoint advances it past a crash outage and the
@@ -120,9 +120,19 @@ type updatePayload struct {
 	Proc  mop.Procedure
 }
 
-type updateOutcome struct {
-	rec mop.Record
-	err error
+// Outcome is the completion of an asynchronously issued update: the
+// record (Inv/Resp stamped) or the error that aborted it.
+type Outcome struct {
+	Rec mop.Record
+	Err error
+}
+
+// pendingUpdate tracks one in-flight update from issuance (A1) to the
+// issuer's apply (A2): the completion channel and the invocation
+// timestamp captured at submit time.
+type pendingUpdate struct {
+	done chan Outcome
+	inv  int64
 }
 
 type queryMsg struct {
@@ -173,7 +183,7 @@ func New(cfg Config) (*Protocol, error) {
 		p.states[i] = &procState{
 			values:  make([]object.Value, cfg.Reg.Len()),
 			ts:      timestamp.New(cfg.Reg.Len()),
-			pendUpd: make(map[int64]chan updateOutcome),
+			pendUpd: make(map[int64]*pendingUpdate),
 			pendQry: make(map[int64]*queryState),
 		}
 	}
@@ -187,48 +197,65 @@ func New(cfg Config) (*Protocol, error) {
 }
 
 // Execute runs procedure pr as an m-operation of process proc and blocks
-// until the response event. Callers must not invoke Execute concurrently
-// for the same process (processes are sequential threads of control).
+// until the response event. Each sequential thread of control
+// corresponds to one caller; distinct callers may share a process id
+// concurrently only through ExecuteAsync's pipelined update path (the
+// store layer keeps their recorded histories well-formed by modelling
+// each issuing lane as its own process). Queries remain safe to issue
+// concurrently with in-flight updates.
 func (p *Protocol) Execute(proc int, pr mop.Procedure) (mop.Record, error) {
+	if pr.MayWrite() {
+		done, err := p.ExecuteAsync(proc, pr)
+		if err != nil {
+			return mop.Record{}, err
+		}
+		select {
+		case out := <-done:
+			return out.Rec, out.Err
+		case <-p.stop:
+			return mop.Record{}, ErrClosed
+		}
+	}
 	if p.closed.Load() {
 		return mop.Record{}, ErrClosed
 	}
 	if proc < 0 || proc >= p.cfg.Procs {
 		return mop.Record{}, fmt.Errorf("mlin: invalid process %d", proc)
 	}
-	if pr.MayWrite() {
-		return p.executeUpdate(proc, pr)
-	}
 	return p.executeQuery(proc, pr)
 }
 
-// executeUpdate implements A1 (identical to the m-SC protocol).
-func (p *Protocol) executeUpdate(proc int, pr mop.Procedure) (mop.Record, error) {
+// ExecuteAsync submits an update m-operation (A1, identical to the m-SC
+// protocol) without waiting for the issuer's apply (A2) and returns a
+// one-shot completion channel: the pipelined issuance path. Any number
+// of updates may be in flight per process; the broadcast order fixes
+// their relative order, and each completes with Inv stamped at
+// submission and Resp at local apply. Close fulfills every
+// still-pending completion with ErrClosed.
+func (p *Protocol) ExecuteAsync(proc int, pr mop.Procedure) (<-chan Outcome, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	if proc < 0 || proc >= p.cfg.Procs {
+		return nil, fmt.Errorf("mlin: invalid process %d", proc)
+	}
+	if !pr.MayWrite() {
+		return nil, errors.New("mlin: ExecuteAsync requires an update m-operation")
+	}
 	st := p.states[proc]
 	reqID := p.nextID.Add(1)
-	done := make(chan updateOutcome, 1)
+	pu := &pendingUpdate{done: make(chan Outcome, 1), inv: p.cfg.Clock()}
 	st.mu.Lock()
-	st.pendUpd[reqID] = done
+	st.pendUpd[reqID] = pu
 	st.mu.Unlock()
 
-	inv := p.cfg.Clock()
 	if err := p.cfg.Broadcast.Broadcast(proc, updatePayload{ReqID: reqID, From: proc, Proc: pr}, mop.PayloadBytes(pr)); err != nil {
 		st.mu.Lock()
 		delete(st.pendUpd, reqID)
 		st.mu.Unlock()
-		return mop.Record{}, fmt.Errorf("mlin: broadcast: %w", err)
+		return nil, fmt.Errorf("mlin: broadcast: %w", err)
 	}
-	select {
-	case out := <-done:
-		if out.err != nil {
-			return mop.Record{}, out.err
-		}
-		out.rec.Inv = inv
-		out.rec.Resp = p.cfg.Clock()
-		return out.rec, nil
-	case <-p.stop:
-		return mop.Record{}, ErrClosed
-	}
+	return pu.done, nil
 }
 
 // executeQuery implements A3 + A6: broadcast a "query", wait until every
@@ -378,27 +405,31 @@ func (p *Protocol) deliveryLoop(proc int) {
 				// Subsumed by an adopted recovery checkpoint; applying
 				// again would double-count. An issuer still waiting
 				// locally gets an error outcome.
-				var done chan updateOutcome
+				var pu *pendingUpdate
 				if payload.From == proc {
-					done = st.pendUpd[payload.ReqID]
+					pu = st.pendUpd[payload.ReqID]
 					delete(st.pendUpd, payload.ReqID)
 				}
 				st.mu.Unlock()
-				if done != nil {
-					done <- updateOutcome{err: errors.New("mlin: update subsumed by recovery checkpoint")}
+				if pu != nil {
+					pu.done <- Outcome{Err: errors.New("mlin: update subsumed by recovery checkpoint")}
 				}
 				continue
 			}
 			rec, err := applyLocked(st, payload.Proc, payload.From, d.Seq)
 			st.applied = d.Seq + 1
-			var done chan updateOutcome
+			var pu *pendingUpdate
 			if payload.From == proc {
-				done = st.pendUpd[payload.ReqID]
+				pu = st.pendUpd[payload.ReqID]
 				delete(st.pendUpd, payload.ReqID)
 			}
 			st.mu.Unlock()
-			if done != nil {
-				done <- updateOutcome{rec: rec, err: err}
+			if pu != nil {
+				// A2: the issuing process generates the response — Resp is
+				// stamped at local apply time, Inv was stamped at submission.
+				rec.Inv = pu.inv
+				rec.Resp = p.cfg.Clock()
+				pu.done <- Outcome{Rec: rec, Err: err}
 			}
 		}
 	}
@@ -537,7 +568,8 @@ func (p *Protocol) LocalTS(proc int) timestamp.TS {
 }
 
 // Close shuts the protocol down, including the broadcaster it owns and
-// its query network.
+// its query network. Every still-pending asynchronous completion is
+// fulfilled with ErrClosed so no pipelined issuer waits forever.
 func (p *Protocol) Close() {
 	if p.closed.Swap(true) {
 		return
@@ -546,4 +578,12 @@ func (p *Protocol) Close() {
 	p.cfg.Broadcast.Close()
 	p.qnet.Close()
 	p.wg.Wait()
+	for _, st := range p.states {
+		st.mu.Lock()
+		for id, pu := range st.pendUpd {
+			pu.done <- Outcome{Err: ErrClosed}
+			delete(st.pendUpd, id)
+		}
+		st.mu.Unlock()
+	}
 }

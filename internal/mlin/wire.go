@@ -1,12 +1,13 @@
 package mlin
 
-import "encoding/gob"
+import "moc/internal/wire"
 
 // Update and query payloads cross the broadcast and query channels,
 // which may be real serializing transports (internal/transport);
-// register them with gob.
+// register them with the wire registry (which performs the gob
+// registration).
 func init() {
-	gob.Register(updatePayload{})
-	gob.Register(queryMsg{})
-	gob.Register(queryResp{})
+	wire.Register(updatePayload{})
+	wire.Register(queryMsg{})
+	wire.Register(queryResp{})
 }

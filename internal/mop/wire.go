@@ -1,19 +1,20 @@
 package mop
 
-import "encoding/gob"
+import "moc/internal/wire"
 
 // The declarative procedures are serializable-by-value, so they can
 // cross a real wire inside protocol payloads (internal/transport's gob
-// codec). Func is deliberately absent: a closure cannot be marshalled,
-// so Func-based m-operations only run over the in-process simulated
-// network.
+// codec); register them with the wire registry (which performs the gob
+// registration). Func is deliberately absent: a closure cannot be
+// marshalled, so Func-based m-operations only run over the in-process
+// simulated network.
 func init() {
-	gob.Register(ReadOp{})
-	gob.Register(WriteOp{})
-	gob.Register(MultiRead{})
-	gob.Register(Sum{})
-	gob.Register(MAssign{})
-	gob.Register(CAS{})
-	gob.Register(DCAS{})
-	gob.Register(Transfer{})
+	wire.Register(ReadOp{})
+	wire.Register(WriteOp{})
+	wire.Register(MultiRead{})
+	wire.Register(Sum{})
+	wire.Register(MAssign{})
+	wire.Register(CAS{})
+	wire.Register(DCAS{})
+	wire.Register(Transfer{})
 }

@@ -56,12 +56,20 @@ type procState struct {
 	mu      sync.Mutex
 	values  []object.Value
 	ts      timestamp.TS
-	pending map[int64]chan updateOutcome
+	pending map[int64]*pendingUpdate
 	// applied counts the total-order updates reflected in values/ts: the
 	// replica state equals the first applied deliveries of the broadcast
 	// order. A recovery checkpoint advances it past the crash outage; the
 	// delivery loop then skips redelivered updates below it.
 	applied int64
+}
+
+// pendingUpdate tracks one in-flight update from issuance (A1) to the
+// issuer's apply (A2): the completion channel and the invocation
+// timestamp captured at submit time.
+type pendingUpdate struct {
+	done chan Outcome
+	inv  int64
 }
 
 // updatePayload is the broadcast wire payload; exported fields let a
@@ -72,9 +80,11 @@ type updatePayload struct {
 	Proc  mop.Procedure
 }
 
-type updateOutcome struct {
-	rec mop.Record
-	err error
+// Outcome is the completion of an asynchronously issued update: the
+// record (Inv/Resp stamped) or the error that aborted it.
+type Outcome struct {
+	Rec mop.Record
+	Err error
 }
 
 // ErrClosed is returned by Execute after Close.
@@ -101,7 +111,7 @@ func New(cfg Config) (*Protocol, error) {
 		p.states[i] = &procState{
 			values:  make([]object.Value, cfg.Reg.Len()),
 			ts:      timestamp.New(cfg.Reg.Len()),
-			pending: make(map[int64]chan updateOutcome),
+			pending: make(map[int64]*pendingUpdate),
 		}
 	}
 	for i := 0; i < cfg.Procs; i++ {
@@ -112,50 +122,64 @@ func New(cfg Config) (*Protocol, error) {
 }
 
 // Execute runs procedure pr as an m-operation of process proc and blocks
-// until the response event. Each process is a sequential thread of
-// control (Section 2.1): callers must not invoke Execute concurrently
-// for the same process.
+// until the response event. Each sequential thread of control (Section
+// 2.1) corresponds to one caller; distinct callers may share a process
+// id concurrently only through ExecuteAsync's pipelined update path
+// (the store layer keeps their recorded histories well-formed by
+// modelling each issuing lane as its own process).
 func (p *Protocol) Execute(proc int, pr mop.Procedure) (mop.Record, error) {
+	if pr.MayWrite() {
+		done, err := p.ExecuteAsync(proc, pr)
+		if err != nil {
+			return mop.Record{}, err
+		}
+		select {
+		case out := <-done:
+			return out.Rec, out.Err
+		case <-p.stop:
+			return mop.Record{}, ErrClosed
+		}
+	}
 	if p.closed.Load() {
 		return mop.Record{}, ErrClosed
 	}
 	if proc < 0 || proc >= p.cfg.Procs {
 		return mop.Record{}, fmt.Errorf("msc: invalid process %d", proc)
 	}
-	if pr.MayWrite() {
-		return p.executeUpdate(proc, pr)
-	}
 	return p.executeQuery(proc, pr)
 }
 
-// executeUpdate implements A1 (+ waiting for the issuer's A2).
-func (p *Protocol) executeUpdate(proc int, pr mop.Procedure) (mop.Record, error) {
+// ExecuteAsync submits an update m-operation (A1) without waiting for
+// the issuer's apply (A2) and returns a one-shot completion channel:
+// the pipelined issuance path. Any number of updates may be in flight
+// per process; the broadcast order fixes their relative order, and each
+// completes with Inv stamped at submission and Resp at local apply.
+// Close fulfills every still-pending completion with ErrClosed.
+func (p *Protocol) ExecuteAsync(proc int, pr mop.Procedure) (<-chan Outcome, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	if proc < 0 || proc >= p.cfg.Procs {
+		return nil, fmt.Errorf("msc: invalid process %d", proc)
+	}
+	if !pr.MayWrite() {
+		return nil, errors.New("msc: ExecuteAsync requires an update m-operation")
+	}
 	st := p.states[proc]
 	reqID := p.nextID.Add(1)
-	done := make(chan updateOutcome, 1)
+	pu := &pendingUpdate{done: make(chan Outcome, 1), inv: p.cfg.Clock()}
 	st.mu.Lock()
-	st.pending[reqID] = done
+	st.pending[reqID] = pu
 	st.mu.Unlock()
 
-	inv := p.cfg.Clock()
 	payload := updatePayload{ReqID: reqID, From: proc, Proc: pr}
 	if err := p.cfg.Broadcast.Broadcast(proc, payload, mop.PayloadBytes(pr)); err != nil {
 		st.mu.Lock()
 		delete(st.pending, reqID)
 		st.mu.Unlock()
-		return mop.Record{}, fmt.Errorf("msc: broadcast: %w", err)
+		return nil, fmt.Errorf("msc: broadcast: %w", err)
 	}
-	select {
-	case out := <-done:
-		if out.err != nil {
-			return mop.Record{}, out.err
-		}
-		out.rec.Inv = inv
-		out.rec.Resp = p.cfg.Clock()
-		return out.rec, nil
-	case <-p.stop:
-		return mop.Record{}, ErrClosed
-	}
+	return pu.done, nil
 }
 
 // executeQuery implements A3: apply to the local copy, atomically.
@@ -192,27 +216,31 @@ func (p *Protocol) deliveryLoop(proc int) {
 				// effects are in the replica state, so applying again would
 				// double-count. An issuer still waiting locally (it crashed
 				// between broadcast and delivery) gets an error outcome.
-				var done chan updateOutcome
+				var pu *pendingUpdate
 				if payload.From == proc {
-					done = st.pending[payload.ReqID]
+					pu = st.pending[payload.ReqID]
 					delete(st.pending, payload.ReqID)
 				}
 				st.mu.Unlock()
-				if done != nil {
-					done <- updateOutcome{err: errors.New("msc: update subsumed by recovery checkpoint")}
+				if pu != nil {
+					pu.done <- Outcome{Err: errors.New("msc: update subsumed by recovery checkpoint")}
 				}
 				continue
 			}
 			rec, err := applyLocked(st, payload.Proc, payload.From, d.Seq)
 			st.applied = d.Seq + 1
-			var done chan updateOutcome
+			var pu *pendingUpdate
 			if payload.From == proc {
-				done = st.pending[payload.ReqID]
+				pu = st.pending[payload.ReqID]
 				delete(st.pending, payload.ReqID)
 			}
 			st.mu.Unlock()
-			if done != nil {
-				done <- updateOutcome{rec: rec, err: err}
+			if pu != nil {
+				// A2: "the issuing process generates the response" — Resp is
+				// stamped at local apply time, Inv was stamped at submission.
+				rec.Inv = pu.inv
+				rec.Resp = p.cfg.Clock()
+				pu.done <- Outcome{Rec: rec, Err: err}
 			}
 		}
 	}
@@ -286,6 +314,8 @@ func (p *Protocol) LocalTS(proc int) timestamp.TS {
 }
 
 // Close shuts the protocol down, including the broadcaster it owns.
+// Every still-pending asynchronous completion is fulfilled with
+// ErrClosed so no pipelined issuer waits forever.
 func (p *Protocol) Close() {
 	if p.closed.Swap(true) {
 		return
@@ -293,4 +323,12 @@ func (p *Protocol) Close() {
 	close(p.stop)
 	p.cfg.Broadcast.Close()
 	p.wg.Wait()
+	for _, st := range p.states {
+		st.mu.Lock()
+		for id, pu := range st.pending {
+			pu.done <- Outcome{Err: ErrClosed}
+			delete(st.pending, id)
+		}
+		st.mu.Unlock()
+	}
 }

@@ -1,9 +1,10 @@
 package msc
 
-import "encoding/gob"
+import "moc/internal/wire"
 
 // The update payload crosses the broadcast channel, which may be a real
-// serializing transport (internal/transport); register it with gob.
+// serializing transport (internal/transport); register it with the
+// wire registry (which performs the gob registration).
 func init() {
-	gob.Register(updatePayload{})
+	wire.Register(updatePayload{})
 }

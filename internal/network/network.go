@@ -89,7 +89,13 @@ type Stats struct {
 	// real connections (the TCP transport). Always zero on the simulated
 	// network, whose channels never disconnect.
 	Reconnects int64
-	ByKind     map[string]KindStats
+	// Batches counts writer-side flushes that coalesced two or more
+	// queued frames into one buffered write, and BatchedFrames counts
+	// the frames those flushes carried. Always zero on the simulated
+	// network, which has no frame writer.
+	Batches       int64
+	BatchedFrames int64
+	ByKind        map[string]KindStats
 }
 
 // Merge adds other's counters into s.
@@ -102,6 +108,8 @@ func (s *Stats) Merge(other Stats) {
 	s.Crashes += other.Crashes
 	s.Restarts += other.Restarts
 	s.Reconnects += other.Reconnects
+	s.Batches += other.Batches
+	s.BatchedFrames += other.BatchedFrames
 	if len(other.ByKind) > 0 && s.ByKind == nil {
 		s.ByKind = make(map[string]KindStats)
 	}

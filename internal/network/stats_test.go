@@ -19,6 +19,9 @@ func randStats(r *rand.Rand) Stats {
 		Retransmitted: r.Int63n(1 << 16),
 		Crashes:       r.Int63n(8),
 		Restarts:      r.Int63n(8),
+		Reconnects:    r.Int63n(1 << 8),
+		Batches:       r.Int63n(1 << 16),
+		BatchedFrames: r.Int63n(1 << 18),
 	}
 	if n := r.Intn(4); n > 0 {
 		s.ByKind = make(map[string]KindStats, n)
@@ -36,7 +39,9 @@ func statsEqual(a, b Stats) bool {
 	if a.Messages != b.Messages || a.Bytes != b.Bytes ||
 		a.Dropped != b.Dropped || a.Duplicated != b.Duplicated ||
 		a.Retransmitted != b.Retransmitted ||
-		a.Crashes != b.Crashes || a.Restarts != b.Restarts {
+		a.Crashes != b.Crashes || a.Restarts != b.Restarts ||
+		a.Reconnects != b.Reconnects ||
+		a.Batches != b.Batches || a.BatchedFrames != b.BatchedFrames {
 		return false
 	}
 	if len(a.ByKind) != len(b.ByKind) {
@@ -113,6 +118,9 @@ func TestStatsMergeSumsCounters(t *testing.T) {
 			want.Retransmitted += parts[i].Retransmitted
 			want.Crashes += parts[i].Crashes
 			want.Restarts += parts[i].Restarts
+			want.Reconnects += parts[i].Reconnects
+			want.Batches += parts[i].Batches
+			want.BatchedFrames += parts[i].BatchedFrames
 			for kind, ks := range parts[i].ByKind {
 				if want.ByKind == nil {
 					want.ByKind = make(map[string]KindStats)

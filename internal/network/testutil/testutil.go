@@ -71,8 +71,8 @@ func DumpStats(t testing.TB, sources ...StatsSource) {
 	t.Helper()
 	for _, src := range sources {
 		st := src.Stats()
-		t.Logf("%s: %d msgs / %d bytes; dropped %d, duplicated %d, retransmitted %d, crashes %d, restarts %d, reconnects %d",
-			src.Name, st.Messages, st.Bytes, st.Dropped, st.Duplicated, st.Retransmitted, st.Crashes, st.Restarts, st.Reconnects)
+		t.Logf("%s: %d msgs / %d bytes; dropped %d, duplicated %d, retransmitted %d, crashes %d, restarts %d, reconnects %d, batches %d (%d frames)",
+			src.Name, st.Messages, st.Bytes, st.Dropped, st.Duplicated, st.Retransmitted, st.Crashes, st.Restarts, st.Reconnects, st.Batches, st.BatchedFrames)
 		for kind, ks := range st.ByKind {
 			t.Logf("%s:   %-14s %6d msgs %8d bytes", src.Name, kind, ks.Messages, ks.Bytes)
 		}

@@ -1,0 +1,205 @@
+package recovery
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"moc/internal/network"
+	"moc/internal/object"
+)
+
+// fakeState is an in-memory recovery.State with the same adoption rule as
+// the protocols: a checkpoint is installed iff it is strictly fresher
+// than the local applied count.
+type fakeState struct {
+	mu  sync.Mutex
+	cks []Checkpoint
+}
+
+func newFakeState(applied ...int64) *fakeState {
+	s := &fakeState{cks: make([]Checkpoint, len(applied))}
+	for p, a := range applied {
+		s.cks[p] = Checkpoint{
+			Values:  []object.Value{object.Value(100*p + 1), object.Value(100*p + 2)},
+			TS:      []int64{a, a},
+			Applied: a,
+		}
+	}
+	return s
+}
+
+func (s *fakeState) Snapshot(proc int) Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck := s.cks[proc]
+	return Checkpoint{
+		Values:  append([]object.Value(nil), ck.Values...),
+		TS:      append([]int64(nil), ck.TS...),
+		Applied: ck.Applied,
+	}
+}
+
+func (s *fakeState) Adopt(proc int, ck Checkpoint) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ck.Applied <= s.cks[proc].Applied {
+		return false
+	}
+	s.cks[proc] = ck
+	return true
+}
+
+func (s *fakeState) applied(proc int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cks[proc].Applied
+}
+
+func newService(t *testing.T, st State, procs int, faults *network.Faults) *Service {
+	t.Helper()
+	svc, err := New(Config{
+		Procs:    procs,
+		Seed:     41,
+		MaxDelay: 500 * time.Microsecond,
+		Faults:   faults,
+		State:    st,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// TestRecoverAdoptsFreshest: with peers at different applied counts the
+// restarted process must install the single freshest checkpoint offered —
+// values, version vector and applied count — not merely any fresher one.
+func TestRecoverAdoptsFreshest(t *testing.T) {
+	st := newFakeState(2, 5, 9)
+	svc := newService(t, st, 3, nil)
+
+	adopted, err := svc.Recover(0, 5*time.Second)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !adopted {
+		t.Fatal("stale process did not adopt a checkpoint")
+	}
+	got := st.Snapshot(0)
+	if got.Applied != 9 {
+		t.Fatalf("adopted applied = %d, want 9 (freshest peer)", got.Applied)
+	}
+	// The installed snapshot must be peer 2's, wholesale.
+	if got.Values[0] != 201 || got.Values[1] != 202 {
+		t.Fatalf("adopted values = %v, want peer 2's [201 202]", got.Values)
+	}
+	if got.TS[0] != 9 || got.TS[1] != 9 {
+		t.Fatalf("adopted version vector = %v, want peer 2's [9 9]", got.TS)
+	}
+	if svc.Adopted() != 1 {
+		t.Fatalf("Adopted() = %d, want 1", svc.Adopted())
+	}
+}
+
+// TestRecoverRejectsStale: a process whose local state is at least as
+// fresh as every offer must keep its own replica — the transfer happens,
+// but nothing is installed.
+func TestRecoverRejectsStale(t *testing.T) {
+	st := newFakeState(10, 3, 5)
+	svc := newService(t, st, 3, nil)
+
+	adopted, err := svc.Recover(0, 5*time.Second)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if adopted {
+		t.Fatal("stale peer checkpoint was adopted over fresher local state")
+	}
+	if got := st.applied(0); got != 10 {
+		t.Fatalf("local applied clobbered: %d, want 10", got)
+	}
+	if svc.Adopted() != 0 {
+		t.Fatalf("Adopted() = %d, want 0", svc.Adopted())
+	}
+}
+
+// TestRecoverIdempotent: replaying the same transfer is a no-op — the
+// first Recover installs the freshest checkpoint, the second finds local
+// state already as fresh and installs nothing.
+func TestRecoverIdempotent(t *testing.T) {
+	st := newFakeState(0, 7, 7)
+	svc := newService(t, st, 3, nil)
+
+	adopted, err := svc.Recover(0, 5*time.Second)
+	if err != nil || !adopted {
+		t.Fatalf("first Recover = (%v, %v), want adoption", adopted, err)
+	}
+	again, err := svc.Recover(0, 5*time.Second)
+	if err != nil {
+		t.Fatalf("second Recover: %v", err)
+	}
+	if again {
+		t.Fatal("replayed transfer installed a checkpoint twice")
+	}
+	if got := st.applied(0); got != 7 {
+		t.Fatalf("applied after replay = %d, want 7", got)
+	}
+	if svc.Adopted() != 1 {
+		t.Fatalf("Adopted() = %d after replay, want 1", svc.Adopted())
+	}
+}
+
+// TestRecoverNoLivePeer: when the transfer network counts every peer as
+// crashed, Recover must fail loudly rather than hang or adopt nothing
+// silently.
+func TestRecoverNoLivePeer(t *testing.T) {
+	st := newFakeState(0, 9)
+	svc := newService(t, st, 2, &network.Faults{Crashes: []network.Crash{
+		{Proc: 1, At: 0, Restart: time.Hour},
+	}})
+
+	if svc.Up(1) {
+		t.Fatal("peer 1 should be down under the crash schedule")
+	}
+	_, err := svc.Recover(0, 100*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "no live peer") {
+		t.Fatalf("Recover with all peers down = %v, want no-live-peer error", err)
+	}
+	if got := st.applied(0); got != 0 {
+		t.Fatalf("applied changed with no live peer: %d", got)
+	}
+}
+
+// TestRecoverArgAndLifecycleErrors pins the error surface: out-of-range
+// processes are rejected, and a closed service refuses transfers.
+func TestRecoverArgAndLifecycleErrors(t *testing.T) {
+	st := newFakeState(0, 1)
+	svc, err := New(Config{Procs: 2, State: st})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := svc.Recover(-1, time.Second); err == nil {
+		t.Fatal("Recover(-1) accepted")
+	}
+	if _, err := svc.Recover(2, time.Second); err == nil {
+		t.Fatal("Recover(out of range) accepted")
+	}
+	svc.Close()
+	svc.Close() // idempotent
+	if _, err := svc.Recover(0, time.Second); err != ErrClosed {
+		t.Fatalf("Recover after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestNewValidation: the constructor rejects a missing state and a bad
+// process count.
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Procs: 0, State: newFakeState(0)}); err == nil {
+		t.Fatal("Procs=0 accepted")
+	}
+	if _, err := New(Config{Procs: 2}); err == nil {
+		t.Fatal("nil State accepted")
+	}
+}

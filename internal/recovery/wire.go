@@ -1,10 +1,11 @@
 package recovery
 
-import "encoding/gob"
+import "moc/internal/wire"
 
 // Transfer requests and responses may cross a real serializing
-// transport (internal/transport); register them with gob.
+// transport (internal/transport); register them with the wire registry
+// (which performs the gob registration).
 func init() {
-	gob.Register(xferReq{})
-	gob.Register(xferResp{})
+	wire.Register(xferReq{})
+	wire.Register(xferResp{})
 }

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"moc/internal/network"
+	"moc/internal/network/testutil"
+)
+
+// TestDownDuringReconnectBackoff is the regression test for
+// tcpLink.Down always reporting false: once a peer is gone, the writer
+// that keeps failing to dial it must surface Down(p) == true, and a
+// recovered peer must read as up again.
+func TestDownDuringReconnectBackoff(t *testing.T) {
+	t.Parallel()
+	cluster, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	link, err := cluster.Factory()("down", network.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	// Endpoint 1 starts up: no dial has failed.
+	if link.Down(1) {
+		t.Fatal("Down(1) true before any connectivity loss")
+	}
+
+	// Establish the node0 -> node1 connection, then kill node 1.
+	if err := link.Send(0, 1, "ping", testutil.ConformancePayload{N: 1}, 4); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Drain(t, 5*time.Second, link.Recv(1), 1, testutil.Source("link", link.Stats))
+	cluster.Node(1).Close()
+
+	// Keep sending: the dead connection fails, the re-dial fails, and the
+	// writer enters backoff — which is exactly when Down must flip true.
+	testutil.Eventually(t, 10*time.Second, func() bool {
+		_ = link.Send(0, 1, "ping", testutil.ConformancePayload{N: 2}, 4)
+		return link.Down(1)
+	}, testutil.Source("link", link.Stats))
+
+	// A fresh node adopting the address brings the peer back up: the
+	// writer's next dial succeeds and clears the flag.
+	node1b, err := Listen(Config{Self: 1, Addrs: cluster.Addrs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node1b.Close()
+	if _, err := node1b.Factory()("down", network.Config{Procs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Eventually(t, 10*time.Second, func() bool {
+		_ = link.Send(0, 1, "ping", testutil.ConformancePayload{N: 3}, 4)
+		return !link.Down(1)
+	}, testutil.Source("link", link.Stats))
+}
+
+// TestWriterCoalescesFrames drives a burst through one peer connection
+// and checks the writer-side group-commit meters: queued frames must be
+// flushed in multi-frame writes, every frame must still arrive, in
+// order.
+func TestWriterCoalescesFrames(t *testing.T) {
+	t.Parallel()
+	cluster, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	link, err := cluster.Factory()("burst", network.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	// A first send forces the dial so the burst below queues behind an
+	// established connection rather than behind the dial.
+	if err := link.Send(0, 1, "warm", testutil.ConformancePayload{N: -1}, 4); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Drain(t, 5*time.Second, link.Recv(1), 1, testutil.Source("link", link.Stats))
+
+	const burst = 500
+	for i := 0; i < burst; i++ {
+		if err := link.Send(0, 1, "burst", testutil.ConformancePayload{N: i}, 8); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	got := testutil.Drain(t, 10*time.Second, link.Recv(1), burst, testutil.Source("link", link.Stats))
+	for i, m := range got {
+		if m.Payload.(testutil.ConformancePayload).N != i {
+			t.Fatalf("delivery %d carried %v (reorder across coalesced writes)", i, m.Payload)
+		}
+	}
+	st := link.Stats()
+	if st.Batches == 0 || st.BatchedFrames < 2 {
+		t.Fatalf("no coalesced writes metered for a %d-frame burst: %+v", burst, st)
+	}
+	if st.BatchedFrames < 2*st.Batches {
+		t.Fatalf("BatchedFrames %d < 2*Batches %d: multi-frame flushes must carry >= 2 frames",
+			st.BatchedFrames, st.Batches)
+	}
+}

@@ -139,7 +139,17 @@ func (cl *clusterLink) Stats() network.Stats {
 
 func (cl *clusterLink) Procs() int { return cl.endpoints }
 
-func (cl *clusterLink) Down(p int) bool { return false }
+// Down reports whether any cluster node's writer toward p's owner is
+// in reconnect backoff — the union of the per-node views, since the
+// logical channel spans every node.
+func (cl *clusterLink) Down(p int) bool {
+	for _, part := range cl.parts {
+		if part.Down(p) {
+			return true
+		}
+	}
+	return false
+}
 
 func (cl *clusterLink) Close() {
 	for _, p := range cl.parts {

@@ -64,6 +64,11 @@ const (
 	maxPending = 4096
 	// peerQueue is the depth of each outbound per-peer frame queue.
 	peerQueue = 4096
+	// maxCoalesce bounds the bytes a writer flush may coalesce from the
+	// peer queue into one buffered write. Frames are length-prefixed, so
+	// concatenation is the wire format; the bound keeps a burst from
+	// building an unboundedly large write buffer.
+	maxCoalesce = 256 * 1024
 )
 
 // Node is one process's TCP transport endpoint. It accepts inbound
@@ -85,7 +90,9 @@ type Node struct {
 	conns   map[net.Conn]struct{}
 	closed  bool
 
-	reconnects atomic.Int64
+	reconnects    atomic.Int64
+	batches       atomic.Int64
+	batchedFrames atomic.Int64
 }
 
 // Listen starts a transport node: it binds (or adopts) the listener for
@@ -333,6 +340,10 @@ type peer struct {
 	id   int
 	addr string
 	out  chan []byte
+	// down is true while the writer cannot reach the peer: set after a
+	// failed dial attempt (the writer is in reconnect backoff), cleared
+	// when a dial succeeds. tcpLink.Down reads it.
+	down atomic.Bool
 }
 
 func (p *peer) writer() {
@@ -350,6 +361,25 @@ func (p *peer) writer() {
 		case buf = <-p.out:
 		case <-p.node.stop:
 			return
+		}
+		// Coalesce whatever else is already queued into one buffered
+		// write. Frames are length-prefixed, so concatenation is exactly
+		// the stream the peer's readLoop expects; one syscall then
+		// carries the whole burst.
+		frames := 1
+	coalesce:
+		for len(buf) < maxCoalesce {
+			select {
+			case more := <-p.out:
+				buf = append(buf, more...)
+				frames++
+			default:
+				break coalesce
+			}
+		}
+		if frames > 1 {
+			p.node.batches.Add(1)
+			p.node.batchedFrames.Add(int64(frames))
 		}
 		for {
 			if conn == nil {
@@ -392,8 +422,10 @@ func (p *peer) dial() net.Conn {
 				conn.Close()
 				return nil
 			}
+			p.down.Store(false)
 			return conn
 		}
+		p.down.Store(true)
 		select {
 		case <-p.node.stop:
 			return nil
@@ -532,11 +564,13 @@ func (l *tcpLink) meter(kind string, bytes int) {
 // per channel).
 func (l *tcpLink) Stats() network.Stats {
 	st := network.Stats{
-		Messages:   l.messages.Load(),
-		Bytes:      l.bytes.Load(),
-		Dropped:    l.dropped.Load(),
-		Reconnects: l.node.reconnects.Load(),
-		ByKind:     make(map[string]network.KindStats),
+		Messages:      l.messages.Load(),
+		Bytes:         l.bytes.Load(),
+		Dropped:       l.dropped.Load(),
+		Reconnects:    l.node.reconnects.Load(),
+		Batches:       l.node.batches.Load(),
+		BatchedFrames: l.node.batchedFrames.Load(),
+		ByKind:        make(map[string]network.KindStats),
 	}
 	l.mu.Lock()
 	for k, v := range l.kinds {
@@ -549,9 +583,23 @@ func (l *tcpLink) Stats() network.Stats {
 // Procs returns the channel's endpoint count (across all nodes).
 func (l *tcpLink) Procs() int { return l.endpoints }
 
-// Down always reports false: the TCP transport does not simulate
-// crash-stop faults; real process death is visible as disconnects.
-func (l *tcpLink) Down(p int) bool { return false }
+// Down reports whether the node owning endpoint p is currently
+// unreachable: true while this node's writer to that peer is in
+// reconnect backoff after a failed dial. The TCP transport does not
+// simulate crash-stop faults, so this reflects real connectivity —
+// locally-owned endpoints are never down, and a peer is only probed by
+// actual traffic (a quiet unreachable peer reads as up until a send
+// forces a dial).
+func (l *tcpLink) Down(p int) bool {
+	if p < 0 || p >= l.endpoints {
+		return false
+	}
+	owner := l.node.Owner(p)
+	if owner == l.node.cfg.Self {
+		return false
+	}
+	return l.node.peers[owner].down.Load()
+}
 
 // Close shuts this channel down on this node. The link stays registered
 // as a tombstone so frames still in flight from peers are discarded

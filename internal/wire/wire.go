@@ -1,0 +1,48 @@
+// Package wire is the registry of every payload type that may cross
+// the TCP transport inside a gob-encoded frame. Protocol packages
+// (abcast, msc, mlin, recovery, mop) register their wire structs here
+// instead of calling gob.Register directly; the registry both performs
+// the gob registration and remembers the concrete type, so tests can
+// enumerate every registered kind and prove each one round-trips
+// through the codec. A payload type that skips Register would decode
+// as "gob: name not registered" the first time it crossed a real wire
+// — the enumeration makes that a compile-adjacent test failure
+// instead of a runtime surprise.
+package wire
+
+import (
+	"encoding/gob"
+	"reflect"
+	"sync"
+)
+
+var (
+	mu    sync.Mutex
+	types []reflect.Type
+	seen  = make(map[reflect.Type]bool)
+)
+
+// Register records v's concrete type and registers it with gob.
+// Idempotent per type; safe for concurrent use (registration happens
+// in package init functions, but tests may call it too).
+func Register(v any) {
+	gob.Register(v)
+	t := reflect.TypeOf(v)
+	mu.Lock()
+	defer mu.Unlock()
+	if !seen[t] {
+		seen[t] = true
+		types = append(types, t)
+	}
+}
+
+// Types returns the concrete types registered so far, in registration
+// order. The slice is a copy; callers may not mutate registry state
+// through it.
+func Types() []reflect.Type {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]reflect.Type, len(types))
+	copy(out, types)
+	return out
+}
