@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify quick bench
+.PHONY: build test race vet verify quick bench codec-gate
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,18 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify = the tier-1 gate: vet + race-enabled tests.
-verify: vet race
+# codec-gate = wire-codec checks that need a non-race build: the frame
+# fuzz seed corpus (every registered kind under both codecs, plus
+# hostile prefixes) and the send-path allocation gates. The race
+# detector disables sync.Pool reuse, which charges the pooled frame
+# buffer to every encode, so the zero-allocs assertions only hold
+# without -race — hence the separate invocation.
+codec-gate:
+	$(GO) test ./internal/transport/ -run 'FuzzReadFrame|TestSendPathZeroAllocs' -count=1
+	$(GO) test ./internal/bench/ -run TestE17EncodeCostSeparatesCodecs -count=1
+
+# verify = the tier-1 gate: vet + race-enabled tests + codec gates.
+verify: vet race codec-gate
 
 # quick = the fast loop: -short trims the chaos/stress iteration counts.
 quick:

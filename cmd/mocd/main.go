@@ -54,6 +54,7 @@ func run() error {
 		batch       = flag.Int("batch", 1, "coalesce up to this many updates into one broadcast frame (1 = unbatched; same value on every daemon)")
 		batchWindow = flag.Duration("batchwindow", 0, "longest an update waits for its batch to fill (0 with -batch > 1 uses the built-in default)")
 		inflight    = flag.Int("inflight", 1, "updates outstanding per process (pipelined issuance; same value on every daemon)")
+		codec       = flag.String("codec", transport.CodecBinary, `frame body encoding this daemon sends: "binary" or "gob" (receiving is always codec-agnostic, so mixed clusters interoperate)`)
 	)
 	flag.Parse()
 
@@ -106,7 +107,7 @@ func run() error {
 		epochTime = time.Unix(0, *epoch)
 	}
 
-	node, err := transport.Listen(transport.Config{Self: *id, Addrs: addrs})
+	node, err := transport.Listen(transport.Config{Self: *id, Addrs: addrs, Codec: *codec})
 	if err != nil {
 		return err
 	}

@@ -1,15 +1,32 @@
-// Command mocload drives a mocd cluster with a seeded closed-loop
-// workload: -inflight clients per daemon (each on its own connection,
-// since one RPC connection serializes its requests) issue that daemon's
-// planned m-operations back-to-back (queries as multireads, updates as
-// multi-assignments — the same mixes internal/workload plans for the
-// in-process benchmarks), then reports per-class latency percentiles
-// and overall throughput. Pair -inflight with the daemons' -inflight
-// pipelining (and their -batch/-batchwindow coalescing) to saturate the
-// batched update path. With -out it additionally dumps every
-// daemon's recorded trace, merges them into one execution history, and
-// writes it as moccheck-compatible JSON — so a real multi-process run
-// can be verified by the exact checkers:
+// Command mocload drives a mocd cluster with a seeded workload in one
+// of two modes:
+//
+//   - Closed loop (default): -inflight clients per daemon (each on its
+//     own connection, since one RPC connection serializes its requests)
+//     issue that daemon's planned m-operations back-to-back (queries as
+//     multireads, updates as multi-assignments — the same mixes
+//     internal/workload plans for the in-process benchmarks). Latency
+//     is measured per request; throughput is whatever the system
+//     sustains.
+//
+//   - Open loop (-rate R): operations are issued on a fixed schedule of
+//     R per second per daemon for -duration, regardless of how fast
+//     responses come back. Latency is measured from each operation's
+//     *scheduled* issue time, so when the system falls behind, the
+//     queueing delay is charged to the operations — the
+//     coordinated-omission-free measurement a closed loop cannot give.
+//     The -inflight workers bound concurrency; if the schedule outruns
+//     them, later operations simply start late and their latency shows
+//     it. The plan is reused cyclically, with written values shifted
+//     per cycle so every write in the run stays unique and merged
+//     histories remain unambiguous for the checkers.
+//
+// Pair -inflight with the daemons' -inflight pipelining (and their
+// -batch/-batchwindow coalescing) to saturate the batched update path.
+// With -out it additionally dumps every daemon's recorded trace, merges
+// them into one execution history, and writes it as moccheck-compatible
+// JSON — so a real multi-process run can be verified by the exact
+// checkers:
 //
 //	mocload -nodes 127.0.0.1:7200,127.0.0.1:7201,127.0.0.1:7202 \
 //	        -ops 20 -readfrac 0.5 -out history.json
@@ -25,6 +42,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"moc/internal/core"
@@ -49,11 +67,19 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "workload plan seed")
 		out      = flag.String("out", "", "write the merged execution history (moccheck JSON) here")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-daemon dial timeout")
-		inflight = flag.Int("inflight", 1, "concurrent closed-loop clients per daemon, each on its own connection (pair with the daemons' -inflight so the pipelined lanes are actually fed)")
+		inflight = flag.Int("inflight", 1, "concurrent clients per daemon, each on its own connection (pair with the daemons' -inflight so the pipelined lanes are actually fed)")
+		rate     = flag.Float64("rate", 0, "open-loop mode: target m-operations per second per daemon (0 = closed loop); latency is measured from the scheduled issue time, so overload queueing is charged to the operations (no coordinated omission)")
+		duration = flag.Duration("duration", 10*time.Second, "open-loop run length (only with -rate)")
 	)
 	flag.Parse()
 	if *inflight < 1 {
 		return fmt.Errorf("-inflight must be at least 1, got %d", *inflight)
+	}
+	if *rate < 0 {
+		return fmt.Errorf("-rate must not be negative, got %g", *rate)
+	}
+	if *rate > 0 && *duration <= 0 {
+		return fmt.Errorf("-duration must be positive in open-loop mode, got %v", *duration)
 	}
 
 	addrs := splitList(*nodes)
@@ -93,46 +119,110 @@ func run() error {
 		errs           = make(chan error, len(addrs)*(*inflight))
 		start          = time.Now()
 	)
-	for i := range clients {
-		// Slice node i's plan across its closed loops: worker k issues
-		// ops k, k+inflight, k+2*inflight, ...
-		for k, c := range clients[i] {
-			var share []workload.Op
-			for j := k; j < len(plans[i]); j += *inflight {
-				share = append(share, plans[i][j])
-			}
-			wg.Add(1)
-			go func(c *mocrpc.Client, plan []workload.Op) {
-				defer wg.Done()
-				for _, op := range plan {
-					objs := make([]string, len(op.Objs))
-					for j, x := range op.Objs {
-						objs[j] = names[x]
-					}
-					var vals []int64
-					kind := "multiread"
-					if !op.Query {
-						kind = "massign"
-						vals = make([]int64, len(op.Vals))
-						for j, v := range op.Vals {
-							vals[j] = int64(v)
-						}
-					}
-					t0 := time.Now()
-					if _, err := c.Exec(kind, objs, vals); err != nil {
-						errs <- err
-						return
-					}
-					ns := time.Since(t0).Nanoseconds()
-					mu.Lock()
-					if op.Query {
-						queryNs = append(queryNs, ns)
-					} else {
-						updNs = append(updNs, ns)
-					}
-					mu.Unlock()
+	// The open loop reuses the plan cyclically, so written values are
+	// shifted by a per-cycle multiple of the plan's value range: every
+	// write in the run stays unique, which keeps the merged history's
+	// value-inferred reads-from unambiguous for the checkers. (Plan
+	// values are globally unique and start at 1, so orig + cycle*maxVal
+	// never collides across cycles or daemons.)
+	var maxVal int64
+	for _, plan := range plans {
+		for _, op := range plan {
+			for _, v := range op.Vals {
+				if int64(v) > maxVal {
+					maxVal = int64(v)
 				}
-			}(c, share)
+			}
+		}
+	}
+
+	// issue sends one planned m-operation, re-valuing updates by valOff;
+	// record files its latency under the caller-chosen origin.
+	issue := func(c *mocrpc.Client, op workload.Op, valOff int64) error {
+		objs := make([]string, len(op.Objs))
+		for j, x := range op.Objs {
+			objs[j] = names[x]
+		}
+		var vals []int64
+		kind := "multiread"
+		if !op.Query {
+			kind = "massign"
+			vals = make([]int64, len(op.Vals))
+			for j, v := range op.Vals {
+				vals[j] = int64(v) + valOff
+			}
+		}
+		_, err := c.Exec(kind, objs, vals)
+		return err
+	}
+	record := func(query bool, ns int64) {
+		mu.Lock()
+		if query {
+			queryNs = append(queryNs, ns)
+		} else {
+			updNs = append(updNs, ns)
+		}
+		mu.Unlock()
+	}
+
+	if *rate > 0 {
+		// Open loop: each daemon has a virtual schedule — operation s is
+		// due at start + s/rate — and its workers race to claim the next
+		// slot. A worker that claims a future slot sleeps until it is
+		// due; one that claims a past slot (the system is behind) issues
+		// immediately, and the lateness lands in the measured latency
+		// because the clock starts at the *scheduled* time, not the send.
+		interval := time.Duration(float64(time.Second) / *rate)
+		deadline := start.Add(*duration)
+		for i := range clients {
+			next := new(atomic.Int64)
+			plan := plans[i]
+			for _, c := range clients[i] {
+				wg.Add(1)
+				go func(c *mocrpc.Client) {
+					defer wg.Done()
+					for {
+						s := next.Add(1) - 1
+						sched := start.Add(time.Duration(s) * interval)
+						if sched.After(deadline) {
+							return
+						}
+						if d := time.Until(sched); d > 0 {
+							time.Sleep(d)
+						}
+						op := plan[int(s)%len(plan)]
+						valOff := (s / int64(len(plan))) * maxVal
+						if err := issue(c, op, valOff); err != nil {
+							errs <- err
+							return
+						}
+						record(op.Query, time.Since(sched).Nanoseconds())
+					}
+				}(c)
+			}
+		}
+	} else {
+		for i := range clients {
+			// Slice node i's plan across its closed loops: worker k issues
+			// ops k, k+inflight, k+2*inflight, ...
+			for k, c := range clients[i] {
+				var share []workload.Op
+				for j := k; j < len(plans[i]); j += *inflight {
+					share = append(share, plans[i][j])
+				}
+				wg.Add(1)
+				go func(c *mocrpc.Client, plan []workload.Op) {
+					defer wg.Done()
+					for _, op := range plan {
+						t0 := time.Now()
+						if err := issue(c, op, 0); err != nil {
+							errs <- err
+							return
+						}
+						record(op.Query, time.Since(t0).Nanoseconds())
+					}
+				}(c, share)
+			}
 		}
 	}
 	wg.Wait()
@@ -146,6 +236,12 @@ func run() error {
 	total := len(queryNs) + len(updNs)
 	fmt.Printf("%d m-operations across %d nodes in %v (%.0f ops/s)\n",
 		total, len(addrs), elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	if *rate > 0 {
+		target := *rate * float64(len(addrs))
+		achieved := float64(total) / elapsed.Seconds()
+		fmt.Printf("open loop: target %.0f ops/s across the cluster, achieved %.0f ops/s (%.1f%%)\n",
+			target, achieved, 100*achieved/target)
+	}
 	report("query ", queryNs)
 	report("update", updNs)
 

@@ -44,6 +44,7 @@ func Experiments() []Experiment {
 		{ID: "E13", Title: "Availability under crash-stop failures: bounded queries with 0, 1, f crashed", Run: runE13, JSON: e13JSON},
 		{ID: "E14", Title: "Protocol cost model over real loopback TCP (internal/transport)", Run: runE14, JSON: e14JSON},
 		{ID: "E15", Title: "Batched, pipelined updates: throughput and latency vs batch size", Run: runE15, JSON: e15JSON},
+		{ID: "E17", Title: "Binary wire codec vs gob: TCP update throughput and send-path allocations", Run: runE17, JSON: e17JSON},
 		{ID: "A1", Title: "Ablation: sequencer vs Lamport atomic broadcast", Run: runAblationBroadcast},
 		{ID: "A2", Title: "Ablation: checker heuristics and memoization", Run: runAblationChecker},
 	}

@@ -1,0 +1,32 @@
+//go:build !race
+
+package bench
+
+import (
+	"testing"
+
+	"moc/internal/transport"
+)
+
+// TestE17EncodeCostSeparatesCodecs pins the send-path claim the
+// experiment exists to document: the binary codec encodes a frame with
+// zero heap allocations, gob does not. Excluded under the race
+// detector, which disables sync.Pool reuse and so charges the pooled
+// frame buffer to every encode.
+func TestE17EncodeCostSeparatesCodecs(t *testing.T) {
+	bin, err := e17EncodeCost(transport.CodecBinary)
+	if err != nil {
+		t.Fatalf("binary encode cost: %v", err)
+	}
+	if bin.AllocsPerOp != 0 {
+		t.Fatalf("binary encode allocs/frame = %g, want 0", bin.AllocsPerOp)
+	}
+	gob, err := e17EncodeCost(transport.CodecGob)
+	if err != nil {
+		t.Fatalf("gob encode cost: %v", err)
+	}
+	if gob.AllocsPerOp <= bin.AllocsPerOp {
+		t.Fatalf("gob encode allocs/frame = %g, want more than binary's %g",
+			gob.AllocsPerOp, bin.AllocsPerOp)
+	}
+}

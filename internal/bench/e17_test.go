@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"testing"
+
+	"moc/internal/transport"
+)
+
+// benchE17Cell runs one codec-sweep cell under the Go benchmark
+// harness; the CI bench smoke uses it to keep both wire codecs
+// exercised end-to-end per PR.
+func benchE17Cell(b *testing.B, codec string, batch int) {
+	b.Helper()
+	p := e17Sizes(true)
+	for i := 0; i < b.N; i++ {
+		res, err := runE15Cell("tcp", codec, batch, p, 42)
+		if err != nil {
+			b.Fatalf("runE15Cell(tcp, %s, %d): %v", codec, batch, err)
+		}
+		b.ReportMetric(res.OpsPerSec, "ops/s")
+	}
+}
+
+func BenchmarkE17BinaryBatch8TCP(b *testing.B) { benchE17Cell(b, transport.CodecBinary, 8) }
+func BenchmarkE17GobBatch8TCP(b *testing.B)    { benchE17Cell(b, transport.CodecGob, 8) }

@@ -56,7 +56,10 @@ type Recorder struct {
 	footprint object.Set
 	mayWrite  bool
 	ops       []history.Op
-	err       error
+	// opsBuf backs ops for the common short procedures so recording a
+	// handful of accesses costs no extra allocation on the apply path.
+	opsBuf [4]history.Op
+	err    error
 }
 
 var _ Txn = (*Recorder)(nil)
@@ -69,7 +72,9 @@ var (
 
 // NewRecorder wraps values (mutated in place) for executing p.
 func NewRecorder(values []object.Value, p Procedure) *Recorder {
-	return &Recorder{values: values, footprint: p.Footprint(), mayWrite: p.MayWrite()}
+	r := &Recorder{values: values, footprint: p.Footprint(), mayWrite: p.MayWrite()}
+	r.ops = r.opsBuf[:0]
+	return r
 }
 
 // Read implements Txn.
@@ -128,12 +133,14 @@ func (r *Recorder) WroteAny() bool {
 
 // Written returns the set of objects written.
 func (r *Recorder) Written() object.Set {
-	var ids []object.ID
+	var buf [8]object.ID
+	ids := buf[:0]
 	for _, op := range r.ops {
 		if op.Kind == history.Write {
 			ids = append(ids, op.Obj)
 		}
 	}
+	// NewSet copies, so handing it the stack buffer is safe.
 	return object.NewSet(ids...)
 }
 

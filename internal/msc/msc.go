@@ -52,8 +52,29 @@ type Protocol struct {
 	nextID atomic.Int64
 }
 
+// procState is one process's replica. Two lock levels split the old
+// process-wide mutex so queries on disjoint footprints never contend
+// with updates:
+//
+//   - mu serializes the writers (the delivery loop's applies and
+//     checkpoint adoption) and guards pending/applied. Whole-replica
+//     readers (Snapshot, LocalTS) also take it: with every writer
+//     excluded, the full values/ts vectors are stable.
+//   - locks[x] guards values[x] and ts[x] against concurrent queries:
+//     writers additionally write-lock their footprint, queries
+//     read-lock theirs — and nothing else. A query over {y} proceeds
+//     while an update writes {x}.
+//
+// Acquisition order is mu first, then object locks in ascending ID
+// order; queries take only object locks, ascending. One global order
+// means no deadlock. This split is sound for history well-formedness
+// because every consumer of a Record is footprint-scoped: the trace
+// reads-from derivation and the monitor axioms only inspect timestamp
+// entries inside Record.Footprint, which applyFootprint now declares
+// honestly instead of over-approximating with the full object set.
 type procState struct {
 	mu      sync.Mutex
+	locks   []sync.RWMutex // one per object; guards values[x] and ts[x]
 	values  []object.Value
 	ts      timestamp.TS
 	pending map[int64]*pendingUpdate
@@ -62,6 +83,24 @@ type procState struct {
 	// order. A recovery checkpoint advances it past the crash outage; the
 	// delivery loop then skips redelivered updates below it.
 	applied int64
+}
+
+// footprintIDs returns fp's ids clipped to the replica's object range,
+// ascending (Set.IDs is sorted — the shared lock-acquisition order).
+// Out-of-range ids carry no lock; the Recorder rejects their accesses
+// before any state is touched, so skipping them is race-safe.
+func (st *procState) footprintIDs(fp object.Set) []object.ID {
+	ids := fp.IDs()
+	n := object.ID(len(st.values))
+	lo := 0
+	for lo < len(ids) && ids[lo] < 0 {
+		lo++
+	}
+	hi := len(ids)
+	for hi > lo && ids[hi-1] >= n {
+		hi--
+	}
+	return ids[lo:hi]
 }
 
 // pendingUpdate tracks one in-flight update from issuance (A1) to the
@@ -109,6 +148,7 @@ func New(cfg Config) (*Protocol, error) {
 	}
 	for i := range p.states {
 		p.states[i] = &procState{
+			locks:   make([]sync.RWMutex, cfg.Reg.Len()),
 			values:  make([]object.Value, cfg.Reg.Len()),
 			ts:      timestamp.New(cfg.Reg.Len()),
 			pending: make(map[int64]*pendingUpdate),
@@ -182,19 +222,52 @@ func (p *Protocol) ExecuteAsync(proc int, pr mop.Procedure) (<-chan Outcome, err
 	return pu.done, nil
 }
 
-// executeQuery implements A3: apply to the local copy, atomically.
+// executeQuery implements A3: apply to the local copy, atomically over
+// the query's footprint. Queries take only the per-object read locks of
+// their declared footprint — never the writer mutex — in the shared
+// ascending order, two-phase: every lock is held before the first read
+// and released only after the record is complete, so the footprint
+// snapshot is atomic even though disjoint queries and updates run
+// concurrently. The Recorder blocks any access outside the footprint
+// before it touches state, which is what makes footprint-scoped locking
+// race-safe against a misdeclared procedure.
 func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) {
 	st := p.states[proc]
 	inv := p.cfg.Clock()
-	st.mu.Lock()
-	rec, err := applyLocked(st, pr, proc, -1)
-	st.mu.Unlock()
+	fp := pr.Footprint()
+	ids := st.footprintIDs(fp)
+	for _, x := range ids {
+		st.locks[x].RLock()
+	}
+	// The timestamp vector is full-length but only footprint entries are
+	// populated — entries outside the held locks may be mid-write, and
+	// no consumer of a query record looks beyond its footprint.
+	tsStart := timestamp.New(len(st.ts))
+	for _, x := range ids {
+		tsStart.Set(x, st.ts.Get(x))
+	}
+	rec := mop.NewRecorder(st.values, pr)
+	result := pr.Run(rec)
+	err := rec.Err()
+	ops := rec.Ops()
+	for i := len(ids) - 1; i >= 0; i-- {
+		st.locks[ids[i]].RUnlock()
+	}
 	if err != nil {
 		return mop.Record{}, err
 	}
-	rec.Inv = inv
-	rec.Resp = p.cfg.Clock()
-	return rec, nil
+	return mop.Record{
+		Proc:      proc,
+		Update:    false,
+		Seq:       -1,
+		Ops:       ops,
+		TSStart:   tsStart,
+		TSEnd:     tsStart.Clone(), // queries bump nothing
+		Footprint: fp,
+		Result:    result,
+		Inv:       inv,
+		Resp:      p.cfg.Clock(),
+	}, nil
 }
 
 // deliveryLoop implements A2 for one process.
@@ -227,7 +300,7 @@ func (p *Protocol) deliveryLoop(proc int) {
 				}
 				continue
 			}
-			rec, err := applyLocked(st, payload.Proc, payload.From, d.Seq)
+			rec, err := st.applyUpdate(payload.Proc, payload.From, d.Seq)
 			st.applied = d.Seq + 1
 			var pu *pendingUpdate
 			if payload.From == proc {
@@ -246,19 +319,33 @@ func (p *Protocol) deliveryLoop(proc int) {
 	}
 }
 
-// applyLocked runs pr against st (which must be locked), bumping version
-// timestamps for written objects, and captures the Record.
+// applyUpdate runs update pr against the replica (A2), bumping version
+// timestamps for written objects, and captures the Record. The caller
+// must hold st.mu (the writer mutex); applyUpdate additionally
+// write-locks the footprint so concurrent footprint-disjoint queries
+// keep running. The full-vector timestamp clones are race-safe even for
+// entries outside the footprint: st.mu excludes every other writer, and
+// queries only read.
 //
 // A contract violation (write by a query, footprint escape) aborts the
 // remaining accesses deterministically — every replica observes the same
 // prefix of effects — so replicas stay identical; the error is reported
 // to the issuer.
-func applyLocked(st *procState, pr mop.Procedure, proc int, seq int64) (mop.Record, error) {
+func (st *procState) applyUpdate(pr mop.Procedure, proc int, seq int64) (mop.Record, error) {
+	fp := pr.Footprint()
+	ids := st.footprintIDs(fp)
+	for _, x := range ids {
+		st.locks[x].Lock()
+	}
 	tsStart := st.ts.Clone()
 	rec := mop.NewRecorder(st.values, pr)
 	result := pr.Run(rec)
 	for _, x := range rec.Written().IDs() {
 		st.ts.Bump(x)
+	}
+	tsEnd := st.ts.Clone()
+	for i := len(ids) - 1; i >= 0; i-- {
+		st.locks[ids[i]].Unlock()
 	}
 	if err := rec.Err(); err != nil {
 		return mop.Record{}, err
@@ -269,14 +356,16 @@ func applyLocked(st *procState, pr mop.Procedure, proc int, seq int64) (mop.Reco
 		Seq:       seq,
 		Ops:       rec.Ops(),
 		TSStart:   tsStart,
-		TSEnd:     st.ts.Clone(),
-		Footprint: object.FullSet(len(st.values)),
+		TSEnd:     tsEnd,
+		Footprint: fp,
 		Result:    result,
 	}, nil
 }
 
 // Snapshot captures process proc's current checkpoint for state
-// transfer (recovery.State).
+// transfer (recovery.State). Holding the writer mutex is enough for a
+// stable full-vector read: every mutator of values/ts holds it, and
+// concurrent queries only read.
 func (p *Protocol) Snapshot(proc int) recovery.Checkpoint {
 	st := p.states[proc]
 	st.mu.Lock()
@@ -298,8 +387,17 @@ func (p *Protocol) Adopt(proc int, ck recovery.Checkpoint) bool {
 	if ck.Applied <= st.applied || len(ck.Values) != len(st.values) || len(ck.TS) != len(st.ts) {
 		return false
 	}
+	// Adoption rewrites every object, so unlike a footprint-scoped
+	// update it must write-lock the whole replica against in-flight
+	// queries.
+	for i := range st.locks {
+		st.locks[i].Lock()
+	}
 	copy(st.values, ck.Values)
 	copy(st.ts, ck.TS)
+	for i := len(st.locks) - 1; i >= 0; i-- {
+		st.locks[i].Unlock()
+	}
 	st.applied = ck.Applied
 	return true
 }

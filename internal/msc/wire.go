@@ -1,10 +1,39 @@
 package msc
 
-import "moc/internal/wire"
+import (
+	"fmt"
+
+	"moc/internal/mop"
+	"moc/internal/wire"
+)
 
 // The update payload crosses the broadcast channel, which may be a real
-// serializing transport (internal/transport); register it with the
-// wire registry (which performs the gob registration).
+// serializing transport (internal/transport); register it with the wire
+// registry under its stable tag (the registry also performs the gob
+// registration for the `-codec=gob` fallback).
 func init() {
-	wire.Register(updatePayload{})
+	wire.Register(wire.TagMSCUpdate, updatePayload{})
+}
+
+// MarshalWire implements wire.Marshaler.
+func (m updatePayload) MarshalWire(b []byte) ([]byte, error) {
+	b = wire.AppendVarint(b, m.ReqID)
+	b = wire.AppendVarint(b, int64(m.From))
+	return wire.AppendAny(b, m.Proc)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (m *updatePayload) UnmarshalWire(d *wire.Decoder) error {
+	m.ReqID = d.Varint()
+	m.From = d.Int()
+	v := d.Any()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	pr, ok := v.(mop.Procedure)
+	if !ok {
+		return fmt.Errorf("msc: wire payload procedure slot holds %T", v)
+	}
+	m.Proc = pr
+	return nil
 }

@@ -1,23 +1,37 @@
 package testutil
 
 import (
-	"encoding/gob"
 	"fmt"
 	"testing"
 	"time"
 
 	"moc/internal/network"
+	"moc/internal/wire"
 )
 
 // ConformancePayload is the payload type the conformance suite sends.
-// It is gob-registered so serializing transports (internal/transport)
-// can carry it; in-memory transports pass it through by reference.
+// It is wire-registered so serializing transports (internal/transport)
+// can carry it under either codec; in-memory transports pass it through
+// by reference.
 type ConformancePayload struct {
 	N int
 	S string
 }
 
-func init() { gob.Register(ConformancePayload{}) }
+func init() { wire.Register(wire.TagConformance, ConformancePayload{}) }
+
+// MarshalWire implements wire.Marshaler.
+func (p ConformancePayload) MarshalWire(b []byte) ([]byte, error) {
+	b = wire.AppendVarint(b, int64(p.N))
+	return wire.AppendString(b, p.S), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (p *ConformancePayload) UnmarshalWire(d *wire.Decoder) error {
+	p.N = d.Int()
+	p.S = d.String()
+	return d.Err()
+}
 
 // LinkMaker builds a fresh Link for one conformance subtest. The maker
 // owns cleanup (register it with t.Cleanup); the suite closes links it

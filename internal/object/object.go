@@ -118,7 +118,14 @@ func NewSet(ids ...ID) Set {
 	}
 	sorted := make([]ID, len(ids))
 	copy(sorted, ids)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Insertion sort: footprints are tiny, and this runs on the protocol
+	// apply path where sort.Slice's closure and reflection allocations
+	// are measurable.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
 	out := sorted[:1]
 	for _, id := range sorted[1:] {
 		if id != out[len(out)-1] {

@@ -47,7 +47,7 @@ var expectedKinds = []string{
 // registered mop procedure sample (both `any` and mop.Procedure fields
 // accept it). Only exported (settable) fields are touched — gob skips
 // the rest anyway.
-func fill(t *testing.T, v reflect.Value, ctr *int64) {
+func fill(t testing.TB, v reflect.Value, ctr *int64) {
 	t.Helper()
 	switch v.Kind() {
 	case reflect.Pointer:
@@ -99,10 +99,28 @@ func fill(t *testing.T, v reflect.Value, ctr *int64) {
 	}
 }
 
+// encodeFrameBytes is the test convenience wrapper around the pooled
+// encode path: encode one frame with the named codec and return a
+// fresh byte slice.
+func encodeFrameBytes(t testing.TB, codec string, f wireFrame) ([]byte, error) {
+	t.Helper()
+	cb, err := codecByte(codec)
+	if err != nil {
+		t.Fatalf("codecByte(%q): %v", codec, err)
+	}
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	if err := encodeFrame(cb, f, fb); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), fb.b...), nil
+}
+
 // TestCodecRoundTripsEveryRegisteredKind builds a non-trivial instance
 // of every payload type in the wire registry, carries it through
-// encodeFrame/readFrame inside a wireFrame, and requires the decoded
-// frame — metadata and payload — to be deeply equal to what was sent.
+// encodeFrame/readFrame inside a wireFrame under both codecs, and
+// requires the decoded frame — metadata and payload — to be deeply
+// equal to what was sent.
 func TestCodecRoundTripsEveryRegisteredKind(t *testing.T) {
 	types := wire.Types()
 	byName := make(map[string]reflect.Type, len(types))
@@ -118,33 +136,124 @@ func TestCodecRoundTripsEveryRegisteredKind(t *testing.T) {
 		t.FailNow()
 	}
 
-	var ctr int64
-	for _, typ := range types {
-		t.Run(typ.String(), func(t *testing.T) {
-			pv := reflect.New(typ).Elem()
-			fill(t, pv, &ctr)
-			in := wireFrame{
-				Channel: "codec-test",
-				From:    3,
-				To:      5,
-				Kind:    "kind." + typ.String(),
-				Payload: pv.Interface(),
-				Bytes:   64,
+	for _, codec := range []string{CodecBinary, CodecGob} {
+		t.Run(codec, func(t *testing.T) {
+			var ctr int64
+			for _, typ := range types {
+				t.Run(typ.String(), func(t *testing.T) {
+					pv := reflect.New(typ).Elem()
+					fill(t, pv, &ctr)
+					in := wireFrame{
+						Channel: "codec-test",
+						From:    3,
+						To:      5,
+						Kind:    "kind." + typ.String(),
+						Payload: pv.Interface(),
+						Bytes:   64,
+					}
+					buf, err := encodeFrameBytes(t, codec, in)
+					if err != nil {
+						t.Fatalf("encodeFrame: %v", err)
+					}
+					var scratch []byte
+					out, err := readFrame(bytes.NewReader(buf), &scratch)
+					if err != nil {
+						t.Fatalf("readFrame: %v", err)
+					}
+					if !reflect.DeepEqual(in, out) {
+						t.Fatalf("round trip mutated the frame:\n sent %#v\n got  %#v", in, out)
+					}
+					if got := reflect.TypeOf(out.Payload); got != typ {
+						t.Fatalf("payload decoded as %v, want %v", got, typ)
+					}
+				})
 			}
-			buf, err := encodeFrame(in)
+		})
+	}
+}
+
+// TestCodecPreservesNilObjectList pins the m-lin full-copy query
+// convention: a nil Objs slice means "send everything" (Figure 6), so
+// nil and empty must stay distinguishable across both codecs. The
+// payload crosses as the exported frame metadata cannot carry it — an
+// mlin.queryMsg with Objs left nil.
+func TestCodecPreservesNilObjectList(t *testing.T) {
+	types := wire.Types()
+	var qm reflect.Type
+	for _, typ := range types {
+		if typ.String() == "mlin.queryMsg" {
+			qm = typ
+		}
+	}
+	if qm == nil {
+		t.Fatal("mlin.queryMsg not registered")
+	}
+	pv := reflect.New(qm).Elem()
+	pv.Field(0).SetInt(77) // ReqID; Objs stays nil
+	for _, codec := range []string{CodecBinary, CodecGob} {
+		t.Run(codec, func(t *testing.T) {
+			in := wireFrame{Channel: "mlin.query", Kind: "mlin.query", Payload: pv.Interface(), Bytes: 8}
+			buf, err := encodeFrameBytes(t, codec, in)
 			if err != nil {
 				t.Fatalf("encodeFrame: %v", err)
 			}
-			out, err := readFrame(bytes.NewReader(buf))
+			var scratch []byte
+			out, err := readFrame(bytes.NewReader(buf), &scratch)
 			if err != nil {
 				t.Fatalf("readFrame: %v", err)
 			}
-			if !reflect.DeepEqual(in, out) {
-				t.Fatalf("round trip mutated the frame:\n sent %#v\n got  %#v", in, out)
-			}
-			if got := reflect.TypeOf(out.Payload); got != typ {
-				t.Fatalf("payload decoded as %v, want %v", got, typ)
+			objs := reflect.ValueOf(out.Payload).Field(1)
+			if !objs.IsNil() {
+				t.Fatalf("nil Objs decoded as non-nil %#v — full-copy queries would stop requesting everything", objs.Interface())
 			}
 		})
+	}
+}
+
+// TestCodecStreamHasNoPerFrameDescriptorOverhead is the regression gate
+// against gob's per-stream type descriptors sneaking back onto the hot
+// path: with the binary codec, encoding the same frame twice must
+// produce identical bytes of identical (small) size — a codec that
+// amortizes descriptors across a stream would shrink the second frame,
+// and one that re-sends them would balloon both. The size cap is
+// deliberately tight: metadata plus a two-field payload must fit in far
+// less than gob's descriptor-laden ~200 bytes.
+func TestCodecStreamHasNoPerFrameDescriptorOverhead(t *testing.T) {
+	frame := wireFrame{
+		Channel: "abcast",
+		From:    1,
+		To:      2,
+		Kind:    "abc.req",
+		Payload: mop.WriteOp{X: 4, V: 99},
+		Bytes:   32,
+	}
+	first, err := encodeFrameBytes(t, CodecBinary, frame)
+	if err != nil {
+		t.Fatalf("encodeFrame: %v", err)
+	}
+	second, err := encodeFrameBytes(t, CodecBinary, frame)
+	if err != nil {
+		t.Fatalf("encodeFrame: %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same frame encoded differently across calls:\n %x\n %x", first, second)
+	}
+	const cap = 40 // 5B header + channel/kind strings + varint metadata + tagged payload
+	if len(first) > cap {
+		t.Fatalf("frame is %d bytes (cap %d) — per-frame descriptor overhead is back", len(first), cap)
+	}
+	// Both encodings must stay readable when concatenated, since frame
+	// concatenation is the writer's coalescing format.
+	stream := append(append([]byte(nil), first...), second...)
+	var scratch []byte
+	r := bytes.NewReader(stream)
+	for i := 0; i < 2; i++ {
+		out, err := readFrame(r, &scratch)
+		if err != nil {
+			t.Fatalf("frame %d of coalesced stream: %v", i, err)
+		}
+		if !reflect.DeepEqual(out, frame) {
+			t.Fatalf("frame %d mutated: %#v", i, out)
+		}
 	}
 }

@@ -16,8 +16,16 @@ type Cluster struct {
 }
 
 // NewCluster binds n loopback listeners on ephemeral ports, assembles
-// the shared address list, and starts one Node per address.
+// the shared address list, and starts one Node per address. Frames use
+// the default binary codec.
 func NewCluster(n int) (*Cluster, error) {
+	return NewClusterWithCodec(n, CodecBinary)
+}
+
+// NewClusterWithCodec is NewCluster with an explicit send codec
+// (CodecBinary or CodecGob) on every node, for benchmarks and tests
+// that compare the two wire encodings.
+func NewClusterWithCodec(n int, codec string) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("transport: cluster size %d", n)
 	}
@@ -36,7 +44,7 @@ func NewCluster(n int) (*Cluster, error) {
 	}
 	c := &Cluster{nodes: make([]*Node, n)}
 	for i := 0; i < n; i++ {
-		node, err := Listen(Config{Self: i, Addrs: addrs, Listener: lns[i]})
+		node, err := Listen(Config{Self: i, Addrs: addrs, Listener: lns[i], Codec: codec})
 		if err != nil {
 			c.Close()
 			for j := i; j < n; j++ {

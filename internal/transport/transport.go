@@ -7,10 +7,14 @@
 // connection per peer. Endpoints are mapped to processes by
 // owner(e) = e mod len(addrs), which places protocol endpoint p on
 // daemon p and the fixed sequencer's dedicated endpoint n back on
-// daemon 0. Frames are length-prefixed gob (see codec.go), encoded at
-// Send time so callers observe codec errors. Outbound connections dial
-// lazily with exponential backoff and reconnect after failures,
-// counting re-establishments in Stats.Reconnects.
+// daemon 0. Frames are length-prefixed and carry a per-frame codec byte
+// (see codec.go) selecting the zero-copy binary codec (default) or the
+// gob fallback; they are encoded at Send time into pooled buffers so
+// callers observe codec errors and the steady-state send path does not
+// allocate. Outbound connections dial lazily with exponential backoff
+// and reconnect after failures, counting re-establishments in
+// Stats.Reconnects and frames eligible for resend after a mid-frame
+// write error in Stats.Retransmitted.
 //
 // Unlike the simulated network, every daemon constructs the full
 // protocol stack, so constructors replicate bootstrap sends on all
@@ -24,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -52,6 +57,11 @@ type Config struct {
 	// InboxSize is the per-endpoint delivery buffer on each channel.
 	// Default 4096.
 	InboxSize int
+	// Codec names the frame body encoding this node sends: CodecBinary
+	// (the default) or CodecGob. Receiving is always codec-agnostic —
+	// every frame carries its own codec byte — so nodes with different
+	// Codec settings interoperate.
+	Codec string
 }
 
 const (
@@ -77,6 +87,7 @@ const (
 // channels.
 type Node struct {
 	cfg    Config
+	codec  byte // wire codec byte for frames this node sends
 	ln     net.Listener
 	peers  []*peer // peers[Self] == nil
 	ctx    context.Context
@@ -93,6 +104,7 @@ type Node struct {
 	reconnects    atomic.Int64
 	batches       atomic.Int64
 	batchedFrames atomic.Int64
+	retransmits   atomic.Int64
 }
 
 // Listen starts a transport node: it binds (or adopts) the listener for
@@ -117,6 +129,10 @@ func Listen(cfg Config) (*Node, error) {
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = defaultInboxSize
 	}
+	codec, err := codecByte(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
@@ -128,6 +144,7 @@ func Listen(cfg Config) (*Node, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	n := &Node{
 		cfg:     cfg,
+		codec:   codec,
 		ln:      ln,
 		ctx:     ctx,
 		cancel:  cancel,
@@ -141,7 +158,7 @@ func Listen(cfg Config) (*Node, error) {
 		if i == cfg.Self {
 			continue
 		}
-		p := &peer{node: n, id: i, addr: addr, out: make(chan []byte, peerQueue)}
+		p := &peer{node: n, id: i, addr: addr, out: make(chan *frameBuf, peerQueue)}
 		n.peers[i] = p
 		n.wg.Add(1)
 		go p.writer()
@@ -267,11 +284,13 @@ func (n *Node) route(name string, m network.Message) {
 }
 
 // enqueue queues one encoded frame for the writer goroutine of the peer
-// that owns the destination endpoint.
-func (n *Node) enqueue(peerID int, buf []byte, linkStop chan struct{}) error {
+// that owns the destination endpoint. On success the writer owns fb; on
+// failure ownership stays with the caller (which returns it to the
+// pool).
+func (n *Node) enqueue(peerID int, fb *frameBuf, linkStop chan struct{}) error {
 	p := n.peers[peerID]
 	select {
-	case p.out <- buf:
+	case p.out <- fb:
 		return nil
 	case <-n.stop:
 		return network.ErrClosed
@@ -313,13 +332,19 @@ func (n *Node) acceptLoop() {
 }
 
 // readLoop decodes frames from one inbound connection until it fails or
-// the node closes. Any peer connection may carry frames for any channel.
+// the node closes. Any peer connection may carry frames for any
+// channel. Every readFrame error is fatal for the connection — in
+// particular an oversized length prefix (ErrFrameTooLarge) or a
+// malformed frame (ErrBadFrame) means framing is lost or the peer is
+// hostile, and the deferred Close kills the stream before the promised
+// bytes are ever allocated.
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer n.untrackConn(conn)
 	defer conn.Close()
+	var scratch []byte // reused frame body buffer; decoded values copy out
 	for {
-		f, err := readFrame(conn)
+		f, err := readFrame(conn, &scratch)
 		if err != nil {
 			return
 		}
@@ -339,26 +364,52 @@ type peer struct {
 	node *Node
 	id   int
 	addr string
-	out  chan []byte
+	out  chan *frameBuf
 	// down is true while the writer cannot reach the peer: set after a
 	// failed dial attempt (the writer is in reconnect backoff), cleared
 	// when a dial succeeds. tcpLink.Down reads it.
 	down atomic.Bool
 }
 
+// writeFull writes all of b to c, looping over short writes, and
+// reports how many bytes were written. A net.Conn should never return a
+// short count without an error, but the wire path does not bet the
+// stream's framing on that: a silent short write would desynchronize
+// every frame that follows.
+func writeFull(c net.Conn, b []byte) (int, error) {
+	total := 0
+	for total < len(b) {
+		n, err := c.Write(b[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, io.ErrShortWrite
+		}
+	}
+	return total, nil
+}
+
 func (p *peer) writer() {
 	defer p.node.wg.Done()
 	var conn net.Conn
 	connectedOnce := false
+	// wbuf accumulates coalesced frames; ends[i] is the offset just past
+	// frame i, so a mid-frame write error can tell complete frames from
+	// the torn one. Both persist across iterations so the steady state
+	// allocates nothing.
+	wbuf := make([]byte, 0, 4096)
+	ends := make([]int, 0, 64)
 	defer func() {
 		if conn != nil {
 			conn.Close()
 		}
 	}()
 	for {
-		var buf []byte
+		var fb *frameBuf
 		select {
-		case buf = <-p.out:
+		case fb = <-p.out:
 		case <-p.node.stop:
 			return
 		}
@@ -366,12 +417,17 @@ func (p *peer) writer() {
 		// write. Frames are length-prefixed, so concatenation is exactly
 		// the stream the peer's readLoop expects; one syscall then
 		// carries the whole burst.
+		wbuf = append(wbuf[:0], fb.b...)
+		ends = append(ends[:0], len(wbuf))
+		putFrameBuf(fb)
 		frames := 1
 	coalesce:
-		for len(buf) < maxCoalesce {
+		for len(wbuf) < maxCoalesce {
 			select {
 			case more := <-p.out:
-				buf = append(buf, more...)
+				wbuf = append(wbuf, more.b...)
+				putFrameBuf(more)
+				ends = append(ends, len(wbuf))
 				frames++
 			default:
 				break coalesce
@@ -381,7 +437,7 @@ func (p *peer) writer() {
 			p.node.batches.Add(1)
 			p.node.batchedFrames.Add(int64(frames))
 		}
-		for {
+		for len(wbuf) > 0 {
 			if conn == nil {
 				conn = p.dial()
 				if conn == nil {
@@ -392,12 +448,16 @@ func (p *peer) writer() {
 				}
 				connectedOnce = true
 			}
-			if _, err := conn.Write(buf); err == nil {
+			w, err := writeFull(conn, wbuf)
+			if err == nil {
 				break
 			}
 			p.node.untrackConn(conn)
 			conn.Close()
 			conn = nil
+			var resend int
+			wbuf, ends, resend = pruneWritten(wbuf, ends, w)
+			p.node.retransmits.Add(int64(resend))
 			select {
 			case <-p.node.stop:
 				return
@@ -405,6 +465,37 @@ func (p *peer) writer() {
 			}
 		}
 	}
+}
+
+// pruneWritten compacts the write buffer after a write error at byte
+// offset w. Frames written in full may have reached the peer and are
+// dropped; every frame with unwritten bytes stays — including the torn
+// frame, kept whole from its first byte, since the peer's readLoop
+// discards a partial frame when the connection dies. Returns the
+// compacted buffer and offsets plus the count of frames eligible for
+// resend (metered in Stats.Retransmitted).
+func pruneWritten(wbuf []byte, ends []int, w int) ([]byte, []int, int) {
+	keep := len(ends)
+	start := 0
+	for i, end := range ends {
+		if end > w {
+			keep = i
+			if i > 0 {
+				start = ends[i-1]
+			}
+			break
+		}
+	}
+	if keep == len(ends) {
+		// Every frame was fully written before the error surfaced.
+		return wbuf[:0], ends[:0], 0
+	}
+	copy(wbuf, wbuf[start:])
+	wbuf = wbuf[:len(wbuf)-start]
+	for i := keep; i < len(ends); i++ {
+		ends[i-keep] = ends[i] - start
+	}
+	return wbuf, ends[:len(ends)-keep], len(ends) - keep
 }
 
 // dial connects to the peer, retrying with exponential backoff until it
@@ -461,11 +552,11 @@ var _ network.Link = (*tcpLink)(nil)
 
 // Send transmits one message. Messages between two locally-owned
 // endpoints bypass serialization and go straight to the inbox; remote
-// messages are gob-encoded here (so codec errors surface to the caller)
-// and queued on the destination node's peer connection. Sends from
-// endpoints this node does not own are artifacts of replicated protocol
-// construction and are dropped (counted in Stats.Dropped): the owning
-// node performs the authoritative send.
+// messages are encoded here into a pooled frame buffer (so codec errors
+// surface to the caller) and queued on the destination node's peer
+// connection. Sends from endpoints this node does not own are artifacts
+// of replicated protocol construction and are dropped (counted in
+// Stats.Dropped): the owning node performs the authoritative send.
 func (l *tcpLink) Send(from, to int, kind string, payload any, bytes int) error {
 	if l.closed.Load() {
 		return network.ErrClosed
@@ -482,12 +573,18 @@ func (l *tcpLink) Send(from, to int, kind string, payload any, bytes int) error 
 		l.meter(kind, bytes)
 		return l.deliverLocal(network.Message{From: from, To: to, Kind: kind, Payload: payload, Bytes: bytes})
 	}
-	buf, err := encodeFrame(wireFrame{Channel: l.name, From: from, To: to, Kind: kind, Payload: payload, Bytes: bytes})
-	if err != nil {
+	fb := getFrameBuf()
+	f := wireFrame{Channel: l.name, From: from, To: to, Kind: kind, Payload: payload, Bytes: bytes}
+	if err := encodeFrame(l.node.codec, f, fb); err != nil {
+		putFrameBuf(fb)
 		return err
 	}
 	l.meter(kind, bytes)
-	return l.node.enqueue(owner, buf, l.stop)
+	if err := l.node.enqueue(owner, fb, l.stop); err != nil {
+		putFrameBuf(fb)
+		return err
+	}
+	return nil
 }
 
 // Broadcast sends to every endpoint, including the sender. Unlike the
@@ -570,6 +667,7 @@ func (l *tcpLink) Stats() network.Stats {
 		Reconnects:    l.node.reconnects.Load(),
 		Batches:       l.node.batches.Load(),
 		BatchedFrames: l.node.batchedFrames.Load(),
+		Retransmitted: l.node.retransmits.Load(),
 		ByKind:        make(map[string]network.KindStats),
 	}
 	l.mu.Lock()

@@ -1,0 +1,289 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// This file is the binary codec: append-style encoding primitives that
+// write into caller-provided buffers (so the transport's send path can
+// run allocation-free out of a buffer pool) and a bounds-checked,
+// panic-free Decoder for the receive path. Integers travel as varints,
+// strings and byte slices as length-prefixed runs, and `any` slots as a
+// uvarint tag (built-in 0–15 or a registered kind) followed by the
+// value's own encoding.
+
+// ErrUnknownType is returned when an `any` slot holds a type that is
+// neither a built-in nor registered with the wire registry.
+var ErrUnknownType = errors.New("wire: payload type not registered")
+
+// ErrTruncated is the Decoder's error for inputs that end before the
+// value they promise.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrCorrupt is the Decoder's error for inputs that are well-sized but
+// structurally invalid (bad varint, unknown tag, oversized count).
+var ErrCorrupt = errors.New("wire: corrupt input")
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// AppendVarint appends v as a zigzag varint.
+func AppendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+// AppendString appends s as a length-prefixed run of bytes.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBytes appends p as a length-prefixed run of bytes.
+func AppendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// AppendInt64s appends vs as a count-prefixed run of varints.
+func AppendInt64s(b []byte, vs []int64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = binary.AppendVarint(b, v)
+	}
+	return b
+}
+
+// AppendAny appends one `any` value slot: a uvarint tag followed by the
+// value's encoding. Built-in scalars get the reserved tags 0–15; every
+// other type must be registered (its Marshaler encodes the body).
+func AppendAny(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return binary.AppendUvarint(b, uint64(tagNil)), nil
+	case bool:
+		if x {
+			return binary.AppendUvarint(b, uint64(tagTrue)), nil
+		}
+		return binary.AppendUvarint(b, uint64(tagFalse)), nil
+	case int64:
+		b = binary.AppendUvarint(b, uint64(tagInt64))
+		return binary.AppendVarint(b, x), nil
+	case int:
+		b = binary.AppendUvarint(b, uint64(tagInt))
+		return binary.AppendVarint(b, int64(x)), nil
+	case string:
+		b = binary.AppendUvarint(b, uint64(tagString))
+		return AppendString(b, x), nil
+	case []byte:
+		b = binary.AppendUvarint(b, uint64(tagBytes))
+		return AppendBytes(b, x), nil
+	case float64:
+		b = binary.AppendUvarint(b, uint64(tagFloat64))
+		return binary.BigEndian.AppendUint64(b, math.Float64bits(x)), nil
+	case uint64:
+		b = binary.AppendUvarint(b, uint64(tagUint64))
+		return binary.AppendUvarint(b, x), nil
+	case []int64:
+		b = binary.AppendUvarint(b, uint64(tagInt64s))
+		return AppendInt64s(b, x), nil
+	}
+	tag, ok := TagOf(v)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", ErrUnknownType, v)
+	}
+	b = binary.AppendUvarint(b, uint64(tag))
+	return v.(Marshaler).MarshalWire(b)
+}
+
+// Decoder consumes a binary-codec byte run. All methods are panic-free:
+// the first structural problem latches an error, every later read
+// returns zero values, and Err reports the failure. Byte-slice reads
+// alias the input buffer (zero-copy); callers that retain them beyond
+// the buffer's lifetime must copy.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder over buf.
+func NewDecoder(buf []byte) Decoder { return Decoder{buf: buf} }
+
+// Err returns the first error the decoder hit, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many undecoded bytes are left.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Uvarint decodes one unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(fmt.Errorf("%w: uvarint overflow at offset %d", ErrCorrupt, d.off))
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint decodes one zigzag varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(fmt.Errorf("%w: varint overflow at offset %d", ErrCorrupt, d.off))
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int decodes one varint as an int.
+func (d *Decoder) Int() int { return int(d.Varint()) }
+
+// take returns the next n bytes of the buffer (aliased, not copied).
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf)-d.off {
+		d.fail(ErrTruncated)
+		return nil
+	}
+	out := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return out
+}
+
+// String decodes one length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// Bytes decodes one length-prefixed byte run, aliasing the input.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// Float64 decodes one big-endian float64.
+func (d *Decoder) Float64() float64 {
+	b := d.take(8)
+	if d.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// ArrayLen decodes a count prefix and validates it against the bytes
+// actually remaining: each element needs at least elemMin bytes, so a
+// count promising more elements than the input can hold is corrupt —
+// this is what keeps a hostile length from forcing a huge allocation
+// before any element is even decoded.
+func (d *Decoder) ArrayLen(elemMin int) int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if n > uint64(d.Remaining()/elemMin) {
+		d.fail(fmt.Errorf("%w: count %d exceeds %d remaining bytes", ErrCorrupt, n, d.Remaining()))
+		return 0
+	}
+	return int(n)
+}
+
+// Int64s decodes a count-prefixed run of varints.
+func (d *Decoder) Int64s() []int64 {
+	n := d.ArrayLen(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.Varint()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// Any decodes one `any` value slot (the inverse of AppendAny).
+func (d *Decoder) Any() any {
+	tag := Tag(d.Uvarint())
+	if d.err != nil {
+		return nil
+	}
+	switch tag {
+	case tagNil:
+		return nil
+	case tagFalse:
+		return false
+	case tagTrue:
+		return true
+	case tagInt64:
+		return d.Varint()
+	case tagInt:
+		return d.Int()
+	case tagString:
+		return d.String()
+	case tagBytes:
+		b := d.Bytes()
+		if b == nil {
+			return []byte(nil)
+		}
+		// Copy: the decoded value may outlive the frame buffer.
+		return append([]byte(nil), b...)
+	case tagFloat64:
+		return d.Float64()
+	case tagUint64:
+		return d.Uvarint()
+	case tagInt64s:
+		return d.Int64s()
+	}
+	typ, ok := typeOf(tag)
+	if !ok {
+		d.fail(fmt.Errorf("%w: unknown wire tag %d", ErrCorrupt, tag))
+		return nil
+	}
+	pv := reflect.New(typ)
+	if err := pv.Interface().(Unmarshaler).UnmarshalWire(d); err != nil {
+		d.fail(err)
+		return nil
+	}
+	if d.err != nil {
+		return nil
+	}
+	return pv.Elem().Interface()
+}

@@ -1,0 +1,69 @@
+package wire
+
+// The authoritative tag allocation table. Tags are written to the wire
+// (as the leading uvarint of every `any` value slot), so they are part
+// of the frame format: NEVER renumber or reuse a tag — retire it and
+// allocate the next free number in the owner package's block. Each
+// protocol package owns one block and registers its (unexported) types
+// against these constants in its wire.go.
+const (
+	// 0–15: built-in value encodings, owned by the codec itself
+	// (codec.go). These never correspond to registered types.
+	tagNil     Tag = 0
+	tagFalse   Tag = 1
+	tagTrue    Tag = 2
+	tagInt64   Tag = 3
+	tagInt     Tag = 4
+	tagString  Tag = 5
+	tagBytes   Tag = 6
+	tagFloat64 Tag = 7
+	tagUint64  Tag = 8
+	tagInt64s  Tag = 9
+
+	// FirstKindTag is the first tag available to registered kinds.
+	FirstKindTag Tag = 16
+
+	// 16–39: abcast (atomic broadcast protocols and the batching layer).
+	TagSeqRequest    Tag = 16
+	TagSeqOrder      Tag = 17
+	TagSeqSubmit     Tag = 18
+	TagSeqHB         Tag = 19
+	TagSeqSyncReq    Tag = 20
+	TagSeqSyncResp   Tag = 21
+	TagSeqNewView    Tag = 22
+	TagLamportSubmit Tag = 23
+	TagLamportData   Tag = 24
+	TagLamportAck    Tag = 25
+	TagTokenMsg      Tag = 26
+	TagTokenOrder    Tag = 27
+	TagTokHB         Tag = 28
+	TagTokSyncReq    Tag = 29
+	TagTokSyncResp   Tag = 30
+	TagTokCatchup    Tag = 31
+	TagBatchMsg      Tag = 32
+
+	// 40–47: msc (m-sequential consistency, Figure 4).
+	TagMSCUpdate Tag = 40
+
+	// 48–55: mlin (m-linearizability, Figure 6).
+	TagMLinUpdate    Tag = 48
+	TagMLinQueryMsg  Tag = 49
+	TagMLinQueryResp Tag = 50
+
+	// 56–63: recovery (checkpoint transfer).
+	TagXferReq  Tag = 56
+	TagXferResp Tag = 57
+
+	// 64–95: mop (declarative procedures riding inside update payloads).
+	TagReadOp    Tag = 64
+	TagWriteOp   Tag = 65
+	TagMultiRead Tag = 66
+	TagSum       Tag = 67
+	TagMAssign   Tag = 68
+	TagCAS       Tag = 69
+	TagDCAS      Tag = 70
+	TagTransfer  Tag = 71
+
+	// 1000+: test-only payloads (network/testutil).
+	TagConformance Tag = 1000
+)
