@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify quick bench codec-gate
+.PHONY: build test race vet verify quick bench codec-gate chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -29,8 +29,17 @@ codec-gate:
 	$(GO) test ./internal/transport/ -run 'FuzzReadFrame|TestSendPathZeroAllocs' -count=1
 	$(GO) test ./internal/bench/ -run TestE17EncodeCostSeparatesCodecs -count=1
 
-# verify = the tier-1 gate: vet + race-enabled tests + codec gates.
-verify: vet race codec-gate
+# chaos-smoke = the seeded chaos acceptance run: race-instrumented mocd
+# daemons on loopback TCP under socket resets, frame corruption and a
+# timed partition, one SIGKILL + checkpoint-transfer rejoin, and the
+# merged kill-safe traces validated by the unchanged exact checker. One
+# seed drives the whole campaign, so a failure reproduces.
+chaos-smoke:
+	$(GO) test ./internal/chaos/ -race -run TestChaosSmoke -count=1 -v
+
+# verify = the tier-1 gate: vet + race-enabled tests + codec gates +
+# the seeded chaos campaign.
+verify: vet race codec-gate chaos-smoke
 
 # quick = the fast loop: -short trims the chaos/stress iteration counts.
 quick:

@@ -1,5 +1,5 @@
 // Command mocbench regenerates the experiments of the reproduction
-// (DESIGN.md, E1–E17 plus ablations A1–A2): the figures of Mittal &
+// (DESIGN.md, E1–E18 plus ablations A1–A2): the figures of Mittal &
 // Garg (1998) as traces, the complexity separations as tables, and the
 // protocol cost model as measurements.
 //
@@ -11,7 +11,7 @@
 //	mocbench -json [-run E14] [-quick] # write BENCH_<id>.json reports
 //
 // With -json, the measurement experiments (those with machine-readable
-// reports: E7, E13, E14, E15, E17) are re-run and each report is written to
+// reports: E7, E13, E14, E15, E17, E18) are re-run and each report is written to
 // BENCH_<id>.json in the current directory. Combining -json with -run
 // restricts the set to one experiment; asking for one without JSON
 // support is an error.

@@ -1,0 +1,170 @@
+// Command mocchaos runs a seeded chaos campaign against a real mocd
+// cluster on loopback TCP: socket-level fault injection (resets,
+// corruption, a timed partition), one SIGKILL + checkpoint rejoin, and
+// a paced workload whose merged kill-safe traces are validated by the
+// exact checkers. It is the CLI face of internal/chaos — the same
+// campaign the chaos-smoke test and the E18 experiment run.
+//
+//	mocchaos -seed 23 -n 3 -kill 2 -phasea 2s -phaseb 1.5s -phasec 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"moc/internal/chaos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mocchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		mocdBin     = flag.String("mocd", "", "path to a built mocd binary (empty = go build one into a temp dir)")
+		n           = flag.Int("n", 3, "daemons in the cluster")
+		objects     = flag.String("objects", "a,b,c", "comma-separated shared object names")
+		consistency = flag.String("consistency", "msc", `consistency condition: "msc" or "mlin"`)
+		seed        = flag.Int64("seed", 23, "campaign seed (drives fault injection and the workload mix)")
+		resetProb   = flag.Float64("resetprob", 0.05, "socket reset probability per outbound frame")
+		corruptProb = flag.Float64("corruptprob", 0.05, "frame corruption probability per outbound frame")
+		partNode    = flag.Int("partnode", 1, "daemon carrying the partition window (-1 = none)")
+		partitions  = flag.String("partitions", "0@250ms:600ms", "partition windows for -partnode (mocd -partitions syntax)")
+		kill        = flag.Int("kill", 2, "daemon to SIGKILL at the phase A/B boundary (must not be 0, the sequencer host)")
+		phaseA      = flag.Duration("phasea", 2*time.Second, "phase A length (full cluster under faults)")
+		phaseB      = flag.Duration("phaseb", 1500*time.Millisecond, "phase B length (one daemon down)")
+		phaseC      = flag.Duration("phasec", 2*time.Second, "phase C length (after checkpoint rejoin)")
+		pace        = flag.Duration("pace", 50*time.Millisecond, "per-worker gap between operations (bounds the merged history for the exact checkers)")
+		readFrac    = flag.Float64("readfrac", 0.5, "fraction of query operations")
+		callTimeout = flag.Duration("calltimeout", 2*time.Second, "per-RPC deadline")
+		recoverWait = flag.Duration("recoverwait", time.Second, "restarted daemon's checkpoint solicitation wait")
+		jsonOut     = flag.String("json", "", "write the full campaign result as JSON to this file (- = stdout)")
+	)
+	flag.Parse()
+
+	bin := *mocdBin
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "mocchaos")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		if bin, err = chaos.BuildMocd(dir, false); err != nil {
+			return err
+		}
+	}
+	traceDir, err := os.MkdirTemp("", "mocchaos-traces")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(traceDir)
+
+	res, err := chaos.RunCampaign(chaos.CampaignConfig{
+		Cluster: chaos.ClusterConfig{
+			MocdBin:       bin,
+			Dir:           traceDir,
+			N:             *n,
+			Objects:       splitList(*objects),
+			Consistency:   *consistency,
+			Seed:          *seed,
+			ResetProb:     *resetProb,
+			CorruptProb:   *corruptProb,
+			PartitionNode: *partNode,
+			Partitions:    *partitions,
+			QueryTimeout:  time.Second,
+			RecoverWait:   *recoverWait,
+		},
+		Kill:        *kill,
+		PhaseA:      *phaseA,
+		PhaseB:      *phaseB,
+		PhaseC:      *phaseC,
+		Pace:        *pace,
+		ReadFrac:    *readFrac,
+		CallTimeout: *callTimeout,
+	})
+	if err != nil {
+		if res != nil {
+			for i, log := range res.Logs {
+				fmt.Fprintf(os.Stderr, "daemon %d output:\n%s\n", i, log)
+			}
+		}
+		return err
+	}
+
+	fmt.Printf("campaign: %d attempts, %d ok, %d unavailable, %d indeterminate, %d server errors\n",
+		res.Attempts, res.OK, res.Unavailable, res.Indeterminate, res.ServerErrors)
+	fmt.Printf("latency: p50 %v, p99 %v (first-attempt to success, retries included)\n", res.P50, res.P99)
+	fmt.Printf("schedule: kill node %d at %v, restart at %v; recoveries=%d\n",
+		*kill, res.KillAt.Round(time.Millisecond), res.RestartAt.Round(time.Millisecond), res.Recoveries)
+	fmt.Printf("injected: %d resets, %d corruptions, %d partition refusals\n",
+		res.FaultResets, res.FaultCorrupted, res.PartitionRefusals)
+	fmt.Println("availability timeline (per bucket: ok/attempts):")
+	for _, b := range res.Buckets {
+		marker := ""
+		if res.KillAt >= b.Start && res.KillAt < b.Start+100*time.Millisecond {
+			marker = "  <- SIGKILL"
+		}
+		if res.RestartAt >= b.Start && res.RestartAt < b.Start+100*time.Millisecond {
+			marker += "  <- restart"
+		}
+		fmt.Printf("  %6v  %3d/%-3d %s%s\n", b.Start.Round(time.Millisecond), b.OK, b.Attempts,
+			bar(b.OK, b.Attempts), marker)
+	}
+	verdict := "ACCEPTED"
+	if !res.Accepted {
+		verdict = "REJECTED"
+	}
+	fmt.Printf("merged history: %d records, exact checker: %s\n", res.Records, verdict)
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if *jsonOut == "-" {
+			fmt.Println(string(blob))
+		} else if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if !res.Accepted {
+		return fmt.Errorf("exact checker rejected the merged chaos history")
+	}
+	return nil
+}
+
+func bar(ok, total int64) string {
+	if total == 0 {
+		return ""
+	}
+	width := int(ok * 20 / total)
+	s := ""
+	for i := 0; i < 20; i++ {
+		if i < width {
+			s += "#"
+		} else {
+			s += "."
+		}
+	}
+	return s
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if part := s[start:i]; part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -18,6 +18,15 @@
 // path — a daemon batching while its peers do not would still be
 // correct (batches expand locally on every node) but would skew any
 // cost comparison, so keep them uniform.
+//
+// Chaos support: -recover enables the checkpoint-transfer service (same
+// flag on every daemon) and makes a (re)starting daemon solicit peer
+// checkpoints before serving clients, so a SIGKILLed daemon rejoins
+// with the updates it missed; -trace streams every completed operation
+// to a JSON-lines file that survives kill -9 (core.ReadTraceFile);
+// -resetprob and friends inject seed-driven socket faults into the peer
+// transport (transport.Faults). On SIGTERM the daemon drains in-flight
+// lanes before tearing down, so its trace is complete.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -55,6 +65,21 @@ func run() error {
 		batchWindow = flag.Duration("batchwindow", 0, "longest an update waits for its batch to fill (0 with -batch > 1 uses the built-in default)")
 		inflight    = flag.Int("inflight", 1, "updates outstanding per process (pipelined issuance; same value on every daemon)")
 		codec       = flag.String("codec", transport.CodecBinary, `frame body encoding this daemon sends: "binary" or "gob" (receiving is always codec-agnostic, so mixed clusters interoperate)`)
+
+		recov        = flag.Bool("recover", false, "enable checkpoint-transfer recovery: serve checkpoints to rejoining peers and solicit one at startup (same flag on every daemon; requires -broadcast=seq and -batch=1)")
+		recoverWait  = flag.Duration("recoverwait", 3*time.Second, "how long the startup checkpoint solicitation waits for peers (with -recover; failure to recover is logged, not fatal)")
+		trace        = flag.String("trace", "", "stream completed operations to this JSON-lines trace file (kill-safe; merge with moccheck or internal/chaos)")
+		queryTimeout = flag.Duration("querytimeout", 0, "m-linearizable query round-trip bound before re-solicitation (0 = protocol default; needed when peers may die mid-query)")
+		queryRetries = flag.Int("queryretries", 0, "re-solicitations for a bounded query (with -querytimeout)")
+		drainWait    = flag.Duration("drainwait", 5*time.Second, "how long shutdown waits for in-flight operations to drain")
+
+		faultSeed   = flag.Int64("faultseed", 0, "seed for transport fault injection (0 with fault probabilities set uses seed 1)")
+		resetProb   = flag.Float64("resetprob", 0, "probability an outbound frame write is turned into a connection reset")
+		corruptProb = flag.Float64("corruptprob", 0, "probability an outbound frame is corrupted on the wire (the receiver must reject it)")
+		faultDelay  = flag.Duration("faultdelay", 0, "fixed extra latency per outbound frame")
+		faultJitter = flag.Duration("faultjitter", 0, "random extra latency per outbound frame, uniform in [0, jitter)")
+		bandwidth   = flag.Int64("bandwidth", 0, "outbound transport bandwidth cap, bytes/second (0 = unlimited)")
+		partitions  = flag.String("partitions", "", `timed partitions from this daemon: "peers@start:heal[;...]", e.g. "1,2@200ms:700ms" cuts peers 1 and 2 from 200ms to 700ms after daemon start`)
 	)
 	flag.Parse()
 
@@ -80,6 +105,14 @@ func run() error {
 	}
 	if *inflight < 1 {
 		return fmt.Errorf("-inflight must be at least 1, got %d", *inflight)
+	}
+	if *recov {
+		if *broadcast != "seq" {
+			return fmt.Errorf("-recover requires -broadcast=seq (rejoin fast-forwards the sequencer delivery sequence), got %q", *broadcast)
+		}
+		if *batch != 1 {
+			return fmt.Errorf("-recover requires -batch=1 (the checkpoint applied count is in per-update delivery units), got %d", *batch)
+		}
 	}
 
 	var cons core.Consistency
@@ -107,19 +140,53 @@ func run() error {
 		epochTime = time.Unix(0, *epoch)
 	}
 
-	node, err := transport.Listen(transport.Config{Self: *id, Addrs: addrs, Codec: *codec})
+	var faults *transport.Faults
+	parts, err := parsePartitions(*partitions)
+	if err != nil {
+		return err
+	}
+	if *resetProb > 0 || *corruptProb > 0 || *faultDelay > 0 || *faultJitter > 0 || *bandwidth > 0 || len(parts) > 0 {
+		faults = &transport.Faults{
+			Seed:        *faultSeed,
+			ResetProb:   *resetProb,
+			CorruptProb: *corruptProb,
+			Delay:       *faultDelay,
+			Jitter:      *faultJitter,
+			Bandwidth:   *bandwidth,
+			Partitions:  parts,
+		}
+	}
+
+	var traceW *core.TraceFileWriter
+	if *trace != "" {
+		traceW, err = core.NewTraceFileWriter(*trace, *id, cons, names)
+		if err != nil {
+			return err
+		}
+	}
+
+	node, err := transport.Listen(transport.Config{
+		Self: *id, Addrs: addrs, Codec: *codec,
+		Faults: faults, Seed: *faultSeed,
+	})
 	if err != nil {
 		return err
 	}
 	storeCfg := core.Config{
-		Procs:       len(addrs),
-		Objects:     names,
-		Consistency: cons,
-		Broadcast:   bcast,
-		Links:       node.Factory(),
-		Epoch:       epochTime,
-		BatchWindow: *batchWindow,
-		MaxInflight: *inflight,
+		Procs:        len(addrs),
+		Objects:      names,
+		Consistency:  cons,
+		Broadcast:    bcast,
+		Links:        node.Factory(),
+		Epoch:        epochTime,
+		BatchWindow:  *batchWindow,
+		MaxInflight:  *inflight,
+		Recovery:     *recov,
+		QueryTimeout: *queryTimeout,
+		QueryRetries: *queryRetries,
+	}
+	if traceW != nil {
+		storeCfg.RecordSink = traceW.Append
 	}
 	if *batch > 1 {
 		storeCfg.BatchSize = *batch
@@ -128,6 +195,25 @@ func run() error {
 	if err != nil {
 		node.Close()
 		return err
+	}
+
+	if *recov {
+		// Best-effort checkpoint solicitation before serving clients: a
+		// cold-starting cluster gets Applied=0 offers and adopts nothing;
+		// a daemon restarted after kill -9 adopts the freshest survivor
+		// checkpoint and fast-forwards its delivery sequence past the
+		// updates it missed. Failure (e.g. the whole cluster is cold and
+		// slow to mesh) is logged, not fatal — the daemon then rejoins
+		// only what it observes live.
+		adopted, err := store.Recover(*id, *recoverWait)
+		switch {
+		case err != nil:
+			fmt.Printf("mocd: node %d: startup recovery: %v\n", *id, err)
+		case adopted:
+			fmt.Printf("mocd: node %d: adopted a peer checkpoint\n", *id)
+		default:
+			fmt.Printf("mocd: node %d: local state already fresh, no checkpoint adopted\n", *id)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *client)
@@ -139,6 +225,17 @@ func run() error {
 
 	done := make(chan struct{})
 	rpc := mocrpc.Serve(ln, store, *id, func() { close(done) })
+	rpc.SetInfo(func() map[string]int64 {
+		fs := node.FaultStats()
+		return map[string]int64{
+			"recoveries":        store.Recoveries(),
+			"faultResets":       fs.Resets,
+			"faultCorrupted":    fs.Corrupted,
+			"faultDelayed":      fs.Delayed,
+			"faultThrottled":    fs.Throttled,
+			"partitionRefusals": fs.PartitionRefusals,
+		}
+	})
 	fmt.Printf("mocd: node %d of %d up; transport %s, rpc %s, %s over %s broadcast\n",
 		*id, len(addrs), node.Addr(), rpc.Addr(), cons, *broadcast)
 
@@ -150,13 +247,66 @@ func run() error {
 		fmt.Printf("mocd: node %d: %v\n", *id, sig)
 	}
 
-	// Ordered teardown: stop taking client requests, then the protocol
-	// stack, then the transport mesh under it.
-	rpc.Close()
+	// Ordered teardown: drain in-flight m-operations so every completed
+	// record reaches the trace sink (a mid-batch teardown would lose
+	// them). The store must close before the RPC server: client requests
+	// that arrived during the drain are parked on the drained lanes, and
+	// only Close fails them — closing the RPC server first would wait on
+	// those parked handlers forever. Then the transport mesh, then seal
+	// the trace file.
+	if err := store.Drain(*drainWait); err != nil {
+		fmt.Printf("mocd: node %d: drain: %v\n", *id, err)
+	}
 	store.Close()
+	rpc.Close()
 	node.Close()
+	if traceW != nil {
+		if err := traceW.Close(); err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+	}
 	fmt.Printf("mocd: node %d down\n", *id)
 	return nil
+}
+
+// parsePartitions parses the -partitions spec: semicolon-separated
+// windows "p1,p2@start:heal" with flag-style durations.
+func parsePartitions(spec string) ([]transport.PeerPartition, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []transport.PeerPartition
+	for _, win := range strings.Split(spec, ";") {
+		win = strings.TrimSpace(win)
+		if win == "" {
+			continue
+		}
+		peersPart, window, ok := strings.Cut(win, "@")
+		if !ok {
+			return nil, fmt.Errorf(`-partitions window %q: want "peers@start:heal"`, win)
+		}
+		startPart, healPart, ok := strings.Cut(window, ":")
+		if !ok {
+			return nil, fmt.Errorf(`-partitions window %q: want "peers@start:heal"`, win)
+		}
+		var p transport.PeerPartition
+		for _, f := range splitList(peersPart) {
+			peer, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("-partitions window %q: bad peer %q", win, f)
+			}
+			p.Peers = append(p.Peers, peer)
+		}
+		var err error
+		if p.Start, err = time.ParseDuration(startPart); err != nil {
+			return nil, fmt.Errorf("-partitions window %q: %v", win, err)
+		}
+		if p.Heal, err = time.ParseDuration(healPart); err != nil {
+			return nil, fmt.Errorf("-partitions window %q: %v", win, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 func splitList(s string) []string {

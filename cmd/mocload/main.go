@@ -70,6 +70,8 @@ func run() error {
 		inflight = flag.Int("inflight", 1, "concurrent clients per daemon, each on its own connection (pair with the daemons' -inflight so the pipelined lanes are actually fed)")
 		rate     = flag.Float64("rate", 0, "open-loop mode: target m-operations per second per daemon (0 = closed loop); latency is measured from the scheduled issue time, so overload queueing is charged to the operations (no coordinated omission)")
 		duration = flag.Duration("duration", 10*time.Second, "open-loop run length (only with -rate)")
+		callTO   = flag.Duration("calltimeout", 0, "per-RPC deadline (0 = none); a timed-out call counts as indeterminate — the daemon may still apply it")
+		retries  = flag.Int("retries", 0, "retries per operation on retryable (never-sent) failures, with capped jittered backoff; queries also retry through indeterminate failures, updates never do (a duplicated write would corrupt the merged history)")
 	)
 	flag.Parse()
 	if *inflight < 1 {
@@ -102,6 +104,9 @@ func run() error {
 				return err
 			}
 			defer c.Close()
+			if *callTO > 0 {
+				c.SetCallTimeout(*callTO)
+			}
 			clients[i][k] = c
 		}
 		if err := clients[i][0].Ping(); err != nil {
@@ -155,6 +160,31 @@ func run() error {
 		_, err := c.Exec(kind, objs, vals)
 		return err
 	}
+	// issueRetry applies the chaos retry discipline around issue: a
+	// retryable failure (the request provably never reached the daemon)
+	// is always safe to retry with the same values; an indeterminate
+	// failure is retried only for queries — the daemon may have applied
+	// an update, and reissuing its values would make the merged history
+	// ambiguous. The client redials lazily, so a retry after a daemon
+	// restart reconnects on its own.
+	issueRetry := func(c *mocrpc.Client, op workload.Op, valOff int64, rng *rand.Rand) error {
+		backoff := 10 * time.Millisecond
+		const backoffMax = 250 * time.Millisecond
+		for attempt := 0; ; attempt++ {
+			err := issue(c, op, valOff)
+			if err == nil {
+				return nil
+			}
+			safe := mocrpc.IsRetryable(err) || (op.Query && mocrpc.IsIndeterminate(err))
+			if !safe || attempt >= *retries {
+				return err
+			}
+			time.Sleep(backoff/2 + time.Duration(rng.Int63n(int64(backoff)/2+1)))
+			if backoff *= 2; backoff > backoffMax {
+				backoff = backoffMax
+			}
+		}
+	}
 	record := func(query bool, ns int64) {
 		mu.Lock()
 		if query {
@@ -177,10 +207,11 @@ func run() error {
 		for i := range clients {
 			next := new(atomic.Int64)
 			plan := plans[i]
-			for _, c := range clients[i] {
+			for k, c := range clients[i] {
 				wg.Add(1)
-				go func(c *mocrpc.Client) {
+				go func(c *mocrpc.Client, w int) {
 					defer wg.Done()
+					rng := rand.New(rand.NewSource(*seed + int64(w)*7919 + 1))
 					for {
 						s := next.Add(1) - 1
 						sched := start.Add(time.Duration(s) * interval)
@@ -192,13 +223,13 @@ func run() error {
 						}
 						op := plan[int(s)%len(plan)]
 						valOff := (s / int64(len(plan))) * maxVal
-						if err := issue(c, op, valOff); err != nil {
+						if err := issueRetry(c, op, valOff, rng); err != nil {
 							errs <- err
 							return
 						}
 						record(op.Query, time.Since(sched).Nanoseconds())
 					}
-				}(c)
+				}(c, i*(*inflight)+k)
 			}
 		}
 	} else {
@@ -211,17 +242,18 @@ func run() error {
 					share = append(share, plans[i][j])
 				}
 				wg.Add(1)
-				go func(c *mocrpc.Client, plan []workload.Op) {
+				go func(c *mocrpc.Client, plan []workload.Op, w int) {
 					defer wg.Done()
+					rng := rand.New(rand.NewSource(*seed + int64(w)*7919 + 1))
 					for _, op := range plan {
 						t0 := time.Now()
-						if err := issue(c, op, 0); err != nil {
+						if err := issueRetry(c, op, 0, rng); err != nil {
 							errs <- err
 							return
 						}
 						record(op.Query, time.Since(t0).Nanoseconds())
 					}
-				}(c, share)
+				}(c, share, i*(*inflight)+k)
 			}
 		}
 	}

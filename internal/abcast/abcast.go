@@ -62,6 +62,16 @@ type Broadcaster interface {
 // ErrClosed is returned by Broadcast after Close.
 var ErrClosed = errors.New("abcast: closed")
 
+// Resumer is implemented by broadcasters that can fast-forward one
+// member's delivery stream to a later sequence number. A process that
+// restarts and adopts a peer checkpoint covering deliveries [0, next)
+// calls Resume(p, next) so the member stops waiting for orders that
+// were applied before the crash and — over a real transport — will
+// never be re-sent.
+type Resumer interface {
+	Resume(p int, next int64)
+}
+
 // deliveryBuffer reorders arrivals into gap-free sequence order: a
 // hold-back queue keyed by sequence number.
 type deliveryBuffer struct {
@@ -71,6 +81,35 @@ type deliveryBuffer struct {
 
 func newDeliveryBuffer() *deliveryBuffer {
 	return &deliveryBuffer{pending: make(map[int64]Delivery)}
+}
+
+// fastForward advances the buffer to expect sequence next, discarding
+// held-back deliveries below it, and returns any now-ready suffix. A
+// restarted process whose state was adopted from a peer checkpoint uses
+// this: orders below the checkpoint were already applied by the
+// checkpoint's donor and will never be re-sent over a TCP link, so
+// waiting for them would hold the buffer back forever. No-op when next
+// is not ahead of the buffer.
+func (b *deliveryBuffer) fastForward(next int64) []Delivery {
+	if next <= b.next {
+		return nil
+	}
+	for seq := range b.pending {
+		if seq < next {
+			delete(b.pending, seq)
+		}
+	}
+	b.next = next
+	var ready []Delivery
+	for {
+		d, ok := b.pending[b.next]
+		if !ok {
+			return ready
+		}
+		delete(b.pending, b.next)
+		ready = append(ready, d)
+		b.next++
+	}
 }
 
 // add inserts d and returns every delivery that is now ready in order.

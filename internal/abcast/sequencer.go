@@ -31,6 +31,7 @@ type Sequencer struct {
 	n         int
 	net       network.Link
 	outs      []chan Delivery
+	resume    []chan int64 // crash-free member fast-forward (see Resume)
 	stop      chan struct{}
 	closed    atomic.Bool
 	wg        sync.WaitGroup
@@ -39,7 +40,10 @@ type Sequencer struct {
 	failovers atomic.Int64
 }
 
-var _ Broadcaster = (*Sequencer)(nil)
+var (
+	_ Broadcaster = (*Sequencer)(nil)
+	_ Resumer     = (*Sequencer)(nil)
+)
 
 // The wire payload types below carry exported fields so a serializing
 // transport (internal/transport's gob codec) can marshal them; within
@@ -138,8 +142,12 @@ func NewSequencer(cfg SequencerConfig) (*Sequencer, error) {
 		n:       cfg.Procs,
 		net:     net,
 		outs:    make([]chan Delivery, cfg.Procs),
+		resume:  make([]chan int64, cfg.Procs),
 		stop:    make(chan struct{}),
 		headerB: 16, // sequence number + sender, nominal wire overhead
+	}
+	for i := range s.resume {
+		s.resume[i] = make(chan int64)
 	}
 	if cfg.FD != nil {
 		fd := cfg.FD.withDefaults()
@@ -237,27 +245,55 @@ func (s *Sequencer) runSequencer() {
 }
 
 // runMember is the crash-free member loop (FD nil): reorder by sequence
-// number, deliver gap-free.
+// number, deliver gap-free. A Resume fast-forwards the hold-back buffer
+// past orders a restarted process recovered via checkpoint instead.
 func (s *Sequencer) runMember(p int) {
 	defer s.wg.Done()
 	buf := newDeliveryBuffer()
+	emit := func(ready []Delivery) bool {
+		for _, d := range ready {
+			select {
+			case s.outs[p] <- d:
+			case <-s.stop:
+				return false
+			}
+		}
+		return true
+	}
 	for {
 		select {
 		case <-s.stop:
 			return
+		case next := <-s.resume[p]:
+			if !emit(buf.fastForward(next)) {
+				return
+			}
 		case msg := <-s.net.Recv(p):
 			ord, ok := msg.Payload.(seqOrder)
 			if !ok {
 				continue
 			}
-			for _, d := range buf.add(Delivery{Seq: ord.Seq, From: ord.Origin, Payload: ord.Payload}) {
-				select {
-				case s.outs[p] <- d:
-				case <-s.stop:
-					return
-				}
+			if !emit(buf.add(Delivery{Seq: ord.Seq, From: ord.Origin, Payload: ord.Payload})) {
+				return
 			}
 		}
+	}
+}
+
+// Resume implements Resumer for the crash-free (dedicated-endpoint)
+// mode: member p's hold-back buffer skips ahead to sequence next,
+// covering orders the process recovered via checkpoint transfer. In
+// failover mode this is a no-op — there the rejoin protocol re-announces
+// the adopted log, so no fast-forward is needed. Resume blocks until
+// the member loop picks the request up (or the broadcaster closes), so
+// deliveries observed afterwards are already fast-forwarded.
+func (s *Sequencer) Resume(p int, next int64) {
+	if s.fd != nil || p < 0 || p >= s.n {
+		return
+	}
+	select {
+	case s.resume[p] <- next:
+	case <-s.stop:
 	}
 }
 

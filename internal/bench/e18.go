@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"moc/internal/chaos"
+)
+
+// E18 measures availability under chaos on the real deployment: three
+// mocd daemons on loopback TCP with socket-level fault injection
+// (resets, frame corruption, a timed partition window), one SIGKILL at
+// the phase A/B boundary and a checkpoint-transfer rejoin at B/C. A
+// paced workload driven through chaos-hardened mocrpc clients records
+// every attempt into a 100ms availability timeline, and the daemons'
+// kill-safe trace files — including the victim's pre-kill generation —
+// are merged and validated by the unchanged exact checkers. The pacing
+// is deliberate: the exact checkers are exponential in the worst case,
+// so the campaign bounds the merged history rather than maximizing
+// throughput.
+
+// e18Config is the seeded campaign. Quick shrinks the phases to the
+// chaos-smoke sizes; the full run matches the committed BENCH_E18.json
+// (~200 records, still comfortably inside exact-checker range).
+func e18Config(quick bool) chaos.CampaignConfig {
+	cfg := chaos.CampaignConfig{
+		Cluster: chaos.ClusterConfig{
+			N:           3,
+			Objects:     []string{"a", "b", "c"},
+			Consistency: "msc",
+			Seed:        23,
+			ResetProb:   0.05,
+			CorruptProb: 0.05,
+			// Node 1 loses its link to node 0 (the sequencer host) for a
+			// window inside phase A: its updates stall and resume on heal.
+			PartitionNode: 1,
+			Partitions:    "0@250ms:600ms",
+			// A corrupted checkpoint response is lost (the codec closes the
+			// connection); bound the restart tail instead of waiting the
+			// full mocd default for a straggler that will never arrive.
+			RecoverWait: time.Second,
+		},
+		Kill:        2,
+		PhaseA:      2 * time.Second,
+		PhaseB:      1500 * time.Millisecond,
+		PhaseC:      2 * time.Second,
+		Pace:        50 * time.Millisecond,
+		ReadFrac:    0.5,
+		CallTimeout: 2 * time.Second,
+	}
+	if quick {
+		cfg.PhaseA = 900 * time.Millisecond
+		cfg.PhaseB = 700 * time.Millisecond
+		cfg.PhaseC = 900 * time.Millisecond
+		cfg.Pace = 60 * time.Millisecond
+	}
+	return cfg
+}
+
+// e18Results builds a mocd binary, runs the campaign, and returns the
+// result — shared by the text and JSON emitters.
+func e18Results(quick bool) (*chaos.CampaignResult, chaos.CampaignConfig, error) {
+	cfg := e18Config(quick)
+	dir, err := os.MkdirTemp("", "e18")
+	if err != nil {
+		return nil, cfg, err
+	}
+	defer os.RemoveAll(dir)
+	bin, err := chaos.BuildMocd(dir, false)
+	if err != nil {
+		return nil, cfg, err
+	}
+	cfg.Cluster.MocdBin = bin
+	cfg.Cluster.Dir = dir
+	res, err := chaos.RunCampaign(cfg)
+	if err != nil {
+		if res != nil {
+			for i, log := range res.Logs {
+				fmt.Fprintf(os.Stderr, "E18 daemon %d output:\n%s\n", i, log)
+			}
+		}
+		return nil, cfg, err
+	}
+	return res, cfg, nil
+}
+
+// runE18 prints the campaign summary and the availability timeline.
+//
+// Expected shape: availability stays near 100% through the partition
+// window (the partitioned daemon's updates stall but retry through),
+// dips for the killed daemon's share of the load across phase B, and
+// returns to 100% after the checkpoint rejoin; the merged history —
+// spanning the kill — is accepted by the exact checker.
+func runE18(w io.Writer, quick bool) error {
+	res, cfg, err := e18Results(quick)
+	if err != nil {
+		return err
+	}
+	tb := newTable(w)
+	tb.row("attempts", "ok", "unavailable", "indeterminate", "p50", "p99", "records", "accepted")
+	tb.row(res.Attempts, res.OK, res.Unavailable, res.Indeterminate,
+		res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond),
+		res.Records, res.Accepted)
+	tb.flush()
+	fmt.Fprintf(w, "schedule: SIGKILL node %d at %v, restart at %v; recoveries=%d\n",
+		cfg.Kill, res.KillAt.Round(time.Millisecond), res.RestartAt.Round(time.Millisecond),
+		res.Recoveries)
+	fmt.Fprintf(w, "injected: %d resets, %d corruptions, %d partition refusals (seed %d)\n",
+		res.FaultResets, res.FaultCorrupted, res.PartitionRefusals, cfg.Cluster.Seed)
+	fmt.Fprintln(w, "availability timeline (ok/attempts per 100ms bucket):")
+	for _, b := range res.Buckets {
+		marker := ""
+		if res.KillAt >= b.Start && res.KillAt < b.Start+100*time.Millisecond {
+			marker = "  <- SIGKILL"
+		}
+		if res.RestartAt >= b.Start && res.RestartAt < b.Start+100*time.Millisecond {
+			marker += "  <- restart"
+		}
+		fmt.Fprintf(w, "  %6v  %3d/%-3d%s\n", b.Start.Round(time.Millisecond), b.OK, b.Attempts, marker)
+	}
+	fmt.Fprintln(w, "expected shape: availability dips for the killed daemon's share of the load")
+	fmt.Fprintln(w, "during phase B and recovers after checkpoint rejoin; the merged kill-spanning")
+	fmt.Fprintln(w, "history is accepted by the unchanged exact checker")
+	if !res.Accepted {
+		return fmt.Errorf("E18: exact checker rejected the merged chaos history (%d records)", res.Records)
+	}
+	if res.Recoveries < 1 {
+		return fmt.Errorf("E18: the killed daemon did not rejoin via checkpoint transfer")
+	}
+	return nil
+}
+
+// e18JSON emits the campaign as a report: a summary series plus the
+// full availability timeline.
+func e18JSON(quick bool) (Report, error) {
+	res, cfg, err := e18Results(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	if !res.Accepted {
+		return Report{}, fmt.Errorf("E18: exact checker rejected the merged chaos history (%d records)", res.Records)
+	}
+	summary := Series{Name: "summary", Points: []map[string]any{{
+		"attempts":          res.Attempts,
+		"ok":                res.OK,
+		"unavailable":       res.Unavailable,
+		"indeterminate":     res.Indeterminate,
+		"serverErrors":      res.ServerErrors,
+		"p50Ns":             durNs(res.P50),
+		"p99Ns":             durNs(res.P99),
+		"killAtNs":          durNs(res.KillAt),
+		"restartAtNs":       durNs(res.RestartAt),
+		"recoveries":        res.Recoveries,
+		"faultResets":       res.FaultResets,
+		"faultCorrupted":    res.FaultCorrupted,
+		"partitionRefusals": res.PartitionRefusals,
+		"records":           res.Records,
+		"accepted":          res.Accepted,
+	}}}
+	timeline := Series{Name: "availability-timeline"}
+	for _, b := range res.Buckets {
+		timeline.Points = append(timeline.Points, map[string]any{
+			"startNs":       durNs(b.Start),
+			"attempts":      b.Attempts,
+			"ok":            b.OK,
+			"unavailable":   b.Unavailable,
+			"indeterminate": b.Indeterminate,
+		})
+	}
+	return Report{
+		Parameters: map[string]any{
+			"consistency": "m-sequential",
+			"daemons":     cfg.Cluster.N,
+			"objects":     len(cfg.Cluster.Objects),
+			"seed":        cfg.Cluster.Seed,
+			"resetProb":   cfg.Cluster.ResetProb,
+			"corruptProb": cfg.Cluster.CorruptProb,
+			"partition": fmt.Sprintf("node %d: %s",
+				cfg.Cluster.PartitionNode, cfg.Cluster.Partitions),
+			"kill":          cfg.Kill,
+			"phaseANs":      durNs(cfg.PhaseA),
+			"phaseBNs":      durNs(cfg.PhaseB),
+			"phaseCNs":      durNs(cfg.PhaseC),
+			"paceNs":        durNs(cfg.Pace),
+			"readFrac":      cfg.ReadFrac,
+			"callTimeoutNs": durNs(cfg.CallTimeout),
+			"recoverWaitNs": durNs(cfg.Cluster.RecoverWait),
+			"bucketNs":      durNs(100 * time.Millisecond),
+			"transport":     "tcp-loopback",
+		},
+		Series: []Series{summary, timeline},
+	}, nil
+}

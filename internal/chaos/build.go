@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// mkTempDir creates a scratch directory for a built binary.
+func mkTempDir() (string, error) {
+	return os.MkdirTemp("", "mocchaos")
+}
+
+// moduleRoot walks up from the working directory to the directory
+// holding the `moc` module's go.mod, so BuildMocd works from any
+// directory inside the repository — not only its root.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if declaresModule(filepath.Join(dir, "go.mod"), "moc") {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("chaos: not inside the moc module (no go.mod declaring module moc above %s); run from the repository or provide a prebuilt mocd binary", dir)
+		}
+		dir = parent
+	}
+}
+
+// declaresModule reports whether path is a go.mod declaring the module.
+func declaresModule(path, module string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest) == module
+		}
+	}
+	return false
+}
+
+// BuildMocd compiles the mocd binary into dir and returns its path. The
+// MOCD_BIN environment variable short-circuits the build with a
+// prebuilt binary (useful when the harness runs outside the module).
+// With race set, the daemon itself runs under the race detector, so a
+// chaos campaign doubles as a race hunt across the whole stack.
+func BuildMocd(dir string, race bool) (string, error) {
+	if bin := os.Getenv("MOCD_BIN"); bin != "" {
+		if _, err := os.Stat(bin); err != nil {
+			return "", fmt.Errorf("chaos: MOCD_BIN: %w", err)
+		}
+		return bin, nil
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "mocd")
+	args := []string{"build"}
+	if race {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, "moc/cmd/mocd")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("chaos: build mocd: %v\n%s", err, out)
+	}
+	return bin, nil
+}

@@ -1,0 +1,420 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moc/internal/checker"
+	"moc/internal/core"
+	"moc/internal/history"
+	"moc/internal/mocrpc"
+)
+
+// CampaignConfig parameterizes RunCampaign: a three-phase availability
+// campaign over a real mocd cluster. Phase A runs the full cluster
+// (with socket faults and an optional partition window), phase B runs
+// with one daemon SIGKILLed, phase C runs after the victim restarts and
+// rejoins via checkpoint transfer. Op counts are paced, not open-loop:
+// the exact checkers that validate the merged history are exponential
+// in the worst case, so a campaign keeps the history bounded.
+type CampaignConfig struct {
+	Cluster ClusterConfig
+	// Kill is the daemon SIGKILLed at the A/B boundary. Must not be 0:
+	// daemon 0 owns the fixed sequencer endpoint, and killing the
+	// sequencer is a total outage, not a single-node failure.
+	Kill int
+	// PhaseA, PhaseB, PhaseC are the phase lengths.
+	PhaseA, PhaseB, PhaseC time.Duration
+	// Pace is each worker's gap between operation attempts.
+	Pace time.Duration
+	// ReadFrac is the fraction of query operations (reads never risk
+	// duplication, so they retry through every failure class).
+	ReadFrac float64
+	// CallTimeout bounds each RPC; RetryBase/RetryMax bound the
+	// client-side reconnect backoff. Defaults: 2s, 10ms, 250ms.
+	CallTimeout         time.Duration
+	RetryBase, RetryMax time.Duration
+	// Bucket is the availability-timeline bucket width. Default 100ms.
+	Bucket time.Duration
+}
+
+// Bucket is one slot of the availability timeline.
+type Bucket struct {
+	// Start is the bucket's offset from campaign start.
+	Start time.Duration `json:"startNs"`
+	// Attempts counts operation attempts that finished in this bucket;
+	// OK counts the successful ones; Unavailable and Indeterminate the
+	// failure classes (Unavailable = never reached a daemon,
+	// Indeterminate = outcome unknown, update not retried).
+	Attempts      int64 `json:"attempts"`
+	OK            int64 `json:"ok"`
+	Unavailable   int64 `json:"unavailable"`
+	Indeterminate int64 `json:"indeterminate"`
+}
+
+// CampaignResult summarizes one chaos campaign.
+type CampaignResult struct {
+	Attempts      int64 `json:"attempts"`
+	OK            int64 `json:"ok"`
+	Unavailable   int64 `json:"unavailable"`
+	Indeterminate int64 `json:"indeterminate"`
+	// ServerErrors counts application-level refusals (should be zero —
+	// the workload only issues well-formed operations; teardown-window
+	// refusals land in Unavailable).
+	ServerErrors int64 `json:"serverErrors"`
+	// P50, P99 are completed-operation latencies, first attempt to
+	// success, so an update that rides out an outage reports the outage.
+	P50 time.Duration `json:"p50Ns"`
+	P99 time.Duration `json:"p99Ns"`
+	// Buckets is the availability timeline.
+	Buckets []Bucket `json:"buckets"`
+	// KillAt, RestartAt mark the schedule on the same clock as Buckets.
+	KillAt    time.Duration `json:"killAtNs"`
+	RestartAt time.Duration `json:"restartAtNs"`
+	// Recoveries is the restarted daemon's adopted-checkpoint count
+	// (1 = it rejoined via checkpoint transfer).
+	Recoveries int64 `json:"recoveries"`
+	// FaultResets, FaultCorrupted, PartitionRefusals sum the daemons'
+	// injected-fault counters.
+	FaultResets       int64 `json:"faultResets"`
+	FaultCorrupted    int64 `json:"faultCorrupted"`
+	PartitionRefusals int64 `json:"partitionRefusals"`
+	// Records is the merged trace size; Accepted is the exact checker's
+	// verdict on the merged history.
+	Records  int  `json:"records"`
+	Accepted bool `json:"accepted"`
+	// Logs carries the daemons' output for diagnosis.
+	Logs []string `json:"-"`
+}
+
+// worker drives one daemon with paced, chaos-disciplined operations.
+type worker struct {
+	id      int
+	cfg     *CampaignConfig
+	client  *mocrpc.Client
+	objects []string
+	rng     *rand.Rand
+	n       int // value-uniqueness stride
+
+	ops int64 // monotone per-worker op counter; consumed even on failure
+
+	// paused suspends issuing; stepMu barriers the in-flight step. See
+	// the pre-kill quiesce in RunCampaign.
+	paused atomic.Bool
+	stepMu sync.Mutex
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+// result buckets are shared across workers.
+type timeline struct {
+	start   time.Time
+	width   time.Duration
+	mu      sync.Mutex
+	buckets []Bucket
+}
+
+func (tl *timeline) record(at time.Time, ok bool, unavailable, indeterminate bool) {
+	idx := int(at.Sub(tl.start) / tl.width)
+	if idx < 0 {
+		idx = 0
+	}
+	tl.mu.Lock()
+	for len(tl.buckets) <= idx {
+		tl.buckets = append(tl.buckets, Bucket{Start: time.Duration(len(tl.buckets)) * tl.width})
+	}
+	b := &tl.buckets[idx]
+	b.Attempts++
+	switch {
+	case ok:
+		b.OK++
+	case unavailable:
+		b.Unavailable++
+	case indeterminate:
+		b.Indeterminate++
+	}
+	tl.mu.Unlock()
+}
+
+// step issues one operation with the chaos retry discipline: updates
+// are retried only while the request provably never reached the daemon
+// (ErrUnavailable); queries additionally retry through indeterminate
+// failures. Values are never reused, even for failed updates — an
+// indeterminate update may have executed, and a duplicate value would
+// poison the merged history.
+func (w *worker) step(tl *timeline, counters *campaignCounters, stop <-chan struct{}) {
+	op := w.ops
+	w.ops++
+	update := w.rng.Float64() >= w.cfg.ReadFrac
+	// Span-2 footprint: two distinct objects per operation.
+	i := w.rng.Intn(len(w.objects))
+	j := (i + 1 + w.rng.Intn(len(w.objects)-1)) % len(w.objects)
+	objs := []string{w.objects[i], w.objects[j]}
+
+	backoff := w.cfg.RetryBase
+	t0 := time.Now()
+	for {
+		var err error
+		if update {
+			val := 1 + op*int64(w.n) + int64(w.id)
+			_, err = w.client.Exec("massign", objs, []int64{val, val})
+		} else {
+			_, err = w.client.Exec("sum", objs, nil)
+		}
+		now := time.Now()
+		counters.attempts.Add(1)
+		if err == nil {
+			counters.ok.Add(1)
+			tl.record(now, true, false, false)
+			w.mu.Lock()
+			// Latency is measured from the first attempt, so an update
+			// that rides out an outage via retries reports the outage.
+			w.latencies = append(w.latencies, now.Sub(t0))
+			w.mu.Unlock()
+			return
+		}
+		switch {
+		case mocrpc.IsRetryable(err):
+			counters.unavailable.Add(1)
+			tl.record(now, false, true, false)
+		case mocrpc.IsIndeterminate(err):
+			counters.indeterminate.Add(1)
+			tl.record(now, false, false, true)
+		default:
+			counters.serverErrs.Add(1)
+			tl.record(now, false, false, false)
+			return
+		}
+		// Retry the same operation — same value — only while that is
+		// provably safe: the request never reached a daemon, or it is a
+		// query. An indeterminate update burns its value and stops.
+		if !mocrpc.IsRetryable(err) && update {
+			return
+		}
+		var sleep time.Duration
+		sleep, backoff = jitteredBackoff(backoff, w.cfg.RetryMax, w.rng)
+		select {
+		case <-stop:
+			return
+		case <-time.After(sleep):
+		}
+	}
+}
+
+func jitteredBackoff(cur, max time.Duration, rng *rand.Rand) (sleep, next time.Duration) {
+	sleep = cur
+	if half := int64(cur / 2); half > 0 {
+		sleep = time.Duration(half + rng.Int63n(half+1))
+	}
+	next = cur * 2
+	if next > max {
+		next = max
+	}
+	return sleep, next
+}
+
+type campaignCounters struct {
+	attempts, ok, unavailable, indeterminate, serverErrs atomic.Int64
+}
+
+// RunCampaign executes the three-phase chaos campaign and validates the
+// merged trace files with the exact checker matching the cluster's
+// consistency condition.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.Kill <= 0 || cfg.Kill >= cfg.Cluster.N {
+		return nil, fmt.Errorf("chaos: Kill must name a non-sequencer daemon in (0, %d)", cfg.Cluster.N)
+	}
+	if cfg.Pace <= 0 {
+		return nil, errors.New("chaos: Pace is required (unpaced campaigns overwhelm the exact checkers)")
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 10 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 250 * time.Millisecond
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = 100 * time.Millisecond
+	}
+
+	cluster, err := Launch(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	workers := make([]*worker, cfg.Cluster.N)
+	for i := range workers {
+		cl, err := mocrpc.Dial(cluster.ClientAddrs()[i], 10*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		cl.SetCallTimeout(cfg.CallTimeout)
+		workers[i] = &worker{
+			id: i, cfg: &cfg, client: cl,
+			objects: cfg.Cluster.Objects,
+			rng:     rand.New(rand.NewSource(cfg.Cluster.Seed + int64(i)*7919)),
+			n:       cfg.Cluster.N,
+		}
+	}
+
+	start := time.Now()
+	tl := &timeline{start: start, width: cfg.Bucket}
+	counters := &campaignCounters{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(cfg.Pace)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if w.paused.Load() {
+						continue
+					}
+					w.stepMu.Lock()
+					w.step(tl, counters, stop)
+					w.stepMu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// Phase A: full cluster under socket faults (and the partition
+	// window, if configured).
+	time.Sleep(cfg.PhaseA)
+	// Quiesce the victim's client before the SIGKILL: an update the
+	// sequencer ordered but the victim never acknowledged would be
+	// applied at survivors yet recorded in no trace — a survivor read
+	// observing it would leave the merged history incomplete. Pausing
+	// issuance and barriering the in-flight step guarantees every
+	// victim update at kill time is either acknowledged (recorded in
+	// the kill-safe trace) or provably never submitted. The kill itself
+	// stays impolite — no drain, no trace seal — and the worker resumes
+	// immediately so the dead daemon's unavailability is measured.
+	victim := workers[cfg.Kill]
+	victim.paused.Store(true)
+	victim.stepMu.Lock()
+	victim.stepMu.Unlock() //nolint:staticcheck // barrier, not a critical section
+	killAt := time.Since(start)
+	if err := cluster.Kill(cfg.Kill); err != nil {
+		close(stop)
+		wg.Wait()
+		return nil, err
+	}
+	victim.paused.Store(false)
+	// Phase B: survivors carry the load; the killed daemon's worker
+	// records unavailability.
+	time.Sleep(cfg.PhaseB)
+	if err := cluster.Restart(cfg.Kill); err != nil {
+		close(stop)
+		wg.Wait()
+		return nil, err
+	}
+	restartAt := time.Since(start)
+	// Phase C: the restarted daemon serves again after checkpoint rejoin.
+	time.Sleep(cfg.PhaseC)
+	close(stop)
+	wg.Wait()
+
+	res := &CampaignResult{
+		Attempts:      counters.attempts.Load(),
+		OK:            counters.ok.Load(),
+		Unavailable:   counters.unavailable.Load(),
+		Indeterminate: counters.indeterminate.Load(),
+		ServerErrors:  counters.serverErrs.Load(),
+		KillAt:        killAt,
+		RestartAt:     restartAt,
+	}
+
+	// Harvest counters from the live daemons before shutting down.
+	for i := 0; i < cfg.Cluster.N; i++ {
+		info, err := cluster.Info(i)
+		if err != nil {
+			continue
+		}
+		if i == cfg.Kill {
+			res.Recoveries = info["recoveries"]
+		}
+		res.FaultResets += info["faultResets"]
+		res.FaultCorrupted += info["faultCorrupted"]
+		res.PartitionRefusals += info["partitionRefusals"]
+	}
+
+	if err := cluster.SigtermAll(15 * time.Second); err != nil {
+		res.Logs = cluster.Logs()
+		return res, err
+	}
+	res.Logs = cluster.Logs()
+
+	var lats []time.Duration
+	for _, w := range workers {
+		w.mu.Lock()
+		lats = append(lats, w.latencies...)
+		w.mu.Unlock()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		res.P50 = lats[len(lats)/2]
+		res.P99 = lats[len(lats)*99/100]
+	}
+	tl.mu.Lock()
+	res.Buckets = tl.buckets
+	tl.mu.Unlock()
+
+	// Merge every generation's trace file and run the exact checker.
+	traces, err := cluster.Traces()
+	if err != nil {
+		return res, err
+	}
+	recs, reg, cons, err := core.MergeTraces(traces...)
+	if err != nil {
+		return res, err
+	}
+	res.Records = len(recs)
+	h, _, err := core.BuildHistory(reg, recs)
+	if err != nil {
+		return res, fmt.Errorf("chaos: merged traces do not form a well-formed history: %w", err)
+	}
+	res.Accepted, err = check(cons, h)
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// check runs the exact checker for the campaign's consistency.
+func check(cons core.Consistency, h *history.History) (bool, error) {
+	switch cons {
+	case core.MSequential:
+		r, err := checker.MSequentiallyConsistent(h)
+		if err != nil {
+			return false, err
+		}
+		return r.Admissible, nil
+	case core.MLinearizable:
+		r, err := checker.MLinearizable(h)
+		if err != nil {
+			return false, err
+		}
+		return r.Admissible, nil
+	default:
+		return false, fmt.Errorf("chaos: no exact checker for %v", cons)
+	}
+}

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var buildOnce = sync.OnceValues(func() (string, error) {
+	dir, err := mkTempDir()
+	if err != nil {
+		return "", err
+	}
+	// Race-instrumented daemons: the chaos smoke doubles as a race hunt
+	// across the transport, protocol, and recovery layers.
+	return BuildMocd(dir, true)
+})
+
+// TestChaosSmoke is the seeded chaos acceptance run (make chaos-smoke):
+// 3 daemons under socket resets + corruption + a timed partition, one
+// SIGKILL and checkpoint rejoin, paced load throughout — and the merged
+// kill-safe traces must be accepted by the unchanged exact checker.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full multi-process chaos campaign; run via make chaos-smoke")
+	}
+	bin, err := buildOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCampaign(CampaignConfig{
+		Cluster: ClusterConfig{
+			MocdBin:     bin,
+			Dir:         t.TempDir(),
+			N:           3,
+			Objects:     []string{"a", "b", "c"},
+			Consistency: "msc",
+			Seed:        23,
+			ResetProb:   0.08,
+			CorruptProb: 0.08,
+			// Node 1 is cut off from node 0 (the sequencer host) for a
+			// window inside phase A: its updates stall and resume on heal.
+			PartitionNode: 1,
+			Partitions:    "0@250ms:600ms",
+			// A corrupted checkpoint response is lost; don't wait the full
+			// mocd default for a straggler that will never arrive.
+			RecoverWait: time.Second,
+		},
+		Kill:   2,
+		PhaseA: 900 * time.Millisecond,
+		PhaseB: 700 * time.Millisecond,
+		PhaseC: 900 * time.Millisecond,
+		Pace:   60 * time.Millisecond,
+		// Query-heavy keeps the merged history small for the exact
+		// checker while still writing from every process.
+		ReadFrac:    0.5,
+		CallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		if res != nil {
+			for i, log := range res.Logs {
+				t.Logf("daemon %d output:\n%s", i, log)
+			}
+		}
+		t.Fatal(err)
+	}
+	t.Logf("attempts=%d ok=%d unavailable=%d indeterminate=%d records=%d p50=%v p99=%v resets=%d corrupted=%d partitionRefusals=%d recoveries=%d",
+		res.Attempts, res.OK, res.Unavailable, res.Indeterminate, res.Records,
+		res.P50, res.P99, res.FaultResets, res.FaultCorrupted, res.PartitionRefusals, res.Recoveries)
+
+	dump := func() {
+		for i, log := range res.Logs {
+			t.Logf("daemon %d output:\n%s", i, log)
+		}
+	}
+	if !res.Accepted {
+		dump()
+		t.Fatalf("merged chaos history (%d records) rejected by the exact checker", res.Records)
+	}
+	if res.Records == 0 {
+		dump()
+		t.Fatal("no operations were recorded")
+	}
+	if res.OK == 0 {
+		dump()
+		t.Fatal("no operation completed")
+	}
+	if res.Recoveries < 1 {
+		dump()
+		t.Fatal("the killed daemon did not rejoin via checkpoint transfer")
+	}
+	if res.ServerErrors != 0 {
+		dump()
+		t.Fatalf("%d server errors on a well-formed workload", res.ServerErrors)
+	}
+	if res.FaultResets+res.FaultCorrupted == 0 {
+		dump()
+		t.Fatal("fault injection was configured but nothing was injected")
+	}
+	if res.Unavailable == 0 {
+		dump()
+		t.Fatal("a SIGKILLed daemon produced no unavailability — the kill schedule did not bite")
+	}
+}

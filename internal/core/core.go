@@ -154,6 +154,24 @@ type Config struct {
 	// histories stay well-formed. Default 1 (today's one-at-a-time
 	// behavior). Broadcast consistencies only.
 	MaxInflight int
+	// Recovery forces the checkpoint-transfer service on even without a
+	// simulated crash schedule, so a store running over real links
+	// (Links) can rejoin a cluster after a process-level kill via
+	// Store.Recover. Requires the unbatched fixed-sequencer broadcast:
+	// rejoin fast-forwards the sequencer's delivery sequence to the
+	// adopted checkpoint's applied count, which is only meaningful when
+	// one delivery is one update and sequence numbers are assigned by
+	// the dedicated sequencer endpoint. (With a simulated crash
+	// schedule the service is created automatically; this knob is for
+	// deployments whose crashes are real.)
+	Recovery bool
+	// RecordSink, when non-nil, receives every completed m-operation
+	// record as it is captured (after lane renumbering), concurrently
+	// with execution. Daemons use it to append records to a crash-safe
+	// trace file so a SIGKILL loses at most the operations still in
+	// flight. The sink is called outside the store's record mutex and
+	// must be safe for concurrent use.
+	RecordSink func(mop.Record)
 }
 
 // executor abstracts the two protocol implementations.
@@ -262,6 +280,20 @@ func New(cfg Config) (*Store, error) {
 	if (batching || cfg.MaxInflight > 1) &&
 		cfg.Consistency != MSequential && cfg.Consistency != MLinearizable {
 		return nil, fmt.Errorf("core: batching and pipelining are not supported for %v (broadcast protocols only)", cfg.Consistency)
+	}
+	if cfg.Recovery {
+		if cfg.Consistency != MSequential && cfg.Consistency != MLinearizable {
+			return nil, fmt.Errorf("core: Recovery is not supported for %v (broadcast protocols only)", cfg.Consistency)
+		}
+		if cfg.Broadcast != SequencerBroadcast && cfg.Broadcast != 0 {
+			return nil, errors.New("core: Recovery requires SequencerBroadcast (rejoin fast-forwards the sequencer delivery sequence)")
+		}
+		if batching {
+			return nil, errors.New("core: Recovery cannot be combined with batching (the checkpoint applied count is in per-update delivery units)")
+		}
+		if cfg.FD != nil {
+			return nil, errors.New("core: Recovery drives rejoin explicitly and cannot be combined with FD failover")
+		}
 	}
 
 	// With scheduled crashes, default the failure detector (so a crashed
@@ -403,13 +435,18 @@ func New(cfg Config) (*Store, error) {
 	s.bcast = bcast
 	s.makeProcs()
 
-	// Checkpointed recovery: when crashes with restarts are scheduled, run
-	// a state-transfer service over the same fault schedule (a crashed
-	// peer cannot serve checkpoints) and trigger a Recover for every
-	// restart, under the process mutex so no operation runs at the
-	// rejoining process until its state is fresh.
-	if hasCrashes {
+	// Checkpointed recovery: when crashes with restarts are scheduled —
+	// or Config.Recovery forces the service on for deployments whose
+	// crashes are real (kill -9 of a daemon) — run a state-transfer
+	// service and, for scheduled restarts, trigger a Recover under the
+	// process lanes so no operation runs at the rejoining process until
+	// its state is fresh. Real deployments call Store.Recover instead.
+	if hasCrashes || cfg.Recovery {
 		state, ok := s.exec.(recovery.State)
+		if !ok && cfg.Recovery {
+			s.exec.Close()
+			return nil, fmt.Errorf("core: Recovery is not supported for %v (executor has no checkpoint state)", cfg.Consistency)
+		}
 		if ok {
 			s.recov, err = recovery.New(recovery.Config{
 				Procs: cfg.Procs, State: state,
@@ -420,6 +457,8 @@ func New(cfg Config) (*Store, error) {
 				s.exec.Close()
 				return nil, err
 			}
+		}
+		if hasCrashes && s.recov != nil {
 			s.watchStop = make(chan struct{})
 			for _, cr := range cfg.Faults.Crashes {
 				if cr.Restart <= 0 {
@@ -491,7 +530,75 @@ func (s *Store) watchRestart(proc int, at time.Duration) {
 		}
 	}
 	// Generous bound: Recover returns as soon as all live peers answer.
-	_, _ = s.recov.Recover(proc, 2*time.Second)
+	_, _, _ = s.recov.Recover(proc, 2*time.Second)
+}
+
+// Recover runs one checkpoint transfer for process proc against its
+// live peers: the deployment rejoin path, called by a daemon that was
+// killed and restarted (Config.Recovery). Every issuing lane is held
+// across the transfer so no operation observes half-recovered state.
+// When a checkpoint is adopted, the broadcast layer's delivery stream
+// for proc is fast-forwarded to the checkpoint's applied count — the
+// orders below it were applied by the checkpoint's donor and, over a
+// real transport, will never be re-sent to this process. Reports
+// whether a checkpoint was adopted (false with nil error means the
+// local state was already at least as fresh — e.g. a cold cluster
+// where nothing has been written yet).
+func (s *Store) Recover(proc int, timeout time.Duration) (bool, error) {
+	if s.recov == nil {
+		return false, errors.New("core: recovery service not enabled (set Config.Recovery)")
+	}
+	if proc < 0 || proc >= len(s.procs) {
+		return false, fmt.Errorf("core: invalid process %d", proc)
+	}
+	p := s.procs[proc]
+	held := make([]int, 0, cap(p.lanes))
+	defer func() {
+		for _, l := range held {
+			p.lanes <- l
+		}
+	}()
+	for len(held) < cap(p.lanes) {
+		select {
+		case l := <-p.lanes:
+			held = append(held, l)
+		case <-s.stopCh:
+			return false, ErrClosed
+		}
+	}
+	adopted, applied, err := s.recov.Recover(proc, timeout)
+	if err != nil {
+		return false, err
+	}
+	if adopted {
+		if r, ok := s.bcast.(abcast.Resumer); ok {
+			r.Resume(proc, applied)
+		}
+	}
+	return adopted, nil
+}
+
+// Drain quiesces the store for a graceful shutdown: it acquires every
+// issuing lane of every process, so it returns only once all in-flight
+// m-operations have completed (and their records have reached the
+// RecordSink). New operations block on the empty lanes and are failed
+// by the subsequent Close. Drain is terminal — the lanes are never
+// released, so the only sensible successor is Close.
+func (s *Store) Drain(timeout time.Duration) error {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for _, p := range s.procs {
+		for i := 0; i < cap(p.lanes); i++ {
+			select {
+			case <-p.lanes:
+			case <-deadline.C:
+				return fmt.Errorf("core: drain timed out after %v with operations still in flight", timeout)
+			case <-s.stopCh:
+				return ErrClosed
+			}
+		}
+	}
+	return nil
 }
 
 // now is a strictly increasing clock: real monotonic time, nudged forward
@@ -724,6 +831,9 @@ func (s *Store) noteEnd(rec *mop.Record) {
 		s.records = append(s.records, *rec)
 	}
 	s.mu.Unlock()
+	if rec != nil && s.cfg.RecordSink != nil {
+		s.cfg.RecordSink(*rec)
+	}
 }
 
 // Convenience operations built on Execute.

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"moc/internal/mop"
+)
+
+// TraceFileWriter streams a daemon's records to a JSON-lines trace file
+// as they complete: a header line with the trace metadata, then one
+// TraceRecord per line. Each record is written straight to the file (no
+// user-space buffering), so everything recorded before a SIGKILL
+// survives in the kernel page cache and ReadTraceFile recovers it —
+// unlike Store.Trace, which needs a live, quiescent store. Wire it up
+// as the store's Config.RecordSink; Append is safe for concurrent use.
+type TraceFileWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+	err error
+}
+
+// NewTraceFileWriter creates (truncating) the trace file at path and
+// writes the header line. Node, consistency, and objects must match
+// what Store.Trace would report so merged files pass MergeTraces.
+func NewTraceFileWriter(path string, node int, consistency Consistency, objects []string) (*TraceFileWriter, error) {
+	if consistency != MSequential && consistency != MLinearizable {
+		return nil, fmt.Errorf("core: trace file is not supported for %v", consistency)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &TraceFileWriter{f: f, enc: json.NewEncoder(f)}
+	hdr := Trace{Node: node, Consistency: consistency.String(), Objects: objects}
+	if err := w.enc.Encode(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: trace header: %w", err)
+	}
+	return w, nil
+}
+
+// Append writes one record as a line. Errors are sticky and reported by
+// Close; a sink must not block the protocol's completion path on them.
+func (w *TraceFileWriter) Append(rec mop.Record) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	w.err = w.enc.Encode(toTraceRecord(rec))
+}
+
+// Close syncs and closes the file, returning the first error seen.
+func (w *TraceFileWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil && w.err == nil {
+		w.err = err
+	}
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.err = err
+	}
+	w.f = nil
+	return w.err
+}
+
+// ReadTraceFile parses a trace file written by TraceFileWriter back
+// into a Trace for MergeTraces. A trailing partial line — a record cut
+// off mid-write by a kill — is tolerated and dropped; any earlier
+// malformed line is an error. The header's records field is ignored.
+func ReadTraceFile(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Trace{}, fmt.Errorf("core: trace file %s: %w", path, err)
+		}
+		return Trace{}, fmt.Errorf("core: trace file %s: missing header", path)
+	}
+	var tr Trace
+	if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
+		return Trace{}, fmt.Errorf("core: trace file %s header: %w", path, err)
+	}
+	tr.Records = nil
+
+	var pendingErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			return Trace{}, pendingErr
+		}
+		var wr TraceRecord
+		if err := json.Unmarshal(line, &wr); err != nil {
+			// Only legal as the final line (truncated by a kill).
+			pendingErr = fmt.Errorf("core: trace file %s: bad record line: %w", path, err)
+			continue
+		}
+		tr.Records = append(tr.Records, wr)
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, fmt.Errorf("core: trace file %s: %w", path, err)
+	}
+	return tr, nil
+}

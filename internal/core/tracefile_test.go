@@ -1,0 +1,145 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"moc/internal/checker"
+	"moc/internal/history"
+	"moc/internal/mop"
+	"moc/internal/object"
+	"moc/internal/timestamp"
+)
+
+// TestTraceFileRoundTrip streams records through a RecordSink-wired
+// TraceFileWriter (the daemon's -trace path), reads the file back, and
+// checks the exact m-SC checker accepts the rebuilt history — the file
+// must be a faithful substitute for a live Store.Trace dump.
+func TestTraceFileRoundTrip(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "node0.trace")
+	w, err := NewTraceFileWriter(path, 0, MSequential, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Procs: 3, Objects: []string{"x", "y"},
+		Consistency: MSequential, Seed: 42, MaxDelay: time.Millisecond,
+		RecordSink: w.Append,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 3; i++ {
+		p, _ := s.Process(i)
+		if err := p.Write(object.ID(0), object.Value(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Sum(object.ID(0), object.ID(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.MAssign(map[object.ID]object.Value{0: object.Value(10 + i), 1: object.Value(20 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := s.Trace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(live.Records) {
+		t.Fatalf("file has %d records, live trace has %d", len(back.Records), len(live.Records))
+	}
+	if back.Consistency != live.Consistency || len(back.Objects) != len(live.Objects) {
+		t.Fatalf("file header %v/%v disagrees with live trace %v/%v",
+			back.Consistency, back.Objects, live.Consistency, live.Objects)
+	}
+
+	recs, reg, cons, err := MergeTraces(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons != MSequential {
+		t.Fatalf("consistency = %v", cons)
+	}
+	h, updates, err := BuildHistory(reg, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 6 {
+		t.Fatalf("got %d ordered updates, want 6", len(updates))
+	}
+	res, err := checker.MSequentiallyConsistent(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Admissible {
+		t.Fatal("trace-file history rejected by the exact m-SC checker")
+	}
+}
+
+// TestReadTraceFileToleratesTruncatedTail models a SIGKILL landing
+// mid-write: a partial final line is dropped, but a malformed line in
+// the middle of the file is still an error.
+func TestReadTraceFileToleratesTruncatedTail(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "killed.trace")
+	w, err := NewTraceFileWriter(path, 1, MLinearizable, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(mop.Record{
+		Proc: 1, Update: true, Seq: 0,
+		Ops:     []history.Op{history.W(object.ID(0), 7)},
+		TSStart: timestamp.TS{0}, TSEnd: timestamp.TS{1},
+		Footprint: object.NewSet(object.ID(0)),
+		Inv:       1, Resp: 2,
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"proc":1,"update":true,"o`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tr, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatalf("truncated tail not tolerated: %v", err)
+	}
+	if tr.Node != 1 || tr.Consistency != MLinearizable.String() {
+		t.Fatalf("header = %+v", tr)
+	}
+	if len(tr.Records) != 1 || len(tr.Records[0].Ops) != 1 || tr.Records[0].Ops[0].Val != 7 {
+		t.Fatalf("records = %+v, want the one complete record", tr.Records)
+	}
+
+	// The same garbage mid-file (a complete, newline-terminated bad line
+	// followed by a good one) must fail loudly.
+	bad := filepath.Join(t.TempDir(), "corrupt.trace")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, append(data, []byte("\n{\"proc\":1,\"update\":false,\"ops\":[],\"tsStart\":[],\"tsEnd\":[],\"footprint\":[],\"inv\":1,\"resp\":2}\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTraceFile(bad); err == nil {
+		t.Fatal("mid-file garbage accepted")
+	}
+}

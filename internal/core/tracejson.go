@@ -74,20 +74,50 @@ func (s *Store) Trace(node int) (Trace, error) {
 		Records:     make([]TraceRecord, 0, len(recs)),
 	}
 	for _, rec := range recs {
-		wr := TraceRecord{
-			Proc: rec.Proc, Update: rec.Update, Seq: rec.Seq,
-			TSStart: rec.TSStart, TSEnd: rec.TSEnd,
-			Inv: rec.Inv, Resp: rec.Resp,
-		}
-		for _, op := range rec.Ops {
-			wr.Ops = append(wr.Ops, TraceOp{Kind: op.Kind.String(), Obj: int(op.Obj), Val: op.Val})
-		}
-		for _, id := range rec.Footprint.IDs() {
-			wr.Footprint = append(wr.Footprint, int(id))
-		}
-		tr.Records = append(tr.Records, wr)
+		tr.Records = append(tr.Records, toTraceRecord(rec))
 	}
 	return tr, nil
+}
+
+// toTraceRecord converts one raw protocol record to its wire form.
+func toTraceRecord(rec mop.Record) TraceRecord {
+	wr := TraceRecord{
+		Proc: rec.Proc, Update: rec.Update, Seq: rec.Seq,
+		TSStart: rec.TSStart, TSEnd: rec.TSEnd,
+		Inv: rec.Inv, Resp: rec.Resp,
+	}
+	for _, op := range rec.Ops {
+		wr.Ops = append(wr.Ops, TraceOp{Kind: op.Kind.String(), Obj: int(op.Obj), Val: op.Val})
+	}
+	for _, id := range rec.Footprint.IDs() {
+		wr.Footprint = append(wr.Footprint, int(id))
+	}
+	return wr
+}
+
+// fromTraceRecord converts one wire record back to the raw form.
+func fromTraceRecord(wr TraceRecord) (mop.Record, error) {
+	rec := mop.Record{
+		Proc: wr.Proc, Update: wr.Update, Seq: wr.Seq,
+		TSStart: timestamp.TS(wr.TSStart), TSEnd: timestamp.TS(wr.TSEnd),
+		Inv: wr.Inv, Resp: wr.Resp,
+	}
+	for _, op := range wr.Ops {
+		switch op.Kind {
+		case "r":
+			rec.Ops = append(rec.Ops, history.R(object.ID(op.Obj), op.Val))
+		case "w":
+			rec.Ops = append(rec.Ops, history.W(object.ID(op.Obj), op.Val))
+		default:
+			return mop.Record{}, fmt.Errorf("core: trace op kind %q", op.Kind)
+		}
+	}
+	ids := make([]object.ID, 0, len(wr.Footprint))
+	for _, x := range wr.Footprint {
+		ids = append(ids, object.ID(x))
+	}
+	rec.Footprint = object.NewSet(ids...)
+	return rec, nil
 }
 
 // MergeTraces combines per-process trace dumps into one record set and
@@ -126,26 +156,10 @@ func MergeTraces(traces ...Trace) ([]mop.Record, *object.Registry, Consistency, 
 			}
 		}
 		for _, wr := range tr.Records {
-			rec := mop.Record{
-				Proc: wr.Proc, Update: wr.Update, Seq: wr.Seq,
-				TSStart: timestamp.TS(wr.TSStart), TSEnd: timestamp.TS(wr.TSEnd),
-				Inv: wr.Inv, Resp: wr.Resp,
+			rec, err := fromTraceRecord(wr)
+			if err != nil {
+				return nil, nil, 0, err
 			}
-			for _, op := range wr.Ops {
-				switch op.Kind {
-				case "r":
-					rec.Ops = append(rec.Ops, history.R(object.ID(op.Obj), op.Val))
-				case "w":
-					rec.Ops = append(rec.Ops, history.W(object.ID(op.Obj), op.Val))
-				default:
-					return nil, nil, 0, fmt.Errorf("core: trace op kind %q", op.Kind)
-				}
-			}
-			ids := make([]object.ID, 0, len(wr.Footprint))
-			for _, x := range wr.Footprint {
-				ids = append(ids, object.ID(x))
-			}
-			rec.Footprint = object.NewSet(ids...)
 			recs = append(recs, rec)
 		}
 	}

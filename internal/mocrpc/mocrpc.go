@@ -28,6 +28,7 @@ import (
 //	"exec"     — run an m-operation (Kind, Objs, Vals; see Exec)
 //	"dump"     — return the daemon's recorded trace
 //	"stats"    — return the daemon's aggregated transport counters
+//	"info"     — return the daemon's operational counters (SetInfo)
 //	"ping"     — liveness probe
 //	"shutdown" — acknowledge, then shut the daemon down
 type Request struct {
@@ -40,14 +41,15 @@ type Request struct {
 
 // Response answers one Request (matched by ID).
 type Response struct {
-	ID     int64          `json:"id"`
-	OK     bool           `json:"ok"`
-	Err    string         `json:"err,omitempty"`
-	Value  *int64         `json:"value,omitempty"`  // read, sum
-	Values []int64        `json:"values,omitempty"` // multiread
-	Bool   *bool          `json:"bool,omitempty"`   // cas, dcas, transfer
-	Trace  *core.Trace    `json:"trace,omitempty"`  // dump
-	Stats  *network.Stats `json:"stats,omitempty"`  // stats
+	ID     int64            `json:"id"`
+	OK     bool             `json:"ok"`
+	Err    string           `json:"err,omitempty"`
+	Value  *int64           `json:"value,omitempty"`  // read, sum
+	Values []int64          `json:"values,omitempty"` // multiread
+	Bool   *bool            `json:"bool,omitempty"`   // cas, dcas, transfer
+	Trace  *core.Trace      `json:"trace,omitempty"`  // dump
+	Stats  *network.Stats   `json:"stats,omitempty"`  // stats
+	Info   map[string]int64 `json:"info,omitempty"`   // info
 }
 
 // Server serves the daemon RPC protocol on one listener.
@@ -62,6 +64,17 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+	info   func() map[string]int64
+}
+
+// SetInfo registers the callback answering "info" requests — the
+// daemon's operational counters (recovery adoptions, fault-injection
+// stats, …). The callback must be safe for concurrent use. Call before
+// clients connect; without one, "info" returns an empty map.
+func (s *Server) SetInfo(f func() map[string]int64) {
+	s.mu.Lock()
+	s.info = f
+	s.mu.Unlock()
 }
 
 // Serve starts serving requests against store's process self on ln.
@@ -156,6 +169,15 @@ func (s *Server) handle(req Request) (Response, bool) {
 	case "stats":
 		st := s.store.NetStats()
 		return Response{ID: req.ID, OK: true, Stats: &st}, false
+	case "info":
+		s.mu.Lock()
+		f := s.info
+		s.mu.Unlock()
+		info := map[string]int64{}
+		if f != nil {
+			info = f()
+		}
+		return Response{ID: req.ID, OK: true, Info: info}, false
 	case "dump":
 		tr, err := s.store.Trace(s.self)
 		if err != nil {

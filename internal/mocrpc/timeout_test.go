@@ -1,0 +1,178 @@
+package mocrpc
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"moc/internal/core"
+)
+
+// stuckServer accepts connections and reads requests but never answers
+// — a hung daemon, as opposed to a dead one.
+func stuckServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(io.Discard, conn) }() //nolint:errcheck
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestCallTimeoutOnStuckServer pins the per-call deadline: a call to a
+// hung daemon returns ErrTimeout (indeterminate, not retryable) within
+// roughly the configured deadline instead of blocking forever.
+func TestCallTimeoutOnStuckServer(t *testing.T) {
+	t.Parallel()
+	addr := stuckServer(t)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetCallTimeout(300 * time.Millisecond)
+
+	start := time.Now()
+	err = c.Ping()
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("stuck-server call returned %v, want ErrTimeout", err)
+	}
+	if !IsIndeterminate(err) {
+		t.Fatalf("timeout not classified indeterminate: %v", err)
+	}
+	if IsRetryable(err) {
+		t.Fatalf("timeout classified retryable (would duplicate updates): %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("timed-out call took %v", elapsed)
+	}
+	// The poisoned connection must not bleed into the next call: it is
+	// torn down, and the redial to the still-stuck daemon times out
+	// again rather than desyncing request/response IDs.
+	if err := c.Ping(); !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("post-timeout call returned %v", err)
+	}
+}
+
+// TestClientRedialsAfterServerRestart kills the TCP server under an
+// established client and checks the client classifies the outage
+// correctly, then transparently reconnects once a server is back.
+func TestClientRedialsAfterServerRestart(t *testing.T) {
+	t.Parallel()
+	_, c := startServer(t, nil)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reset the connection out from under the client, as a daemon death
+	// mid-session would.
+	c.mu.Lock()
+	c.conn.Close()
+	c.mu.Unlock()
+
+	err := c.Ping()
+	if err == nil {
+		t.Fatal("call on reset connection succeeded")
+	}
+	if !IsIndeterminate(err) && !IsRetryable(err) {
+		t.Fatalf("reset-connection error %v is neither retryable nor indeterminate", err)
+	}
+	// Next call redials the live server and succeeds.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("redial after reset failed: %v", err)
+	}
+}
+
+// TestUnavailableIsRetryable pins the classification contract on a
+// daemon that is down entirely: dial errors are ErrUnavailable, which
+// IS safe to retry (the request never left the client).
+func TestUnavailableIsRetryable(t *testing.T) {
+	t.Parallel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+
+	if _, err := Dial(addr, 50*time.Millisecond); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("dial to dead addr returned %v, want ErrUnavailable", err)
+	}
+
+	// A client whose connection was torn down sees ErrUnavailable on the
+	// lazy redial too.
+	c := &Client{addr: addr}
+	c.SetCallTimeout(100 * time.Millisecond)
+	callErr := c.Ping()
+	if !errors.Is(callErr, ErrUnavailable) {
+		t.Fatalf("call to dead addr returned %v, want ErrUnavailable", callErr)
+	}
+	if !IsRetryable(callErr) || IsIndeterminate(callErr) {
+		t.Fatalf("unavailable misclassified: retryable=%v indeterminate=%v", IsRetryable(callErr), IsIndeterminate(callErr))
+	}
+}
+
+// TestServerErrorKeepsConnection pins that application-level failures
+// are typed ServerError, non-retryable transport-wise, and leave the
+// connection healthy.
+func TestServerErrorKeepsConnection(t *testing.T) {
+	t.Parallel()
+	_, c := startServer(t, nil)
+	_, err := c.Exec("read", []string{"nope"}, nil)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("unknown-object error %v is not a ServerError", err)
+	}
+	if IsRetryable(err) || IsIndeterminate(err) {
+		t.Fatal("server error misclassified as transport failure")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection did not survive server error: %v", err)
+	}
+}
+
+// TestInfoOp pins the info plumbing end to end.
+func TestInfoOp(t *testing.T) {
+	t.Parallel()
+	store, err := core.New(core.Config{
+		Procs: 2, Objects: []string{"x", "y"},
+		Consistency: core.MSequential, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, store, 0, nil)
+	t.Cleanup(srv.Close)
+	srv.SetInfo(func() map[string]int64 { return map[string]int64{"recoveries": 3} })
+	c, err := Dial(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info["recoveries"] != 3 {
+		t.Fatalf("info = %v, want recoveries 3", info)
+	}
+}

@@ -165,15 +165,20 @@ func (s *Service) serve(p int) {
 // live peer for a checkpoint, waits up to timeout for responses
 // (finishing early once all solicited peers answer), and adopts the
 // freshest checkpoint received if it is fresher than the local state.
-// It reports whether a checkpoint was adopted; reaching no peer within
-// the timeout is an error. The caller must ensure no operation is in
+// It reports whether a checkpoint was adopted and the freshest offered
+// applied count (how many total-order deliveries the adopted state
+// already covers — the broadcast resume point for a rejoining process);
+// reaching no peer within the timeout is an error. A peer that accepts
+// the solicitation but never responds (hung, not crashed) simply never
+// lands in the response set: the timeout fires and the freshest of the
+// responsive peers wins. The caller must ensure no operation is in
 // flight at proc (the store serializes this under the process mutex).
-func (s *Service) Recover(proc int, timeout time.Duration) (bool, error) {
+func (s *Service) Recover(proc int, timeout time.Duration) (bool, int64, error) {
 	if proc < 0 || proc >= s.cfg.Procs {
-		return false, fmt.Errorf("recovery: invalid process %d", proc)
+		return false, 0, fmt.Errorf("recovery: invalid process %d", proc)
 	}
 	if s.closed.Load() {
-		return false, ErrClosed
+		return false, 0, ErrClosed
 	}
 	s.recovMu[proc].Lock()
 	defer s.recovMu[proc].Unlock()
@@ -194,12 +199,12 @@ func (s *Service) Recover(proc int, timeout time.Duration) (bool, error) {
 			continue
 		}
 		if err := s.net.Send(proc, q, "recov.req", xferReq{ReqID: reqID}, 16); err != nil {
-			return false, err
+			return false, 0, err
 		}
 		asked++
 	}
 	if asked == 0 {
-		return false, errors.New("recovery: no live peer to recover from")
+		return false, 0, errors.New("recovery: no live peer to recover from")
 	}
 
 	var best *Checkpoint
@@ -221,17 +226,17 @@ collect:
 		case <-deadline.C:
 			break collect
 		case <-s.stop:
-			return false, ErrClosed
+			return false, 0, ErrClosed
 		}
 	}
 	if best == nil {
-		return false, fmt.Errorf("recovery: no checkpoint received within %v", timeout)
+		return false, 0, fmt.Errorf("recovery: no checkpoint received within %v", timeout)
 	}
 	if !s.cfg.State.Adopt(proc, *best) {
-		return false, nil // local state already as fresh (short outage)
+		return false, best.Applied, nil // local state already as fresh (short outage)
 	}
 	s.adopted.Add(1)
-	return true, nil
+	return true, best.Applied, nil
 }
 
 // Up reports whether proc is currently up on the transfer network. A

@@ -80,12 +80,15 @@ func TestRecoverAdoptsFreshest(t *testing.T) {
 	st := newFakeState(2, 5, 9)
 	svc := newService(t, st, 3, nil)
 
-	adopted, err := svc.Recover(0, 5*time.Second)
+	adopted, applied, err := svc.Recover(0, 5*time.Second)
 	if err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
 	if !adopted {
 		t.Fatal("stale process did not adopt a checkpoint")
+	}
+	if applied != 9 {
+		t.Fatalf("Recover reported applied = %d, want 9 (freshest peer)", applied)
 	}
 	got := st.Snapshot(0)
 	if got.Applied != 9 {
@@ -110,7 +113,7 @@ func TestRecoverRejectsStale(t *testing.T) {
 	st := newFakeState(10, 3, 5)
 	svc := newService(t, st, 3, nil)
 
-	adopted, err := svc.Recover(0, 5*time.Second)
+	adopted, _, err := svc.Recover(0, 5*time.Second)
 	if err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
@@ -132,16 +135,19 @@ func TestRecoverIdempotent(t *testing.T) {
 	st := newFakeState(0, 7, 7)
 	svc := newService(t, st, 3, nil)
 
-	adopted, err := svc.Recover(0, 5*time.Second)
+	adopted, _, err := svc.Recover(0, 5*time.Second)
 	if err != nil || !adopted {
 		t.Fatalf("first Recover = (%v, %v), want adoption", adopted, err)
 	}
-	again, err := svc.Recover(0, 5*time.Second)
+	again, applied, err := svc.Recover(0, 5*time.Second)
 	if err != nil {
 		t.Fatalf("second Recover: %v", err)
 	}
 	if again {
 		t.Fatal("replayed transfer installed a checkpoint twice")
+	}
+	if applied != 7 {
+		t.Fatalf("replayed Recover reported applied = %d, want 7", applied)
 	}
 	if got := st.applied(0); got != 7 {
 		t.Fatalf("applied after replay = %d, want 7", got)
@@ -163,7 +169,7 @@ func TestRecoverNoLivePeer(t *testing.T) {
 	if svc.Up(1) {
 		t.Fatal("peer 1 should be down under the crash schedule")
 	}
-	_, err := svc.Recover(0, 100*time.Millisecond)
+	_, _, err := svc.Recover(0, 100*time.Millisecond)
 	if err == nil || !strings.Contains(err.Error(), "no live peer") {
 		t.Fatalf("Recover with all peers down = %v, want no-live-peer error", err)
 	}
@@ -180,15 +186,15 @@ func TestRecoverArgAndLifecycleErrors(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if _, err := svc.Recover(-1, time.Second); err == nil {
+	if _, _, err := svc.Recover(-1, time.Second); err == nil {
 		t.Fatal("Recover(-1) accepted")
 	}
-	if _, err := svc.Recover(2, time.Second); err == nil {
+	if _, _, err := svc.Recover(2, time.Second); err == nil {
 		t.Fatal("Recover(out of range) accepted")
 	}
 	svc.Close()
 	svc.Close() // idempotent
-	if _, err := svc.Recover(0, time.Second); err != ErrClosed {
+	if _, _, err := svc.Recover(0, time.Second); err != ErrClosed {
 		t.Fatalf("Recover after Close = %v, want ErrClosed", err)
 	}
 }
@@ -201,5 +207,55 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Procs: 2}); err == nil {
 		t.Fatal("nil State accepted")
+	}
+}
+
+// hangState wraps fakeState so one peer accepts the solicitation but
+// never answers it: its Snapshot blocks until the test releases it.
+// This models a hung-but-connected daemon, which is a different failure
+// from a crash — the transfer network still counts it as live, so it is
+// solicited, and only the timeout saves the recovering process.
+type hangState struct {
+	*fakeState
+	hung    int
+	release chan struct{}
+}
+
+func (s *hangState) Snapshot(proc int) Checkpoint {
+	if proc == s.hung {
+		<-s.release
+	}
+	return s.fakeState.Snapshot(proc)
+}
+
+// TestRecoverHungPeerTimesOutAndUsesNext: the freshest peer hangs
+// mid-transfer, so Recover must ride out the timeout and adopt the best
+// checkpoint among the peers that actually responded — not block
+// forever and not fail outright.
+func TestRecoverHungPeerTimesOutAndUsesNext(t *testing.T) {
+	st := &hangState{fakeState: newFakeState(0, 5, 9), hung: 2, release: make(chan struct{})}
+	svc := newService(t, st, 3, nil)
+	// LIFO cleanup: the hung Snapshot is released before svc.Close waits
+	// on the serve goroutines, so shutdown cannot deadlock.
+	t.Cleanup(func() { close(st.release) })
+
+	const timeout = 400 * time.Millisecond
+	start := time.Now()
+	adopted, applied, err := svc.Recover(0, timeout)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Recover with hung peer: %v", err)
+	}
+	if !adopted || applied != 5 {
+		t.Fatalf("Recover = (adopted=%v, applied=%d), want adoption of responsive peer 1 (applied 5)", adopted, applied)
+	}
+	if got := st.applied(0); got != 5 {
+		t.Fatalf("installed applied = %d, want 5", got)
+	}
+	if elapsed < timeout {
+		t.Fatalf("Recover returned in %v, before the %v timeout — it cannot know the hung peer is silent earlier", elapsed, timeout)
+	}
+	if elapsed > timeout+2*time.Second {
+		t.Fatalf("Recover took %v, far beyond the %v timeout: hung peer was waited on, not timed out", elapsed, timeout)
 	}
 }

@@ -1,0 +1,270 @@
+// Socket-level fault injection for the TCP transport.
+//
+// Faults mirrors the simulated network.Faults API (seed-driven, timed
+// windows measured from node start) but injects at the layer the real
+// deployment actually fails at: the outbound net.Conn. Resets close the
+// connection before anything is written, so the writer's pruneWritten
+// resend path runs exactly as it would after a real RST. Corruption
+// flips the first frame's codec byte on the wire — the peer's readFrame
+// must reject it (ErrBadFrame) and kill the connection before consuming
+// any frame, which is precisely the codec hardening PR 6 promised.
+// Partitions refuse dials (and reset established connections) toward the
+// named peers during their window, so the existing backoff loop paces
+// reconnect attempts instead of spinning. Delay/jitter and bandwidth
+// throttling slow the write path without breaking it.
+//
+// All injection happens on the write side of outbound connections. When
+// every node in a cluster is given the same fault config, each direction
+// of a peer pair is faulted by its sending node, which yields the same
+// symmetric behavior the simulated network produces centrally. Every
+// injected event is counted in FaultStats.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults configures seed-driven socket fault injection for one node.
+// The zero value injects nothing. Windows (partitions) are measured
+// from the node's Listen time, matching network.Faults measuring from
+// network creation.
+type Faults struct {
+	// Seed drives every probabilistic draw. Same seed + same workload
+	// timing = same fault distribution (exact reproduction is not
+	// possible over real sockets, where goroutine scheduling perturbs
+	// draw order — the sim keeps that promise, the transport keeps it
+	// in distribution).
+	Seed int64
+	// ResetProb is the per-write probability that the connection is
+	// reset instead: nothing reaches the wire, the conn is closed, and
+	// the write reports an injected reset. The transport's resend path
+	// re-delivers every queued frame on the next connection.
+	ResetProb float64
+	// CorruptProb is the per-write probability that the first frame's
+	// codec byte is corrupted on the wire. The receiving node must
+	// reject the frame (ErrBadFrame) and close the connection without
+	// consuming anything; the write reports zero bytes so every frame
+	// is resent intact afterwards.
+	CorruptProb float64
+	// Delay and Jitter add Delay + U[0,Jitter) of latency before every
+	// write on a faulty connection.
+	Delay  time.Duration
+	Jitter time.Duration
+	// Bandwidth, when positive, throttles outbound bytes to this many
+	// bytes per second (token-bucket pacing across all peers).
+	Bandwidth int64
+	// Partitions lists timed outbound partitions. While a partition is
+	// active, dials to its peers fail (entering the jittered backoff
+	// loop) and established connections to them are reset on the next
+	// write.
+	Partitions []PeerPartition
+}
+
+// PeerPartition cuts this node off from the listed peers during
+// [Start, Heal), measured from node start.
+type PeerPartition struct {
+	Peers []int
+	Start time.Duration
+	Heal  time.Duration
+}
+
+// FaultStats counts injected events on one node.
+type FaultStats struct {
+	Resets            int64 // connections reset by ResetProb or an active partition
+	Corrupted         int64 // writes whose leading codec byte was corrupted
+	Delayed           int64 // writes delayed by Delay/Jitter
+	Throttled         int64 // writes paced by Bandwidth
+	PartitionRefusals int64 // dial attempts refused by an active partition
+}
+
+func (f *Faults) validate(peers int) error {
+	if f.ResetProb < 0 || f.ResetProb > 1 {
+		return fmt.Errorf("transport: ResetProb %g outside [0,1]", f.ResetProb)
+	}
+	if f.CorruptProb < 0 || f.CorruptProb > 1 {
+		return fmt.Errorf("transport: CorruptProb %g outside [0,1]", f.CorruptProb)
+	}
+	if f.Delay < 0 || f.Jitter < 0 {
+		return fmt.Errorf("transport: negative Delay/Jitter (%v/%v)", f.Delay, f.Jitter)
+	}
+	if f.Bandwidth < 0 {
+		return fmt.Errorf("transport: negative Bandwidth %d", f.Bandwidth)
+	}
+	for i, pt := range f.Partitions {
+		if pt.Start < 0 || pt.Heal <= pt.Start {
+			return fmt.Errorf("transport: partition %d window [%v,%v) is empty or negative", i, pt.Start, pt.Heal)
+		}
+		if len(pt.Peers) == 0 {
+			return fmt.Errorf("transport: partition %d names no peers", i)
+		}
+		for _, p := range pt.Peers {
+			if p < 0 || p >= peers {
+				return fmt.Errorf("transport: partition %d peer %d out of range [0,%d)", i, p, peers)
+			}
+		}
+	}
+	return nil
+}
+
+// Injected fault errors. They satisfy net error checks loosely enough
+// for the writer's generic retry path; callers never see them (the
+// transport absorbs write errors into reconnect+resend).
+var (
+	errInjectedReset   = errors.New("transport: injected connection reset")
+	errInjectedCorrupt = errors.New("transport: injected frame corruption")
+	errPartitioned     = errors.New("transport: injected partition")
+)
+
+// faultState is the per-node runtime for fault injection.
+type faultState struct {
+	cfg   Faults
+	start time.Time
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nextFree time.Time // bandwidth pacing horizon
+
+	resets    atomic.Int64
+	corrupted atomic.Int64
+	delayed   atomic.Int64
+	throttled atomic.Int64
+	refusals  atomic.Int64
+}
+
+func newFaultState(cfg Faults) *faultState {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &faultState{
+		cfg:   cfg,
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// partitioned reports whether an outbound partition toward peer is
+// active right now.
+func (fs *faultState) partitioned(peer int) bool {
+	elapsed := time.Since(fs.start)
+	for _, pt := range fs.cfg.Partitions {
+		if elapsed < pt.Start || elapsed >= pt.Heal {
+			continue
+		}
+		for _, p := range pt.Peers {
+			if p == peer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// refuseDial reports whether a dial to peer should fail (active
+// partition), counting the refusal.
+func (fs *faultState) refuseDial(peer int) bool {
+	if !fs.partitioned(peer) {
+		return false
+	}
+	fs.refusals.Add(1)
+	return true
+}
+
+// stats snapshots the injected-event counters.
+func (fs *faultState) stats() FaultStats {
+	return FaultStats{
+		Resets:            fs.resets.Load(),
+		Corrupted:         fs.corrupted.Load(),
+		Delayed:           fs.delayed.Load(),
+		Throttled:         fs.throttled.Load(),
+		PartitionRefusals: fs.refusals.Load(),
+	}
+}
+
+// wrap dresses an outbound connection to peer in the fault layer.
+func (fs *faultState) wrap(peer int, c net.Conn) net.Conn {
+	return &faultConn{Conn: c, fs: fs, peer: peer}
+}
+
+// faultConn injects faults on the write side of one outbound
+// connection. Reads pass through untouched: with every node faulting
+// its own outbound side, both directions of a peer pair are covered.
+type faultConn struct {
+	net.Conn
+	fs   *faultState
+	peer int
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	fs := c.fs
+
+	// An active partition resets the established connection; the
+	// writer's next dial attempt is then refused until the window
+	// heals, which parks it in the jittered backoff loop.
+	if fs.partitioned(c.peer) {
+		fs.resets.Add(1)
+		c.Conn.Close()
+		return 0, errPartitioned
+	}
+
+	// Probabilistic draws and pacing arithmetic under the lock; the
+	// sleeps happen outside it so concurrent peers are not serialized.
+	fs.mu.Lock()
+	reset := fs.cfg.ResetProb > 0 && fs.rng.Float64() < fs.cfg.ResetProb
+	corrupt := !reset && fs.cfg.CorruptProb > 0 && fs.rng.Float64() < fs.cfg.CorruptProb
+	var jitter time.Duration
+	if fs.cfg.Jitter > 0 {
+		jitter = time.Duration(fs.rng.Int63n(int64(fs.cfg.Jitter)))
+	}
+	var pace time.Duration
+	if fs.cfg.Bandwidth > 0 {
+		now := time.Now()
+		if fs.nextFree.Before(now) {
+			fs.nextFree = now
+		}
+		pace = fs.nextFree.Sub(now)
+		busy := time.Duration(int64(len(b)) * int64(time.Second) / fs.cfg.Bandwidth)
+		fs.nextFree = fs.nextFree.Add(busy)
+	}
+	fs.mu.Unlock()
+
+	if reset {
+		fs.resets.Add(1)
+		c.Conn.Close()
+		return 0, errInjectedReset
+	}
+	if d := fs.cfg.Delay + jitter; d > 0 {
+		fs.delayed.Add(1)
+		time.Sleep(d)
+	}
+	if pace > 0 {
+		fs.throttled.Add(1)
+		time.Sleep(pace)
+	}
+
+	// Corruption flips the first frame's codec byte (offset 4, after
+	// the length prefix) on the wire only — never in the caller's
+	// buffer, which must stay intact for the resend. 0x80|codec is
+	// never a valid codec byte, so the peer's readFrame fails with
+	// ErrBadFrame before consuming any frame and closes the
+	// connection; reporting zero bytes written makes the transport
+	// resend everything intact on the next connection.
+	if corrupt && len(b) > 4 {
+		fs.corrupted.Add(1)
+		if _, err := c.Conn.Write(b[:4]); err == nil {
+			if _, err := c.Conn.Write([]byte{b[4] | 0x80}); err == nil {
+				c.Conn.Write(b[5:])
+			}
+		}
+		c.Conn.Close()
+		return 0, errInjectedCorrupt
+	}
+
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"moc/internal/network"
+	"moc/internal/network/testutil"
+)
+
+// faultyPair builds a 2-node loopback cluster where only node 0 injects
+// the given faults, returning the two channel links. Tests send 0 -> 1
+// so the faulty side is always the one under test.
+func faultyPair(t *testing.T, faults Faults) (network.Link, network.Link, *Node) {
+	t.Helper()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{lnA.Addr().String(), lnB.Addr().String()}
+	nodeA, err := Listen(Config{Self: 0, Addrs: addrs, Listener: lnA, Faults: &faults, Seed: faults.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nodeA.Close)
+	nodeB, err := Listen(Config{Self: 1, Addrs: addrs, Listener: lnB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nodeB.Close)
+	la, err := nodeA.Factory()("f", network.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := nodeB.Factory()("f", network.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return la, lb, nodeA
+}
+
+// sendReceiveLockstep sends n messages one at a time, waiting for each
+// delivery, and verifies exactly-once in-order arrival — the transport's
+// contract must hold regardless of injected faults.
+func sendReceiveLockstep(t *testing.T, la, lb network.Link, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := la.Send(0, 1, "m", testutil.ConformancePayload{N: i}, 8); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+		got := testutil.Drain(t, 20*time.Second, lb.Recv(1), 1, testutil.Source("a", la.Stats))
+		if len(got) != 1 {
+			t.Fatalf("message %d not delivered", i)
+		}
+		if p := got[0].Payload.(testutil.ConformancePayload); p.N != i {
+			t.Fatalf("message %d delivered as %d (dup or reorder)", i, p.N)
+		}
+	}
+	// No duplicates may trail the final delivery.
+	select {
+	case m := <-lb.Recv(1):
+		t.Fatalf("duplicate delivery after lockstep run: %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestInjectedResetsAreResent injects connection resets on half the
+// writes and verifies every frame still arrives exactly once, in order,
+// via the reconnect + resend path.
+func TestInjectedResetsAreResent(t *testing.T) {
+	t.Parallel()
+	la, lb, nodeA := faultyPair(t, Faults{Seed: 7, ResetProb: 0.5})
+	sendReceiveLockstep(t, la, lb, 100)
+	fst := nodeA.FaultStats()
+	if fst.Resets == 0 {
+		t.Fatal("no resets injected across 100 lockstep writes at p=0.5")
+	}
+	if st := la.Stats(); st.Reconnects == 0 || st.Retransmitted == 0 {
+		t.Fatalf("stats = %+v, want nonzero Reconnects and Retransmitted after %d resets", st, fst.Resets)
+	}
+}
+
+// TestInjectedCorruptionRejectedByCodec corrupts the leading codec byte
+// on half the writes. The receiving node must reject each corrupted
+// frame by closing the connection (never delivering garbage), and the
+// resend path must deliver every frame intact exactly once.
+func TestInjectedCorruptionRejectedByCodec(t *testing.T) {
+	t.Parallel()
+	la, lb, nodeA := faultyPair(t, Faults{Seed: 11, CorruptProb: 0.5})
+	sendReceiveLockstep(t, la, lb, 100)
+	fst := nodeA.FaultStats()
+	if fst.Corrupted == 0 {
+		t.Fatal("no corruption injected across 100 lockstep writes at p=0.5")
+	}
+	if st := la.Stats(); st.Reconnects == 0 {
+		t.Fatalf("stats = %+v, want nonzero Reconnects: every corrupted frame must kill its connection", st)
+	}
+}
+
+// TestPartitionWindowBlocksThenHeals partitions node 0 from node 1
+// during [200ms, 700ms). A message sent before the window flows; a
+// message sent during it is blocked — the established connection is
+// reset and redials are refused — until the window heals.
+func TestPartitionWindowBlocksThenHeals(t *testing.T) {
+	t.Parallel()
+	const healAt = 700 * time.Millisecond
+	la, lb, nodeA := faultyPair(t, Faults{
+		Seed:       3,
+		Partitions: []PeerPartition{{Peers: []int{1}, Start: 200 * time.Millisecond, Heal: healAt}},
+	})
+	start := time.Now()
+	if err := la.Send(0, 1, "pre", testutil.ConformancePayload{N: 1}, 8); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Drain(t, 5*time.Second, lb.Recv(1), 1, testutil.Source("a", la.Stats))
+
+	// Into the window, then send: the write must not be delivered before
+	// the heal time.
+	time.Sleep(300 * time.Millisecond)
+	if err := la.Send(0, 1, "during", testutil.ConformancePayload{N: 2}, 8); err != nil {
+		t.Fatal(err)
+	}
+	got := testutil.Drain(t, 10*time.Second, lb.Recv(1), 1, testutil.Source("a", la.Stats))
+	if len(got) != 1 {
+		t.Fatal("partitioned message never delivered after heal")
+	}
+	if elapsed := time.Since(start); elapsed < healAt-50*time.Millisecond {
+		t.Fatalf("message crossed an active partition: delivered at %v, window heals at %v", elapsed, healAt)
+	}
+	fst := nodeA.FaultStats()
+	if fst.Resets == 0 || fst.PartitionRefusals == 0 {
+		t.Fatalf("fault stats = %+v, want the established conn reset and at least one refused redial", fst)
+	}
+}
+
+// TestDelayAndThrottleSlowWrites verifies latency injection delays
+// delivery by at least the configured floor and bandwidth pacing
+// spaces out back-to-back writes.
+func TestDelayAndThrottleSlowWrites(t *testing.T) {
+	t.Parallel()
+	const delay = 30 * time.Millisecond
+	la, lb, nodeA := faultyPair(t, Faults{Seed: 5, Delay: delay, Bandwidth: 200})
+	t0 := time.Now()
+	if err := la.Send(0, 1, "d", testutil.ConformancePayload{N: 1}, 8); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Drain(t, 5*time.Second, lb.Recv(1), 1, testutil.Source("a", la.Stats))
+	if elapsed := time.Since(t0); elapsed < delay {
+		t.Fatalf("first delivery took %v, want >= injected delay %v", elapsed, delay)
+	}
+	// The first write consumed >100ms of budget at 200 B/s, so an
+	// immediate second write must be paced.
+	if err := la.Send(0, 1, "d", testutil.ConformancePayload{N: 2}, 8); err != nil {
+		t.Fatal(err)
+	}
+	testutil.Drain(t, 5*time.Second, lb.Recv(1), 1, testutil.Source("a", la.Stats))
+	fst := nodeA.FaultStats()
+	if fst.Delayed == 0 || fst.Throttled == 0 {
+		t.Fatalf("fault stats = %+v, want nonzero Delayed and Throttled", fst)
+	}
+}
+
+// TestFaultyTCPConformance runs the full Link conformance suite over a
+// cluster where every node injects resets and corruption: the fault
+// layer must be invisible to the Link contract (exactly-once FIFO
+// between pairs, close semantics, stats lower bounds).
+func TestFaultyTCPConformance(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("faulty conformance sweep skipped in -short")
+	}
+	testutil.RunLinkConformance(t, func(t testing.TB, cfg network.Config) network.Link {
+		cluster, err := NewFaultyCluster(3, Faults{Seed: 23, ResetProb: 0.05, CorruptProb: 0.05})
+		if err != nil {
+			t.Fatalf("NewFaultyCluster: %v", err)
+		}
+		t.Cleanup(cluster.Close)
+		link, err := cluster.Factory()("conf", cfg)
+		if err != nil {
+			t.Fatalf("build channel: %v", err)
+		}
+		t.Cleanup(link.Close)
+		return link
+	})
+}
+
+// TestFaultsValidation rejects malformed fault configs at Listen time.
+func TestFaultsValidation(t *testing.T) {
+	t.Parallel()
+	bad := []Faults{
+		{ResetProb: 1.5},
+		{CorruptProb: -0.1},
+		{Delay: -time.Second},
+		{Bandwidth: -1},
+		{Partitions: []PeerPartition{{Peers: []int{0}, Start: time.Second, Heal: time.Second}}},
+		{Partitions: []PeerPartition{{Start: 0, Heal: time.Second}}},
+		{Partitions: []PeerPartition{{Peers: []int{9}, Start: 0, Heal: time.Second}}},
+	}
+	for i, f := range bad {
+		faults := f
+		_, err := Listen(Config{Self: 0, Addrs: []string{"127.0.0.1:0", "127.0.0.1:1"}, Faults: &faults})
+		if err == nil {
+			t.Errorf("case %d: Listen accepted invalid faults %+v", i, f)
+		}
+	}
+}
+
+// TestNextBackoff pins the reconnect backoff contract: each attempt
+// sleeps a jittered value in [cur/2, cur], and the window doubles until
+// it saturates at the cap — growth without lockstep, bounded by max.
+func TestNextBackoff(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	const base = 5 * time.Millisecond
+	const max = 160 * time.Millisecond
+	cur := base
+	for i := 0; i < 20; i++ {
+		sleep, next := nextBackoff(cur, max, rng)
+		if sleep < cur/2 || sleep > cur {
+			t.Fatalf("attempt %d: sleep %v outside jitter window [%v, %v]", i, sleep, cur/2, cur)
+		}
+		want := cur * 2
+		if want > max {
+			want = max
+		}
+		if next != want {
+			t.Fatalf("attempt %d: next backoff %v, want %v (doubling capped at %v)", i, next, want, max)
+		}
+		cur = next
+	}
+	if cur != max {
+		t.Fatalf("backoff never saturated: ended at %v, cap %v", cur, max)
+	}
+}

@@ -26,6 +26,18 @@ func NewCluster(n int) (*Cluster, error) {
 // (CodecBinary or CodecGob) on every node, for benchmarks and tests
 // that compare the two wire encodings.
 func NewClusterWithCodec(n int, codec string) (*Cluster, error) {
+	return newCluster(n, codec, nil)
+}
+
+// NewFaultyCluster is NewCluster with the same fault-injection config
+// installed on every node. Each direction of every peer pair is then
+// faulted by its sending side, which reproduces the symmetric faults
+// the simulated network injects centrally.
+func NewFaultyCluster(n int, faults Faults) (*Cluster, error) {
+	return newCluster(n, CodecBinary, &faults)
+}
+
+func newCluster(n int, codec string, faults *Faults) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("transport: cluster size %d", n)
 	}
@@ -44,7 +56,7 @@ func NewClusterWithCodec(n int, codec string) (*Cluster, error) {
 	}
 	c := &Cluster{nodes: make([]*Node, n)}
 	for i := 0; i < n; i++ {
-		node, err := Listen(Config{Self: i, Addrs: addrs, Listener: lns[i], Codec: codec})
+		node, err := Listen(Config{Self: i, Addrs: addrs, Listener: lns[i], Codec: codec, Faults: faults})
 		if err != nil {
 			c.Close()
 			for j := i; j < n; j++ {

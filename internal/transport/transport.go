@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,15 @@ type Config struct {
 	// every frame carries its own codec byte — so nodes with different
 	// Codec settings interoperate.
 	Codec string
+	// Faults optionally injects socket-level faults (resets, corruption,
+	// latency, throttling, timed partitions) on this node's outbound
+	// connections. See faults.go. Nil injects nothing.
+	Faults *Faults
+	// Seed drives the dial-backoff jitter (each peer gets a derived
+	// stream so retries desynchronize across peers and nodes). 0 seeds
+	// from the clock, which is fine for jitter: tests that need
+	// reproducible backoff pass an explicit seed.
+	Seed int64
 }
 
 const (
@@ -94,6 +104,8 @@ type Node struct {
 	cancel context.CancelFunc
 	stop   chan struct{}
 	wg     sync.WaitGroup
+
+	faults *faultState // nil when cfg.Faults is nil
 
 	mu      sync.Mutex
 	links   map[string]*tcpLink
@@ -133,6 +145,11 @@ func Listen(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(len(cfg.Addrs)); err != nil {
+			return nil, err
+		}
+	}
 	ln := cfg.Listener
 	if ln == nil {
 		var err error
@@ -153,12 +170,25 @@ func Listen(cfg Config) (*Node, error) {
 		pending: make(map[string][]network.Message),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	if cfg.Faults != nil {
+		n.faults = newFaultState(*cfg.Faults)
+	}
+	jitterSeed := cfg.Seed
+	if jitterSeed == 0 {
+		jitterSeed = time.Now().UnixNano()
+	}
 	n.peers = make([]*peer, len(cfg.Addrs))
 	for i, addr := range cfg.Addrs {
 		if i == cfg.Self {
 			continue
 		}
-		p := &peer{node: n, id: i, addr: addr, out: make(chan *frameBuf, peerQueue)}
+		p := &peer{
+			node: n, id: i, addr: addr,
+			out: make(chan *frameBuf, peerQueue),
+			// Derived per-peer stream: retries toward different peers
+			// (and from different nodes, via differing Self) diverge.
+			rng: rand.New(rand.NewSource(jitterSeed + int64(cfg.Self)*7919 + int64(i)*104729)),
+		}
 		n.peers[i] = p
 		n.wg.Add(1)
 		go p.writer()
@@ -365,6 +395,9 @@ type peer struct {
 	id   int
 	addr string
 	out  chan *frameBuf
+	// rng drives the dial-backoff jitter. Only the writer goroutine
+	// draws from it, so it needs no lock.
+	rng *rand.Rand
 	// down is true while the writer cannot reach the peer: set after a
 	// failed dial attempt (the writer is in reconnect backoff), cleared
 	// when a dial succeeds. tcpLink.Down reads it.
@@ -498,16 +531,26 @@ func pruneWritten(wbuf []byte, ends []int, w int) ([]byte, []int, int) {
 	return wbuf, ends[:len(ends)-keep], len(ends) - keep
 }
 
-// dial connects to the peer, retrying with exponential backoff until it
-// succeeds or the node closes (then it returns nil).
+// dial connects to the peer, retrying with capped, jittered exponential
+// backoff until it succeeds or the node closes (then it returns nil).
+// An active injected partition toward the peer refuses the dial the
+// same way a real unreachable peer would, so the backoff loop paces
+// retries during the window instead of spinning on write failures.
 func (p *peer) dial() net.Conn {
 	backoff := p.node.cfg.RetryBase
 	for {
-		d := net.Dialer{Timeout: p.node.cfg.DialTimeout}
-		conn, err := d.DialContext(p.node.ctx, "tcp", p.addr)
+		var conn net.Conn
+		err := errPartitioned
+		if fs := p.node.faults; fs == nil || !fs.refuseDial(p.id) {
+			d := net.Dialer{Timeout: p.node.cfg.DialTimeout}
+			conn, err = d.DialContext(p.node.ctx, "tcp", p.addr)
+		}
 		if err == nil {
 			if tc, ok := conn.(*net.TCPConn); ok {
 				tc.SetNoDelay(true)
+			}
+			if fs := p.node.faults; fs != nil {
+				conn = fs.wrap(p.id, conn)
 			}
 			if !p.node.trackConn(conn) {
 				conn.Close()
@@ -517,15 +560,39 @@ func (p *peer) dial() net.Conn {
 			return conn
 		}
 		p.down.Store(true)
+		var sleep time.Duration
+		sleep, backoff = nextBackoff(backoff, p.node.cfg.RetryMax, p.rng)
 		select {
 		case <-p.node.stop:
 			return nil
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > p.node.cfg.RetryMax {
-			backoff = p.node.cfg.RetryMax
+		case <-time.After(sleep):
 		}
 	}
+}
+
+// nextBackoff turns the current backoff value into the jittered sleep
+// for this attempt — uniform in [cur/2, cur], so simultaneously
+// partitioned peers do not wake in lockstep and hammer the healed node
+// together — and the doubled, capped value for the next one.
+func nextBackoff(cur, max time.Duration, rng *rand.Rand) (sleep, next time.Duration) {
+	sleep = cur
+	if half := int64(cur / 2); half > 0 {
+		sleep = time.Duration(half + rng.Int63n(half+1))
+	}
+	next = cur * 2
+	if next > max {
+		next = max
+	}
+	return sleep, next
+}
+
+// FaultStats reports the node's injected-fault counters; zero when no
+// Faults were configured.
+func (n *Node) FaultStats() FaultStats {
+	if n.faults == nil {
+		return FaultStats{}
+	}
+	return n.faults.stats()
 }
 
 // tcpLink is one logical channel's network.Link view on one node. It
