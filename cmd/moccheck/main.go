@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	moccheck [-condition mlin|msc|mnormal|mcausal] [-budget N] history.json
+//	moccheck [-condition mlin|msc|mnormal|mcausal|mixed] [-budget N] history.json
 //	mocsim -json ... | moccheck -condition mlin -
+//
+// The "mixed" condition is for histories whose queries carry
+// per-request consistency levels (mocsim -level, mocload -level): the
+// full history must be m-sequentially consistent and its restriction to
+// updates plus strong-level queries must be m-linearizable.
 //
 // Exit status:
 //
@@ -38,7 +43,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("moccheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		condition = fs.String("condition", "mlin", `condition: "msc", "mlin", "mnormal" or "mcausal"`)
+		condition = fs.String("condition", "mlin", `condition: "msc", "mlin", "mnormal", "mcausal" or "mixed" (per-request levels)`)
 		budget    = fs.Int("budget", 0, "search node budget (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -53,7 +58,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 func check(fs *flag.FlagSet, condition string, budget int, stdin io.Reader, stdout io.Writer) (int, error) {
 	if fs.NArg() != 1 {
-		return 2, fmt.Errorf("usage: moccheck [-condition mlin|msc|mnormal|mcausal] <history.json | ->")
+		return 2, fmt.Errorf("usage: moccheck [-condition mlin|msc|mnormal|mcausal|mixed] <history.json | ->")
 	}
 
 	var data []byte
@@ -70,6 +75,28 @@ func check(fs *flag.FlagSet, condition string, budget int, stdin io.Reader, stdo
 	h, err := history.DecodeJSON(data)
 	if err != nil {
 		return 2, err
+	}
+
+	if condition == "mixed" {
+		res, err := checker.MixedLevels(h)
+		if err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(stdout, "m-operations: %d (plus the initial one)\n", h.Len()-1)
+		fmt.Fprintln(stdout, "condition: mixed (m-SC overall, m-lin on updates + strong-level queries)")
+		if !res.Full.Admissible {
+			fmt.Fprintln(stdout, "RESULT: violated (the full history is not m-sequentially consistent)")
+			counterexample(stdout, h)
+			return 1, nil
+		}
+		fmt.Fprintf(stdout, "strong subset: %d m-operations\n", res.StrongOps)
+		if res.Consistent {
+			fmt.Fprintf(stdout, "RESULT: satisfied\nstrong witness: %s\n", res.Strong.Witness)
+			return 0, nil
+		}
+		fmt.Fprintln(stdout, "RESULT: violated (the strong subset is not m-linearizable)")
+		counterexample(stdout, h)
+		return 1, nil
 	}
 
 	if condition == "mcausal" {

@@ -83,10 +83,10 @@ func TestSigtermDrainsAndTraceMerges(t *testing.T) {
 			defer c.Close()
 			for j := 0; j < 8; j++ {
 				val := int64(1 + i*100 + j)
-				if _, err := c.Exec("write", []string{"a"}, []int64{val}); err != nil {
+				if _, err := c.Exec("write", []string{"a"}, []int64{val}, ""); err != nil {
 					return
 				}
-				if _, err := c.Exec("sum", []string{"a", "b"}, nil); err != nil {
+				if _, err := c.Exec("sum", []string{"a", "b"}, nil, ""); err != nil {
 					return
 				}
 			}

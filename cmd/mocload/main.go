@@ -70,6 +70,7 @@ func run() error {
 		inflight = flag.Int("inflight", 1, "concurrent clients per daemon, each on its own connection (pair with the daemons' -inflight so the pipelined lanes are actually fed)")
 		rate     = flag.Float64("rate", 0, "open-loop mode: target m-operations per second per daemon (0 = closed loop); latency is measured from the scheduled issue time, so overload queueing is charged to the operations (no coordinated omission)")
 		duration = flag.Duration("duration", 10*time.Second, "open-loop run length (only with -rate)")
+		level    = flag.String("level", "", `consistency level for queries: "one", "quorum", "all", or "mixed" (each query draws uniformly among the three); empty keeps the daemons' native level. Non-native levels need an m-linearizable cluster`)
 		callTO   = flag.Duration("calltimeout", 0, "per-RPC deadline (0 = none); a timed-out call counts as indeterminate — the daemon may still apply it")
 		retries  = flag.Int("retries", 0, "retries per operation on retryable (never-sent) failures, with capped jittered backoff; queries also retry through indeterminate failures, updates never do (a duplicated write would corrupt the merged history)")
 	)
@@ -82,6 +83,11 @@ func run() error {
 	}
 	if *rate > 0 && *duration <= 0 {
 		return fmt.Errorf("-duration must be positive in open-loop mode, got %v", *duration)
+	}
+	switch *level {
+	case "", "one", "quorum", "all", "mixed":
+	default:
+		return fmt.Errorf(`-level must be "one", "quorum", "all", "mixed" or empty, got %q`, *level)
 	}
 
 	addrs := splitList(*nodes)
@@ -118,11 +124,12 @@ func run() error {
 	plans := mix.Plan(len(addrs), len(names), rand.New(rand.NewSource(*seed)))
 
 	var (
-		mu             sync.Mutex
-		queryNs, updNs []int64
-		wg             sync.WaitGroup
-		errs           = make(chan error, len(addrs)*(*inflight))
-		start          = time.Now()
+		mu           sync.Mutex
+		queryByLevel = make(map[string][]int64)
+		updNs        []int64
+		wg           sync.WaitGroup
+		errs         = make(chan error, len(addrs)*(*inflight))
+		start        = time.Now()
 	)
 	// The open loop reuses the plan cyclically, so written values are
 	// shifted by a per-cycle multiple of the plan's value range: every
@@ -141,9 +148,20 @@ func run() error {
 		}
 	}
 
+	// pickLevel chooses the consistency level for one query: the -level
+	// flag's value, or a uniform draw when the mix is requested. The
+	// draw happens once per operation, before any retries, so an
+	// operation keeps its level across reissues.
+	mixedChoices := []string{"one", "quorum", "all"}
+	pickLevel := func(rng *rand.Rand) string {
+		if *level == "mixed" {
+			return mixedChoices[rng.Intn(len(mixedChoices))]
+		}
+		return *level
+	}
 	// issue sends one planned m-operation, re-valuing updates by valOff;
 	// record files its latency under the caller-chosen origin.
-	issue := func(c *mocrpc.Client, op workload.Op, valOff int64) error {
+	issue := func(c *mocrpc.Client, op workload.Op, valOff int64, lvl string) error {
 		objs := make([]string, len(op.Objs))
 		for j, x := range op.Objs {
 			objs[j] = names[x]
@@ -152,12 +170,13 @@ func run() error {
 		kind := "multiread"
 		if !op.Query {
 			kind = "massign"
+			lvl = ""
 			vals = make([]int64, len(op.Vals))
 			for j, v := range op.Vals {
 				vals[j] = int64(v) + valOff
 			}
 		}
-		_, err := c.Exec(kind, objs, vals)
+		_, err := c.Exec(kind, objs, vals, lvl)
 		return err
 	}
 	// issueRetry applies the chaos retry discipline around issue: a
@@ -167,17 +186,21 @@ func run() error {
 	// an update, and reissuing its values would make the merged history
 	// ambiguous. The client redials lazily, so a retry after a daemon
 	// restart reconnects on its own.
-	issueRetry := func(c *mocrpc.Client, op workload.Op, valOff int64, rng *rand.Rand) error {
+	issueRetry := func(c *mocrpc.Client, op workload.Op, valOff int64, rng *rand.Rand) (string, error) {
+		lvl := ""
+		if op.Query {
+			lvl = pickLevel(rng)
+		}
 		backoff := 10 * time.Millisecond
 		const backoffMax = 250 * time.Millisecond
 		for attempt := 0; ; attempt++ {
-			err := issue(c, op, valOff)
+			err := issue(c, op, valOff, lvl)
 			if err == nil {
-				return nil
+				return lvl, nil
 			}
 			safe := mocrpc.IsRetryable(err) || (op.Query && mocrpc.IsIndeterminate(err))
 			if !safe || attempt >= *retries {
-				return err
+				return lvl, err
 			}
 			time.Sleep(backoff/2 + time.Duration(rng.Int63n(int64(backoff)/2+1)))
 			if backoff *= 2; backoff > backoffMax {
@@ -185,10 +208,10 @@ func run() error {
 			}
 		}
 	}
-	record := func(query bool, ns int64) {
+	record := func(query bool, lvl string, ns int64) {
 		mu.Lock()
 		if query {
-			queryNs = append(queryNs, ns)
+			queryByLevel[lvl] = append(queryByLevel[lvl], ns)
 		} else {
 			updNs = append(updNs, ns)
 		}
@@ -223,11 +246,12 @@ func run() error {
 						}
 						op := plan[int(s)%len(plan)]
 						valOff := (s / int64(len(plan))) * maxVal
-						if err := issueRetry(c, op, valOff, rng); err != nil {
+						lvl, err := issueRetry(c, op, valOff, rng)
+						if err != nil {
 							errs <- err
 							return
 						}
-						record(op.Query, time.Since(sched).Nanoseconds())
+						record(op.Query, lvl, time.Since(sched).Nanoseconds())
 					}
 				}(c, i*(*inflight)+k)
 			}
@@ -247,11 +271,12 @@ func run() error {
 					rng := rand.New(rand.NewSource(*seed + int64(w)*7919 + 1))
 					for _, op := range plan {
 						t0 := time.Now()
-						if err := issueRetry(c, op, 0, rng); err != nil {
+						lvl, err := issueRetry(c, op, 0, rng)
+						if err != nil {
 							errs <- err
 							return
 						}
-						record(op.Query, time.Since(t0).Nanoseconds())
+						record(op.Query, lvl, time.Since(t0).Nanoseconds())
 					}
 				}(c, share, i*(*inflight)+k)
 			}
@@ -265,7 +290,11 @@ func run() error {
 	default:
 	}
 
-	total := len(queryNs) + len(updNs)
+	totalQueries := 0
+	for _, ns := range queryByLevel {
+		totalQueries += len(ns)
+	}
+	total := totalQueries + len(updNs)
 	fmt.Printf("%d m-operations across %d nodes in %v (%.0f ops/s)\n",
 		total, len(addrs), elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
 	if *rate > 0 {
@@ -274,7 +303,23 @@ func run() error {
 		fmt.Printf("open loop: target %.0f ops/s across the cluster, achieved %.0f ops/s (%.1f%%)\n",
 			target, achieved, 100*achieved/target)
 	}
-	report("query ", queryNs)
+	// Per-level query latencies: a mixed run shows the ONE/QUORUM/ALL
+	// spread side by side; a single-level run prints one line.
+	levels := make([]string, 0, len(queryByLevel))
+	for lvl := range queryByLevel {
+		levels = append(levels, lvl)
+	}
+	sort.Strings(levels)
+	if len(levels) == 0 {
+		report("query ", nil)
+	}
+	for _, lvl := range levels {
+		label := "query "
+		if lvl != "" {
+			label = fmt.Sprintf("query[%s]", lvl)
+		}
+		report(label, queryByLevel[lvl])
+	}
 	report("update", updNs)
 
 	if *out == "" {

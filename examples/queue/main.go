@@ -60,7 +60,7 @@ func newQueue(s *moc.Store) (*queue, error) {
 
 // enqueue atomically appends v; returns false when full.
 func (q *queue) enqueue(p *moc.Process, v moc.Value) (bool, error) {
-	res, err := p.Execute(moc.Func{
+	res, err := p.Exec(moc.Func{
 		Objects: q.footprint,
 		Writes:  true,
 		Body: func(txn moc.Txn) any {
@@ -72,16 +72,16 @@ func (q *queue) enqueue(p *moc.Process, v moc.Value) (bool, error) {
 			txn.Write(q.tail, tail+1)
 			return true
 		},
-	})
+	}, moc.ExecOptions{})
 	if err != nil {
 		return false, err
 	}
-	return res.(bool), nil
+	return res.Value.(bool), nil
 }
 
 // dequeue atomically removes the oldest element; ok=false when empty.
 func (q *queue) dequeue(p *moc.Process) (moc.Value, bool, error) {
-	res, err := p.Execute(moc.Func{
+	res, err := p.Exec(moc.Func{
 		Objects: q.footprint,
 		Writes:  true,
 		Body: func(txn moc.Txn) any {
@@ -93,11 +93,11 @@ func (q *queue) dequeue(p *moc.Process) (moc.Value, bool, error) {
 			txn.Write(q.head, head+1)
 			return v
 		},
-	})
+	}, moc.ExecOptions{})
 	if err != nil {
 		return 0, false, err
 	}
-	v := res.(moc.Value)
+	v := res.Value.(moc.Value)
 	if v < 0 {
 		return 0, false, nil
 	}

@@ -59,6 +59,17 @@ func run() error {
 	}
 	fmt.Printf("P2: atomic snapshot (x, y) = %v\n", vals)
 
+	// The same snapshot at QUORUM: the query completes once a majority
+	// of the three replicas answered instead of waiting for all of them,
+	// and the result certifies the level it actually achieved.
+	r, err := p2.Exec(moc.MultiRead{Xs: []moc.ObjectID{x, y}},
+		moc.ExecOptions{Level: moc.Quorum})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P2: quorum snapshot (x, y) = %v (level %s from %d replicas, consistent: %v)\n",
+		r.Value, r.Level, len(r.Responders), r.IsConsistent)
+
 	// Reconstruct the formal history and verify m-linearizability.
 	res, err := s.Verify()
 	if err != nil {

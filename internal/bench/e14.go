@@ -62,7 +62,7 @@ func RunMixTCP(cons core.Consistency, procs, objects int, mix workload.Mix, seed
 					pr = planUpdate(op)
 				}
 				t0 := time.Now()
-				if _, err := proc.Execute(pr); err != nil {
+				if _, err := proc.Exec(pr, core.ExecOptions{}); err != nil {
 					errs <- err
 					return
 				}

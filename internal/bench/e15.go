@@ -146,7 +146,7 @@ func runE15Cell(transportKind, codec string, batch int, p e15Params, seed int64)
 						V: object.Value(1000*pid + 10*w + i),
 					}
 					t0 := time.Now()
-					if _, err := proc.Execute(op); err != nil {
+					if _, err := proc.Exec(op, core.ExecOptions{}); err != nil {
 						errs <- err
 						return
 					}

@@ -1,0 +1,331 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"moc/internal/abcast"
+	"moc/internal/chaos"
+	"moc/internal/history"
+	"moc/internal/mlin"
+	"moc/internal/mocrpc"
+	"moc/internal/mop"
+	"moc/internal/network"
+	"moc/internal/object"
+)
+
+// E19 measures what the per-request consistency levels buy: query
+// latency at ONE, QUORUM and ALL when one of three replicas is degraded.
+// Two deployments of the same shape:
+//
+//   - Simulated: the third process's query endpoint is crashed from the
+//     start (its replica still applies updates through the broadcast
+//     plane). An ALL query can never gather it and force-completes at
+//     the bounded-query timeout; a QUORUM query completes from the live
+//     majority at network speed; a ONE query reads locally.
+//   - Loopback TCP: three mocd daemons, the third started with
+//     -faultdelay so every frame it sends its peers is late. An ALL
+//     query pays that delay on every round; a QUORUM query completes
+//     without the slow peer, which is the SC-ABD trade the redesigned
+//     Exec API exposes.
+//
+// The claim BENCH_E19.json pins: QUORUM query p99 strictly below ALL
+// query p99 with one slow or crashed peer, in both deployments.
+
+// e19Point is one level's measured latency distribution.
+type e19Point struct {
+	Level          string
+	N              int
+	P50, P99, Mean time.Duration
+}
+
+// e19Levels are the measured levels, weakest first.
+var e19Levels = []history.Level{history.LevelOne, history.LevelQuorum, history.LevelAll}
+
+func e19Stats(level string, ns []int64) e19Point {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	var sum int64
+	for _, n := range ns {
+		sum += n
+	}
+	mean := time.Duration(0)
+	if len(ns) > 0 {
+		mean = time.Duration(sum / int64(len(ns)))
+	}
+	return e19Point{
+		Level: level,
+		N:     len(ns),
+		P50:   percentile(ns, 0.50),
+		P99:   percentile(ns, 0.99),
+		Mean:  mean,
+	}
+}
+
+// e19SimParams are the simulated variant's fixed parameters, shared by
+// the runner and the JSON report.
+var e19SimParams = struct {
+	Procs        int
+	MaxDelay     time.Duration
+	QueryTimeout time.Duration
+	Retries      int
+	Crashed      int
+}{Procs: 3, MaxDelay: time.Millisecond, QueryTimeout: 12 * time.Millisecond, Retries: 1, Crashed: 2}
+
+// e19Sim runs the crashed-peer variant on the simulated network.
+func e19Sim(quick bool) ([]e19Point, error) {
+	reg := object.Sequential(4)
+	b, err := abcast.NewSequencer(abcast.SequencerConfig{
+		Procs: e19SimParams.Procs, Seed: 19, MaxDelay: e19SimParams.MaxDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p, err := mlin.New(mlin.Config{
+		Procs: e19SimParams.Procs, Reg: reg, Broadcast: b,
+		Seed: 20, MaxDelay: e19SimParams.MaxDelay,
+		QueryTimeout: e19SimParams.QueryTimeout, QueryRetries: e19SimParams.Retries,
+		// The victim's query endpoint is down from the start; the
+		// broadcast plane is a separate network, so its replica keeps
+		// applying updates — it just never answers (or acks).
+		Faults: &network.Faults{Crashes: []network.Crash{{Proc: e19SimParams.Crashed}}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+
+	for x := 0; x < reg.Len(); x++ {
+		if _, err := p.Exec(0, mop.WriteOp{X: object.ID(x), V: object.Value(x + 1)}, mop.ExecOptions{}); err != nil {
+			return nil, fmt.Errorf("E19 sim seed: %w", err)
+		}
+	}
+
+	counts := map[history.Level]int{
+		history.LevelOne:    400,
+		history.LevelQuorum: 400,
+		history.LevelAll:    120, // each force-completes at the timeout budget
+	}
+	if quick {
+		counts = map[history.Level]int{
+			history.LevelOne: 60, history.LevelQuorum: 60, history.LevelAll: 20,
+		}
+	}
+	var out []e19Point
+	for _, level := range e19Levels {
+		// Warm the path (first query pays setup noise).
+		for i := 0; i < 3; i++ {
+			if _, err := p.Exec(0, mop.ReadOp{X: 0}, mop.ExecOptions{Level: level}); err != nil {
+				return nil, err
+			}
+		}
+		ns := make([]int64, 0, counts[level])
+		for i := 0; i < counts[level]; i++ {
+			start := time.Now()
+			rec, err := p.Exec(0, mop.ReadOp{X: object.ID(i % reg.Len())}, mop.ExecOptions{Level: level})
+			if err != nil {
+				return nil, fmt.Errorf("E19 sim %s query: %w", level, err)
+			}
+			ns = append(ns, time.Since(start).Nanoseconds())
+			if want := object.Value(i%reg.Len() + 1); rec.Result.(object.Value) != want {
+				return nil, fmt.Errorf("E19 sim %s query read %v, want %v", level, rec.Result, want)
+			}
+		}
+		out = append(out, e19Stats(level.String(), ns))
+	}
+	return out, nil
+}
+
+// e19TCPParams are the loopback-TCP variant's fixed parameters.
+var e19TCPParams = struct {
+	N            int
+	SlowNode     int
+	FaultDelay   time.Duration
+	QueryTimeout time.Duration
+}{N: 3, SlowNode: 2, FaultDelay: 25 * time.Millisecond, QueryTimeout: 400 * time.Millisecond}
+
+// e19TCP runs the slow-peer variant on a real mocd cluster.
+func e19TCP(quick bool) ([]e19Point, error) {
+	dir, err := os.MkdirTemp("", "e19")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	bin, err := chaos.BuildMocd(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := chaos.Launch(chaos.ClusterConfig{
+		MocdBin: bin, Dir: dir,
+		N:           e19TCPParams.N,
+		Objects:     []string{"a", "b", "c", "d"},
+		Consistency: "mlin",
+		Seed:        19,
+		// The slow daemon still answers — QueryTimeout only backstops a
+		// genuinely lost round and sits well above the injected delay.
+		QueryTimeout: e19TCPParams.QueryTimeout,
+		SlowNode:     e19TCPParams.SlowNode,
+		FaultDelay:   e19TCPParams.FaultDelay,
+		RecoverWait:  500 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	c, err := mocrpc.Dial(cluster.ClientAddrs()[0], 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	objs := []string{"a", "b", "c", "d"}
+	if _, err := c.Exec("massign", objs, []int64{1, 2, 3, 4}, ""); err != nil {
+		return nil, fmt.Errorf("E19 tcp seed: %w", err)
+	}
+
+	perLevel := 200
+	if quick {
+		perLevel = 40
+	}
+	var out []e19Point
+	for _, level := range e19Levels {
+		lvl := level.String()
+		for i := 0; i < 3; i++ { // warm the path
+			if _, err := c.Exec("read", []string{"a"}, nil, lvl); err != nil {
+				return nil, err
+			}
+		}
+		ns := make([]int64, 0, perLevel)
+		for i := 0; i < perLevel; i++ {
+			start := time.Now()
+			resp, err := c.Exec("read", []string{objs[i%len(objs)]}, nil, lvl)
+			if err != nil {
+				return nil, fmt.Errorf("E19 tcp %s query: %w", lvl, err)
+			}
+			ns = append(ns, time.Since(start).Nanoseconds())
+			if resp.Level != lvl {
+				return nil, fmt.Errorf("E19 tcp %s query certified %q — the slow peer was not merely slow", lvl, resp.Level)
+			}
+			if resp.Value == nil || *resp.Value != int64(i%len(objs)+1) {
+				return nil, fmt.Errorf("E19 tcp %s query read %v", lvl, resp.Value)
+			}
+		}
+		out = append(out, e19Stats(lvl, ns))
+	}
+	return out, nil
+}
+
+// e19Check pins the experiment's claim on one variant's points.
+func e19Check(variant string, pts []e19Point) error {
+	byLevel := map[string]e19Point{}
+	for _, pt := range pts {
+		byLevel[pt.Level] = pt
+	}
+	q, a := byLevel[history.LevelQuorum.String()], byLevel[history.LevelAll.String()]
+	if q.N == 0 || a.N == 0 {
+		return fmt.Errorf("E19 %s: missing quorum/all measurements", variant)
+	}
+	if q.P99 >= a.P99 {
+		return fmt.Errorf("E19 %s: quorum p99 %v is not strictly below all p99 %v with a degraded peer",
+			variant, q.P99, a.P99)
+	}
+	return nil
+}
+
+// runE19 prints both variants' latency tables.
+//
+// Expected shape: ONE at local-read speed, QUORUM at the fast
+// majority's round-trip, ALL held up by the degraded peer — by the
+// force-complete timeout budget in the simulated variant, by the
+// injected frame delay on TCP.
+func runE19(w io.Writer, quick bool) error {
+	sim, err := e19Sim(quick)
+	if err != nil {
+		return err
+	}
+	tcp, err := e19TCP(quick)
+	if err != nil {
+		return err
+	}
+	for _, v := range []struct {
+		name string
+		pts  []e19Point
+	}{
+		{fmt.Sprintf("simulated, query endpoint of process %d crashed (query timeout %v × %d retries)",
+			e19SimParams.Crashed, e19SimParams.QueryTimeout, e19SimParams.Retries), sim},
+		{fmt.Sprintf("loopback TCP, daemon %d slowed by %v per outbound frame",
+			e19TCPParams.SlowNode, e19TCPParams.FaultDelay), tcp},
+	} {
+		fmt.Fprintf(w, "%s:\n", v.name)
+		tb := newTable(w)
+		tb.row("level", "queries", "p50", "p99", "mean")
+		for _, pt := range v.pts {
+			tb.row(pt.Level, pt.N,
+				pt.P50.Round(time.Microsecond), pt.P99.Round(time.Microsecond),
+				pt.Mean.Round(time.Microsecond))
+		}
+		tb.flush()
+	}
+	fmt.Fprintln(w, "expected shape: ONE reads locally, QUORUM completes from the live majority,")
+	fmt.Fprintln(w, "ALL pays for the degraded peer — the timeout budget when it is crashed, the")
+	fmt.Fprintln(w, "injected delay when it is slow")
+	if err := e19Check("sim", sim); err != nil {
+		return err
+	}
+	return e19Check("tcp", tcp)
+}
+
+// e19JSON emits both variants as one report.
+func e19JSON(quick bool) (Report, error) {
+	sim, err := e19Sim(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	tcp, err := e19TCP(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := e19Check("sim", sim); err != nil {
+		return Report{}, err
+	}
+	if err := e19Check("tcp", tcp); err != nil {
+		return Report{}, err
+	}
+	series := make([]Series, 0, 2)
+	for _, v := range []struct {
+		name string
+		pts  []e19Point
+	}{{"sim-crashed-peer", sim}, {"tcp-slow-peer", tcp}} {
+		s := Series{Name: v.name}
+		for _, pt := range v.pts {
+			s.Points = append(s.Points, map[string]any{
+				"level":  pt.Level,
+				"n":      pt.N,
+				"p50Ns":  durNs(pt.P50),
+				"p99Ns":  durNs(pt.P99),
+				"meanNs": durNs(pt.Mean),
+			})
+		}
+		series = append(series, s)
+	}
+	return Report{
+		Parameters: map[string]any{
+			"consistency":       "m-linearizable",
+			"levels":            []string{"one", "quorum", "all"},
+			"simProcs":          e19SimParams.Procs,
+			"simCrashedProc":    e19SimParams.Crashed,
+			"simMaxDelayNs":     durNs(e19SimParams.MaxDelay),
+			"simQueryTimeoutNs": durNs(e19SimParams.QueryTimeout),
+			"simQueryRetries":   e19SimParams.Retries,
+			"tcpDaemons":        e19TCPParams.N,
+			"tcpSlowNode":       e19TCPParams.SlowNode,
+			"tcpFaultDelayNs":   durNs(e19TCPParams.FaultDelay),
+			"tcpQueryTimeoutNs": durNs(e19TCPParams.QueryTimeout),
+			"transport":         "sim + tcp-loopback",
+		},
+		Series: series,
+	}, nil
+}

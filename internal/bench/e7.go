@@ -90,7 +90,7 @@ func RunMix(cons core.Consistency, procs, objects int, mix workload.Mix, delay t
 					pr = planUpdate(op)
 				}
 				t0 := time.Now()
-				if _, err := proc.Execute(pr); err != nil {
+				if _, err := proc.Exec(pr, core.ExecOptions{}); err != nil {
 					errs <- err
 					return
 				}

@@ -128,10 +128,15 @@ func New(cfg Config) (*Protocol, error) {
 	return p, nil
 }
 
-// Execute runs procedure pr as an m-operation of process proc. Updates
+// Exec runs procedure pr as an m-operation of process proc. Updates
 // apply locally and respond immediately; dissemination is asynchronous.
-// Callers must not invoke Execute concurrently for the same process.
-func (p *Protocol) Execute(proc int, pr mop.Procedure) (mop.Record, error) {
+// The protocol has no replica-count knob, so only the zero consistency
+// level is accepted. Callers must not invoke Exec concurrently for the
+// same process.
+func (p *Protocol) Exec(proc int, pr mop.Procedure, opts mop.ExecOptions) (mop.Record, error) {
+	if opts.Level != history.LevelDefault {
+		return mop.Record{}, fmt.Errorf("causal: consistency level %q requires an m-lin store", opts.Level)
+	}
 	if p.closed.Load() {
 		return mop.Record{}, ErrClosed
 	}

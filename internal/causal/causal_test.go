@@ -39,7 +39,7 @@ func TestLocalUpdateIsImmediate(t *testing.T) {
 	}
 	defer p.Close()
 	start := time.Now()
-	rec, err := p.Execute(0, mop.WriteOp{X: 0, V: 5})
+	rec, err := p.Exec(0, mop.WriteOp{X: 0, V: 5}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("write: %v", err)
 	}
@@ -50,7 +50,7 @@ func TestLocalUpdateIsImmediate(t *testing.T) {
 		t.Fatalf("write tag = %+v", rec.WriteTags[0])
 	}
 	// Own read sees it immediately.
-	q, err := p.Execute(0, mop.ReadOp{X: 0})
+	q, err := p.Exec(0, mop.ReadOp{X: 0}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -64,12 +64,12 @@ func TestLocalUpdateIsImmediate(t *testing.T) {
 
 func TestEventualDelivery(t *testing.T) {
 	p := newProtocol(t, 3, time.Millisecond)
-	if _, err := p.Execute(0, mop.WriteOp{X: 1, V: 9}); err != nil {
+	if _, err := p.Exec(0, mop.WriteOp{X: 1, V: 9}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	deadline := time.After(5 * time.Second)
 	for {
-		rec, err := p.Execute(2, mop.ReadOp{X: 1})
+		rec, err := p.Exec(2, mop.ReadOp{X: 1}, mop.ExecOptions{})
 		if err != nil {
 			t.Fatalf("read: %v", err)
 		}
@@ -95,14 +95,14 @@ func TestCausalDeliveryOrder(t *testing.T) {
 		if err != nil {
 			t.Fatalf("New: %v", err)
 		}
-		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: 1}); err != nil {
+		if _, err := p.Exec(0, mop.WriteOp{X: 0, V: 1}, mop.ExecOptions{}); err != nil {
 			t.Fatalf("w1: %v", err)
 		}
-		if _, err := p.Execute(0, mop.WriteOp{X: 1, V: 2}); err != nil {
+		if _, err := p.Exec(0, mop.WriteOp{X: 1, V: 2}, mop.ExecOptions{}); err != nil {
 			t.Fatalf("w2: %v", err)
 		}
 		for i := 0; i < 30; i++ {
-			rec, err := p.Execute(1, mop.MultiRead{Xs: []object.ID{0, 1}})
+			rec, err := p.Exec(1, mop.MultiRead{Xs: []object.ID{0, 1}}, mop.ExecOptions{})
 			if err != nil {
 				t.Fatalf("read: %v", err)
 			}
@@ -130,13 +130,13 @@ func TestTransitiveCausality(t *testing.T) {
 		if err != nil {
 			t.Fatalf("New: %v", err)
 		}
-		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: 1}); err != nil {
+		if _, err := p.Exec(0, mop.WriteOp{X: 0, V: 1}, mop.ExecOptions{}); err != nil {
 			t.Fatalf("w(x): %v", err)
 		}
 		// P1 waits until it sees x=1, then writes y.
 		deadline := time.After(5 * time.Second)
 		for {
-			rec, err := p.Execute(1, mop.ReadOp{X: 0})
+			rec, err := p.Exec(1, mop.ReadOp{X: 0}, mop.ExecOptions{})
 			if err != nil {
 				t.Fatalf("read: %v", err)
 			}
@@ -149,11 +149,11 @@ func TestTransitiveCausality(t *testing.T) {
 			case <-time.After(100 * time.Microsecond):
 			}
 		}
-		if _, err := p.Execute(1, mop.WriteOp{X: 1, V: 2}); err != nil {
+		if _, err := p.Exec(1, mop.WriteOp{X: 1, V: 2}, mop.ExecOptions{}); err != nil {
 			t.Fatalf("w(y): %v", err)
 		}
 		for i := 0; i < 50; i++ {
-			rec, err := p.Execute(2, mop.MultiRead{Xs: []object.ID{0, 1}})
+			rec, err := p.Exec(2, mop.MultiRead{Xs: []object.ID{0, 1}}, mop.ExecOptions{})
 			if err != nil {
 				t.Fatalf("read: %v", err)
 			}
@@ -172,7 +172,7 @@ func TestTransitiveCausality(t *testing.T) {
 func TestVectorClockProgress(t *testing.T) {
 	p := newProtocol(t, 2, 0)
 	for i := 0; i < 3; i++ {
-		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: object.Value(i + 1)}); err != nil {
+		if _, err := p.Exec(0, mop.WriteOp{X: 0, V: object.Value(i + 1)}, mop.ExecOptions{}); err != nil {
 			t.Fatalf("write: %v", err)
 		}
 	}
@@ -204,10 +204,10 @@ func TestAbortRollsBackLocally(t *testing.T) {
 			return nil
 		},
 	}
-	if _, err := p.Execute(0, bad); err == nil {
+	if _, err := p.Exec(0, bad, mop.ExecOptions{}); err == nil {
 		t.Fatal("violation not reported")
 	}
-	rec, err := p.Execute(0, mop.ReadOp{X: 0})
+	rec, err := p.Exec(0, mop.ReadOp{X: 0}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -221,11 +221,11 @@ func TestExecuteValidationAndClose(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if _, err := p.Execute(7, mop.ReadOp{X: 0}); err == nil {
+	if _, err := p.Exec(7, mop.ReadOp{X: 0}, mop.ExecOptions{}); err == nil {
 		t.Fatal("invalid process accepted")
 	}
 	p.Close()
-	if _, err := p.Execute(0, mop.ReadOp{X: 0}); err != ErrClosed {
+	if _, err := p.Exec(0, mop.ReadOp{X: 0}, mop.ExecOptions{}); err != ErrClosed {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	p.Close() // idempotent
@@ -233,14 +233,14 @@ func TestExecuteValidationAndClose(t *testing.T) {
 
 func TestTrafficAccounted(t *testing.T) {
 	p := newProtocol(t, 3, 0)
-	if _, err := p.Execute(0, mop.WriteOp{X: 0, V: 1}); err != nil {
+	if _, err := p.Exec(0, mop.WriteOp{X: 0, V: 1}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	if st := p.Traffic(); st.Messages != 2 { // n-1 dissemination messages
 		t.Fatalf("messages = %d, want 2", st.Messages)
 	}
 	// Queries are free.
-	if _, err := p.Execute(1, mop.ReadOp{X: 0}); err != nil {
+	if _, err := p.Exec(1, mop.ReadOp{X: 0}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("read: %v", err)
 	}
 	if st := p.Traffic(); st.Messages != 2 {

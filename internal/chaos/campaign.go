@@ -35,6 +35,15 @@ type CampaignConfig struct {
 	// ReadFrac is the fraction of query operations (reads never risk
 	// duplication, so they retry through every failure class).
 	ReadFrac float64
+	// QueryLevels optionally assigns each query a consistency level
+	// drawn uniformly from this list ("one", "quorum", "all"; "" is the
+	// store's native level). Empty keeps every query level-less, the
+	// pre-v1.1 behavior. Mixed-level campaigns on an m-linearizable
+	// cluster are validated with the composed leveled checker: the full
+	// merged history must be m-sequentially consistent and its
+	// restriction to updates plus strong-certified queries must be
+	// m-linearizable.
+	QueryLevels []string
 	// CallTimeout bounds each RPC; RetryBase/RetryMax bound the
 	// client-side reconnect backoff. Defaults: 2s, 10ms, 250ms.
 	CallTimeout         time.Duration
@@ -156,6 +165,10 @@ func (w *worker) step(tl *timeline, counters *campaignCounters, stop <-chan stru
 	i := w.rng.Intn(len(w.objects))
 	j := (i + 1 + w.rng.Intn(len(w.objects)-1)) % len(w.objects)
 	objs := []string{w.objects[i], w.objects[j]}
+	level := ""
+	if !update && len(w.cfg.QueryLevels) > 0 {
+		level = w.cfg.QueryLevels[w.rng.Intn(len(w.cfg.QueryLevels))]
+	}
 
 	backoff := w.cfg.RetryBase
 	t0 := time.Now()
@@ -163,9 +176,9 @@ func (w *worker) step(tl *timeline, counters *campaignCounters, stop <-chan stru
 		var err error
 		if update {
 			val := 1 + op*int64(w.n) + int64(w.id)
-			_, err = w.client.Exec("massign", objs, []int64{val, val})
+			_, err = w.client.Exec("massign", objs, []int64{val, val}, "")
 		} else {
-			_, err = w.client.Exec("sum", objs, nil)
+			_, err = w.client.Exec("sum", objs, nil, level)
 		}
 		now := time.Now()
 		counters.attempts.Add(1)
@@ -391,6 +404,17 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	h, _, err := core.BuildHistory(reg, recs)
 	if err != nil {
 		return res, fmt.Errorf("chaos: merged traces do not form a well-formed history: %w", err)
+	}
+	if len(cfg.QueryLevels) > 0 && cons == core.MLinearizable {
+		// Mixed-level campaign: hold each query to the condition it was
+		// certified at (force-completed quorum/all queries degrade to
+		// the m-SC-only check automatically).
+		r, err := checker.MixedLevels(h)
+		if err != nil {
+			return res, err
+		}
+		res.Accepted = r.Consistent
+		return res, nil
 	}
 	res.Accepted, err = check(cons, h)
 	if err != nil {

@@ -102,3 +102,81 @@ func TestChaosSmoke(t *testing.T) {
 		t.Fatal("a SIGKILLed daemon produced no unavailability — the kill schedule did not bite")
 	}
 }
+
+// TestChaosSmokeMixedLevels is the leveled twin of the smoke run (the
+// make chaos-smoke pattern matches both): an m-linearizable cluster
+// under socket faults and a SIGKILL, with every query drawing its
+// consistency level uniformly from ONE/QUORUM/ALL. The merged history
+// must satisfy the composed condition — m-SC overall, exact m-lin on
+// updates plus strong-certified queries — with the bounded ALL queries
+// that force-complete during the outage certified down honestly rather
+// than held to a guarantee they did not get.
+func TestChaosSmokeMixedLevels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full multi-process chaos campaign; run via make chaos-smoke")
+	}
+	bin, err := buildOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCampaign(CampaignConfig{
+		Cluster: ClusterConfig{
+			MocdBin:     bin,
+			Dir:         t.TempDir(),
+			N:           3,
+			Objects:     []string{"a", "b", "c"},
+			Consistency: "mlin",
+			Seed:        31,
+			ResetProb:   0.06,
+			CorruptProb: 0.06,
+			// Bound the query round: during phase B an ALL query cannot
+			// gather the killed daemon's response and must force-complete
+			// (and certify down) instead of hanging its lane.
+			QueryTimeout: 250 * time.Millisecond,
+			RecoverWait:  time.Second,
+		},
+		Kill:        2,
+		PhaseA:      800 * time.Millisecond,
+		PhaseB:      700 * time.Millisecond,
+		PhaseC:      800 * time.Millisecond,
+		Pace:        60 * time.Millisecond,
+		ReadFrac:    0.6,
+		QueryLevels: []string{"one", "quorum", "all"},
+		// Worst case for an ALL query under the kill: QueryTimeout × the
+		// daemon's re-solicitation budget, well under this bound.
+		CallTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		if res != nil {
+			for i, log := range res.Logs {
+				t.Logf("daemon %d output:\n%s", i, log)
+			}
+		}
+		t.Fatal(err)
+	}
+	t.Logf("attempts=%d ok=%d unavailable=%d indeterminate=%d records=%d p50=%v p99=%v resets=%d corrupted=%d recoveries=%d",
+		res.Attempts, res.OK, res.Unavailable, res.Indeterminate, res.Records,
+		res.P50, res.P99, res.FaultResets, res.FaultCorrupted, res.Recoveries)
+
+	dump := func() {
+		for i, log := range res.Logs {
+			t.Logf("daemon %d output:\n%s", i, log)
+		}
+	}
+	if !res.Accepted {
+		dump()
+		t.Fatalf("merged mixed-level chaos history (%d records) rejected by the leveled checker", res.Records)
+	}
+	if res.OK == 0 {
+		dump()
+		t.Fatal("no operation completed")
+	}
+	if res.Recoveries < 1 {
+		dump()
+		t.Fatal("the killed daemon did not rejoin via checkpoint transfer")
+	}
+	if res.ServerErrors != 0 {
+		dump()
+		t.Fatalf("%d server errors on a well-formed workload", res.ServerErrors)
+	}
+}

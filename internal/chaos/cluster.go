@@ -48,6 +48,14 @@ type ClusterConfig struct {
 	// QueryTimeout bounds m-lin queries so a dead peer cannot hang
 	// survivors; ignored for "msc".
 	QueryTimeout time.Duration
+	// SlowNode, when FaultDelay > 0, starts that daemon with mocd's
+	// -faultdelay: every frame it sends to its peers carries the fixed
+	// extra latency. This is the one-slow-peer configuration E19
+	// measures the consistency levels against — an ALL query must wait
+	// out the slow daemon's response, a QUORUM query completes without
+	// it.
+	SlowNode   int
+	FaultDelay time.Duration
 	// RecoverWait bounds each daemon's startup checkpoint solicitation
 	// (mocd -recoverwait). Checkpoint responses ride the same faulty
 	// sockets as everything else, so a corrupted response is lost and
@@ -190,6 +198,9 @@ func (c *Cluster) start(id int) error {
 	}
 	if id == c.cfg.PartitionNode && c.cfg.Partitions != "" {
 		args = append(args, "-partitions", c.cfg.Partitions)
+	}
+	if id == c.cfg.SlowNode && c.cfg.FaultDelay > 0 {
+		args = append(args, "-faultdelay", c.cfg.FaultDelay.String())
 	}
 	if c.cfg.Consistency == "mlin" && c.cfg.QueryTimeout > 0 {
 		args = append(args,

@@ -1,0 +1,71 @@
+package checker
+
+import (
+	"fmt"
+
+	"moc/internal/history"
+)
+
+// MixedResult is the outcome of MixedLevels.
+type MixedResult struct {
+	// Consistent is true when both component checks accept.
+	Consistent bool
+	// Full is the m-sequential-consistency verdict over the whole
+	// history (every level guarantees at least m-SC).
+	Full Result
+	// Strong is the m-linearizability verdict over the restriction to
+	// update m-operations and strong-level queries (quorum, all, and
+	// level-less legacy operations). Zero-valued when the full check
+	// already failed.
+	Strong Result
+	// StrongOps counts the m-operations of the strong restriction
+	// (excluding the initial m-operation).
+	StrongOps int
+}
+
+// MixedLevels decides consistency of a history whose queries carry
+// per-request consistency levels, by composing the unchanged exact
+// deciders (DESIGN.md §9):
+//
+//   - the full history — every operation, whatever its level — must be
+//     m-sequentially consistent: ONE reads are served from a replica
+//     that applies the one global total order of updates, and the
+//     session floor keeps strong and weak reads of one process
+//     mutually monotonic;
+//   - the restriction to updates and strong-level queries (certified
+//     quorum or all, plus level-less legacy operations) must be
+//     m-linearizable: those reads paid for the real-time guarantee.
+//
+// The restriction is always reads-from closed because only updates
+// write. Queries certified LevelOne — requested ONE, or force-completed
+// below a majority — appear only in the m-SC check.
+func MixedLevels(h *history.History) (MixedResult, error) {
+	full, err := MSequentiallyConsistent(h)
+	if err != nil {
+		return MixedResult{}, fmt.Errorf("checker: mixed levels: full m-SC check: %w", err)
+	}
+	if !full.Admissible {
+		return MixedResult{Full: full}, nil
+	}
+
+	strong := make([]history.ID, 0, h.Len())
+	for _, m := range h.MOps()[1:] {
+		if m.IsUpdate() || m.Level.Strong() {
+			strong = append(strong, m.ID)
+		}
+	}
+	sub, _, err := h.Restrict(strong)
+	if err != nil {
+		return MixedResult{Full: full}, fmt.Errorf("checker: mixed levels: restrict to strong subset: %w", err)
+	}
+	strongRes, err := MLinearizable(sub)
+	if err != nil {
+		return MixedResult{Full: full}, fmt.Errorf("checker: mixed levels: strong m-lin check: %w", err)
+	}
+	return MixedResult{
+		Consistent: strongRes.Admissible,
+		Full:       full,
+		Strong:     strongRes,
+		StrongOps:  len(strong),
+	}, nil
+}

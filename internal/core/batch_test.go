@@ -135,9 +135,9 @@ func TestPipelinedUpdatesVerified(t *testing.T) {
 					defer wg.Done()
 					futs := make([]*Future, 0, 2*inflight)
 					for j := 0; j < 2*inflight; j++ {
-						f, err := p.ExecuteAsync(mop.WriteOp{X: object.ID(j % 3), V: object.Value(10*i + j)})
+						f, err := p.ExecAsync(mop.WriteOp{X: object.ID(j % 3), V: object.Value(10*i + j)}, ExecOptions{})
 						if err != nil {
-							t.Errorf("proc %d ExecuteAsync: %v", i, err)
+							t.Errorf("proc %d ExecAsync: %v", i, err)
 							return
 						}
 						futs = append(futs, f)
@@ -215,9 +215,9 @@ func TestBatchedPipelinedChaos(t *testing.T) {
 			defer wg.Done()
 			var futs []*Future
 			for j := 0; j < 8; j++ {
-				f, err := p.ExecuteAsync(mop.WriteOp{X: object.ID(j % 3), V: object.Value(100*i + j)})
+				f, err := p.ExecAsync(mop.WriteOp{X: object.ID(j % 3), V: object.Value(100*i + j)}, ExecOptions{})
 				if err != nil {
-					t.Errorf("proc %d ExecuteAsync: %v", i, err)
+					t.Errorf("proc %d ExecAsync: %v", i, err)
 					return
 				}
 				futs = append(futs, f)

@@ -174,9 +174,52 @@ type Config struct {
 	RecordSink func(mop.Record)
 }
 
-// executor abstracts the two protocol implementations.
+// Level is the per-request consistency level of the unified Exec entry
+// point (re-exported from internal/history, where the checkers consume
+// it). The zero level requests the store's default: the full guarantee
+// of its configured consistency condition.
+type Level = history.Level
+
+// Per-request consistency levels.
+const (
+	// One reads only the issuing process's local replica (m-SC
+	// guarantee; the Figure 4 query rule).
+	One = history.LevelOne
+	// Quorum completes a query once a majority ⌈(n+1)/2⌉ of replicas
+	// answered (m-linearizable stores only).
+	Quorum = history.LevelQuorum
+	// All waits for every replica — the Figure 6 rule and the default
+	// for m-linearizable stores.
+	All = history.LevelAll
+)
+
+// ExecOptions carries the per-request knobs of Exec (re-exported from
+// internal/mop, where the protocols consume it).
+type ExecOptions = mop.ExecOptions
+
+// Result is what an executed m-operation returns: the procedure's value
+// plus the consistency metadata of the execution — which level was
+// actually delivered, which replicas answered, and whether the
+// requested level's contract was met.
+type Result struct {
+	// Value is the procedure's return value.
+	Value any
+	// Level is the certified consistency level: the strongest level the
+	// responder count actually supports. Equal to the requested level
+	// unless the query was force-completed short of it.
+	Level Level
+	// Responders lists, ascending, the processes whose replica state the
+	// operation observed. Nil for updates.
+	Responders []int
+	// IsConsistent reports whether the requested level's contract was
+	// met (always true for ONE and for updates).
+	IsConsistent bool
+}
+
+// executor abstracts the protocol implementations behind the unified
+// options-struct entry point.
 type executor interface {
-	Execute(proc int, pr mop.Procedure) (mop.Record, error)
+	Exec(proc int, pr mop.Procedure, opts mop.ExecOptions) (mop.Record, error)
 	Close()
 }
 
@@ -184,8 +227,8 @@ type executor interface {
 type awaitFunc func() (mop.Record, error)
 
 // submitFunc issues one update m-operation without waiting (the msc and
-// mlin ExecuteAsync paths, adapted to a common shape).
-type submitFunc func(proc int, pr mop.Procedure) (awaitFunc, error)
+// mlin ExecAsync paths, adapted to a common shape).
+type submitFunc func(proc int, pr mop.Procedure, opts mop.ExecOptions) (awaitFunc, error)
 
 // Store is a replicated multi-object shared memory.
 type Store struct {
@@ -219,13 +262,13 @@ type Store struct {
 
 // Process is a handle to one process of the store. By default each
 // process executes one m-operation at a time (Section 2.1); concurrent
-// Execute calls on the same Process are serialized. With
+// Exec calls on the same Process are serialized. With
 // Config.MaxInflight > 1, up to that many update m-operations may be
-// outstanding concurrently via ExecuteAsync (or concurrent Execute
-// calls): each outstanding slot is an issuing lane, and an operation
-// completing on lane l > 0 is recorded under the virtual process id
-// id + l*Procs, so every lane remains a sequential thread of control
-// and recorded histories stay well-formed.
+// outstanding concurrently via ExecAsync (or concurrent Exec calls):
+// each outstanding slot is an issuing lane, and an operation completing
+// on lane l > 0 is recorded under the virtual process id id + l*Procs,
+// so every lane remains a sequential thread of control and recorded
+// histories stay well-formed.
 type Process struct {
 	store *Store
 	id    int
@@ -234,15 +277,16 @@ type Process struct {
 	lanes chan int
 }
 
-// Future is the pending completion of an ExecuteAsync call.
+// Future is the pending completion of an ExecAsync call.
 type Future struct {
 	done   chan struct{}
-	result any
+	result Result
 	err    error
 }
 
-// Wait blocks until the operation completes and returns its result.
-func (f *Future) Wait() (any, error) {
+// Wait blocks until the operation completes and returns its result with
+// the execution's consistency metadata.
+func (f *Future) Wait() (Result, error) {
 	<-f.done
 	return f.result, f.err
 }
@@ -396,8 +440,8 @@ func New(cfg Config) (*Store, error) {
 		})
 		if err == nil {
 			s.exec = p
-			s.submit = func(proc int, pr mop.Procedure) (awaitFunc, error) {
-				ch, err := p.ExecuteAsync(proc, pr)
+			s.submit = func(proc int, pr mop.Procedure, opts mop.ExecOptions) (awaitFunc, error) {
+				ch, err := p.ExecAsync(proc, pr, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -415,8 +459,8 @@ func New(cfg Config) (*Store, error) {
 		})
 		if err == nil {
 			s.exec, s.mlinImpl = p, p
-			s.submit = func(proc int, pr mop.Procedure) (awaitFunc, error) {
-				ch, err := p.ExecuteAsync(proc, pr)
+			s.submit = func(proc int, pr mop.Procedure, opts mop.ExecOptions) (awaitFunc, error) {
+				ch, err := p.ExecAsync(proc, pr, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -744,26 +788,28 @@ func (s *Store) NetStats() network.Stats {
 	return st
 }
 
-// Execute runs pr as an m-operation of this process and returns its
-// result. With the default MaxInflight of 1 concurrent calls serialize
-// on the single issuing lane, preserving the one-operation-at-a-time
-// contract; with more lanes they pipeline.
-func (p *Process) Execute(pr mop.Procedure) (any, error) {
-	f, err := p.ExecuteAsync(pr)
+// Exec runs pr as an m-operation of this process and returns its
+// result with the execution's consistency metadata. opts.Level selects
+// the per-request consistency level for queries (the zero options value
+// keeps the store's full guarantee). With the default MaxInflight of 1
+// concurrent calls serialize on the single issuing lane, preserving the
+// one-operation-at-a-time contract; with more lanes they pipeline.
+func (p *Process) Exec(pr mop.Procedure, opts ExecOptions) (Result, error) {
+	f, err := p.ExecAsync(pr, opts)
 	if err != nil {
-		return nil, err
+		return Result{}, err
 	}
 	return f.Wait()
 }
 
-// ExecuteAsync issues pr without waiting for its response. The call
+// ExecAsync issues pr without waiting for its response. The call
 // blocks only while every issuing lane is occupied (MaxInflight
 // operations already outstanding); the returned Future resolves when
 // the operation's response event occurs. An operation in flight on
 // lane l > 0 is recorded under the virtual process id id + l*Procs —
 // each lane is a sequential thread of control, so histories with
 // pipelining remain well-formed and checkable.
-func (p *Process) ExecuteAsync(pr mop.Procedure) (*Future, error) {
+func (p *Process) ExecAsync(pr mop.Procedure, opts ExecOptions) (*Future, error) {
 	s := p.store
 	if s.closed.Load() {
 		return nil, ErrClosed
@@ -786,7 +832,12 @@ func (p *Process) ExecuteAsync(pr mop.Procedure) (*Future, error) {
 				rec.Proc = p.id + lane*s.cfg.Procs
 			}
 			s.noteEnd(rec)
-			f.result = rec.Result
+			f.result = Result{
+				Value:        rec.Result,
+				Level:        rec.Level,
+				Responders:   rec.Responders,
+				IsConsistent: rec.IsConsistent,
+			}
 		}
 		p.lanes <- lane
 		close(f.done)
@@ -796,7 +847,7 @@ func (p *Process) ExecuteAsync(pr mop.Procedure) (*Future, error) {
 	// executor has one: issuance happens here (so broadcast order follows
 	// call order), only the wait is deferred.
 	if s.submit != nil && pr.MayWrite() {
-		wait, err := s.submit(p.id, pr)
+		wait, err := s.submit(p.id, pr, opts)
 		if err != nil {
 			s.noteEnd(nil)
 			p.lanes <- lane
@@ -812,7 +863,7 @@ func (p *Process) ExecuteAsync(pr mop.Procedure) (*Future, error) {
 	// Queries (and executors without a submit path) run synchronously in
 	// the completion goroutine, still occupying the lane.
 	go func() {
-		rec, err := s.exec.Execute(p.id, pr)
+		rec, err := s.exec.Exec(p.id, pr, opts)
 		finish(&rec, err)
 	}()
 	return f, nil
@@ -836,72 +887,73 @@ func (s *Store) noteEnd(rec *mop.Record) {
 	}
 }
 
-// Convenience operations built on Execute.
+// Convenience operations built on Exec. Each takes the store's default
+// level; use Exec directly for per-request levels.
 
 // Read atomically reads one object.
 func (p *Process) Read(x object.ID) (object.Value, error) {
-	res, err := p.Execute(mop.ReadOp{X: x})
+	res, err := p.Exec(mop.ReadOp{X: x}, ExecOptions{})
 	if err != nil {
 		return 0, err
 	}
-	return res.(object.Value), nil
+	return res.Value.(object.Value), nil
 }
 
 // Write atomically writes one object.
 func (p *Process) Write(x object.ID, v object.Value) error {
-	_, err := p.Execute(mop.WriteOp{X: x, V: v})
+	_, err := p.Exec(mop.WriteOp{X: x, V: v}, ExecOptions{})
 	return err
 }
 
 // MultiRead atomically reads several objects.
 func (p *Process) MultiRead(xs ...object.ID) ([]object.Value, error) {
-	res, err := p.Execute(mop.MultiRead{Xs: xs})
+	res, err := p.Exec(mop.MultiRead{Xs: xs}, ExecOptions{})
 	if err != nil {
 		return nil, err
 	}
-	return res.([]object.Value), nil
+	return res.Value.([]object.Value), nil
 }
 
 // Sum atomically sums several objects.
 func (p *Process) Sum(xs ...object.ID) (object.Value, error) {
-	res, err := p.Execute(mop.Sum{Xs: xs})
+	res, err := p.Exec(mop.Sum{Xs: xs}, ExecOptions{})
 	if err != nil {
 		return 0, err
 	}
-	return res.(object.Value), nil
+	return res.Value.(object.Value), nil
 }
 
 // MAssign atomically writes several objects.
 func (p *Process) MAssign(writes map[object.ID]object.Value) error {
-	_, err := p.Execute(mop.MAssign{Writes: writes})
+	_, err := p.Exec(mop.MAssign{Writes: writes}, ExecOptions{})
 	return err
 }
 
 // CAS atomically compare-and-swaps one object.
 func (p *Process) CAS(x object.ID, old, new object.Value) (bool, error) {
-	res, err := p.Execute(mop.CAS{X: x, Old: old, New: new})
+	res, err := p.Exec(mop.CAS{X: x, Old: old, New: new}, ExecOptions{})
 	if err != nil {
 		return false, err
 	}
-	return res.(bool), nil
+	return res.Value.(bool), nil
 }
 
 // DCAS atomically double-compare-and-swaps two objects (Section 1).
 func (p *Process) DCAS(x1, x2 object.ID, old1, old2, new1, new2 object.Value) (bool, error) {
-	res, err := p.Execute(mop.DCAS{X1: x1, X2: x2, Old1: old1, Old2: old2, New1: new1, New2: new2})
+	res, err := p.Exec(mop.DCAS{X1: x1, X2: x2, Old1: old1, Old2: old2, New1: new1, New2: new2}, ExecOptions{})
 	if err != nil {
 		return false, err
 	}
-	return res.(bool), nil
+	return res.Value.(bool), nil
 }
 
 // Transfer atomically moves amount between two objects if funds suffice.
 func (p *Process) Transfer(from, to object.ID, amount object.Value) (bool, error) {
-	res, err := p.Execute(mop.Transfer{From: from, To: to, Amount: amount})
+	res, err := p.Exec(mop.Transfer{From: from, To: to, Amount: amount}, ExecOptions{})
 	if err != nil {
 		return false, err
 	}
-	return res.(bool), nil
+	return res.Value.(bool), nil
 }
 
 // VerifyResult reports the outcome of Verify.
@@ -999,6 +1051,29 @@ func (s *Store) VerifyExact() (VerifyResult, error) {
 		}
 		return VerifyResult{OK: res.Admissible, Witness: res.Witness, History: h}, nil
 	}
+}
+
+// VerifyLeveled re-checks a mixed-level execution with the exact
+// deciders: the full history against m-sequential consistency and the
+// restriction to updates plus strong-level queries against
+// m-linearizability (checker.MixedLevels). This is the verification
+// entry point for m-linearizable stores that served per-request levels;
+// for single-level runs it is equivalent to VerifyExact at the
+// corresponding condition.
+func (s *Store) VerifyLeveled() (VerifyResult, error) {
+	h, _, err := s.buildHistory()
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	res, err := checker.MixedLevels(h)
+	if err != nil {
+		return VerifyResult{History: h}, err
+	}
+	witness := res.Full.Witness
+	if res.Consistent {
+		witness = res.Strong.Witness
+	}
+	return VerifyResult{OK: res.Consistent, Witness: witness, History: h}, nil
 }
 
 // UpdateOrder returns the atomic-broadcast delivery order of the update

@@ -129,7 +129,7 @@ func TestSoakAllProtocols(t *testing.T) {
 								}
 								pr = mop.MAssign{Writes: writes}
 							}
-							if _, err := p.Execute(pr); err != nil {
+							if _, err := p.Exec(pr, ExecOptions{}); err != nil {
 								errCh <- err
 								return
 							}

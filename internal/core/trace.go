@@ -70,6 +70,10 @@ func buildFromRecords(reg *object.Registry, recs []mop.Record) (*history.History
 	ids := make([]history.ID, len(recs))
 	for i, rec := range recs {
 		ids[i] = b.Add(rec.Proc, rec.Inv, rec.Resp, rec.Ops...)
+		// The certified per-request consistency level rides into the
+		// history so the leveled checker can hold each query to the
+		// condition it was actually served at.
+		b.SetLevel(ids[i], rec.Level)
 	}
 
 	// Collect the globally-ordered updates (broadcast protocols stamp a

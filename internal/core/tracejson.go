@@ -40,6 +40,12 @@ type TraceRecord struct {
 	Footprint []int     `json:"footprint"`
 	Inv       int64     `json:"inv"`
 	Resp      int64     `json:"resp"`
+	// Level is the certified consistency level ("one", "quorum", "all");
+	// empty for level-less legacy records, which the checkers hold to the
+	// store's native condition.
+	Level      string `json:"level,omitempty"`
+	Responders []int  `json:"responders,omitempty"`
+	Consistent bool   `json:"consistent,omitempty"`
 }
 
 // TraceOp is the wire form of one read or write within an m-operation.
@@ -85,6 +91,8 @@ func toTraceRecord(rec mop.Record) TraceRecord {
 		Proc: rec.Proc, Update: rec.Update, Seq: rec.Seq,
 		TSStart: rec.TSStart, TSEnd: rec.TSEnd,
 		Inv: rec.Inv, Resp: rec.Resp,
+		Level: rec.Level.String(), Responders: rec.Responders,
+		Consistent: rec.IsConsistent,
 	}
 	for _, op := range rec.Ops {
 		wr.Ops = append(wr.Ops, TraceOp{Kind: op.Kind.String(), Obj: int(op.Obj), Val: op.Val})
@@ -97,10 +105,15 @@ func toTraceRecord(rec mop.Record) TraceRecord {
 
 // fromTraceRecord converts one wire record back to the raw form.
 func fromTraceRecord(wr TraceRecord) (mop.Record, error) {
+	level, err := history.ParseLevel(wr.Level)
+	if err != nil {
+		return mop.Record{}, fmt.Errorf("core: trace record: %w", err)
+	}
 	rec := mop.Record{
 		Proc: wr.Proc, Update: wr.Update, Seq: wr.Seq,
 		TSStart: timestamp.TS(wr.TSStart), TSEnd: timestamp.TS(wr.TSEnd),
 		Inv: wr.Inv, Resp: wr.Resp,
+		Level: level, Responders: wr.Responders, IsConsistent: wr.Consistent,
 	}
 	for _, op := range wr.Ops {
 		switch op.Kind {

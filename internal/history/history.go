@@ -309,6 +309,18 @@ func (b *Builder) AddLabeled(label string, proc int, inv, resp int64, ops ...Op)
 	return id
 }
 
+// SetLevel records the certified consistency level of an m-operation
+// added earlier. Leaving a level unset keeps LevelDefault.
+func (b *Builder) SetLevel(id ID, level Level) {
+	if id <= 0 || int(id) >= len(b.mops) {
+		if b.err == nil {
+			b.err = fmt.Errorf("history: SetLevel: invalid id %d", int(id))
+		}
+		return
+	}
+	b.mops[id].Level = level
+}
+
 // SetReadsFrom records that reader reads object x from writer, overriding
 // inference for that pair.
 func (b *Builder) SetReadsFrom(reader ID, x object.ID, writer ID) {

@@ -22,6 +22,7 @@ type jsonMOp struct {
 	ID    int      `json:"id"`
 	Proc  int      `json:"proc"`
 	Label string   `json:"label,omitempty"`
+	Level string   `json:"level,omitempty"`
 	Inv   int64    `json:"inv"`
 	Resp  int64    `json:"resp"`
 	Ops   []jsonOp `json:"ops"`
@@ -44,7 +45,7 @@ type jsonHistory struct {
 func (h *History) MarshalJSON() ([]byte, error) {
 	out := jsonHistory{Objects: h.reg.Names()}
 	for _, m := range h.mops[1:] {
-		jm := jsonMOp{ID: int(m.ID), Proc: m.Proc, Label: m.Label, Inv: m.Inv, Resp: m.Resp}
+		jm := jsonMOp{ID: int(m.ID), Proc: m.Proc, Label: m.Label, Level: m.Level.String(), Inv: m.Inv, Resp: m.Resp}
 		for _, op := range m.Ops {
 			jm.Ops = append(jm.Ops, jsonOp{Kind: op.Kind.String(), Obj: h.reg.Name(op.Obj), Value: op.Val})
 		}
@@ -87,7 +88,12 @@ func DecodeJSON(data []byte) (*History, error) {
 				return nil, fmt.Errorf("history: decode: m-operation %d has invalid op kind %q", jm.ID, jop.Kind)
 			}
 		}
+		level, err := ParseLevel(jm.Level)
+		if err != nil {
+			return nil, fmt.Errorf("history: decode: m-operation %d: %w", jm.ID, err)
+		}
 		id := b.AddLabeled(jm.Label, jm.Proc, jm.Inv, jm.Resp, ops...)
+		b.SetLevel(id, level)
 		if int(id) != i+1 {
 			return nil, fmt.Errorf("history: decode: unexpected id assignment %d for input %d", int(id), jm.ID)
 		}

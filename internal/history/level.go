@@ -1,0 +1,82 @@
+package history
+
+import "fmt"
+
+// Level is a per-request consistency level: how many replicas a query
+// m-operation consulted before responding. Levels form a lattice over
+// the paper's conditions (see DESIGN.md §9, after Hu et al.'s unified
+// consistency-level model):
+//
+//   - LevelOne reads only the issuer's local replica — the Figure 4
+//     query rule — so a history of ONE queries is m-sequentially
+//     consistent.
+//   - LevelQuorum completes once a majority ⌈(n+1)/2⌉ of replicas
+//     answered (SC-ABD-style), merging the freshest version per object.
+//   - LevelAll is the Figure 6 rule: every replica answers, giving
+//     m-linearizability.
+//
+// Updates always carry LevelAll: they complete through the atomic
+// broadcast's single total order regardless of the requested level.
+//
+// A history records the *certified* level of each m-operation: the
+// level whose guarantee the protocol actually delivered. A QUORUM or
+// ALL query that was force-completed below its required responder
+// count (crash, timeout) is certified LevelOne, so the checkers never
+// hold a degraded read to the stronger condition.
+type Level int
+
+// Consistency levels.
+const (
+	// LevelDefault marks m-operations recorded before levels existed
+	// (and protocol-internal paths that take the store's default). It is
+	// checked at the store's native condition — for m-lin stores that is
+	// the same as LevelAll.
+	LevelDefault Level = iota
+	// LevelOne: local read, m-sequential guarantee.
+	LevelOne
+	// LevelQuorum: majority read, m-linearizable when the quorum covers
+	// the freshest completed update (see DESIGN.md §9).
+	LevelQuorum
+	// LevelAll: all replicas read, m-linearizable.
+	LevelAll
+)
+
+// String renders the level in its wire spelling.
+func (l Level) String() string {
+	switch l {
+	case LevelDefault:
+		return ""
+	case LevelOne:
+		return "one"
+	case LevelQuorum:
+		return "quorum"
+	case LevelAll:
+		return "all"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ParseLevel parses the wire spelling of a level. The empty string is
+// LevelDefault, so level-less requests from old clients keep their
+// pre-level semantics.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "":
+		return LevelDefault, nil
+	case "one":
+		return LevelOne, nil
+	case "quorum":
+		return LevelQuorum, nil
+	case "all":
+		return LevelAll, nil
+	default:
+		return LevelDefault, fmt.Errorf("history: unknown consistency level %q", s)
+	}
+}
+
+// Strong reports whether the level claims the m-linearizable guarantee
+// (the store's native condition for m-lin stores). LevelDefault is
+// strong: histories recorded before levels existed were checked against
+// the store's full condition, and that must not weaken.
+func (l Level) Strong() bool { return l != LevelOne }

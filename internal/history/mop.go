@@ -107,6 +107,11 @@ type MOp struct {
 	Inv   int64
 	Resp  int64
 
+	// Level is the certified consistency level of the m-operation: the
+	// level whose guarantee the protocol actually delivered (see Level).
+	// LevelDefault for histories recorded before levels existed.
+	Level Level
+
 	// Derived sets, computed once by finalize: the paper's objects(α),
 	// wobjects(α) and the set of objects read externally (reads not
 	// preceded by the m-operation's own write to the same object —

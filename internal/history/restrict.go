@@ -50,6 +50,7 @@ func (h *History) Restrict(ids []ID) (*History, map[ID]ID, error) {
 	for _, id := range ordered {
 		m := h.mops[id]
 		mapping[id] = b.AddLabeled(m.Label, m.Proc, m.Inv, m.Resp, m.Ops...)
+		b.SetLevel(mapping[id], m.Level)
 	}
 	for _, id := range ordered {
 		for x, src := range h.readsFrom[id] {

@@ -22,6 +22,48 @@
 // only the relevant copies of the shared objects and their timestamp is
 // sent" — is implemented as the RelevantOnly option and measured by
 // experiment E9.
+//
+// # Consistency levels
+//
+// Exec takes a per-request consistency level that tunes step A6's
+// completion rule (DESIGN.md §9):
+//
+//   - history.LevelAll (and LevelDefault) is Figure 6 verbatim: wait
+//     for all Procs responses.
+//   - history.LevelQuorum completes once a majority ⌈(n+1)/2⌉ has
+//     answered (the SC-ABD read rule), so one slow or crashed peer no
+//     longer sets the query latency floor.
+//   - history.LevelOne skips the query round entirely and reads the
+//     issuer's local copy — the Figure 4 (m-SC) query rule.
+//
+// QUORUM reads are only m-linearizable if updates carry a matching
+// write phase: Figure 6 completes an update at the issuer's own apply,
+// which is sound when every query solicits every process (the issuer
+// itself always answers) but not when a majority suffices — a read
+// majority avoiding the issuer could miss a completed update. So, as in
+// SC-ABD, every replica acknowledges each apply back to the update's
+// issuer, and the update responds only once a majority (the issuer's
+// apply included) has acknowledged. Any read majority then intersects
+// the write majority, and the componentwise-max merge of snapshots of
+// prefixes of one total order recovers the longest prefix — no
+// completed update can be missed at QUORUM or ALL. The write phase
+// costs n-1 small acks per update on the query network and defers the
+// update's response to one extra one-way delay past the second-fastest
+// replica's apply; it does not delay the applies themselves, which the
+// broadcast drives independently.
+//
+// Two mechanisms keep mixed-level histories coherent. First, every
+// completed query folds the issuer's own replica into the merged copy,
+// so no query — however few peers answered — ever reads state older
+// than its issuer's. Second, each process keeps a session floor: the
+// largest total-order prefix any of its completed queries has observed
+// (responses advertise their replica's applied count). A later query at
+// the same process waits until it covers that floor — locally applied
+// updates for ONE, max(responses, local) for QUORUM/ALL — which
+// restores per-process monotonicity when strong and weak reads
+// interleave; without it, a ONE read issued after a fresh QUORUM read
+// could observe an older local replica and the merged history would not
+// even be m-sequentially consistent.
 package mlin
 
 import (
@@ -32,6 +74,7 @@ import (
 	"time"
 
 	"moc/internal/abcast"
+	"moc/internal/history"
 	"moc/internal/mop"
 	"moc/internal/network"
 	"moc/internal/object"
@@ -58,14 +101,14 @@ type Config struct {
 	// footprint (Section 5.2's final optimization); otherwise whole
 	// copies are shipped, exactly as in Figure 6.
 	RelevantOnly bool
-	// QueryTimeout bounds how long a query waits for the full response
-	// set. Zero keeps Figure 6's unbounded wait-for-all. With a bound,
-	// the query re-solicits the missing processes up to QueryRetries
-	// times and then completes with the responses gathered — safe under
+	// QueryTimeout bounds how long a query waits for its response set.
+	// Zero keeps Figure 6's unbounded wait. With a bound, the query
+	// re-solicits the missing processes up to QueryRetries times and
+	// then completes with the responses gathered — safe under
 	// crash-stop because every update is applied at all live processes,
 	// so any response set that includes one live process per relevant
-	// update (the issuer always responds to itself) carries the freshest
-	// versions; see DESIGN.md.
+	// update (the issuer's replica is always folded in) carries the
+	// freshest versions; see DESIGN.md.
 	QueryTimeout time.Duration
 	// QueryRetries is the number of re-solicitations before a bounded
 	// query completes partially. Ignored when QueryTimeout is zero.
@@ -98,17 +141,31 @@ type procState struct {
 	// recovery checkpoint advances it past a crash outage and the
 	// delivery loop skips redelivered updates below it.
 	applied int64
+	// floor is the session floor: the largest applied prefix any
+	// completed query of this process has observed. Later queries wait
+	// until they cover it (see the package comment), so a weak read
+	// issued after a strong one can never travel backwards in the total
+	// order. cond (on mu) is broadcast whenever applied advances.
+	floor int64
+	cond  *sync.Cond
 }
 
 type queryState struct {
-	othX    []object.Value
-	othts   timestamp.TS
+	othX  []object.Value
+	othts timestamp.TS
+	// need is the number of responses that completes the query (Procs
+	// for ALL, a majority for QUORUM); waiting counts down from it.
+	need    int
 	waiting int
-	// responded marks which processes have already answered, so the
-	// duplicate responses that re-solicitation provokes are merged (and
-	// counted) at most once per process.
+	// responded marks which processes have been merged into othX/othts,
+	// so the duplicate responses that re-solicitation provokes are
+	// merged (and counted) at most once per process — and so the
+	// completed query can report exactly which replicas it observed.
 	responded []bool
-	done      chan struct{}
+	// respApplied is the largest applied count advertised by any merged
+	// response: the total-order prefix the merged copy is known to cover.
+	respApplied int64
+	done        chan struct{}
 }
 
 // The wire payload types below carry exported fields so a serializing
@@ -120,19 +177,24 @@ type updatePayload struct {
 	Proc  mop.Procedure
 }
 
-// Outcome is the completion of an asynchronously issued update: the
-// record (Inv/Resp stamped) or the error that aborted it.
-type Outcome struct {
-	Rec mop.Record
-	Err error
-}
-
-// pendingUpdate tracks one in-flight update from issuance (A1) to the
-// issuer's apply (A2): the completion channel and the invocation
-// timestamp captured at submit time.
+// pendingUpdate tracks one in-flight update from issuance (A1) through
+// the write quorum: the completion channel, the invocation timestamp
+// captured at submit time, and the write-phase state — the outcome of
+// the issuer's own apply (A2) plus the set of replicas known to have
+// applied the update. The update responds only once a majority has
+// (the SC-ABD write rule); see the package comment.
 type pendingUpdate struct {
-	done chan Outcome
+	done chan mop.Outcome
 	inv  int64
+	// rec/applyErr hold the issuer-apply outcome until the ack count
+	// reaches a majority; applied marks that they are set.
+	rec      mop.Record
+	applyErr error
+	applied  bool
+	// ackFrom marks replicas whose apply of this update is known (the
+	// issuer's own apply counts), so duplicate acks are counted once.
+	ackFrom []bool
+	acks    int
 }
 
 type queryMsg struct {
@@ -140,14 +202,30 @@ type queryMsg struct {
 	Objs  []object.ID // nil means "send everything" (Figure 6 verbatim)
 }
 
+// applyAck is the write-phase acknowledgement (SC-ABD's write round):
+// process From has applied — or holds a checkpoint subsuming — the
+// update the issuer submitted as ReqID. The issuer completes the update
+// once a majority of replicas (its own apply included) has acknowledged,
+// which is what entitles QUORUM queries to m-linearizability: any read
+// majority intersects the write majority, so at least one responder's
+// snapshot carries the update.
+type applyAck struct {
+	ReqID int64
+	From  int
+}
+
 type queryResp struct {
 	ReqID  int64
 	Objs   []object.ID // objects covered (all, in whole-copy mode)
 	Values []object.Value
 	TS     []int64
+	// Applied is the responder's applied update count at snapshot time:
+	// the total-order prefix its copy reflects. The issuer uses the max
+	// over merged responses to maintain its session floor.
+	Applied int64
 }
 
-// ErrClosed is returned by Execute after Close.
+// ErrClosed is returned by Exec after Close.
 var ErrClosed = errors.New("mlin: protocol closed")
 
 // New starts the protocol: a delivery loop (A2) and a message loop
@@ -180,12 +258,14 @@ func New(cfg Config) (*Protocol, error) {
 		stop:   make(chan struct{}),
 	}
 	for i := range p.states {
-		p.states[i] = &procState{
+		st := &procState{
 			values:  make([]object.Value, cfg.Reg.Len()),
 			ts:      timestamp.New(cfg.Reg.Len()),
 			pendUpd: make(map[int64]*pendingUpdate),
 			pendQry: make(map[int64]*queryState),
 		}
+		st.cond = sync.NewCond(&st.mu)
+		p.states[i] = st
 	}
 	for i := 0; i < cfg.Procs; i++ {
 		p.wg.Add(1)
@@ -196,16 +276,31 @@ func New(cfg Config) (*Protocol, error) {
 	return p, nil
 }
 
-// Execute runs procedure pr as an m-operation of process proc and blocks
-// until the response event. Each sequential thread of control
+// quorum is the majority responder count ⌈(n+1)/2⌉.
+func (p *Protocol) quorum() int { return p.cfg.Procs/2 + 1 }
+
+// need returns the responder count that completes a query at the given
+// level (the level has already been validated).
+func (p *Protocol) need(level history.Level) int {
+	if level == history.LevelQuorum {
+		return p.quorum()
+	}
+	return p.cfg.Procs
+}
+
+// Exec runs procedure pr as an m-operation of process proc and blocks
+// until the response event. Updates ignore opts.Level: they always flow
+// through the atomic broadcast. Queries complete per opts.Level — ONE
+// reads the local copy, QUORUM waits for a majority, ALL (and the zero
+// level) for every process. Each sequential thread of control
 // corresponds to one caller; distinct callers may share a process id
-// concurrently only through ExecuteAsync's pipelined update path (the
+// concurrently only through ExecAsync's pipelined update path (the
 // store layer keeps their recorded histories well-formed by modelling
 // each issuing lane as its own process). Queries remain safe to issue
 // concurrently with in-flight updates.
-func (p *Protocol) Execute(proc int, pr mop.Procedure) (mop.Record, error) {
+func (p *Protocol) Exec(proc int, pr mop.Procedure, opts mop.ExecOptions) (mop.Record, error) {
 	if pr.MayWrite() {
-		done, err := p.ExecuteAsync(proc, pr)
+		done, err := p.ExecAsync(proc, pr, opts)
 		if err != nil {
 			return mop.Record{}, err
 		}
@@ -222,17 +317,26 @@ func (p *Protocol) Execute(proc int, pr mop.Procedure) (mop.Record, error) {
 	if proc < 0 || proc >= p.cfg.Procs {
 		return mop.Record{}, fmt.Errorf("mlin: invalid process %d", proc)
 	}
-	return p.executeQuery(proc, pr)
+	switch opts.Level {
+	case history.LevelDefault, history.LevelOne, history.LevelQuorum, history.LevelAll:
+	default:
+		return mop.Record{}, fmt.Errorf("mlin: invalid consistency level %d", int(opts.Level))
+	}
+	if opts.Level == history.LevelOne {
+		return p.executeLocalQuery(proc, pr)
+	}
+	return p.executeQuery(proc, pr, opts.Level)
 }
 
-// ExecuteAsync submits an update m-operation (A1, identical to the m-SC
-// protocol) without waiting for the issuer's apply (A2) and returns a
-// one-shot completion channel: the pipelined issuance path. Any number
-// of updates may be in flight per process; the broadcast order fixes
-// their relative order, and each completes with Inv stamped at
-// submission and Resp at local apply. Close fulfills every
-// still-pending completion with ErrClosed.
-func (p *Protocol) ExecuteAsync(proc int, pr mop.Procedure) (<-chan Outcome, error) {
+// ExecAsync submits an update m-operation (A1, the same broadcast the
+// m-SC protocol issues) without waiting for its completion and returns
+// a one-shot completion channel: the pipelined issuance path. Any
+// number of updates may be in flight per process; the broadcast order
+// fixes their relative order, and each completes with Inv stamped at
+// submission and Resp once a majority of replicas has acknowledged
+// applying it (the write quorum — see the package comment). Close
+// fulfills every still-pending completion with ErrClosed.
+func (p *Protocol) ExecAsync(proc int, pr mop.Procedure, opts mop.ExecOptions) (<-chan mop.Outcome, error) {
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -240,11 +344,15 @@ func (p *Protocol) ExecuteAsync(proc int, pr mop.Procedure) (<-chan Outcome, err
 		return nil, fmt.Errorf("mlin: invalid process %d", proc)
 	}
 	if !pr.MayWrite() {
-		return nil, errors.New("mlin: ExecuteAsync requires an update m-operation")
+		return nil, errors.New("mlin: ExecAsync requires an update m-operation")
 	}
 	st := p.states[proc]
 	reqID := p.nextID.Add(1)
-	pu := &pendingUpdate{done: make(chan Outcome, 1), inv: p.cfg.Clock()}
+	pu := &pendingUpdate{
+		done:    make(chan mop.Outcome, 1),
+		inv:     p.cfg.Clock(),
+		ackFrom: make([]bool, p.cfg.Procs),
+	}
 	st.mu.Lock()
 	st.pendUpd[reqID] = pu
 	st.mu.Unlock()
@@ -258,15 +366,62 @@ func (p *Protocol) ExecuteAsync(proc int, pr mop.Procedure) (<-chan Outcome, err
 	return pu.done, nil
 }
 
-// executeQuery implements A3 + A6: broadcast a "query", wait until every
-// process has answered, then read the merged freshest copy.
-func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) {
+// executeLocalQuery is the ONE level: the Figure 4 query rule applied to
+// this protocol's replica. It waits out the session floor (a completed
+// strong read may have observed updates the local copy has not applied
+// yet), then reads the local copy — no query round, no network.
+func (p *Protocol) executeLocalQuery(proc int, pr mop.Procedure) (mop.Record, error) {
+	st := p.states[proc]
+	inv := p.cfg.Clock()
+	st.mu.Lock()
+	for st.applied < st.floor && !p.closed.Load() {
+		st.cond.Wait()
+	}
+	if p.closed.Load() {
+		st.mu.Unlock()
+		return mop.Record{}, ErrClosed
+	}
+	if st.applied > st.floor {
+		st.floor = st.applied
+	}
+	tsStart := st.ts.Clone()
+	rec := mop.NewRecorder(st.values, pr)
+	result := pr.Run(rec)
+	tsEnd := st.ts.Clone()
+	st.mu.Unlock()
+	if err := rec.Err(); err != nil {
+		return mop.Record{}, err
+	}
+	return mop.Record{
+		Proc:         proc,
+		Update:       false,
+		Seq:          -1,
+		Ops:          rec.Ops(),
+		TSStart:      tsStart,
+		TSEnd:        tsEnd,
+		Footprint:    object.FullSet(p.cfg.Reg.Len()),
+		Inv:          inv,
+		Resp:         p.cfg.Clock(),
+		Result:       result,
+		Level:        history.LevelOne,
+		Responders:   []int{proc},
+		IsConsistent: true,
+	}, nil
+}
+
+// executeQuery implements A3 + A6 for the strong levels: broadcast a
+// "query", wait until the level's responder count has answered (all
+// processes for ALL/default, a majority for QUORUM), fold in the local
+// replica, then read the merged freshest copy.
+func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level) (mop.Record, error) {
 	st := p.states[proc]
 	reqID := p.nextID.Add(1)
+	need := p.need(level)
 	qs := &queryState{
 		othX:      make([]object.Value, p.cfg.Reg.Len()),
 		othts:     timestamp.New(p.cfg.Reg.Len()),
-		waiting:   p.cfg.Procs,
+		need:      need,
+		waiting:   need,
 		responded: make([]bool, p.cfg.Procs),
 		done:      make(chan struct{}),
 	}
@@ -293,9 +448,55 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) 
 	if err := p.awaitQuery(st, qs, proc, reqID, msg, bytes); err != nil {
 		return mop.Record{}, err
 	}
+
+	// Post-round bookkeeping, all under the replica lock: wait out the
+	// session floor, fold the local replica into the merged copy, and
+	// advance the floor to the prefix this query covers. The message loop
+	// no longer touches qs (waiting is 0), so its fields are stable.
+	covered := qs.respApplied
 	st.mu.Lock()
 	delete(st.pendQry, reqID)
+	for max64(qs.respApplied, st.applied) < st.floor && !p.closed.Load() {
+		st.cond.Wait()
+	}
+	if p.closed.Load() {
+		st.mu.Unlock()
+		return mop.Record{}, ErrClosed
+	}
+	// Fold in the issuer's own replica: componentwise max over snapshots
+	// of prefixes of one total order is the snapshot of the longest
+	// prefix, so the merged copy stays consistent and is never older
+	// than the local one — even when the self response was not among the
+	// first `need` merged. In relevant-only mode only the footprint's
+	// entries are meaningful, so only those are folded.
+	var fold []object.ID
+	if p.cfg.RelevantOnly {
+		fold = msg.Objs
+	} else {
+		fold = allObjects(p.cfg.Reg.Len())
+	}
+	for _, x := range fold {
+		if st.ts.Get(x) > qs.othts.Get(x) {
+			qs.othts.Set(x, st.ts.Get(x))
+			qs.othX[x] = st.values[x]
+		}
+	}
+	qs.responded[proc] = true
+	if st.applied > covered {
+		covered = st.applied
+	}
+	if covered > st.floor {
+		st.floor = covered
+	}
 	st.mu.Unlock()
+
+	responders := make([]int, 0, p.cfg.Procs)
+	for q, ok := range qs.responded {
+		if ok {
+			responders = append(responders, q)
+		}
+	}
+	certified, consistent := certifyQuery(level, len(responders), p.cfg.Procs)
 
 	// A6: apply the query to the merged copy. No lock is needed: all
 	// responses have been merged and the query state is no longer
@@ -313,26 +514,75 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) 
 		fp = pr.Footprint()
 	}
 	return mop.Record{
-		Proc:      proc,
-		Update:    false,
-		Seq:       -1,
-		Ops:       rec.Ops(),
-		TSStart:   tsStart,
-		TSEnd:     qs.othts.Clone(),
-		Footprint: fp,
-		Inv:       inv,
-		Resp:      p.cfg.Clock(),
-		Result:    result,
+		Proc:         proc,
+		Update:       false,
+		Seq:          -1,
+		Ops:          rec.Ops(),
+		TSStart:      tsStart,
+		TSEnd:        qs.othts.Clone(),
+		Footprint:    fp,
+		Inv:          inv,
+		Resp:         p.cfg.Clock(),
+		Result:       result,
+		Level:        certified,
+		Responders:   responders,
+		IsConsistent: consistent,
 	}, nil
 }
 
+// certifyQuery maps (requested level, responder count) to the certified
+// level recorded in the history and the IsConsistent verdict. A query
+// force-completed below its requested responder count is certified at
+// the strongest level its count actually supports, so the exact
+// checkers never hold a degraded read to a guarantee it did not get.
+// The zero level keeps its pre-level identity: it is checked at the
+// store's native condition regardless of completeness, which is exactly
+// the bounded-query behavior histories recorded before levels had.
+func certifyQuery(level history.Level, got, procs int) (history.Level, bool) {
+	quorum := procs/2 + 1
+	switch level {
+	case history.LevelQuorum:
+		if got >= quorum {
+			return history.LevelQuorum, true
+		}
+		return history.LevelOne, false
+	case history.LevelAll:
+		switch {
+		case got >= procs:
+			return history.LevelAll, true
+		case got >= quorum:
+			return history.LevelQuorum, false
+		default:
+			return history.LevelOne, false
+		}
+	default:
+		return history.LevelDefault, got >= procs
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// allObjects lists every object ID (the whole-copy fold set).
+func allObjects(n int) []object.ID {
+	out := make([]object.ID, n)
+	for i := range out {
+		out[i] = object.ID(i)
+	}
+	return out
+}
+
 // awaitQuery waits for the query's response set. With no QueryTimeout
-// it is Figure 6's unbounded wait-for-all. With one, each deadline
-// re-solicits the processes that have not answered, and after
-// QueryRetries re-solicitations the query completes with the responses
-// gathered so far — the issuer's own response always arrives (self
-// delivery is immune to crash windows), so the merged copy is never
-// empty and never older than the issuer's local copy.
+// it is the unbounded wait (Figure 6's wait-for-all at need = Procs;
+// the majority wait for QUORUM). With one, each deadline re-solicits
+// the processes that have not answered, and after QueryRetries
+// re-solicitations the query completes with the responses gathered so
+// far — the issuer's replica is folded in afterwards regardless, so the
+// merged copy is never empty and never older than the issuer's own.
 func (p *Protocol) awaitQuery(st *procState, qs *queryState, proc int, reqID int64, msg queryMsg, bytes int) error {
 	if p.cfg.QueryTimeout <= 0 {
 		select {
@@ -404,7 +654,9 @@ func (p *Protocol) deliveryLoop(proc int) {
 			if d.Seq < st.applied {
 				// Subsumed by an adopted recovery checkpoint; applying
 				// again would double-count. An issuer still waiting
-				// locally gets an error outcome.
+				// locally gets an error outcome; a peer still owes the
+				// issuer its write-phase ack — the checkpoint covers the
+				// update's effects, so acknowledging is sound.
 				var pu *pendingUpdate
 				if payload.From == proc {
 					pu = st.pendUpd[payload.ReqID]
@@ -412,30 +664,67 @@ func (p *Protocol) deliveryLoop(proc int) {
 				}
 				st.mu.Unlock()
 				if pu != nil {
-					pu.done <- Outcome{Err: errors.New("mlin: update subsumed by recovery checkpoint")}
+					pu.done <- mop.Outcome{Err: errors.New("mlin: update subsumed by recovery checkpoint")}
+				} else if payload.From != proc {
+					p.sendAck(proc, payload)
 				}
 				continue
 			}
 			rec, err := applyLocked(st, payload.Proc, payload.From, d.Seq)
 			st.applied = d.Seq + 1
-			var pu *pendingUpdate
+			st.cond.Broadcast()
+			var ready *pendingUpdate
 			if payload.From == proc {
-				pu = st.pendUpd[payload.ReqID]
-				delete(st.pendUpd, payload.ReqID)
+				// A2: the issuing process generates the response — but only
+				// once a majority of replicas has applied the update (the
+				// local apply is the first ack). An apply error completes
+				// immediately: it is deterministic, waiting cannot mend it.
+				if pu := st.pendUpd[payload.ReqID]; pu != nil {
+					pu.applied, pu.rec, pu.applyErr = true, rec, err
+					if !pu.ackFrom[proc] {
+						pu.ackFrom[proc] = true
+						pu.acks++
+					}
+					if pu.acks >= p.quorum() || err != nil {
+						delete(st.pendUpd, payload.ReqID)
+						ready = pu
+					}
+				}
 			}
 			st.mu.Unlock()
-			if pu != nil {
-				// A2: the issuing process generates the response — Resp is
-				// stamped at local apply time, Inv was stamped at submission.
-				rec.Inv = pu.inv
-				rec.Resp = p.cfg.Clock()
-				pu.done <- Outcome{Rec: rec, Err: err}
+			if ready != nil {
+				p.finishUpdate(ready)
+			} else if payload.From != proc {
+				p.sendAck(proc, payload)
 			}
 		}
 	}
 }
 
-// messageLoop implements A4 (answer queries) and A5 (merge responses).
+// sendAck emits the write-phase acknowledgement for an update another
+// process issued: this replica has applied it (or holds a checkpoint
+// subsuming it). Rides the query network; under the lossy simulated
+// stack the Reliable layer retransmits it like any other message.
+func (p *Protocol) sendAck(proc int, payload updatePayload) {
+	// Send failures only occur at shutdown.
+	_ = p.qnet.Send(proc, payload.From, "mlin.ack", applyAck{ReqID: payload.ReqID, From: proc}, 16)
+}
+
+// finishUpdate fulfills a pending update whose write quorum is in: Resp
+// is stamped now — the response event of the m-operation is the moment
+// a majority is known to hold it, which is what the QUORUM read rule's
+// intersection argument charges against.
+func (p *Protocol) finishUpdate(pu *pendingUpdate) {
+	rec := pu.rec
+	rec.Inv = pu.inv
+	rec.Resp = p.cfg.Clock()
+	rec.Level = history.LevelAll
+	rec.IsConsistent = true
+	pu.done <- mop.Outcome{Rec: rec, Err: pu.applyErr}
+}
+
+// messageLoop implements A4 (answer queries), A5 (merge responses) and
+// the write-phase ack accounting.
 func (p *Protocol) messageLoop(proc int) {
 	defer p.wg.Done()
 	st := p.states[proc]
@@ -447,6 +736,24 @@ func (p *Protocol) messageLoop(proc int) {
 			switch m := msg.Payload.(type) {
 			case queryMsg:
 				p.answerQuery(proc, msg.From, m)
+			case applyAck:
+				if m.From < 0 || m.From >= p.cfg.Procs {
+					continue
+				}
+				var ready *pendingUpdate
+				st.mu.Lock()
+				if pu := st.pendUpd[m.ReqID]; pu != nil && !pu.ackFrom[m.From] {
+					pu.ackFrom[m.From] = true
+					pu.acks++
+					if pu.applied && pu.acks >= p.quorum() {
+						delete(st.pendUpd, m.ReqID)
+						ready = pu
+					}
+				}
+				st.mu.Unlock()
+				if ready != nil {
+					p.finishUpdate(ready)
+				}
 			case queryResp:
 				st.mu.Lock()
 				qs, ok := st.pendQry[m.ReqID]
@@ -457,6 +764,9 @@ func (p *Protocol) messageLoop(proc int) {
 							qs.othts.Set(x, m.TS[i])
 							qs.othX[x] = m.Values[i]
 						}
+					}
+					if m.Applied > qs.respApplied {
+						qs.respApplied = m.Applied
 					}
 					qs.waiting--
 					if qs.waiting == 0 {
@@ -470,31 +780,30 @@ func (p *Protocol) messageLoop(proc int) {
 }
 
 // answerQuery implements A4: snapshot the local copy (whole or relevant
-// objects only) and reply.
+// objects only) and reply, advertising the applied prefix the snapshot
+// reflects.
 func (p *Protocol) answerQuery(proc, from int, m queryMsg) {
 	st := p.states[proc]
 	st.mu.Lock()
 	var objs []object.ID
 	if m.Objs == nil {
-		objs = make([]object.ID, p.cfg.Reg.Len())
-		for i := range objs {
-			objs[i] = object.ID(i)
-		}
+		objs = allObjects(p.cfg.Reg.Len())
 	} else {
 		objs = m.Objs
 	}
 	resp := queryResp{
-		ReqID:  m.ReqID,
-		Objs:   objs,
-		Values: make([]object.Value, len(objs)),
-		TS:     make([]int64, len(objs)),
+		ReqID:   m.ReqID,
+		Objs:    objs,
+		Values:  make([]object.Value, len(objs)),
+		TS:      make([]int64, len(objs)),
+		Applied: st.applied,
 	}
 	for i, x := range objs {
 		resp.Values[i] = st.values[x]
 		resp.TS[i] = st.ts.Get(x)
 	}
 	st.mu.Unlock()
-	bytes := 16 + 24*len(objs) // id + per-object (id, value, version)
+	bytes := 24 + 24*len(objs) // id + applied + per-object (id, value, version)
 	// Send failures only occur at shutdown; the query will be released
 	// by p.stop.
 	_ = p.qnet.Send(proc, from, "mlin.qresp", resp, bytes)
@@ -555,6 +864,7 @@ func (p *Protocol) Adopt(proc int, ck recovery.Checkpoint) bool {
 	copy(st.values, ck.Values)
 	copy(st.ts, ck.TS)
 	st.applied = ck.Applied
+	st.cond.Broadcast()
 	return true
 }
 
@@ -569,7 +879,8 @@ func (p *Protocol) LocalTS(proc int) timestamp.TS {
 
 // Close shuts the protocol down, including the broadcaster it owns and
 // its query network. Every still-pending asynchronous completion is
-// fulfilled with ErrClosed so no pipelined issuer waits forever.
+// fulfilled with ErrClosed so no pipelined issuer waits forever, and
+// every session-floor waiter is woken to observe the shutdown.
 func (p *Protocol) Close() {
 	if p.closed.Swap(true) {
 		return
@@ -581,9 +892,10 @@ func (p *Protocol) Close() {
 	for _, st := range p.states {
 		st.mu.Lock()
 		for id, pu := range st.pendUpd {
-			pu.done <- Outcome{Err: ErrClosed}
+			pu.done <- mop.Outcome{Err: ErrClosed}
 			delete(st.pendUpd, id)
 		}
+		st.cond.Broadcast()
 		st.mu.Unlock()
 	}
 }

@@ -58,10 +58,10 @@ func TestFreshReadAfterRemoteUpdate(t *testing.T) {
 		if err != nil {
 			t.Fatalf("New: %v", err)
 		}
-		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: object.Value(trial + 1)}); err != nil {
+		if _, err := p.Exec(0, mop.WriteOp{X: 0, V: object.Value(trial + 1)}, mop.ExecOptions{}); err != nil {
 			t.Fatalf("update: %v", err)
 		}
-		rec, err := p.Execute(1, mop.ReadOp{X: 0})
+		rec, err := p.Exec(1, mop.ReadOp{X: 0}, mop.ExecOptions{})
 		if err != nil {
 			t.Fatalf("query: %v", err)
 		}
@@ -74,13 +74,13 @@ func TestFreshReadAfterRemoteUpdate(t *testing.T) {
 
 func TestQueryMergesFreshestVersions(t *testing.T) {
 	p := newProtocol(t, 3, time.Millisecond, false)
-	if _, err := p.Execute(0, mop.WriteOp{X: 0, V: 5}); err != nil {
+	if _, err := p.Exec(0, mop.WriteOp{X: 0, V: 5}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("w0: %v", err)
 	}
-	if _, err := p.Execute(1, mop.WriteOp{X: 1, V: 6}); err != nil {
+	if _, err := p.Exec(1, mop.WriteOp{X: 1, V: 6}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("w1: %v", err)
 	}
-	rec, err := p.Execute(2, mop.MultiRead{Xs: []object.ID{0, 1}})
+	rec, err := p.Exec(2, mop.MultiRead{Xs: []object.ID{0, 1}}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("query: %v", err)
 	}
@@ -105,11 +105,11 @@ func TestRelevantOnlyModeCorrectAndCheaper(t *testing.T) {
 			t.Fatalf("New: %v", err)
 		}
 		t.Cleanup(p.Close)
-		if _, err := p.Execute(0, mop.WriteOp{X: 7, V: 1}); err != nil {
+		if _, err := p.Exec(0, mop.WriteOp{X: 7, V: 1}, mop.ExecOptions{}); err != nil {
 			t.Fatalf("update: %v", err)
 		}
 		for i := 0; i < 10; i++ {
-			rec, err := p.Execute(1, mop.ReadOp{X: 7})
+			rec, err := p.Exec(1, mop.ReadOp{X: 7}, mop.ExecOptions{})
 			if err != nil {
 				t.Fatalf("query: %v", err)
 			}
@@ -128,7 +128,7 @@ func TestRelevantOnlyModeCorrectAndCheaper(t *testing.T) {
 
 func TestQueryTrafficAccounted(t *testing.T) {
 	p := newProtocol(t, 3, 0, false)
-	if _, err := p.Execute(0, mop.ReadOp{X: 0}); err != nil {
+	if _, err := p.Exec(0, mop.ReadOp{X: 0}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("query: %v", err)
 	}
 	st := p.QueryTraffic()
@@ -151,9 +151,9 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 			for i := 0; i < 8; i++ {
 				var err error
 				if i%2 == 0 {
-					_, err = p.Execute(proc, mop.WriteOp{X: object.ID(i % 4), V: object.Value(proc*1000 + i)})
+					_, err = p.Exec(proc, mop.WriteOp{X: object.ID(i % 4), V: object.Value(proc*1000 + i)}, mop.ExecOptions{})
 				} else {
-					_, err = p.Execute(proc, mop.MultiRead{Xs: []object.ID{0, 1, 2, 3}})
+					_, err = p.Exec(proc, mop.MultiRead{Xs: []object.ID{0, 1, 2, 3}}, mop.ExecOptions{})
 				}
 				if err != nil {
 					t.Errorf("P%d op %d: %v", proc, i, err)
@@ -167,7 +167,7 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 
 func TestUpdatePathMatchesMSC(t *testing.T) {
 	p := newProtocol(t, 2, 0, false)
-	rec, err := p.Execute(0, mop.WriteOp{X: 2, V: 9})
+	rec, err := p.Exec(0, mop.WriteOp{X: 2, V: 9}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("update: %v", err)
 	}
@@ -187,12 +187,12 @@ func TestContractViolationInQuery(t *testing.T) {
 		Writes:  false,
 		Body:    func(txn mop.Txn) any { return txn.Read(3) },
 	}
-	if _, err := p.Execute(0, bad); err == nil {
+	if _, err := p.Exec(0, bad, mop.ExecOptions{}); err == nil {
 		t.Fatal("footprint escape in query not reported")
 	}
 	// Protocol must stay usable; the pending query state must have been
 	// cleaned up.
-	if _, err := p.Execute(0, mop.ReadOp{X: 0}); err != nil {
+	if _, err := p.Exec(0, mop.ReadOp{X: 0}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("protocol wedged: %v", err)
 	}
 }
@@ -207,11 +207,11 @@ func TestExecuteValidationAndClose(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if _, err := p.Execute(9, mop.ReadOp{X: 0}); err == nil {
+	if _, err := p.Exec(9, mop.ReadOp{X: 0}, mop.ExecOptions{}); err == nil {
 		t.Fatal("invalid process accepted")
 	}
 	p.Close()
-	if _, err := p.Execute(0, mop.ReadOp{X: 0}); err != ErrClosed {
+	if _, err := p.Exec(0, mop.ReadOp{X: 0}, mop.ExecOptions{}); err != ErrClosed {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	p.Close() // idempotent
@@ -219,7 +219,7 @@ func TestExecuteValidationAndClose(t *testing.T) {
 
 func TestLocalTSInstrumentation(t *testing.T) {
 	p := newProtocol(t, 2, 0, false)
-	if _, err := p.Execute(0, mop.WriteOp{X: 1, V: 3}); err != nil {
+	if _, err := p.Exec(0, mop.WriteOp{X: 1, V: 3}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("update: %v", err)
 	}
 	ts := p.LocalTS(0)

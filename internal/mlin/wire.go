@@ -17,6 +17,7 @@ func init() {
 	wire.Register(wire.TagMLinUpdate, updatePayload{})
 	wire.Register(wire.TagMLinQueryMsg, queryMsg{})
 	wire.Register(wire.TagMLinQueryResp, queryResp{})
+	wire.Register(wire.TagMLinApplyAck, applyAck{})
 }
 
 // appendIDs / decodeIDs encode an []object.ID preserving nil-ness: a
@@ -83,11 +84,25 @@ func (m *queryMsg) UnmarshalWire(d *wire.Decoder) error {
 }
 
 // MarshalWire implements wire.Marshaler.
+func (m applyAck) MarshalWire(b []byte) ([]byte, error) {
+	b = wire.AppendVarint(b, m.ReqID)
+	return wire.AppendVarint(b, int64(m.From)), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (m *applyAck) UnmarshalWire(d *wire.Decoder) error {
+	m.ReqID = d.Varint()
+	m.From = d.Int()
+	return d.Err()
+}
+
+// MarshalWire implements wire.Marshaler.
 func (m queryResp) MarshalWire(b []byte) ([]byte, error) {
 	b = wire.AppendVarint(b, m.ReqID)
 	b = appendIDs(b, m.Objs)
 	b = wire.AppendInt64s(b, m.Values)
-	return wire.AppendInt64s(b, m.TS), nil
+	b = wire.AppendInt64s(b, m.TS)
+	return wire.AppendVarint(b, m.Applied), nil
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -96,5 +111,6 @@ func (m *queryResp) UnmarshalWire(d *wire.Decoder) error {
 	m.Objs = decodeIDs(d)
 	m.Values = d.Int64s()
 	m.TS = d.Int64s()
+	m.Applied = d.Varint()
 	return d.Err()
 }

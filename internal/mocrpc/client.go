@@ -181,9 +181,11 @@ func (c *Client) do(req Request) (Response, error) {
 }
 
 // Exec runs one m-operation at the daemon's process. Kind and the
-// Objs/Vals conventions are documented on Request.
-func (c *Client) Exec(kind string, objs []string, vals []int64) (Response, error) {
-	return c.do(Request{Op: "exec", Kind: kind, Objs: objs, Vals: vals})
+// Objs/Vals conventions are documented on Request. level selects the
+// consistency level for queries ("one", "quorum", "all"); empty keeps
+// the store's native level, matching v1.0 clients.
+func (c *Client) Exec(kind string, objs []string, vals []int64, level string) (Response, error) {
+	return c.do(Request{Op: "exec", Kind: kind, Objs: objs, Vals: vals, Level: level})
 }
 
 // Ping probes daemon liveness.

@@ -1,0 +1,259 @@
+package mocrpc
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"moc/internal/core"
+)
+
+// v1Corpus is a frozen capture of the protocol as a v1.0 client speaks
+// it: raw request lines with no "level" field, paired with the fields a
+// v1.0 client relies on in each response. The lines are verbatim —
+// editing them defeats the test's purpose. A v1.1 daemon must answer
+// every one of them compatibly: same ok/value semantics, with queries
+// served at the store's native level (full solicitation on m-lin).
+var v1Corpus = []struct {
+	req  string
+	want func(t *testing.T, resp map[string]any)
+}{
+	{
+		req: `{"id":1,"op":"ping"}`,
+		want: func(t *testing.T, resp map[string]any) {
+			mustOK(t, resp)
+		},
+	},
+	{
+		req: `{"id":2,"op":"exec","kind":"massign","objs":["x","y"],"vals":[4,5]}`,
+		want: func(t *testing.T, resp map[string]any) {
+			mustOK(t, resp)
+		},
+	},
+	{
+		req: `{"id":3,"op":"exec","kind":"read","objs":["x"]}`,
+		want: func(t *testing.T, resp map[string]any) {
+			mustOK(t, resp)
+			if v, _ := resp["value"].(float64); v != 4 {
+				t.Fatalf("read x = %v, want 4", resp["value"])
+			}
+		},
+	},
+	{
+		req: `{"id":4,"op":"exec","kind":"sum","objs":["x","y"]}`,
+		want: func(t *testing.T, resp map[string]any) {
+			mustOK(t, resp)
+			if v, _ := resp["value"].(float64); v != 9 {
+				t.Fatalf("sum = %v, want 9", resp["value"])
+			}
+		},
+	},
+	{
+		req: `{"id":5,"op":"exec","kind":"multiread","objs":["x","y"]}`,
+		want: func(t *testing.T, resp map[string]any) {
+			mustOK(t, resp)
+			vals, _ := resp["values"].([]any)
+			if len(vals) != 2 || vals[0].(float64) != 4 || vals[1].(float64) != 5 {
+				t.Fatalf("multiread = %v, want [4 5]", resp["values"])
+			}
+		},
+	},
+	{
+		req: `{"id":6,"op":"exec","kind":"cas","objs":["x"],"vals":[4,40]}`,
+		want: func(t *testing.T, resp map[string]any) {
+			mustOK(t, resp)
+			if b, _ := resp["bool"].(bool); !b {
+				t.Fatalf("cas = %v, want true", resp["bool"])
+			}
+		},
+	},
+	{
+		req: `{"id":7,"op":"exec","kind":"transfer","objs":["x","y"],"vals":[10]}`,
+		want: func(t *testing.T, resp map[string]any) {
+			mustOK(t, resp)
+			if b, _ := resp["bool"].(bool); !b {
+				t.Fatalf("transfer = %v, want true", resp["bool"])
+			}
+		},
+	},
+	{
+		req: `{"id":8,"op":"stats"}`,
+		want: func(t *testing.T, resp map[string]any) {
+			mustOK(t, resp)
+			if resp["stats"] == nil {
+				t.Fatal("stats response carried no stats")
+			}
+		},
+	},
+	{
+		req: `{"id":9,"op":"dump"}`,
+		want: func(t *testing.T, resp map[string]any) {
+			mustOK(t, resp)
+			if resp["trace"] == nil {
+				t.Fatal("dump response carried no trace")
+			}
+		},
+	},
+}
+
+func mustOK(t *testing.T, resp map[string]any) {
+	t.Helper()
+	if ok, _ := resp["ok"].(bool); !ok {
+		t.Fatalf("response not ok: %v", resp)
+	}
+}
+
+// TestV1CorpusCompat replays the frozen v1.0 request corpus against a
+// v1.1 server over a raw connection (no Client, which now speaks v1.1)
+// and checks each response still satisfies a v1.0 reader. It also pins
+// the compatibility direction the version bump relies on: level-less
+// exec requests run at the store's native level and their certified
+// echo stays out of v1.0 clients' way (unknown JSON fields).
+func TestV1CorpusCompat(t *testing.T) {
+	t.Parallel()
+	store, err := core.New(core.Config{
+		Procs: 3, Objects: []string{"x", "y"},
+		Consistency: core.MLinearizable, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, store, 0, nil)
+	t.Cleanup(srv.Close)
+
+	conn, err := net.DialTimeout("tcp", srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	r := bufio.NewReader(conn)
+
+	for _, step := range v1Corpus {
+		if _, err := conn.Write([]byte(step.req + "\n")); err != nil {
+			t.Fatalf("send %s: %v", step.req, err)
+		}
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("recv for %s: %v", step.req, err)
+		}
+		var resp map[string]any
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatalf("decode %q: %v", line, err)
+		}
+		var req map[string]any
+		if err := json.Unmarshal([]byte(step.req), &req); err != nil {
+			t.Fatalf("corpus line %q is not valid JSON: %v", step.req, err)
+		}
+		if resp["id"].(float64) != req["id"].(float64) {
+			t.Fatalf("response id %v for request %v", resp["id"], req["id"])
+		}
+		step.want(t, resp)
+	}
+
+	// The level-less queries above ran at the store's native level: on
+	// an m-linearizable store that is full solicitation, so the recorded
+	// history must still pass the exact m-lin checker unchanged — the
+	// guarantee v1.0 clients keep after the bump.
+	res, err := store.VerifyExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("level-less v1 workload no longer m-linearizable")
+	}
+}
+
+// TestLeveledExecEcho exercises the v1.1 surface end-to-end: leveled
+// queries run, and the response echoes the certified level, the
+// responder set, and the consistency bit.
+func TestLeveledExecEcho(t *testing.T) {
+	t.Parallel()
+	store, err := core.New(core.Config{
+		Procs: 3, Objects: []string{"x", "y"},
+		Consistency: core.MLinearizable, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(store.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, store, 0, nil)
+	t.Cleanup(srv.Close)
+	c, err := Dial(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	if _, err := c.Exec("write", []string{"x"}, []int64{7}, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		level      string
+		minResp    int
+		consistent bool
+	}{
+		{"one", 1, true},
+		{"quorum", 2, true},
+		{"all", 3, true},
+	} {
+		resp, err := c.Exec("read", []string{"x"}, nil, tc.level)
+		if err != nil {
+			t.Fatalf("read at %s: %v", tc.level, err)
+		}
+		if resp.Value == nil || *resp.Value != 7 {
+			t.Fatalf("read at %s = %v, want 7", tc.level, resp.Value)
+		}
+		if resp.Level != tc.level {
+			t.Fatalf("read at %s echoed level %q", tc.level, resp.Level)
+		}
+		if len(resp.Responders) < tc.minResp {
+			t.Fatalf("read at %s had responders %v, want at least %d", tc.level, resp.Responders, tc.minResp)
+		}
+		if resp.IsConsistent == nil || *resp.IsConsistent != tc.consistent {
+			t.Fatalf("read at %s is_consistent = %v, want %v", tc.level, resp.IsConsistent, tc.consistent)
+		}
+	}
+
+	// A malformed level is refused before anything executes.
+	if _, err := c.Exec("read", []string{"x"}, nil, "bogus"); err == nil {
+		t.Fatal("bogus level accepted")
+	}
+
+	// Ping now reports the protocol version.
+	resp, err := c.do(Request{Op: "ping"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != ProtoVersion {
+		t.Fatalf("ping version = %q, want %q", resp.Version, ProtoVersion)
+	}
+}
+
+// TestV1ResponseDecode pins the other compatibility direction: a v1.1
+// client decoding a frozen v1.0 response (no level echo, no version)
+// must see the legacy zero values, not an error.
+func TestV1ResponseDecode(t *testing.T) {
+	t.Parallel()
+	const v1resp = `{"id":3,"ok":true,"value":4}`
+	var resp Response
+	if err := json.Unmarshal([]byte(v1resp), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Level != "" || resp.Responders != nil || resp.IsConsistent != nil || resp.Version != "" {
+		t.Fatalf("v1 response decoded with non-zero v1.1 fields: %+v", resp)
+	}
+	if resp.Value == nil || *resp.Value != 4 {
+		t.Fatalf("v1 response lost its value: %+v", resp)
+	}
+}

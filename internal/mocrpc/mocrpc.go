@@ -18,18 +18,37 @@ import (
 	"sync"
 
 	"moc/internal/core"
+	"moc/internal/history"
 	"moc/internal/mop"
 	"moc/internal/network"
 	"moc/internal/object"
 )
 
+// Protocol version. The wire format is JSON with omitted-when-empty
+// fields, so minor bumps are strictly additive: a v1.0 client talking to
+// a v1.1 daemon never sees the new fields (it sends no "level", the
+// daemon runs the store's native level and the echo fields stay at their
+// legacy zero values), and a v1.1 client degrades gracefully against a
+// v1.0 daemon (absent echo fields decode to the legacy zero values).
+//
+//	v1.0 — initial protocol: exec/dump/stats/info/ping/shutdown
+//	v1.1 — per-request consistency levels: Request.Level,
+//	       Response.Level/IsConsistent/Responders, ping echoes "version"
+const (
+	ProtoMajor = 1
+	ProtoMinor = 1
+)
+
+// ProtoVersion is the "major.minor" string a ping response echoes.
+var ProtoVersion = fmt.Sprintf("%d.%d", ProtoMajor, ProtoMinor)
+
 // Request is one client request. Op selects the action:
 //
-//	"exec"     — run an m-operation (Kind, Objs, Vals; see Exec)
+//	"exec"     — run an m-operation (Kind, Objs, Vals, Level; see Exec)
 //	"dump"     — return the daemon's recorded trace
 //	"stats"    — return the daemon's aggregated transport counters
 //	"info"     — return the daemon's operational counters (SetInfo)
-//	"ping"     — liveness probe
+//	"ping"     — liveness probe (echoes the protocol version)
 //	"shutdown" — acknowledge, then shut the daemon down
 type Request struct {
 	ID   int64    `json:"id"`
@@ -37,6 +56,11 @@ type Request struct {
 	Kind string   `json:"kind,omitempty"`
 	Objs []string `json:"objs,omitempty"`
 	Vals []int64  `json:"vals,omitempty"`
+	// Level is the requested consistency level for "exec" queries:
+	// "one", "quorum", "all", or empty for the store's native level
+	// (full solicitation — ALL — on an m-linearizable store). v1.0
+	// clients never send it and get the legacy behavior unchanged.
+	Level string `json:"level,omitempty"`
 }
 
 // Response answers one Request (matched by ID).
@@ -50,6 +74,16 @@ type Response struct {
 	Trace  *core.Trace      `json:"trace,omitempty"`  // dump
 	Stats  *network.Stats   `json:"stats,omitempty"`  // stats
 	Info   map[string]int64 `json:"info,omitempty"`   // info
+	// v1.1 exec echo: the certified level the store actually served
+	// ("one"/"quorum"/"all"; empty for level-less legacy execs), the
+	// replicas that contributed to a query's merged view, and whether
+	// the certified level honors the requested one (false when a
+	// bounded quorum/all query force-completed below its target).
+	Level        string `json:"level,omitempty"`
+	Responders   []int  `json:"responders,omitempty"`
+	IsConsistent *bool  `json:"is_consistent,omitempty"`
+	// Version is the daemon's protocol version, echoed on "ping".
+	Version string `json:"version,omitempty"`
 }
 
 // Server serves the daemon RPC protocol on one listener.
@@ -163,7 +197,7 @@ func fail(id int64, err error) Response {
 func (s *Server) handle(req Request) (Response, bool) {
 	switch req.Op {
 	case "ping":
-		return Response{ID: req.ID, OK: true}, false
+		return Response{ID: req.ID, OK: true, Version: ProtoVersion}, false
 	case "shutdown":
 		return Response{ID: req.ID, OK: true}, true
 	case "stats":
@@ -263,16 +297,22 @@ func (s *Server) exec(req Request) Response {
 		return fail(req.ID, fmt.Errorf("mocrpc: unknown procedure kind %q", req.Kind))
 	}
 
+	level, err := history.ParseLevel(req.Level)
+	if err != nil {
+		return fail(req.ID, fmt.Errorf("mocrpc: %w", err))
+	}
 	proc, err := s.store.Process(s.self)
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	res, err := proc.Execute(pr)
+	res, err := proc.Exec(pr, core.ExecOptions{Level: level})
 	if err != nil {
 		return fail(req.ID, err)
 	}
-	resp := Response{ID: req.ID, OK: true}
-	switch v := res.(type) {
+	resp := Response{ID: req.ID, OK: true, Level: res.Level.String(), Responders: res.Responders}
+	consistent := res.IsConsistent
+	resp.IsConsistent = &consistent
+	switch v := res.Value.(type) {
 	case object.Value:
 		n := int64(v)
 		resp.Value = &n
@@ -286,7 +326,7 @@ func (s *Server) exec(req Request) Response {
 		resp.Bool = &b
 	case nil:
 	default:
-		return fail(req.ID, fmt.Errorf("mocrpc: unencodable result %T", res))
+		return fail(req.ID, fmt.Errorf("mocrpc: unencodable result %T", v))
 	}
 	return resp
 }

@@ -41,31 +41,31 @@ func TestExecAndDump(t *testing.T) {
 	if err := c.Ping(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Exec("massign", []string{"x", "y"}, []int64{4, 5}); err != nil {
+	if _, err := c.Exec("massign", []string{"x", "y"}, []int64{4, 5}, ""); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := c.Exec("sum", []string{"x", "y"}, nil)
+	resp, err := c.Exec("sum", []string{"x", "y"}, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Value == nil || *resp.Value != 9 {
 		t.Fatalf("sum response %+v, want value 9", resp)
 	}
-	resp, err = c.Exec("multiread", []string{"x", "y"}, nil)
+	resp, err = c.Exec("multiread", []string{"x", "y"}, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(resp.Values) != 2 || resp.Values[0] != 4 || resp.Values[1] != 5 {
 		t.Fatalf("multiread response %+v, want [4 5]", resp)
 	}
-	resp, err = c.Exec("cas", []string{"x"}, []int64{4, 40})
+	resp, err = c.Exec("cas", []string{"x"}, []int64{4, 40}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Bool == nil || !*resp.Bool {
 		t.Fatalf("cas response %+v, want success", resp)
 	}
-	resp, err = c.Exec("transfer", []string{"x", "y"}, []int64{100})
+	resp, err = c.Exec("transfer", []string{"x", "y"}, []int64{100}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,13 +96,13 @@ func TestExecAndDump(t *testing.T) {
 func TestExecErrors(t *testing.T) {
 	t.Parallel()
 	_, c := startServer(t, nil)
-	if _, err := c.Exec("read", []string{"nope"}, nil); err == nil {
+	if _, err := c.Exec("read", []string{"nope"}, nil, ""); err == nil {
 		t.Fatal("unknown object accepted")
 	}
-	if _, err := c.Exec("frobnicate", []string{"x"}, nil); err == nil {
+	if _, err := c.Exec("frobnicate", []string{"x"}, nil, ""); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
-	if _, err := c.Exec("cas", []string{"x"}, []int64{1}); err == nil {
+	if _, err := c.Exec("cas", []string{"x"}, []int64{1}, ""); err == nil {
 		t.Fatal("bad cas arity accepted")
 	}
 	// The connection must survive application-level errors.

@@ -131,7 +131,7 @@ func TestUnavailableIsRetryable(t *testing.T) {
 func TestServerErrorKeepsConnection(t *testing.T) {
 	t.Parallel()
 	_, c := startServer(t, nil)
-	_, err := c.Exec("read", []string{"nope"}, nil)
+	_, err := c.Exec("read", []string{"nope"}, nil, "")
 	var se *ServerError
 	if !errors.As(err, &se) {
 		t.Fatalf("unknown-object error %v is not a ServerError", err)

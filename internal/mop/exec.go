@@ -1,0 +1,23 @@
+package mop
+
+import "moc/internal/history"
+
+// ExecOptions carries the per-request execution knobs of the unified
+// Exec entry point. The zero value requests the store's default
+// behavior, which matches what the pre-options Execute signatures did.
+type ExecOptions struct {
+	// Level selects the consistency level for query m-operations:
+	// history.LevelOne reads only the local replica, history.LevelQuorum
+	// completes at a majority of replicas, history.LevelAll waits for
+	// every replica (the store default). Updates ignore the level — they
+	// always flow through the atomic broadcast's total order.
+	Level history.Level
+}
+
+// Outcome is the completion of an asynchronously issued m-operation:
+// the record captured at the issuing process, or the error that
+// prevented execution.
+type Outcome struct {
+	Rec Record
+	Err error
+}

@@ -36,6 +36,22 @@ type Record struct {
 	Resp      int64
 	Result    any
 
+	// Level is the certified consistency level the protocol delivered
+	// for this m-operation (history.LevelDefault for protocols that
+	// predate levels). Updates are always history.LevelAll: the atomic
+	// broadcast gives them the full total-order guarantee.
+	Level history.Level
+	// Responders lists, in ascending order, the processes whose replica
+	// state this m-operation observed: the issuer for local reads, the
+	// replicas that answered the query round for quorum/all reads.
+	// Nil for updates and for protocols that predate levels.
+	Responders []int
+	// IsConsistent reports whether the requested level's contract was
+	// met: all n replicas answered for ALL, a majority for QUORUM. A
+	// force-completed (timed-out) query below its requirement records
+	// false and is certified at the weaker level it actually achieved.
+	IsConsistent bool
+
 	// SourceTags, when non-nil, names the writer of every externally
 	// read object directly. Protocols whose replicas may apply
 	// concurrent updates in different orders (the causal protocol) have

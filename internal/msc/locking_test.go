@@ -14,10 +14,10 @@ import (
 // meaningful on exactly those entries.
 func TestRecordsDeclareHonestFootprints(t *testing.T) {
 	p := newProtocol(t, 1, 0)
-	if _, err := p.Execute(0, mop.WriteOp{X: 2, V: 7}); err != nil {
+	if _, err := p.Exec(0, mop.WriteOp{X: 2, V: 7}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("update: %v", err)
 	}
-	rec, err := p.Execute(0, mop.ReadOp{X: 2})
+	rec, err := p.Exec(0, mop.ReadOp{X: 2}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("query: %v", err)
 	}
@@ -28,7 +28,7 @@ func TestRecordsDeclareHonestFootprints(t *testing.T) {
 	if got := rec.TSStart.Get(2); got != 1 {
 		t.Fatalf("query TSStart[2] = %d, want 1 (one prior write)", got)
 	}
-	urec, err := p.Execute(0, mop.WriteOp{X: 1, V: 9})
+	urec, err := p.Exec(0, mop.WriteOp{X: 1, V: 9}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("update: %v", err)
 	}
@@ -52,7 +52,7 @@ func TestDisjointQueriesRunDuringUpdates(t *testing.T) {
 	go func() { // writer lane: transfers within {0,1}
 		defer wg.Done()
 		for i := 0; i < rounds; i++ {
-			if _, err := p.Execute(0, mop.Transfer{From: 0, To: 1, Amount: 1}); err != nil {
+			if _, err := p.Exec(0, mop.Transfer{From: 0, To: 1, Amount: 1}, mop.ExecOptions{}); err != nil {
 				t.Errorf("transfer: %v", err)
 				return
 			}
@@ -61,7 +61,7 @@ func TestDisjointQueriesRunDuringUpdates(t *testing.T) {
 	go func() { // disjoint queries: {2,3} never blocks on the writer
 		defer wg.Done()
 		for i := 0; i < rounds; i++ {
-			if _, err := p.Execute(0, mop.Sum{Xs: []object.ID{2, 3}}); err != nil {
+			if _, err := p.Exec(0, mop.Sum{Xs: []object.ID{2, 3}}, mop.ExecOptions{}); err != nil {
 				t.Errorf("disjoint sum: %v", err)
 				return
 			}
@@ -70,7 +70,7 @@ func TestDisjointQueriesRunDuringUpdates(t *testing.T) {
 	go func() { // overlapping queries: {0,1} must see atomic snapshots
 		defer wg.Done()
 		for i := 0; i < rounds; i++ {
-			rec, err := p.Execute(0, mop.Sum{Xs: []object.ID{0, 1}})
+			rec, err := p.Exec(0, mop.Sum{Xs: []object.ID{0, 1}}, mop.ExecOptions{})
 			if err != nil {
 				t.Errorf("overlapping sum: %v", err)
 				return

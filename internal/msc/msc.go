@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"moc/internal/abcast"
+	"moc/internal/history"
 	"moc/internal/mop"
 	"moc/internal/object"
 	"moc/internal/recovery"
@@ -107,7 +108,7 @@ func (st *procState) footprintIDs(fp object.Set) []object.ID {
 // issuer's apply (A2): the completion channel and the invocation
 // timestamp captured at submit time.
 type pendingUpdate struct {
-	done chan Outcome
+	done chan mop.Outcome
 	inv  int64
 }
 
@@ -119,14 +120,7 @@ type updatePayload struct {
 	Proc  mop.Procedure
 }
 
-// Outcome is the completion of an asynchronously issued update: the
-// record (Inv/Resp stamped) or the error that aborted it.
-type Outcome struct {
-	Rec mop.Record
-	Err error
-}
-
-// ErrClosed is returned by Execute after Close.
+// ErrClosed is returned by Exec after Close.
 var ErrClosed = errors.New("msc: protocol closed")
 
 // New starts the protocol: one delivery loop (action A2) per process.
@@ -161,15 +155,24 @@ func New(cfg Config) (*Protocol, error) {
 	return p, nil
 }
 
-// Execute runs procedure pr as an m-operation of process proc and blocks
-// until the response event. Each sequential thread of control (Section
-// 2.1) corresponds to one caller; distinct callers may share a process
-// id concurrently only through ExecuteAsync's pipelined update path
-// (the store layer keeps their recorded histories well-formed by
-// modelling each issuing lane as its own process).
-func (p *Protocol) Execute(proc int, pr mop.Procedure) (mop.Record, error) {
+// Exec runs procedure pr as an m-operation of process proc and blocks
+// until the response event. The protocol's queries are local by
+// construction (A3), so the only levels it accepts are the zero level
+// and history.LevelOne — both name the Figure 4 behavior; the quorum
+// and all levels need the m-lin query round and are rejected. Each
+// sequential thread of control (Section 2.1) corresponds to one caller;
+// distinct callers may share a process id concurrently only through
+// ExecAsync's pipelined update path (the store layer keeps their
+// recorded histories well-formed by modelling each issuing lane as its
+// own process).
+func (p *Protocol) Exec(proc int, pr mop.Procedure, opts mop.ExecOptions) (mop.Record, error) {
+	switch opts.Level {
+	case history.LevelDefault, history.LevelOne:
+	default:
+		return mop.Record{}, fmt.Errorf("msc: consistency level %q requires an m-lin store", opts.Level)
+	}
 	if pr.MayWrite() {
-		done, err := p.ExecuteAsync(proc, pr)
+		done, err := p.ExecAsync(proc, pr, opts)
 		if err != nil {
 			return mop.Record{}, err
 		}
@@ -186,16 +189,16 @@ func (p *Protocol) Execute(proc int, pr mop.Procedure) (mop.Record, error) {
 	if proc < 0 || proc >= p.cfg.Procs {
 		return mop.Record{}, fmt.Errorf("msc: invalid process %d", proc)
 	}
-	return p.executeQuery(proc, pr)
+	return p.executeQuery(proc, pr, opts.Level)
 }
 
-// ExecuteAsync submits an update m-operation (A1) without waiting for
+// ExecAsync submits an update m-operation (A1) without waiting for
 // the issuer's apply (A2) and returns a one-shot completion channel:
 // the pipelined issuance path. Any number of updates may be in flight
 // per process; the broadcast order fixes their relative order, and each
 // completes with Inv stamped at submission and Resp at local apply.
 // Close fulfills every still-pending completion with ErrClosed.
-func (p *Protocol) ExecuteAsync(proc int, pr mop.Procedure) (<-chan Outcome, error) {
+func (p *Protocol) ExecAsync(proc int, pr mop.Procedure, _ mop.ExecOptions) (<-chan mop.Outcome, error) {
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -203,11 +206,11 @@ func (p *Protocol) ExecuteAsync(proc int, pr mop.Procedure) (<-chan Outcome, err
 		return nil, fmt.Errorf("msc: invalid process %d", proc)
 	}
 	if !pr.MayWrite() {
-		return nil, errors.New("msc: ExecuteAsync requires an update m-operation")
+		return nil, errors.New("msc: ExecAsync requires an update m-operation")
 	}
 	st := p.states[proc]
 	reqID := p.nextID.Add(1)
-	pu := &pendingUpdate{done: make(chan Outcome, 1), inv: p.cfg.Clock()}
+	pu := &pendingUpdate{done: make(chan mop.Outcome, 1), inv: p.cfg.Clock()}
 	st.mu.Lock()
 	st.pending[reqID] = pu
 	st.mu.Unlock()
@@ -231,7 +234,7 @@ func (p *Protocol) ExecuteAsync(proc int, pr mop.Procedure) (<-chan Outcome, err
 // concurrently. The Recorder blocks any access outside the footprint
 // before it touches state, which is what makes footprint-scoped locking
 // race-safe against a misdeclared procedure.
-func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) {
+func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level) (mop.Record, error) {
 	st := p.states[proc]
 	inv := p.cfg.Clock()
 	fp := pr.Footprint()
@@ -256,17 +259,27 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure) (mop.Record, error) 
 	if err != nil {
 		return mop.Record{}, err
 	}
+	// An explicit ONE is certified as such; the zero level keeps its
+	// pre-level identity (checked at the store's native condition, which
+	// for this protocol is the same m-SC guarantee).
+	certified := history.LevelDefault
+	if level == history.LevelOne {
+		certified = history.LevelOne
+	}
 	return mop.Record{
-		Proc:      proc,
-		Update:    false,
-		Seq:       -1,
-		Ops:       ops,
-		TSStart:   tsStart,
-		TSEnd:     tsStart.Clone(), // queries bump nothing
-		Footprint: fp,
-		Result:    result,
-		Inv:       inv,
-		Resp:      p.cfg.Clock(),
+		Proc:         proc,
+		Update:       false,
+		Seq:          -1,
+		Ops:          ops,
+		TSStart:      tsStart,
+		TSEnd:        tsStart.Clone(), // queries bump nothing
+		Footprint:    fp,
+		Result:       result,
+		Inv:          inv,
+		Resp:         p.cfg.Clock(),
+		Level:        certified,
+		Responders:   []int{proc},
+		IsConsistent: true,
 	}, nil
 }
 
@@ -296,7 +309,7 @@ func (p *Protocol) deliveryLoop(proc int) {
 				}
 				st.mu.Unlock()
 				if pu != nil {
-					pu.done <- Outcome{Err: errors.New("msc: update subsumed by recovery checkpoint")}
+					pu.done <- mop.Outcome{Err: errors.New("msc: update subsumed by recovery checkpoint")}
 				}
 				continue
 			}
@@ -313,7 +326,9 @@ func (p *Protocol) deliveryLoop(proc int) {
 				// stamped at local apply time, Inv was stamped at submission.
 				rec.Inv = pu.inv
 				rec.Resp = p.cfg.Clock()
-				pu.done <- Outcome{Rec: rec, Err: err}
+				rec.Level = history.LevelAll
+				rec.IsConsistent = true
+				pu.done <- mop.Outcome{Rec: rec, Err: err}
 			}
 		}
 	}
@@ -424,7 +439,7 @@ func (p *Protocol) Close() {
 	for _, st := range p.states {
 		st.mu.Lock()
 		for id, pu := range st.pending {
-			pu.done <- Outcome{Err: ErrClosed}
+			pu.done <- mop.Outcome{Err: ErrClosed}
 			delete(st.pending, id)
 		}
 		st.mu.Unlock()

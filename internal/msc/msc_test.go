@@ -38,7 +38,7 @@ func TestNewValidation(t *testing.T) {
 
 func TestUpdateThenLocalQuery(t *testing.T) {
 	p := newProtocol(t, 3, 0)
-	rec, err := p.Execute(0, mop.WriteOp{X: 0, V: 7})
+	rec, err := p.Exec(0, mop.WriteOp{X: 0, V: 7}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("update: %v", err)
 	}
@@ -49,7 +49,7 @@ func TestUpdateThenLocalQuery(t *testing.T) {
 		t.Fatalf("version not bumped: %v -> %v", rec.TSStart, rec.TSEnd)
 	}
 	// The issuer's own query must see its own write (process order).
-	q, err := p.Execute(0, mop.ReadOp{X: 0})
+	q, err := p.Exec(0, mop.ReadOp{X: 0}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("query: %v", err)
 	}
@@ -68,7 +68,7 @@ func TestQueryIsPurelyLocal(t *testing.T) {
 	// With an enormous broadcast delay, queries still return immediately.
 	p := newProtocol(t, 2, 0)
 	start := time.Now()
-	if _, err := p.Execute(1, mop.ReadOp{X: 0}); err != nil {
+	if _, err := p.Exec(1, mop.ReadOp{X: 0}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("query: %v", err)
 	}
 	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
@@ -84,7 +84,7 @@ func TestAllReplicasConverge(t *testing.T) {
 		go func(proc int) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				if _, err := p.Execute(proc, mop.WriteOp{X: object.ID(proc % 4), V: object.Value(proc*100 + i)}); err != nil {
+				if _, err := p.Exec(proc, mop.WriteOp{X: object.ID(proc % 4), V: object.Value(proc*100 + i)}, mop.ExecOptions{}); err != nil {
 					t.Errorf("P%d update %d: %v", proc, i, err)
 					return
 				}
@@ -109,17 +109,17 @@ func TestAllReplicasConverge(t *testing.T) {
 
 func TestDCASThroughProtocol(t *testing.T) {
 	p := newProtocol(t, 2, time.Millisecond)
-	if _, err := p.Execute(0, mop.MAssign{Writes: map[object.ID]object.Value{0: 1, 1: 2}}); err != nil {
+	if _, err := p.Exec(0, mop.MAssign{Writes: map[object.ID]object.Value{0: 1, 1: 2}}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("seed: %v", err)
 	}
-	rec, err := p.Execute(1, mop.DCAS{X1: 0, X2: 1, Old1: 1, Old2: 2, New1: 10, New2: 20})
+	rec, err := p.Exec(1, mop.DCAS{X1: 0, X2: 1, Old1: 1, Old2: 2, New1: 10, New2: 20}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("DCAS: %v", err)
 	}
 	if !rec.Result.(bool) {
 		t.Fatal("DCAS should succeed after assignment")
 	}
-	rec2, err := p.Execute(0, mop.DCAS{X1: 0, X2: 1, Old1: 1, Old2: 2, New1: 0, New2: 0})
+	rec2, err := p.Exec(0, mop.DCAS{X1: 0, X2: 1, Old1: 1, Old2: 2, New1: 0, New2: 0}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("DCAS2: %v", err)
 	}
@@ -133,7 +133,7 @@ func TestConservativeUpdateClassification(t *testing.T) {
 	// broadcast (Update=true, a delivery sequence assigned) and must not
 	// bump any version.
 	p := newProtocol(t, 2, 0)
-	rec, err := p.Execute(0, mop.CAS{X: 0, Old: 99, New: 1})
+	rec, err := p.Exec(0, mop.CAS{X: 0, Old: 99, New: 1}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("CAS: %v", err)
 	}
@@ -152,18 +152,18 @@ func TestContractViolationSurfacesToIssuer(t *testing.T) {
 		Writes:  true,
 		Body:    func(txn mop.Txn) any { txn.Write(3, 1); return nil },
 	}
-	if _, err := p.Execute(0, bad); err == nil {
+	if _, err := p.Exec(0, bad, mop.ExecOptions{}); err == nil {
 		t.Fatal("footprint escape not reported")
 	}
 	// The protocol must remain usable afterwards.
-	if _, err := p.Execute(0, mop.WriteOp{X: 0, V: 1}); err != nil {
+	if _, err := p.Exec(0, mop.WriteOp{X: 0, V: 1}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("protocol wedged after violation: %v", err)
 	}
 }
 
 func TestExecuteValidation(t *testing.T) {
 	p := newProtocol(t, 2, 0)
-	if _, err := p.Execute(5, mop.ReadOp{X: 0}); err == nil {
+	if _, err := p.Exec(5, mop.ReadOp{X: 0}, mop.ExecOptions{}); err == nil {
 		t.Fatal("invalid process accepted")
 	}
 }
@@ -179,7 +179,7 @@ func TestExecuteAfterClose(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	p.Close()
-	if _, err := p.Execute(0, mop.ReadOp{X: 0}); err != ErrClosed {
+	if _, err := p.Exec(0, mop.ReadOp{X: 0}, mop.ExecOptions{}); err != ErrClosed {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	p.Close() // idempotent
@@ -204,10 +204,10 @@ func TestStaleLocalReadIsPossible(t *testing.T) {
 		if err != nil {
 			t.Fatalf("New: %v", err)
 		}
-		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: 1}); err != nil {
+		if _, err := p.Exec(0, mop.WriteOp{X: 0, V: 1}, mop.ExecOptions{}); err != nil {
 			t.Fatalf("update: %v", err)
 		}
-		rec, err := p.Execute(1, mop.ReadOp{X: 0})
+		rec, err := p.Exec(1, mop.ReadOp{X: 0}, mop.ExecOptions{})
 		if err != nil {
 			t.Fatalf("query: %v", err)
 		}

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"moc/internal/history"
 	"moc/internal/mop"
 	"moc/internal/network"
 	"moc/internal/object"
@@ -161,10 +162,16 @@ func New(cfg Config) (*Protocol, error) {
 // Home returns the process that owns object x.
 func (p *Protocol) Home(x object.ID) int { return int(x) % p.cfg.Procs }
 
-// Execute runs procedure pr as an m-operation of process proc: lock the
-// footprint in ascending order, run, write back, unlock. Callers must
-// not invoke Execute concurrently for the same process.
-func (p *Protocol) Execute(proc int, pr mop.Procedure) (mop.Record, error) {
+// Exec runs procedure pr as an m-operation of process proc: lock the
+// footprint in ascending order, run, write back, unlock. The protocol
+// shards objects across homes instead of replicating them, so there is
+// no replica count to tune — only the zero consistency level is
+// accepted. Callers must not invoke Exec concurrently for the same
+// process.
+func (p *Protocol) Exec(proc int, pr mop.Procedure, opts mop.ExecOptions) (mop.Record, error) {
+	if opts.Level != history.LevelDefault {
+		return mop.Record{}, fmt.Errorf("oolock: consistency level %q requires an m-lin store", opts.Level)
+	}
 	if p.closed.Load() {
 		return mop.Record{}, ErrClosed
 	}

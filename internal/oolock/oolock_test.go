@@ -42,7 +42,7 @@ func TestHomeAssignment(t *testing.T) {
 
 func TestWriteThenRead(t *testing.T) {
 	p := newProtocol(t, 2, 4, time.Millisecond)
-	rec, err := p.Execute(0, mop.WriteOp{X: 3, V: 9})
+	rec, err := p.Exec(0, mop.WriteOp{X: 3, V: 9}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("write: %v", err)
 	}
@@ -52,7 +52,7 @@ func TestWriteThenRead(t *testing.T) {
 	if rec.TSStart.Get(3) != 0 || rec.TSEnd.Get(3) != 1 {
 		t.Fatalf("versions %v -> %v", rec.TSStart, rec.TSEnd)
 	}
-	q, err := p.Execute(1, mop.ReadOp{X: 3})
+	q, err := p.Exec(1, mop.ReadOp{X: 3}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -75,10 +75,10 @@ func TestFreshReadAfterResponse(t *testing.T) {
 		if err != nil {
 			t.Fatalf("New: %v", err)
 		}
-		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: trial + 1}); err != nil {
+		if _, err := p.Exec(0, mop.WriteOp{X: 0, V: trial + 1}, mop.ExecOptions{}); err != nil {
 			t.Fatalf("write: %v", err)
 		}
-		rec, err := p.Execute(1, mop.ReadOp{X: 0})
+		rec, err := p.Exec(1, mop.ReadOp{X: 0}, mop.ExecOptions{})
 		if err != nil {
 			t.Fatalf("read: %v", err)
 		}
@@ -98,7 +98,7 @@ func TestDCASAtomicUnderContention(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
-				snap, err := p.Execute(w, mop.MultiRead{Xs: []object.ID{0, 1}})
+				snap, err := p.Exec(w, mop.MultiRead{Xs: []object.ID{0, 1}}, mop.ExecOptions{})
 				if err != nil {
 					t.Errorf("snap: %v", err)
 					return
@@ -108,10 +108,10 @@ func TestDCASAtomicUnderContention(t *testing.T) {
 					t.Errorf("torn snapshot: %v", vals)
 					return
 				}
-				if _, err := p.Execute(w, mop.DCAS{
+				if _, err := p.Exec(w, mop.DCAS{
 					X1: 0, X2: 1, Old1: vals[0], Old2: vals[1],
 					New1: vals[0] + 1, New2: vals[1] + 1,
-				}); err != nil {
+				}, mop.ExecOptions{}); err != nil {
 					t.Errorf("dcas: %v", err)
 					return
 				}
@@ -119,7 +119,7 @@ func TestDCASAtomicUnderContention(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	final, err := p.Execute(0, mop.MultiRead{Xs: []object.ID{0, 1}})
+	final, err := p.Exec(0, mop.MultiRead{Xs: []object.ID{0, 1}}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("final: %v", err)
 	}
@@ -135,14 +135,14 @@ func TestDCASAtomicUnderContention(t *testing.T) {
 func TestVersionsPerObjectIndependent(t *testing.T) {
 	p := newProtocol(t, 2, 3, 0)
 	for i := 0; i < 3; i++ {
-		if _, err := p.Execute(0, mop.WriteOp{X: 0, V: object.Value(i + 1)}); err != nil {
+		if _, err := p.Exec(0, mop.WriteOp{X: 0, V: object.Value(i + 1)}, mop.ExecOptions{}); err != nil {
 			t.Fatalf("write: %v", err)
 		}
 	}
-	if _, err := p.Execute(1, mop.WriteOp{X: 2, V: 7}); err != nil {
+	if _, err := p.Exec(1, mop.WriteOp{X: 2, V: 7}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	rec, err := p.Execute(0, mop.MultiRead{Xs: []object.ID{0, 1, 2}})
+	rec, err := p.Exec(0, mop.MultiRead{Xs: []object.ID{0, 1, 2}}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -162,11 +162,11 @@ func TestAbortOnContractViolationLeavesStateUntouched(t *testing.T) {
 			return nil
 		},
 	}
-	if _, err := p.Execute(0, bad); err == nil {
+	if _, err := p.Exec(0, bad, mop.ExecOptions{}); err == nil {
 		t.Fatal("violation not reported")
 	}
 	// The write to object 0 must have been rolled back (abort): version 0.
-	rec, err := p.Execute(1, mop.MultiRead{Xs: []object.ID{0, 1}})
+	rec, err := p.Exec(1, mop.MultiRead{Xs: []object.ID{0, 1}}, mop.ExecOptions{})
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
@@ -182,7 +182,7 @@ func TestAbortOnContractViolationLeavesStateUntouched(t *testing.T) {
 
 func TestUnknownFootprintObjectRejected(t *testing.T) {
 	p := newProtocol(t, 2, 2, 0)
-	if _, err := p.Execute(0, mop.ReadOp{X: 9}); err == nil {
+	if _, err := p.Exec(0, mop.ReadOp{X: 9}, mop.ExecOptions{}); err == nil {
 		t.Fatal("unknown object accepted")
 	}
 }
@@ -192,11 +192,11 @@ func TestExecuteValidationAndClose(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	if _, err := p.Execute(5, mop.ReadOp{X: 0}); err == nil {
+	if _, err := p.Exec(5, mop.ReadOp{X: 0}, mop.ExecOptions{}); err == nil {
 		t.Fatal("invalid process accepted")
 	}
 	p.Close()
-	if _, err := p.Execute(0, mop.ReadOp{X: 0}); err != ErrClosed {
+	if _, err := p.Exec(0, mop.ReadOp{X: 0}, mop.ExecOptions{}); err != ErrClosed {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 	p.Close() // idempotent
@@ -216,7 +216,7 @@ func TestDisjointFootprintsProceedConcurrently(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < k; i++ {
-				if _, err := p.Execute(w, mop.WriteOp{X: object.ID(w), V: object.Value(i)}); err != nil {
+				if _, err := p.Exec(w, mop.WriteOp{X: object.ID(w), V: object.Value(i)}, mop.ExecOptions{}); err != nil {
 					t.Errorf("write: %v", err)
 					return
 				}
@@ -230,7 +230,7 @@ func TestDisjointFootprintsProceedConcurrently(t *testing.T) {
 	start = time.Now()
 	for w := 0; w < 2; w++ {
 		for i := 0; i < k; i++ {
-			if _, err := p.Execute(0, mop.WriteOp{X: object.ID(w), V: object.Value(i)}); err != nil {
+			if _, err := p.Exec(0, mop.WriteOp{X: object.ID(w), V: object.Value(i)}, mop.ExecOptions{}); err != nil {
 				t.Fatalf("write: %v", err)
 			}
 		}
@@ -243,7 +243,7 @@ func TestDisjointFootprintsProceedConcurrently(t *testing.T) {
 
 func TestTrafficAccounted(t *testing.T) {
 	p := newProtocol(t, 2, 2, 0)
-	if _, err := p.Execute(0, mop.MultiRead{Xs: []object.ID{0, 1}}); err != nil {
+	if _, err := p.Exec(0, mop.MultiRead{Xs: []object.ID{0, 1}}, mop.ExecOptions{}); err != nil {
 		t.Fatalf("read: %v", err)
 	}
 	st := p.Traffic()

@@ -34,7 +34,7 @@ var expectedKinds = []string{
 	"abcast.BatchMsg",
 	// Protocol updates and queries.
 	"msc.updatePayload",
-	"mlin.updatePayload", "mlin.queryMsg", "mlin.queryResp",
+	"mlin.updatePayload", "mlin.queryMsg", "mlin.queryResp", "mlin.applyAck",
 	// Checkpoint transfer.
 	"recovery.xferReq", "recovery.xferResp",
 	// Declarative procedures riding inside update payloads.

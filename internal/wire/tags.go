@@ -49,6 +49,7 @@ const (
 	TagMLinUpdate    Tag = 48
 	TagMLinQueryMsg  Tag = 49
 	TagMLinQueryResp Tag = 50
+	TagMLinApplyAck  Tag = 51
 
 	// 56–63: recovery (checkpoint transfer).
 	TagXferReq  Tag = 56

@@ -22,6 +22,11 @@
 //	ok, _ := p0.DCAS(x, y, 1, 2, 10, 20) // atomic two-object CAS
 //	_ = ok
 //
+//	// Per-request consistency: trade freshness guarantees for latency.
+//	r, _ := p0.Exec(moc.MultiRead{Xs: []moc.ObjectID{x, y}},
+//		moc.ExecOptions{Level: moc.Quorum})
+//	_ = r.Value // plus r.Level, r.Responders, r.IsConsistent
+//
 //	res, _ := s.Verify() // re-check m-linearizability of the whole run
 //
 // # What is inside
@@ -67,6 +72,27 @@ type (
 	BroadcastKind = core.BroadcastKind
 	// VerifyResult is the outcome of Store.Verify.
 	VerifyResult = core.VerifyResult
+	// ExecOptions tunes one Process.Exec call (per-request consistency
+	// level); the zero value requests the store's native behavior.
+	ExecOptions = core.ExecOptions
+	// Result is what Process.Exec returns: the procedure's value plus
+	// the certified consistency level, the responders that contributed,
+	// and whether the certified level honors the requested one.
+	Result = core.Result
+	// Level is a per-request consistency level (One, Quorum, All).
+	Level = core.Level
+	// Future is a pending asynchronous m-operation (Process.ExecAsync).
+	Future = core.Future
+)
+
+// Per-request consistency levels for m-linearizable stores. ONE reads
+// the issuer's replica (session-monotonic, m-SC strength); QUORUM
+// completes a query once a majority of replicas answered; ALL solicits
+// every replica (the Figure 6 behavior, and the default).
+const (
+	One    = core.One
+	Quorum = core.Quorum
+	All    = core.All
 )
 
 // Object identity and values (see internal/object).

@@ -93,11 +93,11 @@ func TestFacadeCustomProcedure(t *testing.T) {
 	if err := p.Write(a, 7); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
-	res, err := p.Execute(drain)
+	res, err := p.Exec(drain, moc.ExecOptions{})
 	if err != nil {
-		t.Fatalf("Execute: %v", err)
+		t.Fatalf("Exec: %v", err)
 	}
-	if res.(moc.Value) != 7 {
+	if res.Value.(moc.Value) != 7 {
 		t.Fatalf("drained %v, want 7", res)
 	}
 	bv, _ := p.Read(b)
