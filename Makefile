@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify quick bench codec-gate chaos-smoke
+.PHONY: build test race vet verify quick bench codec-gate chaos-smoke monitor-smoke
 
 build:
 	$(GO) build ./...
@@ -37,9 +37,17 @@ codec-gate:
 chaos-smoke:
 	$(GO) test ./internal/chaos/ -race -run TestChaosSmoke -count=1 -v
 
+# monitor-smoke = the live-verification acceptance run: real daemons
+# stream every completed record over TCP to an in-process mocmon
+# pipeline while one daemon is SIGKILLed and restarted (zero violations,
+# restart visible as a superseded stream generation), then a planted
+# stale read (mocd -staleinject) must be flagged online as Lemma 16.
+monitor-smoke:
+	$(GO) test ./internal/chaos/ -race -run TestMonitorSmoke -count=1 -v
+
 # verify = the tier-1 gate: vet + race-enabled tests + codec gates +
-# the seeded chaos campaign.
-verify: vet race codec-gate chaos-smoke
+# the seeded chaos campaign + the live-verification smoke.
+verify: vet race codec-gate chaos-smoke monitor-smoke
 
 # quick = the fast loop: -short trims the chaos/stress iteration counts.
 quick:

@@ -12,10 +12,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
 	"moc/internal/chaos"
+	"moc/internal/monitor"
+	"moc/internal/verify"
 )
 
 func main() {
@@ -44,6 +47,8 @@ func run() error {
 		readFrac    = flag.Float64("readfrac", 0.5, "fraction of query operations")
 		callTimeout = flag.Duration("calltimeout", 2*time.Second, "per-RPC deadline")
 		recoverWait = flag.Duration("recoverwait", time.Second, "restarted daemon's checkpoint solicitation wait")
+		liveMon     = flag.Bool("monitor", false, "run an in-process live verification service (internal/verify) and stream every daemon's records to it; the campaign fails on any online violation")
+		monWindow   = flag.Int("monwindow", 1<<18, "live verification GC window in records (with -monitor)")
 		jsonOut     = flag.String("json", "", "write the full campaign result as JSON to this file (- = stdout)")
 	)
 	flag.Parse()
@@ -65,6 +70,18 @@ func run() error {
 	}
 	defer os.RemoveAll(traceDir)
 
+	var svc *verify.Service
+	var monitorAddr string
+	if *liveMon {
+		streamLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		svc = verify.NewService(streamLn, nil, verify.ServiceConfig{Window: *monWindow}, nil)
+		monitorAddr = streamLn.Addr().String()
+		fmt.Printf("live verification: streaming to in-process service at %s (window %d)\n", monitorAddr, *monWindow)
+	}
+
 	res, err := chaos.RunCampaign(chaos.CampaignConfig{
 		Cluster: chaos.ClusterConfig{
 			MocdBin:       bin,
@@ -79,6 +96,7 @@ func run() error {
 			Partitions:    *partitions,
 			QueryTimeout:  time.Second,
 			RecoverWait:   *recoverWait,
+			MonitorAddr:   monitorAddr,
 		},
 		Kill:        *kill,
 		PhaseA:      *phaseA,
@@ -122,6 +140,27 @@ func run() error {
 	}
 	fmt.Printf("merged history: %d records, exact checker: %s\n", res.Records, verdict)
 
+	var monViolations []monitor.Violation
+	if svc != nil {
+		svc.Close()
+		if pipe := svc.Pipeline(); pipe != nil {
+			monViolations = pipe.Finish()
+			st := pipe.Snapshot()
+			fmt.Printf("live verification: %d records verified online, %d violations, %d dangling (kill-lost writers), heap high water %.1f MB\n",
+				st.Released, len(monViolations), st.Monitor.DanglingReads+st.Checker.DanglingReads,
+				float64(st.HeapHW)/(1<<20))
+			for i, v := range monViolations {
+				if i == 10 {
+					fmt.Printf("  ... %d more\n", len(monViolations)-10)
+					break
+				}
+				fmt.Printf("  %s\n", v)
+			}
+		} else {
+			fmt.Println("live verification: no daemon stream ever connected")
+		}
+	}
+
 	if *jsonOut != "" {
 		blob, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -135,6 +174,9 @@ func run() error {
 	}
 	if !res.Accepted {
 		return fmt.Errorf("exact checker rejected the merged chaos history")
+	}
+	if len(monViolations) > 0 {
+		return fmt.Errorf("live verification flagged %d violations", len(monViolations))
 	}
 	return nil
 }

@@ -7,11 +7,21 @@
 //
 //	moccheck [-condition mlin|msc|mnormal|mcausal|mixed] [-budget N] history.json
 //	mocsim -json ... | moccheck -condition mlin -
+//	moccheck -stream [-lenient] [-window N] trace0.jsonl [trace1.jsonl ...]
 //
 // The "mixed" condition is for histories whose queries carry
 // per-request consistency levels (mocsim -level, mocload -level): the
 // full history must be m-sequentially consistent and its restriction to
 // updates plus strong-level queries must be m-linearizable.
+//
+// -stream takes mocd JSON-lines trace files instead of a history and
+// replays their merged records, in response order, through the same
+// online path mocmon runs (the Section 5 monitor plus the incremental
+// Theorem 7 checker) — offline and live verification share one code
+// path, and the NP-hard decider is only needed for adversarial
+// counterexample hunts. -lenient skips and counts corrupt interior
+// lines (kill-torn traces); -window bounds retained state as mocmon
+// would.
 //
 // Exit status:
 //
@@ -27,10 +37,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"moc/internal/checker"
+	"moc/internal/core"
 	"moc/internal/history"
+	"moc/internal/monitor"
+	"moc/internal/verify"
 )
 
 func main() {
@@ -45,15 +59,88 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var (
 		condition = fs.String("condition", "mlin", `condition: "msc", "mlin", "mnormal", "mcausal" or "mixed" (per-request levels)`)
 		budget    = fs.Int("budget", 0, "search node budget (0 = unlimited)")
+		stream    = fs.Bool("stream", false, "treat the arguments as mocd JSON-lines trace files and replay them through the online checker (mocmon's path)")
+		lenient   = fs.Bool("lenient", false, "with -stream, skip and count corrupt interior trace lines instead of aborting")
+		window    = fs.Int("window", 0, "with -stream, garbage-collect checker state outside a window of this many records (0 = retain everything)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	code, err := check(fs, *condition, *budget, stdin, stdout)
+	var code int
+	var err error
+	if *stream {
+		code, err = streamCheck(fs.Args(), *lenient, *window, stdout)
+	} else {
+		code, err = check(fs, *condition, *budget, stdin, stdout)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "moccheck:", err)
 	}
 	return code
+}
+
+// streamCheck replays merged trace files through verify.Pipeline — the
+// exact path mocmon feeds — so a trace already on disk gets the same
+// verdict the live service would have produced.
+func streamCheck(paths []string, lenient bool, window int, stdout io.Writer) (int, error) {
+	if len(paths) == 0 {
+		return 2, fmt.Errorf("usage: moccheck -stream [-lenient] [-window N] <trace.jsonl ...>")
+	}
+	var traces []core.Trace
+	skipped := 0
+	for _, path := range paths {
+		if lenient {
+			tr, n, err := core.ReadTraceFileLenient(path)
+			if err != nil {
+				return 2, err
+			}
+			skipped += n
+			traces = append(traces, tr)
+		} else {
+			tr, err := core.ReadTraceFile(path)
+			if err != nil {
+				return 2, err
+			}
+			traces = append(traces, tr)
+		}
+	}
+	recs, reg, cons, err := core.MergeTraces(traces...)
+	if err != nil {
+		return 2, err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Resp < recs[j].Resp })
+
+	level := monitor.MSCLevel
+	if cons == core.MLinearizable {
+		level = monitor.MLinLevel
+	}
+	pipe := verify.NewPipeline(verify.PipelineConfig{
+		NumObjects: reg.Len(),
+		Level:      level,
+		Window:     window,
+	})
+	for _, rec := range recs {
+		pipe.Observe(rec)
+	}
+	vs := pipe.Finish()
+	st := pipe.Snapshot()
+
+	fmt.Fprintf(stdout, "records: %d from %d trace file(s)\n", len(recs), len(paths))
+	if lenient {
+		fmt.Fprintf(stdout, "corrupt lines skipped: %d\n", skipped)
+	}
+	fmt.Fprintf(stdout, "condition: %s (online obligations at the %s level)\n", cons, level)
+	fmt.Fprintf(stdout, "checker: %d released, %d compactions, %d dangling\n",
+		st.Released, st.Compactions, st.Monitor.DanglingReads+st.Checker.DanglingReads)
+	if len(vs) == 0 {
+		fmt.Fprintln(stdout, "RESULT: no violations")
+		return 0, nil
+	}
+	fmt.Fprintf(stdout, "RESULT: %d violation(s)\n", len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(stdout, "  %s\n", v)
+	}
+	return 1, nil
 }
 
 func check(fs *flag.FlagSet, condition string, budget int, stdin io.Reader, stdout io.Writer) (int, error) {

@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"moc/internal/core"
 	"moc/internal/history"
+	"moc/internal/mop"
 	"moc/internal/object"
+	"moc/internal/timestamp"
 )
 
 // writeHistory marshals h to a temp file and returns its path.
@@ -138,5 +142,83 @@ func TestStdinDash(t *testing.T) {
 	code := run([]string{"-condition", "msc", "-"}, bytes.NewReader(data), &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+}
+
+// writeTrace dumps records to a mocd-format JSON-lines trace file.
+func writeTrace(t *testing.T, dir string, node int, recs []mop.Record) string {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("trace%d.jsonl", node))
+	w, err := core.NewTraceFileWriter(path, node, core.MLinearizable, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		w.Append(rec)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestStreamMode drives -stream over trace files through every verdict:
+// a clean run exits 0, a stale read (a genuine Lemma 16 violation) is
+// flagged with exit 1, corrupt interior lines abort without -lenient
+// and are skip-counted with it.
+func TestStreamMode(t *testing.T) {
+	write := mop.Record{
+		Proc: 0, Update: true, Seq: 0,
+		Ops:     []history.Op{history.W(0, 7)},
+		TSStart: timestamp.TS{0}, TSEnd: timestamp.TS{1},
+		Footprint: object.FullSet(1),
+		Inv:       10, Resp: 20,
+	}
+	freshRead := mop.Record{
+		Proc: 1, Seq: -1,
+		Ops:     []history.Op{history.R(0, 7)},
+		TSStart: timestamp.TS{1}, TSEnd: timestamp.TS{1},
+		Footprint: object.FullSet(1),
+		Inv:       40, Resp: 50,
+	}
+	staleRead := mop.Record{
+		Proc: 1, Seq: -1,
+		Ops:     []history.Op{history.R(0, 0)},
+		TSStart: timestamp.TS{0}, TSEnd: timestamp.TS{0},
+		Footprint: object.FullSet(1),
+		Inv:       40, Resp: 50,
+	}
+
+	dir := t.TempDir()
+	t0 := writeTrace(t, dir, 0, []mop.Record{write})
+	t1 := writeTrace(t, dir, 1, []mop.Record{freshRead})
+	code, out, _ := runCheck(t, "-stream", t0, t1)
+	if code != 0 || !strings.Contains(out, "no violations") {
+		t.Fatalf("clean stream: code %d, out:\n%s", code, out)
+	}
+
+	t1stale := writeTrace(t, filepath.Join(dir), 2, []mop.Record{staleRead})
+	code, out, _ = runCheck(t, "-stream", t0, t1stale)
+	if code != 1 || !strings.Contains(out, "Lemma16") {
+		t.Fatalf("stale stream: code %d, out:\n%s", code, out)
+	}
+
+	// Corrupt an interior line: garbage between header and record.
+	data, err := os.ReadFile(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(data), "\n", 2)
+	torn := filepath.Join(dir, "torn.jsonl")
+	if err := os.WriteFile(torn, []byte(lines[0]+"\nGARBAGE\n"+lines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCheck(t, "-stream", torn, t1)
+	if code != 2 {
+		t.Fatalf("torn trace accepted without -lenient: code %d, stderr %s", code, errOut)
+	}
+	code, out, _ = runCheck(t, "-stream", "-lenient", torn, t1)
+	if code != 0 || !strings.Contains(out, "corrupt lines skipped: 1") {
+		t.Fatalf("lenient torn stream: code %d, out:\n%s", code, out)
 	}
 }

@@ -37,12 +37,15 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"moc/internal/core"
 	"moc/internal/mocrpc"
+	"moc/internal/mop"
 	"moc/internal/transport"
+	"moc/internal/verify"
 )
 
 func main() {
@@ -69,9 +72,11 @@ func run() error {
 		recov        = flag.Bool("recover", false, "enable checkpoint-transfer recovery: serve checkpoints to rejoining peers and solicit one at startup (same flag on every daemon; requires -broadcast=seq and -batch=1)")
 		recoverWait  = flag.Duration("recoverwait", 3*time.Second, "how long the startup checkpoint solicitation waits for peers (with -recover; failure to recover is logged, not fatal)")
 		trace        = flag.String("trace", "", "stream completed operations to this JSON-lines trace file (kill-safe; merge with moccheck or internal/chaos)")
+		monitorAddr  = flag.String("monitor", "", "stream completed operations to a mocmon live verification service at this address (batched, acked, resumes across reconnects)")
 		queryTimeout = flag.Duration("querytimeout", 0, "m-linearizable query round-trip bound before re-solicitation (0 = protocol default; needed when peers may die mid-query)")
 		queryRetries = flag.Int("queryretries", 0, "re-solicitations for a bounded query (with -querytimeout)")
 		drainWait    = flag.Duration("drainwait", 5*time.Second, "how long shutdown waits for in-flight operations to drain")
+		staleInject  = flag.Int("staleinject", 0, "TEST HOOK: report the Nth completed non-trivial query one version stale on its first object before it reaches the trace/monitor sinks — the store itself is untouched; a live verification service must flag the record (0 = off)")
 
 		faultSeed   = flag.Int64("faultseed", 0, "seed for transport fault injection (0 with fault probabilities set uses seed 1)")
 		resetProb   = flag.Float64("resetprob", 0, "probability an outbound frame write is turned into a connection reset")
@@ -185,8 +190,26 @@ func run() error {
 		QueryTimeout: *queryTimeout,
 		QueryRetries: *queryRetries,
 	}
-	if traceW != nil {
+	var monW *verify.StreamWriter
+	if *monitorAddr != "" {
+		monW = verify.NewStreamWriter(verify.WriterConfig{
+			Addr: *monitorAddr, Node: *id,
+			Consistency: *consistency, Objects: names,
+		})
+	}
+	switch {
+	case traceW != nil && monW != nil:
+		storeCfg.RecordSink = func(rec mop.Record) {
+			traceW.Append(rec)
+			monW.Append(rec)
+		}
+	case traceW != nil:
 		storeCfg.RecordSink = traceW.Append
+	case monW != nil:
+		storeCfg.RecordSink = monW.Append
+	}
+	if *staleInject > 0 && storeCfg.RecordSink != nil {
+		storeCfg.RecordSink = staleInjector(*staleInject, storeCfg.RecordSink)
 	}
 	if *batch > 1 {
 		storeCfg.BatchSize = *batch
@@ -265,6 +288,13 @@ func run() error {
 			return fmt.Errorf("trace file: %w", err)
 		}
 	}
+	if monW != nil {
+		// Drain already completed, so the final flush sees every record;
+		// Close ships the tail and Fins the stream.
+		monW.Close()
+		sent, skippedRecs, _ := monW.Stats()
+		fmt.Printf("mocd: node %d: streamed %d records to monitor (%d without version vectors skipped)\n", *id, sent, skippedRecs)
+	}
 	fmt.Printf("mocd: node %d down\n", *id)
 	return nil
 }
@@ -307,6 +337,37 @@ func parsePartitions(spec string) ([]transport.PeerPartition, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// staleInjector wraps a record sink with the -staleinject test hook: it
+// lets n-1 eligible query records through, then reports the nth one
+// version stale on its first footprint object — TSStart and TSEnd both
+// decremented, exactly what a new/old-inversion read would have
+// produced. Only the *reported* record is corrupted; the store's state
+// and every later record are genuine, so a live verification service
+// watching the stream must flag this record and nothing else. Eligible
+// means a query that observed at least version 1 (decrementing version
+// 0 would claim a negative version, a different violation class).
+func staleInjector(n int, sink func(mop.Record)) func(mop.Record) {
+	var mu sync.Mutex
+	seen := 0
+	return func(rec mop.Record) {
+		mu.Lock()
+		if !rec.Update && rec.TSStart != nil && rec.TSEnd != nil && seen < n {
+			if ids := rec.Footprint.IDs(); len(ids) > 0 && rec.TSStart.Get(ids[0]) >= 1 {
+				seen++
+				if seen == n {
+					x := ids[0]
+					rec.TSStart = rec.TSStart.Clone()
+					rec.TSEnd = rec.TSEnd.Clone()
+					rec.TSStart.Set(x, rec.TSStart.Get(x)-1)
+					rec.TSEnd.Set(x, rec.TSEnd.Get(x)-1)
+				}
+			}
+		}
+		mu.Unlock()
+		sink(rec)
+	}
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,127 @@
+// Command mocmon is the live verification service: mocd daemons stream
+// every completed m-operation to it (mocd -monitor), and it checks the
+// merged global stream online — the Section 5 proof obligations plus an
+// incremental Theorem 7 cycle check — with windowed garbage collection
+// so memory stays bounded however long the cluster runs.
+//
+// A 3-node cluster with live verification:
+//
+//	mocmon -listen 127.0.0.1:7300 -rpc 127.0.0.1:7301 &
+//	mocd -id 0 ... -monitor 127.0.0.1:7300 &
+//	mocd -id 1 ... -monitor 127.0.0.1:7300 &
+//	mocd -id 2 ... -monitor 127.0.0.1:7300 &
+//
+// The status RPC is JSON lines, like mocrpc:
+//
+//	{"op":"status"}            → verified count, violation count
+//	{"op":"violations","limit":10} → the violations themselves
+//	{"op":"stats"}             → merge/checker/GC internals
+//	{"op":"shutdown"}          → stop the service
+//
+// Store parameters (object registry, consistency condition) are learned
+// from the first stream's Hello; every stream must announce the same
+// ones. The service holds no durable state: restarting it restarts
+// verification from the next record each daemon still retains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"moc/internal/verify"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mocmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", "", "record stream listen address (required; mocd -monitor points here)")
+		rpc    = flag.String("rpc", "", "JSON-lines status RPC listen address (required)")
+		window = flag.Int("window", 1<<20, "GC window in verified records: the checker retains about this many before retiring the closed prefix (0 = retain everything)")
+		slack  = flag.Duration("slack", 25*time.Millisecond, "merge watermark slack: the largest per-daemon completion-order inversion absorbed without a feed-order report")
+		report = flag.Duration("report", 10*time.Second, "print a progress line this often (0 = quiet)")
+	)
+	flag.Parse()
+	if *listen == "" || *rpc == "" {
+		return fmt.Errorf("-listen and -rpc are required")
+	}
+
+	streamLn, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	rpcLn, err := net.Listen("tcp", *rpc)
+	if err != nil {
+		streamLn.Close()
+		return err
+	}
+
+	done := make(chan struct{})
+	var once sync.Once
+	svc := verify.NewService(streamLn, rpcLn, verify.ServiceConfig{
+		Window:  *window,
+		SlackNs: slack.Nanoseconds(),
+	}, func() { once.Do(func() { close(done) }) })
+	fmt.Printf("mocmon: up; streams %s, rpc %s, window %d records, slack %v\n",
+		streamLn.Addr(), rpcLn.Addr(), *window, *slack)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *report > 0 {
+		ticker = time.NewTicker(*report)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+loop:
+	for {
+		select {
+		case <-done:
+			break loop
+		case sig := <-sigs:
+			fmt.Printf("mocmon: %v\n", sig)
+			break loop
+		case <-tick:
+			if pipe := svc.Pipeline(); pipe != nil {
+				st := pipe.Snapshot()
+				fmt.Printf("mocmon: verified %d records, %d violations, %d buffered, %d live graph nodes (high water %d), heap high water %.1f MB\n",
+					st.Released, st.Violations, st.Buffered, st.Checker.LiveNodes, st.Checker.HighWater,
+					float64(st.HeapHW)/(1<<20))
+			}
+		}
+	}
+	svc.Close()
+
+	if pipe := svc.Pipeline(); pipe != nil {
+		vs := pipe.Finish()
+		st := pipe.Snapshot()
+		fmt.Printf("mocmon: down; verified %d records, %d violations, heap high water %.1f MB\n",
+			st.Released, len(vs), float64(st.HeapHW)/(1<<20))
+		for i, v := range vs {
+			if i == 20 {
+				fmt.Printf("mocmon:   ... %d more\n", len(vs)-20)
+				break
+			}
+			fmt.Printf("mocmon:   %s\n", v)
+		}
+		if len(vs) > 0 {
+			return fmt.Errorf("%d violations", len(vs))
+		}
+	} else {
+		fmt.Println("mocmon: down; no streams ever connected")
+	}
+	return nil
+}

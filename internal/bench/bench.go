@@ -47,6 +47,7 @@ func Experiments() []Experiment {
 		{ID: "E17", Title: "Binary wire codec vs gob: TCP update throughput and send-path allocations", Run: runE17, JSON: e17JSON},
 		{ID: "E18", Title: "Availability under chaos: socket faults, SIGKILL, and checkpoint rejoin over loopback TCP", Run: runE18, JSON: e18JSON},
 		{ID: "E19", Title: "Per-request consistency levels: query latency at ONE/QUORUM/ALL with one degraded peer", Run: runE19, JSON: e19JSON},
+		{ID: "E20", Title: "Live verification: verified records/s and retained state vs GC window, in-process + streamed TCP", Run: runE20, JSON: e20JSON},
 		{ID: "A1", Title: "Ablation: sequencer vs Lamport atomic broadcast", Run: runAblationBroadcast},
 		{ID: "A2", Title: "Ablation: checker heuristics and memoization", Run: runAblationChecker},
 	}

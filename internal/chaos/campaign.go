@@ -94,9 +94,11 @@ type CampaignResult struct {
 	FaultCorrupted    int64 `json:"faultCorrupted"`
 	PartitionRefusals int64 `json:"partitionRefusals"`
 	// Records is the merged trace size; Accepted is the exact checker's
-	// verdict on the merged history.
-	Records  int  `json:"records"`
-	Accepted bool `json:"accepted"`
+	// verdict on the merged history. TornLines counts interior trace
+	// lines skipped as corrupt by the lenient reader (kill-torn files).
+	Records   int  `json:"records"`
+	TornLines int  `json:"tornLines"`
+	Accepted  bool `json:"accepted"`
 	// Logs carries the daemons' output for diagnosis.
 	Logs []string `json:"-"`
 }
@@ -392,10 +394,11 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	tl.mu.Unlock()
 
 	// Merge every generation's trace file and run the exact checker.
-	traces, err := cluster.Traces()
+	traces, torn, err := cluster.Traces()
 	if err != nil {
 		return res, err
 	}
+	res.TornLines = torn
 	recs, reg, cons, err := core.MergeTraces(traces...)
 	if err != nil {
 		return res, err

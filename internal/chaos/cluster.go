@@ -56,6 +56,16 @@ type ClusterConfig struct {
 	// it.
 	SlowNode   int
 	FaultDelay time.Duration
+	// MonitorAddr, when set, makes every daemon stream completed
+	// records to a mocmon verification service at this address (mocd
+	// -monitor); a restarted daemon opens a fresh stream generation.
+	MonitorAddr string
+	// StaleInject, when > 0, passes mocd's -staleinject test hook to
+	// daemon StaleInjectNode: that daemon reports its Nth eligible
+	// query one version stale, which a live verification service on
+	// MonitorAddr must flag online. The store itself stays correct.
+	StaleInject     int
+	StaleInjectNode int
 	// RecoverWait bounds each daemon's startup checkpoint solicitation
 	// (mocd -recoverwait). Checkpoint responses ride the same faulty
 	// sockets as everything else, so a corrupted response is lost and
@@ -187,6 +197,9 @@ func (c *Cluster) start(id int) error {
 		"-recover",
 		"-trace", tracePath,
 	}
+	if c.cfg.MonitorAddr != "" {
+		args = append(args, "-monitor", c.cfg.MonitorAddr)
+	}
 	if c.cfg.RecoverWait > 0 {
 		args = append(args, "-recoverwait", c.cfg.RecoverWait.String())
 	}
@@ -201,6 +214,9 @@ func (c *Cluster) start(id int) error {
 	}
 	if id == c.cfg.SlowNode && c.cfg.FaultDelay > 0 {
 		args = append(args, "-faultdelay", c.cfg.FaultDelay.String())
+	}
+	if id == c.cfg.StaleInjectNode && c.cfg.StaleInject > 0 {
+		args = append(args, "-staleinject", fmt.Sprint(c.cfg.StaleInject))
 	}
 	if c.cfg.Consistency == "mlin" && c.cfg.QueryTimeout > 0 {
 		args = append(args,
@@ -333,8 +349,13 @@ func (c *Cluster) Close() {
 // Traces reads every trace file the cluster ever opened — including
 // the pre-kill generations of restarted daemons — ready for
 // core.MergeTraces. Files that were created but never got a header
-// (daemon died before its first write) are skipped.
-func (c *Cluster) Traces() ([]core.Trace, error) {
+// (daemon died before its first write) are skipped. Files are read in
+// lenient mode (a SIGKILL can tear a line mid-file when appends race
+// the kill, and the campaign's fault injector mangles bytes on
+// purpose); the second result counts interior lines skipped as corrupt
+// across all files, which the campaign reports rather than fails on —
+// a torn trace is a lossy feed, not an inconsistent history.
+func (c *Cluster) Traces() ([]core.Trace, int, error) {
 	c.mu.Lock()
 	var paths []string
 	for _, gens := range c.traces {
@@ -342,20 +363,22 @@ func (c *Cluster) Traces() ([]core.Trace, error) {
 	}
 	c.mu.Unlock()
 	var out []core.Trace
+	torn := 0
 	for _, path := range paths {
-		tr, err := core.ReadTraceFile(path)
+		tr, skipped, err := core.ReadTraceFileLenient(path)
 		if err != nil {
 			if st, statErr := os.Stat(path); statErr == nil && st.Size() == 0 {
 				continue
 			}
-			return nil, err
+			return nil, 0, err
 		}
+		torn += skipped
 		out = append(out, tr)
 	}
 	if len(out) == 0 {
-		return nil, errors.New("chaos: no usable trace files")
+		return nil, 0, errors.New("chaos: no usable trace files")
 	}
-	return out, nil
+	return out, torn, nil
 }
 
 // Logs returns each daemon's combined stdout/stderr (all generations).

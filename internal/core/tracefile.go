@@ -77,9 +77,26 @@ func (w *TraceFileWriter) Close() error {
 // off mid-write by a kill — is tolerated and dropped; any earlier
 // malformed line is an error. The header's records field is ignored.
 func ReadTraceFile(path string) (Trace, error) {
+	tr, _, err := readTraceFile(path, false)
+	return tr, err
+}
+
+// ReadTraceFileLenient is ReadTraceFile in lenient mode: corrupt
+// interior lines — torn by a kill landing mid-write with more appends
+// racing behind it, or bytes mangled on a dying disk — are skipped and
+// counted instead of aborting the parse, so one torn file does not
+// abort a whole campaign merge. The count of skipped lines is returned;
+// a caller that expected a clean file should treat a nonzero count as
+// the error ReadTraceFile would have raised. The header must still
+// parse — without it the records cannot be attributed to a node.
+func ReadTraceFileLenient(path string) (Trace, int, error) {
+	return readTraceFile(path, true)
+}
+
+func readTraceFile(path string, lenient bool) (Trace, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return Trace{}, err
+		return Trace{}, 0, err
 	}
 	defer f.Close()
 
@@ -87,16 +104,17 @@ func ReadTraceFile(path string) (Trace, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return Trace{}, fmt.Errorf("core: trace file %s: %w", path, err)
+			return Trace{}, 0, fmt.Errorf("core: trace file %s: %w", path, err)
 		}
-		return Trace{}, fmt.Errorf("core: trace file %s: missing header", path)
+		return Trace{}, 0, fmt.Errorf("core: trace file %s: missing header", path)
 	}
 	var tr Trace
 	if err := json.Unmarshal(sc.Bytes(), &tr); err != nil {
-		return Trace{}, fmt.Errorf("core: trace file %s header: %w", path, err)
+		return Trace{}, 0, fmt.Errorf("core: trace file %s header: %w", path, err)
 	}
 	tr.Records = nil
 
+	skipped := 0
 	var pendingErr error
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -104,18 +122,25 @@ func ReadTraceFile(path string) (Trace, error) {
 			continue
 		}
 		if pendingErr != nil {
-			return Trace{}, pendingErr
+			// The bad line had lines after it, so it was not a
+			// kill-truncated tail.
+			if !lenient {
+				return Trace{}, 0, pendingErr
+			}
+			skipped++
+			pendingErr = nil
 		}
 		var wr TraceRecord
 		if err := json.Unmarshal(line, &wr); err != nil {
-			// Only legal as the final line (truncated by a kill).
+			// Legal as the final line (truncated by a kill); anything
+			// interior is corruption.
 			pendingErr = fmt.Errorf("core: trace file %s: bad record line: %w", path, err)
 			continue
 		}
 		tr.Records = append(tr.Records, wr)
 	}
 	if err := sc.Err(); err != nil {
-		return Trace{}, fmt.Errorf("core: trace file %s: %w", path, err)
+		return Trace{}, 0, fmt.Errorf("core: trace file %s: %w", path, err)
 	}
-	return tr, nil
+	return tr, skipped, nil
 }

@@ -142,4 +142,67 @@ func TestReadTraceFileToleratesTruncatedTail(t *testing.T) {
 	if _, err := ReadTraceFile(bad); err == nil {
 		t.Fatal("mid-file garbage accepted")
 	}
+
+	// Lenient mode skips and counts the same interior garbage instead of
+	// aborting, keeping both complete records around it.
+	tr2, skipped, err := ReadTraceFileLenient(bad)
+	if err != nil {
+		t.Fatalf("lenient read failed: %v", err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	if len(tr2.Records) != 2 {
+		t.Fatalf("lenient records = %+v, want both complete records", tr2.Records)
+	}
+}
+
+// TestReadTraceFileLenientCountsOnlyInteriorLines: a truncated tail is
+// a normal kill artifact, not corruption — lenient mode must not count
+// it — and a clean file reports zero skips.
+func TestReadTraceFileLenientCountsOnlyInteriorLines(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "clean.trace")
+	w, err := NewTraceFileWriter(path, 0, MLinearizable, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(mop.Record{
+		Proc: 0, Update: true, Seq: 0,
+		Ops:     []history.Op{history.W(object.ID(0), 3)},
+		TSStart: timestamp.TS{0}, TSEnd: timestamp.TS{1},
+		Footprint: object.NewSet(object.ID(0)),
+		Inv:       1, Resp: 2,
+	})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, skipped, err := ReadTraceFileLenient(path); err != nil || skipped != 0 {
+		t.Fatalf("clean file: skipped = %d, err = %v", skipped, err)
+	}
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"proc":0,"upd`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tr, skipped, err := ReadTraceFileLenient(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(tr.Records) != 1 {
+		t.Fatalf("truncated tail: skipped = %d, records = %d; want 0 and 1", skipped, len(tr.Records))
+	}
+
+	// A header that does not parse is fatal even in lenient mode.
+	badHdr := filepath.Join(t.TempDir(), "badhdr.trace")
+	if err := os.WriteFile(badHdr, []byte("{\"node\":\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadTraceFileLenient(badHdr); err == nil {
+		t.Fatal("unparsable header accepted in lenient mode")
+	}
 }

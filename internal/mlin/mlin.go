@@ -52,6 +52,26 @@
 // replica's apply; it does not delay the applies themselves, which the
 // broadcast drives independently.
 //
+// The write phase alone is not enough: a read can also observe an
+// update that is applied somewhere but not yet majority-applied (its
+// write phase still in flight), and a later majority read could then
+// miss it — the classic new/old inversion that makes quorum reads
+// without a write-back non-linearizable (ABD's reason for its
+// read-side write-back round). Strong queries therefore finish with a
+// read barrier: after merging, the query computes the total-order
+// prefix its snapshot covers and responds only once a majority of
+// replicas is known to have applied that prefix — evidence comes from
+// the responses' advertised applied counts, the issuer's own applies,
+// and, when still short, idempotent re-probes of the lagging replicas
+// (the same query message; only the advertised applied count is
+// consumed). This is the ReadIndex rule: nothing is written back
+// because the prefix is already in the broadcast order and reaches
+// every replica anyway — the barrier just waits for that to be
+// *known*, so any later strong read's majority intersects a majority
+// holding the prefix. A query whose barrier cannot be confirmed within
+// the retry budget is certified LevelOne (IsConsistent=false): it may
+// have read an unstable prefix and only the m-SC guarantee is claimed.
+//
 // Two mechanisms keep mixed-level histories coherent. First, every
 // completed query folds the issuer's own replica into the merged copy,
 // so no query — however few peers answered — ever reads state older
@@ -166,6 +186,36 @@ type queryState struct {
 	// response: the total-order prefix the merged copy is known to cover.
 	respApplied int64
 	done        chan struct{}
+
+	// Read-barrier state (the SC-ABD write-back analogue; see the
+	// package comment). appliedBy[r] is the largest applied count
+	// replica r has ever advertised for this query — unlike the merge,
+	// it keeps absorbing duplicate and post-completion responses, since
+	// barrier re-probes exist precisely to refresh it. barrier, once
+	// >= 0, is the covered prefix the merged copy reflects; barrierCh
+	// closes when a majority of replicas is known to have applied it.
+	appliedBy   []int64
+	barrier     int64
+	barrierDone bool
+	barrierCh   chan struct{}
+}
+
+// noteEvidence closes barrierCh once a majority of replicas is known to
+// have applied the barrier prefix. Callers hold the proc's state mutex.
+func (qs *queryState) noteEvidence(quorum int) {
+	if qs.barrier < 0 || qs.barrierDone {
+		return
+	}
+	n := 0
+	for _, a := range qs.appliedBy {
+		if a >= qs.barrier {
+			n++
+		}
+	}
+	if n >= quorum {
+		qs.barrierDone = true
+		close(qs.barrierCh)
+	}
 }
 
 // The wire payload types below carry exported fields so a serializing
@@ -424,6 +474,12 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level)
 		waiting:   need,
 		responded: make([]bool, p.cfg.Procs),
 		done:      make(chan struct{}),
+		appliedBy: make([]int64, p.cfg.Procs),
+		barrier:   -1,
+		barrierCh: make(chan struct{}),
+	}
+	for i := range qs.appliedBy {
+		qs.appliedBy[i] = -1
 	}
 	st.mu.Lock()
 	st.pendQry[reqID] = qs
@@ -452,14 +508,15 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level)
 	// Post-round bookkeeping, all under the replica lock: wait out the
 	// session floor, fold the local replica into the merged copy, and
 	// advance the floor to the prefix this query covers. The message loop
-	// no longer touches qs (waiting is 0), so its fields are stable.
+	// no longer merges into qs (waiting is 0), so the snapshot fields are
+	// stable; only the barrier evidence keeps moving.
 	covered := qs.respApplied
 	st.mu.Lock()
-	delete(st.pendQry, reqID)
 	for max64(qs.respApplied, st.applied) < st.floor && !p.closed.Load() {
 		st.cond.Wait()
 	}
 	if p.closed.Load() {
+		delete(st.pendQry, reqID)
 		st.mu.Unlock()
 		return mop.Record{}, ErrClosed
 	}
@@ -488,19 +545,43 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level)
 	if covered > st.floor {
 		st.floor = covered
 	}
-	st.mu.Unlock()
-
+	// Enter the read barrier: the merged copy reflects prefix `covered`;
+	// certifying any strong level requires a majority of replicas to
+	// have applied it (see the package comment). The issuer's own
+	// replica is the first piece of evidence; the phase-1 responses
+	// already carried theirs.
 	responders := make([]int, 0, p.cfg.Procs)
 	for q, ok := range qs.responded {
 		if ok {
 			responders = append(responders, q)
 		}
 	}
-	certified, consistent := certifyQuery(level, len(responders), p.cfg.Procs)
+	qs.barrier = covered
+	if st.applied > qs.appliedBy[proc] {
+		qs.appliedBy[proc] = st.applied
+	}
+	qs.noteEvidence(p.quorum())
+	st.mu.Unlock()
+
+	// Skip the wait when the responder count already caps certification
+	// at ONE (a deep force-completion): the barrier cannot strengthen
+	// the verdict, and probing an unreachable majority would only double
+	// the force-complete latency. Level-less queries always wait — they
+	// keep their pre-level identity and are checked at the store's
+	// native condition however many responded.
+	stable := false
+	if len(responders) >= p.quorum() || level == history.LevelDefault {
+		stable = p.awaitBarrier(st, qs, proc, msg, bytes)
+	}
+	st.mu.Lock()
+	delete(st.pendQry, reqID)
+	st.mu.Unlock()
+	certified, consistent := certifyQuery(level, len(responders), p.cfg.Procs, stable)
 
 	// A6: apply the query to the merged copy. No lock is needed: all
-	// responses have been merged and the query state is no longer
-	// reachable from the message loop.
+	// responses have been merged, the barrier only ever touched the
+	// evidence fields, and the query state is no longer reachable from
+	// the message loop.
 	tsStart := qs.othts.Clone()
 	rec := mop.NewRecorder(qs.othX, pr)
 	result := pr.Run(rec)
@@ -530,33 +611,39 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level)
 	}, nil
 }
 
-// certifyQuery maps (requested level, responder count) to the certified
-// level recorded in the history and the IsConsistent verdict. A query
-// force-completed below its requested responder count is certified at
-// the strongest level its count actually supports, so the exact
-// checkers never hold a degraded read to a guarantee it did not get.
-// The zero level keeps its pre-level identity: it is checked at the
-// store's native condition regardless of completeness, which is exactly
-// the bounded-query behavior histories recorded before levels had.
-func certifyQuery(level history.Level, got, procs int) (history.Level, bool) {
+// certifyQuery maps (requested level, responder count, read-barrier
+// outcome) to the certified level recorded in the history and the
+// IsConsistent verdict. A query force-completed below its requested
+// responder count is certified at the strongest level its count
+// actually supports, so the exact checkers never hold a degraded read
+// to a guarantee it did not get. A strong certification additionally
+// requires the read barrier: without majority stability of the
+// observed prefix the snapshot may exhibit a new/old inversion against
+// a later strong read, so the record honestly claims only the m-SC
+// guarantee. The zero level keeps its pre-level identity — checked at
+// the store's native condition regardless of completeness, which is
+// exactly the bounded-query behavior histories recorded before levels
+// had — with IsConsistent reporting whether the full Figure 6 contract
+// (all responders, stable prefix) was met.
+func certifyQuery(level history.Level, got, procs int, stable bool) (history.Level, bool) {
 	quorum := procs/2 + 1
 	switch level {
 	case history.LevelQuorum:
-		if got >= quorum {
+		if got >= quorum && stable {
 			return history.LevelQuorum, true
 		}
 		return history.LevelOne, false
 	case history.LevelAll:
 		switch {
-		case got >= procs:
+		case got >= procs && stable:
 			return history.LevelAll, true
-		case got >= quorum:
+		case got >= quorum && stable:
 			return history.LevelQuorum, false
 		default:
 			return history.LevelOne, false
 		}
 	default:
-		return history.LevelDefault, got >= procs
+		return history.LevelDefault, got >= procs && stable
 	}
 }
 
@@ -637,6 +724,80 @@ func (p *Protocol) awaitQuery(st *procState, qs *queryState, proc int, reqID int
 	}
 }
 
+// awaitBarrier blocks until a majority of replicas is known to have
+// applied the query's covered prefix (the read barrier — see the
+// package comment), re-probing the laggards with the same query
+// message; replicas answer idempotently and every answer refreshes
+// their applied evidence. Returns false when the barrier could not be
+// confirmed within the retry budget (or at shutdown): the caller then
+// certifies the read at ONE, never holding an unstable snapshot to the
+// m-linearizable contract. The wait terminates in the failure-free
+// case because every update in the covered prefix is already in the
+// broadcast order, which every live replica applies.
+func (p *Protocol) awaitBarrier(st *procState, qs *queryState, proc int, msg queryMsg, bytes int) bool {
+	probe := func() bool {
+		var lagging []int
+		st.mu.Lock()
+		if qs.barrierDone {
+			st.mu.Unlock()
+			return true
+		}
+		for q := 0; q < p.cfg.Procs; q++ {
+			if q != proc && qs.appliedBy[q] < qs.barrier {
+				lagging = append(lagging, q)
+			}
+		}
+		st.mu.Unlock()
+		for _, q := range lagging {
+			// Shutdown is the only send failure; the stop case exits.
+			_ = p.qnet.Send(proc, q, "mlin.query", msg, bytes)
+		}
+		return false
+	}
+	if probe() {
+		return true
+	}
+	// Unbounded queries re-probe on a short interval forever (a replica
+	// may answer a probe before it has caught up to the barrier, so a
+	// single probe is not enough evidence to wait on); bounded queries
+	// re-probe on the query timeout and give up with the retry budget.
+	interval := p.cfg.QueryTimeout
+	retries := p.cfg.QueryRetries
+	unbounded := interval <= 0
+	if unbounded {
+		interval = barrierProbeInterval
+		if d := 2 * p.cfg.MaxDelay; d > interval {
+			interval = d
+		}
+	}
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-qs.barrierCh:
+			return true
+		case <-p.stop:
+			return false
+		case <-timer.C:
+			if !unbounded {
+				if retries <= 0 {
+					return false
+				}
+				retries--
+			}
+			if probe() {
+				return true
+			}
+			timer.Reset(interval)
+		}
+	}
+}
+
+// barrierProbeInterval is the floor on the read barrier's re-probe
+// period for unbounded queries (no QueryTimeout); doubled MaxDelay
+// wins when the simulated network is slower than this.
+const barrierProbeInterval = 2 * time.Millisecond
+
 // deliveryLoop implements A2 for one process.
 func (p *Protocol) deliveryLoop(proc int) {
 	defer p.wg.Done()
@@ -673,6 +834,14 @@ func (p *Protocol) deliveryLoop(proc int) {
 			rec, err := applyLocked(st, payload.Proc, payload.From, d.Seq)
 			st.applied = d.Seq + 1
 			st.cond.Broadcast()
+			for _, q := range st.pendQry {
+				// The local apply is read-barrier evidence for any of
+				// this process's queries still waiting on one.
+				if q.barrier >= 0 && st.applied > q.appliedBy[proc] {
+					q.appliedBy[proc] = st.applied
+					q.noteEvidence(p.quorum())
+				}
+			}
 			var ready *pendingUpdate
 			if payload.From == proc {
 				// A2: the issuing process generates the response — but only
@@ -757,20 +926,30 @@ func (p *Protocol) messageLoop(proc int) {
 			case queryResp:
 				st.mu.Lock()
 				qs, ok := st.pendQry[m.ReqID]
-				if ok && qs.waiting > 0 && !qs.responded[msg.From] {
-					qs.responded[msg.From] = true
-					for i, x := range m.Objs {
-						if m.TS[i] > qs.othts.Get(x) {
-							qs.othts.Set(x, m.TS[i])
-							qs.othX[x] = m.Values[i]
+				if ok && msg.From >= 0 && msg.From < p.cfg.Procs {
+					// Applied evidence is tracked on every answer —
+					// including duplicates and barrier re-probe answers
+					// after the merge completed — because the read
+					// barrier waits on exactly this refresh.
+					if m.Applied > qs.appliedBy[msg.From] {
+						qs.appliedBy[msg.From] = m.Applied
+						qs.noteEvidence(p.quorum())
+					}
+					if qs.waiting > 0 && !qs.responded[msg.From] {
+						qs.responded[msg.From] = true
+						for i, x := range m.Objs {
+							if m.TS[i] > qs.othts.Get(x) {
+								qs.othts.Set(x, m.TS[i])
+								qs.othX[x] = m.Values[i]
+							}
 						}
-					}
-					if m.Applied > qs.respApplied {
-						qs.respApplied = m.Applied
-					}
-					qs.waiting--
-					if qs.waiting == 0 {
-						close(qs.done)
+						if m.Applied > qs.respApplied {
+							qs.respApplied = m.Applied
+						}
+						qs.waiting--
+						if qs.waiting == 0 {
+							close(qs.done)
+						}
 					}
 				}
 				st.mu.Unlock()
@@ -865,6 +1044,14 @@ func (p *Protocol) Adopt(proc int, ck recovery.Checkpoint) bool {
 	copy(st.ts, ck.TS)
 	st.applied = ck.Applied
 	st.cond.Broadcast()
+	for _, q := range st.pendQry {
+		// An adopted checkpoint is a prefix of the same order: it is
+		// read-barrier evidence exactly like the applies it subsumes.
+		if q.barrier >= 0 && st.applied > q.appliedBy[proc] {
+			q.appliedBy[proc] = st.applied
+			q.noteEvidence(p.quorum())
+		}
+	}
 	return true
 }
 

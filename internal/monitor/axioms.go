@@ -46,6 +46,18 @@ const (
 	MLinLevel
 )
 
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case MSCLevel:
+		return "m-SC"
+	case MLinLevel:
+		return "m-lin"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
 // ValidateAxioms checks the Section 5 properties against a quiesced
 // run's records (any order; they are sorted internally). numObjects is
 // the registry size. The returned slice is empty iff every obligation
@@ -166,10 +178,17 @@ func ValidateAxioms(recs []mop.Record, numObjects int, level Level) []Violation 
 
 	// Lemma 16 (m-linearizability only): β responded before α was
 	// invoked ⟹ ts(finish(β)) ≤ ts(start(α)) on the common footprint.
+	// Only the strong restriction owes this (checker.MixedLevels):
+	// queries certified LevelOne — requested ONE, or force-completed
+	// below a majority — bought the m-SC guarantee only, so they neither
+	// bound later records nor are bound themselves.
 	if level == MLinLevel {
 		for i, a := range sorted {
+			if !a.Level.Strong() {
+				continue
+			}
 			for j, b := range sorted {
-				if i == j || b.Resp >= a.Inv {
+				if i == j || b.Resp >= a.Inv || !b.Level.Strong() {
 					continue
 				}
 				common := b.Footprint.Intersect(a.Footprint)

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"fmt"
+	"sort"
 
 	"moc/internal/mop"
 	"moc/internal/object"
@@ -27,6 +28,13 @@ import (
 //     after another record's response must start at versions ≥ the
 //     earlier record's finish, on their common footprint.
 //
+// Leveled records (PR 8) are held to their *certified* level, mirroring
+// checker.MixedLevels: a query certified below quorum (LevelOne —
+// requested ONE, or force-completed short of a majority) bought only the
+// m-SC guarantee, so at MLinLevel it is neither checked against the
+// Lemma 16 baseline nor folded into it. Everything it still owes (P5.16,
+// monotonicity, version availability) is checked as usual.
+//
 // The zero Monitor is not usable; create instances with NewMonitor.
 type Monitor struct {
 	numObjects int
@@ -40,41 +48,64 @@ type Monitor struct {
 	// lastEndByProc[p] is the footprint-restricted high-water mark of
 	// process p's observations.
 	lastEndByProc map[int]timestamp.TS
-	// completedMax is the pointwise maximum of TSEnd over all records
-	// observed so far (fed in response order, this is the Lemma 16
-	// baseline for later invocations).
-	completedMax timestamp.TS
+	// lastRespByProc[p] is the response time of process p's latest
+	// record. Compact drops processes silent since before its horizon —
+	// a process that stopped issuing (a finished worker, a disconnected
+	// client) must not pin VersionFloors' minimum forever, or retained
+	// state grows with the history instead of the window.
+	lastRespByProc map[int]int64
 	// lastResp guards the feed-order contract.
 	lastResp int64
-	// pending holds completed records whose TSEnd has not yet been
-	// folded into completedMax (folding happens once a later invocation
-	// proves real-time precedence).
-	pending []pendingEnd
-	// starts remembers every (proc, object, version) a record started
-	// from, for the end-of-run availability check.
-	starts []startObs
+	// ends holds every strong record's finish, in feed (= response)
+	// order; ends[i].cum is the pointwise maximum of TSEnd — restricted
+	// to each record's footprint — over entries 0..i. The Lemma 16
+	// baseline for a record invoked at t is the cumulative max of the
+	// prefix of entries that responded strictly before t, found by
+	// binary search. Invocation times are NOT monotone in feed order (a
+	// slow operation responds after a later-invoked fast one), so a
+	// single running accumulator is unsound: flushing it for one
+	// record's invocation would leak responses concurrent with an
+	// earlier-invoked record still in flight into that record's
+	// baseline, flagging admissible histories. Only maintained at
+	// MLinLevel — the m-SC obligations never consult it.
+	ends []strongEnd
+	// unresolved holds the (object, version) starting points whose
+	// writer has not yet been observed. An entry resolves (and is
+	// dropped) the moment the writer's record arrives; whatever remains
+	// at Finish is a D5.1 violation. Keeping only the unresolved set —
+	// rather than every start ever observed — is what bounds memory on
+	// long histories.
+	unresolved map[verKey][]int
+	// floors[x]: versions of x below this are garbage-collected
+	// (Compact). A start below the floor is treated as resolved: every
+	// process has already observed past it, so an unwritten version
+	// there would have been caught before the floor rose.
+	floors []int64
 
-	observed   int
-	violations []Violation
+	observed      int
+	danglingReads int64
+	unresolvedHW  int
+	violations    []Violation
 }
 
-type startObs struct {
-	proc int
-	x    object.ID
-	v    int64
+type verKey struct {
+	x object.ID
+	v int64
 }
 
 // NewMonitor creates a streaming monitor for a system with numObjects
 // objects at the given level.
 func NewMonitor(numObjects int, level Level) *Monitor {
 	m := &Monitor{
-		numObjects:    numObjects,
-		level:         level,
-		maxSeen:       timestamp.New(numObjects),
-		writers:       make([]map[int64]bool, numObjects),
-		lastEndByProc: make(map[int]timestamp.TS),
-		completedMax:  timestamp.New(numObjects),
-		lastResp:      -1,
+		numObjects:     numObjects,
+		level:          level,
+		maxSeen:        timestamp.New(numObjects),
+		writers:        make([]map[int64]bool, numObjects),
+		lastEndByProc:  make(map[int]timestamp.TS),
+		lastRespByProc: make(map[int]int64),
+		lastResp:       -1,
+		unresolved:     make(map[verKey][]int),
+		floors:         make([]int64, numObjects),
 	}
 	for x := range m.writers {
 		m.writers[x] = map[int64]bool{0: true} // the initial m-operation
@@ -99,6 +130,7 @@ func (m *Monitor) Observe(rec mop.Record) int {
 		m.report("feed", "record at P%d fed out of response order (%d after %d)", rec.Proc, rec.Resp, m.lastResp)
 	}
 	m.lastResp = rec.Resp
+	m.lastRespByProc[rec.Proc] = rec.Resp
 	m.observed++
 
 	writes := rec.VersionedWrites()
@@ -128,6 +160,7 @@ func (m *Monitor) Observe(rec mop.Record) int {
 			m.report("D5.1", "version %d of object %d established twice", v, int(x))
 		}
 		m.writers[x][v] = true
+		delete(m.unresolved, verKey{x: x, v: v})
 		if v > m.maxSeen.Get(x) {
 			m.maxSeen.Set(x, v)
 		}
@@ -136,12 +169,10 @@ func (m *Monitor) Observe(rec mop.Record) int {
 	// Version availability: the starting versions must exist. A record
 	// may legitimately start from a version whose writer's record has
 	// not completed yet (the writer's own Execute may still be waiting),
-	// but never from a version beyond any that will ever exist — we
-	// approximate with "at most one ahead of the established maximum per
-	// writer in flight" being unverifiable online, so we check the
-	// weaker, always-sound bound: reads of versions that were
-	// established are fine; reads of versions more than the total
-	// observed writes ahead are flagged at Finish.
+	// so availability is checked eagerly but resolved lazily: a start
+	// from a not-yet-established version joins the unresolved set and is
+	// discharged when its writer's record arrives; whatever remains at
+	// Finish is flagged.
 	for _, x := range rec.Footprint.IDs() {
 		if int(x) >= m.numObjects {
 			continue
@@ -151,7 +182,14 @@ func (m *Monitor) Observe(rec mop.Record) int {
 			m.report("D5.1", "P%d starts at negative version %d of object %d", rec.Proc, v, int(x))
 			continue
 		}
-		m.starts = append(m.starts, startObs{proc: rec.Proc, x: x, v: v})
+		if v < m.floors[x] || m.writers[x][v] {
+			continue
+		}
+		key := verKey{x: x, v: v}
+		m.unresolved[key] = append(m.unresolved[key], rec.Proc)
+		if len(m.unresolved) > m.unresolvedHW {
+			m.unresolvedHW = len(m.unresolved)
+		}
 	}
 
 	// Per-process monotonicity.
@@ -175,55 +213,72 @@ func (m *Monitor) Observe(rec mop.Record) int {
 		}
 	}
 
-	// Real-time freshness (Lemma 16): fed in response order, every
-	// previously observed record responded before this one did; those
-	// that responded before this one's *invocation* bound its start.
-	// completedMax tracks the pointwise max TSEnd of records whose
-	// response precedes the current invocation — maintained lazily via
-	// the pending list below.
-	if m.level == MLinLevel {
-		m.flushPending(rec.Inv)
-		for _, x := range rec.Footprint.IDs() {
-			if int(x) >= m.numObjects {
-				continue
-			}
-			if rec.TSStart.Get(x) < m.completedEnd(x, rec) {
-				m.report("Lemma16", "P%d invoked at %d starts at version %d of object %d; an earlier response established %d",
-					rec.Proc, rec.Inv, rec.TSStart.Get(x), int(x), m.completedEnd(x, rec))
+	// Real-time freshness (Lemma 16): only records that responded
+	// strictly before this one's *invocation* bound its start — records
+	// fed earlier but still in flight at the invocation are concurrent
+	// and bind nothing. The baseline is the cumulative footprint max of
+	// the resp-sorted prefix of strong ends (see the ends field).
+	// Records certified below quorum bought only the m-SC guarantee
+	// (mirroring checker.MixedLevels' strong restriction): they are
+	// neither held to the baseline nor allowed to raise it.
+	if m.level == MLinLevel && rec.Level.Strong() {
+		if base := m.endsBefore(rec.Inv); base != nil {
+			for _, x := range rec.Footprint.IDs() {
+				if int(x) >= m.numObjects {
+					continue
+				}
+				if rec.TSStart.Get(x) < base.Get(x) {
+					m.report("Lemma16", "P%d invoked at %d starts at version %d of object %d; an earlier response established %d",
+						rec.Proc, rec.Inv, rec.TSStart.Get(x), int(x), base.Get(x))
+				}
 			}
 		}
+		m.pushEnd(rec)
 	}
-	m.pending = append(m.pending, pendingEnd{resp: rec.Resp, ts: rec.TSEnd.Clone(), fp: rec.Footprint})
 
 	return len(m.violations) - before
 }
 
-type pendingEnd struct {
+// strongEnd is one strong record's finish in the resp-sorted ends list.
+type strongEnd struct {
 	resp int64
-	ts   timestamp.TS
-	fp   object.Set
+	cum  timestamp.TS
 }
 
-// flushPending folds every pending record that responded strictly before
-// inv into completedMax.
-func (m *Monitor) flushPending(inv int64) {
-	keep := m.pending[:0]
-	for _, p := range m.pending {
-		if p.resp < inv {
-			for _, x := range p.fp.IDs() {
-				if int(x) < m.numObjects && p.ts.Get(x) > m.completedMax.Get(x) {
-					m.completedMax.Set(x, p.ts.Get(x))
-				}
-			}
-		} else {
-			keep = append(keep, p)
+// endsBefore returns the cumulative TSEnd max over strong records that
+// responded strictly before inv, or nil when none are retained (no
+// baseline — also the straggler case, an invocation older than the
+// compaction horizon, where the dropped prefix's bound is unknown and
+// under-binding is the side that cannot flag an admissible history).
+func (m *Monitor) endsBefore(inv int64) timestamp.TS {
+	i := sort.Search(len(m.ends), func(j int) bool { return m.ends[j].resp >= inv })
+	if i == 0 {
+		return nil
+	}
+	return m.ends[i-1].cum
+}
+
+// pushEnd appends rec's finish to the ends list, folding its footprint
+// components into the cumulative max. The entry's resp is clamped to
+// keep the list sorted even after a feed-order violation (already
+// reported above).
+func (m *Monitor) pushEnd(rec mop.Record) {
+	var cum timestamp.TS
+	resp := rec.Resp
+	if n := len(m.ends); n > 0 {
+		cum = m.ends[n-1].cum.Clone()
+		if last := m.ends[n-1].resp; resp < last {
+			resp = last
+		}
+	} else {
+		cum = timestamp.New(m.numObjects)
+	}
+	for _, x := range rec.Footprint.IDs() {
+		if int(x) < m.numObjects && rec.TSEnd.Get(x) > cum.Get(x) {
+			cum.Set(x, rec.TSEnd.Get(x))
 		}
 	}
-	m.pending = keep
-}
-
-func (m *Monitor) completedEnd(x object.ID, rec mop.Record) int64 {
-	return m.completedMax.Get(x)
+	m.ends = append(m.ends, strongEnd{resp: resp, cum: cum})
 }
 
 // Finish completes the stream and runs the deferred end-of-run check:
@@ -231,14 +286,143 @@ func (m *Monitor) completedEnd(x object.ID, rec mop.Record) int64 {
 // some writer (a record may observe a version before its writer's own
 // Execute completes, so this check cannot run online).
 func (m *Monitor) Finish() []Violation {
-	for _, s := range m.starts {
-		if !m.writers[s.x][s.v] {
+	keys := make([]verKey, 0, len(m.unresolved))
+	for key := range m.unresolved {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].v < keys[j].v
+	})
+	for _, key := range keys {
+		for _, proc := range m.unresolved[key] {
 			m.report("D5.1", "P%d started from version %d of object %d, which no writer established",
-				s.proc, s.v, int(s.x))
+				proc, key.v, int(key.x))
 		}
 	}
-	m.starts = nil
+	m.unresolved = make(map[verKey][]int)
 	return m.Violations()
+}
+
+// Unresolved returns how many observed starting versions still await
+// their writer's record.
+func (m *Monitor) Unresolved() int { return len(m.unresolved) }
+
+// DropUnresolved counts every still-unresolved start as dangling (the
+// feed is known lossy — records died with a killed daemon — so their
+// missing writers indict the feed, not the history) and clears them,
+// so a subsequent Finish reports only what a complete feed proves.
+func (m *Monitor) DropUnresolved() {
+	for _, procs := range m.unresolved {
+		m.danglingReads += int64(len(procs))
+	}
+	m.unresolved = make(map[verKey][]int)
+}
+
+// VersionFloors returns, per object, one less than the lowest version
+// any observed process currently stands at — the highest version that
+// every process has moved past. A later record observing anything below
+// the floor would already be a P5.3 monotonicity violation, which is
+// what makes garbage-collecting those versions sound. With no
+// observations yet the floors are zero. Processes silent for a full
+// window are excluded (Compact drops them), so an idle client cannot
+// pin the floors — and the memory behind them — forever.
+func (m *Monitor) VersionFloors() []int64 {
+	floors := make([]int64, m.numObjects)
+	first := true
+	for _, ts := range m.lastEndByProc {
+		for x := range floors {
+			v := ts.Get(object.ID(x)) - 1
+			if first || v < floors[x] {
+				floors[x] = v
+			}
+		}
+		first = false
+	}
+	if first {
+		return floors
+	}
+	for x := range floors {
+		if floors[x] < 0 {
+			floors[x] = 0
+		}
+	}
+	return floors
+}
+
+// Compact garbage-collects state below the given per-object version
+// floors (normally VersionFloors, possibly clamped by the caller).
+// Writer registrations below the floor are dropped; unresolved starts
+// below it can no longer be discharged — their writers' records never
+// arrived (lost to a crash) — and are counted as dangling rather than
+// reported as violations, since a lossy stream is not an inconsistent
+// history. Floors never regress.
+//
+// respHorizon additionally retires strong ends that responded before
+// it. Their bound survives in the retained entries' cumulative maxima,
+// so only invocations older than the horizon itself lose their
+// baseline (endsBefore returns nil for those) — the windowed-checking
+// contract: pairs separated by more than the window go unchecked, never
+// mis-flagged.
+func (m *Monitor) Compact(respHorizon int64, floors []int64) {
+	if n := sort.Search(len(m.ends), func(j int) bool { return m.ends[j].resp >= respHorizon }); n > 0 {
+		m.ends = append(m.ends[:0:0], m.ends[n:]...)
+	}
+	// Forget processes silent since before the horizon: a finished
+	// worker or disconnected client must not pin VersionFloors' minimum
+	// forever. If such a process returns it is checked as fresh — its
+	// per-process monotonicity restarts, which is the windowed-checking
+	// contract's under-checking side, never a false report (starts below
+	// the floor are treated as resolved in Observe).
+	for p, r := range m.lastRespByProc {
+		if r < respHorizon {
+			delete(m.lastRespByProc, p)
+			delete(m.lastEndByProc, p)
+		}
+	}
+	for x := 0; x < m.numObjects && x < len(floors); x++ {
+		if floors[x] <= m.floors[x] {
+			continue
+		}
+		m.floors[x] = floors[x]
+		for v := range m.writers[x] {
+			if v < floors[x] {
+				delete(m.writers[x], v)
+			}
+		}
+	}
+	for key, procs := range m.unresolved {
+		if key.v < m.floors[key.x] {
+			m.danglingReads += int64(len(procs))
+			delete(m.unresolved, key)
+		}
+	}
+}
+
+// MemStats is a snapshot of the monitor's retained state.
+type MemStats struct {
+	LiveWriters   int   `json:"liveWriters"`
+	Unresolved    int   `json:"unresolvedStarts"`
+	UnresolvedHW  int   `json:"unresolvedHighWater"`
+	Pending       int   `json:"pendingEnds"`
+	DanglingReads int64 `json:"danglingReads"`
+}
+
+// Mem reports the monitor's current footprint.
+func (m *Monitor) Mem() MemStats {
+	live := 0
+	for _, ws := range m.writers {
+		live += len(ws)
+	}
+	return MemStats{
+		LiveWriters:   live,
+		Unresolved:    len(m.unresolved),
+		UnresolvedHW:  m.unresolvedHW,
+		Pending:       len(m.ends),
+		DanglingReads: m.danglingReads,
+	}
 }
 
 // Observed returns the number of records fed so far.

@@ -312,3 +312,299 @@ func TestAxiomsSkipTagBasedRecords(t *testing.T) {
 		t.Fatalf("tag-based records flagged: %v", v)
 	}
 }
+
+// TestMonitorConcurrentResponseDoesNotBindEarlierInvocation: the feed
+// is response-ordered but invocation times are not monotone in it — a
+// slow update responds after a later-invoked fast one (write-quorum acks
+// race). Lemma 16 only binds a record to responses that precede its
+// *invocation*, so the slow update must not be held to the fast one's
+// finish, even when a third record — invoked after the fast response,
+// fed in between — has already proven that response "completed". (A
+// running-accumulator baseline flushed per fed record gets exactly this
+// wrong: the in-between record folds the fast finish into the baseline,
+// which then flags the slow, earlier-invoked update when it finally
+// arrives.) A record genuinely invoked after those responses IS bound.
+func TestMonitorConcurrentResponseDoesNotBindEarlierInvocation(t *testing.T) {
+	u1 := mkRecord(0, true, 1, 10, 20, object.FullSet(1), ts(0), ts(1), history.W(0, 1))
+	// slow: invoked at 100, sequenced at slot 2, responds last at 400.
+	slow := mkRecord(1, true, 2, 100, 400, object.FullSet(1), ts(1), ts(2), history.W(0, 2))
+	// fast: invoked at 150 (slow already in flight), slot 3, responds 200.
+	fast := mkRecord(2, true, 3, 150, 200, object.FullSet(1), ts(2), ts(3), history.W(0, 3))
+	// mid: invoked at 250, after fast responded.
+	mid := mkRecord(0, true, 4, 250, 300, object.FullSet(1), ts(3), ts(4), history.W(0, 4))
+
+	m := NewMonitor(1, MLinLevel)
+	for _, r := range []mop.Record{u1, fast, mid, slow} { // feed = resp order
+		m.Observe(r)
+	}
+	if v := m.Finish(); len(v) != 0 {
+		t.Fatalf("concurrent responses bound an earlier invocation: %v", v)
+	}
+
+	// Same feed plus a stale query invoked at 350 — after fast (200) and
+	// mid (300) responded — starting at version 3 < mid's finish 4: a
+	// genuine Lemma 16 violation, and the only one.
+	stale := mkRecord(3, false, -1, 350, 380, object.FullSet(1), ts(3), ts(3), history.R(0, 0))
+	m = NewMonitor(1, MLinLevel)
+	for _, r := range []mop.Record{u1, fast, mid, stale, slow} {
+		m.Observe(r)
+	}
+	vs := m.Finish()
+	if len(vs) != 1 || vs[0].Property != "Lemma16" {
+		t.Fatalf("want exactly the stale query's Lemma16 violation, got %v", vs)
+	}
+
+	// The offline validator agrees on both histories.
+	if v := ValidateAxioms([]mop.Record{u1, fast, mid, slow}, 1, MLinLevel); len(v) != 0 {
+		t.Fatalf("offline validator flagged the admissible history: %v", v)
+	}
+	if v := ValidateAxioms([]mop.Record{u1, fast, mid, stale, slow}, 1, MLinLevel); !hasProperty(v, "Lemma16") {
+		t.Fatalf("offline validator missed the stale query: %v", v)
+	}
+}
+
+// leveled returns rec with a certified consistency level, mirroring how
+// the mlin protocol stamps records.
+func leveled(rec mop.Record, l history.Level, consistent bool) mop.Record {
+	rec.Level = l
+	rec.IsConsistent = consistent
+	return rec
+}
+
+// TestMonitorSkipsWeakCertifiedReads: a ONE-certified stale read bought
+// only the m-SC guarantee, so the monitor must not hold it to Lemma 16
+// even at the m-lin level — mirroring checker.MixedLevels, which keeps
+// weak queries out of the strong restriction.
+func TestMonitorSkipsWeakCertifiedReads(t *testing.T) {
+	m := NewMonitor(1, MLinLevel)
+	m.Observe(leveled(mkRecord(0, true, 0, 1, 2, object.FullSet(1), ts(0), ts(1), history.W(0, 5)), history.LevelAll, true))
+	bad := m.Observe(leveled(mkRecord(1, false, -1, 10, 11, object.FullSet(1), ts(0), ts(0), history.R(0, 0)), history.LevelOne, true))
+	if bad != 0 {
+		t.Fatalf("ONE-certified stale read flagged at m-lin level: %v", m.Violations())
+	}
+	// The identical record certified strong IS a violation.
+	bad = m.Observe(leveled(mkRecord(2, false, -1, 20, 21, object.FullSet(1), ts(0), ts(0), history.R(0, 0)), history.LevelQuorum, true))
+	if bad == 0 || !hasProperty(m.Violations(), "Lemma16") {
+		t.Fatalf("QUORUM-certified stale read not flagged: %v", m.Violations())
+	}
+}
+
+// TestMonitorSkipsForceCompletedReads: a query that requested a strong
+// level but was force-completed below a majority is certified LevelOne
+// with IsConsistent=false; the monitor checks it at the certified
+// level, not the requested one.
+func TestMonitorSkipsForceCompletedReads(t *testing.T) {
+	m := NewMonitor(1, MLinLevel)
+	m.Observe(leveled(mkRecord(0, true, 0, 1, 2, object.FullSet(1), ts(0), ts(1), history.W(0, 5)), history.LevelAll, true))
+	bad := m.Observe(leveled(mkRecord(1, false, -1, 10, 11, object.FullSet(1), ts(0), ts(0), history.R(0, 0)), history.LevelOne, false))
+	if bad != 0 {
+		t.Fatalf("force-completed (certified ONE) stale read flagged: %v", m.Violations())
+	}
+	if v := m.Finish(); len(v) != 0 {
+		t.Fatalf("Finish violations: %v", v)
+	}
+}
+
+// TestMonitorWeakReadsDoNotRaiseBaseline: a weak read's observed
+// versions must not bind later strong reads — only strong responses
+// enter the completed-response baseline.
+func TestMonitorWeakReadsDoNotRaiseBaseline(t *testing.T) {
+	m := NewMonitor(1, MLinLevel)
+	// A writer establishes version 1, but its update record has not
+	// completed yet; a ONE read at the writer's replica observes it.
+	m.Observe(leveled(mkRecord(0, true, 0, 1, 2, object.FullSet(1), ts(0), ts(1), history.W(0, 5)), history.LevelAll, true))
+	m.Observe(leveled(mkRecord(0, false, -1, 3, 4, object.FullSet(1), ts(1), ts(1), history.R(0, 5)), history.LevelOne, true))
+	// A strong read invoked after the weak read responded may still
+	// start below the weak read's versions (it owes nothing to a weak
+	// observation)... but not below the strong update's.
+	bad := m.Observe(leveled(mkRecord(1, false, -1, 10, 11, object.FullSet(1), ts(1), ts(1), history.R(0, 5)), history.LevelAll, true))
+	if bad != 0 {
+		t.Fatalf("strong read at the strong baseline flagged: %v", m.Violations())
+	}
+	if v := m.Finish(); len(v) != 0 {
+		t.Fatalf("Finish violations: %v", v)
+	}
+}
+
+// TestAxiomsLeveledRestriction is the ValidateAxioms face of the same
+// contract: weak-certified queries are exempt from Lemma 16 in both
+// directions.
+func TestAxiomsLeveledRestriction(t *testing.T) {
+	recs := []mop.Record{
+		leveled(mkRecord(0, true, 0, 1, 2, object.FullSet(1), ts(0), ts(1), history.W(0, 5)), history.LevelAll, true),
+		leveled(mkRecord(1, false, -1, 10, 11, object.FullSet(1), ts(0), ts(0), history.R(0, 0)), history.LevelOne, true),
+	}
+	if v := ValidateAxioms(recs, 1, MLinLevel); len(v) != 0 {
+		t.Fatalf("weak stale read flagged by ValidateAxioms: %v", v)
+	}
+	recs[1] = leveled(recs[1], history.LevelQuorum, true)
+	if v := ValidateAxioms(recs, 1, MLinLevel); !hasProperty(v, "Lemma16") {
+		t.Fatalf("strong stale read not flagged by ValidateAxioms: %v", v)
+	}
+}
+
+// TestMonitorCleanMixedLevelRun drives the real store at mixed
+// per-request levels and validates the records at the m-lin level: the
+// certified levels plus the read barrier must keep the stream clean.
+func TestMonitorCleanMixedLevelRun(t *testing.T) {
+	s, err := core.New(core.Config{
+		Procs: 3, Objects: []string{"x", "y", "z"},
+		Consistency: core.MLinearizable, Seed: 11, MaxDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	levels := []history.Level{history.LevelOne, history.LevelQuorum, history.LevelAll}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		p, _ := s.Process(i)
+		wg.Add(1)
+		go func(i int, p *core.Process) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				if j%2 == 0 {
+					if err := p.Write(object.ID(j%3), object.Value(i*100+j+1)); err != nil {
+						t.Errorf("write: %v", err)
+					}
+				} else if _, err := p.Exec(mop.MultiRead{Xs: []object.ID{0, 1, 2}},
+					core.ExecOptions{Level: levels[(i+j)%3]}); err != nil {
+					t.Errorf("read: %v", err)
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	recs := s.Records()
+	n := s.Registry().Len()
+	s.Close()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Resp < recs[j].Resp })
+	if v := ValidateAxioms(recs, n, MLinLevel); len(v) != 0 {
+		t.Fatalf("violations on a clean mixed-level run: %v", v)
+	}
+	m := NewMonitor(n, MLinLevel)
+	for _, rec := range recs {
+		m.Observe(rec)
+	}
+	if v := m.Finish(); len(v) != 0 {
+		t.Fatalf("monitor violations on a clean mixed-level run: %v", v)
+	}
+}
+
+// TestMonitorCleanBatchedPipelinedRun: the monitor's obligations must
+// hold under group commit (BatchSize/BatchWindow) and pipelining
+// (MaxInflight lanes, recorded as virtual process ids) — today's other
+// monitor tests only cover unbatched, one-op-per-process runs. Each
+// process keeps a full window of updates in flight via ExecAsync, so
+// lane renumbering is actually exercised, and the streamed feed (resp
+// order) must come out clean both online and under ValidateAxioms.
+func TestMonitorCleanBatchedPipelinedRun(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cons  core.Consistency
+		level Level
+	}{
+		{"mlin", core.MLinearizable, MLinLevel},
+		{"msc", core.MSequential, MSCLevel},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := core.New(core.Config{
+				Procs: 3, Objects: []string{"x", "y", "z"},
+				Consistency: tc.cons, Seed: 42, MaxDelay: 2 * time.Millisecond,
+				BatchSize: 4, BatchWindow: 200 * time.Microsecond, MaxInflight: 3,
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer s.Close()
+
+			var wg sync.WaitGroup
+			for i := 0; i < 3; i++ {
+				p, _ := s.Process(i)
+				wg.Add(1)
+				go func(i int, p *core.Process) {
+					defer wg.Done()
+					for round := 0; round < 4; round++ {
+						// Fill every lane before waiting on any future.
+						var fs []*core.Future
+						for lane := 0; lane < 3; lane++ {
+							x := object.ID((round + lane) % 3)
+							f, err := p.ExecAsync(mop.WriteOp{X: x, V: object.Value(100*i + 10*round + lane)}, core.ExecOptions{})
+							if err != nil {
+								t.Errorf("ExecAsync: %v", err)
+								return
+							}
+							fs = append(fs, f)
+						}
+						for _, f := range fs {
+							if _, err := f.Wait(); err != nil {
+								t.Errorf("Wait: %v", err)
+							}
+						}
+						if _, err := p.MultiRead(0, 1, 2); err != nil {
+							t.Errorf("MultiRead: %v", err)
+						}
+					}
+				}(i, p)
+			}
+			wg.Wait()
+
+			recs := s.Records()
+			sort.Slice(recs, func(i, j int) bool { return recs[i].Resp < recs[j].Resp })
+			n := s.Registry().Len()
+
+			virtual := map[int]bool{}
+			for _, r := range recs {
+				virtual[r.Proc] = true
+			}
+			if len(virtual) <= 3 {
+				t.Fatalf("pipelining never engaged: only %d recorded process ids", len(virtual))
+			}
+
+			if v := ValidateAxioms(recs, n, tc.level); len(v) != 0 {
+				t.Fatalf("axioms violated on a batched pipelined run: %v", v)
+			}
+			m := NewMonitor(n, tc.level)
+			for _, r := range recs {
+				m.Observe(r)
+			}
+			if v := m.Finish(); len(v) != 0 {
+				t.Fatalf("monitor flagged a clean batched pipelined run: %v", v)
+			}
+		})
+	}
+}
+
+// TestMonitorIdleProcessDoesNotPinFloors: a process that stops issuing
+// records (a finished worker, a disconnected client) is dropped by
+// Compact once its last response falls behind the horizon, so it no
+// longer holds VersionFloors' minimum — and thus the monitor's and the
+// incremental checker's retained state — at its frozen position.
+func TestMonitorIdleProcessDoesNotPinFloors(t *testing.T) {
+	m := NewMonitor(1, MSCLevel)
+	ts := func(v int64) timestamp.TS { return timestamp.TS{v} }
+	upd := func(proc int, seq, v, inv, resp int64) mop.Record {
+		return mop.Record{
+			Proc: proc, Update: true, Seq: seq,
+			Ops:     []history.Op{history.W(0, v)},
+			TSStart: ts(v - 1), TSEnd: ts(v),
+			Footprint: object.FullSet(1),
+			Inv:       inv, Resp: resp,
+		}
+	}
+	m.Observe(upd(0, 0, 1, 0, 10)) // P0 writes once, then goes silent
+	for i := int64(0); i < 5; i++ {
+		m.Observe(upd(1, 1+i, 2+i, 20+10*i, 25+10*i))
+	}
+	if f := m.VersionFloors(); f[0] != 0 {
+		t.Fatalf("floors = %v with P0 still tracked, want [0]", f)
+	}
+	// Horizon 15 is past P0's last response: P0 is forgotten and the
+	// floor jumps to P1's position.
+	m.Compact(15, m.VersionFloors())
+	if f := m.VersionFloors(); f[0] != 5 {
+		t.Fatalf("floors = %v after pruning the idle P0, want [5]", f)
+	}
+	if v := m.Finish(); len(v) != 0 {
+		t.Fatalf("clean run flagged: %v", v)
+	}
+}

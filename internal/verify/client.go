@@ -1,0 +1,127 @@
+package verify
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a JSON-lines client for the service's status RPC.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// DialStatus connects to a service's status RPC address.
+func DialStatus(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req rpcRequest) (rpcResponse, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return rpcResponse{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return rpcResponse{}, err
+		}
+		return rpcResponse{}, fmt.Errorf("verify: status connection closed")
+	}
+	var resp rpcResponse
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return rpcResponse{}, err
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("verify: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Status returns (records verified, violation count, consistency).
+func (c *Client) Status() (observed int64, violations int, consistency string, err error) {
+	resp, err := c.call(rpcRequest{Op: "status"})
+	if err != nil {
+		return 0, 0, "", err
+	}
+	n := 0
+	if resp.Violations != nil {
+		n = *resp.Violations
+	}
+	return resp.Observed, n, resp.Consistency, nil
+}
+
+// Stats returns the pipeline's full snapshot (zero before any stream
+// connected).
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.call(rpcRequest{Op: "stats"})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, nil
+	}
+	return *resp.Stats, nil
+}
+
+// Violations returns up to limit violations (0 = all).
+func (c *Client) Violations(limit int) ([]VJSON, error) {
+	resp, err := c.call(rpcRequest{Op: "violations", Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.List, nil
+}
+
+// Shutdown asks the service to stop.
+func (c *Client) Shutdown() error {
+	_, err := c.call(rpcRequest{Op: "shutdown"})
+	return err
+}
+
+// SendRecords opens a one-shot stream as the given node, ships recs,
+// and Fins. It is the injection hook the smoke tests and chaos
+// campaigns use to plant a known-bad record and assert the service
+// flags it online.
+func SendRecords(addr string, node int, consistency string, objects []string, recs []Rec) error {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var scratch []byte
+	gen := time.Now().UnixNano()
+	if err := WriteMsg(conn, Hello{Node: node, Gen: gen, Consistency: consistency, Objects: objects}); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if v, err := ReadMsg(conn, &scratch); err != nil {
+		return err
+	} else if _, ok := v.(Ack); !ok {
+		return fmt.Errorf("verify: expected Ack to Hello, got %T", v)
+	}
+	if err := WriteMsg(conn, Batch{FirstSeq: 0, Recs: recs}); err != nil {
+		return err
+	}
+	if v, err := ReadMsg(conn, &scratch); err != nil {
+		return err
+	} else if _, ok := v.(Ack); !ok {
+		return fmt.Errorf("verify: expected Ack to Batch, got %T", v)
+	}
+	if err := WriteMsg(conn, Fin{NextSeq: int64(len(recs))}); err != nil {
+		return err
+	}
+	ReadMsg(conn, &scratch)
+	return nil
+}

@@ -1,0 +1,398 @@
+package verify
+
+import (
+	"fmt"
+
+	"moc/internal/history"
+	"moc/internal/monitor"
+	"moc/internal/mop"
+	"moc/internal/object"
+)
+
+// Incremental is the online Theorem 7 checker. The paper's exact m-SC
+// and m-lin deciders are NP-complete (Theorems 1–2), but under a
+// WW-constraint — all update m-operations totally ordered, which is
+// exactly what the atomic broadcast's delivery sequence provides —
+// Theorem 7 makes admissibility equivalent to legality, a polynomial
+// property. Legality of the constrained history is acyclicity of the
+// precedence graph over its m-operations:
+//
+//	po — process order (consecutive m-operations of one process);
+//	ww — the broadcast total order (consecutive delivery sequences);
+//	wr — writer of version v of x precedes every reader of v (D5.1);
+//	rw — a reader of version v of x precedes the writer of v+1 (the
+//	     paper's ~rw repair relation, Figure 3).
+//
+// Records are inserted one at a time, in merged response order; each
+// insertion adds O(footprint) edges and maintains a topological level
+// assignment incrementally (levels only ever rise; an edge whose level
+// repair propagates back to its own source is a cycle). A detected
+// cycle is reported as a "Thm7" violation naming the record whose
+// insertion closed it.
+//
+// Compact garbage-collects the closed prefix: versions below the floor
+// (one less than the lowest version any process currently observes —
+// anything older would already trip the monitor's P5.3 monotonicity
+// check) and nodes older than the response-time horizon are retired.
+// Retirement is what bounds memory on unbounded histories; the price,
+// documented in DESIGN.md §10, is that a cycle spanning more than the
+// retained window can no longer be observed. References from live
+// records into the retired prefix are counted, not hidden.
+type Incremental struct {
+	numObjects int
+
+	nextID int64
+	nodes  map[int64]*inode
+	order  []int64 // insertion order (merged response order), holes allowed
+
+	lastOfProc map[int]int64
+
+	// writerOf[x][v] is the node that established version v of x.
+	writerOf []map[int64]int64
+	// pendingWR[x][v] are readers of version v awaiting its writer.
+	pendingWR []map[int64][]int64
+	// pendingRW[x][v] are readers of v-1 awaiting v's writer.
+	pendingRW []map[int64][]int64
+
+	// seq index of live update nodes, ascending.
+	seqs     []int64
+	seqNode  map[int64]int64
+	seqAbove int64 // highest retired delivery sequence + 1
+
+	floors []int64 // per object: versions below are retired
+
+	observed      int
+	edges         int64
+	retired       int64
+	danglingReads int64
+	retiredRefs   int64
+	highWater     int
+
+	violations []monitor.Violation
+}
+
+type ov struct {
+	x object.ID
+	v int64
+}
+
+type inode struct {
+	id     int64
+	proc   int
+	update bool
+	seq    int64
+	inv    int64
+	resp   int64
+	lvl    int64
+	out    []int64
+	wrote  []ov
+}
+
+// NewIncremental creates a checker for a system with numObjects objects.
+func NewIncremental(numObjects int) *Incremental {
+	c := &Incremental{
+		numObjects: numObjects,
+		nodes:      make(map[int64]*inode),
+		lastOfProc: make(map[int]int64),
+		writerOf:   make([]map[int64]int64, numObjects),
+		pendingWR:  make([]map[int64][]int64, numObjects),
+		pendingRW:  make([]map[int64][]int64, numObjects),
+		seqNode:    make(map[int64]int64),
+		floors:     make([]int64, numObjects),
+		seqAbove:   -1 << 62,
+	}
+	for x := range c.writerOf {
+		c.writerOf[x] = make(map[int64]int64)
+		c.pendingWR[x] = make(map[int64][]int64)
+		c.pendingRW[x] = make(map[int64][]int64)
+	}
+	return c
+}
+
+// Observe inserts the next record (merged response order) and returns
+// the number of new violations it introduced.
+func (c *Incremental) Observe(rec mop.Record) int {
+	before := len(c.violations)
+	c.observed++
+	if rec.TSStart == nil || rec.TSEnd == nil {
+		return 0 // tag-based records carry no version order
+	}
+
+	id := c.nextID
+	c.nextID++
+	n := &inode{id: id, proc: rec.Proc, update: rec.Update, seq: -1, inv: rec.Inv, resp: rec.Resp}
+	c.nodes[id] = n
+	c.order = append(c.order, id)
+	if len(c.nodes) > c.highWater {
+		c.highWater = len(c.nodes)
+	}
+
+	// Process order.
+	if prev, ok := c.lastOfProc[rec.Proc]; ok {
+		c.addEdge(prev, id, "po", rec)
+	}
+	c.lastOfProc[rec.Proc] = id
+
+	// Broadcast total order (the WW-constraint Theorem 7 needs).
+	if rec.Update && rec.Seq >= 0 {
+		n.seq = rec.Seq
+		if rec.Seq < c.seqAbove {
+			c.retiredRefs++
+		} else if _, dup := c.seqNode[rec.Seq]; dup {
+			// Duplicate delivery sequence: the monitor reports it as
+			// P5.2; linking both would corrupt the ww chain, so skip.
+			c.retiredRefs++
+			n.seq = -1
+		} else {
+			c.insertSeq(rec.Seq, id)
+			if pred, ok := c.seqNeighbor(rec.Seq, -1); ok {
+				c.addEdge(c.seqNode[pred], id, "ww", rec)
+			}
+			if succ, ok := c.seqNeighbor(rec.Seq, +1); ok {
+				c.addEdge(id, c.seqNode[succ], "ww", rec)
+			}
+		}
+	}
+
+	// Reads: wr edge from the version's writer, rw edge to the next
+	// version's writer (present or pending).
+	for _, op := range history.ExternalReads(rec.Ops) {
+		x := op.Obj
+		if int(x) >= c.numObjects {
+			continue
+		}
+		v := rec.TSStart.Get(x)
+		if v < c.floors[x] {
+			c.retiredRefs++
+			continue
+		}
+		if v > 0 {
+			if w, ok := c.writerOf[x][v]; ok {
+				c.addEdge(w, id, "wr", rec)
+			} else {
+				c.pendingWR[x][v] = append(c.pendingWR[x][v], id)
+			}
+		}
+		if w, ok := c.writerOf[x][v+1]; ok {
+			c.addEdge(id, w, "rw", rec)
+		} else {
+			c.pendingRW[x][v+1] = append(c.pendingRW[x][v+1], id)
+		}
+	}
+
+	// Writes: register versions, resolve waiting readers.
+	for x, v := range rec.VersionedWrites() {
+		if int(x) >= c.numObjects || v < c.floors[x] {
+			continue
+		}
+		if _, dup := c.writerOf[x][v]; !dup {
+			c.writerOf[x][v] = id
+		}
+		n.wrote = append(n.wrote, ov{x: x, v: v})
+		for _, r := range c.pendingWR[x][v] {
+			c.addEdge(id, r, "wr", rec)
+		}
+		delete(c.pendingWR[x], v)
+		for _, r := range c.pendingRW[x][v] {
+			c.addEdge(r, id, "rw", rec)
+		}
+		delete(c.pendingRW[x], v)
+	}
+
+	return len(c.violations) - before
+}
+
+// addEdge inserts u -> v and repairs the topological levels. If the
+// repair wave reaches back to u, the edge closed a cycle: the history
+// prefix has no legal linearization under the WW-constraint, so by
+// Theorem 7 it is not admissible. The edge is then removed so checking
+// can continue past the violation.
+func (c *Incremental) addEdge(u, v int64, kind string, rec mop.Record) {
+	if u == v {
+		return
+	}
+	un, vn := c.nodes[u], c.nodes[v]
+	if un == nil || vn == nil {
+		return
+	}
+	un.out = append(un.out, v)
+	c.edges++
+	if vn.lvl > un.lvl {
+		return
+	}
+	vn.lvl = un.lvl + 1
+	queue := []int64{v}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		wn := c.nodes[w]
+		if wn == nil {
+			continue
+		}
+		for _, x := range wn.out {
+			xn := c.nodes[x]
+			if xn == nil || xn.lvl > wn.lvl {
+				continue
+			}
+			if x == u {
+				un.out = un.out[:len(un.out)-1]
+				c.edges--
+				c.violations = append(c.violations, monitor.Violation{
+					Property: "Thm7",
+					Detail: fmt.Sprintf(
+						"%s edge closes a precedence cycle: record at P%d (inv %d, resp %d, seq %d) cannot be linearized under the broadcast total order",
+						kind, rec.Proc, rec.Inv, rec.Resp, rec.Seq),
+				})
+				return
+			}
+			xn.lvl = wn.lvl + 1
+			queue = append(queue, x)
+		}
+	}
+}
+
+func (c *Incremental) insertSeq(seq, id int64) {
+	c.seqNode[seq] = id
+	i := len(c.seqs)
+	for i > 0 && c.seqs[i-1] > seq {
+		i--
+	}
+	c.seqs = append(c.seqs, 0)
+	copy(c.seqs[i+1:], c.seqs[i:])
+	c.seqs[i] = seq
+}
+
+// seqNeighbor returns the nearest live delivery sequence on the given
+// side of seq.
+func (c *Incremental) seqNeighbor(seq int64, dir int) (int64, bool) {
+	lo, hi := 0, len(c.seqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.seqs[mid] < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// c.seqs[lo] == seq (it was just inserted).
+	if dir < 0 {
+		if lo > 0 {
+			return c.seqs[lo-1], true
+		}
+		return 0, false
+	}
+	if lo+1 < len(c.seqs) {
+		return c.seqs[lo+1], true
+	}
+	return 0, false
+}
+
+// Compact retires the closed prefix: every version of x below floors[x]
+// and every node that responded before horizon, is not its process's
+// latest, and wrote nothing at or above the floor. floors comes from
+// the monitor's per-process high-water marks (Monitor.VersionFloors),
+// which makes retirement sound relative to P5.3: any later record
+// observing a retired version would already be a monotonicity
+// violation.
+func (c *Incremental) Compact(horizon int64, floors []int64) {
+	for x := 0; x < c.numObjects && x < len(floors); x++ {
+		if floors[x] <= c.floors[x] {
+			continue
+		}
+		c.floors[x] = floors[x]
+		for v := range c.writerOf[x] {
+			if v < floors[x] {
+				delete(c.writerOf[x], v)
+			}
+		}
+		for v, waiters := range c.pendingWR[x] {
+			if v < floors[x] {
+				// The version was observably established (readers saw
+				// it) but its writer's record never streamed — lost to
+				// a kill. Honest accounting, not a violation.
+				c.danglingReads += int64(len(waiters))
+				delete(c.pendingWR[x], v)
+			}
+		}
+		for v := range c.pendingRW[x] {
+			if v < floors[x] {
+				delete(c.pendingRW[x], v)
+			}
+		}
+	}
+
+	keep := c.order[:0]
+	for _, id := range c.order {
+		n := c.nodes[id]
+		if n == nil {
+			continue
+		}
+		retire := n.resp < horizon && c.lastOfProc[n.proc] != id
+		for _, w := range n.wrote {
+			if retire && w.v >= c.floors[w.x] {
+				retire = false
+			}
+		}
+		if !retire {
+			keep = append(keep, id)
+			continue
+		}
+		if n.seq >= 0 {
+			c.removeSeq(n.seq)
+			if n.seq >= c.seqAbove {
+				c.seqAbove = n.seq + 1
+			}
+		}
+		c.edges -= int64(len(n.out))
+		delete(c.nodes, id)
+		c.retired++
+	}
+	c.order = keep
+}
+
+func (c *Incremental) removeSeq(seq int64) {
+	delete(c.seqNode, seq)
+	lo, hi := 0, len(c.seqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.seqs[mid] < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.seqs) && c.seqs[lo] == seq {
+		c.seqs = append(c.seqs[:lo], c.seqs[lo+1:]...)
+	}
+}
+
+// IncrementalStats is a snapshot of the checker's footprint.
+type IncrementalStats struct {
+	Observed      int   `json:"observed"`
+	LiveNodes     int   `json:"liveNodes"`
+	HighWater     int   `json:"highWaterNodes"`
+	LiveEdges     int64 `json:"liveEdges"`
+	Retired       int64 `json:"retired"`
+	DanglingReads int64 `json:"danglingReads"`
+	RetiredRefs   int64 `json:"retiredRefs"`
+}
+
+// Stats reports the checker's current footprint.
+func (c *Incremental) Stats() IncrementalStats {
+	return IncrementalStats{
+		Observed:      c.observed,
+		LiveNodes:     len(c.nodes),
+		HighWater:     c.highWater,
+		LiveEdges:     c.edges,
+		Retired:       c.retired,
+		DanglingReads: c.danglingReads,
+		RetiredRefs:   c.retiredRefs,
+	}
+}
+
+// Violations returns the violations detected so far.
+func (c *Incremental) Violations() []monitor.Violation {
+	out := make([]monitor.Violation, len(c.violations))
+	copy(out, c.violations)
+	return out
+}

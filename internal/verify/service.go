@@ -1,0 +1,328 @@
+package verify
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"moc/internal/monitor"
+)
+
+// ServiceConfig parameterizes the verification service.
+type ServiceConfig struct {
+	// Level overrides the monitor level; zero derives it from the first
+	// Hello's consistency string ("mlin" → MLinLevel, else MSCLevel).
+	Level monitor.Level
+	// Window is the pipeline's GC window in released records; zero
+	// retains everything.
+	Window int
+	// SlackNs is the merge watermark slack; zero uses DefaultSlackNs.
+	SlackNs int64
+}
+
+// Service is the mocmon core: it accepts record streams on one
+// listener, drives a single Pipeline, and serves a JSON-lines status
+// RPC (status / violations / stats / shutdown) on another — the same
+// shape as mocrpc, so campaign drivers script it the same way.
+//
+// The store parameters (object registry, consistency condition) are
+// learned from the first stream's Hello; later streams must announce
+// the same ones or are rejected.
+type Service struct {
+	cfg ServiceConfig
+
+	streamLn net.Listener
+	rpcLn    net.Listener
+
+	mu          sync.Mutex
+	pipe        *Pipeline
+	consistency string
+	objects     []string
+	rejected    int64
+	conns       map[net.Conn]struct{}
+
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	onStop   func()
+}
+
+// NewService starts a service on the given listeners. onStop, if
+// non-nil, runs once when a shutdown RPC arrives (mocmon uses it to
+// exit its main loop).
+func NewService(streamLn, rpcLn net.Listener, cfg ServiceConfig, onStop func()) *Service {
+	s := &Service{
+		cfg:      cfg,
+		streamLn: streamLn,
+		rpcLn:    rpcLn,
+		stop:     make(chan struct{}),
+		onStop:   onStop,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptStreams()
+	if rpcLn != nil {
+		s.wg.Add(1)
+		go s.acceptRPC()
+	}
+	return s
+}
+
+// Close stops both listeners, closes live connections, and waits for
+// their handlers.
+func (s *Service) Close() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.streamLn.Close()
+		if s.rpcLn != nil {
+			s.rpcLn.Close()
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// track registers a live connection for Close; it reports false when
+// the service is already stopping.
+func (s *Service) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.stop:
+		return false
+	default:
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Service) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Pipeline returns the service's pipeline once the first stream has
+// created it (nil before that).
+func (s *Service) Pipeline() *Pipeline {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipe
+}
+
+// pipelineFor returns the pipeline for a stream's Hello, creating it on
+// first use and rejecting parameter mismatches after that.
+func (s *Service) pipelineFor(h Hello) (*Pipeline, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pipe == nil {
+		level := s.cfg.Level
+		if level == 0 {
+			level = monitor.MSCLevel
+			if h.Consistency == "mlin" {
+				level = monitor.MLinLevel
+			}
+		}
+		s.pipe = NewPipeline(PipelineConfig{
+			NumObjects: len(h.Objects),
+			Level:      level,
+			Window:     s.cfg.Window,
+			SlackNs:    s.cfg.SlackNs,
+		})
+		s.consistency = h.Consistency
+		s.objects = append([]string(nil), h.Objects...)
+		return s.pipe, nil
+	}
+	if h.Consistency != s.consistency || len(h.Objects) != len(s.objects) {
+		s.rejected++
+		return nil, fmt.Errorf("stream node %d announced (%s, %d objects), service is (%s, %d objects)",
+			h.Node, h.Consistency, len(h.Objects), s.consistency, len(s.objects))
+	}
+	for i, name := range h.Objects {
+		if name != s.objects[i] {
+			s.rejected++
+			return nil, fmt.Errorf("stream node %d object %d is %q, service has %q", h.Node, i, name, s.objects[i])
+		}
+	}
+	return s.pipe, nil
+}
+
+func (s *Service) acceptStreams() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.streamLn.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.serveStream(conn)
+		}()
+	}
+}
+
+func (s *Service) serveStream(conn net.Conn) {
+	var scratch []byte
+	v, err := ReadMsg(conn, &scratch)
+	if err != nil {
+		return
+	}
+	hello, ok := v.(Hello)
+	if !ok {
+		return
+	}
+	pipe, err := s.pipelineFor(hello)
+	if err != nil {
+		fmt.Printf("mocmon: rejected stream: %v\n", err)
+		return
+	}
+	next := pipe.OpenStream(hello.Node, hello.Gen, hello.NextSeq)
+	if err := WriteMsg(conn, Ack{NextSeq: next}); err != nil {
+		return
+	}
+	for {
+		v, err := ReadMsg(conn, &scratch)
+		if err != nil {
+			return // disconnect: the stream resumes on reconnect
+		}
+		switch msg := v.(type) {
+		case Batch:
+			next := pipe.Push(hello.Node, msg)
+			if err := WriteMsg(conn, Ack{NextSeq: next}); err != nil {
+				return
+			}
+		case Fin:
+			pipe.FinStream(hello.Node, hello.Gen)
+			WriteMsg(conn, Ack{NextSeq: msg.NextSeq})
+			return
+		default:
+			return
+		}
+	}
+}
+
+// rpcRequest is one JSON-lines status request.
+type rpcRequest struct {
+	Op    string `json:"op"`
+	Limit int    `json:"limit,omitempty"`
+}
+
+// VJSON is a violation in RPC form.
+type VJSON struct {
+	Property string `json:"property"`
+	Detail   string `json:"detail"`
+}
+
+// rpcResponse is one JSON-lines status response.
+type rpcResponse struct {
+	OK          bool     `json:"ok"`
+	Err         string   `json:"error,omitempty"`
+	Consistency string   `json:"consistency,omitempty"`
+	Objects     []string `json:"objects,omitempty"`
+	Violations  *int     `json:"violations,omitempty"`
+	Observed    int64    `json:"observed,omitempty"`
+	Stats       *Stats   `json:"stats,omitempty"`
+	List        []VJSON  `json:"list,omitempty"`
+}
+
+func (s *Service) acceptRPC() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.rpcLn.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.serveRPC(conn)
+		}()
+	}
+}
+
+func (s *Service) serveRPC(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req rpcRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			enc.Encode(rpcResponse{Err: "bad request: " + err.Error()})
+			continue
+		}
+		if err := enc.Encode(s.handleRPC(req)); err != nil {
+			return
+		}
+		if req.Op == "shutdown" {
+			return
+		}
+	}
+}
+
+func (s *Service) handleRPC(req rpcRequest) rpcResponse {
+	pipe := s.Pipeline()
+	switch req.Op {
+	case "status":
+		s.mu.Lock()
+		resp := rpcResponse{OK: true, Consistency: s.consistency, Objects: s.objects}
+		s.mu.Unlock()
+		n := 0
+		if pipe != nil {
+			st := pipe.Snapshot()
+			n = st.Violations
+			resp.Observed = st.Released
+		}
+		resp.Violations = &n
+		return resp
+	case "stats":
+		resp := rpcResponse{OK: true}
+		if pipe != nil {
+			st := pipe.Snapshot()
+			resp.Stats = &st
+		}
+		return resp
+	case "violations":
+		resp := rpcResponse{OK: true}
+		if pipe != nil {
+			vs := pipe.Violations()
+			if req.Limit > 0 && len(vs) > req.Limit {
+				vs = vs[:req.Limit]
+			}
+			resp.List = make([]VJSON, len(vs))
+			for i, v := range vs {
+				resp.List[i] = VJSON{Property: v.Property, Detail: v.Detail}
+			}
+		}
+		return resp
+	case "shutdown":
+		if s.onStop != nil {
+			s.onStop()
+		}
+		return rpcResponse{OK: true}
+	default:
+		return rpcResponse{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}

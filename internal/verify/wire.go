@@ -1,0 +1,318 @@
+// Package verify is the live verification subsystem: mocd daemons
+// stream every completed m-operation record to a continuously-running
+// monitor service (cmd/mocmon), which merges the per-node streams into
+// one global response-order stream, feeds the Section 5 proof-obligation
+// monitor (internal/monitor) and an incremental Theorem 7 checker, and
+// garbage-collects closed window prefixes so memory stays bounded for
+// unbounded histories.
+//
+// The wire protocol is four message kinds over the internal/wire binary
+// codec, framed as [4-byte big-endian length][any slot]:
+//
+//	Hello — opens a stream: node id, generation, store parameters, and
+//	        the first sequence number the writer holds. The service
+//	        replies with an Ack naming the sequence it wants next, so a
+//	        reconnecting writer resumes exactly where the service left
+//	        off (records below the ack were already verified).
+//	Batch — a contiguous run of records starting at FirstSeq. Batches
+//	        are idempotent: the service drops the prefix it has seen.
+//	Ack   — service → writer: everything below NextSeq is safely in the
+//	        merge; the writer may drop its retained copies.
+//	Fin   — writer → service: clean end of stream (the daemon drained);
+//	        the stream stops holding the merge watermark back.
+//
+// Sequence numbers are per process *generation*: a restarted daemon
+// announces a new Gen and starts at 0 — its lost in-flight records are
+// gone, which the service accounts (a new generation closes the old
+// stream) rather than hides.
+package verify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"moc/internal/history"
+	"moc/internal/mop"
+	"moc/internal/object"
+	"moc/internal/timestamp"
+	"moc/internal/wire"
+)
+
+func init() {
+	wire.Register(wire.TagMonHello, Hello{})
+	wire.Register(wire.TagMonBatch, Batch{})
+	wire.Register(wire.TagMonAck, Ack{})
+	wire.Register(wire.TagMonFin, Fin{})
+}
+
+// Hello opens one record stream.
+type Hello struct {
+	// Node is the daemon's process id (its -id).
+	Node int
+	// Gen identifies the daemon incarnation (nanoseconds at writer
+	// start); sequence numbers are only comparable within one Gen.
+	Gen int64
+	// Consistency is the store's condition string (core.Consistency);
+	// every stream of one service must agree.
+	Consistency string
+	// Objects is the registry name list; every stream must agree.
+	Objects []string
+	// NextSeq is the lowest sequence number the writer still holds. The
+	// service's Ack may ask for anything >= this.
+	NextSeq int64
+}
+
+// Ack tells the writer which sequence number the service wants next.
+type Ack struct {
+	NextSeq int64
+}
+
+// Batch carries a contiguous run of records.
+type Batch struct {
+	FirstSeq int64
+	Recs     []Rec
+}
+
+// Fin closes a stream cleanly after the daemon drained.
+type Fin struct {
+	// NextSeq is one past the last record of the stream.
+	NextSeq int64
+}
+
+// Rec is the wire form of one mop.Record. Only the version-vector
+// protocols stream (same restriction as the trace files); Result is
+// deliberately absent — the checkers consume operations and timestamps,
+// not opaque return values.
+type Rec struct {
+	Proc         int
+	Update       bool
+	IsConsistent bool
+	Seq          int64
+	Level        int
+	Ops          []history.Op
+	TSStart      []int64
+	TSEnd        []int64
+	Footprint    []int64
+	Inv          int64
+	Resp         int64
+	Responders   []int64
+}
+
+// ToWire converts a captured record to its stream form. The second
+// return is false for tag-based records (no version vectors), which the
+// stream skips and counts, mirroring core.Trace.
+func ToWire(rec mop.Record) (Rec, bool) {
+	if rec.TSStart == nil || rec.TSEnd == nil {
+		return Rec{}, false
+	}
+	out := Rec{
+		Proc: rec.Proc, Update: rec.Update, IsConsistent: rec.IsConsistent,
+		Seq: rec.Seq, Level: int(rec.Level), Ops: rec.Ops,
+		TSStart: rec.TSStart, TSEnd: rec.TSEnd,
+		Inv: rec.Inv, Resp: rec.Resp,
+	}
+	for _, id := range rec.Footprint.IDs() {
+		out.Footprint = append(out.Footprint, int64(id))
+	}
+	for _, r := range rec.Responders {
+		out.Responders = append(out.Responders, int64(r))
+	}
+	return out, true
+}
+
+// FromWire converts a stream record back to the raw form.
+func (r Rec) FromWire() mop.Record {
+	rec := mop.Record{
+		Proc: r.Proc, Update: r.Update, IsConsistent: r.IsConsistent,
+		Seq: r.Seq, Level: history.Level(r.Level), Ops: r.Ops,
+		TSStart: timestamp.TS(r.TSStart), TSEnd: timestamp.TS(r.TSEnd),
+		Inv: r.Inv, Resp: r.Resp,
+	}
+	ids := make([]object.ID, len(r.Footprint))
+	for i, x := range r.Footprint {
+		ids[i] = object.ID(x)
+	}
+	rec.Footprint = object.NewSet(ids...)
+	for _, p := range r.Responders {
+		rec.Responders = append(rec.Responders, int(p))
+	}
+	return rec
+}
+
+// MarshalWire implements wire.Marshaler.
+func (h Hello) MarshalWire(b []byte) ([]byte, error) {
+	b = wire.AppendVarint(b, int64(h.Node))
+	b = wire.AppendVarint(b, h.Gen)
+	b = wire.AppendString(b, h.Consistency)
+	b = wire.AppendUvarint(b, uint64(len(h.Objects)))
+	for _, name := range h.Objects {
+		b = wire.AppendString(b, name)
+	}
+	return wire.AppendVarint(b, h.NextSeq), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (h *Hello) UnmarshalWire(d *wire.Decoder) error {
+	h.Node = d.Int()
+	h.Gen = d.Varint()
+	h.Consistency = d.String()
+	n := d.ArrayLen(1)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		h.Objects = append(h.Objects, d.String())
+	}
+	h.NextSeq = d.Varint()
+	return d.Err()
+}
+
+// MarshalWire implements wire.Marshaler.
+func (a Ack) MarshalWire(b []byte) ([]byte, error) {
+	return wire.AppendVarint(b, a.NextSeq), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *Ack) UnmarshalWire(d *wire.Decoder) error {
+	a.NextSeq = d.Varint()
+	return d.Err()
+}
+
+// MarshalWire implements wire.Marshaler.
+func (f Fin) MarshalWire(b []byte) ([]byte, error) {
+	return wire.AppendVarint(b, f.NextSeq), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (f *Fin) UnmarshalWire(d *wire.Decoder) error {
+	f.NextSeq = d.Varint()
+	return d.Err()
+}
+
+// MarshalWire implements wire.Marshaler.
+func (t Batch) MarshalWire(b []byte) ([]byte, error) {
+	b = wire.AppendVarint(b, t.FirstSeq)
+	b = wire.AppendUvarint(b, uint64(len(t.Recs)))
+	for _, r := range t.Recs {
+		b = appendRec(b, r)
+	}
+	return b, nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (t *Batch) UnmarshalWire(d *wire.Decoder) error {
+	t.FirstSeq = d.Varint()
+	n := d.ArrayLen(8) // a record is at least flags+a handful of varints
+	if n > 0 {
+		t.Recs = make([]Rec, 0, n)
+	}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		t.Recs = append(t.Recs, decodeRec(d))
+	}
+	return d.Err()
+}
+
+const (
+	recFlagUpdate     = 1 << 0
+	recFlagConsistent = 1 << 1
+)
+
+func appendRec(b []byte, r Rec) []byte {
+	var flags uint64
+	if r.Update {
+		flags |= recFlagUpdate
+	}
+	if r.IsConsistent {
+		flags |= recFlagConsistent
+	}
+	b = wire.AppendUvarint(b, flags)
+	b = wire.AppendVarint(b, int64(r.Proc))
+	b = wire.AppendVarint(b, r.Seq)
+	b = wire.AppendUvarint(b, uint64(r.Level))
+	b = wire.AppendUvarint(b, uint64(len(r.Ops)))
+	for _, op := range r.Ops {
+		kind := uint64(0)
+		if op.Kind == history.Write {
+			kind = 1
+		}
+		b = wire.AppendUvarint(b, kind)
+		b = wire.AppendVarint(b, int64(op.Obj))
+		b = wire.AppendVarint(b, op.Val)
+	}
+	b = wire.AppendInt64s(b, r.TSStart)
+	b = wire.AppendInt64s(b, r.TSEnd)
+	b = wire.AppendInt64s(b, r.Footprint)
+	b = wire.AppendVarint(b, r.Inv)
+	b = wire.AppendVarint(b, r.Resp)
+	return wire.AppendInt64s(b, r.Responders)
+}
+
+func decodeRec(d *wire.Decoder) Rec {
+	var r Rec
+	flags := d.Uvarint()
+	r.Update = flags&recFlagUpdate != 0
+	r.IsConsistent = flags&recFlagConsistent != 0
+	r.Proc = d.Int()
+	r.Seq = d.Varint()
+	r.Level = int(d.Uvarint())
+	n := d.ArrayLen(3)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		kind := history.Read
+		if d.Uvarint() == 1 {
+			kind = history.Write
+		}
+		r.Ops = append(r.Ops, history.Op{Kind: kind, Obj: object.ID(d.Varint()), Val: d.Varint()})
+	}
+	r.TSStart = d.Int64s()
+	r.TSEnd = d.Int64s()
+	r.Footprint = d.Int64s()
+	r.Inv = d.Varint()
+	r.Resp = d.Varint()
+	r.Responders = d.Int64s()
+	return r
+}
+
+// maxMsg bounds one stream message, mirroring the transport's frame cap.
+const maxMsg = 32 << 20
+
+// WriteMsg frames and writes one message (a registered wire type).
+func WriteMsg(w io.Writer, v any) error {
+	buf := make([]byte, 4, 256)
+	buf, err := wire.AppendAny(buf, v)
+	if err != nil {
+		return err
+	}
+	if len(buf)-4 > maxMsg {
+		return fmt.Errorf("verify: message %T is %d bytes (limit %d)", v, len(buf)-4, maxMsg)
+	}
+	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMsg reads one framed message into *scratch (grown and reused) and
+// decodes it. A hostile length prefix fails before any allocation.
+func ReadMsg(r io.Reader, scratch *[]byte) (any, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxMsg {
+		return nil, fmt.Errorf("verify: bad message length %d", n)
+	}
+	if cap(*scratch) < int(n) {
+		*scratch = make([]byte, n)
+	}
+	body := (*scratch)[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(body)
+	v := d.Any()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("verify: decode message: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("verify: %d trailing bytes after message", d.Remaining())
+	}
+	return v, nil
+}

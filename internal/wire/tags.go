@@ -65,6 +65,12 @@ const (
 	TagDCAS      Tag = 70
 	TagTransfer  Tag = 71
 
+	// 96–111: verify (record streaming to the live verification service).
+	TagMonHello Tag = 96
+	TagMonBatch Tag = 97
+	TagMonAck   Tag = 98
+	TagMonFin   Tag = 99
+
 	// 1000+: test-only payloads (network/testutil).
 	TagConformance Tag = 1000
 )
