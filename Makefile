@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify quick bench codec-gate chaos-smoke monitor-smoke
+.PHONY: build test race vet verify quick bench codec-gate chaos-smoke monitor-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,17 @@ race:
 codec-gate:
 	$(GO) test ./internal/transport/ -run 'FuzzReadFrame|TestSendPathZeroAllocs' -count=1
 	$(GO) test ./internal/bench/ -run TestE17EncodeCostSeparatesCodecs -count=1
+	$(GO) test ./internal/shard/ -run FuzzRouting -count=1
+
+# shard-smoke = the sharding acceptance pair, race-instrumented: the
+# randomized cross-shard interleaving test in short mode (seeded
+# adversarial schedules over the ticket/commit merge, every history
+# through the unchanged exact checker) plus the sharded chaos cell (one
+# lane coordinator SIGKILLed mid-campaign; the surviving shard must keep
+# serving and the merged traces must verify).
+shard-smoke:
+	$(GO) test ./internal/core/ -race -short -run TestShardInterleaving -count=1 -v
+	$(GO) test ./internal/chaos/ -race -run TestChaosShardedLaneKill -count=1 -v
 
 # chaos-smoke = the seeded chaos acceptance run: race-instrumented mocd
 # daemons on loopback TCP under socket resets, frame corruption and a
@@ -46,7 +57,9 @@ monitor-smoke:
 	$(GO) test ./internal/chaos/ -race -run TestMonitorSmoke -count=1 -v
 
 # verify = the tier-1 gate: vet + race-enabled tests + codec gates +
-# the seeded chaos campaign + the live-verification smoke.
+# the seeded chaos campaign + the live-verification smoke. The full
+# (non-short) interleaving soak and sharded chaos cell already run
+# inside `race`; shard-smoke is the fast standalone cut CI reuses.
 verify: vet race codec-gate chaos-smoke monitor-smoke
 
 # quick = the fast loop: -short trims the chaos/stress iteration counts.

@@ -44,6 +44,7 @@ import (
 	"moc/internal/core"
 	"moc/internal/history"
 	"moc/internal/monitor"
+	"moc/internal/shard"
 	"moc/internal/verify"
 )
 
@@ -114,10 +115,19 @@ func streamCheck(paths []string, lenient bool, window int, stdout io.Writer) (in
 	if cons == core.MLinearizable {
 		level = monitor.MLinLevel
 	}
+	numShards := 1
+	if spec := traces[0].Shards; spec != "" {
+		m, err := shard.ParseSpec(spec)
+		if err != nil {
+			return 2, err
+		}
+		numShards = m.Shards()
+	}
 	pipe := verify.NewPipeline(verify.PipelineConfig{
 		NumObjects: reg.Len(),
 		Level:      level,
 		Window:     window,
+		Shards:     numShards,
 	})
 	for _, rec := range recs {
 		pipe.Observe(rec)
@@ -130,6 +140,9 @@ func streamCheck(paths []string, lenient bool, window int, stdout io.Writer) (in
 		fmt.Fprintf(stdout, "corrupt lines skipped: %d\n", skipped)
 	}
 	fmt.Fprintf(stdout, "condition: %s (online obligations at the %s level)\n", cons, level)
+	if spec := traces[0].Shards; spec != "" {
+		fmt.Fprintf(stdout, "shards: %s\n", spec)
+	}
 	fmt.Fprintf(stdout, "checker: %d released, %d compactions, %d dangling\n",
 		st.Released, st.Compactions, st.Monitor.DanglingReads+st.Checker.DanglingReads)
 	if len(vs) == 0 {

@@ -149,7 +149,7 @@ func TestStdinDash(t *testing.T) {
 func writeTrace(t *testing.T, dir string, node int, recs []mop.Record) string {
 	t.Helper()
 	path := filepath.Join(dir, fmt.Sprintf("trace%d.jsonl", node))
-	w, err := core.NewTraceFileWriter(path, node, core.MLinearizable, []string{"x"})
+	w, err := core.NewTraceFileWriter(path, node, core.MLinearizable, []string{"x"}, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,9 +12,9 @@
 //	mocd -id 2 -peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 -client 127.0.0.1:7202 &
 //
 // Every daemon must be started with the same -peers, -objects,
-// -consistency, -broadcast, -epoch, -batch, -batchwindow and -inflight
-// values; -id selects which peer slot (and which protocol process) this
-// daemon is. The batching knobs enable the coalesced, pipelined update
+// -consistency, -broadcast, -epoch, -batch, -batchwindow, -inflight and
+// -shards values; -id selects which peer slot (and which protocol
+// process) this daemon is. The batching knobs enable the coalesced, pipelined update
 // path — a daemon batching while its peers do not would still be
 // correct (batches expand locally on every node) but would skew any
 // cost comparison, so keep them uniform.
@@ -44,6 +44,7 @@ import (
 	"moc/internal/core"
 	"moc/internal/mocrpc"
 	"moc/internal/mop"
+	"moc/internal/shard"
 	"moc/internal/transport"
 	"moc/internal/verify"
 )
@@ -67,6 +68,7 @@ func run() error {
 		batch       = flag.Int("batch", 1, "coalesce up to this many updates into one broadcast frame (1 = unbatched; same value on every daemon)")
 		batchWindow = flag.Duration("batchwindow", 0, "longest an update waits for its batch to fill (0 with -batch > 1 uses the built-in default)")
 		inflight    = flag.Int("inflight", 1, "updates outstanding per process (pipelined issuance; same value on every daemon)")
+		shards      = flag.Int("shards", 1, "partition the object space (id mod N) into this many independent broadcast lanes; single-shard operations never cross lanes (same value on every daemon; incompatible with -recover)")
 		codec       = flag.String("codec", transport.CodecBinary, `frame body encoding this daemon sends: "binary" or "gob" (receiving is always codec-agnostic, so mixed clusters interoperate)`)
 
 		recov        = flag.Bool("recover", false, "enable checkpoint-transfer recovery: serve checkpoints to rejoining peers and solicit one at startup (same flag on every daemon; requires -broadcast=seq and -batch=1)")
@@ -110,6 +112,20 @@ func run() error {
 	}
 	if *inflight < 1 {
 		return fmt.Errorf("-inflight must be at least 1, got %d", *inflight)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
+	// The canonical spec for this cluster's shard map ("" when
+	// unsharded), announced in trace headers and monitor Hellos; it must
+	// match what core.New will build so merged streams agree.
+	shardSpec := ""
+	if *shards > 1 {
+		m, err := shard.NewMap(len(names), *shards)
+		if err != nil {
+			return fmt.Errorf("-shards: %v", err)
+		}
+		shardSpec = m.Spec()
 	}
 	if *recov {
 		if *broadcast != "seq" {
@@ -164,7 +180,7 @@ func run() error {
 
 	var traceW *core.TraceFileWriter
 	if *trace != "" {
-		traceW, err = core.NewTraceFileWriter(*trace, *id, cons, names)
+		traceW, err = core.NewTraceFileWriter(*trace, *id, cons, names, shardSpec)
 		if err != nil {
 			return err
 		}
@@ -189,12 +205,14 @@ func run() error {
 		Recovery:     *recov,
 		QueryTimeout: *queryTimeout,
 		QueryRetries: *queryRetries,
+		Shards:       *shards,
 	}
 	var monW *verify.StreamWriter
 	if *monitorAddr != "" {
 		monW = verify.NewStreamWriter(verify.WriterConfig{
 			Addr: *monitorAddr, Node: *id,
 			Consistency: *consistency, Objects: names,
+			Shards: shardSpec,
 		})
 	}
 	switch {

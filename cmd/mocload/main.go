@@ -59,20 +59,22 @@ func main() {
 
 func run() error {
 	var (
-		nodes    = flag.String("nodes", "", "comma-separated daemon client RPC addresses (required)")
-		objects  = flag.String("objects", "x,y,z", "shared object names; must match the daemons' -objects")
-		ops      = flag.Int("ops", 20, "m-operations per daemon")
-		readFrac = flag.Float64("readfrac", 0.5, "fraction of queries in the mix")
-		span     = flag.Int("span", 2, "objects touched per m-operation")
-		seed     = flag.Int64("seed", 42, "workload plan seed")
-		out      = flag.String("out", "", "write the merged execution history (moccheck JSON) here")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-daemon dial timeout")
-		inflight = flag.Int("inflight", 1, "concurrent clients per daemon, each on its own connection (pair with the daemons' -inflight so the pipelined lanes are actually fed)")
-		rate     = flag.Float64("rate", 0, "open-loop mode: target m-operations per second per daemon (0 = closed loop); latency is measured from the scheduled issue time, so overload queueing is charged to the operations (no coordinated omission)")
-		duration = flag.Duration("duration", 10*time.Second, "open-loop run length (only with -rate)")
-		level    = flag.String("level", "", `consistency level for queries: "one", "quorum", "all", or "mixed" (each query draws uniformly among the three); empty keeps the daemons' native level. Non-native levels need an m-linearizable cluster`)
-		callTO   = flag.Duration("calltimeout", 0, "per-RPC deadline (0 = none); a timed-out call counts as indeterminate — the daemon may still apply it")
-		retries  = flag.Int("retries", 0, "retries per operation on retryable (never-sent) failures, with capped jittered backoff; queries also retry through indeterminate failures, updates never do (a duplicated write would corrupt the merged history)")
+		nodes     = flag.String("nodes", "", "comma-separated daemon client RPC addresses (required)")
+		objects   = flag.String("objects", "x,y,z", "shared object names; must match the daemons' -objects")
+		ops       = flag.Int("ops", 20, "m-operations per daemon")
+		readFrac  = flag.Float64("readfrac", 0.5, "fraction of queries in the mix")
+		span      = flag.Int("span", 2, "objects touched per m-operation")
+		seed      = flag.Int64("seed", 42, "workload plan seed")
+		out       = flag.String("out", "", "write the merged execution history (moccheck JSON) here")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-daemon dial timeout")
+		inflight  = flag.Int("inflight", 1, "concurrent clients per daemon, each on its own connection (pair with the daemons' -inflight so the pipelined lanes are actually fed)")
+		rate      = flag.Float64("rate", 0, "open-loop mode: target m-operations per second per daemon (0 = closed loop); latency is measured from the scheduled issue time, so overload queueing is charged to the operations (no coordinated omission)")
+		duration  = flag.Duration("duration", 10*time.Second, "open-loop run length (only with -rate)")
+		shards    = flag.Int("shards", 1, "plan a shard-affine workload for a sharded cluster: must match the daemons' -shards; node i works its home shard (i mod N)")
+		crossFrac = flag.Float64("crossfrac", 0, "with -shards > 1: fraction of m-operations extended with one foreign-shard object (the operations the cross-shard merge must order)")
+		level     = flag.String("level", "", `consistency level for queries: "one", "quorum", "all", or "mixed" (each query draws uniformly among the three); empty keeps the daemons' native level. Non-native levels need an m-linearizable cluster`)
+		callTO    = flag.Duration("calltimeout", 0, "per-RPC deadline (0 = none); a timed-out call counts as indeterminate — the daemon may still apply it")
+		retries   = flag.Int("retries", 0, "retries per operation on retryable (never-sent) failures, with capped jittered backoff; queries also retry through indeterminate failures, updates never do (a duplicated write would corrupt the merged history)")
 	)
 	flag.Parse()
 	if *inflight < 1 {
@@ -88,6 +90,15 @@ func run() error {
 	case "", "one", "quorum", "all", "mixed":
 	default:
 		return fmt.Errorf(`-level must be "one", "quorum", "all", "mixed" or empty, got %q`, *level)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
+	if *crossFrac < 0 || *crossFrac > 1 {
+		return fmt.Errorf("-crossfrac %v outside [0, 1]", *crossFrac)
+	}
+	if *crossFrac > 0 && *shards < 2 {
+		return fmt.Errorf("-crossfrac needs -shards > 1")
 	}
 
 	addrs := splitList(*nodes)
@@ -120,8 +131,17 @@ func run() error {
 		}
 	}
 
-	mix := workload.Mix{ReadFrac: *readFrac, Span: *span, OpsPerProc: *ops}
-	plans := mix.Plan(len(addrs), len(names), rand.New(rand.NewSource(*seed)))
+	var plans [][]workload.Op
+	if *shards > 1 {
+		mix := workload.ShardMix{
+			ReadFrac: *readFrac, Span: *span, OpsPerProc: *ops,
+			Shards: *shards, CrossFrac: *crossFrac,
+		}
+		plans = mix.Plan(len(addrs), len(names), rand.New(rand.NewSource(*seed)))
+	} else {
+		mix := workload.Mix{ReadFrac: *readFrac, Span: *span, OpsPerProc: *ops}
+		plans = mix.Plan(len(addrs), len(names), rand.New(rand.NewSource(*seed)))
+	}
 
 	var (
 		mu           sync.Mutex

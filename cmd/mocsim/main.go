@@ -127,6 +127,7 @@ func run() error {
 		partition   = flag.Duration("partition", 0, "fault injection: partition the first half of the processes from the rest until this duration elapses")
 		crash       = flag.String("crash", "", `crash-stop schedule: comma-separated proc@time entries (e.g. "1@40ms,2@80ms")`)
 		restart     = flag.String("restart", "", `restart schedule matching -crash: comma-separated proc@time entries (e.g. "1@160ms")`)
+		shards      = flag.Int("shards", 1, "msc/mlin: partition the object space (id mod N) into this many independent broadcast lanes; cross-shard m-operations run the two-phase ticket merge")
 		level       = flag.String("level", "", `consistency level for queries: "one", "quorum" or "all" (empty = the store's native level; "quorum"/"all" need -consistency mlin, "one" also works with msc)`)
 		emitJSON    = flag.Bool("json", false, "print the recorded history as JSON")
 		timeline    = flag.Bool("timeline", false, "render the history as per-process lanes (paper-figure style)")
@@ -171,6 +172,20 @@ func run() error {
 		*consistency != "msc" && *consistency != "mlin" {
 		return usageError{fmt.Sprintf("-batch/-batchwindow/-inflight apply to the broadcast consistencies (msc, mlin), not %q", *consistency)}
 	}
+	if *shards < 1 {
+		return usageError{fmt.Sprintf("-shards must be at least 1, got %d", *shards)}
+	}
+	if *shards > 1 {
+		if *consistency != "msc" && *consistency != "mlin" {
+			return usageError{fmt.Sprintf("-shards applies to the broadcast consistencies (msc, mlin), not %q", *consistency)}
+		}
+		if *shards > *objects {
+			return usageError{fmt.Sprintf("-shards %d exceeds -objects %d (a shard would be empty)", *shards, *objects)}
+		}
+		if *crash != "" {
+			return usageError{"-shards cannot be combined with -crash (per-lane failover is not coordinated)"}
+		}
+	}
 	queryLevel, err := history.ParseLevel(*level)
 	if err != nil {
 		return usageError{fmt.Sprintf("-level: %v", err)}
@@ -212,6 +227,7 @@ func run() error {
 		RelevantOnly: *relevant,
 		BatchWindow:  *batchWindow,
 		MaxInflight:  *inflight,
+		Shards:       *shards,
 	}
 	if *batch > 1 {
 		cfg.BatchSize = *batch
@@ -353,6 +369,9 @@ func run() error {
 	condition := s.Consistency().String()
 	if leveled {
 		condition = fmt.Sprintf("mixed-level (queries at %s): m-SC overall, m-lin on the strong subset", queryLevel)
+	}
+	if *shards > 1 {
+		fmt.Fprintf(summary, "shards: %s (%d lanes)\n", s.ShardSpec(), *shards)
 	}
 	fmt.Fprintf(summary, "consistency: %s; verified: %v\n", condition, res.OK)
 	if !res.OK {

@@ -37,6 +37,13 @@ type Delivery struct {
 	From int
 	// Payload is the broadcast payload.
 	Payload any
+	// Shards, when non-nil, lists the shards this delivery occupies in a
+	// sharded group's composed order (internal/shard). Nil for plain
+	// single-lane broadcasters. A sharded Seq is composite (apply-clock ×
+	// shard count + shard) — globally unique and per-shard monotone, but
+	// not gap-free per process, so consumers must not treat a smaller Seq
+	// as already-applied.
+	Shards []int
 }
 
 // Broadcaster is an atomic broadcast service for a fixed group of

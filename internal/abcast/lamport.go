@@ -74,10 +74,13 @@ type LamportConfig struct {
 	// partitioned or freshly-restarted minority diverging on its own.
 	// Nil keeps the full-quorum crash-free behavior.
 	FD *FDConfig
-	// Links optionally supplies the transport (channel name "abcast");
+	// Links optionally supplies the transport (channel name Channel);
 	// nil uses the simulated network stack. The transport must provide
 	// per-link FIFO ordering, as TCP connections do.
 	Links network.Factory
+	// Channel overrides the transport channel name (default "abcast");
+	// sharded stores run one lane per shard on distinct channels.
+	Channel string
 }
 
 // NewLamport starts a Lamport-clock atomic broadcast group.
@@ -85,7 +88,11 @@ func NewLamport(cfg LamportConfig) (*Lamport, error) {
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("abcast: invalid proc count %d", cfg.Procs)
 	}
-	net, err := cfg.Links.Build("abcast", network.Config{
+	channel := cfg.Channel
+	if channel == "" {
+		channel = "abcast"
+	}
+	net, err := cfg.Links.Build(channel, network.Config{
 		Procs:    cfg.Procs,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,

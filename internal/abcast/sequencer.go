@@ -29,6 +29,7 @@ import (
 // (origin, reqID) keys.
 type Sequencer struct {
 	n         int
+	seqEP     int // dedicated sequencer endpoint (FD nil); defaults to n
 	net       network.Link
 	outs      []chan Delivery
 	resume    []chan int64 // crash-free member fast-forward (see Resume)
@@ -109,9 +110,19 @@ type SequencerConfig struct {
 	// FD enables heartbeat failure detection and sequencer failover. Nil
 	// keeps the crash-free fixed-sequencer behavior.
 	FD *FDConfig
-	// Links optionally supplies the transport (channel name "abcast");
+	// Links optionally supplies the transport (channel name Channel);
 	// nil uses the simulated network stack.
 	Links network.Factory
+	// Channel overrides the transport channel name (default "abcast").
+	// Sharded stores run one lane per shard, each on its own channel
+	// ("abcast.s0", "abcast.s1", ...), multiplexed over one transport.
+	Channel string
+	// Endpoint overrides the dedicated sequencer endpoint (FD nil only;
+	// default cfg.Procs). Over a real transport, endpoint e is owned by
+	// daemon e mod len(addrs), so per-shard lanes pick distinct endpoints
+	// (Procs+shard) to spread the sequencers across the cluster instead
+	// of piling every lane's coordinator on daemon 0.
+	Endpoint int
 }
 
 // NewSequencer starts a sequencer-based atomic broadcast group.
@@ -119,12 +130,25 @@ func NewSequencer(cfg SequencerConfig) (*Sequencer, error) {
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("abcast: invalid proc count %d", cfg.Procs)
 	}
+	channel := cfg.Channel
+	if channel == "" {
+		channel = "abcast"
+	}
+	seqEP := cfg.Endpoint
+	if seqEP == 0 {
+		seqEP = cfg.Procs
+	}
+	if seqEP < cfg.Procs {
+		return nil, fmt.Errorf("abcast: sequencer endpoint %d collides with member endpoints", seqEP)
+	}
 	endpoints := cfg.Procs
 	if cfg.FD == nil {
-		// Endpoint cfg.Procs is the dedicated sequencer.
-		endpoints = cfg.Procs + 1
+		// A dedicated endpoint (seqEP, default cfg.Procs) sequences.
+		endpoints = seqEP + 1
+	} else if cfg.Endpoint != 0 {
+		return nil, fmt.Errorf("abcast: Endpoint is only meaningful without failover (FD)")
 	}
-	net, err := cfg.Links.Build("abcast", network.Config{
+	net, err := cfg.Links.Build(channel, network.Config{
 		Procs:    endpoints,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,
@@ -140,6 +164,7 @@ func NewSequencer(cfg SequencerConfig) (*Sequencer, error) {
 	}
 	s := &Sequencer{
 		n:       cfg.Procs,
+		seqEP:   seqEP,
 		net:     net,
 		outs:    make([]chan Delivery, cfg.Procs),
 		resume:  make([]chan int64, cfg.Procs),
@@ -186,7 +211,7 @@ func (s *Sequencer) Broadcast(from int, payload any, bytes int) error {
 		return s.net.Send(from, from, "abcast.submit", seqSubmit{Payload: payload, Bytes: bytes}, 0)
 	}
 	req := seqRequest{Origin: from, Payload: payload, Bytes: bytes}
-	return s.net.Send(from, s.n, "abcast.req", req, bytes+s.headerB)
+	return s.net.Send(from, s.seqEP, "abcast.req", req, bytes+s.headerB)
 }
 
 // Deliveries implements Broadcaster.
@@ -228,7 +253,7 @@ func (s *Sequencer) runSequencer() {
 		select {
 		case <-s.stop:
 			return
-		case msg := <-s.net.Recv(s.n):
+		case msg := <-s.net.Recv(s.seqEP):
 			req, ok := msg.Payload.(seqRequest)
 			if !ok {
 				continue // foreign payloads are ignored, not fatal
@@ -236,7 +261,7 @@ func (s *Sequencer) runSequencer() {
 			ord := seqOrder{Seq: next, Origin: req.Origin, Payload: req.Payload, Bytes: req.Bytes}
 			next++
 			for p := 0; p < s.n; p++ {
-				if err := s.net.Send(s.n, p, "abcast.ord", ord, req.Bytes+s.headerB); err != nil {
+				if err := s.net.Send(s.seqEP, p, "abcast.ord", ord, req.Bytes+s.headerB); err != nil {
 					return // network closed
 				}
 			}

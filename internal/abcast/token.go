@@ -118,9 +118,12 @@ type TokenConfig struct {
 	// FD enables heartbeat failure detection, ring routing around
 	// suspects, and token regeneration. Nil keeps the static ring.
 	FD *FDConfig
-	// Links optionally supplies the transport (channel name "abcast");
+	// Links optionally supplies the transport (channel name Channel);
 	// nil uses the simulated network stack.
 	Links network.Factory
+	// Channel overrides the transport channel name (default "abcast");
+	// sharded stores run one lane per shard on distinct channels.
+	Channel string
 }
 
 // NewToken starts a token-ring atomic broadcast group. Process 0 holds
@@ -129,7 +132,11 @@ func NewToken(cfg TokenConfig) (*Token, error) {
 	if cfg.Procs <= 0 {
 		return nil, fmt.Errorf("abcast: invalid proc count %d", cfg.Procs)
 	}
-	net, err := cfg.Links.Build("abcast", network.Config{
+	channel := cfg.Channel
+	if channel == "" {
+		channel = "abcast"
+	}
+	net, err := cfg.Links.Build(channel, network.Config{
 		Procs:    cfg.Procs,
 		Seed:     cfg.Seed,
 		MinDelay: cfg.MinDelay,

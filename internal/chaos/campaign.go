@@ -119,6 +119,12 @@ type worker struct {
 	paused atomic.Bool
 	stepMu sync.Mutex
 
+	// restricted narrows the footprint pool to restrictedObjs — the
+	// sharded campaign flips it after the lane kill so survivors issue
+	// only operations of the still-coordinated shard.
+	restricted     atomic.Bool
+	restrictedObjs []string
+
 	mu        sync.Mutex
 	latencies []time.Duration
 }
@@ -163,10 +169,14 @@ func (w *worker) step(tl *timeline, counters *campaignCounters, stop <-chan stru
 	op := w.ops
 	w.ops++
 	update := w.rng.Float64() >= w.cfg.ReadFrac
+	pool := w.objects
+	if w.restricted.Load() {
+		pool = w.restrictedObjs
+	}
 	// Span-2 footprint: two distinct objects per operation.
-	i := w.rng.Intn(len(w.objects))
-	j := (i + 1 + w.rng.Intn(len(w.objects)-1)) % len(w.objects)
-	objs := []string{w.objects[i], w.objects[j]}
+	i := w.rng.Intn(len(pool))
+	j := (i + 1 + w.rng.Intn(len(pool)-1)) % len(pool)
+	objs := []string{pool[i], pool[j]}
 	level := ""
 	if !update && len(w.cfg.QueryLevels) > 0 {
 		level = w.cfg.QueryLevels[w.rng.Intn(len(w.cfg.QueryLevels))]

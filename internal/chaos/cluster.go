@@ -36,6 +36,12 @@ type ClusterConfig struct {
 	// Consistency is "msc" or "mlin"; Broadcast is forced to "seq"
 	// (recovery fast-forwards the sequencer delivery sequence).
 	Consistency string
+	// Shards, when > 1, starts every daemon with -shards: the object
+	// space splits into that many independent sequencer lanes, with lane
+	// s's coordinator endpoint owned by daemon (N+s) mod N. Sharding is
+	// incompatible with checkpoint recovery, so the daemons run without
+	// -recover and a killed daemon stays down (Restart must not be used).
+	Shards int
 	// Seed derives each daemon's fault-injection seed (Seed + id).
 	Seed int64
 	// ResetProb and CorruptProb inject socket faults on every daemon's
@@ -194,8 +200,14 @@ func (c *Cluster) start(id int) error {
 		"-consistency", c.cfg.Consistency,
 		"-broadcast", "seq",
 		"-epoch", c.epoch,
-		"-recover",
 		"-trace", tracePath,
+	}
+	if c.cfg.Shards > 1 {
+		// Sharded lanes cannot adopt a checkpoint (it carries a single
+		// total-order prefix), so sharded clusters run without -recover.
+		args = append(args, "-shards", fmt.Sprint(c.cfg.Shards))
+	} else {
+		args = append(args, "-recover")
 	}
 	if c.cfg.MonitorAddr != "" {
 		args = append(args, "-monitor", c.cfg.MonitorAddr)

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosShardedLaneKill is the sharded chaos acceptance run: a
+// 3-daemon cluster with the object space split over two sequencer
+// lanes, a mixed cross-shard workload, then a SIGKILL of the daemon
+// coordinating lane 1 — with no restart, since sharded lanes have no
+// checkpoint rejoin path. The shard whose coordinator survives must
+// keep completing operations while the dead daemon's client measures a
+// total outage, and the merged kill-torn traces (which carry the shard
+// map) must be accepted by the unchanged exact m-SC checker.
+func TestChaosShardedLaneKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full multi-process chaos campaign; run via make chaos-smoke")
+	}
+	bin, err := buildOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six objects over two shards: shard 0 = {a, c, e} (coordinator
+	// daemon 0, survives), shard 1 = {b, d, f} (coordinator daemon 1,
+	// killed).
+	res, err := RunShardCampaign(ShardCampaignConfig{
+		Cluster: ClusterConfig{
+			MocdBin:     bin,
+			Dir:         t.TempDir(),
+			N:           3,
+			Objects:     []string{"a", "b", "c", "d", "e", "f"},
+			Consistency: "msc",
+			Shards:      2,
+			Seed:        41,
+		},
+		Kill:        1,
+		PhaseA:      900 * time.Millisecond,
+		PhaseB:      900 * time.Millisecond,
+		Pace:        60 * time.Millisecond,
+		ReadFrac:    0.5,
+		CallTimeout: time.Second,
+	})
+	if err != nil {
+		if res != nil {
+			for i, log := range res.Logs {
+				t.Logf("daemon %d output:\n%s", i, log)
+			}
+		}
+		t.Fatal(err)
+	}
+	t.Logf("attempts=%d ok=%d unavailable=%d indeterminate=%d records=%d torn=%d okAfterKill=%d unavailableAfterKill=%d shards=%q",
+		res.Attempts, res.OK, res.Unavailable, res.Indeterminate, res.Records,
+		res.TornLines, res.OKAfterKill, res.UnavailableAfterKill, res.ShardSpec)
+
+	dump := func() {
+		for i, log := range res.Logs {
+			t.Logf("daemon %d output:\n%s", i, log)
+		}
+	}
+	if !res.Accepted {
+		dump()
+		t.Fatalf("merged sharded chaos history (%d records) rejected by the exact checker", res.Records)
+	}
+	if res.ShardSpec == "" {
+		dump()
+		t.Fatal("traces carried no shard map")
+	}
+	if res.OKAfterKill == 0 {
+		dump()
+		t.Fatal("the surviving shard completed nothing after the lane kill")
+	}
+	if res.UnavailableAfterKill == 0 {
+		dump()
+		t.Fatal("the killed coordinator produced no measured unavailability")
+	}
+	if res.ServerErrors != 0 {
+		dump()
+		t.Fatalf("%d server errors on a well-formed workload", res.ServerErrors)
+	}
+	if want := []string{"a", "c", "e"}; len(res.SafeObjects) != len(want) {
+		dump()
+		t.Fatalf("safe pool %v, want %v", res.SafeObjects, want)
+	}
+}

@@ -1,0 +1,295 @@
+package checker
+
+import (
+	"math/rand"
+	"testing"
+
+	"moc/internal/history"
+	"moc/internal/object"
+	"moc/internal/shard"
+)
+
+// shardSet returns the objects the shard map assigns to shard s.
+func shardSet(m *shard.Map, s int) object.Set {
+	var ids []object.ID
+	for x := 0; x < m.Objects(); x++ {
+		if m.Of(object.ID(x)) == s {
+			ids = append(ids, object.ID(x))
+		}
+	}
+	return object.NewSet(ids...)
+}
+
+// TestShardRestrictionPreservesAdmissibility is the decomposition half
+// of the composition law (Gotsman & Burckhardt): if a history is
+// admissible, so is its projection onto each shard's objects — the
+// admissibility witness projects. Histories are generated from a serial
+// schedule (admissible by construction, confirmed with the exact
+// decider), with cross-shard m-operations and overlapping real-time
+// windows, then each per-shard restriction is re-decided under the same
+// base relation.
+func TestShardRestrictionPreservesAdmissibility(t *testing.T) {
+	const numObjects, numShards = 4, 2
+	smap, err := shard.NewMap(numObjects, numShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	bases := []struct {
+		name string
+		base history.BaseRelation
+	}{
+		{"msc", history.MSequentialBase},
+		{"mlin", history.MLinearizableBase},
+	}
+	for trial := 0; trial < 30; trial++ {
+		h := randomSerialHistory(t, rng, numObjects)
+		for _, tc := range bases {
+			res, err := Decide(h, tc.base, nil)
+			if err != nil {
+				t.Fatalf("trial %d: decide full %s: %v", trial, tc.name, err)
+			}
+			if !res.Admissible {
+				t.Fatalf("trial %d: serially generated history not %s-admissible", trial, tc.name)
+			}
+			for s := 0; s < numShards; s++ {
+				sub, _, err := h.RestrictToObjects(shardSet(smap, s))
+				if err != nil {
+					t.Fatalf("trial %d: restrict to shard %d: %v", trial, s, err)
+				}
+				subRes, err := Decide(sub, tc.base, nil)
+				if err != nil {
+					t.Fatalf("trial %d: decide shard %d %s: %v", trial, s, tc.name, err)
+				}
+				if !subRes.Admissible {
+					t.Fatalf("trial %d: %s admissible globally but shard %d restriction is not",
+						trial, tc.name, s)
+				}
+			}
+		}
+	}
+}
+
+// TestShardCompositionMLinSingleShardOps is the composition half, the
+// locality property m-linearizability inherits from linearizability
+// (Herlihy & Wing): when every m-operation stays within one shard, the
+// full history is m-linearizable exactly when each per-shard projection
+// is — treat each shard as one coarse object and the classic locality
+// argument goes through. This is the law the sharded store leans on to
+// run single-shard operations on independent broadcast lanes with no
+// cross-lane coordination at all. Histories here are adversarial, not
+// serial: reads may pick any previously written value, so plenty of
+// trials are inadmissible and both directions of the equivalence are
+// exercised.
+func TestShardCompositionMLinSingleShardOps(t *testing.T) {
+	const numObjects, numShards = 4, 2
+	smap, err := shard.NewMap(numObjects, numShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	admissible, violated := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		h := randomSingleShardHistory(t, rng, smap)
+		res, err := Decide(h, history.MLinearizableBase, nil)
+		if err != nil {
+			t.Fatalf("trial %d: decide full: %v", trial, err)
+		}
+		allShards := true
+		for s := 0; s < numShards; s++ {
+			sub, _, err := h.RestrictToObjects(shardSet(smap, s))
+			if err != nil {
+				t.Fatalf("trial %d: restrict to shard %d: %v", trial, s, err)
+			}
+			subRes, err := Decide(sub, history.MLinearizableBase, nil)
+			if err != nil {
+				t.Fatalf("trial %d: decide shard %d: %v", trial, s, err)
+			}
+			if !subRes.Admissible {
+				allShards = false
+			}
+		}
+		if res.Admissible != allShards {
+			t.Fatalf("trial %d: locality broken: full m-lin=%v, all shard restrictions m-lin=%v",
+				trial, res.Admissible, allShards)
+		}
+		if res.Admissible {
+			admissible++
+		} else {
+			violated++
+		}
+	}
+	if admissible == 0 || violated == 0 {
+		t.Fatalf("generator not adversarial enough: %d admissible, %d violated", admissible, violated)
+	}
+}
+
+// TestShardCompositionFailsForMSC pins the gap the cross-shard ordering
+// layer exists to close: m-sequential consistency is NOT compositional,
+// even with every m-operation confined to a single shard. The classic
+// store-buffer interleaving — P0 writes x then reads y stale, P1 writes
+// y then reads x stale — is m-SC on each shard separately but has no
+// global legal interleaving. Per-shard lanes alone would admit it;
+// that is why the sharded protocol still runs each process's operations
+// through its session anchor rather than trusting shard locality.
+func TestShardCompositionFailsForMSC(t *testing.T) {
+	reg := object.Sequential(2) // object 0 → shard 0, object 1 → shard 1
+	smap, err := shard.NewMap(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := history.NewBuilder(reg)
+	b.Add(0, 0, 1, history.W(0, 1))              // P0: W(x)1
+	b.Add(0, 2, 3, history.R(1, object.Initial)) // P0: R(y)=0 — misses P1's write
+	b.Add(1, 0, 1, history.W(1, 1))              // P1: W(y)1
+	b.Add(1, 2, 3, history.R(0, object.Initial)) // P1: R(x)=0 — misses P0's write
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Decide(h, history.MSequentialBase, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admissible {
+		t.Fatal("store-buffer history must not be m-sequentially consistent")
+	}
+	for s := 0; s < 2; s++ {
+		sub, _, err := h.RestrictToObjects(shardSet(smap, s))
+		if err != nil {
+			t.Fatalf("restrict to shard %d: %v", s, err)
+		}
+		subRes, err := Decide(sub, history.MSequentialBase, nil)
+		if err != nil {
+			t.Fatalf("decide shard %d: %v", s, err)
+		}
+		if !subRes.Admissible {
+			t.Fatalf("shard %d restriction should be m-SC on its own", s)
+		}
+	}
+}
+
+// randomSerialHistory generates a history from a random serial schedule
+// of multi-object m-operations: every write value is distinct, every
+// read observes the serially-current value, and invocation times follow
+// the schedule with response times stretched to overlap later
+// operations on other processes. The schedule itself is a legal witness
+// that respects real time, so the history is admissible under every
+// base relation the deciders use.
+func randomSerialHistory(t *testing.T, rng *rand.Rand, numObjects int) *history.History {
+	t.Helper()
+	reg := object.Sequential(numObjects)
+	b := history.NewBuilder(reg)
+	current := make([]object.Value, numObjects) // serially-current value per object
+	next := object.Value(1)
+	lastResp := map[int]int64{}
+	prevInv := int64(-1)
+	n := 5 + rng.Intn(5)
+	for k := 0; k < n; k++ {
+		p := rng.Intn(3)
+		// Invocations strictly follow the schedule (and each process's
+		// own last response), so every real-time edge agrees with the
+		// serial order and the schedule stays a valid witness; stretched
+		// responses still overlap later operations on other processes.
+		inv := int64(10 * k)
+		if inv <= prevInv {
+			inv = prevInv + 1
+		}
+		if last, ok := lastResp[p]; ok && inv <= last {
+			inv = last + 1
+		}
+		prevInv = inv
+		resp := inv + 1 + int64(rng.Intn(15))
+		lastResp[p] = resp
+
+		var ops []history.Op
+		for _, x := range pickObjects(rng, numObjects) {
+			if rng.Intn(2) == 0 {
+				ops = append(ops, history.W(x, next))
+				current[x] = next
+				next++
+			} else {
+				ops = append(ops, history.R(x, current[x]))
+			}
+		}
+		b.Add(p, inv, resp, ops...)
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("randomSerialHistory: %v", err)
+	}
+	return h
+}
+
+// randomSingleShardHistory generates histories whose m-operations each
+// touch objects of exactly one shard, with reads free to observe any
+// value ever written to the object — stale reads included — so the
+// result is frequently inadmissible.
+func randomSingleShardHistory(t *testing.T, rng *rand.Rand, smap *shard.Map) *history.History {
+	t.Helper()
+	reg := object.Sequential(smap.Objects())
+	b := history.NewBuilder(reg)
+	written := make([][]object.Value, smap.Objects())
+	for x := range written {
+		written[x] = []object.Value{object.Initial}
+	}
+	next := object.Value(1)
+	lastResp := map[int]int64{}
+	n := 4 + rng.Intn(4)
+	for k := 0; k < n; k++ {
+		p := rng.Intn(2)
+		inv := int64(10 * k)
+		if last, ok := lastResp[p]; ok && inv <= last {
+			inv = last + 1
+		}
+		resp := inv + 1 + int64(rng.Intn(15))
+		lastResp[p] = resp
+
+		s := rng.Intn(smap.Shards())
+		objs := shardSet(smap, s).IDs()
+		var ops []history.Op
+		seen := map[object.ID]bool{}
+		for _, x := range objs {
+			if rng.Intn(2) == 0 || seen[x] {
+				continue
+			}
+			seen[x] = true
+			if rng.Intn(2) == 0 {
+				ops = append(ops, history.W(x, next))
+				written[x] = append(written[x], next)
+				next++
+			} else {
+				vals := written[x]
+				ops = append(ops, history.R(x, vals[rng.Intn(len(vals))]))
+			}
+		}
+		if len(ops) == 0 {
+			x := objs[rng.Intn(len(objs))]
+			ops = append(ops, history.W(x, next))
+			written[x] = append(written[x], next)
+			next++
+		}
+		b.Add(p, inv, resp, ops...)
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatalf("randomSingleShardHistory: %v", err)
+	}
+	return h
+}
+
+// pickObjects returns a nonempty random subset of the object space, in
+// ascending order (an m-operation's footprint).
+func pickObjects(rng *rand.Rand, numObjects int) []object.ID {
+	var out []object.ID
+	for x := 0; x < numObjects; x++ {
+		if rng.Intn(2) == 0 {
+			out = append(out, object.ID(x))
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, object.ID(rng.Intn(numObjects)))
+	}
+	return out
+}

@@ -31,6 +31,7 @@ import (
 	"moc/internal/object"
 	"moc/internal/oolock"
 	"moc/internal/recovery"
+	"moc/internal/shard"
 )
 
 // Consistency selects the condition the store implements.
@@ -172,6 +173,18 @@ type Config struct {
 	// flight. The sink is called outside the store's record mutex and
 	// must be safe for concurrent use.
 	RecordSink func(mop.Record)
+	// Shards partitions the object space into this many shards (object
+	// id mod Shards), each with its own independent atomic-broadcast
+	// lane; 0 or 1 keeps the single total order. Operations touching one
+	// shard ride that shard's lane untouched; operations spanning
+	// several are merged into every involved shard's schedule by a
+	// ticket/commit round (internal/shard), so per-shard schedules stay
+	// deterministic across replicas and disjoint shards never wait on
+	// each other. Broadcast consistencies only (MSequential,
+	// MLinearizable); incompatible with Recovery, scheduled crash
+	// faults, and an explicit FD config (per-lane failover is not
+	// coordinated). Requires Shards <= len(Objects).
+	Shards int
 }
 
 // Level is the per-request consistency level of the unified Exec entry
@@ -237,6 +250,7 @@ type Store struct {
 	exec       executor
 	submit     submitFunc         // non-nil iff the executor pipelines updates
 	bcast      abcast.Broadcaster // nil for the locking protocol
+	smap       *shard.Map         // non-nil iff Config.Shards > 1
 	mlinImpl   *mlin.Protocol     // non-nil iff Consistency == MLinearizable
 	lockImpl   *oolock.Protocol   // non-nil iff Consistency == MLinearizableLocking
 	causalImpl *causal.Protocol   // non-nil iff Consistency == MCausal
@@ -340,12 +354,30 @@ func New(cfg Config) (*Store, error) {
 		}
 	}
 
+	hasCrashes := cfg.Faults != nil && len(cfg.Faults.Crashes) > 0
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("core: invalid shard count %d", cfg.Shards)
+	}
+	if cfg.Shards > 1 {
+		if cfg.Consistency != MSequential && cfg.Consistency != MLinearizable {
+			return nil, fmt.Errorf("core: Shards is not supported for %v (broadcast protocols only)", cfg.Consistency)
+		}
+		if cfg.Recovery {
+			return nil, errors.New("core: Shards cannot be combined with Recovery (checkpoints carry a single total-order prefix)")
+		}
+		if hasCrashes {
+			return nil, errors.New("core: Shards cannot be combined with scheduled crash faults (per-lane failover is not coordinated; kill real daemons instead)")
+		}
+		if cfg.FD != nil {
+			return nil, errors.New("core: Shards cannot be combined with FD (per-lane failover is not coordinated)")
+		}
+	}
+
 	// With scheduled crashes, default the failure detector (so a crashed
 	// coordinator cannot stall the broadcast layer) and bound query
 	// round-trips (so a crashed responder cannot stall a query). The
 	// timing constants follow failover.go's assumption: detection timeout
 	// well above the worst-case delivery delay plus retransmission.
-	hasCrashes := cfg.Faults != nil && len(cfg.Faults.Crashes) > 0
 	if hasCrashes {
 		spike := cfg.Faults.DelaySpike
 		if cfg.FD == nil {
@@ -399,37 +431,86 @@ func New(cfg Config) (*Store, error) {
 		return s, nil
 	}
 
+	// makeLane builds one atomic-broadcast instance on the given channel
+	// with the given seed. endpoint >= 0 places a sequencer lane's
+	// coordinator endpoint there (sharded lanes spread coordinators over
+	// the daemons: endpoint e is owned by daemon e mod len(addrs)); an
+	// unsharded sequencer keeps the default endpoint and may combine
+	// with FD failover.
+	makeLane := func(channel string, seed int64, endpoint int) (abcast.Broadcaster, error) {
+		var lane abcast.Broadcaster
+		var err error
+		switch cfg.Broadcast {
+		case SequencerBroadcast:
+			scfg := abcast.SequencerConfig{
+				Procs: cfg.Procs, Seed: seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+				Faults: cfg.Faults, FD: cfg.FD, Links: cfg.Links, Channel: channel,
+			}
+			if endpoint >= 0 {
+				scfg.Endpoint = endpoint
+			}
+			lane, err = abcast.NewSequencer(scfg)
+		case LamportBroadcast:
+			lane, err = abcast.NewLamport(abcast.LamportConfig{
+				Procs: cfg.Procs, Seed: seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+				Faults: cfg.Faults, FD: cfg.FD, Links: cfg.Links, Channel: channel,
+			})
+		case TokenBroadcast:
+			lane, err = abcast.NewToken(abcast.TokenConfig{
+				Procs: cfg.Procs, Seed: seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+				Faults: cfg.Faults, FD: cfg.FD, Links: cfg.Links, Channel: channel,
+			})
+		default:
+			return nil, fmt.Errorf("core: unknown broadcast kind %d", int(cfg.Broadcast))
+		}
+		if err != nil {
+			return nil, err
+		}
+		if batching {
+			// Group commit: coalesce updates submitted within one window
+			// (or until BatchSize) into a single BatchMsg broadcast
+			// frame. The Batcher is itself a conforming Broadcaster, so
+			// the layers above are untouched.
+			lane = abcast.NewBatcher(lane, abcast.BatchConfig{
+				Window: cfg.BatchWindow, Size: cfg.BatchSize,
+			})
+		}
+		return lane, nil
+	}
+
 	var bcast abcast.Broadcaster
-	switch cfg.Broadcast {
-	case SequencerBroadcast:
-		bcast, err = abcast.NewSequencer(abcast.SequencerConfig{
-			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Faults: cfg.Faults, FD: cfg.FD, Links: cfg.Links,
-		})
-	case LamportBroadcast:
-		bcast, err = abcast.NewLamport(abcast.LamportConfig{
-			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Faults: cfg.Faults, FD: cfg.FD, Links: cfg.Links,
-		})
-	case TokenBroadcast:
-		bcast, err = abcast.NewToken(abcast.TokenConfig{
-			Procs: cfg.Procs, Seed: cfg.Seed, MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
-			Faults: cfg.Faults, FD: cfg.FD, Links: cfg.Links,
-		})
-	default:
-		return nil, fmt.Errorf("core: unknown broadcast kind %d", int(cfg.Broadcast))
-	}
-	if err != nil {
-		return nil, err
-	}
-	if batching {
-		// Group commit: coalesce updates submitted within one window (or
-		// until BatchSize) into a single BatchMsg broadcast frame. The
-		// Batcher is itself a conforming Broadcaster, so the protocols
-		// above are untouched.
-		bcast = abcast.NewBatcher(bcast, abcast.BatchConfig{
-			Window: cfg.BatchWindow, Size: cfg.BatchSize,
-		})
+	if cfg.Shards > 1 {
+		// One independent broadcast lane per shard, composed by the
+		// ticket/commit merge group. Sequencer lanes spread their
+		// coordinator endpoints (Procs+shard) so killing one daemon
+		// stalls only the lanes it coordinates.
+		smap, merr := shard.NewMap(reg.Len(), cfg.Shards)
+		if merr != nil {
+			return nil, fmt.Errorf("core: %w", merr)
+		}
+		lanes := make([]abcast.Broadcaster, cfg.Shards)
+		for i := range lanes {
+			lanes[i], err = makeLane(fmt.Sprintf("abcast.s%d", i), cfg.Seed+int64(1000*(i+1)), cfg.Procs+i)
+			if err != nil {
+				for _, l := range lanes[:i] {
+					l.Close()
+				}
+				return nil, err
+			}
+		}
+		bcast, err = shard.NewGroup(shard.GroupConfig{Procs: cfg.Procs, Map: smap, Lanes: lanes})
+		if err != nil {
+			for _, l := range lanes {
+				l.Close()
+			}
+			return nil, err
+		}
+		s.smap = smap
+	} else {
+		bcast, err = makeLane("", cfg.Seed, -1)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	switch cfg.Consistency {
@@ -456,6 +537,7 @@ func New(cfg Config) (*Store, error) {
 			Faults: cfg.Faults, Links: cfg.Links,
 			RelevantOnly: cfg.RelevantOnly, Clock: s.now,
 			QueryTimeout: cfg.QueryTimeout, QueryRetries: cfg.QueryRetries,
+			Shards: cfg.Shards,
 		})
 		if err == nil {
 			s.exec, s.mlinImpl = p, p
@@ -686,6 +768,19 @@ func (s *Store) Process(i int) (*Process, error) {
 
 // Procs returns the number of processes.
 func (s *Store) Procs() int { return s.cfg.Procs }
+
+// ShardMap returns the store's shard map, nil when the object space is
+// unsharded (Config.Shards <= 1).
+func (s *Store) ShardMap() *shard.Map { return s.smap }
+
+// ShardSpec returns the canonical shard-map spec string recorded in
+// trace headers ("" when unsharded); merged traces must agree on it.
+func (s *Store) ShardSpec() string {
+	if s.smap == nil {
+		return ""
+	}
+	return s.smap.Spec()
+}
 
 // Close shuts down the protocol and all its goroutines.
 func (s *Store) Close() {
@@ -1006,6 +1101,25 @@ func (s *Store) Verify() (VerifyResult, error) {
 	base := history.MSequentialBase
 	if s.cfg.Consistency == MLinearizable {
 		base = history.MLinearizableBase
+	}
+	if s.smap != nil {
+		// A sharded store enforces no single global update order: each
+		// object's writes are ordered by its shard's schedule, and a
+		// chain over the composite sequence numbers would contradict
+		// process order whenever a busy shard's slot counter runs ahead
+		// of an idle one's. The per-object version chains are exactly
+		// the order the composed schedules did enforce, and they put
+		// the history under the OO-constraint (Theorem 7, OO branch —
+		// the same derivation the locking protocol uses).
+		s.mu.Lock()
+		br := s.lastBuild
+		s.mu.Unlock()
+		sync := ooSync(br, s.reg.Len())
+		res, err := checker.AdmissibleUnderConstraintBase(h, base, sync, checker.OO)
+		if err != nil {
+			return VerifyResult{History: h}, err
+		}
+		return VerifyResult{OK: res.Admissible, Witness: res.Witness, History: h}, nil
 	}
 	sync := checker.SyncFromUpdates(h, updates)
 	res, err := checker.AdmissibleUnderConstraintBase(h, base, sync, checker.WW)

@@ -25,9 +25,10 @@ type TraceFileWriter struct {
 }
 
 // NewTraceFileWriter creates (truncating) the trace file at path and
-// writes the header line. Node, consistency, and objects must match
-// what Store.Trace would report so merged files pass MergeTraces.
-func NewTraceFileWriter(path string, node int, consistency Consistency, objects []string) (*TraceFileWriter, error) {
+// writes the header line. Node, consistency, objects, and the shard
+// spec (Store.ShardSpec, "" when unsharded) must match what Store.Trace
+// would report so merged files pass MergeTraces.
+func NewTraceFileWriter(path string, node int, consistency Consistency, objects []string, shards string) (*TraceFileWriter, error) {
 	if consistency != MSequential && consistency != MLinearizable {
 		return nil, fmt.Errorf("core: trace file is not supported for %v", consistency)
 	}
@@ -36,7 +37,7 @@ func NewTraceFileWriter(path string, node int, consistency Consistency, objects 
 		return nil, err
 	}
 	w := &TraceFileWriter{f: f, enc: json.NewEncoder(f)}
-	hdr := Trace{Node: node, Consistency: consistency.String(), Objects: objects}
+	hdr := Trace{Node: node, Consistency: consistency.String(), Objects: objects, Shards: shards}
 	if err := w.enc.Encode(hdr); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("core: trace header: %w", err)

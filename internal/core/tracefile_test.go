@@ -20,7 +20,7 @@ import (
 func TestTraceFileRoundTrip(t *testing.T) {
 	t.Parallel()
 	path := filepath.Join(t.TempDir(), "node0.trace")
-	w, err := NewTraceFileWriter(path, 0, MSequential, []string{"x", "y"})
+	w, err := NewTraceFileWriter(path, 0, MSequential, []string{"x", "y"}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestTraceFileRoundTrip(t *testing.T) {
 func TestReadTraceFileToleratesTruncatedTail(t *testing.T) {
 	t.Parallel()
 	path := filepath.Join(t.TempDir(), "killed.trace")
-	w, err := NewTraceFileWriter(path, 1, MLinearizable, []string{"x"})
+	w, err := NewTraceFileWriter(path, 1, MLinearizable, []string{"x"}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestReadTraceFileToleratesTruncatedTail(t *testing.T) {
 func TestReadTraceFileLenientCountsOnlyInteriorLines(t *testing.T) {
 	t.Parallel()
 	path := filepath.Join(t.TempDir(), "clean.trace")
-	w, err := NewTraceFileWriter(path, 0, MLinearizable, []string{"x"})
+	w, err := NewTraceFileWriter(path, 0, MLinearizable, []string{"x"}, "")
 	if err != nil {
 		t.Fatal(err)
 	}

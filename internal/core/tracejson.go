@@ -25,6 +25,11 @@ type Trace struct {
 	// Objects is the registry name list, in ID order; merged traces must
 	// agree.
 	Objects []string `json:"objects"`
+	// Shards is the canonical shard-map spec (shard.Map.Spec, e.g.
+	// "mod:8/4") of a sharded store, empty when unsharded. Records from
+	// stores with different shard maps carry incomparable sequence
+	// numbers, so merged traces must agree.
+	Shards string `json:"shards,omitempty"`
 	// Records are the m-operations this process executed.
 	Records []TraceRecord `json:"records"`
 }
@@ -77,6 +82,7 @@ func (s *Store) Trace(node int) (Trace, error) {
 		Node:        node,
 		Consistency: s.cfg.Consistency.String(),
 		Objects:     s.reg.Names(),
+		Shards:      s.ShardSpec(),
 		Records:     make([]TraceRecord, 0, len(recs)),
 	}
 	for _, rec := range recs {
@@ -167,6 +173,13 @@ func MergeTraces(traces ...Trace) ([]mop.Record, *object.Registry, Consistency, 
 			if name != first.Objects[i] {
 				return nil, nil, 0, fmt.Errorf("core: trace object-list mismatch between nodes %d and %d", first.Node, tr.Node)
 			}
+		}
+		if tr.Shards != first.Shards {
+			// Sequence numbers are composed per shard map; records
+			// stamped under different maps (or one sharded, one not)
+			// cannot be ordered against each other.
+			return nil, nil, 0, fmt.Errorf("core: trace shard-map mismatch: node %d has %q, node %d has %q",
+				first.Node, first.Shards, tr.Node, tr.Shards)
 		}
 		for _, wr := range tr.Records {
 			rec, err := fromTraceRecord(wr)

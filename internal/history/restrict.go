@@ -3,6 +3,8 @@ package history
 import (
 	"fmt"
 	"sort"
+
+	"moc/internal/object"
 )
 
 // Restrict builds the sub-history containing exactly the given
@@ -60,6 +62,69 @@ func (h *History) Restrict(ids []ID) (*History, map[ID]ID, error) {
 	sub, err := b.Build()
 	if err != nil {
 		return nil, nil, fmt.Errorf("history: restrict: %w", err)
+	}
+	return sub, mapping, nil
+}
+
+// RestrictToObjects projects the history onto a subset of the object
+// space: every m-operation keeps exactly its reads and writes on
+// objects in keep (in their original order), and m-operations left with
+// no operations are dropped. IDs are remapped densely; the old→new
+// mapping is returned. The registry is unchanged — dropped objects are
+// still written by the initial m-operation and touched by nothing else.
+//
+// This is the restriction of Gotsman & Burckhardt's composition laws
+// (and of the classic per-object locality argument): projecting each
+// m-operation onto one shard's objects yields the history that shard's
+// broadcast lane alone was responsible for ordering. Per-object
+// read/write subsequences on kept objects are untouched, so external
+// reads and their sources survive verbatim; a reads-from source for a
+// kept object writes that object, hence is itself kept — the projection
+// is always reads-from closed.
+func (h *History) RestrictToObjects(keep object.Set) (*History, map[ID]ID, error) {
+	b := NewBuilder(h.reg)
+	mapping := make(map[ID]ID, h.Len())
+	mapping[InitID] = InitID
+	for _, m := range h.mops {
+		if m.ID == InitID {
+			continue
+		}
+		var ops []Op
+		for _, op := range m.Ops {
+			if keep.Contains(op.Obj) {
+				ops = append(ops, op)
+			}
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		id := b.AddLabeled(m.Label, m.Proc, m.Inv, m.Resp, ops...)
+		if m.Level != LevelDefault {
+			b.SetLevel(id, m.Level)
+		}
+		mapping[m.ID] = id
+	}
+	for _, m := range h.mops {
+		newID, ok := mapping[m.ID]
+		if !ok || m.ID == InitID {
+			continue
+		}
+		for x, src := range h.readsFrom[m.ID] {
+			if !keep.Contains(x) {
+				continue
+			}
+			newSrc, ok := mapping[src]
+			if !ok {
+				return nil, nil, fmt.Errorf(
+					"history: restrict to objects: m-operation %d reads object %d from dropped m-operation %d",
+					int(m.ID), int(x), int(src))
+			}
+			b.SetReadsFrom(newID, x, newSrc)
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("history: restrict to objects: %w", err)
 	}
 	return sub, mapping, nil
 }

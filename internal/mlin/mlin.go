@@ -138,6 +138,15 @@ type Config struct {
 	Links network.Factory
 	// Clock returns nanoseconds since the run origin; must be monotonic.
 	Clock func() int64
+	// Shards is the number of broadcast lanes of a sharded Broadcast
+	// group (internal/shard); 0 or 1 means a single total order. With
+	// K > 1 every applied-prefix quantity in the protocol — the replica
+	// applied counts, the session floor, response advertisements, and
+	// the read barrier — becomes a per-shard vector of length K, with
+	// componentwise dominance replacing scalar comparison: per-shard
+	// schedules are deterministic across replicas, so per-shard counts
+	// are cross-replica comparable exactly like the scalar was.
+	Shards int
 }
 
 // Protocol is a running instance of the Figure 6 protocol.
@@ -157,16 +166,18 @@ type procState struct {
 	ts      timestamp.TS   // myts
 	pendUpd map[int64]*pendingUpdate
 	pendQry map[int64]*queryState
-	// applied counts the total-order updates reflected in values/ts; a
-	// recovery checkpoint advances it past a crash outage and the
-	// delivery loop skips redelivered updates below it.
-	applied int64
-	// floor is the session floor: the largest applied prefix any
-	// completed query of this process has observed. Later queries wait
-	// until they cover it (see the package comment), so a weak read
-	// issued after a strong one can never travel backwards in the total
-	// order. cond (on mu) is broadcast whenever applied advances.
-	floor int64
+	// applied counts, per shard, the schedule-order updates reflected in
+	// values/ts (length 1 without sharding, where entry 0 is the
+	// classic scalar: a recovery checkpoint advances it past a crash
+	// outage and the delivery loop skips redelivered updates below it).
+	applied []int64
+	// floor is the session floor: the largest applied prefix (per
+	// shard) any completed query of this process has observed. Later
+	// queries wait until they cover it componentwise (see the package
+	// comment), so a weak read issued after a strong one can never
+	// travel backwards in any shard's schedule. cond (on mu) is
+	// broadcast whenever applied advances.
+	floor []int64
 	cond  *sync.Cond
 }
 
@@ -182,39 +193,81 @@ type queryState struct {
 	// merged (and counted) at most once per process — and so the
 	// completed query can report exactly which replicas it observed.
 	responded []bool
-	// respApplied is the largest applied count advertised by any merged
-	// response: the total-order prefix the merged copy is known to cover.
-	respApplied int64
+	// respApplied is the componentwise-largest applied vector advertised
+	// by any merged response: the per-shard prefix the merged copy is
+	// known to cover (each component came from a response whose values
+	// reflect at least that shard prefix, and the per-object max merge
+	// preserves coverage per shard).
+	respApplied []int64
 	done        chan struct{}
 
 	// Read-barrier state (the SC-ABD write-back analogue; see the
-	// package comment). appliedBy[r] is the largest applied count
-	// replica r has ever advertised for this query — unlike the merge,
-	// it keeps absorbing duplicate and post-completion responses, since
-	// barrier re-probes exist precisely to refresh it. barrier, once
-	// >= 0, is the covered prefix the merged copy reflects; barrierCh
-	// closes when a majority of replicas is known to have applied it.
-	appliedBy   []int64
-	barrier     int64
+	// package comment). appliedBy[r] is the componentwise-largest
+	// applied vector replica r has ever advertised for this query (nil
+	// until heard from) — unlike the merge, it keeps absorbing
+	// duplicate and post-completion responses, since barrier re-probes
+	// exist precisely to refresh it. barrier, once non-nil, is the
+	// covered prefix the merged copy reflects; barrierCh closes when a
+	// majority of replicas is known to have applied it.
+	appliedBy   [][]int64
+	barrier     []int64
 	barrierDone bool
 	barrierCh   chan struct{}
 }
 
 // noteEvidence closes barrierCh once a majority of replicas is known to
-// have applied the barrier prefix. Callers hold the proc's state mutex.
+// have applied the barrier prefix (componentwise dominance). Callers
+// hold the proc's state mutex.
 func (qs *queryState) noteEvidence(quorum int) {
-	if qs.barrier < 0 || qs.barrierDone {
+	if qs.barrier == nil || qs.barrierDone {
 		return
 	}
 	n := 0
 	for _, a := range qs.appliedBy {
-		if a >= qs.barrier {
+		if dominates(a, qs.barrier) {
 			n++
 		}
 	}
 	if n >= quorum {
 		qs.barrierDone = true
 		close(qs.barrierCh)
+	}
+}
+
+// noteApplied absorbs one replica's advertised applied vector into the
+// barrier evidence. Vectors of the wrong length (a peer running a
+// different shard map) are ignored rather than trusted.
+func (qs *queryState) noteApplied(r int, applied []int64, shards int) {
+	if len(applied) != shards {
+		return
+	}
+	if qs.appliedBy[r] == nil {
+		qs.appliedBy[r] = append([]int64(nil), applied...)
+		return
+	}
+	maxInto(qs.appliedBy[r], applied)
+}
+
+// dominates reports a >= b componentwise; a nil vector dominates
+// nothing (and an empty barrier nothing needs).
+func dominates(a, b []int64) bool {
+	if a == nil || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxInto folds src into dst componentwise (equal lengths).
+func maxInto(dst, src []int64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
 	}
 }
 
@@ -225,6 +278,18 @@ type updatePayload struct {
 	ReqID int64
 	From  int
 	Proc  mop.Procedure
+}
+
+// RoutingFootprint lets a sharded broadcast group (internal/shard)
+// route the update to the lanes its footprint touches.
+func (m updatePayload) RoutingFootprint() []object.ID { return m.Proc.Footprint().IDs() }
+
+// queryToucher is implemented by sharded broadcast groups: queries have
+// no broadcast of their own, but a query that observes a shard's state
+// still orders the session after that shard's applied prefix, so the
+// group must anchor the process's next update behind it.
+type queryToucher interface {
+	TouchQuery(proc int, fp []object.ID)
 }
 
 // pendingUpdate tracks one in-flight update from issuance (A1) through
@@ -269,10 +334,11 @@ type queryResp struct {
 	Objs   []object.ID // objects covered (all, in whole-copy mode)
 	Values []object.Value
 	TS     []int64
-	// Applied is the responder's applied update count at snapshot time:
-	// the total-order prefix its copy reflects. The issuer uses the max
-	// over merged responses to maintain its session floor.
-	Applied int64
+	// Applied is the responder's per-shard applied update counts at
+	// snapshot time: the schedule prefix its copy reflects (length 1
+	// without sharding). The issuer folds the componentwise max over
+	// merged responses into its session floor.
+	Applied []int64
 }
 
 // ErrClosed is returned by Exec after Close.
@@ -290,6 +356,12 @@ func New(cfg Config) (*Protocol, error) {
 	if cfg.Clock == nil {
 		origin := time.Now()
 		cfg.Clock = func() int64 { return time.Since(origin).Nanoseconds() }
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("mlin: invalid shard count %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
 	}
 	qnet, err := cfg.Links.Build("mlin.query", network.Config{
 		Procs:    cfg.Procs,
@@ -313,6 +385,8 @@ func New(cfg Config) (*Protocol, error) {
 			ts:      timestamp.New(cfg.Reg.Len()),
 			pendUpd: make(map[int64]*pendingUpdate),
 			pendQry: make(map[int64]*queryState),
+			applied: make([]int64, cfg.Shards),
+			floor:   make([]int64, cfg.Shards),
 		}
 		st.cond = sync.NewCond(&st.mu)
 		p.states[i] = st
@@ -423,17 +497,18 @@ func (p *Protocol) ExecAsync(proc int, pr mop.Procedure, opts mop.ExecOptions) (
 func (p *Protocol) executeLocalQuery(proc int, pr mop.Procedure) (mop.Record, error) {
 	st := p.states[proc]
 	inv := p.cfg.Clock()
+	if toucher, ok := p.cfg.Broadcast.(queryToucher); ok {
+		toucher.TouchQuery(proc, pr.Footprint().IDs())
+	}
 	st.mu.Lock()
-	for st.applied < st.floor && !p.closed.Load() {
+	for !dominates(st.applied, st.floor) && !p.closed.Load() {
 		st.cond.Wait()
 	}
 	if p.closed.Load() {
 		st.mu.Unlock()
 		return mop.Record{}, ErrClosed
 	}
-	if st.applied > st.floor {
-		st.floor = st.applied
-	}
+	maxInto(st.floor, st.applied)
 	tsStart := st.ts.Clone()
 	rec := mop.NewRecorder(st.values, pr)
 	result := pr.Run(rec)
@@ -465,21 +540,21 @@ func (p *Protocol) executeLocalQuery(proc int, pr mop.Procedure) (mop.Record, er
 // replica, then read the merged freshest copy.
 func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level) (mop.Record, error) {
 	st := p.states[proc]
+	if toucher, ok := p.cfg.Broadcast.(queryToucher); ok {
+		toucher.TouchQuery(proc, pr.Footprint().IDs())
+	}
 	reqID := p.nextID.Add(1)
 	need := p.need(level)
 	qs := &queryState{
-		othX:      make([]object.Value, p.cfg.Reg.Len()),
-		othts:     timestamp.New(p.cfg.Reg.Len()),
-		need:      need,
-		waiting:   need,
-		responded: make([]bool, p.cfg.Procs),
-		done:      make(chan struct{}),
-		appliedBy: make([]int64, p.cfg.Procs),
-		barrier:   -1,
-		barrierCh: make(chan struct{}),
-	}
-	for i := range qs.appliedBy {
-		qs.appliedBy[i] = -1
+		othX:        make([]object.Value, p.cfg.Reg.Len()),
+		othts:       timestamp.New(p.cfg.Reg.Len()),
+		need:        need,
+		waiting:     need,
+		responded:   make([]bool, p.cfg.Procs),
+		done:        make(chan struct{}),
+		respApplied: make([]int64, p.cfg.Shards),
+		appliedBy:   make([][]int64, p.cfg.Procs),
+		barrierCh:   make(chan struct{}),
 	}
 	st.mu.Lock()
 	st.pendQry[reqID] = qs
@@ -510,9 +585,9 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level)
 	// advance the floor to the prefix this query covers. The message loop
 	// no longer merges into qs (waiting is 0), so the snapshot fields are
 	// stable; only the barrier evidence keeps moving.
-	covered := qs.respApplied
+	covered := append([]int64(nil), qs.respApplied...)
 	st.mu.Lock()
-	for max64(qs.respApplied, st.applied) < st.floor && !p.closed.Load() {
+	for !coversFloor(qs.respApplied, st.applied, st.floor) && !p.closed.Load() {
 		st.cond.Wait()
 	}
 	if p.closed.Load() {
@@ -539,12 +614,8 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level)
 		}
 	}
 	qs.responded[proc] = true
-	if st.applied > covered {
-		covered = st.applied
-	}
-	if covered > st.floor {
-		st.floor = covered
-	}
+	maxInto(covered, st.applied)
+	maxInto(st.floor, covered)
 	// Enter the read barrier: the merged copy reflects prefix `covered`;
 	// certifying any strong level requires a majority of replicas to
 	// have applied it (see the package comment). The issuer's own
@@ -557,9 +628,7 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level)
 		}
 	}
 	qs.barrier = covered
-	if st.applied > qs.appliedBy[proc] {
-		qs.appliedBy[proc] = st.applied
-	}
+	qs.noteApplied(proc, st.applied, p.cfg.Shards)
 	qs.noteEvidence(p.quorum())
 	st.mu.Unlock()
 
@@ -647,11 +716,20 @@ func certifyQuery(level history.Level, got, procs int, stable bool) (history.Lev
 	}
 }
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
+// coversFloor reports whether the componentwise max of the responses'
+// advertised prefix and the local applied prefix dominates the session
+// floor — the sharded form of max(respApplied, applied) >= floor.
+func coversFloor(resp, applied, floor []int64) bool {
+	for i := range floor {
+		hi := applied[i]
+		if resp[i] > hi {
+			hi = resp[i]
+		}
+		if hi < floor[i] {
+			return false
+		}
 	}
-	return b
+	return true
 }
 
 // allObjects lists every object ID (the whole-copy fold set).
@@ -743,7 +821,7 @@ func (p *Protocol) awaitBarrier(st *procState, qs *queryState, proc int, msg que
 			return true
 		}
 		for q := 0; q < p.cfg.Procs; q++ {
-			if q != proc && qs.appliedBy[q] < qs.barrier {
+			if q != proc && !dominates(qs.appliedBy[q], qs.barrier) {
 				lagging = append(lagging, q)
 			}
 		}
@@ -812,12 +890,16 @@ func (p *Protocol) deliveryLoop(proc int) {
 				continue
 			}
 			st.mu.Lock()
-			if d.Seq < st.applied {
+			if d.Shards == nil && d.Seq < st.applied[0] {
 				// Subsumed by an adopted recovery checkpoint; applying
-				// again would double-count. An issuer still waiting
-				// locally gets an error outcome; a peer still owes the
-				// issuer its write-phase ack — the checkpoint covers the
-				// update's effects, so acknowledging is sound.
+				// again would double-count. (Sharded deliveries carry a
+				// composite Seq that is not monotone per replica stream,
+				// so the guard only applies to the single total order —
+				// sharding excludes recovery at the config layer.) An
+				// issuer still waiting locally gets an error outcome; a
+				// peer still owes the issuer its write-phase ack — the
+				// checkpoint covers the update's effects, so
+				// acknowledging is sound.
 				var pu *pendingUpdate
 				if payload.From == proc {
 					pu = st.pendUpd[payload.ReqID]
@@ -831,14 +913,23 @@ func (p *Protocol) deliveryLoop(proc int) {
 				}
 				continue
 			}
-			rec, err := applyLocked(st, payload.Proc, payload.From, d.Seq)
-			st.applied = d.Seq + 1
+			rec, err := p.applyLocked(st, payload.Proc, payload.From, d.Seq)
+			if d.Shards == nil {
+				st.applied[0] = d.Seq + 1
+			} else {
+				// One schedule slot per involved lane: a cross-shard
+				// update occupies exactly one position in each involved
+				// shard's deterministic schedule.
+				for _, s := range d.Shards {
+					st.applied[s]++
+				}
+			}
 			st.cond.Broadcast()
 			for _, q := range st.pendQry {
 				// The local apply is read-barrier evidence for any of
 				// this process's queries still waiting on one.
-				if q.barrier >= 0 && st.applied > q.appliedBy[proc] {
-					q.appliedBy[proc] = st.applied
+				if q.barrier != nil {
+					q.noteApplied(proc, st.applied, p.cfg.Shards)
 					q.noteEvidence(p.quorum())
 				}
 			}
@@ -931,10 +1022,8 @@ func (p *Protocol) messageLoop(proc int) {
 					// including duplicates and barrier re-probe answers
 					// after the merge completed — because the read
 					// barrier waits on exactly this refresh.
-					if m.Applied > qs.appliedBy[msg.From] {
-						qs.appliedBy[msg.From] = m.Applied
-						qs.noteEvidence(p.quorum())
-					}
+					qs.noteApplied(msg.From, m.Applied, p.cfg.Shards)
+					qs.noteEvidence(p.quorum())
 					if qs.waiting > 0 && !qs.responded[msg.From] {
 						qs.responded[msg.From] = true
 						for i, x := range m.Objs {
@@ -943,8 +1032,8 @@ func (p *Protocol) messageLoop(proc int) {
 								qs.othX[x] = m.Values[i]
 							}
 						}
-						if m.Applied > qs.respApplied {
-							qs.respApplied = m.Applied
+						if len(m.Applied) == p.cfg.Shards {
+							maxInto(qs.respApplied, m.Applied)
 						}
 						qs.waiting--
 						if qs.waiting == 0 {
@@ -975,21 +1064,26 @@ func (p *Protocol) answerQuery(proc, from int, m queryMsg) {
 		Objs:    objs,
 		Values:  make([]object.Value, len(objs)),
 		TS:      make([]int64, len(objs)),
-		Applied: st.applied,
+		Applied: append([]int64(nil), st.applied...),
 	}
 	for i, x := range objs {
 		resp.Values[i] = st.values[x]
 		resp.TS[i] = st.ts.Get(x)
 	}
 	st.mu.Unlock()
-	bytes := 24 + 24*len(objs) // id + applied + per-object (id, value, version)
+	bytes := 16 + 8*len(resp.Applied) + 24*len(objs) // id + applied vector + per-object (id, value, version)
 	// Send failures only occur at shutdown; the query will be released
 	// by p.stop.
 	_ = p.qnet.Send(proc, from, "mlin.qresp", resp, bytes)
 }
 
 // applyLocked is action A2's body (identical to the m-SC protocol's).
-func applyLocked(st *procState, pr mop.Procedure, proc int, seq int64) (mop.Record, error) {
+// Unsharded updates record the full object set as their footprint (the
+// whole copy advances through one total order); sharded updates record
+// their true footprint, since a record that claimed membership in every
+// shard's schedule would put it in per-shard order chains it never
+// occupied a slot in.
+func (p *Protocol) applyLocked(st *procState, pr mop.Procedure, proc int, seq int64) (mop.Record, error) {
 	tsStart := st.ts.Clone()
 	rec := mop.NewRecorder(st.values, pr)
 	result := pr.Run(rec)
@@ -999,6 +1093,10 @@ func applyLocked(st *procState, pr mop.Procedure, proc int, seq int64) (mop.Reco
 	if err := rec.Err(); err != nil {
 		return mop.Record{}, err
 	}
+	fp := object.FullSet(len(st.values))
+	if p.cfg.Shards > 1 {
+		fp = pr.Footprint()
+	}
 	return mop.Record{
 		Proc:      proc,
 		Update:    seq >= 0,
@@ -1006,7 +1104,7 @@ func applyLocked(st *procState, pr mop.Procedure, proc int, seq int64) (mop.Reco
 		Ops:       rec.Ops(),
 		TSStart:   tsStart,
 		TSEnd:     st.ts.Clone(),
-		Footprint: object.FullSet(len(st.values)),
+		Footprint: fp,
 		Result:    result,
 	}, nil
 }
@@ -1027,7 +1125,7 @@ func (p *Protocol) Snapshot(proc int) recovery.Checkpoint {
 	return recovery.Checkpoint{
 		Values:  append([]object.Value(nil), st.values...),
 		TS:      append([]int64(nil), st.ts...),
-		Applied: st.applied,
+		Applied: st.applied[0],
 	}
 }
 
@@ -1037,18 +1135,21 @@ func (p *Protocol) Adopt(proc int, ck recovery.Checkpoint) bool {
 	st := p.states[proc]
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if ck.Applied <= st.applied || len(ck.Values) != len(st.values) || len(ck.TS) != len(st.ts) {
+	// Checkpoints carry a scalar prefix of the single total order;
+	// sharding excludes recovery (Config validation at the store layer),
+	// so a sharded replica never adopts one.
+	if len(st.applied) != 1 || ck.Applied <= st.applied[0] || len(ck.Values) != len(st.values) || len(ck.TS) != len(st.ts) {
 		return false
 	}
 	copy(st.values, ck.Values)
 	copy(st.ts, ck.TS)
-	st.applied = ck.Applied
+	st.applied[0] = ck.Applied
 	st.cond.Broadcast()
 	for _, q := range st.pendQry {
 		// An adopted checkpoint is a prefix of the same order: it is
 		// read-barrier evidence exactly like the applies it subsumes.
-		if q.barrier >= 0 && st.applied > q.appliedBy[proc] {
-			q.appliedBy[proc] = st.applied
+		if q.barrier != nil {
+			q.noteApplied(proc, st.applied, p.cfg.Shards)
 			q.noteEvidence(p.quorum())
 		}
 	}

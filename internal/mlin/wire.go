@@ -102,7 +102,7 @@ func (m queryResp) MarshalWire(b []byte) ([]byte, error) {
 	b = appendIDs(b, m.Objs)
 	b = wire.AppendInt64s(b, m.Values)
 	b = wire.AppendInt64s(b, m.TS)
-	return wire.AppendVarint(b, m.Applied), nil
+	return wire.AppendInt64s(b, m.Applied), nil
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -111,6 +111,6 @@ func (m *queryResp) UnmarshalWire(d *wire.Decoder) error {
 	m.Objs = decodeIDs(d)
 	m.Values = d.Int64s()
 	m.TS = d.Int64s()
-	m.Applied = d.Varint()
+	m.Applied = d.Int64s()
 	return d.Err()
 }

@@ -120,6 +120,19 @@ type updatePayload struct {
 	Proc  mop.Procedure
 }
 
+// RoutingFootprint lets a sharded broadcast group (internal/shard)
+// route the update by the objects it touches.
+func (m updatePayload) RoutingFootprint() []object.ID {
+	return m.Proc.Footprint().IDs()
+}
+
+// queryToucher is implemented by the sharded broadcast group: queries
+// report their footprints so the group can anchor the issuing process's
+// next update after the per-shard prefixes the query observed.
+type queryToucher interface {
+	TouchQuery(proc int, fp []object.ID)
+}
+
 // ErrClosed is returned by Exec after Close.
 var ErrClosed = errors.New("msc: protocol closed")
 
@@ -239,6 +252,13 @@ func (p *Protocol) executeQuery(proc int, pr mop.Procedure, level history.Level)
 	inv := p.cfg.Clock()
 	fp := pr.Footprint()
 	ids := st.footprintIDs(fp)
+	// Under a sharded broadcaster, anchor the process's next update
+	// after the per-shard prefixes this query is about to observe:
+	// reading shard B then writing shard A must order the write after
+	// the observed state, which independent lanes alone do not give.
+	if toucher, ok := p.cfg.Broadcast.(queryToucher); ok {
+		toucher.TouchQuery(proc, ids)
+	}
 	for _, x := range ids {
 		st.locks[x].RLock()
 	}
@@ -297,11 +317,14 @@ func (p *Protocol) deliveryLoop(proc int) {
 				continue
 			}
 			st.mu.Lock()
-			if d.Seq < st.applied {
+			if d.Shards == nil && d.Seq < st.applied {
 				// Already covered by an adopted recovery checkpoint: the
 				// effects are in the replica state, so applying again would
 				// double-count. An issuer still waiting locally (it crashed
 				// between broadcast and delivery) gets an error outcome.
+				// Sharded composite Seqs are not monotone per replica
+				// stream (and recovery is disabled under sharding), so the
+				// skip only applies to single-lane deliveries.
 				var pu *pendingUpdate
 				if payload.From == proc {
 					pu = st.pending[payload.ReqID]
@@ -314,7 +337,9 @@ func (p *Protocol) deliveryLoop(proc int) {
 				continue
 			}
 			rec, err := st.applyUpdate(payload.Proc, payload.From, d.Seq)
-			st.applied = d.Seq + 1
+			if d.Shards == nil {
+				st.applied = d.Seq + 1
+			}
 			var pu *pendingUpdate
 			if payload.From == proc {
 				pu = st.pending[payload.ReqID]

@@ -30,6 +30,15 @@ type Faults struct {
 	DelaySpikeProb float64
 	// DelaySpike is the extra latency added when a spike fires.
 	DelaySpike time.Duration
+	// Bandwidth, when positive, throttles each endpoint's egress to this
+	// many bytes per second: a message occupies its sender's modeled NIC
+	// for bytes/Bandwidth before its propagation delay starts, and
+	// messages queued behind it wait their turn (token-bucket pacing,
+	// mirroring transport.Faults.Bandwidth on the real TCP transport).
+	// Self-sends are exempt, like every other fault. Pacing is not lossy,
+	// so Bandwidth alone does not require the Reliable retransmission
+	// stack.
+	Bandwidth int64
 	// Partitions are temporary partitions; messages crossing an active
 	// partition are dropped until it heals.
 	Partitions []Partition
@@ -72,7 +81,10 @@ type Partition struct {
 	Start, Heal time.Duration
 }
 
-// enabled reports whether f injects any fault at all.
+// enabled reports whether f injects any fault that can lose or reorder
+// messages — the faults that require the Reliable retransmission stack.
+// Bandwidth pacing only delays deliveries, so it is deliberately not
+// included: a paced-but-lossless network keeps the plain FIFO channels.
 func (f *Faults) enabled() bool {
 	if f == nil {
 		return false
@@ -99,6 +111,9 @@ func (f *Faults) validate() error {
 		if pr.p < 0 || pr.p >= 1 {
 			return fmt.Errorf("network: %s %v outside [0, 1)", pr.name, pr.p)
 		}
+	}
+	if f.Bandwidth < 0 {
+		return fmt.Errorf("network: negative Bandwidth %d", f.Bandwidth)
 	}
 	for i, p := range f.Partitions {
 		if p.Heal < p.Start {

@@ -172,3 +172,64 @@ func TestFaultFreeRunHasZeroFaultCounters(t *testing.T) {
 		t.Fatalf("fault counters nonzero on fault-free run: %+v", st)
 	}
 }
+
+func TestBandwidthPacesEgress(t *testing.T) {
+	// 10 KB/s and 100-byte messages: each send occupies the sender's
+	// modeled NIC for 10ms, so 20 messages cannot all arrive before
+	// ~190ms even though the propagation delay is zero.
+	n := newNet(t, Config{Procs: 2, Seed: 7, Faults: &Faults{Bandwidth: 10_000}})
+	const count, bytes = 20, 100
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		if err := n.Send(0, 1, "d", i, bytes); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		select {
+		case <-n.Recv(1):
+		case <-time.After(5 * time.Second):
+			t.Fatal("delivery timed out")
+		}
+	}
+	elapsed := time.Since(start)
+	if want := 150 * time.Millisecond; elapsed < want {
+		t.Fatalf("%d paced messages drained in %v, want >= %v", count, elapsed, want)
+	}
+	st := n.Stats()
+	if st.Throttled == 0 {
+		t.Fatal("Throttled = 0 under saturating paced load")
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("pacing dropped %d messages", st.Dropped)
+	}
+}
+
+func TestBandwidthPerSenderIndependent(t *testing.T) {
+	// Two senders with their own NICs: sender 1's paced backlog must not
+	// delay sender 2's single message.
+	n := newNet(t, Config{Procs: 3, Seed: 8, Faults: &Faults{Bandwidth: 10_000}})
+	for i := 0; i < 50; i++ {
+		if err := n.Send(0, 2, "bulk", i, 100); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	start := time.Now()
+	if err := n.Send(1, 2, "ping", "x", 100); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m := <-n.Recv(2):
+			if m.Kind == "ping" {
+				if e := time.Since(start); e > 200*time.Millisecond {
+					t.Fatalf("independent sender's message took %v behind another NIC's backlog", e)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("ping never delivered")
+		}
+	}
+}

@@ -79,6 +79,10 @@ type Stats struct {
 	Duplicated int64
 	// Retransmitted counts frames resent by the Reliable layer.
 	Retransmitted int64
+	// Throttled counts messages whose send waited on the egress
+	// bandwidth model (Faults.Bandwidth here, transport.Faults.Bandwidth
+	// over TCP). Zero without pacing.
+	Throttled int64
 	// Crashes and Restarts count scheduled crash/restart events that have
 	// fired on this transport. They are per-transport: a store that runs
 	// several networks under one crash schedule reports the same event
@@ -105,6 +109,7 @@ func (s *Stats) Merge(other Stats) {
 	s.Dropped += other.Dropped
 	s.Duplicated += other.Duplicated
 	s.Retransmitted += other.Retransmitted
+	s.Throttled += other.Throttled
 	s.Crashes += other.Crashes
 	s.Restarts += other.Restarts
 	s.Reconnects += other.Reconnects
@@ -147,6 +152,11 @@ type Network struct {
 	// are always a suffix, never a gap.
 	fifoTail map[[2]int]chan bool
 
+	// sendFree is each endpoint's egress-NIC free time under Bandwidth
+	// pacing: a message's pacing wait is max(0, sendFree[from]-now), and
+	// sending advances the horizon by bytes/Bandwidth.
+	sendFree map[int]time.Time
+
 	kinds map[string]*kindCounter
 
 	messages      atomic.Int64
@@ -154,6 +164,7 @@ type Network struct {
 	dropped       atomic.Int64
 	duplicated    atomic.Int64
 	retransmitted atomic.Int64
+	throttled     atomic.Int64
 
 	stop   chan struct{}
 	closed atomic.Bool
@@ -198,6 +209,7 @@ func New(cfg Config) (*Network, error) {
 		start:    time.Now(),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		fifoTail: make(map[[2]int]chan bool),
+		sendFree: make(map[int]time.Time),
 		kinds:    make(map[string]*kindCounter),
 		stop:     make(chan struct{}),
 	}
@@ -286,7 +298,7 @@ func (n *Network) sendFrom(from, to int, kind string, payload any, bytes int, in
 	n.kindCounter(kind).add(bytes)
 
 	n.mu.Lock()
-	drop, dup, delay, dupDelay := n.faultPlanLocked(from, to, inFlight)
+	drop, dup, delay, dupDelay := n.faultPlanLocked(from, to, bytes, inFlight)
 	var prev, done chan bool
 	if !drop && n.cfg.FIFO {
 		// Fault-dropped messages never enter the chain: FIFO guarantees
@@ -321,7 +333,7 @@ func (n *Network) sendFrom(from, to int, kind string, payload any, bytes int, in
 // inFlight marks a retransmission of a frame the network accepted while
 // the sender was still up: the sender's current crash state no longer
 // applies to it (see resend).
-func (n *Network) faultPlanLocked(from, to int, inFlight bool) (drop, dup bool, delay, dupDelay time.Duration) {
+func (n *Network) faultPlanLocked(from, to, bytes int, inFlight bool) (drop, dup bool, delay, dupDelay time.Duration) {
 	delay = n.cfg.MinDelay
 	if span := n.cfg.MaxDelay - n.cfg.MinDelay; span > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(span)))
@@ -336,6 +348,22 @@ func (n *Network) faultPlanLocked(from, to int, inFlight bool) (drop, dup bool, 
 	}
 	if f.partitioned(from, to, elapsed) {
 		return true, false, 0, 0
+	}
+	if f.Bandwidth > 0 {
+		// Egress pacing: wait for the sender's modeled NIC, then occupy
+		// it for this message's serialization time. The wait folds into
+		// the delivery delay; later faults (a wire-loss drop) still
+		// consumed the budget, as a lost frame does on a real NIC.
+		now := time.Now()
+		free := n.sendFree[from]
+		if free.Before(now) {
+			free = now
+		}
+		if wait := free.Sub(now); wait > 0 {
+			delay += wait
+			n.throttled.Add(1)
+		}
+		n.sendFree[from] = free.Add(time.Duration(int64(bytes) * int64(time.Second) / f.Bandwidth))
 	}
 	if f.DropProb > 0 && n.rng.Float64() < f.DropProb {
 		return true, false, 0, 0
@@ -429,6 +457,7 @@ func (n *Network) Stats() Stats {
 		Dropped:       n.dropped.Load(),
 		Duplicated:    n.duplicated.Load(),
 		Retransmitted: n.retransmitted.Load(),
+		Throttled:     n.throttled.Load(),
 		ByKind:        make(map[string]KindStats),
 	}
 	if n.cfg.Faults != nil {

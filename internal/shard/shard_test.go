@@ -1,0 +1,149 @@
+package shard
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"moc/internal/object"
+)
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(0, 1); err == nil {
+		t.Error("NewMap(0,1) accepted")
+	}
+	if _, err := NewMap(8, 0); err == nil {
+		t.Error("NewMap(8,0) accepted")
+	}
+	if _, err := NewMap(2, 4); err == nil {
+		t.Error("NewMap(2,4) accepted: shards would be empty")
+	}
+	m, err := NewMap(8, 4)
+	if err != nil {
+		t.Fatalf("NewMap(8,4): %v", err)
+	}
+	if m.Shards() != 4 || m.Objects() != 8 {
+		t.Fatalf("got %d shards / %d objects", m.Shards(), m.Objects())
+	}
+}
+
+func TestMapOf(t *testing.T) {
+	m, _ := NewMap(10, 3)
+	for x := 0; x < 10; x++ {
+		if got, want := m.Of(object.ID(x)), x%3; got != want {
+			t.Errorf("Of(%d) = %d, want %d", x, got, want)
+		}
+	}
+	// Hostile inputs reduce modularly instead of panicking.
+	for _, x := range []object.ID{-1, -3, -1000, 10, 99999} {
+		s := m.Of(x)
+		if s < 0 || s >= 3 {
+			t.Errorf("Of(%d) = %d out of range", x, s)
+		}
+	}
+	if m.Of(-1) != 2 || m.Of(-3) != 0 {
+		t.Errorf("negative reduction wrong: Of(-1)=%d Of(-3)=%d", m.Of(-1), m.Of(-3))
+	}
+}
+
+func TestShardsOf(t *testing.T) {
+	m, _ := NewMap(12, 4)
+	cases := []struct {
+		ids  []object.ID
+		want []int
+	}{
+		{nil, []int{0}},
+		{[]object.ID{5}, []int{1}},
+		{[]object.ID{5, 5, 5}, []int{1}},
+		{[]object.ID{7, 2, 4, 0}, []int{0, 2, 3}},
+		{[]object.ID{-1, 13}, []int{1, 3}},
+	}
+	for _, c := range cases {
+		if got := m.ShardsOf(c.ids); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ShardsOf(%v) = %v, want %v", c.ids, got, c.want)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	m, _ := NewMap(64, 8)
+	got, err := ParseSpec(m.Spec())
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", m.Spec(), err)
+	}
+	if got.Shards() != 8 || got.Objects() != 64 {
+		t.Fatalf("round trip gave %s", got.Spec())
+	}
+	for _, bad := range []string{"", "mod:", "mod:4", "mod:x/8", "mod:4/y", "hash:4/8", "mod:0/8", "mod:9/8"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// FuzzRouting is the shard-router fuzz target: arbitrary footprints —
+// empty, duplicated, negative, and out-of-range object IDs — must route
+// deterministically, without panics, to a sorted duplicate-free in-range
+// shard set consistent with the per-object map.
+func FuzzRouting(f *testing.F) {
+	f.Add(uint8(1), uint8(1), []byte{})
+	f.Add(uint8(4), uint8(16), []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint8(3), uint8(10), []byte{255, 255, 255, 255, 255, 255, 255, 255, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint8(8), uint8(8), []byte{7, 0, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 200, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, shards, objects uint8, raw []byte) {
+		k := int(shards%16) + 1
+		n := k + int(objects)
+		m, err := NewMap(n, k)
+		if err != nil {
+			t.Fatalf("NewMap(%d,%d): %v", n, k, err)
+		}
+		// Raw bytes become signed IDs, 8 bytes at a time — the tail
+		// contributes a short chunk so truncated inputs still route.
+		var ids []object.ID
+		for i := 0; i < len(raw); i += 8 {
+			end := i + 8
+			var chunk [8]byte
+			if end > len(raw) {
+				end = len(raw)
+			}
+			copy(chunk[:], raw[i:end])
+			ids = append(ids, object.ID(int64(binary.LittleEndian.Uint64(chunk[:]))))
+		}
+
+		got := m.ShardsOf(ids)
+		if again := m.ShardsOf(ids); !reflect.DeepEqual(got, again) {
+			t.Fatalf("routing not deterministic: %v then %v", got, again)
+		}
+		if len(got) == 0 {
+			t.Fatal("empty shard set")
+		}
+		for i, s := range got {
+			if s < 0 || s >= k {
+				t.Fatalf("shard %d out of range [0,%d)", s, k)
+			}
+			if i > 0 && got[i-1] >= s {
+				t.Fatalf("shard set not sorted/unique: %v", got)
+			}
+		}
+		// Membership agrees with the per-object map in both directions.
+		want := map[int]bool{}
+		if len(ids) == 0 {
+			want[0] = true
+		}
+		for _, x := range ids {
+			s := m.Of(x)
+			if s < 0 || s >= k {
+				t.Fatalf("Of(%d) = %d out of range", int(x), s)
+			}
+			want[s] = true
+		}
+		if len(want) != len(got) {
+			t.Fatalf("shard set %v does not match per-object map %v", got, want)
+		}
+		for _, s := range got {
+			if !want[s] {
+				t.Fatalf("shard %d in set but no id routes there", s)
+			}
+		}
+	})
+}

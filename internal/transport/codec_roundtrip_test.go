@@ -15,6 +15,7 @@ import (
 	_ "moc/internal/mlin"
 	_ "moc/internal/msc"
 	_ "moc/internal/recovery"
+	_ "moc/internal/shard"
 )
 
 // expectedKinds is the closed list of payload types that must be
@@ -37,6 +38,8 @@ var expectedKinds = []string{
 	"mlin.updatePayload", "mlin.queryMsg", "mlin.queryResp", "mlin.applyAck",
 	// Checkpoint transfer.
 	"recovery.xferReq", "recovery.xferResp",
+	// Cross-shard ticket/commit merge.
+	"shard.Ticket", "shard.Commit",
 	// Declarative procedures riding inside update payloads.
 	"mop.ReadOp", "mop.WriteOp", "mop.MultiRead", "mop.Sum",
 	"mop.MAssign", "mop.CAS", "mop.DCAS", "mop.Transfer",

@@ -737,6 +737,11 @@ func (l *tcpLink) Stats() network.Stats {
 		Retransmitted: l.node.retransmits.Load(),
 		ByKind:        make(map[string]network.KindStats),
 	}
+	if l.node.faults != nil {
+		// Node-wide, like Reconnects: the pacing token bucket is shared
+		// by every channel on the node.
+		st.Throttled = l.node.faults.throttled.Load()
+	}
 	l.mu.Lock()
 	for k, v := range l.kinds {
 		st.ByKind[k] = *v

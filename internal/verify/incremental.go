@@ -40,6 +40,16 @@ import (
 // records into the retired prefix are counted, not hidden.
 type Incremental struct {
 	numObjects int
+	// shards is the number of broadcast lanes the records' sequence
+	// numbers were composed over (1 = the single global total order).
+	// With K > 1 there is one ww chain per lane: an update joins the
+	// chain of every shard its footprint touches plus the lane encoded
+	// in its composite sequence number (Seq mod K), and composite
+	// sequence order restricted to one lane's members is exactly that
+	// lane's deterministic schedule. A single global chain would invent
+	// orderings the composed schedules never enforced and report false
+	// cycles against process order.
+	shards int
 
 	nextID int64
 	nodes  map[int64]*inode
@@ -54,10 +64,10 @@ type Incremental struct {
 	// pendingRW[x][v] are readers of v-1 awaiting v's writer.
 	pendingRW []map[int64][]int64
 
-	// seq index of live update nodes, ascending.
-	seqs     []int64
-	seqNode  map[int64]int64
-	seqAbove int64 // highest retired delivery sequence + 1
+	// Per-lane seq index of live update nodes, ascending.
+	seqs     [][]int64
+	seqNode  []map[int64]int64
+	seqAbove []int64 // per lane: highest retired delivery sequence + 1
 
 	floors []int64 // per object: versions below are retired
 
@@ -81,6 +91,7 @@ type inode struct {
 	proc   int
 	update bool
 	seq    int64
+	lanes  []int // ww chains this node was inserted into
 	inv    int64
 	resp   int64
 	lvl    int64
@@ -88,18 +99,35 @@ type inode struct {
 	wrote  []ov
 }
 
-// NewIncremental creates a checker for a system with numObjects objects.
+// NewIncremental creates a checker for a system with numObjects objects
+// and a single broadcast total order.
 func NewIncremental(numObjects int) *Incremental {
+	return NewIncrementalSharded(numObjects, 1)
+}
+
+// NewIncrementalSharded creates a checker for records whose sequence
+// numbers were composed over the given number of shard lanes (object id
+// mod shards); shards <= 1 means the single global total order.
+func NewIncrementalSharded(numObjects, shards int) *Incremental {
+	if shards < 1 {
+		shards = 1
+	}
 	c := &Incremental{
 		numObjects: numObjects,
+		shards:     shards,
 		nodes:      make(map[int64]*inode),
 		lastOfProc: make(map[int]int64),
 		writerOf:   make([]map[int64]int64, numObjects),
 		pendingWR:  make([]map[int64][]int64, numObjects),
 		pendingRW:  make([]map[int64][]int64, numObjects),
-		seqNode:    make(map[int64]int64),
+		seqs:       make([][]int64, shards),
+		seqNode:    make([]map[int64]int64, shards),
+		seqAbove:   make([]int64, shards),
 		floors:     make([]int64, numObjects),
-		seqAbove:   -1 << 62,
+	}
+	for l := range c.seqNode {
+		c.seqNode[l] = make(map[int64]int64)
+		c.seqAbove[l] = -1 << 62
 	}
 	for x := range c.writerOf {
 		c.writerOf[x] = make(map[int64]int64)
@@ -107,6 +135,28 @@ func NewIncremental(numObjects int) *Incremental {
 		c.pendingRW[x] = make(map[int64][]int64)
 	}
 	return c
+}
+
+// lanesOf returns the ww chains an update with the given footprint and
+// composite sequence number belongs to: every shard its footprint
+// touches, plus the emitting lane encoded in the sequence number (which
+// covers a session anchor outside the footprint). Sorted ascending.
+func (c *Incremental) lanesOf(rec mop.Record) []int {
+	if c.shards == 1 {
+		return []int{0}
+	}
+	member := make([]bool, c.shards)
+	member[int(rec.Seq%int64(c.shards))] = true
+	for _, x := range rec.Footprint.IDs() {
+		member[int(x)%c.shards] = true
+	}
+	var lanes []int
+	for l, ok := range member {
+		if ok {
+			lanes = append(lanes, l)
+		}
+	}
+	return lanes
 }
 
 // Observe inserts the next record (merged response order) and returns
@@ -133,23 +183,28 @@ func (c *Incremental) Observe(rec mop.Record) int {
 	}
 	c.lastOfProc[rec.Proc] = id
 
-	// Broadcast total order (the WW-constraint Theorem 7 needs).
+	// Broadcast order (the constraint Theorem 7 needs): one chain per
+	// lane; unsharded records all land in lane 0.
 	if rec.Update && rec.Seq >= 0 {
 		n.seq = rec.Seq
-		if rec.Seq < c.seqAbove {
-			c.retiredRefs++
-		} else if _, dup := c.seqNode[rec.Seq]; dup {
-			// Duplicate delivery sequence: the monitor reports it as
-			// P5.2; linking both would corrupt the ww chain, so skip.
-			c.retiredRefs++
-			n.seq = -1
-		} else {
-			c.insertSeq(rec.Seq, id)
-			if pred, ok := c.seqNeighbor(rec.Seq, -1); ok {
-				c.addEdge(c.seqNode[pred], id, "ww", rec)
+		for _, lane := range c.lanesOf(rec) {
+			if rec.Seq < c.seqAbove[lane] {
+				c.retiredRefs++
+				continue
 			}
-			if succ, ok := c.seqNeighbor(rec.Seq, +1); ok {
-				c.addEdge(id, c.seqNode[succ], "ww", rec)
+			if _, dup := c.seqNode[lane][rec.Seq]; dup {
+				// Duplicate delivery sequence: the monitor reports it as
+				// P5.2; linking both would corrupt the ww chain, so skip.
+				c.retiredRefs++
+				continue
+			}
+			c.insertSeq(lane, rec.Seq, id)
+			n.lanes = append(n.lanes, lane)
+			if pred, ok := c.seqNeighbor(lane, rec.Seq, -1); ok {
+				c.addEdge(c.seqNode[lane][pred], id, "ww", rec)
+			}
+			if succ, ok := c.seqNeighbor(lane, rec.Seq, +1); ok {
+				c.addEdge(id, c.seqNode[lane][succ], "ww", rec)
 			}
 		}
 	}
@@ -251,38 +306,41 @@ func (c *Incremental) addEdge(u, v int64, kind string, rec mop.Record) {
 	}
 }
 
-func (c *Incremental) insertSeq(seq, id int64) {
-	c.seqNode[seq] = id
-	i := len(c.seqs)
-	for i > 0 && c.seqs[i-1] > seq {
+func (c *Incremental) insertSeq(lane int, seq, id int64) {
+	c.seqNode[lane][seq] = id
+	s := c.seqs[lane]
+	i := len(s)
+	for i > 0 && s[i-1] > seq {
 		i--
 	}
-	c.seqs = append(c.seqs, 0)
-	copy(c.seqs[i+1:], c.seqs[i:])
-	c.seqs[i] = seq
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = seq
+	c.seqs[lane] = s
 }
 
 // seqNeighbor returns the nearest live delivery sequence on the given
-// side of seq.
-func (c *Incremental) seqNeighbor(seq int64, dir int) (int64, bool) {
-	lo, hi := 0, len(c.seqs)
+// side of seq within one lane's chain.
+func (c *Incremental) seqNeighbor(lane int, seq int64, dir int) (int64, bool) {
+	s := c.seqs[lane]
+	lo, hi := 0, len(s)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if c.seqs[mid] < seq {
+		if s[mid] < seq {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	// c.seqs[lo] == seq (it was just inserted).
+	// s[lo] == seq (it was just inserted).
 	if dir < 0 {
 		if lo > 0 {
-			return c.seqs[lo-1], true
+			return s[lo-1], true
 		}
 		return 0, false
 	}
-	if lo+1 < len(c.seqs) {
-		return c.seqs[lo+1], true
+	if lo+1 < len(s) {
+		return s[lo+1], true
 	}
 	return 0, false
 }
@@ -337,10 +395,10 @@ func (c *Incremental) Compact(horizon int64, floors []int64) {
 			keep = append(keep, id)
 			continue
 		}
-		if n.seq >= 0 {
-			c.removeSeq(n.seq)
-			if n.seq >= c.seqAbove {
-				c.seqAbove = n.seq + 1
+		for _, lane := range n.lanes {
+			c.removeSeq(lane, n.seq)
+			if n.seq >= c.seqAbove[lane] {
+				c.seqAbove[lane] = n.seq + 1
 			}
 		}
 		c.edges -= int64(len(n.out))
@@ -350,19 +408,20 @@ func (c *Incremental) Compact(horizon int64, floors []int64) {
 	c.order = keep
 }
 
-func (c *Incremental) removeSeq(seq int64) {
-	delete(c.seqNode, seq)
-	lo, hi := 0, len(c.seqs)
+func (c *Incremental) removeSeq(lane int, seq int64) {
+	delete(c.seqNode[lane], seq)
+	s := c.seqs[lane]
+	lo, hi := 0, len(s)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if c.seqs[mid] < seq {
+		if s[mid] < seq {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(c.seqs) && c.seqs[lo] == seq {
-		c.seqs = append(c.seqs[:lo], c.seqs[lo+1:]...)
+	if lo < len(s) && s[lo] == seq {
+		c.seqs[lane] = append(s[:lo], s[lo+1:]...)
 	}
 }
 

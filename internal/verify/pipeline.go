@@ -23,6 +23,10 @@ type PipelineConfig struct {
 	// intra-node sink-order inversion absorbed without a feed-order
 	// report. Zero picks a safe default for TCP streams.
 	SlackNs int64
+	// Shards is the number of broadcast lanes the records' sequence
+	// numbers were composed over (object id mod Shards); 0 or 1 means
+	// the single global total order. Every stream must agree.
+	Shards int
 }
 
 // DefaultSlackNs absorbs the scheduling jitter between a record's
@@ -65,7 +69,7 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		cfg:    cfg,
 		merger: NewMerger(),
 		mon:    monitor.NewMonitor(cfg.NumObjects, cfg.Level),
-		inc:    NewIncremental(cfg.NumObjects),
+		inc:    NewIncrementalSharded(cfg.NumObjects, cfg.Shards),
 	}
 	if cfg.Window > 0 {
 		p.ring = make([]int64, cfg.Window)

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"moc/internal/monitor"
+	"moc/internal/shard"
 )
 
 // ServiceConfig parameterizes the verification service.
@@ -40,6 +41,7 @@ type Service struct {
 	pipe        *Pipeline
 	consistency string
 	objects     []string
+	shards      string
 	rejected    int64
 	conns       map[net.Conn]struct{}
 
@@ -129,20 +131,40 @@ func (s *Service) pipelineFor(h Hello) (*Pipeline, error) {
 				level = monitor.MLinLevel
 			}
 		}
+		numShards := 1
+		if h.Shards != "" {
+			m, err := shard.ParseSpec(h.Shards)
+			if err != nil {
+				s.rejected++
+				return nil, fmt.Errorf("stream node %d announced shard map %q: %v", h.Node, h.Shards, err)
+			}
+			if m.Objects() != len(h.Objects) {
+				s.rejected++
+				return nil, fmt.Errorf("stream node %d shard map %q covers %d objects, Hello lists %d",
+					h.Node, h.Shards, m.Objects(), len(h.Objects))
+			}
+			numShards = m.Shards()
+		}
 		s.pipe = NewPipeline(PipelineConfig{
 			NumObjects: len(h.Objects),
 			Level:      level,
 			Window:     s.cfg.Window,
 			SlackNs:    s.cfg.SlackNs,
+			Shards:     numShards,
 		})
 		s.consistency = h.Consistency
 		s.objects = append([]string(nil), h.Objects...)
+		s.shards = h.Shards
 		return s.pipe, nil
 	}
 	if h.Consistency != s.consistency || len(h.Objects) != len(s.objects) {
 		s.rejected++
 		return nil, fmt.Errorf("stream node %d announced (%s, %d objects), service is (%s, %d objects)",
 			h.Node, h.Consistency, len(h.Objects), s.consistency, len(s.objects))
+	}
+	if h.Shards != s.shards {
+		s.rejected++
+		return nil, fmt.Errorf("stream node %d announced shard map %q, service is %q", h.Node, h.Shards, s.shards)
 	}
 	for i, name := range h.Objects {
 		if name != s.objects[i] {
@@ -232,6 +254,7 @@ type rpcResponse struct {
 	Err         string   `json:"error,omitempty"`
 	Consistency string   `json:"consistency,omitempty"`
 	Objects     []string `json:"objects,omitempty"`
+	Shards      string   `json:"shards,omitempty"`
 	Violations  *int     `json:"violations,omitempty"`
 	Observed    int64    `json:"observed,omitempty"`
 	Stats       *Stats   `json:"stats,omitempty"`
@@ -287,7 +310,7 @@ func (s *Service) handleRPC(req rpcRequest) rpcResponse {
 	switch req.Op {
 	case "status":
 		s.mu.Lock()
-		resp := rpcResponse{OK: true, Consistency: s.consistency, Objects: s.objects}
+		resp := rpcResponse{OK: true, Consistency: s.consistency, Objects: s.objects, Shards: s.shards}
 		s.mu.Unlock()
 		n := 0
 		if pipe != nil {

@@ -58,6 +58,11 @@ type Hello struct {
 	Consistency string
 	// Objects is the registry name list; every stream must agree.
 	Objects []string
+	// Shards is the store's shard-map spec (core.Store.ShardSpec, e.g.
+	// "mod:8/4"), empty for an unsharded store; every stream must agree,
+	// since records stamped under different shard maps carry
+	// incomparable sequence numbers.
+	Shards string
 	// NextSeq is the lowest sequence number the writer still holds. The
 	// service's Ack may ask for anything >= this.
 	NextSeq int64
@@ -149,6 +154,7 @@ func (h Hello) MarshalWire(b []byte) ([]byte, error) {
 	for _, name := range h.Objects {
 		b = wire.AppendString(b, name)
 	}
+	b = wire.AppendString(b, h.Shards)
 	return wire.AppendVarint(b, h.NextSeq), nil
 }
 
@@ -161,6 +167,7 @@ func (h *Hello) UnmarshalWire(d *wire.Decoder) error {
 	for i := 0; i < n && d.Err() == nil; i++ {
 		h.Objects = append(h.Objects, d.String())
 	}
+	h.Shards = d.String()
 	h.NextSeq = d.Varint()
 	return d.Err()
 }

@@ -20,6 +20,9 @@ type WriterConfig struct {
 	Consistency string
 	// Objects is the registry name list, announced in the Hello.
 	Objects []string
+	// Shards is the store's shard-map spec (core.Store.ShardSpec, ""
+	// when unsharded), announced in the Hello.
+	Shards string
 	// BatchRecords caps one Batch message; a full buffer flushes
 	// immediately. Zero means 512.
 	BatchRecords int
@@ -217,6 +220,7 @@ func (w *StreamWriter) loop() {
 		hello := Hello{
 			Node: w.cfg.Node, Gen: w.gen,
 			Consistency: w.cfg.Consistency, Objects: w.cfg.Objects,
+			Shards:  w.cfg.Shards,
 			NextSeq: w.firstRet,
 		}
 		w.mu.Unlock()

@@ -71,6 +71,10 @@ const (
 	TagMonAck   Tag = 98
 	TagMonFin   Tag = 99
 
+	// 112–119: shard (cross-shard ticket/commit merge).
+	TagShardTicket Tag = 112
+	TagShardCommit Tag = 113
+
 	// 1000+: test-only payloads (network/testutil).
 	TagConformance Tag = 1000
 )

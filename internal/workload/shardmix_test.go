@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"moc/internal/object"
+)
+
+func TestShardMixPlan(t *testing.T) {
+	const procs, objects, shards = 4, 8, 2
+	mix := ShardMix{ReadFrac: 0.4, Span: 2, OpsPerProc: 50, Shards: shards, CrossFrac: 0.3}
+	plans := mix.Plan(procs, objects, rand.New(rand.NewSource(9)))
+	if len(plans) != procs {
+		t.Fatalf("got %d plans, want %d", len(plans), procs)
+	}
+	seen := make(map[object.Value]bool)
+	cross := 0
+	for p, plan := range plans {
+		home := p % shards
+		if len(plan) != mix.OpsPerProc {
+			t.Fatalf("proc %d: %d ops, want %d", p, len(plan), mix.OpsPerProc)
+		}
+		for _, op := range plan {
+			if len(op.Objs) == 0 {
+				t.Fatalf("proc %d: empty footprint", p)
+			}
+			foreign := 0
+			for j, x := range op.Objs {
+				s := int(x) % shards
+				// The first Span objects are home-shard; at most one
+				// trailing object may be foreign.
+				if j < len(op.Objs)-1 && s != home {
+					t.Fatalf("proc %d: non-trailing object %d of shard %d, home %d", p, int(x), s, home)
+				}
+				if s != home {
+					foreign++
+				}
+			}
+			if foreign > 1 {
+				t.Fatalf("proc %d: %d foreign objects in one footprint", p, foreign)
+			}
+			if foreign == 1 {
+				cross++
+			}
+			if op.Query != (op.Vals == nil) {
+				t.Fatalf("proc %d: query/vals mismatch: %+v", p, op)
+			}
+			for _, v := range op.Vals {
+				if seen[v] {
+					t.Fatalf("value %d reused", int64(v))
+				}
+				seen[v] = true
+			}
+		}
+	}
+	if cross == 0 {
+		t.Fatal("CrossFrac 0.3 produced no cross-shard operations")
+	}
+	// Determinism: the same seed replans identically.
+	again := mix.Plan(procs, objects, rand.New(rand.NewSource(9)))
+	for p := range plans {
+		for i := range plans[p] {
+			a, b := plans[p][i], again[p][i]
+			if a.Query != b.Query || len(a.Objs) != len(b.Objs) {
+				t.Fatalf("plan not deterministic at proc %d op %d", p, i)
+			}
+		}
+	}
+}
